@@ -1,0 +1,77 @@
+//! Wall-clock budgets for iterative baselines.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget, mirroring the paper's 100-hour cap on baseline
+/// methods ("Early Stop" in Figures 9–12).
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use snnmap_baselines::Budget;
+///
+/// let b = Budget::unlimited();
+/// assert!(!b.exhausted());
+/// let b = Budget::limited(Duration::from_secs(60));
+/// assert!(!b.exhausted()); // 60 seconds have not elapsed yet
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    started: Instant,
+    limit: Option<Duration>,
+}
+
+impl Budget {
+    /// A budget with no limit: the method runs to completion.
+    pub fn unlimited() -> Self {
+        Self { started: Instant::now(), limit: None }
+    }
+
+    /// A budget expiring `limit` after creation.
+    pub fn limited(limit: Duration) -> Self {
+        Self { started: Instant::now(), limit: Some(limit) }
+    }
+
+    /// Whether the budget has expired.
+    pub fn exhausted(&self) -> bool {
+        match self.limit {
+            Some(l) => self.started.elapsed() >= l,
+            None => false,
+        }
+    }
+
+    /// Time since the budget started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budget_is_immediately_exhausted() {
+        let b = Budget::limited(Duration::ZERO);
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        assert!(!Budget::unlimited().exhausted());
+    }
+
+    #[test]
+    fn elapsed_monotone() {
+        let b = Budget::unlimited();
+        let a = b.elapsed();
+        assert!(b.elapsed() >= a);
+    }
+}

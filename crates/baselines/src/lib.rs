@@ -1,0 +1,127 @@
+//! Baseline SNN-mapping approaches from the literature (§5.1.3).
+//!
+//! The paper compares its Hilbert + Force-Directed approach against four
+//! prior methods, all reimplemented here behind one [`BaselineMapper`]
+//! trait:
+//!
+//! * [`RandomMapper`] — clusters shuffled uniformly over the cores (the
+//!   normalization baseline of every figure),
+//! * [`TrueNorthMapper`] — the layer-by-layer greedy placement of the
+//!   TrueNorth toolchain (Sawada et al. 2016),
+//! * [`DfSynthesizerMapper`] — random initialization refined by
+//!   accept-if-better pair swaps (Song et al. 2022),
+//! * [`PsoMapper`] — discrete (binarized) particle swarm optimization as
+//!   used by PSOPART/SpiNeMap/Song (Das et al. 2018; Balaji et al. 2020).
+//!
+//! Like the paper's experiments, every iterative baseline runs under a
+//! wall-clock [`Budget`] and reports whether it stopped early (the paper
+//! caps baselines at 100 hours and marks those bars "ES"; our default
+//! budgets are minutes, configurable per run).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use snnmap_baselines::{BaselineMapper, Budget, TrueNorthMapper};
+//! use snnmap_hw::Mesh;
+//! use snnmap_model::generators::random_pcn;
+//!
+//! let pcn = random_pcn(36, 3.0, 1)?;
+//! let mesh = Mesh::new(6, 6)?;
+//! let outcome = TrueNorthMapper::new().map(&pcn, mesh, Budget::unlimited())?;
+//! assert!(outcome.placement.is_complete());
+//! assert!(!outcome.early_stopped);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod budget;
+mod dfsynthesizer;
+mod pso;
+mod random;
+mod truenorth;
+
+use snnmap_core::CoreError;
+use snnmap_hw::{Mesh, Placement};
+use snnmap_model::Pcn;
+
+pub use budget::Budget;
+pub use dfsynthesizer::DfSynthesizerMapper;
+pub use pso::PsoMapper;
+pub use random::RandomMapper;
+pub use truenorth::TrueNorthMapper;
+
+/// The result of one baseline run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The produced (complete) placement.
+    pub placement: Placement,
+    /// Optimization iterations performed (method-specific unit: greedy
+    /// placements, swap proposals, or PSO generations).
+    pub iterations: u64,
+    /// Whether the wall-clock budget expired before the method finished
+    /// its configured work — the paper's "ES" (early stop) marker.
+    pub early_stopped: bool,
+}
+
+/// A placement method used as a comparison point.
+pub trait BaselineMapper {
+    /// Method name as it appears in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Maps the PCN onto the mesh within the given budget.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MeshTooSmall`] if the PCN outnumbers the cores.
+    fn map(&self, pcn: &Pcn, mesh: Mesh, budget: Budget) -> Result<BaselineOutcome, CoreError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_model::generators::random_pcn;
+
+    /// Every baseline produces a valid, complete placement on a non-full
+    /// mesh within an unlimited budget.
+    #[test]
+    fn all_baselines_produce_valid_placements() {
+        let pcn = random_pcn(30, 3.0, 7).unwrap();
+        let mesh = Mesh::new(6, 6).unwrap();
+        let mappers: Vec<Box<dyn BaselineMapper>> = vec![
+            Box::new(RandomMapper::new(1)),
+            Box::new(TrueNorthMapper::new()),
+            Box::new(DfSynthesizerMapper::new(1)),
+            Box::new(PsoMapper::new(1)),
+        ];
+        for m in mappers {
+            let out = m.map(&pcn, mesh, Budget::unlimited()).unwrap();
+            assert!(out.placement.is_complete(), "{}", m.name());
+            out.placement.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn all_baselines_reject_overfull_mesh() {
+        let pcn = random_pcn(40, 3.0, 7).unwrap();
+        let mesh = Mesh::new(6, 6).unwrap();
+        let mappers: Vec<Box<dyn BaselineMapper>> = vec![
+            Box::new(RandomMapper::new(1)),
+            Box::new(TrueNorthMapper::new()),
+            Box::new(DfSynthesizerMapper::new(1)),
+            Box::new(PsoMapper::new(1)),
+        ];
+        for m in mappers {
+            assert!(
+                matches!(
+                    m.map(&pcn, mesh, Budget::unlimited()),
+                    Err(CoreError::MeshTooSmall { .. })
+                ),
+                "{}",
+                m.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion benchmarks for the Force-Directed engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use snnmap_core::{force_directed, hsc_placement, random_placement, FdConfig};
+use snnmap_hw::Mesh;
+use snnmap_model::generators::random_pcn;
+
+fn bench_fd_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fd_converge");
+    g.sample_size(10);
+    for clusters in [256u32, 1024, 4096] {
+        let pcn = random_pcn(clusters, 4.0, 7).unwrap();
+        let mesh = Mesh::square_for(clusters as u64).unwrap();
+        let init = hsc_placement(&pcn, mesh).unwrap();
+        g.bench_with_input(BenchmarkId::new("from_hsc", clusters), &clusters, |b, _| {
+            b.iter_batched(
+                || init.clone(),
+                |mut p| force_directed(&pcn, &mut p, &FdConfig::default()).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+        let rnd = random_placement(&pcn, mesh, 3).unwrap();
+        g.bench_with_input(BenchmarkId::new("from_random", clusters), &clusters, |b, _| {
+            b.iter_batched(
+                || rnd.clone(),
+                |mut p| force_directed(&pcn, &mut p, &FdConfig::default()).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fd_convergence);
+criterion_main!(benches);

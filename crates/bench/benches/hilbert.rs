@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks for space-filling-curve generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use snnmap_curves::{Gilbert, Hilbert, SpaceFillingCurve};
+use snnmap_hw::Mesh;
+
+fn bench_d2xy(c: &mut Criterion) {
+    c.bench_function("hilbert_d2xy_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for d in 0..1024u64 {
+                let (x, y) = Hilbert::d2xy(black_box(1024), black_box(d * 1021));
+                acc = acc.wrapping_add(x ^ y);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_traversals(c: &mut Criterion) {
+    let mut g = c.benchmark_group("curve_traversal");
+    for side in [64u16, 256, 1024] {
+        let mesh = Mesh::new(side, side).unwrap();
+        g.bench_with_input(BenchmarkId::new("hilbert", side), &mesh, |b, &m| {
+            b.iter(|| Hilbert.traversal(black_box(m)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("gilbert", side), &mesh, |b, &m| {
+            b.iter(|| Gilbert.traversal(black_box(m)).unwrap())
+        });
+    }
+    // A non-square rectangle only gilbert covers.
+    let rect = Mesh::new(300, 700).unwrap();
+    g.bench_function("gilbert_300x700", |b| {
+        b.iter(|| Gilbert.traversal(black_box(rect)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_d2xy, bench_traversals);
+criterion_main!(benches);

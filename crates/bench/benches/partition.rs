@@ -1,0 +1,46 @@
+//! Criterion benchmarks for neuron partitioning: explicit Algorithm 1 vs
+//! the analytic layer-level closed form.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use snnmap_hw::CoreConstraints;
+use snnmap_model::generators::{CnnSpec, DnnSpec};
+use snnmap_model::{partition, PartitionPolicy};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    // Explicit Algorithm 1 over a materialized two-million-synapse
+    // network.
+    let snn = DnnSpec::new(&[1000, 1000, 1000]).build(1).unwrap();
+    let con = CoreConstraints::new(64, 1 << 30);
+    g.bench_function("explicit_2M_synapses", |b| {
+        b.iter(|| partition(black_box(&snn), con).unwrap())
+    });
+
+    // Analytic partitioning of CNN_16M: 16.7M neurons, 528M synapses —
+    // never materialized.
+    let graph = CnnSpec::cnn_16m().layer_graph(0);
+    let con = CoreConstraints::new(4096, u64::MAX);
+    g.bench_function("analytic_cnn16m", |b| {
+        b.iter(|| {
+            graph
+                .partition_analytic(con, PartitionPolicy::table3())
+                .unwrap()
+                .num_connections()
+        })
+    });
+
+    // Analytic partitioning of DNN_16M (dense: 258 048 connections).
+    let graph = DnnSpec::dnn_16m().layer_graph(0);
+    g.bench_function("analytic_dnn16m", |b| {
+        b.iter(|| {
+            graph
+                .partition_analytic(con, PartitionPolicy::table3())
+                .unwrap()
+                .num_connections()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

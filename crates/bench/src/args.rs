@@ -1,0 +1,166 @@
+//! Minimal shared CLI option parsing for the experiment binaries.
+
+use std::collections::HashMap;
+
+/// Benchmark-scale presets: which Table 3 applications a run includes,
+/// by cluster count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ≤ 256 clusters (DNN_65K, CNN_65K, LeNets, AlexNet).
+    Small,
+    /// ≤ 8192 clusters (adds DNN_16M, CNN_16M, MobileNet, InceptionV3,
+    /// ResNet) — the default.
+    Medium,
+    /// ≤ 65 536 clusters (adds DNN_268M, CNN_268M).
+    Large,
+    /// Everything including DNN_4B (1 M clusters).
+    Full,
+}
+
+impl Scale {
+    /// Maximum cluster count included at this scale.
+    pub fn max_clusters(&self) -> u64 {
+        match self {
+            Scale::Small => 256,
+            Scale::Medium => 8_192,
+            Scale::Large => 65_536,
+            Scale::Full => u64::MAX,
+        }
+    }
+}
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// `--scale small|medium|large|full` (default medium).
+    pub scale: Scale,
+    /// `--budget-secs N`: wall-clock cap per baseline run (default 120).
+    pub budget_secs: u64,
+    /// `--seed N` (default 42).
+    pub seed: u64,
+    /// `--json PATH`: also dump machine-readable results.
+    pub json: Option<std::path::PathBuf>,
+    /// `--sample N`: congestion edge-sample cap (default 200 000).
+    pub congestion_sample: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Medium,
+            budget_secs: 120,
+            seed: 42,
+            json: None,
+            congestion_sample: 200_000,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args`, exiting with a usage message on error or
+    /// `--help`.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!(
+                    "usage: [--scale small|medium|large|full] [--budget-secs N] \
+                     [--seed N] [--json PATH] [--sample N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an iterator of arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown flags, missing or
+    /// malformed values, and `--help`.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut map = HashMap::new();
+        let mut it = args.peekable();
+        while let Some(flag) = it.next() {
+            if flag == "--help" || flag == "-h" {
+                return Err("snnmap experiment binary".to_string());
+            }
+            let value = it.next().ok_or_else(|| format!("missing value for {flag}"))?;
+            map.insert(flag, value);
+        }
+        for (flag, value) in map {
+            match flag.as_str() {
+                "--scale" => {
+                    opts.scale = match value.as_str() {
+                        "small" => Scale::Small,
+                        "medium" => Scale::Medium,
+                        "large" => Scale::Large,
+                        "full" => Scale::Full,
+                        other => return Err(format!("unknown scale `{other}`")),
+                    }
+                }
+                "--budget-secs" => {
+                    opts.budget_secs =
+                        value.parse().map_err(|_| format!("bad --budget-secs `{value}`"))?
+                }
+                "--seed" => {
+                    opts.seed = value.parse().map_err(|_| format!("bad --seed `{value}`"))?
+                }
+                "--sample" => {
+                    opts.congestion_sample =
+                        value.parse().map_err(|_| format!("bad --sample `{value}`"))?
+                }
+                "--json" => opts.json = Some(value.into()),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, Scale::Medium);
+        assert_eq!(o.budget_secs, 120);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--scale", "full", "--budget-secs", "5", "--seed", "7", "--json", "/tmp/x.json",
+            "--sample", "100",
+        ])
+        .unwrap();
+        assert_eq!(o.scale, Scale::Full);
+        assert_eq!(o.budget_secs, 5);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.congestion_sample, 100);
+        assert!(o.json.is_some());
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse(&["--bogus", "1"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--seed", "abc"]).is_err());
+        assert!(parse(&["--scale", "tiny"]).is_err());
+    }
+
+    #[test]
+    fn scale_thresholds() {
+        assert_eq!(Scale::Small.max_clusters(), 256);
+        assert!(Scale::Full.max_clusters() > 1_000_000);
+    }
+}

@@ -1,0 +1,76 @@
+//! Extension experiment: ablation of the FD design choices (§4.5) —
+//! the λ queue fraction and the potential field — on ResNet (or the
+//! largest benchmark within the chosen scale).
+
+use snnmap_bench::ablation::{lambda_sweep, potential_sweep, tension_mode_sweep};
+use snnmap_bench::args::Options;
+use snnmap_bench::comparison::suite_at_scale;
+use snnmap_bench::table::{fmt_value, write_json, Table};
+use snnmap_hw::Mesh;
+
+fn main() {
+    let options = Options::from_env();
+    let bench = suite_at_scale(&options)
+        .into_iter()
+        .max_by_key(|b| b.row.clusters)
+        .expect("suite nonempty");
+    eprintln!("[ablation] building {}...", bench.row.name);
+    let pcn = bench.pcn(options.seed).expect("benchmark builds");
+    let mesh = Mesh::square_for(pcn.num_clusters() as u64).expect("fits");
+
+    println!(
+        "\nFD ablations on {} ({} clusters, {} connections)\n",
+        bench.row.name,
+        pcn.num_clusters(),
+        pcn.num_connections()
+    );
+
+    println!("lambda sweep (potential u_c):\n");
+    let lambdas = [0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0];
+    let lam = lambda_sweep(&pcn, mesh, &lambdas);
+    let mut t = Table::new(&["Setting", "Energy", "Iterations", "Swaps", "Time (s)"]);
+    for r in &lam {
+        t.row(&[
+            r.setting.clone(),
+            fmt_value(r.energy),
+            r.iterations.to_string(),
+            r.swaps.to_string(),
+            fmt_value(r.elapsed_secs),
+        ]);
+    }
+    t.print();
+
+    println!("\npotential-field sweep (lambda = 0.3):\n");
+    let pot = potential_sweep(&pcn, mesh);
+    let mut t = Table::new(&["Setting", "Energy", "Iterations", "Swaps", "Time (s)"]);
+    for r in &pot {
+        t.row(&[
+            r.setting.clone(),
+            fmt_value(r.energy),
+            r.iterations.to_string(),
+            r.swaps.to_string(),
+            fmt_value(r.elapsed_secs),
+        ]);
+    }
+    t.print();
+
+    println!("\ntension bookkeeping (exact vs paper's naive force sum):\n");
+    let ten = tension_mode_sweep(&pcn, mesh);
+    let mut t = Table::new(&["Setting", "Energy", "Iterations", "Swaps", "Time (s)"]);
+    for r in &ten {
+        t.row(&[
+            r.setting.clone(),
+            fmt_value(r.energy),
+            r.iterations.to_string(),
+            r.swaps.to_string(),
+            fmt_value(r.elapsed_secs),
+        ]);
+    }
+    t.print();
+
+    if let Some(path) = &options.json {
+        let all: Vec<_> = lam.into_iter().chain(pot).chain(ten).collect();
+        write_json(path, &all).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+}

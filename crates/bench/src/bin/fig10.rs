@@ -1,0 +1,23 @@
+//! Regenerates Figure 10: energy consumption per benchmark and method,
+//! normalized to random mapping.
+
+use snnmap_bench::args::Options;
+use snnmap_bench::comparison::{render_metric_table, run_comparison};
+use snnmap_bench::methods::Method;
+use snnmap_bench::table::write_json;
+use snnmap_metrics::MetricsReport;
+
+fn main() {
+    let options = Options::from_env();
+    let records = run_comparison(&Method::all(), &options);
+    println!(
+        "\nFigure 10: energy consumption, normalized to Random (scale: {:?})\n",
+        options.scale
+    );
+    let energy: fn(&MetricsReport) -> f64 = |m| m.energy;
+    render_metric_table(&records, &[("Energy", energy)]).print();
+    if let Some(path) = &options.json {
+        write_json(path, &records).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 11: average and maximum spike latency per
+//! benchmark and method, normalized to random mapping.
+
+use snnmap_bench::args::Options;
+use snnmap_bench::comparison::{render_metric_table, run_comparison};
+use snnmap_bench::methods::Method;
+use snnmap_bench::table::write_json;
+use snnmap_metrics::MetricsReport;
+
+fn main() {
+    let options = Options::from_env();
+    let records = run_comparison(&Method::all(), &options);
+    println!(
+        "\nFigure 11: average / maximum latency, normalized to Random (scale: {:?})\n",
+        options.scale
+    );
+    let avg: fn(&MetricsReport) -> f64 = |m| m.avg_latency;
+    let max: fn(&MetricsReport) -> f64 = |m| m.max_latency;
+    render_metric_table(&records, &[("AvgLatency", avg), ("MaxLatency", max)]).print();
+    if let Some(path) = &options.json {
+        write_json(path, &records).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 12: average and maximum NoC congestion per
+//! benchmark and method, normalized to random mapping.
+
+use snnmap_bench::args::Options;
+use snnmap_bench::comparison::{render_metric_table, run_comparison};
+use snnmap_bench::methods::Method;
+use snnmap_bench::table::write_json;
+use snnmap_metrics::MetricsReport;
+
+fn main() {
+    let options = Options::from_env();
+    let records = run_comparison(&Method::all(), &options);
+    println!(
+        "\nFigure 12: average / maximum congestion, normalized to Random (scale: {:?})\n",
+        options.scale
+    );
+    let avg: fn(&MetricsReport) -> f64 = |m| m.avg_congestion;
+    let max: fn(&MetricsReport) -> f64 = |m| m.max_congestion;
+    render_metric_table(&records, &[("AvgCongestion", avg), ("MaxCongestion", max)]).print();
+    if let Some(path) = &options.json {
+        write_json(path, &records).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,98 @@
+//! Regenerates Figure 6: why the Hilbert space-filling curve.
+//!
+//! Prints (a) banded distance-heatmap statistics for each curve, (b) the
+//! mapping cost of each curve under the three connection images of
+//! Figure 6.c, and (c) the normalized cost on the probability cloud of
+//! random SNNs (Figure 6.e; the paper reports Hilbert 1.0 / ZigZag 2.63 /
+//! Circle 6.33).
+
+use snnmap_bench::args::Options;
+use snnmap_bench::table::{write_json, Table};
+use snnmap_curves::cost::{mask_cost, normalized_costs, ConnectionMask};
+use snnmap_curves::heatmap::DistanceHeatmap;
+use snnmap_curves::{Hilbert, Serpentine, SpaceFillingCurve, Spiral, ZigZag};
+use snnmap_hw::{Coord, Mesh};
+
+fn curves(mesh: Mesh) -> Vec<(&'static str, Vec<Coord>)> {
+    vec![
+        ("Hilbert", Hilbert.traversal(mesh).expect("pow2 square")),
+        ("ZigZag", ZigZag.traversal(mesh).expect("any mesh")),
+        ("Circle", Spiral.traversal(mesh).expect("any mesh")),
+        ("Serpentine", Serpentine.traversal(mesh).expect("any mesh")),
+    ]
+}
+
+fn main() {
+    let options = Options::from_env();
+    let mesh = Mesh::new(8, 8).expect("8x8");
+    let orders = curves(mesh);
+
+    println!("Figure 6.b: distance-heatmap locality (8x8 mesh)\n");
+    let mut t = Table::new(&["Curve", "mean dist (|i-j|<=8)", "mean dist (all pairs)"]);
+    for (name, order) in &orders {
+        let hm = DistanceHeatmap::from_traversal(order);
+        t.row(&[
+            name.to_string(),
+            format!("{:.3}", hm.banded_mean_distance(8)),
+            format!("{:.3}", hm.mean_distance()),
+        ]);
+    }
+    t.print();
+
+    println!("\nFigure 6.c/d: cost under specific connection images (8x8 mesh)\n");
+    let masks = [
+        ("Full_connect_8_8", ConnectionMask::layered(&[8; 8])),
+        ("LeNet-like", ConnectionMask::layered(&[16, 24, 12, 8, 4])),
+        ("ResNet-like", {
+            // Layered with skip connections one layer apart.
+            let mut edges = Vec::new();
+            let sizes = [8usize, 8, 8, 8, 8, 8, 8, 8];
+            let mut start = 0usize;
+            let mut starts = Vec::new();
+            for w in sizes.windows(2) {
+                starts.push(start);
+                for i in 0..w[0] {
+                    for j in 0..w[1] {
+                        edges.push(((start + i) as u32, (start + w[0] + j) as u32));
+                    }
+                }
+                start += w[0];
+            }
+            // Skips: layer k -> layer k+2, identity.
+            for k in 0..sizes.len() - 2 {
+                let a = (0..k).map(|i| sizes[i]).sum::<usize>();
+                let b = (0..k + 2).map(|i| sizes[i]).sum::<usize>();
+                for i in 0..sizes[k] {
+                    edges.push(((a + i) as u32, (b + i) as u32));
+                }
+            }
+            ConnectionMask::new(64, edges)
+        }),
+    ];
+    let mut t = Table::new(&["Mask", "Hilbert", "ZigZag", "Circle", "Serpentine"]);
+    let mut json = serde_json::Map::new();
+    for (mask_name, mask) in &masks {
+        let hil = mask_cost(&orders[0].1, mask);
+        let cells: Vec<String> = std::iter::once(mask_name.to_string())
+            .chain(orders.iter().map(|(_, o)| format!("{:.2}", mask_cost(o, mask) / hil)))
+            .collect();
+        t.row(&cells);
+    }
+    t.print();
+
+    println!("\nFigure 6.e: normalized cost on the probability cloud");
+    println!("(paper: Hilbert 1.0, ZigZag 2.63, Circle 6.33)\n");
+    let cloud = ConnectionMask::probability_cloud(64, 500, options.seed);
+    let costs = normalized_costs(&orders, &cloud);
+    let mut t = Table::new(&["Curve", "Cost (normalized)", "Cost (absolute)"]);
+    for (name, abs, norm) in &costs {
+        t.row(&[name.to_string(), format!("{norm:.2}"), format!("{abs:.1}")]);
+        json.insert(name.to_string(), serde_json::json!({"norm": norm, "abs": abs}));
+    }
+    t.print();
+
+    if let Some(path) = &options.json {
+        write_json(path, &json).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+}

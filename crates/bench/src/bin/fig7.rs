@@ -1,0 +1,41 @@
+//! Regenerates Figure 7: the three potential-energy fields, printed as
+//! value grids around the field origin.
+
+use snnmap_bench::table::Table;
+use snnmap_core::Potential;
+use snnmap_hw::CostModel;
+
+fn main() {
+    let fields = [
+        ("u_a(p) = |x| + |y|  (eq. 19)", Potential::L1),
+        ("u_b(p) = (|x| + |y|)^2  (eq. 20)", Potential::L1Squared),
+        ("u_c(p) = x^2 + y^2  (eq. 21)", Potential::L2Squared),
+        (
+            "u(p) = (||p||+1)*EN_r + ||p||*EN_w  (eq. 25)",
+            Potential::energy_model(CostModel::paper_target()),
+        ),
+    ];
+    const R: i32 = 4;
+    for (name, field) in fields {
+        println!("\n{name}\n");
+        let mut t = Table::new(
+            &std::iter::once("y\\x".to_string())
+                .chain((-R..=R).map(|x| x.to_string()))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>(),
+        );
+        for y in -R..=R {
+            let cells: Vec<String> = std::iter::once(y.to_string())
+                .chain((-R..=R).map(|x| format!("{:.1}", field.value(x, y))))
+                .collect();
+            t.row(&cells);
+        }
+        t.print();
+    }
+    println!(
+        "\nThe quadratic fields (u_b, u_c) grow superlinearly with distance, so pairs far\n\
+         apart gain disproportionate potential energy and are pulled together first (§4.4.2)."
+    );
+}

@@ -1,0 +1,137 @@
+//! Regenerates Figure 8: performance of the space-filling curves and the
+//! FD algorithm on ResNet — methods a) through j), all metrics normalized
+//! to random mapping, plus solve times.
+
+use std::time::{Duration, Instant};
+
+use snnmap_bench::args::Options;
+use snnmap_bench::table::{fmt_value, write_json, Table};
+use snnmap_core::{InitialPlacement, Mapper, Potential};
+use snnmap_hw::{CostModel, Mesh};
+use snnmap_metrics::{evaluate_with, EvalOptions, MetricsReport};
+use snnmap_model::generators::RealisticModel;
+use snnmap_model::PartitionPolicy;
+
+fn main() {
+    let options = Options::from_env();
+    eprintln!("[fig8] building ResNet PCN...");
+    let pcn = RealisticModel::ResNet
+        .layer_graph(options.seed)
+        .partition_analytic(
+            snnmap_hw::CoreConstraints::new(4096, u64::MAX),
+            PartitionPolicy::table3(),
+        )
+        .expect("ResNet builds");
+    let mesh = Mesh::square_for(pcn.num_clusters() as u64).expect("fits u16 mesh");
+    let cost = CostModel::paper_target();
+    let eval_opts =
+        EvalOptions { congestion_sample: Some((options.congestion_sample, options.seed)) };
+    let budget = Duration::from_secs(options.budget_secs);
+
+    // Methods a) .. j) of Figure 8.
+    let rnd = InitialPlacement::Random(options.seed);
+    let methods: Vec<(&str, Mapper)> = vec![
+        ("a) Random", Mapper::builder().initial_placement(rnd).fd_enabled(false).build()),
+        (
+            "b) HSC",
+            Mapper::builder().initial_placement(InitialPlacement::Hilbert).fd_enabled(false).build(),
+        ),
+        (
+            "c) ZigZag",
+            Mapper::builder().initial_placement(InitialPlacement::ZigZag).fd_enabled(false).build(),
+        ),
+        (
+            "d) Circle",
+            Mapper::builder().initial_placement(InitialPlacement::Circle).fd_enabled(false).build(),
+        ),
+        (
+            "e) FD(u_a), random init",
+            Mapper::builder().initial_placement(rnd).potential(Potential::L1).time_budget(budget).build(),
+        ),
+        (
+            "f) HSC+FD(u_a)",
+            Mapper::builder().potential(Potential::L1).time_budget(budget).build(),
+        ),
+        (
+            "g) FD(u_b), random init",
+            Mapper::builder()
+                .initial_placement(rnd)
+                .potential(Potential::L1Squared)
+                .time_budget(budget)
+                .build(),
+        ),
+        (
+            "h) HSC+FD(u_b)",
+            Mapper::builder().potential(Potential::L1Squared).time_budget(budget).build(),
+        ),
+        (
+            "i) FD(u_c), random init",
+            Mapper::builder()
+                .initial_placement(rnd)
+                .potential(Potential::L2Squared)
+                .time_budget(budget)
+                .build(),
+        ),
+        (
+            "j) HSC+FD(u_c)  [proposed]",
+            Mapper::builder().potential(Potential::L2Squared).time_budget(budget).build(),
+        ),
+    ];
+
+    let mut results: Vec<(String, MetricsReport, f64, bool)> = Vec::new();
+    for (name, mapper) in &methods {
+        eprintln!("[fig8] running {name}...");
+        let t = Instant::now();
+        let outcome = mapper.map(&pcn, mesh).expect("resnet fits");
+        let elapsed = t.elapsed().as_secs_f64();
+        let early = outcome.fd_stats.map(|s| !s.converged).unwrap_or(false);
+        let metrics =
+            evaluate_with(&pcn, &outcome.placement, cost, eval_opts).expect("placed");
+        results.push((name.to_string(), metrics, elapsed, early));
+    }
+
+    let baseline = results[0].1;
+    println!(
+        "\nFigure 8: space-filling curves and FD on ResNet ({} clusters, {} connections, {mesh})",
+        pcn.num_clusters(),
+        pcn.num_connections()
+    );
+    println!("All metrics normalized to a) random mapping.\n");
+    let mut t = Table::new(&[
+        "Method",
+        "Energy",
+        "AvgLat",
+        "MaxLat",
+        "AvgCong",
+        "MaxCong",
+        "Time (s)",
+        "",
+    ]);
+    let mut json = Vec::new();
+    for (name, m, secs, early) in &results {
+        let n = m.normalized_to(&baseline);
+        t.row(&[
+            name.clone(),
+            format!("{:.3}", n.energy),
+            format!("{:.3}", n.avg_latency),
+            format!("{:.3}", n.max_latency),
+            format!("{:.3}", n.avg_congestion),
+            format!("{:.3}", n.max_congestion),
+            fmt_value(*secs),
+            if *early { "ES".to_string() } else { String::new() },
+        ]);
+        json.push(serde_json::json!({
+            "method": name,
+            "normalized": n,
+            "absolute": m,
+            "elapsed_secs": secs,
+            "early_stopped": early,
+        }));
+    }
+    t.print();
+
+    if let Some(path) = &options.json {
+        write_json(path, &json).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+}

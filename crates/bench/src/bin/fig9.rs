@@ -1,0 +1,34 @@
+//! Regenerates Figure 9: algorithm execution time vs problem scale
+//! (log-log in the paper; here a table of solve times per benchmark and
+//! method, with "ES" marking budget-capped early stops).
+
+use snnmap_bench::args::Options;
+use snnmap_bench::comparison::run_comparison;
+use snnmap_bench::methods::Method;
+use snnmap_bench::table::{fmt_value, write_json, Table};
+
+fn main() {
+    let options = Options::from_env();
+    let records = run_comparison(&Method::all(), &options);
+
+    println!(
+        "\nFigure 9: execution time (seconds) vs problem scale (scale: {:?}, baseline budget {}s)\n",
+        options.scale, options.budget_secs
+    );
+    let mut t = Table::new(&["Benchmark", "Clusters", "Method", "Time (s)", "Early stop"]);
+    for r in &records {
+        t.row(&[
+            r.benchmark.clone(),
+            r.clusters.to_string(),
+            r.method.clone(),
+            fmt_value(r.elapsed_secs),
+            if r.early_stopped { "ES".to_string() } else { String::new() },
+        ]);
+    }
+    t.print();
+
+    if let Some(path) = &options.json {
+        write_json(path, &records).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table 1: capacity of several neuromorphic hardware
+//! platforms.
+
+use snnmap_bench::table::Table;
+use snnmap_hw::presets;
+
+fn main() {
+    let mut t = Table::new(&[
+        "Platform",
+        "Neurons/core",
+        "Synapses/core",
+        "Cores/chip",
+        "Chips/system",
+        "System neurons",
+        "System synapses",
+    ]);
+    for p in presets::all_platforms() {
+        t.row(&[
+            p.name.to_string(),
+            p.neurons_per_core.to_string(),
+            p.synapses_per_core.to_string(),
+            p.cores_per_chip.to_string(),
+            p.chips_per_system.to_string(),
+            p.max_system_neurons().to_string(),
+            p.max_system_synapses().to_string(),
+        ]);
+    }
+    println!("Table 1: capacity of several neuromorphic hardware platforms\n");
+    t.print();
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 2: parameters of the target neuromorphic hardware.
+
+use snnmap_bench::table::Table;
+use snnmap_hw::presets;
+
+fn main() {
+    let (con, cost) = presets::paper_target();
+    let mut t = Table::new(&["Parameter", "Value"]);
+    t.row(&["CON_npc", &con.neurons_per_core.to_string()]);
+    t.row(&["CON_spc", &format!("{}K", con.synapses_per_core / 1024)]);
+    t.row(&["EN_r", &cost.en_r.to_string()]);
+    t.row(&["EN_w", &cost.en_w.to_string()]);
+    t.row(&["L_r", &cost.l_r.to_string()]);
+    t.row(&["L_w", &cost.l_w.to_string()]);
+    println!("Table 2: parameters of target neuromorphic hardware\n");
+    t.print();
+}

@@ -1,0 +1,58 @@
+//! Regenerates Table 3: the benchmark suite, comparing our generated
+//! G_SNN / G_PCN statistics against the paper's reported values.
+
+use std::time::Instant;
+
+use snnmap_bench::args::Options;
+use snnmap_bench::comparison::suite_at_scale;
+use snnmap_bench::table::{write_json, Table};
+
+fn main() {
+    let options = Options::from_env();
+    let mut t = Table::new(&[
+        "Application",
+        "Neurons",
+        "Synapses",
+        "Clusters(ours)",
+        "Clusters(paper)",
+        "Conns(ours)",
+        "Conns(paper)",
+        "Hardware",
+        "Build time",
+    ]);
+    let mut json = Vec::new();
+    for b in suite_at_scale(&options) {
+        let start = Instant::now();
+        let graph = b.layer_graph(options.seed);
+        let pcn = b.pcn(options.seed).expect("table 3 benchmarks build");
+        let elapsed = start.elapsed();
+        t.row(&[
+            b.row.name.to_string(),
+            graph.num_neurons().to_string(),
+            graph.num_synapses().to_string(),
+            pcn.num_clusters().to_string(),
+            b.row.clusters.to_string(),
+            pcn.num_connections().to_string(),
+            b.row.connections.to_string(),
+            format!("{}x{}", b.row.mesh_side, b.row.mesh_side),
+            format!("{elapsed:.2?}"),
+        ]);
+        json.push(serde_json::json!({
+            "name": b.row.name,
+            "neurons": graph.num_neurons(),
+            "synapses": graph.num_synapses(),
+            "clusters": pcn.num_clusters(),
+            "clusters_paper": b.row.clusters,
+            "connections": pcn.num_connections(),
+            "connections_paper": b.row.connections,
+            "mesh_side": b.row.mesh_side,
+            "build_secs": elapsed.as_secs_f64(),
+        }));
+    }
+    println!("Table 3: benchmarks (scale: {:?})\n", options.scale);
+    t.print();
+    if let Some(path) = &options.json {
+        write_json(path, &json).expect("write json");
+        println!("\nwrote {}", path.display());
+    }
+}

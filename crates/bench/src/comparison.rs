@@ -1,0 +1,180 @@
+//! The Figures 9–12 sweep: every method on every Table 3 benchmark.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use snnmap_hw::{CostModel, Mesh};
+use snnmap_metrics::{evaluate_with, EvalOptions, MetricsReport};
+use snnmap_model::generators::{table3_suite, Table3Benchmark};
+
+use crate::args::Options;
+use crate::methods::Method;
+
+/// One (benchmark, method) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Benchmark name (Table 3 row).
+    pub benchmark: String,
+    /// PCN cluster count actually produced.
+    pub clusters: u32,
+    /// PCN connection count actually produced.
+    pub connections: u64,
+    /// Method name.
+    pub method: String,
+    /// Solve time in seconds.
+    pub elapsed_secs: f64,
+    /// Whether the run hit its budget ("ES" in the paper's figures).
+    pub early_stopped: bool,
+    /// The five §3.3 quality metrics.
+    pub metrics: MetricsReport,
+}
+
+/// Runs `methods` over every Table 3 benchmark within the option's scale
+/// filter, evaluating each placement.
+///
+/// Baselines get `options.budget_secs`; the proposed method runs
+/// unbudgeted (it finishes in seconds even at full scale, which is the
+/// paper's headline result). Congestion uses edge sampling above
+/// `options.congestion_sample` edges.
+///
+/// Skips and reports (rather than fails) benchmarks whose PCN build or
+/// mapping errors — no Table 3 instance should, so any message here is a
+/// bug.
+pub fn run_comparison(methods: &[Method], options: &Options) -> Vec<RunRecord> {
+    let cost = CostModel::paper_target();
+    let mut records = Vec::new();
+    for bench in suite_at_scale(options) {
+        let name = bench.row.name;
+        eprintln!("[comparison] building {name}...");
+        let pcn = match bench.pcn(options.seed) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("[comparison] {name}: PCN build failed: {e}");
+                continue;
+            }
+        };
+        let mesh = match Mesh::square_for(pcn.num_clusters() as u64) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("[comparison] {name}: mesh sizing failed: {e}");
+                continue;
+            }
+        };
+        for &method in methods {
+            let budget = match method {
+                Method::Proposed => None,
+                _ => Some(Duration::from_secs(options.budget_secs)),
+            };
+            eprintln!("[comparison] {name}: running {method}...");
+            let run = match method.run(&pcn, mesh, budget, options.seed) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("[comparison] {name}/{method}: {e}");
+                    continue;
+                }
+            };
+            let opts = EvalOptions {
+                congestion_sample: Some((options.congestion_sample, options.seed)),
+            };
+            let metrics = match evaluate_with(&pcn, &run.placement, cost, opts) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("[comparison] {name}/{method}: evaluation failed: {e}");
+                    continue;
+                }
+            };
+            records.push(RunRecord {
+                benchmark: name.to_string(),
+                clusters: pcn.num_clusters(),
+                connections: pcn.num_connections(),
+                method: method.name().to_string(),
+                elapsed_secs: run.elapsed.as_secs_f64(),
+                early_stopped: run.early_stopped,
+                metrics,
+            });
+        }
+    }
+    records
+}
+
+/// A column of a metric figure: display name plus metric selector.
+pub type MetricColumn = (&'static str, fn(&MetricsReport) -> f64);
+
+/// Renders a Figures 10–12 style table: the selected metric columns per
+/// (benchmark, method), normalized to the same benchmark's `Random`
+/// record (the paper plots everything relative to the baseline). Rows
+/// whose benchmark has no Random record show absolute values.
+pub fn render_metric_table(
+    records: &[RunRecord],
+    columns: &[MetricColumn],
+) -> crate::table::Table {
+    let mut headers = vec!["Benchmark", "Method"];
+    headers.extend(columns.iter().map(|(name, _)| *name));
+    headers.push("Early stop");
+    let mut t = crate::table::Table::new(&headers);
+    for r in records {
+        let baseline = records
+            .iter()
+            .find(|b| b.benchmark == r.benchmark && b.method == "Random")
+            .map(|b| &b.metrics);
+        let mut cells = vec![r.benchmark.clone(), r.method.clone()];
+        for (_, f) in columns {
+            let v = f(&r.metrics);
+            let cell = match baseline {
+                Some(b) if f(b) != 0.0 => format!("{:.3}", v / f(b)),
+                _ => crate::table::fmt_value(v),
+            };
+            cells.push(cell);
+        }
+        cells.push(if r.early_stopped { "ES".to_string() } else { String::new() });
+        t.row(&cells);
+    }
+    t
+}
+
+/// The Table 3 suite filtered to the option's scale.
+pub fn suite_at_scale(options: &Options) -> Vec<Table3Benchmark> {
+    table3_suite()
+        .into_iter()
+        .filter(|b| b.row.clusters <= options.scale.max_clusters())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Scale;
+
+    #[test]
+    fn scale_filters_the_suite() {
+        let mut o = Options { scale: Scale::Small, ..Options::default() };
+        let small = suite_at_scale(&o);
+        // DNN_65K, CNN_65K, LeNet-MNIST, LeNet-ImageNet, AlexNet.
+        assert_eq!(small.len(), 5);
+        o.scale = Scale::Full;
+        assert_eq!(suite_at_scale(&o).len(), 13);
+    }
+
+    #[test]
+    fn comparison_on_smallest_benchmarks_produces_records() {
+        let o = Options { scale: Scale::Small, budget_secs: 5, ..Options::default() };
+        let records = run_comparison(&[Method::Random, Method::Proposed], &o);
+        // 5 small benchmarks x 2 methods.
+        assert_eq!(records.len(), 10);
+        for r in &records {
+            assert!(r.metrics.energy > 0.0, "{}: zero energy", r.benchmark);
+        }
+        // The proposed method must beat random on energy everywhere.
+        for pair in records.chunks(2) {
+            let (rnd, prop) = (&pair[0], &pair[1]);
+            assert_eq!(rnd.method, "Random");
+            assert!(
+                prop.metrics.energy < rnd.metrics.energy,
+                "{}: {} !< {}",
+                prop.benchmark,
+                prop.metrics.energy,
+                rnd.metrics.energy
+            );
+        }
+    }
+}

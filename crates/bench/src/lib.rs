@@ -1,0 +1,32 @@
+//! Experiment harness for the ASPLOS '23 reproduction.
+//!
+//! Each paper artifact has a dedicated binary (see `src/bin/`); this
+//! library holds the shared machinery:
+//!
+//! * [`methods`] — the five §5.1.3 approaches behind one interface,
+//! * [`comparison`] — the Figures 9–12 sweep over the Table 3 suite,
+//! * [`ablation`] — λ/potential/curve ablations of the FD design choices,
+//! * [`table`] — plain-text table rendering and JSON result dumps,
+//! * [`args`] — the tiny CLI option parser the binaries share.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — platform capacities |
+//! | `table2` | Table 2 — target hardware constants |
+//! | `table3` | Table 3 — benchmark suite statistics |
+//! | `fig6` | Figure 6 — space-filling-curve cost analysis |
+//! | `fig8` | Figure 8 — methods a)–j) on ResNet |
+//! | `fig9` | Figure 9 — solve time vs problem scale |
+//! | `fig10`–`fig12` | Figures 10–12 — energy / latency / congestion |
+//! | `appendix_a` | Appendix A — Hilbert curves on arbitrary rectangles |
+//! | `ablation` | extension — FD design-choice ablations |
+//! | `noc_validate` | extension — analytic metrics vs NoC simulation |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod ablation;
+pub mod args;
+pub mod comparison;
+pub mod methods;
+pub mod table;

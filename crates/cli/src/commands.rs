@@ -1,0 +1,252 @@
+//! Subcommand implementations.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Duration;
+
+use snnmap_baselines::{
+    BaselineMapper, Budget, DfSynthesizerMapper, PsoMapper, RandomMapper, TrueNorthMapper,
+};
+use snnmap_core::{InitialPlacement, Mapper, Potential};
+use snnmap_hw::{CostModel, Mesh, Placement};
+use snnmap_io::{read_pcn, read_placement, write_pcn, write_placement};
+use snnmap_metrics::{evaluate_with, hop_histogram, EvalOptions};
+use snnmap_model::generators::{random_pcn, table3_suite};
+use snnmap_model::Pcn;
+
+use crate::opts::Opts;
+use crate::{viz, CliError};
+
+/// `snnmap gen`: write a benchmark or random PCN.
+pub fn gen(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(args, &["benchmark", "random", "seed", "out"])?;
+    let seed: u64 = o.parsed_or("seed", 42)?;
+    let out = Path::new(o.required("out")?);
+    let pcn = match (o.flag("benchmark"), o.flag("random")) {
+        (Some(name), None) => {
+            let bench = table3_suite()
+                .into_iter()
+                .find(|b| b.row.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown benchmark `{name}`; names: {}",
+                        table3_suite()
+                            .iter()
+                            .map(|b| b.row.name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?;
+            bench.pcn(seed)?
+        }
+        (None, Some(spec)) => {
+            let (clusters, degree) = spec.split_once(',').ok_or_else(|| {
+                CliError::usage("expected `--random <clusters>,<avg-degree>`")
+            })?;
+            let clusters: u32 = clusters
+                .trim()
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad cluster count `{clusters}`")))?;
+            let degree: f64 = degree
+                .trim()
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad average degree `{degree}`")))?;
+            random_pcn(clusters, degree, seed)?
+        }
+        _ => return Err(CliError::usage("need exactly one of `--benchmark` or `--random`")),
+    };
+    write_pcn(out, &pcn)?;
+    Ok(format!(
+        "wrote {} ({} clusters, {} connections)\n",
+        out.display(),
+        pcn.num_clusters(),
+        pcn.num_connections()
+    ))
+}
+
+/// `snnmap info`: summarize a PCN file.
+pub fn info(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(args, &[])?;
+    let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "clusters:       {}", pcn.num_clusters());
+    let _ = writeln!(out, "connections:    {}", pcn.num_connections());
+    let _ = writeln!(out, "total neurons:  {}", pcn.total_neurons());
+    let _ = writeln!(out, "total synapses: {}", pcn.total_synapses());
+    let _ = writeln!(out, "total traffic:  {:.3}", pcn.total_traffic());
+    let max_deg = (0..pcn.num_clusters()).map(|c| pcn.degree(c)).max().unwrap_or(0);
+    let _ = writeln!(out, "max degree:     {max_deg}");
+    let mesh = Mesh::square_for(pcn.num_clusters() as u64)
+        .map_err(|e| CliError::usage(e.to_string()))?;
+    let _ = writeln!(out, "minimal mesh:   {mesh}");
+    Ok(out)
+}
+
+fn parse_mesh(spec: &str) -> Result<Mesh, CliError> {
+    let (r, c) = spec
+        .split_once(['x', 'X'])
+        .ok_or_else(|| CliError::usage(format!("expected `--mesh <RxC>`, got `{spec}`")))?;
+    let rows: u16 =
+        r.parse().map_err(|_| CliError::usage(format!("bad mesh rows `{r}`")))?;
+    let cols: u16 =
+        c.parse().map_err(|_| CliError::usage(format!("bad mesh cols `{c}`")))?;
+    Mesh::new(rows, cols).map_err(|e| CliError::usage(e.to_string()))
+}
+
+/// `snnmap map`: place a PCN onto a mesh.
+pub fn map(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(
+        args,
+        &["out", "method", "mesh", "init", "potential", "lambda", "budget-secs", "seed"],
+    )?;
+    let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
+    let out = Path::new(o.required("out")?);
+    let seed: u64 = o.parsed_or("seed", 42)?;
+    let mesh = match o.flag("mesh") {
+        Some(spec) => parse_mesh(spec)?,
+        None => Mesh::square_for(pcn.num_clusters() as u64)
+            .map_err(|e| CliError::usage(e.to_string()))?,
+    };
+    let budget_secs: u64 = o.parsed_or("budget-secs", 0)?;
+    let budget = (budget_secs > 0).then(|| Duration::from_secs(budget_secs));
+
+    let method = o.flag("method").unwrap_or("proposed");
+    let (placement, detail) = match method {
+        "proposed" => {
+            let init = match o.flag("init").unwrap_or("hilbert") {
+                "hilbert" => InitialPlacement::Hilbert,
+                "zigzag" => InitialPlacement::ZigZag,
+                "circle" => InitialPlacement::Circle,
+                "serpentine" => InitialPlacement::Serpentine,
+                "random" => InitialPlacement::Random(seed),
+                other => return Err(CliError::usage(format!("unknown init `{other}`"))),
+            };
+            let potential = match o.flag("potential").unwrap_or("l2sq") {
+                "l1" => Potential::L1,
+                "l1sq" => Potential::L1Squared,
+                "l2sq" => Potential::L2Squared,
+                "energy" => Potential::energy_model(CostModel::paper_target()),
+                other => return Err(CliError::usage(format!("unknown potential `{other}`"))),
+            };
+            let lambda: f64 = o.parsed_or("lambda", 0.3)?;
+            if !(lambda > 0.0 && lambda <= 1.0) {
+                return Err(CliError::usage("lambda must be in (0, 1]"));
+            }
+            let mut builder =
+                Mapper::builder().initial_placement(init).potential(potential).lambda(lambda);
+            if let Some(b) = budget {
+                builder = builder.time_budget(b);
+            }
+            let outcome = builder.build().map(&pcn, mesh)?;
+            let detail = match outcome.fd_stats {
+                Some(s) => format!(
+                    "FD: {} iterations, {} swaps, energy {:.4e} -> {:.4e}{}",
+                    s.iterations,
+                    s.swaps,
+                    s.initial_energy,
+                    s.final_energy,
+                    if s.converged { "" } else { " (early stop)" }
+                ),
+                None => "no FD".to_string(),
+            };
+            (outcome.placement, detail)
+        }
+        baseline => {
+            let mapper: Box<dyn BaselineMapper> = match baseline {
+                "random" => Box::new(RandomMapper::new(seed)),
+                "truenorth" => Box::new(TrueNorthMapper::new()),
+                "dfsynthesizer" => Box::new(DfSynthesizerMapper::new(seed)),
+                "pso" => Box::new(PsoMapper::new(seed)),
+                other => return Err(CliError::usage(format!("unknown method `{other}`"))),
+            };
+            let b = match budget {
+                Some(d) => Budget::limited(d),
+                None => Budget::unlimited(),
+            };
+            let outcome = mapper.map(&pcn, mesh, b)?;
+            let detail = format!(
+                "{}: {} iterations{}",
+                mapper.name(),
+                outcome.iterations,
+                if outcome.early_stopped { " (early stop)" } else { "" }
+            );
+            (outcome.placement, detail)
+        }
+    };
+
+    write_placement(out, &placement)?;
+    Ok(format!(
+        "placed {} clusters on {mesh} -> {}\n{detail}\n",
+        placement.placed_count(),
+        out.display()
+    ))
+}
+
+fn load_pair(o: &Opts) -> Result<(Pcn, Placement), CliError> {
+    if o.num_positional() > 2 {
+        return Err(CliError::usage("expected exactly <file.pcn> <placement.json>"));
+    }
+    let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
+    let placement = read_placement(Path::new(o.positional(1, "placement.json")?))?;
+    Ok((pcn, placement))
+}
+
+/// `snnmap eval`: compute the §3.3 metrics of a placement.
+pub fn eval(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(args, &["sample", "seed"])?;
+    let (pcn, placement) = load_pair(&o)?;
+    let sample: u64 = o.parsed_or("sample", 200_000)?;
+    let seed: u64 = o.parsed_or("seed", 42)?;
+    let report = evaluate_with(
+        &pcn,
+        &placement,
+        CostModel::paper_target(),
+        EvalOptions { congestion_sample: Some((sample, seed)) },
+    )?;
+    let mut out = String::new();
+    let _ = writeln!(out, "energy (M_ec):           {:.6e}", report.energy);
+    let _ = writeln!(out, "avg latency (M_al):      {:.4}", report.avg_latency);
+    let _ = writeln!(out, "max latency (M_ml):      {:.4}", report.max_latency);
+    let _ = writeln!(out, "avg congestion (M_ac):   {:.4e}", report.avg_congestion);
+    let _ = writeln!(out, "max congestion (M_mc):   {:.4e}", report.max_congestion);
+    if report.congestion_coverage < 1.0 {
+        let _ = writeln!(
+            out,
+            "congestion coverage:     {:.1}% of traffic sampled",
+            report.congestion_coverage * 100.0
+        );
+    }
+    // Traffic-by-hop-distance distribution, as cumulative percentiles.
+    let hist = hop_histogram(&pcn, &placement)?;
+    let total: f64 = hist.iter().sum();
+    if total > 0.0 {
+        let mut acc = 0.0;
+        let mut marks = vec![];
+        for (d, w) in hist.iter().enumerate() {
+            acc += w;
+            for pct in [50.0, 90.0, 99.0] {
+                if acc >= total * pct / 100.0 && !marks.iter().any(|&(p, _)| p == pct as u32) {
+                    marks.push((pct as u32, d));
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "traffic within hops:     {}",
+            marks
+                .iter()
+                .map(|(p, d)| format!("p{p} <= {d}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    Ok(out)
+}
+
+/// `snnmap viz`: ASCII congestion heatmap of a placement.
+pub fn viz(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(args, &["width"])?;
+    let (pcn, placement) = load_pair(&o)?;
+    let width: usize = o.parsed_or("width", 64)?;
+    viz::congestion_heatmap(&pcn, &placement, width)
+}

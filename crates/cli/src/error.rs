@@ -1,0 +1,88 @@
+//! CLI error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced to the `snnmap` user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad arguments; the message explains what was expected.
+    Usage(String),
+    /// A file failed to read/parse/write.
+    Io(snnmap_io::IoError),
+    /// Mapping failed (mesh too small, …).
+    Map(snnmap_core::CoreError),
+    /// Metric evaluation failed (unplaced clusters, …).
+    Eval(snnmap_hw::HwError),
+    /// Workload generation failed.
+    Model(snnmap_model::ModelError),
+}
+
+impl CliError {
+    pub(crate) fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Map(e) => write!(f, "{e}"),
+            CliError::Eval(e) => write!(f, "{e}"),
+            CliError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::Map(e) => Some(e),
+            CliError::Eval(e) => Some(e),
+            CliError::Model(e) => Some(e),
+            CliError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<snnmap_io::IoError> for CliError {
+    fn from(e: snnmap_io::IoError) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<snnmap_core::CoreError> for CliError {
+    fn from(e: snnmap_core::CoreError) -> Self {
+        CliError::Map(e)
+    }
+}
+
+impl From<snnmap_hw::HwError> for CliError {
+    fn from(e: snnmap_hw::HwError) -> Self {
+        CliError::Eval(e)
+    }
+}
+
+impl From<snnmap_model::ModelError> for CliError {
+    fn from(e: snnmap_model::ModelError) -> Self {
+        CliError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CliError::usage("bad flag");
+        assert_eq!(e.to_string(), "bad flag");
+        assert!(e.source().is_none());
+        let e = CliError::from(snnmap_io::IoError::Invalid { message: "x".into() });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! The `snnmap` command-line tool: generate, map, evaluate, and
+//! visualize SNN cluster-network placements.
+//!
+//! Subcommands:
+//!
+//! * `gen` — write a benchmark or random PCN to a `.pcn` file,
+//! * `info` — summarize a PCN file,
+//! * `map` — place a PCN onto a mesh with any implemented method,
+//! * `eval` — compute the five §3.3 quality metrics of a placement,
+//! * `viz` — render a placement's congestion map as an ASCII heatmap.
+//!
+//! The library surface is a single [`run`] function over string
+//! arguments (what `main` calls), which keeps every code path unit
+//! testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod commands;
+mod error;
+mod opts;
+mod viz;
+
+pub use error::CliError;
+
+/// Usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage: snnmap <command> [options]
+
+commands:
+  gen   --benchmark <table3-name> | --random <clusters>,<avg-degree>
+        [--seed N] --out <file.pcn>
+  info  <file.pcn>
+  map   <file.pcn> --out <placement.json>
+        [--method proposed|random|truenorth|dfsynthesizer|pso]
+        [--mesh <RxC>] [--init hilbert|zigzag|circle|serpentine|random]
+        [--potential l1|l1sq|l2sq|energy] [--lambda F]
+        [--budget-secs N] [--seed N]
+  eval  <file.pcn> <placement.json> [--sample N]
+  viz   <file.pcn> <placement.json> [--width N]
+
+run `snnmap <command>` with missing arguments for details.";
+
+/// Executes a full CLI invocation, returning the text to print.
+///
+/// # Errors
+///
+/// [`CliError`] for unknown commands, malformed options, I/O failures,
+/// and any mapping/evaluation error.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = args.split_first().ok_or(CliError::usage("missing command"))?;
+    match cmd.as_str() {
+        "gen" => commands::gen(rest),
+        "info" => commands::info(rest),
+        "map" => commands::map(rest),
+        "eval" => commands::eval(rest),
+        "viz" => commands::viz(rest),
+        "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
+        other => Err(CliError::usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&sv(&["help"])).unwrap().contains("usage"));
+        assert!(run(&sv(&[])).is_err());
+        assert!(run(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_map_eval_viz() {
+        let dir = std::env::temp_dir().join("snnmap_cli_e2e");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let placement = dir.join("p.json");
+        let pcn_s = pcn.to_str().unwrap();
+        let placement_s = placement.to_str().unwrap();
+
+        let out = run(&sv(&["gen", "--random", "40,3", "--seed", "5", "--out", pcn_s]))
+            .unwrap();
+        assert!(out.contains("40 clusters"), "{out}");
+
+        let out = run(&sv(&["info", pcn_s])).unwrap();
+        assert!(out.contains("clusters"), "{out}");
+
+        let out = run(&sv(&["map", pcn_s, "--out", placement_s])).unwrap();
+        assert!(out.contains("placed"), "{out}");
+
+        let out = run(&sv(&["eval", pcn_s, placement_s])).unwrap();
+        assert!(out.contains("energy"), "{out}");
+
+        let out = run(&sv(&["viz", pcn_s, placement_s])).unwrap();
+        assert!(out.contains("congestion"), "{out}");
+    }
+
+    #[test]
+    fn gen_benchmark_by_name() {
+        let dir = std::env::temp_dir().join("snnmap_cli_bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("lenet.pcn");
+        let out = run(&sv(&[
+            "gen",
+            "--benchmark",
+            "LeNet-MNIST",
+            "--out",
+            pcn.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("9 clusters"), "{out}");
+    }
+
+    #[test]
+    fn map_with_explicit_method_and_mesh() {
+        let dir = std::env::temp_dir().join("snnmap_cli_map");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let placement = dir.join("p.json");
+        run(&sv(&["gen", "--random", "16,3", "--out", pcn.to_str().unwrap()])).unwrap();
+        for method in ["random", "truenorth", "dfsynthesizer", "pso", "proposed"] {
+            let out = run(&sv(&[
+                "map",
+                pcn.to_str().unwrap(),
+                "--out",
+                placement.to_str().unwrap(),
+                "--method",
+                method,
+                "--mesh",
+                "5x5",
+                "--budget-secs",
+                "5",
+            ]))
+            .unwrap();
+            assert!(out.contains("placed"), "{method}: {out}");
+        }
+    }
+}

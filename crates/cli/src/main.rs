@@ -1,0 +1,13 @@
+//! `snnmap` — map SNN cluster networks onto neuromorphic meshes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match snnmap_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", snnmap_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! ASCII visualization of congestion maps.
+
+use std::fmt::Write as _;
+
+use snnmap_hw::Placement;
+use snnmap_metrics::congestion_map;
+use snnmap_model::Pcn;
+
+use crate::CliError;
+
+/// Brightness ramp from idle to hottest router.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders the per-router expected congestion (eq. 13) of a placement as
+/// an ASCII heatmap. Meshes wider than `max_width` columns are
+/// downsampled by averaging blocks so the picture fits a terminal.
+pub fn congestion_heatmap(
+    pcn: &Pcn,
+    placement: &Placement,
+    max_width: usize,
+) -> Result<String, CliError> {
+    let mesh = placement.mesh();
+    let acc = congestion_map(pcn, placement)?;
+    let map = acc.map();
+    let max = map.iter().copied().fold(0.0f64, f64::max);
+
+    let cols = mesh.cols() as usize;
+    let rows = mesh.rows() as usize;
+    // Block size so the downsampled width fits.
+    let block = cols.div_ceil(max_width.max(1)).max(1);
+    let out_cols = cols.div_ceil(block);
+    let out_rows = rows.div_ceil(block);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "congestion heatmap ({mesh}, hottest router {:.4e}{})",
+        max,
+        if block > 1 { format!(", {block}x{block} cells per character") } else { String::new() }
+    );
+    for br in 0..out_rows {
+        for bc in 0..out_cols {
+            let mut sum = 0.0;
+            let mut count = 0u32;
+            for r in br * block..((br + 1) * block).min(rows) {
+                for c in bc * block..((bc + 1) * block).min(cols) {
+                    sum += map[r * cols + c];
+                    count += 1;
+                }
+            }
+            let v = if count > 0 { sum / count as f64 } else { 0.0 };
+            let idx = if max > 0.0 {
+                (((v / max) * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1)
+            } else {
+                0
+            };
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "scale: ' ' = idle .. '@' = hottest");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::{Coord, Mesh};
+    use snnmap_model::PcnBuilder;
+
+    fn setup() -> (Pcn, Placement) {
+        let mut b = PcnBuilder::new();
+        b.add_cluster(1, 1);
+        b.add_cluster(1, 1);
+        b.add_edge(0, 1, 5.0).unwrap();
+        let pcn = b.build().unwrap();
+        let mesh = Mesh::new(4, 4).unwrap();
+        let p =
+            Placement::from_coords(mesh, &[Coord::new(0, 0), Coord::new(0, 3)]).unwrap();
+        (pcn, p)
+    }
+
+    #[test]
+    fn renders_hot_route() {
+        let (pcn, p) = setup();
+        let art = congestion_heatmap(&pcn, &p, 80).unwrap();
+        let lines: Vec<&str> = art.lines().collect();
+        // Header + 4 mesh rows + scale line.
+        assert_eq!(lines.len(), 6);
+        // The first mesh row carries all the traffic.
+        assert_eq!(lines[1], "@@@@");
+        assert_eq!(lines[2], "    ");
+    }
+
+    #[test]
+    fn downsamples_wide_meshes() {
+        let (pcn, _) = setup();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let p =
+            Placement::from_coords(mesh, &[Coord::new(0, 0), Coord::new(0, 7)]).unwrap();
+        let art = congestion_heatmap(&pcn, &p, 4).unwrap();
+        let row = art.lines().nth(1).unwrap();
+        assert_eq!(row.len(), 4, "{art}");
+        assert!(art.contains("2x2 cells"));
+    }
+
+    #[test]
+    fn empty_traffic_is_all_idle() {
+        let mut b = PcnBuilder::new();
+        b.add_cluster(1, 1);
+        let pcn = b.build().unwrap();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let p = Placement::from_coords(mesh, &[Coord::new(0, 0)]).unwrap();
+        let art = congestion_heatmap(&pcn, &p, 80).unwrap();
+        assert!(art.lines().nth(1).unwrap().chars().all(|c| c == ' '));
+    }
+}

@@ -1,0 +1,29 @@
+use std::time::Instant;
+
+use snnmap_hw::CoreConstraints;
+use snnmap_model::generators::{table3_suite};
+use snnmap_model::PartitionPolicy;
+
+fn main() {
+    for b in table3_suite() {
+        if b.row.name.starts_with("DNN_4B") || b.row.name.starts_with("DNN_268M") || b.row.name.starts_with("CNN_268M") {
+            continue; // big ones later
+        }
+        let t = Instant::now();
+        let g = b.layer_graph(0);
+        let pcn = g
+            .partition_analytic(CoreConstraints::new(4096, u64::MAX), PartitionPolicy::table3())
+            .unwrap();
+        println!(
+            "{:<16} clusters {:>8} (paper {:>8})  conns {:>9} (paper {:>9})  neurons {:>12}  syn {:>15}  [{:?}]",
+            b.row.name,
+            pcn.num_clusters(),
+            b.row.clusters,
+            pcn.num_connections(),
+            b.row.connections,
+            g.num_neurons(),
+            g.num_synapses(),
+            t.elapsed()
+        );
+    }
+}

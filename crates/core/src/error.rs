@@ -1,0 +1,85 @@
+//! Error type for the mapping pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use snnmap_curves::CurveError;
+use snnmap_hw::HwError;
+
+/// Errors produced by the placement pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The mesh has fewer cores than the PCN has clusters.
+    MeshTooSmall {
+        /// Clusters to place.
+        clusters: u32,
+        /// Cores available.
+        cores: usize,
+    },
+    /// An operation required a complete placement but some clusters are
+    /// unplaced.
+    IncompletePlacement {
+        /// Clusters placed.
+        placed: u32,
+        /// Total clusters.
+        total: u32,
+    },
+    /// A hardware-layer error (out-of-bounds placement, occupancy
+    /// violation, …).
+    Hw(HwError),
+    /// A space-filling-curve error (e.g. Hilbert on a non-2^k mesh).
+    Curve(CurveError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MeshTooSmall { clusters, cores } => {
+                write!(f, "{clusters} clusters cannot be placed on {cores} cores")
+            }
+            CoreError::IncompletePlacement { placed, total } => {
+                write!(f, "placement covers {placed} of {total} clusters")
+            }
+            CoreError::Hw(e) => write!(f, "hardware error: {e}"),
+            CoreError::Curve(e) => write!(f, "curve error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Hw(e) => Some(e),
+            CoreError::Curve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HwError> for CoreError {
+    fn from(e: HwError) -> Self {
+        CoreError::Hw(e)
+    }
+}
+
+impl From<CurveError> for CoreError {
+    fn from(e: CurveError) -> Self {
+        CoreError::Curve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::Coord;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::MeshTooSmall { clusters: 10, cores: 9 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+        let e = CoreError::from(HwError::OutOfBounds { coord: Coord::new(1, 1) });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,712 @@
+//! The Force-Directed engine (Algorithm 3).
+
+use std::time::{Duration, Instant};
+
+use snnmap_hw::{Coord, Mesh, Placement};
+use snnmap_model::Pcn;
+
+use crate::{CoreError, Potential};
+
+/// How the tension of a connected adjacent pair is computed.
+///
+/// A swap of adjacent clusters preserves the distance of any edge
+/// *between* them, but each cluster's directed force counts that mutual
+/// edge as if the other endpoint stayed put — so summing the two forces
+/// (eq. 30 as written) double-counts it. [`TensionMode::Exact`] corrects
+/// the sum so tension equals the exact system-energy delta of the swap,
+/// preserving the monotone-descent convergence argument (eq. 31).
+/// [`TensionMode::PaperNaive`] keeps the uncorrected sum for ablation:
+/// it can claim positive tension on swaps that actually increase energy,
+/// so runs in this mode are automatically iteration-capped (oscillation
+/// is otherwise possible on heavily connected neighbours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TensionMode {
+    /// Correct the mutual-edge double count (the default; used for all
+    /// headline results).
+    #[default]
+    Exact,
+    /// Algorithm 3's literal `Force + Force` sum, for ablation.
+    PaperNaive,
+}
+
+/// Tensions at or below this threshold are treated as zero: swaps must
+/// strictly reduce the system energy (eq. 31) for the monotone-descent
+/// convergence argument to survive floating-point noise.
+const TENSION_EPS: f64 = 1e-9;
+
+/// Configuration of the Force-Directed algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::{FdConfig, Potential};
+///
+/// let cfg = FdConfig { potential: Potential::L1, ..FdConfig::default() };
+/// assert_eq!(cfg.lambda, 0.3); // the paper's practical value (§4.5)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdConfig {
+    /// Potential field shape (§4.4.2).
+    pub potential: Potential,
+    /// Fraction of the sorted queue swapped per iteration (§4.5 fixes
+    /// 30% as the practical speed/quality balance).
+    pub lambda: f64,
+    /// Optional hard cap on iterations (the algorithm otherwise runs to
+    /// convergence, which eq. 31 guarantees is finite).
+    pub max_iterations: Option<u64>,
+    /// Optional wall-clock budget; the algorithm stops at the end of the
+    /// iteration during which the budget expires.
+    pub time_budget: Option<Duration>,
+    /// Tension bookkeeping: exact swap delta vs the paper's naive force
+    /// sum (ablation).
+    pub tension_mode: TensionMode,
+}
+
+impl Default for FdConfig {
+    fn default() -> Self {
+        Self {
+            potential: Potential::default(),
+            lambda: 0.3,
+            max_iterations: None,
+            time_budget: None,
+            tension_mode: TensionMode::Exact,
+        }
+    }
+}
+
+/// Outcome statistics of one Force-Directed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdStats {
+    /// Sweeps of the positive-tension queue performed.
+    pub iterations: u64,
+    /// Pair swaps applied.
+    pub swaps: u64,
+    /// System potential energy of the input placement (eq. 23).
+    pub initial_energy: f64,
+    /// System potential energy at termination.
+    pub final_energy: f64,
+    /// `true` if the queue emptied (full convergence); `false` if an
+    /// iteration or time cap fired first.
+    pub converged: bool,
+}
+
+/// Direction encoding shared with the paper: `UP, DOWN, LEFT, RIGHT`.
+const DIRS: [(i32, i32); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+const DOWN: usize = 1;
+const RIGHT: usize = 3;
+
+#[inline]
+fn opposite(d: usize) -> usize {
+    match d {
+        0 => 1,
+        1 => 0,
+        2 => 3,
+        _ => 2,
+    }
+}
+
+/// Runs the Force-Directed algorithm (Algorithm 3) on a complete
+/// placement, refining it in place.
+///
+/// Clusters are particles; each connection pulls its endpoints together
+/// with a strength given by the potential field and the connection's
+/// traffic weight. Adjacent core pairs whose occupants would lower the
+/// system energy when exchanged carry *positive tension*; every
+/// iteration swaps the top-λ fraction of the positive-tension queue
+/// (re-checking each pair just before its swap, §4.5 design choice 1),
+/// then rebuilds tensions only around affected clusters (design
+/// choice 3). Iteration continues until no positive tension remains.
+///
+/// Pairs with one empty core are supported (the swap is a move), which
+/// handles the paper's non-full systems.
+///
+/// # Errors
+///
+/// [`CoreError::IncompletePlacement`] if any cluster is unplaced.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::{force_directed, random_placement, FdConfig};
+/// use snnmap_hw::Mesh;
+/// use snnmap_model::generators::random_pcn;
+///
+/// let pcn = random_pcn(64, 4.0, 2)?;
+/// let mesh = Mesh::new(8, 8)?;
+/// let mut placement = random_placement(&pcn, mesh, 0)?;
+/// let stats = force_directed(&pcn, &mut placement, &FdConfig::default())?;
+/// assert!(stats.final_energy <= stats.initial_energy);
+/// assert!(stats.converged);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn force_directed(
+    pcn: &Pcn,
+    placement: &mut Placement,
+    config: &FdConfig,
+) -> Result<FdStats, CoreError> {
+    if !placement.is_complete() {
+        return Err(CoreError::IncompletePlacement {
+            placed: placement.placed_count(),
+            total: placement.len(),
+        });
+    }
+    assert!(
+        config.lambda > 0.0 && config.lambda <= 1.0,
+        "lambda must be in (0, 1], got {}",
+        config.lambda
+    );
+    let mut engine = Engine::new(pcn, placement, config.potential, config.tension_mode);
+    let initial_energy = engine.system_energy();
+    let start = Instant::now();
+    // Naive tension can oscillate (it may accept energy-increasing
+    // swaps), so cap its iterations unless the caller already did.
+    let max_iterations = match (config.tension_mode, config.max_iterations) {
+        (TensionMode::PaperNaive, None) => Some(1_000),
+        (_, cap) => cap,
+    };
+
+    // Build the initial positive-tension queue over all adjacent pairs.
+    let mut queue: Vec<(f64, u64)> = Vec::new();
+    for p in 0..engine.mesh.len() {
+        for d in [DOWN, RIGHT] {
+            if let Some(key) = engine.pair_key(p, d) {
+                let t = engine.tension(key);
+                if t > TENSION_EPS {
+                    queue.push((t, key));
+                }
+            }
+        }
+    }
+    sort_queue(&mut queue);
+
+    let mut iterations = 0u64;
+    let mut swaps = 0u64;
+    let mut converged = true;
+    while !queue.is_empty() {
+        if let Some(cap) = max_iterations {
+            if iterations >= cap {
+                converged = false;
+                break;
+            }
+        }
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() >= budget {
+                converged = false;
+                break;
+            }
+        }
+        iterations += 1;
+
+        let take = ((config.lambda * queue.len() as f64).ceil() as usize).clamp(1, queue.len());
+        let mut affected: Vec<u32> = Vec::new();
+        for &(_, key) in queue.iter().take(take) {
+            // Check before the swap: earlier swaps this iteration may have
+            // flipped this pair's tension (§4.5 design choice 1).
+            let t = engine.tension(key);
+            if t <= TENSION_EPS {
+                continue;
+            }
+            engine.swap(key, &mut affected);
+            swaps += 1;
+        }
+
+        // Build the next queue: all current pairs plus every pair touching
+        // an affected cluster's position.
+        let mut keys: Vec<u64> = queue.iter().map(|&(_, k)| k).collect();
+        affected.sort_unstable();
+        affected.dedup();
+        for &c in &affected {
+            let p = engine.pos_index(c);
+            for d in 0..4 {
+                if let Some(key) = engine.pair_key_any(p, d) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        queue.clear();
+        for key in keys {
+            let t = engine.tension(key);
+            if t > TENSION_EPS {
+                queue.push((t, key));
+            }
+        }
+        sort_queue(&mut queue);
+    }
+
+    let final_energy = engine.system_energy();
+    Ok(FdStats { iterations, swaps, initial_energy, final_energy, converged })
+}
+
+fn sort_queue(queue: &mut [(f64, u64)]) {
+    // Highest tension first; key as deterministic tie-breaker.
+    queue.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0).expect("tensions are finite").then(a.1.cmp(&b.1))
+    });
+}
+
+/// The mutable state of one FD run: the placement's grids plus the
+/// per-position force arrays of eq. 27, maintained incrementally.
+struct Engine<'a> {
+    pcn: &'a Pcn,
+    placement: &'a mut Placement,
+    mesh: Mesh,
+    potential: Potential,
+    tension_mode: TensionMode,
+    unit_step: f64,
+    /// `force[p][d]`: energy reduction from moving the cluster at
+    /// position `p` one step in direction `d` (0 for empty positions).
+    force: Vec<[f64; 4]>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        pcn: &'a Pcn,
+        placement: &'a mut Placement,
+        potential: Potential,
+        tension_mode: TensionMode,
+    ) -> Self {
+        let mesh = placement.mesh();
+        let mut engine = Self {
+            pcn,
+            placement,
+            mesh,
+            potential,
+            tension_mode,
+            unit_step: potential.unit_step(),
+            force: vec![[0.0; 4]; mesh.len()],
+        };
+        for p in 0..mesh.len() {
+            engine.rebuild_force(p);
+        }
+        engine
+    }
+
+    #[inline]
+    fn coord(&self, p: usize) -> Coord {
+        self.mesh.coord_of_index(p)
+    }
+
+    #[inline]
+    fn pos_index(&self, cluster: u32) -> usize {
+        self.mesh.index_of(self.placement.coord_of(cluster).expect("complete placement"))
+    }
+
+    /// Neighbour position of `p` in direction `d`, if inside the mesh.
+    #[inline]
+    fn step(&self, p: usize, d: usize) -> Option<usize> {
+        let c = self.coord(p);
+        let (dx, dy) = DIRS[d];
+        let x = c.x as i32 + dx;
+        let y = c.y as i32 + dy;
+        if x < 0 || y < 0 || x >= self.mesh.rows() as i32 || y >= self.mesh.cols() as i32 {
+            return None;
+        }
+        Some(self.mesh.index_of(Coord::new(x as u16, y as u16)))
+    }
+
+    /// Canonical key of the adjacent pair `(p, step(p, d))`, encoding the
+    /// smaller position and its DOWN/RIGHT direction. `None` when the
+    /// step leaves the mesh.
+    #[inline]
+    fn pair_key(&self, p: usize, d: usize) -> Option<u64> {
+        debug_assert!(d == DOWN || d == RIGHT);
+        self.step(p, d)?;
+        Some((p as u64) << 1 | u64::from(d == RIGHT))
+    }
+
+    /// Canonical pair key for any direction (normalizing UP/LEFT to the
+    /// neighbour's DOWN/RIGHT).
+    #[inline]
+    fn pair_key_any(&self, p: usize, d: usize) -> Option<u64> {
+        let q = self.step(p, d)?;
+        match d {
+            DOWN | RIGHT => self.pair_key(p, d),
+            0 => self.pair_key(q, DOWN),
+            _ => self.pair_key(q, RIGHT),
+        }
+    }
+
+    #[inline]
+    fn decode(&self, key: u64) -> (usize, usize) {
+        let p = (key >> 1) as usize;
+        let d = if key & 1 == 1 { RIGHT } else { DOWN };
+        (p, d)
+    }
+
+    /// Potential between two absolute positions.
+    #[inline]
+    fn u(&self, a: Coord, b: Coord) -> f64 {
+        self.potential.value(a.x as i32 - b.x as i32, a.y as i32 - b.y as i32)
+    }
+
+    /// System total potential energy (eq. 23).
+    fn system_energy(&self) -> f64 {
+        let mut es = 0.0;
+        for c in 0..self.pcn.num_clusters() {
+            let pc = self.placement.coord_of(c).expect("complete placement");
+            for (t, w) in self.pcn.out_edges(c) {
+                let pt = self.placement.coord_of(t).expect("complete placement");
+                es += w as f64 * self.u(pc, pt);
+            }
+        }
+        es
+    }
+
+    /// Rebuilds the four directed forces of the cluster at position `p`
+    /// (eq. 27), or zeroes them if `p` is empty.
+    fn rebuild_force(&mut self, p: usize) {
+        let mut f = [0.0f64; 4];
+        if let Some(c) = self.placement.cluster_at(self.coord(p)) {
+            let here = self.coord(p);
+            for (d, slot) in f.iter_mut().enumerate() {
+                let Some(q) = self.step(p, d) else { continue };
+                let there = self.coord(q);
+                let mut sum = 0.0;
+                for (t, w) in self.pcn.out_edges(c) {
+                    let pt = self.placement.coord_of(t).expect("complete placement");
+                    sum += w as f64 * (self.u(pt, here) - self.u(pt, there));
+                }
+                for (s, w) in self.pcn.in_edges(c) {
+                    let ps = self.placement.coord_of(s).expect("complete placement");
+                    sum += w as f64 * (self.u(ps, here) - self.u(ps, there));
+                }
+                *slot = sum;
+            }
+        }
+        self.force[p] = f;
+    }
+
+    /// Total traffic on the (up to two) directed connections between two
+    /// clusters.
+    #[inline]
+    fn mutual_weight(&self, a: u32, b: u32) -> f64 {
+        self.pcn.edge_weight(a, b).unwrap_or(0.0) as f64
+            + self.pcn.edge_weight(b, a).unwrap_or(0.0) as f64
+    }
+
+    /// The tension of an adjacent pair (eq. 30): the exact system-energy
+    /// reduction its swap would produce. For a connected pair the naive
+    /// sum of the two forces double-counts the mutual edge (whose length
+    /// a swap preserves), so that term is corrected out.
+    fn tension(&self, key: u64) -> f64 {
+        let (p, d) = self.decode(key);
+        let q = self.step(p, d).expect("pair keys are in-mesh");
+        let cu = self.placement.cluster_at(self.coord(p));
+        let cv = self.placement.cluster_at(self.coord(q));
+        match (cu, cv) {
+            (None, None) => 0.0,
+            (Some(_), None) => self.force[p][d],
+            (None, Some(_)) => self.force[q][opposite(d)],
+            (Some(u), Some(v)) => {
+                let naive = self.force[p][d] + self.force[q][opposite(d)];
+                match self.tension_mode {
+                    TensionMode::Exact => {
+                        naive - 2.0 * self.mutual_weight(u, v) * self.unit_step
+                    }
+                    TensionMode::PaperNaive => naive,
+                }
+            }
+        }
+    }
+
+    /// Swaps the occupants of a pair and maintains the force arrays:
+    /// full rebuilds at the two positions, O(1)-per-edge patches at every
+    /// graph neighbour (Algorithm 3 lines 20–26). Appends moved and
+    /// affected clusters to `affected`.
+    fn swap(&mut self, key: u64, affected: &mut Vec<u32>) {
+        let (p, d) = self.decode(key);
+        let q = self.step(p, d).expect("pair keys are in-mesh");
+        let (pc, qc) = (self.coord(p), self.coord(q));
+        let cu = self.placement.cluster_at(pc);
+        let cv = self.placement.cluster_at(qc);
+        self.placement.swap_cores(pc, qc).expect("pair coords are in-mesh");
+
+        // Patch neighbours before rebuilding the pair's own forces (the
+        // patches only touch other positions).
+        if let Some(u) = cu {
+            self.patch_neighbors(u, pc, qc, cv, affected);
+            affected.push(u);
+        }
+        if let Some(v) = cv {
+            self.patch_neighbors(v, qc, pc, cu, affected);
+            affected.push(v);
+        }
+        self.rebuild_force(p);
+        self.rebuild_force(q);
+    }
+
+    /// After `moved` relocated `from → to`, adjust the force of each of
+    /// its graph neighbours by the per-edge delta (skipping `other`, the
+    /// second moved cluster, whose position gets a full rebuild).
+    fn patch_neighbors(
+        &mut self,
+        moved: u32,
+        from: Coord,
+        to: Coord,
+        other: Option<u32>,
+        affected: &mut Vec<u32>,
+    ) {
+        // Collect both edge directions; weights enter the force formula
+        // identically either way.
+        let neighbors: Vec<(u32, f64)> = self
+            .pcn
+            .out_edges(moved)
+            .map(|(t, w)| (t, w as f64))
+            .chain(self.pcn.in_edges(moved).map(|(s, w)| (s, w as f64)))
+            .collect();
+        for (k, w) in neighbors {
+            if k == moved || Some(k) == other {
+                continue;
+            }
+            let pk = self.placement.coord_of(k).expect("complete placement");
+            let pki = self.mesh.index_of(pk);
+            for d in 0..4 {
+                let Some(qi) = self.step(pki, d) else { continue };
+                let there = self.coord(qi);
+                // Force term of edge (k, moved) in direction d changed
+                // from the `from` position to the `to` position.
+                self.force[pki][d] += w
+                    * ((self.u(to, pk) - self.u(to, there))
+                        - (self.u(from, pk) - self.u(from, there)));
+            }
+            affected.push(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hsc_placement, random_placement};
+    use snnmap_hw::CostModel;
+    use snnmap_metrics::energy;
+    use snnmap_model::generators::random_pcn;
+    use snnmap_model::PcnBuilder;
+
+    fn small_pcn() -> Pcn {
+        random_pcn(64, 4.0, 42).unwrap()
+    }
+
+    #[test]
+    fn energy_never_increases_and_converges() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        for potential in [
+            Potential::L1,
+            Potential::L1Squared,
+            Potential::L2Squared,
+            Potential::energy_model(CostModel::paper_target()),
+        ] {
+            let mut p = random_placement(&pcn, mesh, 1).unwrap();
+            let cfg = FdConfig { potential, ..FdConfig::default() };
+            let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
+            assert!(stats.converged);
+            assert!(
+                stats.final_energy <= stats.initial_energy + 1e-9,
+                "{potential:?}: {} > {}",
+                stats.final_energy,
+                stats.initial_energy
+            );
+            p.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn tracked_energy_matches_recomputation() {
+        // The incremental force/tension bookkeeping must agree with a
+        // from-scratch energy computation at the end.
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut p = random_placement(&pcn, mesh, 3).unwrap();
+        let cfg = FdConfig::default();
+        let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
+        let mut scratch = p.clone();
+        let engine = Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact);
+        assert!((engine.system_energy() - stats.final_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq26_energy_model_potential_equals_mec() {
+        // eq. 26: with the energy-model potential, FD system energy is
+        // exactly the M_ec metric.
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cost = CostModel::paper_target();
+        let mut p = random_placement(&pcn, mesh, 5).unwrap();
+        let cfg = FdConfig { potential: Potential::energy_model(cost), ..FdConfig::default() };
+        let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
+        let mec = energy(&pcn, &p, cost).unwrap();
+        assert!(
+            (stats.final_energy - mec).abs() < 1e-6 * mec.max(1.0),
+            "{} vs {}",
+            stats.final_energy,
+            mec
+        );
+    }
+
+    #[test]
+    fn improves_random_placements() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cost = CostModel::paper_target();
+        let mut p = random_placement(&pcn, mesh, 7).unwrap();
+        let before = energy(&pcn, &p, cost).unwrap();
+        force_directed(
+            &pcn,
+            &mut p,
+            &FdConfig { potential: Potential::energy_model(cost), ..FdConfig::default() },
+        )
+        .unwrap();
+        let after = energy(&pcn, &p, cost).unwrap();
+        assert!(after < before, "FD should improve a random placement: {after} vs {before}");
+    }
+
+    #[test]
+    fn improves_hsc_placements_further() {
+        // §5.2 observation 2: FD on top of HSC improves the metrics
+        // further.
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cost = CostModel::paper_target();
+        let mut p = hsc_placement(&pcn, mesh).unwrap();
+        let before = energy(&pcn, &p, cost).unwrap();
+        force_directed(&pcn, &mut p, &FdConfig::default()).unwrap();
+        let after = energy(&pcn, &p, cost).unwrap();
+        assert!(after <= before);
+    }
+
+    #[test]
+    fn partial_occupancy_moves_into_empty_cores() {
+        // Two connected clusters placed at opposite corners of an
+        // otherwise empty mesh must be pulled together through empty
+        // cells.
+        let mut b = PcnBuilder::new();
+        b.add_cluster(1, 1);
+        b.add_cluster(1, 1);
+        b.add_edge(0, 1, 10.0).unwrap();
+        let pcn = b.build().unwrap();
+        let mesh = Mesh::new(5, 5).unwrap();
+        let mut p = Placement::new_unplaced(mesh, 2);
+        p.place(0, Coord::new(0, 0)).unwrap();
+        p.place(1, Coord::new(4, 4)).unwrap();
+        let stats = force_directed(&pcn, &mut p, &FdConfig::default()).unwrap();
+        assert!(stats.converged);
+        assert_eq!(p.distance(0, 1).unwrap(), 1, "clusters should end adjacent");
+    }
+
+    #[test]
+    fn incomplete_placement_errors() {
+        let pcn = small_pcn();
+        let mut p = Placement::new_unplaced(Mesh::new(8, 8).unwrap(), 64);
+        assert!(matches!(
+            force_directed(&pcn, &mut p, &FdConfig::default()),
+            Err(CoreError::IncompletePlacement { placed: 0, total: 64 })
+        ));
+    }
+
+    #[test]
+    fn iteration_cap_stops_early() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut p = random_placement(&pcn, mesh, 11).unwrap();
+        let stats = force_directed(
+            &pcn,
+            &mut p,
+            &FdConfig { max_iterations: Some(1), ..FdConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(stats.iterations, 1);
+    }
+
+    #[test]
+    fn converged_state_has_no_positive_tension() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut p = random_placement(&pcn, mesh, 13).unwrap();
+        force_directed(&pcn, &mut p, &FdConfig::default()).unwrap();
+        let mut scratch = p.clone();
+        let engine = Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact);
+        for pos in 0..mesh.len() {
+            for d in [DOWN, RIGHT] {
+                if let Some(key) = engine.pair_key(pos, d) {
+                    assert!(
+                        engine.tension(key) <= TENSION_EPS,
+                        "positive tension survived at pos {pos} dir {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut a = random_placement(&pcn, mesh, 17).unwrap();
+        let mut b = a.clone();
+        let sa = force_directed(&pcn, &mut a, &FdConfig::default()).unwrap();
+        let sb = force_directed(&pcn, &mut b, &FdConfig::default()).unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn naive_tension_mode_runs_and_reports_true_energy() {
+        // The ablation mode: tensions may overestimate, but final_energy
+        // is recomputed from scratch so the report stays truthful, and
+        // the automatic iteration cap bounds any oscillation.
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cost = CostModel::paper_target();
+        let mut p = random_placement(&pcn, mesh, 21).unwrap();
+        let cfg = FdConfig {
+            potential: Potential::energy_model(cost),
+            tension_mode: TensionMode::PaperNaive,
+            ..FdConfig::default()
+        };
+        let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
+        let mec = energy(&pcn, &p, cost).unwrap();
+        assert!((stats.final_energy - mec).abs() < 1e-6 * mec.max(1.0));
+        // Naive tension still improves a random start in practice.
+        assert!(stats.final_energy < stats.initial_energy);
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn exact_tension_never_loses_to_naive() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cost = CostModel::paper_target();
+        let run = |mode| {
+            let mut p = random_placement(&pcn, mesh, 23).unwrap();
+            let cfg = FdConfig {
+                potential: Potential::energy_model(cost),
+                tension_mode: mode,
+                ..FdConfig::default()
+            };
+            force_directed(&pcn, &mut p, &cfg).unwrap();
+            energy(&pcn, &p, cost).unwrap()
+        };
+        let exact = run(TensionMode::Exact);
+        let naive = run(TensionMode::PaperNaive);
+        assert!(exact <= naive * 1.05, "exact {exact} vs naive {naive}");
+    }
+
+    #[test]
+    fn lambda_extremes_still_converge() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        for lambda in [0.05, 1.0] {
+            let mut p = random_placement(&pcn, mesh, 19).unwrap();
+            let stats = force_directed(
+                &pcn,
+                &mut p,
+                &FdConfig { lambda, ..FdConfig::default() },
+            )
+            .unwrap();
+            assert!(stats.converged, "lambda={lambda}");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The Force-Directed placement-refinement algorithm (§4.4, Algorithm 3).
+
+mod engine;
+mod potential;
+
+pub use engine::{force_directed, FdConfig, FdStats, TensionMode};
+pub use potential::Potential;

@@ -1,0 +1,133 @@
+//! Potential-energy field shapes (§4.4.2, eqs. 19–21 and 25).
+
+use snnmap_hw::CostModel;
+
+/// The shape of the potential field a cluster generates (Figure 7).
+///
+/// Given the displacement `p = P(c_j) − P(c_i)` between two connected
+/// clusters, the pair's potential energy is `u(p) · w_P(e_ij)`; the FD
+/// algorithm minimizes the total over all connections. The choice of `u`
+/// trades solving speed against solution quality (§4.5):
+///
+/// * [`Potential::L1`] — `u_a(p) = |x| + |y|` (eq. 19): a uniform field;
+///   minimizing it minimizes total weighted wire length.
+/// * [`Potential::L1Squared`] — `u_b(p) = (|x| + |y|)²` (eq. 20): denser
+///   away from the origin, so long connections are pulled in first.
+/// * [`Potential::L2Squared`] — `u_c(p) = x² + y²` (eq. 21): the paper's
+///   best performer (method j in Figure 8).
+/// * [`Potential::EnergyModel`] — `u(p) = (‖p‖+1)·EN_r + ‖p‖·EN_w`
+///   (eq. 25): makes the FD system energy *equal* the `M_ec` metric
+///   (eq. 26).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::Potential;
+///
+/// assert_eq!(Potential::L1.value(2, -1), 3.0);
+/// assert_eq!(Potential::L1Squared.value(2, -1), 9.0);
+/// assert_eq!(Potential::L2Squared.value(2, -1), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Potential {
+    /// `u_a(p) = |x_p| + |y_p|` (eq. 19).
+    L1,
+    /// `u_b(p) = (|x_p| + |y_p|)²` (eq. 20).
+    L1Squared,
+    /// `u_c(p) = x_p² + y_p²` (eq. 21).
+    L2Squared,
+    /// `u(p) = (‖p‖₁ + 1)·EN_r + ‖p‖₁·EN_w` (eq. 25) — FD energy equals
+    /// the `M_ec` energy metric.
+    EnergyModel {
+        /// Router energy per spike.
+        en_r: f64,
+        /// Wire energy per spike per hop.
+        en_w: f64,
+    },
+}
+
+impl Potential {
+    /// The energy-model potential for a hardware cost model.
+    pub fn energy_model(cost: CostModel) -> Self {
+        Potential::EnergyModel { en_r: cost.en_r, en_w: cost.en_w }
+    }
+
+    /// Potential at displacement `(dx, dy)`.
+    ///
+    /// Symmetric in sign (`u(p) = u(−p)`) for every variant, which the
+    /// tension bookkeeping of the FD engine relies on.
+    #[inline]
+    pub fn value(&self, dx: i32, dy: i32) -> f64 {
+        let l1 = (dx.unsigned_abs() + dy.unsigned_abs()) as f64;
+        match *self {
+            Potential::L1 => l1,
+            Potential::L1Squared => l1 * l1,
+            Potential::L2Squared => (dx as f64) * (dx as f64) + (dy as f64) * (dy as f64),
+            Potential::EnergyModel { en_r, en_w } => (l1 + 1.0) * en_r + l1 * en_w,
+        }
+    }
+
+    /// `u(unit) − u(0)`: the constant the tension formula needs to
+    /// correct the double-counted mutual edge of a connected adjacent
+    /// pair (their distance is preserved by a swap).
+    #[inline]
+    pub(crate) fn unit_step(&self) -> f64 {
+        self.value(1, 0) - self.value(0, 0)
+    }
+}
+
+impl Default for Potential {
+    /// The paper's chosen configuration (method j): `u_c`.
+    fn default() -> Self {
+        Potential::L2Squared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_by_hand() {
+        assert_eq!(Potential::L1.value(3, 4), 7.0);
+        assert_eq!(Potential::L1Squared.value(3, 4), 49.0);
+        assert_eq!(Potential::L2Squared.value(3, 4), 25.0);
+        let e = Potential::EnergyModel { en_r: 1.0, en_w: 0.1 };
+        assert!((e.value(3, 4) - (8.0 + 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sign_symmetric() {
+        for p in [
+            Potential::L1,
+            Potential::L1Squared,
+            Potential::L2Squared,
+            Potential::EnergyModel { en_r: 1.0, en_w: 0.1 },
+        ] {
+            for (dx, dy) in [(2, 3), (0, 5), (7, 0), (1, 1)] {
+                assert_eq!(p.value(dx, dy), p.value(-dx, -dy));
+                assert_eq!(p.value(dx, dy), p.value(dx, -dy));
+                assert_eq!(p.value(dx, dy), p.value(-dx, dy));
+            }
+        }
+    }
+
+    #[test]
+    fn unit_step_values() {
+        assert_eq!(Potential::L1.unit_step(), 1.0);
+        assert_eq!(Potential::L1Squared.unit_step(), 1.0);
+        assert_eq!(Potential::L2Squared.unit_step(), 1.0);
+        let e = Potential::EnergyModel { en_r: 1.0, en_w: 0.1 };
+        assert!((e.unit_step() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_fields_penalize_distance_superlinearly() {
+        // The §4.4.2 design rationale: u_b and u_c grow faster than u_a,
+        // so distant pairs gain disproportionate energy.
+        let (near, far) = ((1, 1), (4, 4));
+        let ratio = |p: Potential| p.value(far.0, far.1) / p.value(near.0, near.1);
+        assert!(ratio(Potential::L1Squared) > ratio(Potential::L1));
+        assert!(ratio(Potential::L2Squared) > ratio(Potential::L1));
+    }
+}

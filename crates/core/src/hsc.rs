@@ -1,0 +1,202 @@
+//! Initial placement along space-filling curves (§4.2).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use snnmap_curves::{Gilbert, Hilbert, SpaceFillingCurve};
+use snnmap_hw::{Mesh, Placement};
+use snnmap_model::Pcn;
+
+use crate::{toposort, CoreError};
+
+/// Places a topologically sorted cluster sequence along a curve's
+/// traversal: the `i`-th cluster of `order` lands on the `i`-th mesh
+/// coordinate the curve visits (eq. 16–17).
+///
+/// When the PCN has fewer clusters than the mesh has cores, the tail of
+/// the traversal stays empty — matching the paper's non-full systems
+/// (e.g. 251 clusters on a 16×16 mesh).
+///
+/// # Errors
+///
+/// [`CoreError::MeshTooSmall`] if `order` outnumbers the cores;
+/// [`CoreError::Curve`] if the curve rejects the mesh.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::sequence_placement;
+/// use snnmap_curves::ZigZag;
+/// use snnmap_hw::{Coord, Mesh};
+///
+/// let order = vec![2, 0, 1];
+/// let p = sequence_placement(&order, &ZigZag, Mesh::new(2, 2)?)?;
+/// assert_eq!(p.coord_of(2), Some(Coord::new(0, 0)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn sequence_placement(
+    order: &[u32],
+    curve: &dyn SpaceFillingCurve,
+    mesh: Mesh,
+) -> Result<Placement, CoreError> {
+    if order.len() > mesh.len() {
+        return Err(CoreError::MeshTooSmall { clusters: order.len() as u32, cores: mesh.len() });
+    }
+    let traversal = curve.traversal(mesh)?;
+    let mut p = Placement::new_unplaced(mesh, order.len() as u32);
+    for (i, &c) in order.iter().enumerate() {
+        p.place(c, traversal[i])?;
+    }
+    Ok(p)
+}
+
+/// The paper's initial placement `P_init = Hilbert ∘ Seq` (§4.2.3):
+/// topologically sorts the PCN (Algorithm 2) and lays the sequence along
+/// a Hilbert curve.
+///
+/// On `2^k` square meshes the classic [`Hilbert`] curve is used; on any
+/// other rectangle the generalized [`Gilbert`] curve (Appendix A) takes
+/// over, exactly as the paper prescribes for arbitrary system sizes.
+///
+/// # Errors
+///
+/// [`CoreError::MeshTooSmall`] if the PCN outnumbers the cores.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::hsc_placement;
+/// use snnmap_hw::Mesh;
+/// use snnmap_model::generators::random_pcn;
+///
+/// let pcn = random_pcn(200, 4.0, 3)?;
+/// let p = hsc_placement(&pcn, Mesh::new(15, 15)?)?; // non-pow2 is fine
+/// assert!(p.is_complete());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn hsc_placement(pcn: &Pcn, mesh: Mesh) -> Result<Placement, CoreError> {
+    let order = toposort(pcn);
+    let pow2_square =
+        mesh.rows() == mesh.cols() && (mesh.rows() as u32).is_power_of_two();
+    if pow2_square {
+        sequence_placement(&order, &Hilbert, mesh)
+    } else {
+        sequence_placement(&order, &Gilbert, mesh)
+    }
+}
+
+/// The baseline: clusters shuffled uniformly over the cores (§5.1.3,
+/// "randomly mapping"). Deterministic per seed.
+///
+/// # Errors
+///
+/// [`CoreError::MeshTooSmall`] if the PCN outnumbers the cores.
+pub fn random_placement(pcn: &Pcn, mesh: Mesh, seed: u64) -> Result<Placement, CoreError> {
+    let n = pcn.num_clusters();
+    if n as usize > mesh.len() {
+        return Err(CoreError::MeshTooSmall { clusters: n, cores: mesh.len() });
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cores: Vec<usize> = (0..mesh.len()).collect();
+    cores.shuffle(&mut rng);
+    let mut p = Placement::new_unplaced(mesh, n);
+    for c in 0..n {
+        p.place(c, mesh.coord_of_index(cores[c as usize]))?;
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::CostModel;
+    use snnmap_metrics::energy;
+    use snnmap_model::generators::random_pcn;
+    use snnmap_model::PcnBuilder;
+
+    fn chain_pcn(n: u32) -> Pcn {
+        let mut b = PcnBuilder::new();
+        for _ in 0..n {
+            b.add_cluster(1, 1);
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_on_hilbert_is_all_unit_hops() {
+        // A chain in topological order follows the curve, so every
+        // connection spans exactly one hop — the ideal placement.
+        let pcn = chain_pcn(16);
+        let p = hsc_placement(&pcn, Mesh::new(4, 4).unwrap()).unwrap();
+        for (f, t, _) in pcn.iter_edges() {
+            assert_eq!(p.distance(f, t).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn partial_mesh_leaves_tail_empty() {
+        let pcn = chain_pcn(5);
+        let p = hsc_placement(&pcn, Mesh::new(3, 3).unwrap()).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.placed_count(), 5);
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn non_pow2_meshes_use_gilbert() {
+        let pcn = chain_pcn(35);
+        let p = hsc_placement(&pcn, Mesh::new(5, 7).unwrap()).unwrap();
+        assert!(p.is_complete());
+        for (f, t, _) in pcn.iter_edges() {
+            assert_eq!(p.distance(f, t).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn too_small_mesh_errors() {
+        let pcn = chain_pcn(10);
+        assert!(matches!(
+            hsc_placement(&pcn, Mesh::new(3, 3).unwrap()),
+            Err(CoreError::MeshTooSmall { clusters: 10, cores: 9 })
+        ));
+        assert!(matches!(
+            random_placement(&pcn, Mesh::new(3, 3).unwrap(), 0),
+            Err(CoreError::MeshTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn random_placement_is_seeded_and_valid() {
+        let pcn = random_pcn(50, 4.0, 1).unwrap();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let a = random_placement(&pcn, mesh, 7).unwrap();
+        let b = random_placement(&pcn, mesh, 7).unwrap();
+        let c = random_placement(&pcn, mesh, 8).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        a.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn hsc_beats_random_on_energy() {
+        // The core quantitative claim of §4.2 in miniature.
+        let pcn = random_pcn(256, 4.0, 5).unwrap();
+        let mesh = Mesh::new(16, 16).unwrap();
+        let cm = CostModel::paper_target();
+        let hsc = energy(&pcn, &hsc_placement(&pcn, mesh).unwrap(), cm).unwrap();
+        let rnd = energy(&pcn, &random_placement(&pcn, mesh, 3).unwrap(), cm).unwrap();
+        assert!(hsc < rnd, "hsc {hsc} should beat random {rnd}");
+    }
+
+    #[test]
+    fn sequence_placement_respects_order() {
+        let order = vec![3, 1, 4, 0, 2];
+        let mesh = Mesh::new(3, 3).unwrap();
+        let p = sequence_placement(&order, &Hilbert, Mesh::new(4, 4).unwrap()).unwrap();
+        assert_eq!(p.coord_of(3), Some(snnmap_hw::Coord::new(0, 0)));
+        let _ = mesh;
+    }
+}

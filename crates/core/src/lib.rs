@@ -1,0 +1,51 @@
+//! The paper's mapping approach: Hilbert space-filling-curve initial
+//! placement plus Force-Directed refinement.
+//!
+//! §4 of *Mapping Very Large Scale Spiking Neuron Network to Neuromorphic
+//! Hardware* (ASPLOS '23) maps a Partitioned Cluster Network onto a
+//! 2D-mesh system in two steps, both implemented here:
+//!
+//! 1. **Initial placement** ([`hsc_placement`]): topologically sort the
+//!    PCN (Algorithm 2, non-DAG tolerant — [`toposort`]) and lay the
+//!    resulting 1D sequence onto the mesh along a Hilbert space-filling
+//!    curve (eq. 17, `P_init = Hilbert ∘ Seq`).
+//! 2. **Force-Directed refinement** ([`force_directed`]): treat cluster
+//!    connections as tension forces and greedily swap adjacent
+//!    positive-tension pairs, highest tension first, a λ-fraction of the
+//!    queue per sweep (Algorithm 3). The system's total potential energy
+//!    decreases monotonically (eq. 31), which guarantees convergence; with
+//!    the energy-model potential (eq. 25) that energy *is* the paper's
+//!    `M_ec` metric (eq. 26).
+//!
+//! The [`Mapper`] type packages both steps behind a builder API.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_core::{Mapper, Potential};
+//! use snnmap_hw::Mesh;
+//! use snnmap_model::generators::random_pcn;
+//!
+//! let pcn = random_pcn(60, 4.0, 1)?;
+//! let mesh = Mesh::square_for(60)?; // 8x8
+//! let outcome = Mapper::builder().potential(Potential::L2Squared).build().map(&pcn, mesh)?;
+//! assert!(outcome.placement.is_complete());
+//! let stats = outcome.fd_stats.expect("FD runs by default");
+//! assert!(stats.final_energy <= stats.initial_energy);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod fd;
+mod hsc;
+mod mapper;
+mod toposort;
+
+pub use error::CoreError;
+pub use fd::{force_directed, FdConfig, FdStats, Potential, TensionMode};
+pub use hsc::{hsc_placement, random_placement, sequence_placement};
+pub use mapper::{InitialPlacement, MapOutcome, Mapper, MapperBuilder};
+pub use toposort::toposort;

@@ -1,0 +1,287 @@
+//! The end-to-end mapping pipeline (Figure 3).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use snnmap_curves::{Serpentine, SpaceFillingCurve, Spiral, ZigZag};
+use snnmap_hw::{Mesh, Placement};
+use snnmap_model::Pcn;
+
+use crate::{
+    force_directed, hsc_placement, random_placement, sequence_placement, toposort, CoreError,
+    FdConfig, FdStats, Potential,
+};
+
+/// How the initial placement is produced (step 1 of Figure 3; the
+/// non-Hilbert variants are the comparison methods of Figures 6 and 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InitialPlacement {
+    /// Topological sort laid along the Hilbert curve (generalized to
+    /// arbitrary rectangles) — the paper's method.
+    Hilbert,
+    /// Topological sort along the diagonal ZigZag scan.
+    ZigZag,
+    /// Topological sort along the outside-in spiral ("Circle").
+    Circle,
+    /// Topological sort along a row-serpentine.
+    Serpentine,
+    /// Uniformly random placement with the given seed (the baseline and
+    /// the initialization of Figure 8's methods e/g/i).
+    Random(u64),
+}
+
+/// The result of [`Mapper::map`]: the final placement plus phase
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct MapOutcome {
+    /// The final (complete) placement.
+    pub placement: Placement,
+    /// Statistics of the FD phase, if it ran.
+    pub fd_stats: Option<FdStats>,
+    /// Wall-clock time of the initial-placement phase.
+    pub init_elapsed: Duration,
+    /// Wall-clock time of the FD phase (zero if disabled).
+    pub fd_elapsed: Duration,
+}
+
+/// The paper's complete mapping approach: initial placement followed by
+/// optional Force-Directed refinement.
+///
+/// The default configuration is the paper's best method (method *j* of
+/// Figure 8): Hilbert initialization and FD with the `u_c = x² + y²`
+/// potential at λ = 0.3.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::{InitialPlacement, Mapper, Potential};
+/// use snnmap_hw::Mesh;
+/// use snnmap_model::generators::random_pcn;
+///
+/// let pcn = random_pcn(100, 4.0, 5)?;
+/// let mesh = Mesh::square_for(100)?;
+///
+/// // The paper's method j.
+/// let outcome = Mapper::builder().build().map(&pcn, mesh)?;
+/// assert!(outcome.placement.is_complete());
+///
+/// // Initial placement only (method b of Figure 8).
+/// let hsc_only = Mapper::builder().fd_enabled(false).build().map(&pcn, mesh)?;
+/// assert!(hsc_only.fd_stats.is_none());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapper {
+    init: InitialPlacement,
+    fd: Option<FdConfig>,
+}
+
+impl Mapper {
+    /// Starts building a mapper; defaults to Hilbert + FD(`u_c`, λ=0.3).
+    pub fn builder() -> MapperBuilder {
+        MapperBuilder::default()
+    }
+
+    /// The configured initial-placement strategy.
+    pub fn initial_placement(&self) -> InitialPlacement {
+        self.init
+    }
+
+    /// The configured FD phase, if enabled.
+    pub fn fd_config(&self) -> Option<&FdConfig> {
+        self.fd.as_ref()
+    }
+
+    /// Maps a PCN onto a mesh.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MeshTooSmall`] if the PCN outnumbers the cores;
+    /// curve errors cannot occur (generalized Hilbert covers every mesh),
+    /// but propagate as [`CoreError::Curve`] if they do.
+    pub fn map(&self, pcn: &Pcn, mesh: Mesh) -> Result<MapOutcome, CoreError> {
+        let t0 = Instant::now();
+        let mut placement = match self.init {
+            InitialPlacement::Hilbert => hsc_placement(pcn, mesh)?,
+            InitialPlacement::ZigZag => self.curve_init(pcn, mesh, &ZigZag)?,
+            InitialPlacement::Circle => self.curve_init(pcn, mesh, &Spiral)?,
+            InitialPlacement::Serpentine => self.curve_init(pcn, mesh, &Serpentine)?,
+            InitialPlacement::Random(seed) => random_placement(pcn, mesh, seed)?,
+        };
+        let init_elapsed = t0.elapsed();
+
+        let t1 = Instant::now();
+        let fd_stats = match &self.fd {
+            Some(cfg) => Some(force_directed(pcn, &mut placement, cfg)?),
+            None => None,
+        };
+        let fd_elapsed = t1.elapsed();
+
+        Ok(MapOutcome { placement, fd_stats, init_elapsed, fd_elapsed })
+    }
+
+    fn curve_init(
+        &self,
+        pcn: &Pcn,
+        mesh: Mesh,
+        curve: &dyn SpaceFillingCurve,
+    ) -> Result<Placement, CoreError> {
+        let order = toposort(pcn);
+        sequence_placement(&order, curve, mesh)
+    }
+}
+
+impl Default for Mapper {
+    fn default() -> Self {
+        Mapper::builder().build()
+    }
+}
+
+impl fmt::Display for Mapper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.fd {
+            Some(cfg) => write!(f, "{:?} + FD({:?}, lambda={})", self.init, cfg.potential, cfg.lambda),
+            None => write!(f, "{:?} (no FD)", self.init),
+        }
+    }
+}
+
+/// Builder for [`Mapper`].
+#[derive(Debug, Clone)]
+pub struct MapperBuilder {
+    init: InitialPlacement,
+    fd_enabled: bool,
+    fd: FdConfig,
+}
+
+impl Default for MapperBuilder {
+    fn default() -> Self {
+        Self { init: InitialPlacement::Hilbert, fd_enabled: true, fd: FdConfig::default() }
+    }
+}
+
+impl MapperBuilder {
+    /// Sets the initial-placement strategy (default: Hilbert).
+    pub fn initial_placement(mut self, init: InitialPlacement) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Enables or disables the FD phase (default: enabled).
+    pub fn fd_enabled(mut self, enabled: bool) -> Self {
+        self.fd_enabled = enabled;
+        self
+    }
+
+    /// Sets the FD potential field (default: `u_c`, eq. 21).
+    pub fn potential(mut self, potential: Potential) -> Self {
+        self.fd.potential = potential;
+        self
+    }
+
+    /// Sets the λ queue fraction (default: 0.3, §4.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `(0, 1]`.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
+        self.fd.lambda = lambda;
+        self
+    }
+
+    /// Caps FD iterations (default: unlimited; convergence is
+    /// guaranteed).
+    pub fn max_iterations(mut self, cap: u64) -> Self {
+        self.fd.max_iterations = Some(cap);
+        self
+    }
+
+    /// Caps FD wall-clock time (default: unlimited).
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.fd.time_budget = Some(budget);
+        self
+    }
+
+    /// Finalizes the mapper.
+    pub fn build(self) -> Mapper {
+        Mapper { init: self.init, fd: self.fd_enabled.then_some(self.fd) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::CostModel;
+    use snnmap_metrics::evaluate;
+    use snnmap_model::generators::random_pcn;
+
+    #[test]
+    fn default_is_paper_method_j() {
+        let m = Mapper::default();
+        assert_eq!(m.initial_placement(), InitialPlacement::Hilbert);
+        let fd = m.fd_config().unwrap();
+        assert_eq!(fd.potential, Potential::L2Squared);
+        assert_eq!(fd.lambda, 0.3);
+    }
+
+    #[test]
+    fn all_initializations_produce_complete_placements() {
+        let pcn = random_pcn(50, 4.0, 1).unwrap();
+        let mesh = Mesh::new(8, 8).unwrap();
+        for init in [
+            InitialPlacement::Hilbert,
+            InitialPlacement::ZigZag,
+            InitialPlacement::Circle,
+            InitialPlacement::Serpentine,
+            InitialPlacement::Random(3),
+        ] {
+            let out = Mapper::builder()
+                .initial_placement(init)
+                .fd_enabled(false)
+                .build()
+                .map(&pcn, mesh)
+                .unwrap();
+            assert!(out.placement.is_complete(), "{init:?}");
+            out.placement.check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn full_pipeline_beats_initial_only() {
+        let pcn = random_pcn(100, 5.0, 9).unwrap();
+        let mesh = Mesh::new(10, 10).unwrap();
+        let cost = CostModel::paper_target();
+        let init_only =
+            Mapper::builder().fd_enabled(false).build().map(&pcn, mesh).unwrap();
+        let full = Mapper::builder().build().map(&pcn, mesh).unwrap();
+        let a = evaluate(&pcn, &init_only.placement, cost).unwrap();
+        let b = evaluate(&pcn, &full.placement, cost).unwrap();
+        assert!(b.energy <= a.energy, "FD must not worsen energy");
+    }
+
+    #[test]
+    fn mesh_too_small_is_reported() {
+        let pcn = random_pcn(100, 4.0, 2).unwrap();
+        assert!(matches!(
+            Mapper::default().map(&pcn, Mesh::new(9, 9).unwrap()),
+            Err(CoreError::MeshTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn builder_rejects_bad_lambda() {
+        let _ = Mapper::builder().lambda(0.0);
+    }
+
+    #[test]
+    fn display_summarizes_configuration() {
+        let m = Mapper::default();
+        let s = m.to_string();
+        assert!(s.contains("Hilbert"));
+        assert!(s.contains("0.3"));
+        let m = Mapper::builder().fd_enabled(false).build();
+        assert!(m.to_string().contains("no FD"));
+    }
+}

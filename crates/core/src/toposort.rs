@@ -1,0 +1,167 @@
+//! Topological sorting of the PCN (Algorithm 2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use snnmap_model::Pcn;
+
+/// Orders the clusters of a PCN topologically, returning the sequence
+/// `order` with `order[p]` = the cluster visited at position `p`
+/// (the inverse of the paper's `Seq : V_P → ℕ`).
+///
+/// This is Kahn's algorithm with two of the paper's refinements
+/// (Algorithm 2):
+///
+/// * among ready clusters, the one with the smallest index is taken
+///   first (deterministic output; for layered networks the index order
+///   *is* the data-flow order, so this keeps layers contiguous),
+/// * when the ready set empties while unvisited clusters remain — the
+///   graph has a cycle — the smallest-index unvisited cluster is forced
+///   out, which lets the sort handle arbitrary (non-DAG) SNN topologies.
+///
+/// The result is always a permutation of `0..num_clusters`.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::toposort;
+/// use snnmap_model::PcnBuilder;
+///
+/// // A diamond: 0 -> {1, 2} -> 3.
+/// let mut b = PcnBuilder::new();
+/// for _ in 0..4 { b.add_cluster(1, 1); }
+/// b.add_edge(0, 1, 1.0)?;
+/// b.add_edge(0, 2, 1.0)?;
+/// b.add_edge(1, 3, 1.0)?;
+/// b.add_edge(2, 3, 1.0)?;
+/// assert_eq!(toposort(&b.build()?), vec![0, 1, 2, 3]);
+/// # Ok::<(), snnmap_model::ModelError>(())
+/// ```
+pub fn toposort(pcn: &Pcn) -> Vec<u32> {
+    let n = pcn.num_clusters();
+    let mut in_deg: Vec<u64> = (0..n).map(|c| pcn.in_degree(c)).collect();
+    let mut seq_set = vec![false; n as usize];
+    let mut order = Vec::with_capacity(n as usize);
+    let mut ready: BinaryHeap<Reverse<u32>> =
+        (0..n).filter(|&c| in_deg[c as usize] == 0).map(Reverse).collect();
+    // Cursor for the non-DAG fallback: the smallest index not yet
+    // sequenced. Only ever advances, so the fallback is amortized O(V).
+    let mut cursor = 0u32;
+
+    while (order.len() as u32) < n {
+        let next = loop {
+            match ready.pop() {
+                Some(Reverse(c)) if !seq_set[c as usize] => break Some(c),
+                Some(_) => continue, // stale heap entry
+                None => break None,
+            }
+        };
+        let c = match next {
+            Some(c) => c,
+            None => {
+                // Cycle: force out the smallest unsequenced cluster.
+                while seq_set[cursor as usize] {
+                    cursor += 1;
+                }
+                cursor
+            }
+        };
+        seq_set[c as usize] = true;
+        order.push(c);
+        for (t, _) in pcn.out_edges(c) {
+            let d = &mut in_deg[t as usize];
+            *d = d.saturating_sub(1);
+            if *d == 0 && !seq_set[t as usize] {
+                ready.push(Reverse(t));
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_model::{generators::random_pcn, PcnBuilder};
+
+    fn pcn_from_edges(n: u32, edges: &[(u32, u32)]) -> Pcn {
+        let mut b = PcnBuilder::new();
+        for _ in 0..n {
+            b.add_cluster(1, 1);
+        }
+        for &(f, t) in edges {
+            b.add_edge(f, t, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn assert_permutation(order: &[u32], n: u32) {
+        assert_eq!(order.len() as u32, n);
+        let mut seen = vec![false; n as usize];
+        for &c in order {
+            assert!(!seen[c as usize], "cluster {c} appears twice");
+            seen[c as usize] = true;
+        }
+    }
+
+    #[test]
+    fn respects_dag_edges() {
+        let pcn = pcn_from_edges(6, &[(5, 0), (0, 3), (3, 1), (1, 2), (2, 4)]);
+        let order = toposort(&pcn);
+        assert_permutation(&order, 6);
+        let pos = |c: u32| order.iter().position(|&x| x == c).unwrap();
+        for (f, t, _) in pcn.iter_edges() {
+            assert!(pos(f) < pos(t), "edge {f}->{t} violated: {order:?}");
+        }
+    }
+
+    #[test]
+    fn smallest_index_first_among_ready() {
+        // 0 and 2 are both sources; 0 must come first, then its children
+        // compete by index.
+        let pcn = pcn_from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(toposort(&pcn), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn handles_pure_cycle() {
+        let pcn = pcn_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let order = toposort(&pcn);
+        assert_permutation(&order, 3);
+        // The fallback forces the smallest index first.
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn handles_cycle_with_tail() {
+        // 1 <-> 2 cycle feeding 3, with source 0.
+        let pcn = pcn_from_edges(4, &[(1, 2), (2, 1), (1, 3), (0, 3)]);
+        let order = toposort(&pcn);
+        assert_permutation(&order, 4);
+        let pos = |c: u32| order.iter().position(|&x| x == c).unwrap();
+        assert!(pos(1) < pos(3));
+    }
+
+    #[test]
+    fn isolated_clusters_in_index_order() {
+        let pcn = pcn_from_edges(5, &[]);
+        assert_eq!(toposort(&pcn), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_graphs_always_yield_permutations() {
+        for seed in 0..10 {
+            let pcn = random_pcn(200, 5.0, seed).unwrap();
+            let order = toposort(&pcn);
+            assert_permutation(&order, 200);
+        }
+    }
+
+    #[test]
+    fn layered_pcn_keeps_layer_order() {
+        // Clusters 0..4 in a chain by pairs (layer structure): toposort is
+        // the identity, i.e. the data-flow order.
+        let pcn = pcn_from_edges(6, &[(0, 2), (0, 3), (1, 2), (1, 3), (2, 4), (3, 5)]);
+        assert_eq!(toposort(&pcn), vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Curve-cost analysis under SNN connection masks (Figure 6.c–e).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use snnmap_hw::Coord;
+
+/// A (possibly weighted) set of 1D index pairs standing for SNN
+/// connections — the "connection image" of Figure 6.c.
+///
+/// Entry `(i, j, w)` says the `i`-th and `j`-th items of the 1D sequence
+/// communicate with traffic weight `w`. Covering a curve's distance
+/// heatmap with this mask and summing gives the curve's mapping cost
+/// (Figure 6.d).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_curves::cost::ConnectionMask;
+///
+/// // Two fully connected layers of 4 items each over an 8-item sequence.
+/// let mask = ConnectionMask::layered(&[4, 4]);
+/// assert_eq!(mask.len(), 16);
+/// assert_eq!(mask.sequence_len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionMask {
+    n: usize,
+    edges: Vec<(u32, u32, f32)>,
+}
+
+impl ConnectionMask {
+    /// Creates a mask over a sequence of `n` items with unit-weight edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge index is `≥ n`.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        Self::weighted(n, edges.into_iter().map(|(i, j)| (i, j, 1.0)))
+    }
+
+    /// Creates a mask with explicit edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge index is `≥ n` or a weight is non-finite.
+    pub fn weighted(n: usize, edges: impl IntoIterator<Item = (u32, u32, f32)>) -> Self {
+        let edges: Vec<_> = edges.into_iter().collect();
+        for &(i, j, w) in &edges {
+            assert!((i as usize) < n && (j as usize) < n, "edge ({i}, {j}) outside sequence {n}");
+            assert!(w.is_finite(), "edge ({i}, {j}) has non-finite weight");
+        }
+        Self { n, edges }
+    }
+
+    /// A layered fully connected network: consecutive layers of the given
+    /// sizes, every unit in one layer connected to every unit in the next
+    /// (the paper's `Full_connect_8_8` pattern is `layered(&[8; 8])`).
+    pub fn layered(layer_sizes: &[usize]) -> Self {
+        let n: usize = layer_sizes.iter().sum();
+        let mut edges = Vec::new();
+        let mut start = 0usize;
+        for w in layer_sizes.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            for i in 0..a {
+                for j in 0..b {
+                    edges.push(((start + i) as u32, (start + a + j) as u32, 1.0));
+                }
+            }
+            start += a;
+        }
+        Self { n, edges }
+    }
+
+    /// A random layered SNN over an `n`-item sequence: layer sizes drawn
+    /// uniformly between `n/8` and `n/2` (wide layers, like the paper's
+    /// `Full_connect_8_8` whose eight layers each hold an eighth of the
+    /// network, and like cluster-level CNN images whose layer groups span
+    /// large index ranges), consecutive layers fully connected with a
+    /// random density. Used as one sample of the Figure 6.e probability
+    /// cloud.
+    pub fn random_layered(n: usize, rng: &mut impl Rng) -> Self {
+        assert!(n >= 2, "need at least two items");
+        let lo = (n / 8).max(1);
+        let hi = (n / 3).max(1);
+        let mut sizes = Vec::new();
+        let mut left = n;
+        while left > 0 {
+            let max = left.min(hi);
+            let s = rng.gen_range(lo.min(max)..=max);
+            sizes.push(s);
+            left -= s;
+        }
+        if sizes.len() == 1 {
+            let s = sizes[0];
+            sizes = vec![s / 2, s - s / 2];
+        }
+        let density: f64 = rng.gen_range(0.2..1.0);
+        let mut edges = Vec::new();
+        let mut start = 0usize;
+        for w in sizes.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            for i in 0..a {
+                for j in 0..b {
+                    if rng.gen_bool(density) {
+                        edges.push(((start + i) as u32, (start + a + j) as u32, 1.0));
+                    }
+                }
+            }
+            start += a;
+        }
+        Self { n, edges }
+    }
+
+    /// A convolution-band mask: every item `i` connects to `i + δ` for
+    /// each offset `δ ∈ 1..=reach`, with the given density — the 1D
+    /// shadow of neuron-level convolutional locality (the dense diagonal
+    /// band of Figure 6.c's connection images).
+    pub fn band(n: usize, reach: usize, density: f64, rng: &mut impl Rng) -> Self {
+        assert!(n >= 2 && reach >= 1);
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for d in 1..=reach.min(n - 1 - i) {
+                if rng.gen_bool(density) {
+                    edges.push((i as u32, (i + d) as u32, 1.0));
+                }
+            }
+        }
+        Self { n, edges }
+    }
+
+    /// The probability cloud of Figure 6.e: the expected connection image
+    /// over `samples` random layered SNNs *of varying size*, represented
+    /// as one weighted mask whose weights are connection frequencies.
+    ///
+    /// Each sampled SNN occupies a prefix of the sequence (its size drawn
+    /// uniformly from `[8, n]`), mirroring the paper's cloud of "many
+    /// connection images of different SNNs": applications smaller than
+    /// the mesh are common, and they are precisely where the Hilbert
+    /// curve's fractal property pays off — a `k`-item prefix fills a
+    /// compact `√k × √k` region, while a spiral's prefix spans the whole
+    /// perimeter and a diagonal scan's a full diagonal band.
+    pub fn probability_cloud(n: usize, samples: usize, seed: u64) -> Self {
+        assert!(n >= 8, "cloud needs at least 8 sequence items");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut freq = std::collections::HashMap::<(u32, u32), f32>::new();
+        for _ in 0..samples {
+            let size = rng.gen_range(8..=n);
+            // Half the cloud is convolution-band images (dense near the
+            // 1D diagonal), half layered fully connected images (mid- and
+            // long-range) — the two structures visible in Figure 6.c.
+            let mask = if rng.gen_bool(0.5) {
+                let reach = rng.gen_range(1..=(size as f64).sqrt().ceil() as usize);
+                Self::band(size, reach, rng.gen_range(0.3..1.0), &mut rng)
+            } else {
+                Self::random_layered(size, &mut rng)
+            };
+            for (i, j, w) in mask.edges {
+                *freq.entry((i, j)).or_insert(0.0) += w / samples as f32;
+            }
+        }
+        let mut edges: Vec<_> = freq.into_iter().map(|((i, j), w)| (i, j, w)).collect();
+        edges.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        Self { n, edges }
+    }
+
+    /// Sequence length the mask is defined over.
+    #[inline]
+    pub fn sequence_len(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (weighted) connections.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the mask has no connections.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates `(i, j, weight)` connections.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        self.edges.iter().copied()
+    }
+}
+
+/// The mapping cost of a curve under a connection mask (Figure 6.d): the
+/// weighted sum of 2D Manhattan distances of all masked index pairs,
+/// `Σ w(i,j) · ‖order[i] − order[j]‖₁`.
+///
+/// # Panics
+///
+/// Panics if the mask's sequence is longer than the traversal. A mask
+/// *shorter* than the traversal is fine: trailing positions are simply
+/// unused, matching the paper's non-full placements.
+pub fn mask_cost(order: &[Coord], mask: &ConnectionMask) -> f64 {
+    assert!(
+        mask.sequence_len() <= order.len(),
+        "mask over {} items cannot be laid on {} mesh cores",
+        mask.sequence_len(),
+        order.len()
+    );
+    mask.iter()
+        .map(|(i, j, w)| w as f64 * order[i as usize].manhattan(order[j as usize]) as f64)
+        .sum()
+}
+
+/// Costs of several curves under one mask, normalized so the first curve
+/// has cost 1.0 — the presentation of Figure 6.e (Hilbert 1.0, ZigZag
+/// 2.63, Circle 6.33).
+///
+/// Returns `(name, absolute cost, normalized cost)` per curve.
+///
+/// # Panics
+///
+/// Panics if `orders` is empty or the first curve has zero cost under a
+/// nonempty mask.
+pub fn normalized_costs(
+    orders: &[(&'static str, Vec<Coord>)],
+    mask: &ConnectionMask,
+) -> Vec<(&'static str, f64, f64)> {
+    assert!(!orders.is_empty(), "need at least one curve");
+    let base = mask_cost(&orders[0].1, mask);
+    assert!(
+        mask.is_empty() || base > 0.0,
+        "reference curve has zero cost; cannot normalize"
+    );
+    orders
+        .iter()
+        .map(|(name, order)| {
+            let c = mask_cost(order, mask);
+            (*name, c, if base > 0.0 { c / base } else { 0.0 })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hilbert, SpaceFillingCurve, Spiral, ZigZag};
+    use snnmap_hw::Mesh;
+
+    #[test]
+    fn layered_edge_count() {
+        let m = ConnectionMask::layered(&[3, 4, 2]);
+        assert_eq!(m.sequence_len(), 9);
+        assert_eq!(m.len(), 3 * 4 + 4 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside sequence")]
+    fn new_rejects_out_of_range() {
+        let _ = ConnectionMask::new(4, [(0, 4)]);
+    }
+
+    #[test]
+    fn mask_cost_by_hand() {
+        // ZigZag on 2x2: order = (0,0),(0,1),(1,1),(1,0).
+        let order = ZigZag.traversal(Mesh::new(2, 2).unwrap()).unwrap();
+        let mask = ConnectionMask::new(4, [(0, 1), (0, 2), (0, 3)]);
+        // Distances: 1, 2, 1.
+        assert_eq!(mask_cost(&order, &mask), 4.0);
+    }
+
+    #[test]
+    fn weighted_cost_scales() {
+        let order = ZigZag.traversal(Mesh::new(2, 2).unwrap()).unwrap();
+        let m1 = ConnectionMask::new(4, [(0, 2)]);
+        let m2 = ConnectionMask::weighted(4, [(0, 2, 2.5)]);
+        assert_eq!(mask_cost(&order, &m2), 2.5 * mask_cost(&order, &m1));
+    }
+
+    #[test]
+    fn figure6_ordering_on_probability_cloud() {
+        // The headline of Figure 6.e: Hilbert < ZigZag < Circle in cost
+        // over the probability cloud of random SNNs.
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cloud = ConnectionMask::probability_cloud(64, 200, 7);
+        let orders = vec![
+            ("Hilbert", Hilbert.traversal(mesh).unwrap()),
+            ("ZigZag", ZigZag.traversal(mesh).unwrap()),
+            ("Circle", Spiral.traversal(mesh).unwrap()),
+        ];
+        let costs = normalized_costs(&orders, &cloud);
+        assert_eq!(costs[0].2, 1.0);
+        assert!(costs[1].2 > 1.0, "zigzag should be worse than hilbert: {costs:?}");
+        assert!(costs[2].2 > costs[1].2, "circle should be worst: {costs:?}");
+    }
+
+    #[test]
+    fn probability_cloud_is_deterministic_per_seed() {
+        let a = ConnectionMask::probability_cloud(32, 50, 3);
+        let b = ConnectionMask::probability_cloud(32, 50, 3);
+        assert_eq!(a, b);
+        let c = ConnectionMask::probability_cloud(32, 50, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mask_shorter_than_traversal_is_ok() {
+        let order = ZigZag.traversal(Mesh::new(4, 4).unwrap()).unwrap();
+        let mask = ConnectionMask::new(5, [(0, 4)]);
+        assert!(mask_cost(&order, &mask) > 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The space-filling-curve abstraction.
+
+use snnmap_hw::{Coord, Mesh};
+
+use crate::CurveError;
+
+/// A space-filling curve: a bijection between the 1D index range
+/// `0..mesh.len()` and the 2D mesh coordinates.
+///
+/// The paper's initial-placement step (eq. 16) is exactly such a function
+/// `Hilbert : ℕ → (ℕ, ℕ)`; the comparison curves of Figure 6 (ZigZag,
+/// Circle) implement the same interface.
+///
+/// Implementations must produce a *permutation* of the mesh: every core
+/// appears exactly once in [`traversal`](SpaceFillingCurve::traversal).
+/// All curves shipped in this crate additionally guarantee *continuity* —
+/// consecutive sequence positions map to mesh-adjacent cores — but the
+/// trait itself does not require it.
+pub trait SpaceFillingCurve {
+    /// Short human-readable name, used in experiment tables
+    /// (e.g. `"Hilbert"`, `"ZigZag"`, `"Circle"`).
+    fn name(&self) -> &'static str;
+
+    /// The full traversal order: element `i` is where the `i`-th item of a
+    /// 1D sequence lands on the mesh.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject meshes outside their domain, e.g.
+    /// [`Hilbert`](crate::Hilbert) on non-`2^k` squares returns
+    /// [`CurveError::NotPow2Square`].
+    fn traversal(&self, mesh: Mesh) -> Result<Vec<Coord>, CurveError>;
+
+    /// Maps one sequence index to its coordinate.
+    ///
+    /// The default computes the full traversal; implementations with a
+    /// closed form (Hilbert on `2^k` squares, ZigZag, Spiral) override it
+    /// with an O(1)–O(log n) computation.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::IndexOutOfRange`] when `index ≥ mesh.len()`, plus any
+    /// domain error of [`traversal`](SpaceFillingCurve::traversal).
+    fn coord(&self, mesh: Mesh, index: usize) -> Result<Coord, CurveError> {
+        if index >= mesh.len() {
+            return Err(CurveError::IndexOutOfRange { index, len: mesh.len() });
+        }
+        Ok(self.traversal(mesh)?[index])
+    }
+}
+
+/// Test-support: assert a traversal is a permutation of the mesh and each
+/// step moves exactly one hop. Exposed so downstream crates can validate
+/// custom curves in their own tests.
+///
+/// # Panics
+///
+/// Panics with a descriptive message when the property fails.
+pub fn assert_valid_continuous_traversal(mesh: Mesh, order: &[Coord]) {
+    assert_eq!(order.len(), mesh.len(), "traversal must cover the mesh exactly");
+    let mut seen = vec![false; mesh.len()];
+    for &c in order {
+        assert!(mesh.contains(c), "coordinate {c} outside {mesh}");
+        let i = mesh.index_of(c);
+        assert!(!seen[i], "coordinate {c} visited twice");
+        seen[i] = true;
+    }
+    for (k, w) in order.windows(2).enumerate() {
+        assert_eq!(
+            w[0].manhattan(w[1]),
+            1,
+            "step {k}: {} -> {} is not a unit mesh hop",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+/// Test-support: assert a traversal is a permutation of the mesh whose
+/// steps are at most `max_step` hops, with at most `max_jumps` steps
+/// longer than one hop. The generalized Hilbert curve satisfies
+/// `(max_step, max_jumps) = (2, 1)` on every rectangle (verified
+/// exhaustively up to 96×96): the recursive construction occasionally
+/// needs one diagonal junction on awkward aspect ratios.
+///
+/// # Panics
+///
+/// Panics with a descriptive message when the property fails.
+pub fn assert_valid_traversal_with_jumps(
+    mesh: Mesh,
+    order: &[Coord],
+    max_step: u32,
+    max_jumps: usize,
+) {
+    assert_eq!(order.len(), mesh.len(), "traversal must cover the mesh exactly");
+    let mut seen = vec![false; mesh.len()];
+    for &c in order {
+        assert!(mesh.contains(c), "coordinate {c} outside {mesh}");
+        let i = mesh.index_of(c);
+        assert!(!seen[i], "coordinate {c} visited twice");
+        seen[i] = true;
+    }
+    let mut jumps = 0usize;
+    for (k, w) in order.windows(2).enumerate() {
+        let d = w[0].manhattan(w[1]);
+        assert!(d <= max_step, "step {k}: {} -> {} is {d} hops (max {max_step})", w[0], w[1]);
+        if d > 1 {
+            jumps += 1;
+        }
+    }
+    assert!(jumps <= max_jumps, "{jumps} non-unit steps exceed the allowed {max_jumps}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately simple curve to exercise the default `coord`.
+    struct RowMajor;
+
+    impl SpaceFillingCurve for RowMajor {
+        fn name(&self) -> &'static str {
+            "RowMajor"
+        }
+
+        fn traversal(&self, mesh: Mesh) -> Result<Vec<Coord>, CurveError> {
+            Ok(mesh.iter().collect())
+        }
+    }
+
+    #[test]
+    fn default_coord_indexes_traversal() {
+        let mesh = Mesh::new(2, 3).unwrap();
+        assert_eq!(RowMajor.coord(mesh, 4).unwrap(), Coord::new(1, 1));
+        assert!(matches!(
+            RowMajor.coord(mesh, 6),
+            Err(CurveError::IndexOutOfRange { index: 6, len: 6 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a unit mesh hop")]
+    fn validator_rejects_row_major_jumps() {
+        let mesh = Mesh::new(2, 3).unwrap();
+        let order = RowMajor.traversal(mesh).unwrap();
+        // Row-major jumps at row boundaries, so it is a permutation but not
+        // continuous.
+        assert_valid_continuous_traversal(mesh, &order);
+    }
+}

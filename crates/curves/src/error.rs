@@ -1,0 +1,54 @@
+//! Error type for space-filling-curve construction.
+
+use std::error::Error;
+use std::fmt;
+
+use snnmap_hw::Mesh;
+
+/// Errors produced when a curve cannot traverse a given mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CurveError {
+    /// The classic Hilbert curve is only defined on square meshes whose
+    /// side is a power of two (the paper's Appendix A motivates the
+    /// generalized curve precisely because of this restriction).
+    NotPow2Square {
+        /// The rejected mesh.
+        mesh: Mesh,
+    },
+    /// A sequence index was outside the mesh.
+    IndexOutOfRange {
+        /// The rejected index.
+        index: usize,
+        /// The number of cores in the mesh.
+        len: usize,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::NotPow2Square { mesh } => {
+                write!(f, "hilbert curve requires a 2^k square mesh, got {mesh}")
+            }
+            CurveError::IndexOutOfRange { index, len } => {
+                write!(f, "sequence index {index} outside mesh of {len} cores")
+            }
+        }
+    }
+}
+
+impl Error for CurveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = CurveError::NotPow2Square { mesh: Mesh::new(3, 3).unwrap() };
+        assert!(e.to_string().contains("hilbert"));
+        let e = CurveError::IndexOutOfRange { index: 10, len: 9 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Generalized Hilbert curve on arbitrary rectangles.
+
+use snnmap_hw::{Coord, Mesh};
+
+use crate::{CurveError, SpaceFillingCurve};
+
+/// The generalized Hilbert ("gilbert") curve: a Hilbert-like continuous
+/// traversal defined on rectangles of *arbitrary* size.
+///
+/// The paper's Appendix A adopts a modified Hilbert curve (after Rong
+/// 2021) because real systems are rarely `2^k` squares; this implementation
+/// follows Červený's recursive construction, which carries the same
+/// locality property to arbitrary `N × M` grids (Figure 13 shows 16×8,
+/// 13×19 and 16×12 instances).
+///
+/// On `2^k` squares the produced traversal has Hilbert-curve quality
+/// (every step is a unit hop, strong 1D→2D locality), although the exact
+/// visiting order may differ from [`Hilbert`](crate::Hilbert). On some
+/// awkward rectangle shapes the recursive construction needs exactly one
+/// diagonal junction (a two-hop step) somewhere along the curve — a
+/// limitation inherited from the reference construction, irrelevant to
+/// mapping quality (which depends on locality, not strict continuity)
+/// and verified exhaustively in the tests: every traversal is a
+/// permutation with at most one step of length two.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_curves::{Gilbert, SpaceFillingCurve};
+/// use snnmap_hw::Mesh;
+///
+/// // Works on the paper's 13x19 example rectangle.
+/// let mesh = Mesh::new(13, 19)?;
+/// let order = Gilbert.traversal(mesh)?;
+/// assert_eq!(order.len(), 13 * 19);
+/// for w in order.windows(2) {
+///     assert!(w[0].manhattan(w[1]) <= 2); // unit steps, at most one diagonal
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Gilbert;
+
+impl Gilbert {
+    /// Generates the traversal as `(row, col)` pairs on a
+    /// `rows × cols` grid.
+    fn generate(rows: u32, cols: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity((rows * cols) as usize);
+        // Work in (col=x, row=y) space like the reference construction,
+        // majoring on the wider dimension.
+        if cols >= rows {
+            Self::gen_rec(&mut out, 0, 0, cols as i64, 0, 0, rows as i64);
+        } else {
+            Self::gen_rec(&mut out, 0, 0, 0, rows as i64, cols as i64, 0);
+        }
+        out
+    }
+
+    /// Recursive generalized-Hilbert generator. `(x, y)` is the current
+    /// origin; `(ax, ay)` the major axis vector; `(bx, by)` the minor axis
+    /// vector. Emits `(row, col) = (y, x)` points.
+    #[allow(clippy::too_many_arguments)]
+    fn gen_rec(out: &mut Vec<(u32, u32)>, x: i64, y: i64, ax: i64, ay: i64, bx: i64, by: i64) {
+        let w = (ax + ay).abs();
+        let h = (bx + by).abs();
+        let (dax, day) = (ax.signum(), ay.signum());
+        let (dbx, dby) = (bx.signum(), by.signum());
+
+        if h == 1 {
+            let (mut cx, mut cy) = (x, y);
+            for _ in 0..w {
+                out.push((cy as u32, cx as u32));
+                cx += dax;
+                cy += day;
+            }
+            return;
+        }
+        if w == 1 {
+            let (mut cx, mut cy) = (x, y);
+            for _ in 0..h {
+                out.push((cy as u32, cx as u32));
+                cx += dbx;
+                cy += dby;
+            }
+            return;
+        }
+
+        // Floor division (not truncation): the recursive sub-calls pass
+        // negated axis vectors, and halving them must round toward
+        // negative infinity for the construction's parity arguments to
+        // hold (a truncating divide breaks continuity on e.g. 4×5).
+        let (mut ax2, mut ay2) = (ax.div_euclid(2), ay.div_euclid(2));
+        let (mut bx2, mut by2) = (bx.div_euclid(2), by.div_euclid(2));
+        let w2 = (ax2 + ay2).abs();
+        let h2 = (bx2 + by2).abs();
+
+        if 2 * w > 3 * h {
+            if w2 % 2 != 0 && w > 2 {
+                ax2 += dax;
+                ay2 += day;
+            }
+            // Long case: split into two pieces along the major axis.
+            Self::gen_rec(out, x, y, ax2, ay2, bx, by);
+            Self::gen_rec(out, x + ax2, y + ay2, ax - ax2, ay - ay2, bx, by);
+        } else {
+            if h2 % 2 != 0 && h > 2 {
+                bx2 += dbx;
+                by2 += dby;
+            }
+            // Standard case: one step up, one long horizontal, one step
+            // down.
+            Self::gen_rec(out, x, y, bx2, by2, ax2, ay2);
+            Self::gen_rec(out, x + bx2, y + by2, ax, ay, bx - bx2, by - by2);
+            Self::gen_rec(
+                out,
+                x + (ax - dax) + (bx2 - dbx),
+                y + (ay - day) + (by2 - dby),
+                -bx2,
+                -by2,
+                -(ax - ax2),
+                -(ay - ay2),
+            );
+        }
+    }
+}
+
+impl SpaceFillingCurve for Gilbert {
+    fn name(&self) -> &'static str {
+        "Hilbert"
+    }
+
+    fn traversal(&self, mesh: Mesh) -> Result<Vec<Coord>, CurveError> {
+        Ok(Self::generate(mesh.rows() as u32, mesh.cols() as u32)
+            .into_iter()
+            .map(|(r, c)| Coord::new(r as u16, c as u16))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{assert_valid_continuous_traversal, assert_valid_traversal_with_jumps};
+
+    #[test]
+    fn continuous_permutation_on_paper_rectangles() {
+        // Appendix A figure 13 instances plus assorted awkward shapes.
+        for (r, c) in [(16, 8), (13, 19), (16, 12), (1, 7), (7, 1), (2, 5), (5, 2), (3, 3)] {
+            let mesh = Mesh::new(r, c).unwrap();
+            let order = Gilbert.traversal(mesh).unwrap();
+            assert_valid_continuous_traversal(mesh, &order);
+        }
+    }
+
+    #[test]
+    fn every_rectangle_up_to_48_is_a_near_continuous_permutation() {
+        // Exhaustive check of the relaxed contract: permutation, steps of
+        // at most two hops, and at most one non-unit step per traversal.
+        for r in 1u16..=48 {
+            for c in 1u16..=48 {
+                let mesh = Mesh::new(r, c).unwrap();
+                let order = Gilbert.traversal(mesh).unwrap();
+                assert_valid_traversal_with_jumps(mesh, &order, 2, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_permutation_on_pow2_squares() {
+        for side in [2u16, 4, 8, 16, 32] {
+            let mesh = Mesh::new(side, side).unwrap();
+            let order = Gilbert.traversal(mesh).unwrap();
+            assert_valid_continuous_traversal(mesh, &order);
+        }
+    }
+
+    #[test]
+    fn table3_mesh_sizes_all_work() {
+        // The hardware targets of Table 3 (cluster counts do not always fill
+        // the square).
+        for side in [3u16, 4, 16, 42, 60, 84] {
+            let mesh = Mesh::new(side, side).unwrap();
+            let order = Gilbert.traversal(mesh).unwrap();
+            assert_valid_continuous_traversal(mesh, &order);
+        }
+    }
+
+    #[test]
+    fn starts_at_origin() {
+        for (r, c) in [(8, 8), (13, 19), (5, 3)] {
+            let order = Gilbert.traversal(Mesh::new(r, c).unwrap()).unwrap();
+            assert_eq!(order[0], Coord::new(0, 0));
+        }
+    }
+
+    #[test]
+    fn locality_on_rectangle_beats_serpentine() {
+        // Same statistic as the Hilbert locality test but on a non-square,
+        // non-pow2 mesh, against serpentine (zigzag-like) order.
+        let mesh = Mesh::new(12, 20).unwrap();
+        let gil = Gilbert.traversal(mesh).unwrap();
+        let mut serp: Vec<Coord> = Vec::with_capacity(mesh.len());
+        for r in 0..12u16 {
+            let cols: Vec<u16> =
+                if r % 2 == 0 { (0..20).collect() } else { (0..20).rev().collect() };
+            serp.extend(cols.into_iter().map(|c| Coord::new(r, c)));
+        }
+        let span = 20usize;
+        let avg = |ord: &[Coord]| {
+            let mut s = 0u32;
+            for i in 0..ord.len() - span {
+                s += ord[i].manhattan(ord[i + span]);
+            }
+            s as f64 / (ord.len() - span) as f64
+        };
+        assert!(avg(&gil) < avg(&serp));
+    }
+}

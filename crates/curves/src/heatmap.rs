@@ -1,0 +1,176 @@
+//! Distance heatmaps of space-filling curves (Figure 6.b of the paper).
+
+use snnmap_hw::Coord;
+
+/// The distance heatmap of a curve traversal: entry `(i, j)` is the
+/// Manhattan distance between the 2D positions of the `i`-th and `j`-th
+/// points of the 1D sequence (Figure 6.b).
+///
+/// A curve with good locality has small values near the diagonal and few
+/// bright off-diagonal spikes; summing the heatmap under an SNN connection
+/// mask yields the curve's mapping cost (Figure 6.d).
+///
+/// Storage is dense (`n²` `u16`s), intended for the analysis meshes of
+/// Figure 6 (8×8 … 64×64), not for million-core systems.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_curves::{heatmap::DistanceHeatmap, Hilbert, SpaceFillingCurve};
+/// use snnmap_hw::Mesh;
+///
+/// let order = Hilbert.traversal(Mesh::new(8, 8)?)?;
+/// let hm = DistanceHeatmap::from_traversal(&order);
+/// assert_eq!(hm.get(0, 0), 0);
+/// assert_eq!(hm.get(0, 1), 1); // continuous curve: unit steps
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceHeatmap {
+    n: usize,
+    dist: Vec<u16>,
+}
+
+impl DistanceHeatmap {
+    /// Builds the heatmap of a traversal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pairwise distance exceeds `u16::MAX` (impossible for
+    /// meshes with sides ≤ 32767, far beyond analysis sizes).
+    pub fn from_traversal(order: &[Coord]) -> Self {
+        let n = order.len();
+        let mut dist = vec![0u16; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = order[i].manhattan(order[j]);
+                let d = u16::try_from(d).expect("analysis mesh too large for u16 distances");
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        Self { n, dist }
+    }
+
+    /// Sequence length (number of mesh cores).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the heatmap is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between sequence positions `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> u16 {
+        assert!(i < self.n && j < self.n, "heatmap index ({i}, {j}) out of range {}", self.n);
+        self.dist[i * self.n + j]
+    }
+
+    /// Mean distance over all ordered pairs `(i, j)`, `i ≠ j` — a scalar
+    /// summary of overall heatmap brightness.
+    pub fn mean_distance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let total: u64 = self.dist.iter().map(|&d| d as u64).sum();
+        total as f64 / (self.n * (self.n - 1)) as f64
+    }
+
+    /// Mean distance restricted to pairs within a 1D band `|i − j| ≤ w` —
+    /// the "darkness near the diagonal" that Figure 6.b highlights for the
+    /// Hilbert curve.
+    pub fn banded_mean_distance(&self, w: usize) -> f64 {
+        let mut total = 0u64;
+        let mut count = 0u64;
+        for i in 0..self.n {
+            let hi = (i + w).min(self.n - 1);
+            for j in i + 1..=hi {
+                total += self.get(i, j) as u64;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hilbert, Serpentine, SpaceFillingCurve, Spiral, ZigZag};
+    use snnmap_hw::Mesh;
+
+    #[test]
+    fn symmetric_with_zero_diagonal() {
+        let order = Serpentine.traversal(Mesh::new(4, 4).unwrap()).unwrap();
+        let hm = DistanceHeatmap::from_traversal(&order);
+        for i in 0..16 {
+            assert_eq!(hm.get(i, i), 0);
+            for j in 0..16 {
+                assert_eq!(hm.get(i, j), hm.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn unit_superdiagonal_for_continuous_curves() {
+        let mesh = Mesh::new(8, 8).unwrap();
+        for order in [Hilbert.traversal(mesh).unwrap(), Spiral.traversal(mesh).unwrap()] {
+            let hm = DistanceHeatmap::from_traversal(&order);
+            for i in 0..63 {
+                assert_eq!(hm.get(i, i + 1), 1);
+            }
+        }
+        // The diagonal-scan ZigZag is not unit-continuous: steps are 1 or 2.
+        let hm =
+            DistanceHeatmap::from_traversal(&ZigZag.traversal(mesh).unwrap());
+        for i in 0..63 {
+            assert!((1..=2).contains(&hm.get(i, i + 1)));
+        }
+    }
+
+    #[test]
+    fn hilbert_darker_near_diagonal_than_comparators() {
+        // The qualitative claim of Figure 6.b, quantified: within a band of
+        // width 8 on an 8x8 mesh, Hilbert's mean distance is the smallest.
+        let mesh = Mesh::new(8, 8).unwrap();
+        let hil = DistanceHeatmap::from_traversal(&Hilbert.traversal(mesh).unwrap());
+        let zig = DistanceHeatmap::from_traversal(&ZigZag.traversal(mesh).unwrap());
+        let cir = DistanceHeatmap::from_traversal(&Spiral.traversal(mesh).unwrap());
+        let band = 8;
+        assert!(hil.banded_mean_distance(band) < zig.banded_mean_distance(band));
+        assert!(hil.banded_mean_distance(band) < cir.banded_mean_distance(band));
+    }
+
+    #[test]
+    fn mean_distance_is_traversal_invariant() {
+        // The unrestricted mean over all pairs depends only on the mesh,
+        // not the curve (it is the mean pairwise distance of the grid).
+        let mesh = Mesh::new(8, 8).unwrap();
+        let hil = DistanceHeatmap::from_traversal(&Hilbert.traversal(mesh).unwrap());
+        let zig = DistanceHeatmap::from_traversal(&ZigZag.traversal(mesh).unwrap());
+        assert!((hil.mean_distance() - zig.mean_distance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let hm = DistanceHeatmap::from_traversal(&[]);
+        assert!(hm.is_empty());
+        assert_eq!(hm.mean_distance(), 0.0);
+        let hm = DistanceHeatmap::from_traversal(&[snnmap_hw::Coord::new(0, 0)]);
+        assert_eq!(hm.len(), 1);
+        assert_eq!(hm.banded_mean_distance(4), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The classic Hilbert curve on `2^k × 2^k` square meshes.
+
+use snnmap_hw::{Coord, Mesh};
+
+use crate::{CurveError, SpaceFillingCurve};
+
+/// The Hilbert space-filling curve on a square mesh whose side is a power
+/// of two (Figure 4 of the paper shows the 4×4, 8×8 and 16×16 instances).
+///
+/// For arbitrary rectangles use [`Gilbert`](crate::Gilbert), which reduces
+/// to a Hilbert-quality traversal on `2^k` squares while extending the
+/// domain (Appendix A).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_curves::{Hilbert, SpaceFillingCurve};
+/// use snnmap_hw::{Coord, Mesh};
+///
+/// let mesh = Mesh::new(4, 4)?;
+/// // The 4x4 Hilbert curve starts in a corner and ends in the adjacent one.
+/// let order = Hilbert.traversal(mesh)?;
+/// assert_eq!(order[0], Coord::new(0, 0));
+/// assert_eq!(order[15], Coord::new(3, 0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Hilbert;
+
+impl Hilbert {
+    /// Converts a distance `d` along the curve to `(x, y)` on a `side×side`
+    /// grid, where `side` is a power of two. This is the standard
+    /// iterative bit-twiddling construction.
+    ///
+    /// `x` is interpreted as the row and `y` as the column; the curve
+    /// starts at `(0, 0)`.
+    #[inline]
+    pub fn d2xy(side: u32, d: u64) -> (u32, u32) {
+        debug_assert!(side.is_power_of_two());
+        debug_assert!(d < (side as u64) * (side as u64));
+        let (mut x, mut y) = (0u32, 0u32);
+        let mut t = d;
+        let mut s = 1u32;
+        while s < side {
+            let rx = (t / 2) & 1;
+            let ry = (t ^ rx) & 1;
+            let (rx, ry) = (rx as u32, ry as u32);
+            Self::rot(s, &mut x, &mut y, rx, ry);
+            x += s * rx;
+            y += s * ry;
+            t /= 4;
+            s *= 2;
+        }
+        (x, y)
+    }
+
+    /// Converts `(x, y)` on a `side×side` power-of-two grid to a distance
+    /// along the curve; inverse of [`Hilbert::d2xy`].
+    #[inline]
+    pub fn xy2d(side: u32, mut x: u32, mut y: u32) -> u64 {
+        debug_assert!(side.is_power_of_two());
+        debug_assert!(x < side && y < side);
+        let mut d = 0u64;
+        let mut s = side / 2;
+        while s > 0 {
+            let rx = u32::from(x & s > 0);
+            let ry = u32::from(y & s > 0);
+            d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+            Self::rot(s, &mut x, &mut y, rx, ry);
+            s /= 2;
+        }
+        d
+    }
+
+    #[inline]
+    fn rot(s: u32, x: &mut u32, y: &mut u32, rx: u32, ry: u32) {
+        if ry == 0 {
+            if rx == 1 {
+                *x = s.wrapping_sub(1).wrapping_sub(*x);
+                *y = s.wrapping_sub(1).wrapping_sub(*y);
+            }
+            std::mem::swap(x, y);
+        }
+    }
+
+    fn check(mesh: Mesh) -> Result<u32, CurveError> {
+        let side = mesh.rows() as u32;
+        if mesh.rows() != mesh.cols() || !side.is_power_of_two() {
+            return Err(CurveError::NotPow2Square { mesh });
+        }
+        Ok(side)
+    }
+}
+
+impl SpaceFillingCurve for Hilbert {
+    fn name(&self) -> &'static str {
+        "Hilbert"
+    }
+
+    fn traversal(&self, mesh: Mesh) -> Result<Vec<Coord>, CurveError> {
+        let side = Self::check(mesh)?;
+        Ok((0..mesh.len() as u64)
+            .map(|d| {
+                let (x, y) = Self::d2xy(side, d);
+                Coord::new(x as u16, y as u16)
+            })
+            .collect())
+    }
+
+    fn coord(&self, mesh: Mesh, index: usize) -> Result<Coord, CurveError> {
+        let side = Self::check(mesh)?;
+        if index >= mesh.len() {
+            return Err(CurveError::IndexOutOfRange { index, len: mesh.len() });
+        }
+        let (x, y) = Self::d2xy(side, index as u64);
+        Ok(Coord::new(x as u16, y as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::assert_valid_continuous_traversal;
+
+    #[test]
+    fn rejects_non_pow2_square() {
+        for (r, c) in [(3, 3), (4, 8), (6, 6), (8, 4)] {
+            let mesh = Mesh::new(r, c).unwrap();
+            assert!(matches!(
+                Hilbert.traversal(mesh),
+                Err(CurveError::NotPow2Square { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn traversal_is_continuous_permutation() {
+        for side in [1u16, 2, 4, 8, 16, 32, 64] {
+            let mesh = Mesh::new(side, side).unwrap();
+            let order = Hilbert.traversal(mesh).unwrap();
+            assert_valid_continuous_traversal(mesh, &order);
+        }
+    }
+
+    #[test]
+    fn d2xy_xy2d_roundtrip() {
+        for side in [2u32, 4, 8, 32] {
+            for d in 0..(side * side) as u64 {
+                let (x, y) = Hilbert::d2xy(side, d);
+                assert_eq!(Hilbert::xy2d(side, x, y), d, "side={side}, d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn known_4x4_shape() {
+        // The canonical 4x4 Hilbert curve (x=row, y=col), starting at the
+        // origin and sweeping the left half before the right.
+        let order = Hilbert.traversal(Mesh::new(4, 4).unwrap()).unwrap();
+        let expect_first8 = [
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 3),
+            (1, 2),
+        ];
+        for (i, &(x, y)) in expect_first8.iter().enumerate() {
+            assert_eq!(order[i], Coord::new(x, y), "position {i}");
+        }
+        // Ends in the corner adjacent to the start column.
+        assert_eq!(order[15], Coord::new(3, 0));
+    }
+
+    #[test]
+    fn locality_beats_row_major_on_8x8() {
+        // The defining property (§4.2.2): indices close in 1D stay close in
+        // 2D. Compare the average 2D distance of index pairs (i, i+k) for
+        // short offsets k (excluding k = 8, where row-major is trivially
+        // one row apart) under Hilbert vs plain row-major order.
+        let mesh = Mesh::new(8, 8).unwrap();
+        let hil = Hilbert.traversal(mesh).unwrap();
+        let row: Vec<Coord> = mesh.iter().collect();
+        let avg = |ord: &[Coord]| {
+            let mut s = 0u32;
+            let mut n = 0u32;
+            for k in 2..=6usize {
+                for i in 0..ord.len() - k {
+                    s += ord[i].manhattan(ord[i + k]);
+                    n += 1;
+                }
+            }
+            s as f64 / n as f64
+        };
+        assert!(avg(&hil) < avg(&row), "hilbert {} !< row-major {}", avg(&hil), avg(&row));
+    }
+
+    #[test]
+    fn trivial_1x1() {
+        let mesh = Mesh::new(1, 1).unwrap();
+        assert_eq!(Hilbert.traversal(mesh).unwrap(), vec![Coord::new(0, 0)]);
+    }
+}

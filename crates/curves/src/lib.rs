@@ -1,0 +1,53 @@
+//! Space-filling curves for SNN-to-hardware mapping.
+//!
+//! §4.2 of the paper obtains its initial placement by laying a
+//! topologically-sorted cluster sequence onto the 2D mesh along a Hilbert
+//! space-filling curve; §4.3 (Figure 6) justifies that choice statistically
+//! against two comparator curves (ZigZag and Circle/spiral).
+//!
+//! This crate provides:
+//!
+//! * [`SpaceFillingCurve`] — a 1D → 2D traversal-order abstraction,
+//! * [`Hilbert`] — the classic Hilbert curve on `2^k × 2^k` squares,
+//! * [`Gilbert`] — the generalized Hilbert curve on arbitrary rectangles
+//!   (Appendix A of the paper, after Rong 2021 / Červený's *gilbert*),
+//! * [`ZigZag`] — serpentine row-major traversal,
+//! * [`Spiral`] — the paper's "Circle" curve: an outside-in spiral,
+//! * [`heatmap`] / [`cost`] — the distance-heatmap and connection-mask cost
+//!   machinery behind Figure 6, including the probability-cloud ensemble.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_curves::{Hilbert, SpaceFillingCurve};
+//! use snnmap_hw::Mesh;
+//!
+//! let mesh = Mesh::new(8, 8)?;
+//! let order = Hilbert.traversal(mesh)?;
+//! // A space-filling curve visits every core exactly once, one hop at a time.
+//! assert_eq!(order.len(), 64);
+//! for w in order.windows(2) {
+//!     assert_eq!(w[0].manhattan(w[1]), 1);
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod cost;
+mod curve;
+mod error;
+mod gilbert;
+pub mod heatmap;
+mod hilbert;
+mod spiral;
+mod zigzag;
+
+pub use curve::SpaceFillingCurve;
+pub use error::CurveError;
+pub use gilbert::Gilbert;
+pub use hilbert::Hilbert;
+pub use curve::{assert_valid_continuous_traversal, assert_valid_traversal_with_jumps};
+pub use spiral::Spiral;
+pub use zigzag::{Serpentine, ZigZag};

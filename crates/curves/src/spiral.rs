@@ -1,0 +1,111 @@
+//! Spiral ("Circle") traversal — a Figure 6 comparator curve.
+
+use snnmap_hw::{Coord, Mesh};
+
+use crate::{CurveError, SpaceFillingCurve};
+
+/// The paper's "Circle" curve: a clockwise outside-in spiral starting at
+/// the top-left corner.
+///
+/// Continuous, but its 1D→2D locality is the worst of the three Figure 6
+/// curves (≈6.3× Hilbert's cost): points early and late in the sequence
+/// interleave around the perimeter rings.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_curves::{SpaceFillingCurve, Spiral};
+/// use snnmap_hw::{Coord, Mesh};
+///
+/// let order = Spiral.traversal(Mesh::new(3, 3)?)?;
+/// assert_eq!(order.first(), Some(&Coord::new(0, 0)));
+/// assert_eq!(order.last(), Some(&Coord::new(1, 1))); // centre is visited last
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Spiral;
+
+impl SpaceFillingCurve for Spiral {
+    fn name(&self) -> &'static str {
+        "Circle"
+    }
+
+    fn traversal(&self, mesh: Mesh) -> Result<Vec<Coord>, CurveError> {
+        let mut out = Vec::with_capacity(mesh.len());
+        let (mut top, mut left) = (0i32, 0i32);
+        let (mut bottom, mut right) = (mesh.rows() as i32 - 1, mesh.cols() as i32 - 1);
+        while top <= bottom && left <= right {
+            for y in left..=right {
+                out.push(Coord::new(top as u16, y as u16));
+            }
+            for x in top + 1..=bottom {
+                out.push(Coord::new(x as u16, right as u16));
+            }
+            if top < bottom {
+                for y in (left..right).rev() {
+                    out.push(Coord::new(bottom as u16, y as u16));
+                }
+            }
+            if left < right {
+                for x in (top + 1..bottom).rev() {
+                    out.push(Coord::new(x as u16, left as u16));
+                }
+            }
+            top += 1;
+            bottom -= 1;
+            left += 1;
+            right -= 1;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::assert_valid_continuous_traversal;
+
+    #[test]
+    fn continuous_permutation() {
+        for (r, c) in [(1, 1), (1, 6), (6, 1), (2, 2), (3, 3), (4, 4), (8, 8), (5, 8), (8, 5)] {
+            let mesh = Mesh::new(r, c).unwrap();
+            let order = Spiral.traversal(mesh).unwrap();
+            assert_valid_continuous_traversal(mesh, &order);
+        }
+    }
+
+    #[test]
+    fn known_3x3_ring_order() {
+        let order = Spiral.traversal(Mesh::new(3, 3).unwrap()).unwrap();
+        let expect = [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 2),
+            (2, 1),
+            (2, 0),
+            (1, 0),
+            (1, 1),
+        ];
+        for (i, &(x, y)) in expect.iter().enumerate() {
+            assert_eq!(order[i], Coord::new(x, y));
+        }
+    }
+
+    #[test]
+    fn first_ring_is_perimeter_on_4x4() {
+        let order = Spiral.traversal(Mesh::new(4, 4).unwrap()).unwrap();
+        // The first 12 visits form the outer ring.
+        for c in &order[..12] {
+            assert!(
+                c.x == 0 || c.x == 3 || c.y == 0 || c.y == 3,
+                "{c} should lie on the perimeter"
+            );
+        }
+        // The remaining 4 form the inner 2x2 block.
+        for c in &order[12..] {
+            assert!((1..=2).contains(&c.x) && (1..=2).contains(&c.y));
+        }
+    }
+}

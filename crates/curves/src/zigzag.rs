@@ -1,0 +1,195 @@
+//! ZigZag (diagonal-scan) and Serpentine traversals — Figure 6 comparator
+//! curves.
+
+use snnmap_hw::{Coord, Mesh};
+
+use crate::{CurveError, SpaceFillingCurve};
+
+/// The ZigZag curve: a diagonal (JPEG-style) scan that walks anti-diagonals
+/// alternately up-right and down-left.
+///
+/// This matches the paper's Figure 6 comparator, whose measured cost on the
+/// probability cloud is ≈2.6× Hilbert's: diagonal steps are two Manhattan
+/// hops, and successive anti-diagonals drift across the whole mesh, so the
+/// 1D→2D locality is markedly worse than the Hilbert curve's (and also
+/// worse than a simple serpentine's, see [`Serpentine`]).
+///
+/// Unlike the other curves in this crate, the ZigZag traversal is *not*
+/// unit-continuous: interior diagonal steps have Manhattan length 2.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_curves::{SpaceFillingCurve, ZigZag};
+/// use snnmap_hw::{Coord, Mesh};
+///
+/// let order = ZigZag.traversal(Mesh::new(3, 3)?)?;
+/// // First anti-diagonal after the origin: (0,1) then (1,0).
+/// assert_eq!(&order[..3], &[Coord::new(0, 0), Coord::new(0, 1), Coord::new(1, 0)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ZigZag;
+
+impl SpaceFillingCurve for ZigZag {
+    fn name(&self) -> &'static str {
+        "ZigZag"
+    }
+
+    fn traversal(&self, mesh: Mesh) -> Result<Vec<Coord>, CurveError> {
+        let (rows, cols) = (mesh.rows() as i32, mesh.cols() as i32);
+        let mut out = Vec::with_capacity(mesh.len());
+        for d in 0..rows + cols - 1 {
+            // Anti-diagonal d holds cells with x + y == d.
+            let x_lo = (d - cols + 1).max(0);
+            let x_hi = d.min(rows - 1);
+            if d % 2 == 0 {
+                // Walk up-right: decreasing x.
+                for x in (x_lo..=x_hi).rev() {
+                    out.push(Coord::new(x as u16, (d - x) as u16));
+                }
+            } else {
+                // Walk down-left: increasing x.
+                for x in x_lo..=x_hi {
+                    out.push(Coord::new(x as u16, (d - x) as u16));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The serpentine (boustrophedon) curve: row 0 left-to-right, row 1
+/// right-to-left, and so on.
+///
+/// Kept as an additional comparator and ablation curve: it is
+/// unit-continuous and close to the Hilbert curve at very short 1D range,
+/// but loses at the layer-to-layer ranges SNN traffic actually spans.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_curves::{Serpentine, SpaceFillingCurve};
+/// use snnmap_hw::{Coord, Mesh};
+///
+/// let order = Serpentine.traversal(Mesh::new(2, 3)?)?;
+/// assert_eq!(order[2], Coord::new(0, 2));
+/// assert_eq!(order[3], Coord::new(1, 2)); // snake turns at the row edge
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Serpentine;
+
+impl SpaceFillingCurve for Serpentine {
+    fn name(&self) -> &'static str {
+        "Serpentine"
+    }
+
+    fn traversal(&self, mesh: Mesh) -> Result<Vec<Coord>, CurveError> {
+        Ok((0..mesh.len()).map(|i| self.coord(mesh, i).expect("index in range")).collect())
+    }
+
+    fn coord(&self, mesh: Mesh, index: usize) -> Result<Coord, CurveError> {
+        if index >= mesh.len() {
+            return Err(CurveError::IndexOutOfRange { index, len: mesh.len() });
+        }
+        let cols = mesh.cols() as usize;
+        let row = index / cols;
+        let off = index % cols;
+        let col = if row % 2 == 0 { off } else { cols - 1 - off };
+        Ok(Coord::new(row as u16, col as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::assert_valid_continuous_traversal;
+
+    fn assert_permutation(mesh: Mesh, order: &[Coord]) {
+        assert_eq!(order.len(), mesh.len());
+        let mut seen = vec![false; mesh.len()];
+        for &c in order {
+            assert!(mesh.contains(c));
+            let i = mesh.index_of(c);
+            assert!(!seen[i], "{c} visited twice");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn zigzag_is_permutation() {
+        for (r, c) in [(1, 1), (1, 9), (9, 1), (8, 8), (5, 7), (7, 5)] {
+            let mesh = Mesh::new(r, c).unwrap();
+            let order = ZigZag.traversal(mesh).unwrap();
+            assert_permutation(mesh, &order);
+        }
+    }
+
+    #[test]
+    fn zigzag_known_3x3_diagonal_order() {
+        let order = ZigZag.traversal(Mesh::new(3, 3).unwrap()).unwrap();
+        let expect = [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (1, 2),
+            (2, 1),
+            (2, 2),
+        ];
+        for (i, &(x, y)) in expect.iter().enumerate() {
+            assert_eq!(order[i], Coord::new(x, y), "position {i}");
+        }
+    }
+
+    #[test]
+    fn zigzag_steps_bounded_by_two_hops_on_squares() {
+        // On square meshes, diagonal steps are 2 hops and turn steps 1 hop.
+        let order = ZigZag.traversal(Mesh::new(8, 8).unwrap()).unwrap();
+        for w in order.windows(2) {
+            let d = w[0].manhattan(w[1]);
+            assert!(d == 1 || d == 2, "{} -> {} is {d} hops", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn serpentine_is_continuous_permutation() {
+        for (r, c) in [(1, 1), (1, 9), (9, 1), (8, 8), (5, 7)] {
+            let mesh = Mesh::new(r, c).unwrap();
+            let order = Serpentine.traversal(mesh).unwrap();
+            assert_valid_continuous_traversal(mesh, &order);
+        }
+    }
+
+    #[test]
+    fn serpentine_snake_pattern_3x3() {
+        let order = Serpentine.traversal(Mesh::new(3, 3).unwrap()).unwrap();
+        let expect = [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 1),
+            (1, 0),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+        ];
+        for (i, &(x, y)) in expect.iter().enumerate() {
+            assert_eq!(order[i], Coord::new(x, y));
+        }
+    }
+
+    #[test]
+    fn serpentine_coord_matches_traversal() {
+        let mesh = Mesh::new(6, 5).unwrap();
+        let order = Serpentine.traversal(mesh).unwrap();
+        for (i, &c) in order.iter().enumerate() {
+            assert_eq!(Serpentine.coord(mesh, i).unwrap(), c);
+        }
+        assert!(Serpentine.coord(mesh, 30).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests on the comparator curves.
+
+use proptest::prelude::*;
+use snnmap_curves::{Serpentine, SpaceFillingCurve, Spiral, ZigZag};
+use snnmap_hw::{Coord, Mesh};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ZigZag (diagonal scan) is always a permutation whose steps never
+    /// exceed the anti-diagonal bound, and consecutive points sit on
+    /// anti-diagonals that differ by at most one.
+    #[test]
+    fn zigzag_diagonal_structure(rows in 1u16..32, cols in 1u16..32) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let order = ZigZag.traversal(mesh).unwrap();
+        let mut seen = vec![false; mesh.len()];
+        for &c in &order {
+            prop_assert!(mesh.contains(c));
+            let i = mesh.index_of(c);
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        for w in order.windows(2) {
+            let d0 = w[0].x as i32 + w[0].y as i32;
+            let d1 = w[1].x as i32 + w[1].y as i32;
+            prop_assert!((d1 - d0).abs() <= 1, "{} -> {}", w[0], w[1]);
+        }
+        // Anti-diagonal index is non-decreasing overall.
+        let diags: Vec<i32> = order.iter().map(|c| c.x as i32 + c.y as i32).collect();
+        prop_assert!(diags.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    /// Serpentine's closed-form `coord` agrees with its traversal and its
+    /// rows alternate direction.
+    #[test]
+    fn serpentine_closed_form(rows in 1u16..32, cols in 1u16..32) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let order = Serpentine.traversal(mesh).unwrap();
+        for (i, &c) in order.iter().enumerate() {
+            prop_assert_eq!(Serpentine.coord(mesh, i).unwrap(), c);
+        }
+        // Row r occupies positions [r*cols, (r+1)*cols).
+        for (i, &c) in order.iter().enumerate() {
+            prop_assert_eq!(c.x as usize, i / cols as usize);
+        }
+    }
+
+    /// The spiral's visiting order has strictly non-decreasing ring index
+    /// (distance to the nearest mesh border).
+    #[test]
+    fn spiral_rings_monotone(rows in 1u16..32, cols in 1u16..32) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let order = Spiral.traversal(mesh).unwrap();
+        let ring = |c: Coord| {
+            let top = c.x;
+            let left = c.y;
+            let bottom = rows - 1 - c.x;
+            let right = cols - 1 - c.y;
+            top.min(left).min(bottom).min(right)
+        };
+        let rings: Vec<u16> = order.iter().map(|&c| ring(c)).collect();
+        prop_assert!(rings.windows(2).all(|w| w[1] >= w[0]), "{rings:?}");
+    }
+}

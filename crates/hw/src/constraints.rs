@@ -1,0 +1,205 @@
+//! Per-core capacity constraints and the interconnect cost model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-core capacity limits, `CON_npc` and `CON_spc` in §3.1 of the paper.
+///
+/// `CON_npc` is the maximum number of neurons a core can simulate and
+/// `CON_spc` the maximum number of synapses whose weights a core can store.
+/// The partitioner (Algorithm 1) packs neurons into clusters subject to
+/// both limits.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::CoreConstraints;
+///
+/// let con = CoreConstraints::new(4096, 64 * 1024);
+/// assert!(con.admits(4096, 65536));
+/// assert!(!con.admits(4097, 10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreConstraints {
+    /// Maximum neurons per core (`CON_npc`).
+    pub neurons_per_core: u32,
+    /// Maximum synapses per core (`CON_spc`).
+    pub synapses_per_core: u64,
+}
+
+impl CoreConstraints {
+    /// Creates a constraint set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is zero: a core that can hold nothing makes
+    /// every SNN unmappable and is always a configuration bug.
+    pub fn new(neurons_per_core: u32, synapses_per_core: u64) -> Self {
+        assert!(
+            neurons_per_core > 0 && synapses_per_core > 0,
+            "per-core capacities must be nonzero"
+        );
+        Self { neurons_per_core, synapses_per_core }
+    }
+
+    /// Whether a cluster with `neurons` neurons and `synapses` stored
+    /// synapses fits on one core.
+    #[inline]
+    pub fn admits(&self, neurons: u32, synapses: u64) -> bool {
+        neurons <= self.neurons_per_core && synapses <= self.synapses_per_core
+    }
+}
+
+impl Default for CoreConstraints {
+    /// The paper's target hardware (Table 2): 4096 neurons and 64 K synapses
+    /// per core.
+    fn default() -> Self {
+        Self::new(4096, 64 * 1024)
+    }
+}
+
+impl fmt::Display for CoreConstraints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} neurons/core, {} synapses/core",
+            self.neurons_per_core, self.synapses_per_core
+        )
+    }
+}
+
+/// Interconnect energy and latency constants of the target hardware
+/// (Table 2 of the paper).
+///
+/// * `en_r` — energy for a router to route one spike message (`EN_r`),
+/// * `en_w` — energy for one spike traversing an inter-router wire (`EN_w`),
+/// * `l_r` — router traversal delay (`L_r`),
+/// * `l_w` — wire traversal delay (`L_w`).
+///
+/// A spike travelling `h` hops traverses `h + 1` routers and `h` wires, so
+/// its energy is `(h + 1)·EN_r + h·EN_w` and its latency `(h + 1)·L_r + h·L_w`
+/// (eqs. 9–11).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::CostModel;
+///
+/// let cm = CostModel::paper_target();
+/// assert_eq!(cm.spike_energy(0), 1.0);    // same-core: one router, no wire
+/// assert_eq!(cm.spike_energy(3), 4.3);    // 4 routers + 3 wires
+/// assert_eq!(cm.spike_latency(3), 4.03);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Router energy per spike (`EN_r`).
+    pub en_r: f64,
+    /// Wire energy per spike per hop (`EN_w`).
+    pub en_w: f64,
+    /// Router delay per spike (`L_r`).
+    pub l_r: f64,
+    /// Wire delay per spike per hop (`L_w`).
+    pub l_w: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model from the four constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any constant is negative or non-finite.
+    pub fn new(en_r: f64, en_w: f64, l_r: f64, l_w: f64) -> Self {
+        for (name, v) in [("EN_r", en_r), ("EN_w", en_w), ("L_r", l_r), ("L_w", l_w)] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and nonnegative, got {v}");
+        }
+        Self { en_r, en_w, l_r, l_w }
+    }
+
+    /// The paper's target hardware constants (Table 2):
+    /// `EN_r = 1`, `EN_w = 0.1`, `L_r = 1`, `L_w = 0.01`.
+    pub fn paper_target() -> Self {
+        Self::new(1.0, 0.1, 1.0, 0.01)
+    }
+
+    /// Energy of one spike travelling `hops` mesh hops:
+    /// `(hops + 1)·EN_r + hops·EN_w`.
+    #[inline]
+    pub fn spike_energy(&self, hops: u32) -> f64 {
+        (hops as f64 + 1.0) * self.en_r + hops as f64 * self.en_w
+    }
+
+    /// Latency of one spike travelling `hops` mesh hops:
+    /// `(hops + 1)·L_r + hops·L_w`.
+    #[inline]
+    pub fn spike_latency(&self, hops: u32) -> f64 {
+        (hops as f64 + 1.0) * self.l_r + hops as f64 * self.l_w
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_target()
+    }
+}
+
+impl fmt::Display for CostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EN_r={}, EN_w={}, L_r={}, L_w={}",
+            self.en_r, self.en_w, self.l_r, self.l_w
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_admit_boundary() {
+        let con = CoreConstraints::new(10, 100);
+        assert!(con.admits(10, 100));
+        assert!(con.admits(0, 0));
+        assert!(!con.admits(11, 100));
+        assert!(!con.admits(10, 101));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn constraints_reject_zero() {
+        let _ = CoreConstraints::new(0, 100);
+    }
+
+    #[test]
+    fn default_constraints_match_table2() {
+        let con = CoreConstraints::default();
+        assert_eq!(con.neurons_per_core, 4096);
+        assert_eq!(con.synapses_per_core, 65536);
+    }
+
+    #[test]
+    fn cost_model_matches_paper_formulas() {
+        let cm = CostModel::paper_target();
+        // h hops: (h+1)*1 + h*0.1 energy; (h+1)*1 + h*0.01 latency.
+        for h in 0..100u32 {
+            let e = cm.spike_energy(h);
+            let l = cm.spike_latency(h);
+            assert!((e - ((h as f64 + 1.0) + 0.1 * h as f64)).abs() < 1e-12);
+            assert!((l - ((h as f64 + 1.0) + 0.01 * h as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn cost_model_rejects_nan() {
+        let _ = CostModel::new(f64::NAN, 0.1, 1.0, 0.01);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(CoreConstraints::new(4, 5).to_string(), "4 neurons/core, 5 synapses/core");
+        assert!(CostModel::paper_target().to_string().contains("EN_r=1"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type for hardware-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ClusterId, Coord};
+
+/// Errors produced by the hardware-model layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A mesh dimension was zero.
+    EmptyMesh {
+        /// Requested row count.
+        rows: u16,
+        /// Requested column count.
+        cols: u16,
+    },
+    /// A requested core count needs a mesh side larger than `u16::MAX`.
+    MeshTooLarge {
+        /// Requested number of cores.
+        cores: u64,
+    },
+    /// A coordinate lies outside the mesh.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: Coord,
+    },
+    /// Attempted to place a cluster on an occupied core.
+    CoreOccupied {
+        /// The contested coordinate.
+        coord: Coord,
+        /// The cluster already sitting there.
+        occupant: ClusterId,
+    },
+    /// Attempted to place a cluster that is already placed.
+    AlreadyPlaced {
+        /// The offending cluster.
+        cluster: ClusterId,
+    },
+    /// An operation referenced a cluster id outside the placement.
+    UnknownCluster {
+        /// The offending cluster id.
+        cluster: ClusterId,
+        /// Number of clusters the placement was created with.
+        len: u32,
+    },
+    /// An operation required a placed cluster but it has no position yet.
+    Unplaced {
+        /// The offending cluster id.
+        cluster: ClusterId,
+    },
+    /// The mesh has fewer cores than there are clusters to place.
+    InsufficientCapacity {
+        /// Number of clusters to place.
+        clusters: u64,
+        /// Number of cores available.
+        cores: u64,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::EmptyMesh { rows, cols } => {
+                write!(f, "mesh dimensions must be nonzero, got {rows}x{cols}")
+            }
+            HwError::MeshTooLarge { cores } => {
+                write!(f, "no u16-sided square mesh holds {cores} cores")
+            }
+            HwError::OutOfBounds { coord } => write!(f, "coordinate {coord} outside the mesh"),
+            HwError::CoreOccupied { coord, occupant } => {
+                write!(f, "core {coord} already holds cluster {occupant}")
+            }
+            HwError::AlreadyPlaced { cluster } => {
+                write!(f, "cluster {cluster} is already placed")
+            }
+            HwError::UnknownCluster { cluster, len } => {
+                write!(f, "cluster id {cluster} outside placement of {len} clusters")
+            }
+            HwError::Unplaced { cluster } => write!(f, "cluster {cluster} has no position"),
+            HwError::InsufficientCapacity { clusters, cores } => {
+                write!(f, "{clusters} clusters cannot fit on {cores} cores")
+            }
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            HwError::EmptyMesh { rows: 0, cols: 3 },
+            HwError::MeshTooLarge { cores: u64::MAX },
+            HwError::OutOfBounds { coord: Coord::new(9, 9) },
+            HwError::CoreOccupied { coord: Coord::new(1, 1), occupant: 7 },
+            HwError::AlreadyPlaced { cluster: 3 },
+            HwError::UnknownCluster { cluster: 10, len: 5 },
+            HwError::Unplaced { cluster: 2 },
+            HwError::InsufficientCapacity { clusters: 10, cores: 9 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.chars().next().unwrap().is_uppercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<HwError>();
+    }
+}

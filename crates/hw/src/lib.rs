@@ -1,0 +1,53 @@
+//! Hardware model for 2D-mesh neuromorphic systems.
+//!
+//! This crate implements §3.1 of *Mapping Very Large Scale Spiking Neuron
+//! Network to Neuromorphic Hardware* (ASPLOS '23): a many-core system made
+//! of homogeneous neurosynaptic cores connected by routers in a 2D mesh.
+//!
+//! The main types are:
+//!
+//! * [`Mesh`] — the core grid `S = {(x, y) | 0 ≤ x < N, 0 ≤ y < M}` (eq. 1),
+//! * [`Coord`] — a core/router coordinate with Manhattan-distance helpers,
+//! * [`CoreConstraints`] — the per-core capacity limits `CON_npc`/`CON_spc`,
+//! * [`CostModel`] — the interconnect energy/latency constants
+//!   `EN_r`, `EN_w`, `L_r`, `L_w` (Table 2),
+//! * [`Placement`] — an injective map from cluster indices to cores,
+//! * [`presets`] — the platforms of Table 1 and the paper's target hardware.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_hw::{Mesh, Coord, Placement};
+//!
+//! // A 4x4 chip with 5 clusters placed along the first row and a bit more.
+//! let mesh = Mesh::new(4, 4)?;
+//! let mut p = Placement::new_unplaced(mesh, 5);
+//! for c in 0..5u32 {
+//!     p.place(c, Coord::new(c as u16 / 4, c as u16 % 4))?;
+//! }
+//! assert_eq!(p.coord_of(4), Some(Coord::new(1, 0)));
+//! assert_eq!(p.cluster_at(Coord::new(0, 2)), Some(2));
+//! # Ok::<(), snnmap_hw::HwError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod constraints;
+mod error;
+mod mesh;
+mod placement;
+pub mod presets;
+
+pub use constraints::{CoreConstraints, CostModel};
+pub use error::HwError;
+pub use mesh::{Coord, CoordIter, Mesh};
+pub use placement::Placement;
+
+/// Identifier of a partitioned cluster: an index into the node list of a
+/// Partitioned Cluster Network.
+///
+/// Kept as a plain `u32` so that the hardware layer stays independent of the
+/// application-model crate; 2³² clusters is far beyond the 1 M-core scale the
+/// paper targets.
+pub type ClusterId = u32;

@@ -1,0 +1,350 @@
+//! The 2D-mesh core grid and its coordinates.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::HwError;
+
+/// A coordinate `(x, y)` of a core (and its bound router) in the mesh.
+///
+/// Following §3.1 of the paper, `x` is the row index (`0 ≤ x < N`) and `y`
+/// the column index (`0 ≤ y < M`); the top-left core is `(0, 0)` and the
+/// bottom-right core is `(N − 1, M − 1)`.
+///
+/// `u16` components bound the mesh to 65 536 × 65 536 cores — four billion
+/// cores, three orders of magnitude beyond the paper's largest system —
+/// while keeping a `Coord` at four bytes so that million-core placements
+/// stay compact.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::Coord;
+///
+/// let a = Coord::new(1, 2);
+/// let b = Coord::new(4, 0);
+/// assert_eq!(a.manhattan(b), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Coord {
+    /// Row index (`0 ≤ x < N`).
+    pub x: u16,
+    /// Column index (`0 ≤ y < M`).
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate from row `x` and column `y`.
+    #[inline]
+    pub const fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+
+    /// The Manhattan (L1) distance `‖a − b‖₁` between two cores — the hop
+    /// count of a minimal route in the mesh, used throughout the paper's
+    /// cost metrics (eqs. 9–11).
+    #[inline]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        self.x.abs_diff(other.x) as u32 + self.y.abs_diff(other.y) as u32
+    }
+
+    /// Whether two cores are mesh neighbours (Manhattan distance exactly 1).
+    #[inline]
+    pub fn is_adjacent(self, other: Coord) -> bool {
+        self.manhattan(other) == 1
+    }
+}
+
+impl From<(u16, u16)> for Coord {
+    #[inline]
+    fn from((x, y): (u16, u16)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// The rectangular mesh of cores, `S = {(x, y) ∈ ℕ² | 0 ≤ x < N, 0 ≤ y < M}`
+/// (eq. 1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::{Mesh, Coord};
+///
+/// let mesh = Mesh::new(3, 5)?;
+/// assert_eq!(mesh.len(), 15);
+/// assert!(mesh.contains(Coord::new(2, 4)));
+/// assert!(!mesh.contains(Coord::new(3, 0)));
+/// # Ok::<(), snnmap_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mesh {
+    rows: u16,
+    cols: u16,
+}
+
+impl Mesh {
+    /// Creates an `N × M` mesh with `rows = N` and `cols = M`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::EmptyMesh`] if either dimension is zero.
+    pub fn new(rows: u16, cols: u16) -> Result<Self, HwError> {
+        if rows == 0 || cols == 0 {
+            return Err(HwError::EmptyMesh { rows, cols });
+        }
+        Ok(Self { rows, cols })
+    }
+
+    /// Creates the smallest square mesh with at least `min_cores` cores.
+    ///
+    /// This mirrors the paper's Table 3 where each application targets the
+    /// smallest square system that fits its cluster count (e.g. 251 clusters
+    /// on a 16 × 16 system).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::EmptyMesh`] when `min_cores` is zero, and
+    /// [`HwError::MeshTooLarge`] when the required side exceeds `u16::MAX`.
+    pub fn square_for(min_cores: u64) -> Result<Self, HwError> {
+        if min_cores == 0 {
+            return Err(HwError::EmptyMesh { rows: 0, cols: 0 });
+        }
+        let mut side = (min_cores as f64).sqrt().floor() as u64;
+        while side <= u16::MAX as u64 && side * side < min_cores {
+            side += 1;
+        }
+        let side = u16::try_from(side).map_err(|_| HwError::MeshTooLarge { cores: min_cores })?;
+        if (side as u64) * (side as u64) < min_cores {
+            return Err(HwError::MeshTooLarge { cores: min_cores });
+        }
+        Mesh::new(side, side)
+    }
+
+    /// Number of rows `N`.
+    #[inline]
+    pub const fn rows(&self) -> u16 {
+        self.rows
+    }
+
+    /// Number of columns `M`.
+    #[inline]
+    pub const fn cols(&self) -> u16 {
+        self.cols
+    }
+
+    /// Total number of cores `N × M`.
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+
+    /// Whether the mesh has no cores. Always `false`: [`Mesh::new`] rejects
+    /// empty meshes, so this exists only to pair with [`Mesh::len`].
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `c` lies inside the mesh.
+    #[inline]
+    pub const fn contains(&self, c: Coord) -> bool {
+        c.x < self.rows && c.y < self.cols
+    }
+
+    /// Row-major linear index of a coordinate: `x · M + y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `c` is outside the mesh.
+    #[inline]
+    pub fn index_of(&self, c: Coord) -> usize {
+        debug_assert!(self.contains(c), "coordinate {c} outside {self}");
+        c.x as usize * self.cols as usize + c.y as usize
+    }
+
+    /// Inverse of [`Mesh::index_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `idx ≥ len()`.
+    #[inline]
+    pub fn coord_of_index(&self, idx: usize) -> Coord {
+        debug_assert!(idx < self.len(), "index {idx} outside {self}");
+        Coord::new((idx / self.cols as usize) as u16, (idx % self.cols as usize) as u16)
+    }
+
+    /// The up-to-four mesh neighbours of `c` (bidirectional links, §3.1).
+    pub fn neighbors(&self, c: Coord) -> impl Iterator<Item = Coord> + '_ {
+        let candidates = [
+            (c.x.checked_sub(1), Some(c.y)),
+            (c.x.checked_add(1), Some(c.y)),
+            (Some(c.x), c.y.checked_sub(1)),
+            (Some(c.x), c.y.checked_add(1)),
+        ];
+        candidates.into_iter().filter_map(move |(x, y)| match (x, y) {
+            (Some(x), Some(y)) if self.contains(Coord::new(x, y)) => Some(Coord::new(x, y)),
+            _ => None,
+        })
+    }
+
+    /// Iterates all coordinates in row-major order.
+    pub fn iter(&self) -> CoordIter {
+        CoordIter { mesh: *self, next: 0 }
+    }
+}
+
+impl fmt::Display for Mesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} mesh", self.rows, self.cols)
+    }
+}
+
+impl IntoIterator for Mesh {
+    type Item = Coord;
+    type IntoIter = CoordIter;
+
+    fn into_iter(self) -> CoordIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &Mesh {
+    type Item = Coord;
+    type IntoIter = CoordIter;
+
+    fn into_iter(self) -> CoordIter {
+        self.iter()
+    }
+}
+
+/// Row-major iterator over all coordinates of a [`Mesh`],
+/// produced by [`Mesh::iter`].
+#[derive(Debug, Clone)]
+pub struct CoordIter {
+    mesh: Mesh,
+    next: usize,
+}
+
+impl Iterator for CoordIter {
+    type Item = Coord;
+
+    fn next(&mut self) -> Option<Coord> {
+        if self.next >= self.mesh.len() {
+            return None;
+        }
+        let c = self.mesh.coord_of_index(self.next);
+        self.next += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.mesh.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for CoordIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_matches_hand_computed() {
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(0, 0)), 0);
+        assert_eq!(Coord::new(0, 0).manhattan(Coord::new(3, 4)), 7);
+        assert_eq!(Coord::new(5, 1).manhattan(Coord::new(2, 9)), 11);
+    }
+
+    #[test]
+    fn manhattan_is_symmetric() {
+        let a = Coord::new(7, 3);
+        let b = Coord::new(1, 10);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+
+    #[test]
+    fn adjacency() {
+        let c = Coord::new(2, 2);
+        assert!(c.is_adjacent(Coord::new(1, 2)));
+        assert!(c.is_adjacent(Coord::new(2, 3)));
+        assert!(!c.is_adjacent(c));
+        assert!(!c.is_adjacent(Coord::new(3, 3)));
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert!(matches!(Mesh::new(0, 4), Err(HwError::EmptyMesh { .. })));
+        assert!(matches!(Mesh::new(4, 0), Err(HwError::EmptyMesh { .. })));
+    }
+
+    #[test]
+    fn square_for_matches_table3_sizes() {
+        // Table 3: 16 clusters -> 4x4, 251 -> 16x16, 6956 -> 84x84,
+        // 1_048_576 -> 1024x1024.
+        assert_eq!(Mesh::square_for(16).unwrap(), Mesh::new(4, 4).unwrap());
+        assert_eq!(Mesh::square_for(251).unwrap(), Mesh::new(16, 16).unwrap());
+        assert_eq!(Mesh::square_for(6956).unwrap(), Mesh::new(84, 84).unwrap());
+        assert_eq!(Mesh::square_for(1 << 20).unwrap(), Mesh::new(1024, 1024).unwrap());
+    }
+
+    #[test]
+    fn square_for_rejects_degenerate() {
+        assert!(Mesh::square_for(0).is_err());
+        assert!(Mesh::square_for(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mesh = Mesh::new(3, 5).unwrap();
+        for (i, c) in mesh.iter().enumerate() {
+            assert_eq!(mesh.index_of(c), i);
+            assert_eq!(mesh.coord_of_index(i), c);
+        }
+    }
+
+    #[test]
+    fn iter_covers_all_cores_in_row_major_order() {
+        let mesh = Mesh::new(2, 3).unwrap();
+        let coords: Vec<_> = mesh.iter().collect();
+        assert_eq!(
+            coords,
+            vec![
+                Coord::new(0, 0),
+                Coord::new(0, 1),
+                Coord::new(0, 2),
+                Coord::new(1, 0),
+                Coord::new(1, 1),
+                Coord::new(1, 2),
+            ]
+        );
+        assert_eq!(mesh.iter().len(), 6);
+    }
+
+    #[test]
+    fn neighbors_at_corner_edge_interior() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let corner: Vec<_> = mesh.neighbors(Coord::new(0, 0)).collect();
+        assert_eq!(corner.len(), 2);
+        let edge: Vec<_> = mesh.neighbors(Coord::new(0, 1)).collect();
+        assert_eq!(edge.len(), 3);
+        let interior: Vec<_> = mesh.neighbors(Coord::new(1, 1)).collect();
+        assert_eq!(interior.len(), 4);
+        for n in interior {
+            assert!(n.is_adjacent(Coord::new(1, 1)));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Coord::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Mesh::new(4, 8).unwrap().to_string(), "4x8 mesh");
+    }
+}

@@ -1,0 +1,416 @@
+//! Injective cluster-to-core placements.
+
+use std::fmt;
+
+use crate::{ClusterId, Coord, HwError, Mesh};
+
+/// A (partial) placement `P : V_P → S` — an injective map from cluster
+/// indices to mesh cores (§3.3, eqs. 7–8).
+///
+/// The structure is maintained doubly: `coord_of` answers "where is this
+/// cluster" and `cluster_at` answers "who sits on this core", both in O(1).
+/// This is what lets the Force-Directed engine swap adjacent occupants in
+/// constant time.
+///
+/// A placement may be *partial* while being built (clusters not yet placed)
+/// and *non-full* even when complete (Table 3 has e.g. 251 clusters on a
+/// 16 × 16 = 256-core system, leaving 5 empty cores).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::{Mesh, Coord, Placement};
+///
+/// let mesh = Mesh::new(2, 2)?;
+/// let mut p = Placement::new_unplaced(mesh, 3);
+/// p.place(0, Coord::new(0, 0))?;
+/// p.place(1, Coord::new(0, 1))?;
+/// p.place(2, Coord::new(1, 1))?;
+/// assert!(p.is_complete());
+/// assert_eq!(p.distance(0, 2)?, 2);
+///
+/// // Swap the occupants of two cores (one may be empty).
+/// p.swap_cores(Coord::new(0, 0), Coord::new(1, 0))?;
+/// assert_eq!(p.coord_of(0), Some(Coord::new(1, 0)));
+/// assert_eq!(p.cluster_at(Coord::new(0, 0)), None);
+/// # Ok::<(), snnmap_hw::HwError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Placement {
+    mesh: Mesh,
+    /// Cluster id → its coordinate (None while unplaced).
+    pos: Vec<Option<Coord>>,
+    /// Mesh linear index → occupying cluster.
+    grid: Vec<Option<ClusterId>>,
+    placed: u32,
+}
+
+impl Placement {
+    /// Creates an empty placement of `n_clusters` clusters on `mesh`,
+    /// with every cluster unplaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clusters` exceeds the mesh capacity — an injective map
+    /// cannot exist then, and every caller has already sized the mesh.
+    pub fn new_unplaced(mesh: Mesh, n_clusters: u32) -> Self {
+        assert!(
+            n_clusters as usize <= mesh.len(),
+            "{n_clusters} clusters cannot be injectively placed on {mesh}"
+        );
+        Self {
+            mesh,
+            pos: vec![None; n_clusters as usize],
+            grid: vec![None; mesh.len()],
+            placed: 0,
+        }
+    }
+
+    /// Builds a complete placement from a per-cluster coordinate sequence:
+    /// cluster `i` goes to `coords[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InsufficientCapacity`] if there are more clusters
+    /// than cores, [`HwError::OutOfBounds`] for a coordinate outside the
+    /// mesh, and [`HwError::CoreOccupied`] if two clusters share a core.
+    pub fn from_coords(mesh: Mesh, coords: &[Coord]) -> Result<Self, HwError> {
+        if coords.len() > mesh.len() {
+            return Err(HwError::InsufficientCapacity {
+                clusters: coords.len() as u64,
+                cores: mesh.len() as u64,
+            });
+        }
+        let mut p = Self::new_unplaced(mesh, coords.len() as u32);
+        for (i, &c) in coords.iter().enumerate() {
+            p.place(i as ClusterId, c)?;
+        }
+        Ok(p)
+    }
+
+    /// The mesh this placement targets.
+    #[inline]
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Number of clusters (placed or not).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.pos.len() as u32
+    }
+
+    /// Whether the placement tracks zero clusters.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Number of clusters currently placed.
+    #[inline]
+    pub fn placed_count(&self) -> u32 {
+        self.placed
+    }
+
+    /// Whether every cluster has a position.
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.placed as usize == self.pos.len()
+    }
+
+    /// Coordinate of `cluster`, or `None` if it is unplaced or unknown.
+    #[inline]
+    pub fn coord_of(&self, cluster: ClusterId) -> Option<Coord> {
+        self.pos.get(cluster as usize).copied().flatten()
+    }
+
+    /// Coordinate of `cluster`, failing loudly when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::UnknownCluster`] for an out-of-range id,
+    /// [`HwError::Unplaced`] for a known but unplaced cluster.
+    pub fn try_coord_of(&self, cluster: ClusterId) -> Result<Coord, HwError> {
+        match self.pos.get(cluster as usize) {
+            None => Err(HwError::UnknownCluster { cluster, len: self.len() }),
+            Some(None) => Err(HwError::Unplaced { cluster }),
+            Some(Some(c)) => Ok(*c),
+        }
+    }
+
+    /// The cluster occupying core `coord`, if any.
+    ///
+    /// Returns `None` both for an empty core and for a coordinate outside
+    /// the mesh; use [`Mesh::contains`] to distinguish.
+    #[inline]
+    pub fn cluster_at(&self, coord: Coord) -> Option<ClusterId> {
+        if !self.mesh.contains(coord) {
+            return None;
+        }
+        self.grid[self.mesh.index_of(coord)]
+    }
+
+    /// Places an unplaced cluster on an empty core.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::UnknownCluster`], [`HwError::AlreadyPlaced`],
+    /// [`HwError::OutOfBounds`] or [`HwError::CoreOccupied`].
+    pub fn place(&mut self, cluster: ClusterId, coord: Coord) -> Result<(), HwError> {
+        if cluster as usize >= self.pos.len() {
+            return Err(HwError::UnknownCluster { cluster, len: self.len() });
+        }
+        if self.pos[cluster as usize].is_some() {
+            return Err(HwError::AlreadyPlaced { cluster });
+        }
+        if !self.mesh.contains(coord) {
+            return Err(HwError::OutOfBounds { coord });
+        }
+        let idx = self.mesh.index_of(coord);
+        if let Some(occupant) = self.grid[idx] {
+            return Err(HwError::CoreOccupied { coord, occupant });
+        }
+        self.grid[idx] = Some(cluster);
+        self.pos[cluster as usize] = Some(coord);
+        self.placed += 1;
+        Ok(())
+    }
+
+    /// Removes a cluster from the mesh, returning its previous coordinate.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::UnknownCluster`] or [`HwError::Unplaced`].
+    pub fn unplace(&mut self, cluster: ClusterId) -> Result<Coord, HwError> {
+        let coord = self.try_coord_of(cluster)?;
+        self.grid[self.mesh.index_of(coord)] = None;
+        self.pos[cluster as usize] = None;
+        self.placed -= 1;
+        Ok(coord)
+    }
+
+    /// Exchanges the occupants of two cores. Either core may be empty, so
+    /// this doubles as a *move* when exactly one is occupied, and is a
+    /// no-op when both are empty or `a == b`.
+    ///
+    /// This is the primitive the Force-Directed algorithm performs on each
+    /// positive-tension pair (Algorithm 3, line 20).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::OutOfBounds`] if either coordinate is outside the mesh.
+    pub fn swap_cores(&mut self, a: Coord, b: Coord) -> Result<(), HwError> {
+        for c in [a, b] {
+            if !self.mesh.contains(c) {
+                return Err(HwError::OutOfBounds { coord: c });
+            }
+        }
+        if a == b {
+            return Ok(());
+        }
+        let ia = self.mesh.index_of(a);
+        let ib = self.mesh.index_of(b);
+        self.grid.swap(ia, ib);
+        if let Some(cl) = self.grid[ia] {
+            self.pos[cl as usize] = Some(a);
+        }
+        if let Some(cl) = self.grid[ib] {
+            self.pos[cl as usize] = Some(b);
+        }
+        Ok(())
+    }
+
+    /// Manhattan distance `‖P(c_i) − P(c_j)‖₁` between two placed clusters —
+    /// the quantity inside every metric of §3.3.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::UnknownCluster`] or [`HwError::Unplaced`] for either id.
+    #[inline]
+    pub fn distance(&self, ci: ClusterId, cj: ClusterId) -> Result<u32, HwError> {
+        Ok(self.try_coord_of(ci)?.manhattan(self.try_coord_of(cj)?))
+    }
+
+    /// Iterates `(cluster, coordinate)` for every placed cluster, in
+    /// cluster-id order.
+    pub fn iter_placed(&self) -> impl Iterator<Item = (ClusterId, Coord)> + '_ {
+        self.pos
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (i as ClusterId, c)))
+    }
+
+    /// Checks the internal bidirectional invariants: `pos` and `grid` agree,
+    /// the map is injective, and `placed_count` is consistent.
+    ///
+    /// Cheap enough to run in tests and debug assertions; O(clusters + cores).
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let mut seen = 0u32;
+        for (i, p) in self.pos.iter().enumerate() {
+            if let Some(c) = p {
+                if !self.mesh.contains(*c) {
+                    return Err(format!("cluster {i} at {c} outside {}", self.mesh));
+                }
+                if self.grid[self.mesh.index_of(*c)] != Some(i as ClusterId) {
+                    return Err(format!("grid/pos mismatch for cluster {i} at {c}"));
+                }
+                seen += 1;
+            }
+        }
+        if seen != self.placed {
+            return Err(format!("placed_count {} but {seen} positions set", self.placed));
+        }
+        let grid_occupied = self.grid.iter().filter(|g| g.is_some()).count() as u32;
+        if grid_occupied != seen {
+            return Err(format!("{grid_occupied} occupied cores but {seen} placed clusters"));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Placement")
+            .field("mesh", &self.mesh)
+            .field("clusters", &self.len())
+            .field("placed", &self.placed)
+            .finish()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} clusters on {}", self.placed, self.len(), self.mesh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh3() -> Mesh {
+        Mesh::new(3, 3).unwrap()
+    }
+
+    #[test]
+    fn place_and_lookup_roundtrip() {
+        let mut p = Placement::new_unplaced(mesh3(), 4);
+        p.place(2, Coord::new(1, 1)).unwrap();
+        assert_eq!(p.coord_of(2), Some(Coord::new(1, 1)));
+        assert_eq!(p.cluster_at(Coord::new(1, 1)), Some(2));
+        assert_eq!(p.coord_of(0), None);
+        assert_eq!(p.placed_count(), 1);
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn place_rejects_double_occupancy() {
+        let mut p = Placement::new_unplaced(mesh3(), 4);
+        p.place(0, Coord::new(0, 0)).unwrap();
+        assert_eq!(
+            p.place(1, Coord::new(0, 0)),
+            Err(HwError::CoreOccupied { coord: Coord::new(0, 0), occupant: 0 })
+        );
+    }
+
+    #[test]
+    fn place_rejects_double_place() {
+        let mut p = Placement::new_unplaced(mesh3(), 4);
+        p.place(0, Coord::new(0, 0)).unwrap();
+        assert_eq!(p.place(0, Coord::new(1, 1)), Err(HwError::AlreadyPlaced { cluster: 0 }));
+    }
+
+    #[test]
+    fn place_rejects_out_of_bounds_and_unknown() {
+        let mut p = Placement::new_unplaced(mesh3(), 4);
+        assert!(matches!(p.place(0, Coord::new(3, 0)), Err(HwError::OutOfBounds { .. })));
+        assert!(matches!(p.place(9, Coord::new(0, 0)), Err(HwError::UnknownCluster { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "injectively")]
+    fn new_unplaced_rejects_overfull() {
+        let _ = Placement::new_unplaced(mesh3(), 10);
+    }
+
+    #[test]
+    fn from_coords_builds_complete_placement() {
+        let coords: Vec<Coord> = mesh3().iter().take(5).collect();
+        let p = Placement::from_coords(mesh3(), &coords).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.len(), 5);
+        for (i, &c) in coords.iter().enumerate() {
+            assert_eq!(p.coord_of(i as ClusterId), Some(c));
+        }
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn from_coords_rejects_duplicates() {
+        let coords = vec![Coord::new(0, 0), Coord::new(0, 0)];
+        assert!(matches!(
+            Placement::from_coords(mesh3(), &coords),
+            Err(HwError::CoreOccupied { .. })
+        ));
+    }
+
+    #[test]
+    fn swap_occupied_pair() {
+        let mut p =
+            Placement::from_coords(mesh3(), &[Coord::new(0, 0), Coord::new(2, 2)]).unwrap();
+        p.swap_cores(Coord::new(0, 0), Coord::new(2, 2)).unwrap();
+        assert_eq!(p.coord_of(0), Some(Coord::new(2, 2)));
+        assert_eq!(p.coord_of(1), Some(Coord::new(0, 0)));
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn swap_with_empty_core_moves() {
+        let mut p = Placement::from_coords(mesh3(), &[Coord::new(0, 0)]).unwrap();
+        p.swap_cores(Coord::new(0, 0), Coord::new(1, 2)).unwrap();
+        assert_eq!(p.coord_of(0), Some(Coord::new(1, 2)));
+        assert_eq!(p.cluster_at(Coord::new(0, 0)), None);
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn swap_two_empty_and_self_are_noops() {
+        let mut p = Placement::from_coords(mesh3(), &[Coord::new(0, 0)]).unwrap();
+        let before = p.clone();
+        p.swap_cores(Coord::new(1, 1), Coord::new(2, 2)).unwrap();
+        p.swap_cores(Coord::new(0, 0), Coord::new(0, 0)).unwrap();
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn unplace_frees_core() {
+        let mut p = Placement::from_coords(mesh3(), &[Coord::new(1, 1)]).unwrap();
+        assert_eq!(p.unplace(0).unwrap(), Coord::new(1, 1));
+        assert_eq!(p.cluster_at(Coord::new(1, 1)), None);
+        assert_eq!(p.placed_count(), 0);
+        assert_eq!(p.unplace(0), Err(HwError::Unplaced { cluster: 0 }));
+    }
+
+    #[test]
+    fn distance_matches_manhattan() {
+        let p = Placement::from_coords(mesh3(), &[Coord::new(0, 0), Coord::new(2, 1)]).unwrap();
+        assert_eq!(p.distance(0, 1).unwrap(), 3);
+        assert!(matches!(p.distance(0, 5), Err(HwError::UnknownCluster { .. })));
+    }
+
+    #[test]
+    fn iter_placed_in_cluster_order() {
+        let mut p = Placement::new_unplaced(mesh3(), 3);
+        p.place(2, Coord::new(0, 0)).unwrap();
+        p.place(0, Coord::new(1, 1)).unwrap();
+        let v: Vec<_> = p.iter_placed().collect();
+        assert_eq!(v, vec![(0, Coord::new(1, 1)), (2, Coord::new(0, 0))]);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let p = Placement::new_unplaced(mesh3(), 2);
+        assert!(!format!("{p}").is_empty());
+        assert!(format!("{p:?}").contains("Placement"));
+    }
+}

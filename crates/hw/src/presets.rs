@@ -1,0 +1,202 @@
+//! Capacity presets for published neuromorphic platforms (Table 1 of the
+//! paper) and the abstract target hardware the paper evaluates on (Table 2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreConstraints, CostModel};
+
+/// The capacity profile of a published neuromorphic platform, one row of
+/// Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::presets;
+///
+/// let spin = presets::spinnaker();
+/// assert_eq!(spin.max_system_neurons(), 1_000_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Neurons each core can simulate.
+    pub neurons_per_core: u32,
+    /// Synapses each core can store.
+    pub synapses_per_core: u64,
+    /// Cores on one chip.
+    pub cores_per_chip: u32,
+    /// Chips in the largest published system.
+    pub chips_per_system: u64,
+    /// Neuron capacity of the high-performance system, as reported in
+    /// Table 1 (the table rounds, so this is stored rather than derived).
+    pub system_neurons: u64,
+    /// Synapse capacity of the high-performance system, as reported in
+    /// Table 1.
+    pub system_synapses: u64,
+}
+
+impl PlatformSpec {
+    /// Total cores in the largest published system.
+    pub fn max_system_cores(&self) -> u64 {
+        self.cores_per_chip as u64 * self.chips_per_system
+    }
+
+    /// Neuron capacity of the largest published system (Table 1,
+    /// "High-performance system" block).
+    pub fn max_system_neurons(&self) -> u64 {
+        self.system_neurons
+    }
+
+    /// Synapse capacity of the largest published system.
+    pub fn max_system_synapses(&self) -> u64 {
+        self.system_synapses
+    }
+
+    /// Per-core constraints for partitioning against this platform.
+    pub fn core_constraints(&self) -> CoreConstraints {
+        CoreConstraints::new(self.neurons_per_core, self.synapses_per_core)
+    }
+}
+
+impl fmt::Display for PlatformSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} neurons/core x {} cores/chip x {} chips",
+            self.name, self.neurons_per_core, self.cores_per_chip, self.chips_per_system
+        )
+    }
+}
+
+/// DYNAPs (Moradi et al. 2017): 256 neurons/core, 16 K synapses/core,
+/// 1 core/chip, 4-chip system.
+pub fn dynaps() -> PlatformSpec {
+    PlatformSpec {
+        name: "DYNAPs",
+        neurons_per_core: 256,
+        synapses_per_core: 16 * 1024,
+        cores_per_chip: 1,
+        chips_per_system: 4,
+        system_neurons: 1_000,
+        system_synapses: 65_000,
+    }
+}
+
+/// BrainScaleS (Schemmel 2021): 512 neurons/core, 128 K synapses/core,
+/// 1 core/chip, 8192-chip wafer-scale system.
+pub fn brainscales() -> PlatformSpec {
+    PlatformSpec {
+        name: "BrainScaleS",
+        neurons_per_core: 512,
+        synapses_per_core: 128 * 1024,
+        cores_per_chip: 1,
+        chips_per_system: 8192,
+        system_neurons: 4_000_000,
+        system_synapses: 1_000_000_000,
+    }
+}
+
+/// Loihi (Davies et al. 2018): 128 neurons/core, 500 K synapses/core,
+/// 1024 cores/chip (the paper's Table 1 figure), 768-chip system.
+pub fn loihi() -> PlatformSpec {
+    PlatformSpec {
+        name: "Loihi",
+        neurons_per_core: 128,
+        synapses_per_core: 500_000,
+        cores_per_chip: 1024,
+        chips_per_system: 768,
+        system_neurons: 100_000_000,
+        system_synapses: 100_000_000_000,
+    }
+}
+
+/// SpiNNaker (Furber et al. 2014): 1000 neurons/core, 2 K synapses/core
+/// stored locally, 18 cores/chip, million-chip system.
+pub fn spinnaker() -> PlatformSpec {
+    PlatformSpec {
+        name: "SpiNNaker",
+        neurons_per_core: 1000,
+        synapses_per_core: 2 * 1024,
+        cores_per_chip: 18,
+        chips_per_system: 1_000_000,
+        system_neurons: 1_000_000_000,
+        system_synapses: 200_000_000_000,
+    }
+}
+
+/// TrueNorth (DeBole et al. 2019): 256 neurons/core, 262 K synapses/core,
+/// 4096 cores/chip, 64-chip system.
+pub fn truenorth() -> PlatformSpec {
+    PlatformSpec {
+        name: "TrueNorth",
+        neurons_per_core: 256,
+        synapses_per_core: 262_144,
+        cores_per_chip: 4096,
+        chips_per_system: 64,
+        system_neurons: 64_000_000,
+        system_synapses: 1_000_000_000_000,
+    }
+}
+
+/// All five Table 1 platforms, in column order.
+pub fn all_platforms() -> Vec<PlatformSpec> {
+    vec![dynaps(), brainscales(), loihi(), spinnaker(), truenorth()]
+}
+
+/// The abstract target hardware the paper evaluates on (Table 2):
+/// `CON_npc = 4096`, `CON_spc = 64 K`, `EN_r = 1`, `EN_w = 0.1`,
+/// `L_r = 1`, `L_w = 0.01`.
+pub fn paper_target() -> (CoreConstraints, CostModel) {
+    (CoreConstraints::new(4096, 64 * 1024), CostModel::paper_target())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_values() {
+        let p = truenorth();
+        assert_eq!(p.neurons_per_core, 256);
+        assert_eq!(p.synapses_per_core, 262_144);
+        assert_eq!(p.max_system_cores(), 4096 * 64);
+        assert_eq!(p.max_system_neurons(), 64_000_000);
+    }
+
+    #[test]
+    fn spinnaker_is_billion_neuron_machine() {
+        assert_eq!(spinnaker().max_system_neurons(), 1_000_000_000);
+        assert_eq!(spinnaker().max_system_cores(), 18_000_000);
+    }
+
+    #[test]
+    fn all_platforms_have_distinct_names() {
+        let all = all_platforms();
+        assert_eq!(all.len(), 5);
+        let mut names: Vec<_> = all.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn paper_target_matches_table2() {
+        let (con, cost) = paper_target();
+        assert_eq!(con.neurons_per_core, 4096);
+        assert_eq!(con.synapses_per_core, 65536);
+        assert_eq!(cost.en_r, 1.0);
+        assert_eq!(cost.en_w, 0.1);
+        assert_eq!(cost.l_r, 1.0);
+        assert_eq!(cost.l_w, 0.01);
+    }
+
+    #[test]
+    fn constraints_derived_from_spec() {
+        let c = loihi().core_constraints();
+        assert_eq!(c.neurons_per_core, 128);
+        assert_eq!(c.synapses_per_core, 500_000);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: placements stay consistent under arbitrary operation
+//! sequences.
+
+use proptest::prelude::*;
+use snnmap_hw::{Coord, Mesh, Placement};
+
+/// An operation on a placement.
+#[derive(Debug, Clone)]
+enum Op {
+    Place { cluster: u32, x: u16, y: u16 },
+    Unplace { cluster: u32 },
+    Swap { a: (u16, u16), b: (u16, u16) },
+}
+
+fn op_strategy(n_clusters: u32, side: u16) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_clusters, 0..side, 0..side)
+            .prop_map(|(cluster, x, y)| Op::Place { cluster, x, y }),
+        (0..n_clusters).prop_map(|cluster| Op::Unplace { cluster }),
+        ((0..side, 0..side), (0..side, 0..side)).prop_map(|(a, b)| Op::Swap { a, b }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of place/unplace/swap operations — including failing
+    /// ones — leaves the placement internally consistent, and successful
+    /// operations have their documented effect.
+    #[test]
+    fn operation_sequences_preserve_consistency(
+        ops in prop::collection::vec(op_strategy(20, 5), 1..120)
+    ) {
+        let mesh = Mesh::new(5, 5).unwrap();
+        let mut p = Placement::new_unplaced(mesh, 20);
+        for op in ops {
+            match op {
+                Op::Place { cluster, x, y } => {
+                    let coord = Coord::new(x, y);
+                    let was_placed = p.coord_of(cluster).is_some();
+                    let occupied = p.cluster_at(coord).is_some();
+                    let r = p.place(cluster, coord);
+                    prop_assert_eq!(r.is_ok(), !was_placed && !occupied);
+                    if r.is_ok() {
+                        prop_assert_eq!(p.coord_of(cluster), Some(coord));
+                    }
+                }
+                Op::Unplace { cluster } => {
+                    let had = p.coord_of(cluster);
+                    let r = p.unplace(cluster);
+                    prop_assert_eq!(r.is_ok(), had.is_some());
+                    if r.is_ok() {
+                        prop_assert_eq!(p.coord_of(cluster), None);
+                    }
+                }
+                Op::Swap { a, b } => {
+                    let (ca, cb) = (Coord::new(a.0, a.1), Coord::new(b.0, b.1));
+                    let (occ_a, occ_b) = (p.cluster_at(ca), p.cluster_at(cb));
+                    p.swap_cores(ca, cb).unwrap();
+                    prop_assert_eq!(p.cluster_at(ca), occ_b);
+                    prop_assert_eq!(p.cluster_at(cb), occ_a);
+                }
+            }
+            p.check_consistency().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// `from_coords` accepts exactly the injective in-bounds coordinate
+    /// lists.
+    #[test]
+    fn from_coords_injective(coords in prop::collection::vec((0u16..6, 0u16..6), 0..36)) {
+        let mesh = Mesh::new(6, 6).unwrap();
+        let coords: Vec<Coord> = coords.into_iter().map(|(x, y)| Coord::new(x, y)).collect();
+        let mut sorted: Vec<_> = coords.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let unique = sorted.len() == coords.len();
+        let r = Placement::from_coords(mesh, &coords);
+        prop_assert_eq!(r.is_ok(), unique);
+        if let Ok(p) = r {
+            p.check_consistency().map_err(TestCaseError::fail)?;
+            prop_assert!(p.is_complete());
+        }
+    }
+
+    /// Manhattan distance is a metric on mesh coordinates.
+    #[test]
+    fn manhattan_is_a_metric(
+        a in (0u16..100, 0u16..100),
+        b in (0u16..100, 0u16..100),
+        c in (0u16..100, 0u16..100),
+    ) {
+        let (a, b, c) = (
+            Coord::new(a.0, a.1),
+            Coord::new(b.0, b.1),
+            Coord::new(c.0, c.1),
+        );
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), 0);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        prop_assert_eq!(a.manhattan(b) == 0, a == b);
+    }
+
+    /// Mesh linear indexing is a bijection.
+    #[test]
+    fn mesh_indexing_bijection(rows in 1u16..80, cols in 1u16..80) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        for (i, c) in mesh.iter().enumerate() {
+            prop_assert_eq!(mesh.index_of(c), i);
+            prop_assert_eq!(mesh.coord_of_index(i), c);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! File formats for SNN-mapping artifacts.
+//!
+//! Two formats, both human-inspectable and round-trip-safe:
+//!
+//! * **PCN edge lists** (`.pcn`, [`read_pcn`] / [`write_pcn`]) — a plain
+//!   text format describing a Partitioned Cluster Network: cluster
+//!   capacities and weighted directed connections. This is the interface
+//!   for bringing externally partitioned applications into the mapper
+//!   (e.g. from a PyNN/SNNToolBox flow).
+//! * **Placement JSON** ([`read_placement`] / [`write_placement`]) — the
+//!   mesh dimensions and each cluster's core coordinates; the artifact a
+//!   hardware loader consumes.
+//!
+//! # PCN format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! pcn v1
+//! clusters 3
+//! cluster 0 128 4096      # id, neurons, stored synapses (optional line)
+//! edge 0 1 12.5           # from, to, traffic weight
+//! edge 1 2 3.0
+//! ```
+//!
+//! Cluster lines are optional: clusters without one default to
+//! 1 neuron / 0 synapses. Duplicate edges accumulate, matching
+//! [`PcnBuilder`](snnmap_model::PcnBuilder) semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_io::{parse_pcn, render_pcn};
+//!
+//! let text = "pcn v1\nclusters 2\nedge 0 1 4.5\n";
+//! let pcn = parse_pcn(text)?;
+//! assert_eq!(pcn.num_clusters(), 2);
+//! assert_eq!(pcn.edge_weight(0, 1), Some(4.5));
+//!
+//! // Round trip.
+//! let again = parse_pcn(&render_pcn(&pcn))?;
+//! assert_eq!(again.edge_weight(0, 1), Some(4.5));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+mod pcn_format;
+mod placement_format;
+
+pub use error::IoError;
+pub use pcn_format::{parse_pcn, read_pcn, render_pcn, write_pcn};
+pub use placement_format::{
+    parse_placement, read_placement, render_placement, write_placement,
+};

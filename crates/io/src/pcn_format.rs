@@ -1,0 +1,239 @@
+//! The `.pcn` text edge-list format.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use snnmap_model::{Pcn, PcnBuilder};
+
+use crate::IoError;
+
+/// Parses a PCN from its text representation (see the crate docs for the
+/// grammar).
+///
+/// # Errors
+///
+/// [`IoError::Parse`] with a line number for malformed lines;
+/// [`IoError::Invalid`] for structural violations (edge to an undeclared
+/// cluster, missing header).
+pub fn parse_pcn(text: &str) -> Result<Pcn, IoError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (line_no, header) = lines
+        .next()
+        .ok_or(IoError::Invalid { message: "empty document".into() })?;
+    if header != "pcn v1" {
+        return Err(IoError::Parse {
+            line: line_no,
+            message: format!("expected header `pcn v1`, got `{header}`"),
+        });
+    }
+
+    let mut declared: Option<u32> = None;
+    // (neurons, synapses) per cluster; defaulted lazily.
+    let mut caps: Vec<(u32, u64)> = Vec::new();
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("nonempty line");
+        let mut field = |name: &str| {
+            parts.next().ok_or(IoError::Parse {
+                line: line_no,
+                message: format!("missing field `{name}`"),
+            })
+        };
+        match kind {
+            "clusters" => {
+                let n: u32 = parse_field(field("count")?, line_no, "count")?;
+                declared = Some(n);
+                caps.resize(n as usize, (1, 0));
+            }
+            "cluster" => {
+                let id: u32 = parse_field(field("id")?, line_no, "id")?;
+                let neurons: u32 = parse_field(field("neurons")?, line_no, "neurons")?;
+                let synapses: u64 = parse_field(field("synapses")?, line_no, "synapses")?;
+                let n = declared.ok_or(IoError::Parse {
+                    line: line_no,
+                    message: "`cluster` before `clusters <count>`".into(),
+                })?;
+                if id >= n {
+                    return Err(IoError::Parse {
+                        line: line_no,
+                        message: format!("cluster id {id} outside declared count {n}"),
+                    });
+                }
+                caps[id as usize] = (neurons, synapses);
+            }
+            "edge" => {
+                let from: u32 = parse_field(field("from")?, line_no, "from")?;
+                let to: u32 = parse_field(field("to")?, line_no, "to")?;
+                let weight: f32 = parse_field(field("weight")?, line_no, "weight")?;
+                edges.push((from, to, weight));
+            }
+            "intra" => {
+                // Aggregate intra-cluster traffic (self-loop bookkeeping);
+                // recorded against cluster 0, which only affects the
+                // aggregate the PCN exposes.
+                let weight: f32 = parse_field(field("weight")?, line_no, "weight")?;
+                edges.push((0, 0, weight));
+            }
+            other => {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+        if let Some(extra) = parts.next() {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: format!("unexpected trailing field `{extra}`"),
+            });
+        }
+    }
+
+    let n = declared.ok_or(IoError::Invalid { message: "missing `clusters` line".into() })?;
+    let mut b = PcnBuilder::with_capacity(n as usize, edges.len());
+    for &(neurons, synapses) in &caps {
+        b.add_cluster(neurons, synapses);
+    }
+    for (from, to, w) in edges {
+        b.add_edge(from, to, w).map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    }
+    b.build().map_err(|e| IoError::Invalid { message: e.to_string() })
+}
+
+fn parse_field<T: std::str::FromStr>(s: &str, line: usize, name: &str) -> Result<T, IoError> {
+    s.parse().map_err(|_| IoError::Parse {
+        line,
+        message: format!("cannot parse `{s}` as {name}"),
+    })
+}
+
+/// Renders a PCN to its text representation.
+pub fn render_pcn(pcn: &Pcn) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# snnmap partitioned cluster network");
+    let _ = writeln!(out, "pcn v1");
+    let _ = writeln!(out, "clusters {}", pcn.num_clusters());
+    for c in 0..pcn.num_clusters() {
+        let (n, s) = (pcn.neurons_in(c), pcn.synapses_in(c));
+        if (n, s) != (1, 0) {
+            let _ = writeln!(out, "cluster {c} {n} {s}");
+        }
+    }
+    for (f, t, w) in pcn.iter_edges() {
+        let _ = writeln!(out, "edge {f} {t} {w}");
+    }
+    if pcn.intra_traffic() > 0.0 {
+        let _ = writeln!(out, "intra {}", pcn.intra_traffic() as f32);
+    }
+    out
+}
+
+/// Reads a PCN from a `.pcn` file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] for filesystem failures plus all [`parse_pcn`]
+/// errors.
+pub fn read_pcn(path: &Path) -> Result<Pcn, IoError> {
+    parse_pcn(&fs::read_to_string(path)?)
+}
+
+/// Writes a PCN to a `.pcn` file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] for filesystem failures.
+pub fn write_pcn(path: &Path, pcn: &Pcn) -> Result<(), IoError> {
+    Ok(fs::write(path, render_pcn(pcn))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let pcn = parse_pcn("pcn v1\nclusters 2\nedge 0 1 2.5\n").unwrap();
+        assert_eq!(pcn.num_clusters(), 2);
+        assert_eq!(pcn.neurons_in(0), 1);
+        assert_eq!(pcn.edge_weight(0, 1), Some(2.5));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# header comment\npcn v1\n\nclusters 2 # two of them\nedge 0 1 1.0\n";
+        assert!(parse_pcn(text).is_ok());
+    }
+
+    #[test]
+    fn cluster_capacities_apply() {
+        let text = "pcn v1\nclusters 2\ncluster 1 100 5000\nedge 0 1 1.0\n";
+        let pcn = parse_pcn(text).unwrap();
+        assert_eq!(pcn.neurons_in(0), 1);
+        assert_eq!(pcn.neurons_in(1), 100);
+        assert_eq!(pcn.synapses_in(1), 5000);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate() {
+        let pcn = parse_pcn("pcn v1\nclusters 2\nedge 0 1 1.0\nedge 0 1 2.0\n").unwrap();
+        assert_eq!(pcn.edge_weight(0, 1), Some(3.0));
+        assert_eq!(pcn.num_connections(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_pcn("pcn v1\nclusters 2\nedge 0 two 1.0\n").unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(parse_pcn("").is_err());
+        assert!(parse_pcn("pcn v2\nclusters 1\n").is_err());
+        assert!(parse_pcn("pcn v1\nclusters 1\nbogus 1 2\n").is_err());
+        assert!(parse_pcn("pcn v1\ncluster 0 1 1\nclusters 1\n").is_err());
+        assert!(parse_pcn("pcn v1\nclusters 1\nedge 0 0 1.0 extra\n").is_err());
+        assert!(parse_pcn("pcn v1\nclusters 2\ncluster 5 1 1\n").is_err());
+    }
+
+    #[test]
+    fn out_of_range_edge_is_invalid() {
+        let err = parse_pcn("pcn v1\nclusters 2\nedge 0 7 1.0\n").unwrap_err();
+        assert!(matches!(err, IoError::Invalid { .. }));
+    }
+
+    #[test]
+    fn intra_traffic_roundtrips() {
+        let pcn = parse_pcn("pcn v1\nclusters 2\nedge 0 1 1.0\nedge 1 1 4.5\n").unwrap();
+        assert_eq!(pcn.intra_traffic(), 4.5);
+        let back = parse_pcn(&render_pcn(&pcn)).unwrap();
+        assert_eq!(back.intra_traffic(), 4.5);
+        assert_eq!(pcn, back);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let text = "pcn v1\nclusters 3\ncluster 0 64 1024\nedge 0 1 1.5\nedge 1 2 0.5\nedge 2 0 2.0\n";
+        let a = parse_pcn(text).unwrap();
+        let b = parse_pcn(&render_pcn(&a)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("snnmap_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pcn");
+        let pcn = parse_pcn("pcn v1\nclusters 2\nedge 0 1 1.0\n").unwrap();
+        write_pcn(&path, &pcn).unwrap();
+        assert_eq!(read_pcn(&path).unwrap(), pcn);
+    }
+}

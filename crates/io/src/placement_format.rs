@@ -1,0 +1,126 @@
+//! Placement JSON serialization.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use snnmap_hw::{Coord, Mesh, Placement};
+
+use crate::IoError;
+
+/// The JSON document shape for a placement.
+#[derive(Debug, Serialize, Deserialize)]
+struct PlacementDoc {
+    format: String,
+    rows: u16,
+    cols: u16,
+    /// Element `i` is cluster `i`'s `[x, y]`, or `null` if unplaced.
+    coords: Vec<Option<(u16, u16)>>,
+}
+
+/// Renders a placement as pretty-printed JSON.
+pub fn render_placement(placement: &Placement) -> String {
+    let doc = PlacementDoc {
+        format: "snnmap-placement-v1".to_string(),
+        rows: placement.mesh().rows(),
+        cols: placement.mesh().cols(),
+        coords: (0..placement.len())
+            .map(|c| placement.coord_of(c).map(|p| (p.x, p.y)))
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("placement doc always serializes")
+}
+
+/// Parses a placement from JSON.
+///
+/// # Errors
+///
+/// [`IoError::Json`] for malformed JSON, [`IoError::Invalid`] for wrong
+/// format tags, out-of-mesh coordinates, or occupancy violations.
+pub fn parse_placement(text: &str) -> Result<Placement, IoError> {
+    let doc: PlacementDoc = serde_json::from_str(text)?;
+    if doc.format != "snnmap-placement-v1" {
+        return Err(IoError::Invalid {
+            message: format!("unknown format tag `{}`", doc.format),
+        });
+    }
+    let mesh = Mesh::new(doc.rows, doc.cols)
+        .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    if doc.coords.len() > mesh.len() {
+        return Err(IoError::Invalid {
+            message: format!("{} clusters exceed {} cores", doc.coords.len(), mesh.len()),
+        });
+    }
+    let mut p = Placement::new_unplaced(mesh, doc.coords.len() as u32);
+    for (c, coord) in doc.coords.iter().enumerate() {
+        if let Some((x, y)) = coord {
+            p.place(c as u32, Coord::new(*x, *y))
+                .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+        }
+    }
+    Ok(p)
+}
+
+/// Reads a placement from a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] plus all [`parse_placement`] errors.
+pub fn read_placement(path: &Path) -> Result<Placement, IoError> {
+    parse_placement(&fs::read_to_string(path)?)
+}
+
+/// Writes a placement to a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] for filesystem failures.
+pub fn write_placement(path: &Path, placement: &Placement) -> Result<(), IoError> {
+    Ok(fs::write(path, render_placement(placement))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Placement {
+        let mesh = Mesh::new(2, 3).unwrap();
+        let mut p = Placement::new_unplaced(mesh, 4);
+        p.place(0, Coord::new(0, 0)).unwrap();
+        p.place(2, Coord::new(1, 2)).unwrap();
+        p.place(3, Coord::new(0, 1)).unwrap();
+        p // cluster 1 left unplaced
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let back = parse_placement(&render_placement(&p)).unwrap();
+        assert_eq!(p, back);
+        back.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(matches!(parse_placement("not json"), Err(IoError::Json(_))));
+        let wrong_tag = r#"{"format":"nope","rows":2,"cols":2,"coords":[]}"#;
+        assert!(matches!(parse_placement(wrong_tag), Err(IoError::Invalid { .. })));
+        let out_of_mesh =
+            r#"{"format":"snnmap-placement-v1","rows":2,"cols":2,"coords":[[5,5]]}"#;
+        assert!(matches!(parse_placement(out_of_mesh), Err(IoError::Invalid { .. })));
+        let collision = r#"{"format":"snnmap-placement-v1","rows":2,"cols":2,"coords":[[0,0],[0,0]]}"#;
+        assert!(matches!(parse_placement(collision), Err(IoError::Invalid { .. })));
+        let overfull = r#"{"format":"snnmap-placement-v1","rows":1,"cols":1,"coords":[[0,0],null]}"#;
+        assert!(matches!(parse_placement(overfull), Err(IoError::Invalid { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("snnmap_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        let p = sample();
+        write_placement(&path, &p).unwrap();
+        assert_eq!(read_placement(&path).unwrap(), p);
+    }
+}

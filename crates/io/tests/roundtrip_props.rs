@@ -1,0 +1,72 @@
+//! Property tests: every generated PCN and placement survives a format
+//! round trip bit-exactly.
+
+use proptest::prelude::*;
+use snnmap_hw::{Coord, Mesh, Placement};
+use snnmap_io::{parse_pcn, parse_placement, render_pcn, render_placement};
+use snnmap_model::PcnBuilder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// PCN render/parse round trip preserves structure exactly.
+    #[test]
+    fn pcn_roundtrip(
+        caps in prop::collection::vec((1u32..5000, 0u64..100_000), 1..40),
+        edges in prop::collection::vec((0u32..40, 0u32..40, 0.01f32..100.0), 0..120),
+    ) {
+        let mut b = PcnBuilder::new();
+        for &(n, s) in &caps {
+            b.add_cluster(n, s);
+        }
+        let n = caps.len() as u32;
+        for (f, t, w) in edges {
+            b.add_edge(f % n, t % n, w).unwrap();
+        }
+        let pcn = b.build().unwrap();
+        let back = parse_pcn(&render_pcn(&pcn)).unwrap();
+        // Structure is preserved exactly; the aggregate intra-traffic is
+        // serialized as one f32, so compare it with rounding tolerance
+        // and everything else bit-exactly via the canonical rendering.
+        prop_assert_eq!(render_pcn(&pcn), render_pcn(&back));
+        prop_assert_eq!(pcn.num_clusters(), back.num_clusters());
+        prop_assert_eq!(pcn.num_connections(), back.num_connections());
+        prop_assert_eq!(pcn.total_traffic(), back.total_traffic());
+        for c in 0..pcn.num_clusters() {
+            prop_assert_eq!(pcn.neurons_in(c), back.neurons_in(c));
+            prop_assert_eq!(pcn.synapses_in(c), back.synapses_in(c));
+        }
+        for (f, t, w) in pcn.iter_edges() {
+            prop_assert_eq!(back.edge_weight(f, t), Some(w));
+        }
+        let d = (pcn.intra_traffic() - back.intra_traffic()).abs();
+        prop_assert!(d <= 1e-6 * pcn.intra_traffic().max(1.0));
+    }
+
+    /// Placement render/parse round trip preserves coordinates exactly,
+    /// including unplaced clusters.
+    #[test]
+    fn placement_roundtrip(
+        rows in 1u16..20,
+        cols in 1u16..20,
+        picks in prop::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let n = picks.len().min(mesh.len()) as u32;
+        let mut p = Placement::new_unplaced(mesh, n);
+        let mut next = 0usize;
+        for c in 0..n {
+            if picks[c as usize] {
+                p.place(c, mesh.coord_of_index(next)).unwrap();
+                next += 1;
+            }
+        }
+        let back = parse_placement(&render_placement(&p)).unwrap();
+        prop_assert_eq!(&p, &back);
+        back.check_consistency().unwrap();
+        // Spot-check a coordinate survives.
+        if n > 0 && picks[0] {
+            prop_assert_eq!(back.coord_of(0), Some(Coord::new(0, 0)));
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Leaky integrate-and-fire (LIF) simulation for measuring spike traffic.
+//!
+//! The paper's edge weights `w_S` are "the density of the spiking emitted
+//! by synapse `e`" (§3.2) — measured by *executing* the SNN, not a
+//! property of its structure. This crate closes that loop for
+//! materializable networks: a discrete-time LIF simulator runs the
+//! application under Poisson input drive, counts every neuron's spikes,
+//! and re-weights the graph so each synapse carries its measured spike
+//! density. The mapping pipeline then consumes real traffic instead of
+//! the seeded-random stand-ins the generators default to.
+//!
+//! The neuron model is the standard discrete-time LIF used by
+//! neuromorphic cores (e.g. Loihi's CUBA model, simplified):
+//!
+//! ```text
+//! v[t+1] = v[t] * leak + Σ_in w_syn * spike_in[t] + I_ext[t]
+//! spike when v ≥ v_thresh, then v := v_reset, refractory for R steps
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_lif::{measure_traffic, LifConfig};
+//! use snnmap_model::SnnBuilder;
+//!
+//! // A 2-neuron chain with a strong synapse: drive neuron 0, count spikes.
+//! let mut b = SnnBuilder::new(2);
+//! b.synapse(0, 1, 1.5)?; // here the weight is synaptic strength
+//! let net = b.build()?;
+//!
+//! let outcome = measure_traffic(&net, &LifConfig::default(), 1_000, 7)?;
+//! // The measured graph has the same topology, re-weighted by spike rate.
+//! assert_eq!(outcome.network.num_synapses(), 1);
+//! assert!(outcome.spike_rates[0] > 0.0, "driven input neuron must spike");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use snnmap_model::{ModelError, SnnBuilder, SnnNetwork};
+
+/// LIF neuron and input-drive parameters.
+///
+/// Defaults give a moderately active network: leak 0.9 per step,
+/// threshold 1.0, Poisson drive of strength ~0.3 at rate 0.3 on input
+/// neurons (those without incoming synapses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifConfig {
+    /// Multiplicative membrane leak per step (`exp(-dt/τ)`), in `[0, 1)`.
+    pub leak: f64,
+    /// Firing threshold.
+    pub v_thresh: f64,
+    /// Post-spike reset potential.
+    pub v_reset: f64,
+    /// Refractory period in steps (no integration, no firing).
+    pub refractory: u32,
+    /// Per-step probability that an input neuron receives an external
+    /// drive impulse.
+    pub input_rate: f64,
+    /// Magnitude of one external drive impulse.
+    pub input_strength: f64,
+}
+
+impl Default for LifConfig {
+    fn default() -> Self {
+        Self {
+            leak: 0.9,
+            v_thresh: 1.0,
+            v_reset: 0.0,
+            refractory: 2,
+            input_rate: 0.3,
+            input_strength: 0.5,
+        }
+    }
+}
+
+impl LifConfig {
+    fn validate(&self) {
+        assert!((0.0..1.0).contains(&self.leak), "leak must be in [0, 1)");
+        assert!(self.v_thresh > self.v_reset, "threshold must exceed reset");
+        assert!((0.0..=1.0).contains(&self.input_rate), "input rate is a probability");
+        assert!(self.input_strength.is_finite() && self.input_strength >= 0.0);
+    }
+}
+
+/// The result of a measurement run.
+#[derive(Debug, Clone)]
+pub struct MeasuredTraffic {
+    /// The input topology re-weighted: each synapse's weight is its
+    /// source neuron's measured spike density (spikes per step).
+    pub network: SnnNetwork,
+    /// Per-neuron spike rate (spikes per step).
+    pub spike_rates: Vec<f64>,
+    /// Total spikes emitted during the measured window.
+    pub total_spikes: u64,
+    /// Steps simulated.
+    pub steps: u64,
+}
+
+/// A discrete-time LIF simulator over an explicit network whose edge
+/// weights are interpreted as *synaptic strengths* (positive = excitatory,
+/// the builder rejects negatives — inhibition can be modelled by scaling
+/// strengths down).
+#[derive(Debug)]
+pub struct LifSim<'a> {
+    net: &'a SnnNetwork,
+    config: LifConfig,
+    v: Vec<f64>,
+    refractory_left: Vec<u32>,
+    spike_counts: Vec<u64>,
+    /// Neurons with no incoming synapses, driven externally.
+    inputs: Vec<u32>,
+    rng: ChaCha8Rng,
+    steps: u64,
+    /// Scratch: neurons that fired this step.
+    fired: Vec<u32>,
+    /// Accumulated synaptic input for the next step.
+    pending: Vec<f64>,
+}
+
+impl<'a> LifSim<'a> {
+    /// Creates a simulator with all membranes at reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (see [`LifConfig`] field docs).
+    pub fn new(net: &'a SnnNetwork, config: LifConfig, seed: u64) -> Self {
+        config.validate();
+        let n = net.num_neurons() as usize;
+        let inputs = (0..net.num_neurons()).filter(|&x| net.fan_in(x) == 0).collect();
+        Self {
+            net,
+            config,
+            v: vec![config.v_reset; n],
+            refractory_left: vec![0; n],
+            spike_counts: vec![0; n],
+            inputs,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            steps: 0,
+            fired: Vec::new(),
+            pending: vec![0.0; n],
+        }
+    }
+
+    /// Steps simulated so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Spikes emitted by `neuron` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` is out of range.
+    pub fn spike_count(&self, neuron: u32) -> u64 {
+        self.spike_counts[neuron as usize]
+    }
+
+    /// Current membrane potential of `neuron`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron` is out of range.
+    pub fn potential(&self, neuron: u32) -> f64 {
+        self.v[neuron as usize]
+    }
+
+    /// Advances the network one step: integrate pending synaptic input
+    /// and external drive, fire, propagate spikes into the next step's
+    /// pending input.
+    pub fn step(&mut self) {
+        let cfg = self.config;
+        // External Poisson drive onto input neurons.
+        for &x in &self.inputs {
+            if cfg.input_rate > 0.0 && self.rng.gen_bool(cfg.input_rate) {
+                self.pending[x as usize] += cfg.input_strength;
+            }
+        }
+        // Integrate and fire.
+        self.fired.clear();
+        for i in 0..self.v.len() {
+            if self.refractory_left[i] > 0 {
+                self.refractory_left[i] -= 1;
+                self.pending[i] = 0.0;
+                continue;
+            }
+            self.v[i] = self.v[i] * cfg.leak + self.pending[i];
+            self.pending[i] = 0.0;
+            if self.v[i] >= cfg.v_thresh {
+                self.v[i] = cfg.v_reset;
+                self.refractory_left[i] = cfg.refractory;
+                self.spike_counts[i] += 1;
+                self.fired.push(i as u32);
+            }
+        }
+        // Propagate.
+        for k in 0..self.fired.len() {
+            let src = self.fired[k];
+            for (dst, w) in self.net.synapses_out(src) {
+                self.pending[dst as usize] += w as f64;
+            }
+        }
+        self.steps += 1;
+    }
+
+    /// Runs `steps` steps.
+    pub fn run(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Per-neuron spike rates over the simulated window.
+    pub fn spike_rates(&self) -> Vec<f64> {
+        let t = self.steps.max(1) as f64;
+        self.spike_counts.iter().map(|&c| c as f64 / t).collect()
+    }
+}
+
+/// Runs the network for `steps` under the given configuration and
+/// returns the same topology re-weighted with measured spike densities:
+/// each synapse's weight becomes its *source* neuron's spike rate (a
+/// synapse transmits exactly one message per source spike, §3.2).
+///
+/// Synapses whose source never fired keep a tiny floor weight so the
+/// graph's connectivity (and therefore the PCN's) is preserved.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from rebuilding the network (cannot occur
+/// for a valid input topology).
+///
+/// # Panics
+///
+/// Panics on invalid configuration or `steps == 0`.
+pub fn measure_traffic(
+    net: &SnnNetwork,
+    config: &LifConfig,
+    steps: u64,
+    seed: u64,
+) -> Result<MeasuredTraffic, ModelError> {
+    assert!(steps > 0, "need at least one step");
+    let mut sim = LifSim::new(net, *config, seed);
+    sim.run(steps);
+    let rates = sim.spike_rates();
+    const RATE_FLOOR: f32 = 1e-6;
+
+    let mut b = SnnBuilder::with_capacity(net.num_neurons(), net.num_synapses() as usize);
+    for (u, v, _) in net.iter_synapses() {
+        let density = (rates[u as usize] as f32).max(RATE_FLOOR);
+        b.synapse(u, v, density)?;
+    }
+    let total_spikes = sim.spike_counts.iter().sum();
+    Ok(MeasuredTraffic { network: b.build()?, spike_rates: rates, total_spikes, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(weight: f32) -> SnnNetwork {
+        let mut b = SnnBuilder::new(3);
+        b.synapse(0, 1, weight).unwrap();
+        b.synapse(1, 2, weight).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn driven_input_neuron_fires() {
+        let net = chain(2.0);
+        let cfg = LifConfig { input_rate: 1.0, input_strength: 2.0, ..LifConfig::default() };
+        let mut sim = LifSim::new(&net, cfg, 1);
+        sim.run(100);
+        assert!(sim.spike_count(0) > 10, "{}", sim.spike_count(0));
+        // Strong synapses carry activity down the chain.
+        assert!(sim.spike_count(1) > 0);
+        assert!(sim.spike_count(2) > 0);
+    }
+
+    #[test]
+    fn refractory_caps_rate() {
+        // With drive every step and refractory R, a neuron fires at most
+        // every R + 1 steps.
+        let net = chain(0.0001);
+        let cfg = LifConfig {
+            input_rate: 1.0,
+            input_strength: 10.0,
+            refractory: 4,
+            ..LifConfig::default()
+        };
+        let mut sim = LifSim::new(&net, cfg, 2);
+        sim.run(1000);
+        let rate = sim.spike_rates()[0];
+        assert!(rate <= 1.0 / 5.0 + 1e-9, "rate {rate} exceeds refractory bound");
+        assert!(rate >= 1.0 / 6.0, "rate {rate} should be near the bound");
+    }
+
+    #[test]
+    fn silent_without_drive() {
+        let net = chain(2.0);
+        let cfg = LifConfig { input_rate: 0.0, ..LifConfig::default() };
+        let mut sim = LifSim::new(&net, cfg, 3);
+        sim.run(500);
+        assert_eq!(sim.spike_counts.iter().sum::<u64>(), 0);
+        assert!(sim.potential(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leak_decays_subthreshold_input() {
+        // Weak rare impulses leak away: no spikes.
+        let net = chain(0.1);
+        let cfg = LifConfig {
+            input_rate: 0.05,
+            input_strength: 0.2,
+            leak: 0.5,
+            ..LifConfig::default()
+        };
+        let mut sim = LifSim::new(&net, cfg, 4);
+        sim.run(2000);
+        assert_eq!(sim.spike_count(0), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = chain(1.5);
+        let run = |seed| {
+            let mut sim = LifSim::new(&net, LifConfig::default(), seed);
+            sim.run(500);
+            sim.spike_counts.clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn measured_traffic_reweights_by_source_rate() {
+        let net = chain(2.0);
+        let cfg = LifConfig { input_rate: 1.0, input_strength: 2.0, ..LifConfig::default() };
+        let m = measure_traffic(&net, &cfg, 1000, 5).unwrap();
+        assert_eq!(m.network.num_synapses(), 2);
+        let syn: Vec<_> = m.network.iter_synapses().collect();
+        // Synapse 0->1 carries neuron 0's rate; 1->2 carries neuron 1's.
+        assert!((syn[0].2 as f64 - m.spike_rates[0]).abs() < 1e-6);
+        assert!((syn[1].2 as f64 - m.spike_rates[1]).abs() < 1e-6);
+        assert!(m.total_spikes > 0);
+        // Downstream rates cannot exceed upstream drive in a chain.
+        assert!(m.spike_rates[1] <= m.spike_rates[0] + 1e-9);
+    }
+
+    #[test]
+    fn never_fired_synapses_keep_floor_weight() {
+        let net = chain(0.0001); // too weak to propagate
+        let cfg = LifConfig { input_rate: 1.0, input_strength: 2.0, ..LifConfig::default() };
+        let m = measure_traffic(&net, &cfg, 200, 6).unwrap();
+        // Topology preserved even though neuron 1 never fired.
+        assert_eq!(m.network.num_synapses(), 2);
+        assert!(m.network.iter_synapses().all(|(_, _, w)| w > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "leak")]
+    fn rejects_bad_config() {
+        let net = chain(1.0);
+        let cfg = LifConfig { leak: 1.5, ..LifConfig::default() };
+        let _ = LifSim::new(&net, cfg, 0);
+    }
+}

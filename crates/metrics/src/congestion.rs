@@ -1,0 +1,290 @@
+//! Router congestion `Con(x, y)` (eq. 13) and its aggregates `M_ac`
+//! (eq. 12) and `M_mc` (eq. 14).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use snnmap_hw::{Coord, HwError, Mesh, Placement};
+use snnmap_model::Pcn;
+
+use crate::expe::expectation_grid;
+
+/// Summary of a congestion map: the average over all routers (`M_ac`,
+/// eq. 12) and the maximum (`M_mc`, eq. 14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CongestionStats {
+    /// `M_ac`: mean expected traffic per router.
+    pub average: f64,
+    /// `M_mc`: expected traffic of the hottest router.
+    pub max: f64,
+    /// Fraction of total edge traffic that was evaluated (1.0 for exact
+    /// evaluation; < 1.0 when edge sampling was used — averages are
+    /// rescaled to be unbiased, the maximum is a lower bound).
+    pub coverage: f64,
+}
+
+/// Accumulates per-router expected traffic over the edges of a placement.
+///
+/// Each edge's traffic is spread over its source–target bounding rectangle
+/// using the Algorithm 4 staircase distribution; contributions add up in a
+/// dense per-router map.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::{Coord, Mesh, Placement};
+/// use snnmap_metrics::CongestionAccumulator;
+///
+/// let mesh = Mesh::new(2, 2)?;
+/// let mut acc = CongestionAccumulator::new(mesh);
+/// acc.add_edge(Coord::new(0, 0), Coord::new(1, 1), 4.0);
+/// let stats = acc.stats();
+/// // Corners see the full 4.0; the two detours 2.0 each: avg = 12/4.
+/// assert_eq!(stats.average, 3.0);
+/// assert_eq!(stats.max, 4.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CongestionAccumulator {
+    mesh: Mesh,
+    map: Vec<f64>,
+    evaluated_traffic: f64,
+    total_traffic: f64,
+}
+
+impl CongestionAccumulator {
+    /// An empty accumulator for `mesh`.
+    pub fn new(mesh: Mesh) -> Self {
+        Self { mesh, map: vec![0.0; mesh.len()], evaluated_traffic: 0.0, total_traffic: 0.0 }
+    }
+
+    /// Adds one connection carrying `weight` traffic from `s` to `t`,
+    /// spreading it over the bounding rectangle per Algorithm 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if either endpoint is outside the mesh.
+    pub fn add_edge(&mut self, s: Coord, t: Coord, weight: f64) {
+        debug_assert!(self.mesh.contains(s) && self.mesh.contains(t));
+        self.total_traffic += weight;
+        self.evaluated_traffic += weight;
+        self.spread(s, t, weight);
+    }
+
+    /// Records an edge's traffic in the totals *without* evaluating its
+    /// rectangle — used by sampling evaluation for the skipped edges.
+    pub fn skip_edge(&mut self, weight: f64) {
+        self.total_traffic += weight;
+    }
+
+    fn spread(&mut self, s: Coord, t: Coord, weight: f64) {
+        let dx = s.x.abs_diff(t.x) as usize;
+        let dy = s.y.abs_diff(t.y) as usize;
+        let grid = expectation_grid(dx, dy);
+        let cols = dy + 1;
+        let x0 = s.x.min(t.x);
+        let y0 = s.y.min(t.y);
+        // The normalized grid walks (0,0) -> (dx,dy); map back to the
+        // quadrant the edge actually occupies.
+        let flip_x = t.x < s.x;
+        let flip_y = t.y < s.y;
+        for i in 0..=dx {
+            let x = if flip_x { x0 as usize + dx - i } else { x0 as usize + i };
+            for j in 0..=dy {
+                let v = grid[i * cols + j];
+                if v == 0.0 {
+                    continue;
+                }
+                let y = if flip_y { y0 as usize + dy - j } else { y0 as usize + j };
+                self.map[x * self.mesh.cols() as usize + y] += weight * v;
+            }
+        }
+    }
+
+    /// The per-router congestion map, row-major (`Con(x, y)` at
+    /// `x · cols + y`). Values are rescaled for sampling coverage when
+    /// read through [`stats`](Self::stats); this raw view is unscaled.
+    pub fn map(&self) -> &[f64] {
+        &self.map
+    }
+
+    /// Aggregates the map into `M_ac` / `M_mc`.
+    ///
+    /// Under sampling (`coverage < 1`), the average is rescaled by
+    /// `1 / coverage` (unbiased for uniform edge sampling); the maximum is
+    /// reported unscaled and is therefore a lower bound.
+    pub fn stats(&self) -> CongestionStats {
+        let coverage = if self.total_traffic > 0.0 {
+            self.evaluated_traffic / self.total_traffic
+        } else {
+            1.0
+        };
+        let sum: f64 = self.map.iter().sum();
+        let max = self.map.iter().copied().fold(0.0, f64::max);
+        let scale = if coverage > 0.0 { 1.0 / coverage } else { 1.0 };
+        CongestionStats {
+            average: sum * scale / self.mesh.len() as f64,
+            max,
+            coverage,
+        }
+    }
+}
+
+/// Builds the exact congestion map of a placement: every connection's
+/// traffic spread per Algorithm 4.
+///
+/// Cost is `O(Σ_e area(bounding rectangle of e))`; for very large PCNs on
+/// poor placements prefer
+/// [`evaluate_with`](crate::evaluate_with) and its edge-sampling option.
+///
+/// # Errors
+///
+/// [`HwError::Unplaced`] / [`HwError::UnknownCluster`] if an edge endpoint
+/// has no position.
+pub fn congestion_map(pcn: &Pcn, placement: &Placement) -> Result<CongestionAccumulator, HwError> {
+    let mut acc = CongestionAccumulator::new(placement.mesh());
+    for c in 0..pcn.num_clusters() {
+        let pc = placement.try_coord_of(c)?;
+        for (t, w) in pcn.out_edges(c) {
+            let pt = placement.try_coord_of(t)?;
+            acc.add_edge(pc, pt, w as f64);
+        }
+    }
+    Ok(acc)
+}
+
+/// Builds a sampled congestion map: at most `max_edges` connections are
+/// evaluated (uniformly chosen with a seeded RNG); the rest only count
+/// toward coverage so that [`CongestionAccumulator::stats`] can rescale.
+///
+/// # Errors
+///
+/// [`HwError::Unplaced`] / [`HwError::UnknownCluster`] if a sampled edge
+/// endpoint has no position.
+pub(crate) fn congestion_map_sampled(
+    pcn: &Pcn,
+    placement: &Placement,
+    max_edges: u64,
+    seed: u64,
+) -> Result<CongestionAccumulator, HwError> {
+    let total = pcn.num_connections();
+    if total <= max_edges {
+        return congestion_map(pcn, placement);
+    }
+    let prob = max_edges as f64 / total as f64;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut acc = CongestionAccumulator::new(placement.mesh());
+    for c in 0..pcn.num_clusters() {
+        let pc = placement.try_coord_of(c)?;
+        for (t, w) in pcn.out_edges(c) {
+            if rng.gen_bool(prob) {
+                let pt = placement.try_coord_of(t)?;
+                acc.add_edge(pc, pt, w as f64);
+            } else {
+                acc.skip_edge(w as f64);
+            }
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_model::PcnBuilder;
+
+    fn pair(w: f32, a: Coord, b: Coord, mesh: Mesh) -> (Pcn, Placement) {
+        let mut bld = PcnBuilder::new();
+        bld.add_cluster(1, 1);
+        bld.add_cluster(1, 1);
+        bld.add_edge(0, 1, w).unwrap();
+        (bld.build().unwrap(), Placement::from_coords(mesh, &[a, b]).unwrap())
+    }
+
+    #[test]
+    fn straight_edge_loads_its_line_only() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let (pcn, p) = pair(2.0, Coord::new(1, 0), Coord::new(1, 2), mesh);
+        let acc = congestion_map(&pcn, &p).unwrap();
+        let m = acc.map();
+        for y in 0..3 {
+            assert_eq!(m[mesh.index_of(Coord::new(1, y))], 2.0);
+        }
+        for y in 0..3 {
+            assert_eq!(m[mesh.index_of(Coord::new(0, y))], 0.0);
+            assert_eq!(m[mesh.index_of(Coord::new(2, y))], 0.0);
+        }
+        let stats = acc.stats();
+        assert!((stats.average - 6.0 / 9.0).abs() < 1e-12);
+        assert_eq!(stats.max, 2.0);
+        assert_eq!(stats.coverage, 1.0);
+    }
+
+    #[test]
+    fn total_map_mass_is_weight_times_expected_hops() {
+        // Summing Con over all routers equals w * E[routers traversed]
+        // = w * (manhattan + 1), since staircase paths visit exactly
+        // d + 1 routers.
+        let mesh = Mesh::new(6, 6).unwrap();
+        let (pcn, p) = pair(3.0, Coord::new(0, 0), Coord::new(4, 3), mesh);
+        let acc = congestion_map(&pcn, &p).unwrap();
+        let mass: f64 = acc.map().iter().sum();
+        assert!((mass - 3.0 * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_flips_are_mirrored() {
+        let mesh = Mesh::new(5, 5).unwrap();
+        let (pcn_a, pa) = pair(1.0, Coord::new(0, 0), Coord::new(2, 2), mesh);
+        let (pcn_b, pb) = pair(1.0, Coord::new(2, 2), Coord::new(0, 0), mesh);
+        let ma = congestion_map(&pcn_a, &pa).unwrap();
+        let mb = congestion_map(&pcn_b, &pb).unwrap();
+        for (a, b) in ma.map().iter().zip(mb.map()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_rescales_average() {
+        // Many identical edges: sampled average should be close to the
+        // exact one, and coverage < 1.
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut b = PcnBuilder::new();
+        for _ in 0..64 {
+            b.add_cluster(1, 1);
+        }
+        for i in 0..63u32 {
+            b.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let pcn = b.build().unwrap();
+        let coords: Vec<Coord> = mesh.iter().collect();
+        let p = Placement::from_coords(mesh, &coords).unwrap();
+        let exact = congestion_map(&pcn, &p).unwrap().stats();
+        let sampled = congestion_map_sampled(&pcn, &p, 32, 11).unwrap().stats();
+        assert!(sampled.coverage < 1.0);
+        assert!(
+            (sampled.average - exact.average).abs() < 0.5 * exact.average,
+            "sampled {} vs exact {}",
+            sampled.average,
+            exact.average
+        );
+        assert!(sampled.max <= exact.max + 1e-12);
+    }
+
+    #[test]
+    fn sampling_with_large_budget_is_exact() {
+        let mesh = Mesh::new(2, 2).unwrap();
+        let (pcn, p) = pair(1.0, Coord::new(0, 0), Coord::new(1, 1), mesh);
+        let a = congestion_map(&pcn, &p).unwrap().stats();
+        let b = congestion_map_sampled(&pcn, &p, 100, 0).unwrap().stats();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_map_stats() {
+        let acc = CongestionAccumulator::new(Mesh::new(3, 3).unwrap());
+        let s = acc.stats();
+        assert_eq!(s.average, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.coverage, 1.0);
+    }
+}

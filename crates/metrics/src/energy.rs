@@ -1,0 +1,119 @@
+//! Energy consumption `M_ec` (eq. 9).
+
+use snnmap_hw::{CostModel, HwError, Placement};
+use snnmap_model::Pcn;
+
+/// Total energy consumed by all spikes on the interconnect (eq. 9):
+///
+/// `M_ec = Σ_e w(e) · ((‖P(cᵢ) − P(cⱼ)‖ + 1)·EN_r + ‖P(cᵢ) − P(cⱼ)‖·EN_w)`
+///
+/// A spike crossing `d` hops traverses `d + 1` routers (source and target
+/// included) and `d` wires.
+///
+/// # Errors
+///
+/// [`HwError::Unplaced`] / [`HwError::UnknownCluster`] if an edge endpoint
+/// has no position.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::{Coord, CostModel, Mesh, Placement};
+/// use snnmap_model::PcnBuilder;
+///
+/// let mut b = PcnBuilder::new();
+/// b.add_cluster(1, 1);
+/// b.add_cluster(1, 1);
+/// b.add_edge(0, 1, 3.0)?;
+/// let pcn = b.build()?;
+/// let p = Placement::from_coords(
+///     Mesh::new(1, 4)?,
+///     &[Coord::new(0, 0), Coord::new(0, 3)],
+/// )?;
+/// // Three hops at weight 3: 3 * (4*EN_r + 3*EN_w).
+/// let e = snnmap_metrics::energy(&pcn, &p, CostModel::paper_target())?;
+/// assert!((e - 3.0 * (4.0 + 0.3)).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn energy(pcn: &Pcn, placement: &Placement, cost: CostModel) -> Result<f64, HwError> {
+    let mut total = 0.0f64;
+    for c in 0..pcn.num_clusters() {
+        let pc = placement.try_coord_of(c)?;
+        for (t, w) in pcn.out_edges(c) {
+            let pt = placement.try_coord_of(t)?;
+            total += w as f64 * cost.spike_energy(pc.manhattan(pt));
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::{Coord, Mesh};
+    use snnmap_model::PcnBuilder;
+
+    fn pair_pcn(w: f32) -> Pcn {
+        let mut b = PcnBuilder::new();
+        b.add_cluster(1, 1);
+        b.add_cluster(1, 1);
+        b.add_edge(0, 1, w).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_distance_costs_one_router() {
+        // Adjacent placement at distance 1: 2 routers + 1 wire.
+        let pcn = pair_pcn(1.0);
+        let p = Placement::from_coords(
+            Mesh::new(1, 2).unwrap(),
+            &[Coord::new(0, 0), Coord::new(0, 1)],
+        )
+        .unwrap();
+        let e = energy(&pcn, &p, CostModel::paper_target()).unwrap();
+        assert!((e - (2.0 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_linearly_in_weight() {
+        let p = Placement::from_coords(
+            Mesh::new(2, 2).unwrap(),
+            &[Coord::new(0, 0), Coord::new(1, 1)],
+        )
+        .unwrap();
+        let cm = CostModel::paper_target();
+        let e1 = energy(&pair_pcn(1.0), &p, cm).unwrap();
+        let e5 = energy(&pair_pcn(5.0), &p, cm).unwrap();
+        assert!((e5 - 5.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_invariant() {
+        let pcn = pair_pcn(2.0);
+        let mesh = Mesh::new(8, 8).unwrap();
+        let cm = CostModel::paper_target();
+        let a = Placement::from_coords(mesh, &[Coord::new(0, 0), Coord::new(2, 1)]).unwrap();
+        let b = Placement::from_coords(mesh, &[Coord::new(4, 4), Coord::new(6, 5)]).unwrap();
+        assert_eq!(energy(&pcn, &a, cm).unwrap(), energy(&pcn, &b, cm).unwrap());
+    }
+
+    #[test]
+    fn unplaced_cluster_errors() {
+        let pcn = pair_pcn(1.0);
+        let mut p = Placement::new_unplaced(Mesh::new(2, 2).unwrap(), 2);
+        p.place(0, Coord::new(0, 0)).unwrap();
+        assert!(matches!(
+            energy(&pcn, &p, CostModel::paper_target()),
+            Err(HwError::Unplaced { cluster: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_edge_set_is_zero() {
+        let mut b = PcnBuilder::new();
+        b.add_cluster(1, 1);
+        let pcn = b.build().unwrap();
+        let p = Placement::from_coords(Mesh::new(1, 1).unwrap(), &[Coord::new(0, 0)]).unwrap();
+        assert_eq!(energy(&pcn, &p, CostModel::paper_target()).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! The `Expe` expected-traversal function (Algorithm 4, Appendix B).
+
+use snnmap_hw::Coord;
+
+/// Expected number of times a single spike from `s` to `t` passes through
+/// coordinate `(x, y)` (Algorithm 4).
+///
+/// The routing model is a *random monotone staircase*: the spike only
+/// moves toward the target; at every router where both coordinates still
+/// differ from the target's it continues in either direction with
+/// probability ½, and once one coordinate matches the target's it runs
+/// straight. Source and target routers count as traversed
+/// (`Expe(s) = Expe(t) = 1`).
+///
+/// Points outside the bounding rectangle of `s` and `t` are never
+/// traversed and return `0`.
+///
+/// This is the per-point form, faithful to the paper's pseudocode; the
+/// congestion metrics use the same dynamic program over whole rectangles
+/// at once (see [`CongestionAccumulator`](crate::CongestionAccumulator)).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::Coord;
+/// use snnmap_metrics::expe;
+///
+/// let s = Coord::new(0, 0);
+/// let t = Coord::new(1, 1);
+/// // The two corner detours are each taken with probability 1/2.
+/// assert_eq!(expe(Coord::new(0, 1), s, t), 0.5);
+/// assert_eq!(expe(Coord::new(1, 0), s, t), 0.5);
+/// assert_eq!(expe(s, s, t), 1.0);
+/// assert_eq!(expe(t, s, t), 1.0);
+/// assert_eq!(expe(Coord::new(5, 5), s, t), 0.0);
+/// ```
+pub fn expe(p: Coord, s: Coord, t: Coord) -> f64 {
+    // Normalize to a rectangle walked in +x/+y direction.
+    let dx = s.x.abs_diff(t.x) as usize;
+    let dy = s.y.abs_diff(t.y) as usize;
+    let in_x = (p.x >= s.x.min(t.x)) && (p.x <= s.x.max(t.x));
+    let in_y = (p.y >= s.y.min(t.y)) && (p.y <= s.y.max(t.y));
+    if !in_x || !in_y {
+        return 0.0;
+    }
+    // Local coordinates measured from the source.
+    let i = p.x.abs_diff(s.x) as usize;
+    let j = p.y.abs_diff(s.y) as usize;
+    // Mixed-direction check: p must be on the source->target side in both
+    // axes (abs_diff alone would accept points mirrored about s).
+    let toward_x = (t.x >= s.x && p.x >= s.x) || (t.x <= s.x && p.x <= s.x);
+    let toward_y = (t.y >= s.y && p.y >= s.y) || (t.y <= s.y && p.y <= s.y);
+    if !toward_x || !toward_y {
+        return 0.0;
+    }
+    let grid = expectation_grid(dx, dy);
+    grid[i * (dy + 1) + j]
+}
+
+/// The full expectation grid of a normalized rectangle: entry
+/// `[i·(dy+1) + j]` is the probability the staircase from `(0,0)` to
+/// `(dx,dy)` visits `(i,j)`. Shared by [`expe`] and the congestion
+/// accumulator.
+pub(crate) fn expectation_grid(dx: usize, dy: usize) -> Vec<f64> {
+    let cols = dy + 1;
+    let mut e = vec![0.0f64; (dx + 1) * cols];
+    e[0] = 1.0;
+    for i in 0..=dx {
+        for j in 0..=dy {
+            let v = e[i * cols + j];
+            if v == 0.0 {
+                continue;
+            }
+            if i == dx && j == dy {
+                continue;
+            }
+            if i == dx {
+                // Reached the target row: run straight in y.
+                e[i * cols + j + 1] += v;
+            } else if j == dy {
+                e[(i + 1) * cols + j] += v;
+            } else {
+                e[i * cols + j + 1] += v / 2.0;
+                e[(i + 1) * cols + j] += v / 2.0;
+            }
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_route_is_deterministic() {
+        let s = Coord::new(2, 1);
+        let t = Coord::new(2, 5);
+        for y in 1..=5 {
+            assert_eq!(expe(Coord::new(2, y), s, t), 1.0);
+        }
+        assert_eq!(expe(Coord::new(3, 3), s, t), 0.0);
+    }
+
+    #[test]
+    fn grid_levels_conserve_probability() {
+        // On every anti-diagonal strictly inside the rectangle, the visit
+        // probabilities sum to 1 (the spike is somewhere on its way).
+        for (dx, dy) in [(3usize, 4usize), (1, 1), (5, 2), (0, 4), (4, 0)] {
+            let g = expectation_grid(dx, dy);
+            let cols = dy + 1;
+            for level in 0..=(dx + dy) {
+                let sum: f64 = (0..=dx)
+                    .filter_map(|i| {
+                        let j = level.checked_sub(i)?;
+                        (j <= dy).then(|| g[i * cols + j])
+                    })
+                    .sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-12,
+                    "dx={dx} dy={dy} level {level}: {sum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_rectangle_is_symmetric() {
+        let g = expectation_grid(2, 2);
+        // Transposing i and j leaves the grid unchanged.
+        for i in 0..=2 {
+            for j in 0..=2 {
+                assert!((g[i * 3 + j] - g[j * 3 + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_quadrant_directions() {
+        // The same rectangle walked in all four directions gives the same
+        // expectation at the mirrored point.
+        let cases = [
+            (Coord::new(0, 0), Coord::new(2, 3)),
+            (Coord::new(2, 3), Coord::new(0, 0)),
+            (Coord::new(0, 3), Coord::new(2, 0)),
+            (Coord::new(2, 0), Coord::new(0, 3)),
+        ];
+        for (s, t) in cases {
+            assert_eq!(expe(s, s, t), 1.0, "{s} -> {t}");
+            assert_eq!(expe(t, s, t), 1.0, "{s} -> {t}");
+            // One step from the source along x.
+            let step = Coord::new(if t.x > s.x { s.x + 1 } else { s.x - 1 }, s.y);
+            assert_eq!(expe(step, s, t), 0.5, "{s} -> {t}");
+        }
+    }
+
+    #[test]
+    fn mirrored_points_outside_path_are_zero() {
+        // A point on the wrong side of the source must not be counted even
+        // though abs_diff coordinates would land inside the grid.
+        let s = Coord::new(5, 5);
+        let t = Coord::new(7, 7);
+        assert_eq!(expe(Coord::new(4, 6), s, t), 0.0);
+        assert_eq!(expe(Coord::new(6, 4), s, t), 0.0);
+    }
+
+    #[test]
+    fn binomial_interior_values() {
+        // Inside the rectangle (before hitting a boundary), visiting
+        // (i, j) has probability C(i + j, i) / 2^(i+j).
+        let g = expectation_grid(4, 4);
+        let choose = |n: u64, k: u64| -> f64 {
+            let mut v = 1.0;
+            for x in 0..k {
+                v = v * (n - x) as f64 / (x + 1) as f64;
+            }
+            v
+        };
+        for i in 0..4usize {
+            for j in 0..4usize {
+                let expect = choose((i + j) as u64, i as u64) / 2f64.powi((i + j) as i32);
+                assert!(
+                    (g[i * 5 + j] - expect).abs() < 1e-12,
+                    "({i},{j}): {} vs {expect}",
+                    g[i * 5 + j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Spike latency metrics `M_al` (eq. 10) and `M_ml` (eq. 11).
+
+use snnmap_hw::{CostModel, HwError, Placement};
+use snnmap_model::Pcn;
+
+/// Average time a spike spends in the interconnect (eq. 10): the
+/// traffic-weighted mean of per-connection latencies,
+///
+/// `M_al = Σ_e w(e)·((d+1)·L_r + d·L_w) / Σ_e w(e)`.
+///
+/// Returns `0.0` for a PCN with no connections (no spikes travel).
+///
+/// # Errors
+///
+/// [`HwError::Unplaced`] / [`HwError::UnknownCluster`] if an edge endpoint
+/// has no position.
+pub fn average_latency(pcn: &Pcn, placement: &Placement, cost: CostModel) -> Result<f64, HwError> {
+    let mut weighted = 0.0f64;
+    let mut traffic = 0.0f64;
+    for c in 0..pcn.num_clusters() {
+        let pc = placement.try_coord_of(c)?;
+        for (t, w) in pcn.out_edges(c) {
+            let pt = placement.try_coord_of(t)?;
+            weighted += w as f64 * cost.spike_latency(pc.manhattan(pt));
+            traffic += w as f64;
+        }
+    }
+    Ok(if traffic > 0.0 { weighted / traffic } else { 0.0 })
+}
+
+/// Maximum transmission time over all connection routes (eq. 11):
+///
+/// `M_ml = max_e ((d+1)·L_r + d·L_w)`.
+///
+/// Unlike the average, the maximum is over *routes*, not traffic: the
+/// weight does not enter (a rarely used long route still bounds worst-case
+/// spike age). Returns `0.0` for a PCN with no connections.
+///
+/// # Errors
+///
+/// [`HwError::Unplaced`] / [`HwError::UnknownCluster`] if an edge endpoint
+/// has no position.
+pub fn max_latency(pcn: &Pcn, placement: &Placement, cost: CostModel) -> Result<f64, HwError> {
+    let mut max = 0.0f64;
+    let mut any = false;
+    for c in 0..pcn.num_clusters() {
+        let pc = placement.try_coord_of(c)?;
+        for (t, _) in pcn.out_edges(c) {
+            let pt = placement.try_coord_of(t)?;
+            max = max.max(cost.spike_latency(pc.manhattan(pt)));
+            any = true;
+        }
+    }
+    Ok(if any { max } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::{Coord, Mesh};
+    use snnmap_model::PcnBuilder;
+
+    fn line_pcn() -> Pcn {
+        // 0 -> 1 heavy short edge, 0 -> 2 light long edge.
+        let mut b = PcnBuilder::new();
+        for _ in 0..3 {
+            b.add_cluster(1, 1);
+        }
+        b.add_edge(0, 1, 9.0).unwrap();
+        b.add_edge(0, 2, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn line_placement() -> Placement {
+        Placement::from_coords(
+            Mesh::new(1, 4).unwrap(),
+            &[Coord::new(0, 0), Coord::new(0, 1), Coord::new(0, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn average_is_traffic_weighted() {
+        let cm = CostModel::paper_target();
+        let avg = average_latency(&line_pcn(), &line_placement(), cm).unwrap();
+        // d=1: 2*1 + 1*0.01 = 2.01 at weight 9; d=3: 4.03 at weight 1.
+        let expect = (9.0 * 2.01 + 1.0 * 4.03) / 10.0;
+        assert!((avg - expect).abs() < 1e-12, "{avg} vs {expect}");
+    }
+
+    #[test]
+    fn max_ignores_weight() {
+        let cm = CostModel::paper_target();
+        let ml = max_latency(&line_pcn(), &line_placement(), cm).unwrap();
+        assert!((ml - 4.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pcn_yields_zero() {
+        let mut b = PcnBuilder::new();
+        b.add_cluster(1, 1);
+        let pcn = b.build().unwrap();
+        let p = Placement::from_coords(Mesh::new(1, 1).unwrap(), &[Coord::new(0, 0)]).unwrap();
+        let cm = CostModel::paper_target();
+        assert_eq!(average_latency(&pcn, &p, cm).unwrap(), 0.0);
+        assert_eq!(max_latency(&pcn, &p, cm).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn average_never_exceeds_max() {
+        let cm = CostModel::paper_target();
+        let avg = average_latency(&line_pcn(), &line_placement(), cm).unwrap();
+        let ml = max_latency(&line_pcn(), &line_placement(), cm).unwrap();
+        assert!(avg <= ml);
+    }
+
+    #[test]
+    fn unplaced_errors() {
+        let pcn = line_pcn();
+        let p = Placement::new_unplaced(Mesh::new(2, 2).unwrap(), 3);
+        assert!(average_latency(&pcn, &p, CostModel::paper_target()).is_err());
+        assert!(max_latency(&pcn, &p, CostModel::paper_target()).is_err());
+    }
+}

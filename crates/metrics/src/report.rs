@@ -1,0 +1,187 @@
+//! The combined five-metric report (§3.3 / §5.1.4).
+
+use serde::{Deserialize, Serialize};
+use snnmap_hw::{CostModel, HwError, Placement};
+use snnmap_model::Pcn;
+
+use crate::congestion::{congestion_map, congestion_map_sampled};
+use crate::{average_latency, energy, max_latency};
+
+/// All five §3.3 placement-quality metrics of one placement.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_metrics::MetricsReport;
+///
+/// let base = MetricsReport {
+///     energy: 100.0,
+///     avg_latency: 4.0,
+///     max_latency: 10.0,
+///     avg_congestion: 2.0,
+///     max_congestion: 8.0,
+///     congestion_coverage: 1.0,
+/// };
+/// let better = MetricsReport { energy: 50.0, ..base };
+/// let rel = better.normalized_to(&base);
+/// assert_eq!(rel.energy, 0.5);
+/// assert_eq!(rel.avg_latency, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Energy consumption `M_ec` (eq. 9).
+    pub energy: f64,
+    /// Average latency `M_al` (eq. 10).
+    pub avg_latency: f64,
+    /// Maximum latency `M_ml` (eq. 11).
+    pub max_latency: f64,
+    /// Average congestion `M_ac` (eq. 12).
+    pub avg_congestion: f64,
+    /// Maximum congestion `M_mc` (eq. 14).
+    pub max_congestion: f64,
+    /// Fraction of edge traffic evaluated for the congestion metrics
+    /// (1.0 = exact; see [`EvalOptions::congestion_sample`]).
+    pub congestion_coverage: f64,
+}
+
+impl MetricsReport {
+    /// Expresses every metric as a ratio to `baseline` (the presentation
+    /// used throughout Figures 8 and 10–12, normalized to random
+    /// mapping). Metrics whose baseline is zero stay as ratios of 1.
+    pub fn normalized_to(&self, baseline: &MetricsReport) -> MetricsReport {
+        let div = |a: f64, b: f64| if b != 0.0 { a / b } else { 1.0 };
+        MetricsReport {
+            energy: div(self.energy, baseline.energy),
+            avg_latency: div(self.avg_latency, baseline.avg_latency),
+            max_latency: div(self.max_latency, baseline.max_latency),
+            avg_congestion: div(self.avg_congestion, baseline.avg_congestion),
+            max_congestion: div(self.max_congestion, baseline.max_congestion),
+            congestion_coverage: self.congestion_coverage.min(baseline.congestion_coverage),
+        }
+    }
+}
+
+/// Options for [`evaluate_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// When `Some((max_edges, seed))`, the congestion map evaluates at
+    /// most `max_edges` connections (uniform sample, averages rescaled).
+    /// Exact congestion is `O(Σ_e rectangle area)`, which is prohibitive
+    /// for millions of long edges — the paper's random baselines on the
+    /// giant benchmarks are exactly that case.
+    pub congestion_sample: Option<(u64, u64)>,
+}
+
+impl Default for EvalOptions {
+    /// Exact evaluation.
+    fn default() -> Self {
+        Self { congestion_sample: None }
+    }
+}
+
+/// Computes all five metrics exactly.
+///
+/// # Errors
+///
+/// [`HwError::Unplaced`] / [`HwError::UnknownCluster`] if any connected
+/// cluster has no position.
+pub fn evaluate(pcn: &Pcn, placement: &Placement, cost: CostModel) -> Result<MetricsReport, HwError> {
+    evaluate_with(pcn, placement, cost, EvalOptions::default())
+}
+
+/// Computes all five metrics with explicit options (e.g. congestion edge
+/// sampling for very large instances).
+///
+/// # Errors
+///
+/// [`HwError::Unplaced`] / [`HwError::UnknownCluster`] if any connected
+/// cluster has no position.
+pub fn evaluate_with(
+    pcn: &Pcn,
+    placement: &Placement,
+    cost: CostModel,
+    options: EvalOptions,
+) -> Result<MetricsReport, HwError> {
+    let acc = match options.congestion_sample {
+        Some((max_edges, seed)) => congestion_map_sampled(pcn, placement, max_edges, seed)?,
+        None => congestion_map(pcn, placement)?,
+    };
+    let c = acc.stats();
+    Ok(MetricsReport {
+        energy: energy(pcn, placement, cost)?,
+        avg_latency: average_latency(pcn, placement, cost)?,
+        max_latency: max_latency(pcn, placement, cost)?,
+        avg_congestion: c.average,
+        max_congestion: c.max,
+        congestion_coverage: c.coverage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::{Coord, Mesh};
+    use snnmap_model::PcnBuilder;
+
+    fn setup() -> (Pcn, Placement) {
+        let mut b = PcnBuilder::new();
+        for _ in 0..3 {
+            b.add_cluster(1, 1);
+        }
+        b.add_edge(0, 1, 2.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        let pcn = b.build().unwrap();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let p = Placement::from_coords(
+            mesh,
+            &[Coord::new(0, 0), Coord::new(0, 1), Coord::new(1, 1)],
+        )
+        .unwrap();
+        (pcn, p)
+    }
+
+    #[test]
+    fn evaluate_composes_the_five_metrics() {
+        let (pcn, p) = setup();
+        let cm = CostModel::paper_target();
+        let r = evaluate(&pcn, &p, cm).unwrap();
+        assert_eq!(r.energy, energy(&pcn, &p, cm).unwrap());
+        assert_eq!(r.avg_latency, average_latency(&pcn, &p, cm).unwrap());
+        assert_eq!(r.max_latency, max_latency(&pcn, &p, cm).unwrap());
+        assert_eq!(r.congestion_coverage, 1.0);
+        assert!(r.avg_congestion > 0.0);
+        assert!(r.max_congestion >= r.avg_congestion);
+    }
+
+    #[test]
+    fn normalization_to_self_is_unity() {
+        let (pcn, p) = setup();
+        let r = evaluate(&pcn, &p, CostModel::paper_target()).unwrap();
+        let n = r.normalized_to(&r);
+        for v in [n.energy, n.avg_latency, n.max_latency, n.avg_congestion, n.max_congestion] {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampled_options_set_coverage() {
+        let (pcn, p) = setup();
+        let r = evaluate_with(
+            &pcn,
+            &p,
+            CostModel::paper_target(),
+            EvalOptions { congestion_sample: Some((1, 42)) },
+        )
+        .unwrap();
+        assert!(r.congestion_coverage <= 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (pcn, p) = setup();
+        let r = evaluate(&pcn, &p, CostModel::paper_target()).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

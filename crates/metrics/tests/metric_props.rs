@@ -1,0 +1,128 @@
+//! Property tests on the §3.3 metric implementations.
+
+use proptest::prelude::*;
+use snnmap_hw::{Coord, CostModel, Mesh, Placement};
+use snnmap_metrics::{
+    average_latency, congestion_map, energy, expe, max_latency, CongestionAccumulator,
+};
+use snnmap_model::{Pcn, PcnBuilder};
+
+fn arbitrary_pcn_and_placement(
+    clusters: u32,
+    side: u16,
+) -> impl Strategy<Value = (Pcn, Placement)> {
+    let edges = prop::collection::vec(
+        (0..clusters, 0..clusters, 0.1f32..10.0),
+        1..(clusters as usize * 3),
+    );
+    let perm = Just(()).prop_perturb(move |_, mut rng| {
+        let mesh = Mesh::new(side, side).unwrap();
+        let mut idx: Vec<usize> = (0..mesh.len()).collect();
+        // Fisher-Yates with proptest's rng for reproducible shrinking.
+        for i in (1..idx.len()).rev() {
+            let j = (rng.next_u32() as usize) % (i + 1);
+            idx.swap(i, j);
+        }
+        idx
+    });
+    (edges, perm).prop_map(move |(edges, idx)| {
+        let mesh = Mesh::new(side, side).unwrap();
+        let mut b = PcnBuilder::new();
+        for _ in 0..clusters {
+            b.add_cluster(1, 1);
+        }
+        for (f, t, w) in edges {
+            b.add_edge(f, t, w).unwrap();
+        }
+        let pcn = b.build().unwrap();
+        let mut p = Placement::new_unplaced(mesh, clusters);
+        for c in 0..clusters {
+            p.place(c, mesh.coord_of_index(idx[c as usize])).unwrap();
+        }
+        (pcn, p)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Energy decomposes per edge, is translation invariant, and scales
+    /// linearly with the cost constants.
+    #[test]
+    fn energy_linearity((pcn, p) in arbitrary_pcn_and_placement(12, 5)) {
+        let cm1 = CostModel::new(1.0, 0.1, 1.0, 0.01);
+        let cm2 = CostModel::new(2.0, 0.2, 1.0, 0.01);
+        let e1 = energy(&pcn, &p, cm1).unwrap();
+        let e2 = energy(&pcn, &p, cm2).unwrap();
+        prop_assert!((e2 - 2.0 * e1).abs() < 1e-9 * e1.max(1.0));
+    }
+
+    /// The weighted average latency never exceeds the maximum.
+    #[test]
+    fn avg_latency_bounded_by_max((pcn, p) in arbitrary_pcn_and_placement(12, 5)) {
+        let cm = CostModel::paper_target();
+        let avg = average_latency(&pcn, &p, cm).unwrap();
+        let max = max_latency(&pcn, &p, cm).unwrap();
+        prop_assert!(avg <= max + 1e-12);
+    }
+
+    /// The congestion map's total mass is the traffic-weighted expected
+    /// router-traversal count: Σ_e w(e) · (d(e) + 1).
+    #[test]
+    fn congestion_mass_conservation((pcn, p) in arbitrary_pcn_and_placement(12, 5)) {
+        let acc = congestion_map(&pcn, &p).unwrap();
+        let mass: f64 = acc.map().iter().sum();
+        let expected: f64 = pcn
+            .iter_edges()
+            .map(|(f, t, w)| w as f64 * (p.distance(f, t).unwrap() as f64 + 1.0))
+            .sum();
+        prop_assert!((mass - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    /// `Expe` levels conserve probability on arbitrary source/target
+    /// pairs, and endpoints are always traversed.
+    #[test]
+    fn expe_conservation(
+        sx in 0u16..8, sy in 0u16..8, tx in 0u16..8, ty in 0u16..8
+    ) {
+        let (s, t) = (Coord::new(sx, sy), Coord::new(tx, ty));
+        prop_assert_eq!(expe(s, s, t), 1.0);
+        prop_assert_eq!(expe(t, s, t), 1.0);
+        // Sum over each anti-diagonal level of the bounding rectangle.
+        let dx = sx.abs_diff(tx);
+        let dy = sy.abs_diff(ty);
+        for level in 0..=(dx + dy) {
+            let mut sum = 0.0;
+            for i in 0..=dx {
+                let Some(j) = level.checked_sub(i) else { continue };
+                if j > dy {
+                    continue;
+                }
+                let x = if tx >= sx { sx + i } else { sx - i };
+                let y = if ty >= sy { sy + j } else { sy - j };
+                sum += expe(Coord::new(x, y), s, t);
+            }
+            prop_assert!((sum - 1.0).abs() < 1e-9, "level {level}: {sum}");
+        }
+    }
+
+    /// Accumulating edges one at a time equals accumulating them in any
+    /// order (the map is a sum).
+    #[test]
+    fn accumulator_is_order_independent(
+        edges in prop::collection::vec(((0u16..4, 0u16..4), (0u16..4, 0u16..4), 0.1f64..5.0), 1..12)
+    ) {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let mut fwd = CongestionAccumulator::new(mesh);
+        let mut rev = CongestionAccumulator::new(mesh);
+        for &((sx, sy), (tx, ty), w) in &edges {
+            fwd.add_edge(Coord::new(sx, sy), Coord::new(tx, ty), w);
+        }
+        for &((sx, sy), (tx, ty), w) in edges.iter().rev() {
+            rev.add_edge(Coord::new(sx, sy), Coord::new(tx, ty), w);
+        }
+        for (a, b) in fwd.map().iter().zip(rev.map()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

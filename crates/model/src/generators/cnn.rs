@@ -1,0 +1,176 @@
+//! Synthetic convolutional network generators (Table 3, rows CNN_*).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{ConnPattern, LayerGraph, ModelError, SnnNetwork};
+
+const MATERIALIZE_LIMIT: u64 = 100_000_000;
+
+/// Specification of a synthetic convolutional chain: layers of equal
+/// width where each target neuron receives a fixed fan-in from a sliding
+/// window of the previous layer — the 1D shadow of convolutional
+/// connectivity ("the connections between neurons follow the classical
+/// convolutional network structure", §5.1.2).
+///
+/// # Table 3 presets
+///
+/// Matching the table's neuron and synapse totals pins the shapes:
+///
+/// | Row | Shape | Fan-in | Neurons | Synapses |
+/// |---|---|---|---|---|
+/// | CNN_65K  | 4 × 16 384     | 41 | 65 536 | 2.0 M |
+/// | CNN_16M  | 64 × 262 144   | 32 | 16.7 M | 528 M |
+/// | CNN_268M | 1024 × 262 144 | 30 | 268 M  | 8.0 B |
+///
+/// (`(L−1)·W·f` synapses; e.g. CNN_16M: 63 · 262 144 · 32 = 528.5 M,
+/// matching the paper's 528 M.)
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_model::generators::CnnSpec;
+///
+/// let g = CnnSpec::cnn_16m().layer_graph(0);
+/// assert_eq!(g.num_neurons(), 16_777_216);
+/// assert_eq!(g.num_synapses(), 528_482_304);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnnSpec {
+    name: String,
+    layers: Vec<u64>,
+    fan_in: u64,
+}
+
+impl CnnSpec {
+    /// A convolutional chain with the given layer widths and per-neuron
+    /// fan-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layers, a zero-width layer, or a fan-in
+    /// of zero or exceeding the narrowest source layer is given.
+    pub fn new(layers: &[u64], fan_in: u64) -> Self {
+        assert!(layers.len() >= 2, "a CNN needs at least two layers");
+        assert!(layers.iter().all(|&l| l > 0), "layers must be nonempty");
+        let min_src = layers[..layers.len() - 1].iter().copied().min().expect("two layers");
+        assert!(
+            fan_in > 0 && fan_in <= min_src,
+            "fan-in {fan_in} must be in 1..={min_src}"
+        );
+        Self {
+            name: format!("CNN_{}", layers.iter().sum::<u64>()),
+            layers: layers.to_vec(),
+            fan_in,
+        }
+    }
+
+    /// A uniform `depth × width` CNN with a display name.
+    pub fn uniform(name: impl Into<String>, depth: usize, width: u64, fan_in: u64) -> Self {
+        let mut s = Self::new(&vec![width; depth], fan_in);
+        s.name = name.into();
+        s
+    }
+
+    /// Table 3 row `CNN_65K`: 4 × 16 384, fan-in 41 (2.0 M synapses).
+    pub fn cnn_65k() -> Self {
+        Self::uniform("CNN_65K", 4, 16_384, 41)
+    }
+
+    /// Table 3 row `CNN_16M`: 64 × 262 144, fan-in 32 (528 M synapses).
+    pub fn cnn_16m() -> Self {
+        Self::uniform("CNN_16M", 64, 262_144, 32)
+    }
+
+    /// Table 3 row `CNN_268M`: 1024 × 262 144, fan-in 30 (8.0 B synapses).
+    pub fn cnn_268m() -> Self {
+        Self::uniform("CNN_268M", 1024, 262_144, 30)
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layer widths.
+    pub fn layers(&self) -> &[u64] {
+        &self.layers
+    }
+
+    /// Per-neuron fan-in.
+    pub fn fan_in(&self) -> u64 {
+        self.fan_in
+    }
+
+    /// Builds the layer graph with seeded per-connection spike densities.
+    pub fn layer_graph(&self, seed: u64) -> LayerGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC44);
+        let mut g = LayerGraph::new(self.name.clone());
+        let ids: Vec<usize> = self.layers.iter().map(|&n| g.add_layer(n)).collect();
+        for w in ids.windows(2) {
+            let rate: f32 = rng.gen_range(0.05..=1.0);
+            g.connect(w[0], w[1], ConnPattern::Window { fan_in: self.fan_in }, rate)
+                .expect("chain connections are valid");
+        }
+        g
+    }
+
+    /// Materializes the explicit neuron-level network (small specs only).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::TooLargeToMaterialize`] beyond 10⁸ synapses.
+    pub fn build(&self, seed: u64) -> Result<SnnNetwork, ModelError> {
+        self.layer_graph(seed).materialize(MATERIALIZE_LIMIT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::CoreConstraints;
+
+    use crate::PartitionPolicy;
+
+    #[test]
+    fn presets_match_table3_totals() {
+        let cases = [
+            (CnnSpec::cnn_65k(), 65_536u64, 2_015_232u64),
+            (CnnSpec::cnn_16m(), 16_777_216, 528_482_304),
+            (CnnSpec::cnn_268m(), 268_435_456, 8_045_199_360),
+        ];
+        for (spec, neurons, synapses) in cases {
+            let g = spec.layer_graph(0);
+            assert_eq!(g.num_neurons(), neurons, "{}", spec.name());
+            assert_eq!(g.num_synapses(), synapses, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn cnn_65k_pcn_shape() {
+        let g = CnnSpec::cnn_65k().layer_graph(0);
+        let pcn = g
+            .partition_analytic(CoreConstraints::new(4096, u64::MAX), PartitionPolicy::table3())
+            .unwrap();
+        // 16 clusters like DNN_65K; banded connectivity gives fewer
+        // connections than the dense 48.
+        assert_eq!(pcn.num_clusters(), 16);
+        assert!(pcn.num_connections() >= 12, "at least one band edge per pair");
+        assert!(pcn.num_connections() <= 48);
+    }
+
+    #[test]
+    fn cnn_is_sparser_than_dnn() {
+        let cnn = CnnSpec::new(&[64, 64, 64], 9).build(0).unwrap();
+        assert_eq!(cnn.num_synapses(), 2 * 64 * 9);
+        // Window of 9 per neuron vs 64 for a dense layer.
+        assert_eq!(cnn.fan_in(64), 9);
+        assert_eq!(cnn.fan_in(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in")]
+    fn rejects_oversized_fan_in() {
+        let _ = CnnSpec::new(&[8, 8], 9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Synthetic fully connected DNN generators (Table 3, rows DNN_*).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{ConnPattern, LayerGraph, ModelError, SnnNetwork};
+
+/// Default materialization guard: one hundred million synapses.
+const MATERIALIZE_LIMIT: u64 = 100_000_000;
+
+/// Specification of a synthetic fully connected deep network: a chain of
+/// layers with dense connections between consecutive layers.
+///
+/// Spike densities are drawn per connection from a seeded RNG in
+/// `[0.05, 1.0]`, standing in for the measured traffic the paper obtains
+/// from executing trained networks (the mapping algorithms only consume
+/// relative traffic volumes).
+///
+/// # Table 3 presets
+///
+/// The paper's synthetic DNN rows determine the layer shapes uniquely:
+///
+/// | Row | Shape | Neurons | Synapses | Clusters | Connections |
+/// |---|---|---|---|---|---|
+/// | DNN_65K  | 4 × 16 384    | 65 536 | 805 M  | 16   | 48   |
+/// | DNN_16M  | 64 × 262 144  | 16.7 M | 4.3 T  | 4096 | 258 048 |
+/// | DNN_268M | 1024 × 262 144| 268 M  | 70 T   | 65 536 | 4.2 M |
+/// | DNN_4B   | 16384 × 262 144| 4.29 B| 1 125 T| 1 M  | 67 M |
+///
+/// (Check: a `L × W` dense chain has `(L−1)·W²` synapses, `L·W/4096`
+/// clusters under the 4096-neuron core limit, and `(L−1)·(W/4096)²`
+/// cluster connections — all four columns match the paper.)
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_model::generators::DnnSpec;
+///
+/// let spec = DnnSpec::dnn_65k();
+/// let g = spec.layer_graph(1);
+/// assert_eq!(g.num_neurons(), 65_536);
+/// assert_eq!(g.num_synapses(), 805_306_368);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnnSpec {
+    name: String,
+    layers: Vec<u64>,
+}
+
+impl DnnSpec {
+    /// A DNN with the given layer widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layers or any zero-width layer is given.
+    pub fn new(layers: &[u64]) -> Self {
+        assert!(layers.len() >= 2, "a DNN needs at least two layers");
+        assert!(layers.iter().all(|&l| l > 0), "layers must be nonempty");
+        Self { name: format!("DNN_{}", layers.iter().sum::<u64>()), layers: layers.to_vec() }
+    }
+
+    /// A uniform `depth × width` DNN with a display name.
+    pub fn uniform(name: impl Into<String>, depth: usize, width: u64) -> Self {
+        assert!(depth >= 2 && width > 0);
+        Self { name: name.into(), layers: vec![width; depth] }
+    }
+
+    /// Table 3 row `DNN_65K`: 4 layers × 16 384 neurons.
+    pub fn dnn_65k() -> Self {
+        Self::uniform("DNN_65K", 4, 16_384)
+    }
+
+    /// Table 3 row `DNN_16M`: 64 layers × 262 144 neurons.
+    pub fn dnn_16m() -> Self {
+        Self::uniform("DNN_16M", 64, 262_144)
+    }
+
+    /// Table 3 row `DNN_268M`: 1024 layers × 262 144 neurons.
+    pub fn dnn_268m() -> Self {
+        Self::uniform("DNN_268M", 1024, 262_144)
+    }
+
+    /// Table 3 row `DNN_4B`: 16 384 layers × 262 144 neurons — the
+    /// paper's 4-billion-neuron headline benchmark.
+    pub fn dnn_4b() -> Self {
+        Self::uniform("DNN_4B", 16_384, 262_144)
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Layer widths.
+    pub fn layers(&self) -> &[u64] {
+        &self.layers
+    }
+
+    /// Builds the layer graph with seeded per-connection spike densities.
+    pub fn layer_graph(&self, seed: u64) -> LayerGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut g = LayerGraph::new(self.name.clone());
+        let ids: Vec<usize> = self.layers.iter().map(|&n| g.add_layer(n)).collect();
+        for w in ids.windows(2) {
+            let rate: f32 = rng.gen_range(0.05..=1.0);
+            g.connect(w[0], w[1], ConnPattern::Full, rate).expect("chain connections are valid");
+        }
+        g
+    }
+
+    /// Materializes the explicit neuron-level network (small specs only).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::TooLargeToMaterialize`] beyond 10⁸ synapses.
+    pub fn build(&self, seed: u64) -> Result<SnnNetwork, ModelError> {
+        self.layer_graph(seed).materialize(MATERIALIZE_LIMIT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::CoreConstraints;
+
+    use crate::PartitionPolicy;
+
+    #[test]
+    fn presets_match_table3_totals() {
+        let cases = [
+            (DnnSpec::dnn_65k(), 65_536u64, 805_306_368u64),
+            (DnnSpec::dnn_16m(), 16_777_216, 4_329_327_034_368),
+            (DnnSpec::dnn_268m(), 268_435_456, 70_300_024_700_928),
+            (DnnSpec::dnn_4b(), 4_294_967_296, 1_125_831_187_365_888),
+        ];
+        for (spec, neurons, synapses) in cases {
+            let g = spec.layer_graph(0);
+            assert_eq!(g.num_neurons(), neurons, "{}", spec.name());
+            assert_eq!(g.num_synapses(), synapses, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn dnn_65k_pcn_matches_table3() {
+        let g = DnnSpec::dnn_65k().layer_graph(0);
+        let pcn = g
+            .partition_analytic(CoreConstraints::new(4096, u64::MAX), PartitionPolicy::table3())
+            .unwrap();
+        assert_eq!(pcn.num_clusters(), 16);
+        assert_eq!(pcn.num_connections(), 48);
+    }
+
+    #[test]
+    fn rates_are_seed_deterministic() {
+        let a = DnnSpec::new(&[10, 20, 10]).layer_graph(9);
+        let b = DnnSpec::new(&[10, 20, 10]).layer_graph(9);
+        assert_eq!(a, b);
+        let c = DnnSpec::new(&[10, 20, 10]).layer_graph(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_spec_materializes() {
+        let snn = DnnSpec::new(&[32, 64, 16]).build(3).unwrap();
+        assert_eq!(snn.num_neurons(), 112);
+        assert_eq!(snn.num_synapses(), 32 * 64 + 64 * 16);
+    }
+
+    #[test]
+    fn huge_spec_refuses_materialization() {
+        assert!(matches!(
+            DnnSpec::dnn_16m().build(0),
+            Err(ModelError::TooLargeToMaterialize { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two layers")]
+    fn rejects_single_layer() {
+        let _ = DnnSpec::new(&[10]);
+    }
+}

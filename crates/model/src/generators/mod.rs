@@ -1,0 +1,20 @@
+//! Workload generators for every Table 3 benchmark plus random test
+//! graphs.
+//!
+//! The synthetic DNN/CNN families and the realistic ANN suite reproduce
+//! the neuron/synapse totals of the paper's Table 3; layer shapes for the
+//! synthetic networks are recovered from the table itself (each row's
+//! neuron, synapse, cluster and connection counts pin down the layer
+//! width and depth — see the preset docs).
+
+mod cnn;
+mod dnn;
+mod random;
+mod realistic;
+mod table3;
+
+pub use cnn::CnnSpec;
+pub use dnn::DnnSpec;
+pub use random::{random_pcn, random_snn};
+pub use realistic::RealisticModel;
+pub use table3::{table3_suite, Table3Benchmark, Table3Row};

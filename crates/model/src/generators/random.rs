@@ -1,0 +1,155 @@
+//! Random graph generators for tests, property checks and the NoC
+//! simulator.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{ModelError, Pcn, PcnBuilder, SnnBuilder, SnnNetwork};
+
+/// Generates a random SNN with locality: each neuron sends `avg_fan_out`
+/// synapses on average, with targets drawn from a window of `±locality`
+/// around itself (wrapping is not used; windows clamp at the ends). This
+/// mirrors the biological locality the paper leans on in §4.2.2 — neurons
+/// connect to few, mostly nearby, peers.
+///
+/// Spike densities are uniform in `[0.1, 1.0]`.
+///
+/// # Errors
+///
+/// [`ModelError::EmptyNetwork`] when `neurons == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_model::generators::random_snn;
+///
+/// let snn = random_snn(500, 8.0, 50, 42)?;
+/// assert_eq!(snn.num_neurons(), 500);
+/// assert!(snn.num_synapses() > 3000);
+/// # Ok::<(), snnmap_model::ModelError>(())
+/// ```
+pub fn random_snn(
+    neurons: u32,
+    avg_fan_out: f64,
+    locality: u32,
+    seed: u64,
+) -> Result<SnnNetwork, ModelError> {
+    if neurons == 0 {
+        return Err(ModelError::EmptyNetwork);
+    }
+    assert!(avg_fan_out >= 0.0 && avg_fan_out.is_finite());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = SnnBuilder::with_capacity(neurons, (neurons as f64 * avg_fan_out) as usize);
+    for u in 0..neurons {
+        // Poisson-ish out-degree via rounding a uniform around the mean.
+        let k = (avg_fan_out * rng.gen_range(0.5..1.5)).round() as u32;
+        let lo = u.saturating_sub(locality);
+        let hi = (u + locality).min(neurons - 1);
+        for _ in 0..k {
+            let v = rng.gen_range(lo..=hi);
+            if v != u {
+                b.synapse(u, v, rng.gen_range(0.1..=1.0))?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates a random PCN directly: `clusters` clusters, each with
+/// `avg_degree` outgoing connections on average whose targets favour
+/// nearby cluster ids (80%) with occasional long-range links (20%).
+/// Useful for exercising the placement algorithms without building a
+/// neuron-level network.
+///
+/// # Errors
+///
+/// [`ModelError::EmptyNetwork`] when `clusters == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_model::generators::random_pcn;
+///
+/// let pcn = random_pcn(64, 4.0, 7)?;
+/// assert_eq!(pcn.num_clusters(), 64);
+/// # Ok::<(), snnmap_model::ModelError>(())
+/// ```
+pub fn random_pcn(clusters: u32, avg_degree: f64, seed: u64) -> Result<Pcn, ModelError> {
+    if clusters == 0 {
+        return Err(ModelError::EmptyNetwork);
+    }
+    assert!(avg_degree >= 0.0 && avg_degree.is_finite());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9C4);
+    let mut b = PcnBuilder::with_capacity(clusters as usize, (clusters as f64 * avg_degree) as usize);
+    for _ in 0..clusters {
+        b.add_cluster(rng.gen_range(1..=4096), rng.gen_range(1..=65_536));
+    }
+    if clusters == 1 {
+        return b.build();
+    }
+    let local_span = ((clusters as f64).sqrt().ceil() as u32).max(1);
+    for c in 0..clusters {
+        let k = (avg_degree * rng.gen_range(0.5..1.5)).round() as u32;
+        for _ in 0..k {
+            let t = if rng.gen_bool(0.8) {
+                let lo = c.saturating_sub(local_span);
+                let hi = (c + local_span).min(clusters - 1);
+                rng.gen_range(lo..=hi)
+            } else {
+                rng.gen_range(0..clusters)
+            };
+            if t != c {
+                b.add_edge(c, t, rng.gen_range(0.5..=10.0))?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snn_is_deterministic_per_seed() {
+        let a = random_snn(200, 4.0, 30, 1).unwrap();
+        let b = random_snn(200, 4.0, 30, 1).unwrap();
+        assert_eq!(a, b);
+        let c = random_snn(200, 4.0, 30, 2).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn snn_respects_locality_window() {
+        let snn = random_snn(1000, 6.0, 20, 3).unwrap();
+        for (u, v, _) in snn.iter_synapses() {
+            assert!(u.abs_diff(v) <= 20, "synapse {u}->{v} breaks the locality window");
+        }
+    }
+
+    #[test]
+    fn snn_has_no_self_loops() {
+        let snn = random_snn(300, 5.0, 10, 4).unwrap();
+        assert!(snn.iter_synapses().all(|(u, v, _)| u != v));
+    }
+
+    #[test]
+    fn pcn_determinism_and_no_self_edges() {
+        let a = random_pcn(128, 4.0, 9).unwrap();
+        let b = random_pcn(128, 4.0, 9).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter_edges().all(|(f, t, _)| f != t));
+        assert_eq!(a.intra_traffic(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(random_snn(0, 4.0, 10, 0).is_err());
+        assert!(random_pcn(0, 4.0, 0).is_err());
+        let single = random_pcn(1, 4.0, 0).unwrap();
+        assert_eq!(single.num_clusters(), 1);
+        assert_eq!(single.num_connections(), 0);
+        let tiny = random_snn(1, 4.0, 10, 0).unwrap();
+        assert_eq!(tiny.num_synapses(), 0);
+    }
+}

@@ -1,0 +1,520 @@
+//! Realistic ANN-derived SNN benchmarks (Table 3, bottom half).
+//!
+//! The paper trains LeNet, AlexNet, MobileNet, InceptionV3 and ResNet in
+//! TensorFlow and converts them to SNNs with SNNToolBox. The mapping
+//! algorithms, however, consume only the *graph structure* and the
+//! relative spike-traffic volumes — never trained weights. We therefore
+//! reproduce each model as a [`LayerGraph`] whose layer topology follows
+//! the published architecture and whose neuron/synapse totals match
+//! Table 3 (fan-ins of the window connections are uniformly scaled so the
+//! synapse total hits the table value; spatial layer sizes are scaled so
+//! the neuron total does). Spike densities are seeded-random per
+//! connection, standing in for measured traffic.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{ConnPattern, LayerGraph, ModelError, SnnNetwork};
+
+const MATERIALIZE_LIMIT: u64 = 100_000_000;
+
+/// One of the six converted-ANN benchmarks of Table 3.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_model::generators::RealisticModel;
+///
+/// let g = RealisticModel::LeNetMnist.layer_graph(0);
+/// assert_eq!(g.num_neurons(), 9118); // Table 3's LeNet-MNIST row
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RealisticModel {
+    /// LeNet-5 on 32×32 MNIST (9118 neurons, 0.4 M synapses).
+    LeNetMnist,
+    /// LeNet scaled to 224×224 ImageNet inputs (1.0 M neurons, 188 M
+    /// synapses).
+    LeNetImageNet,
+    /// AlexNet (0.9 M neurons, 1.0 B synapses).
+    AlexNet,
+    /// MobileNetV1 (6.9 M neurons, 0.5 B synapses).
+    MobileNet,
+    /// InceptionV3 (14.6 M neurons, 5.4 B synapses).
+    InceptionV3,
+    /// ResNet-152 (28.5 M neurons, 11.6 B synapses).
+    ResNet,
+}
+
+/// A connection in a model skeleton before fan-in calibration.
+#[derive(Clone, Copy)]
+enum Proto {
+    Full,
+    /// Sliding window: (total fan-in, taps). Taps > 1 model channel-major
+    /// convolutions, whose receptive fields touch every channel block of
+    /// the source layer and therefore many clusters.
+    Win(u64, u32),
+}
+
+/// A model skeleton: layers plus proto-connections, later calibrated so
+/// that total synapses hit the Table 3 value.
+struct Skeleton {
+    layers: Vec<u64>,
+    conns: Vec<(usize, usize, Proto)>,
+}
+
+impl Skeleton {
+    fn new() -> Self {
+        Self { layers: Vec::new(), conns: Vec::new() }
+    }
+
+    fn layer(&mut self, n: u64) -> usize {
+        assert!(n > 0);
+        self.layers.push(n);
+        self.layers.len() - 1
+    }
+
+    /// Appends a layer connected from `from` with a single-tap window of
+    /// nominal fan-in `f`, returning the new layer's index.
+    fn win_layer(&mut self, from: usize, n: u64, f: u64) -> usize {
+        self.win_layer_t(from, n, f, 1)
+    }
+
+    /// Appends a layer connected from `from` with a `taps`-tap window.
+    fn win_layer_t(&mut self, from: usize, n: u64, f: u64, taps: u32) -> usize {
+        let l = self.layer(n);
+        self.conns.push((from, l, Proto::Win(f, taps)));
+        l
+    }
+
+    fn full(&mut self, from: usize, to: usize) {
+        self.conns.push((from, to, Proto::Full));
+    }
+
+    fn win(&mut self, from: usize, to: usize, f: u64) {
+        self.conns.push((from, to, Proto::Win(f, 1)));
+    }
+
+    fn win_t(&mut self, from: usize, to: usize, f: u64, taps: u32) {
+        self.conns.push((from, to, Proto::Win(f, taps)));
+    }
+
+    fn synapses(&self) -> (u64, u64) {
+        let mut full = 0u64;
+        let mut win = 0u64;
+        for &(from, to, p) in &self.conns {
+            match p {
+                Proto::Full => full += self.layers[from] * self.layers[to],
+                Proto::Win(f, _) => win += f * self.layers[to],
+            }
+        }
+        (full, win)
+    }
+
+    /// Builds the final [`LayerGraph`], scaling window fan-ins uniformly
+    /// so total synapses ≈ `target_synapses` (exact for `None`), with
+    /// seeded random spike densities.
+    fn build(self, name: &str, target_synapses: Option<u64>, seed: u64) -> LayerGraph {
+        let (full, win) = self.synapses();
+        let alpha = match target_synapses {
+            Some(t) if win > 0 => (t.saturating_sub(full)) as f64 / win as f64,
+            _ => 1.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EA1);
+        let mut g = LayerGraph::new(name);
+        for &n in &self.layers {
+            g.add_layer(n);
+        }
+        for (from, to, p) in self.conns {
+            let rate: f32 = rng.gen_range(0.05..=1.0);
+            let pattern = match p {
+                Proto::Full => ConnPattern::Full,
+                Proto::Win(f, taps) => {
+                    let n_pre = self.layers[from];
+                    let scaled = ((f as f64 * alpha).round() as u64).max(1).min(n_pre);
+                    if taps <= 1 {
+                        ConnPattern::Window { fan_in: scaled }
+                    } else {
+                        // Keep the multi-tap decomposition valid: at least
+                        // one synapse per tap, and per-tap windows no
+                        // longer than the tap's sub-range.
+                        let taps = taps.min(scaled.min(n_pre) as u32);
+                        let fan_in =
+                            scaled.max(taps as u64).min(taps as u64 * (n_pre / taps as u64));
+                        ConnPattern::MultiWindow { fan_in, taps }
+                    }
+                }
+            };
+            g.connect(from, to, pattern, rate).expect("skeleton connections are valid");
+        }
+        g
+    }
+}
+
+impl RealisticModel {
+    /// All six models, in Table 3 order.
+    pub fn all() -> [RealisticModel; 6] {
+        [
+            RealisticModel::LeNetMnist,
+            RealisticModel::LeNetImageNet,
+            RealisticModel::AlexNet,
+            RealisticModel::MobileNet,
+            RealisticModel::InceptionV3,
+            RealisticModel::ResNet,
+        ]
+    }
+
+    /// Display name matching Table 3.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RealisticModel::LeNetMnist => "LeNet-MNIST",
+            RealisticModel::LeNetImageNet => "LeNet-ImageNet",
+            RealisticModel::AlexNet => "AlexNet",
+            RealisticModel::MobileNet => "MobileNet",
+            RealisticModel::InceptionV3 => "InceptionV3",
+            RealisticModel::ResNet => "ResNet",
+        }
+    }
+
+    /// Table 3 reference totals `(neurons, synapses)` as printed in the
+    /// paper (rounded there; used as calibration targets here).
+    pub fn paper_totals(&self) -> (u64, u64) {
+        match self {
+            RealisticModel::LeNetMnist => (9_118, 400_000),
+            RealisticModel::LeNetImageNet => (1_000_000, 188_000_000),
+            RealisticModel::AlexNet => (900_000, 1_000_000_000),
+            RealisticModel::MobileNet => (6_900_000, 500_000_000),
+            RealisticModel::InceptionV3 => (14_600_000, 5_400_000_000),
+            RealisticModel::ResNet => (28_500_000, 11_600_000_000),
+        }
+    }
+
+    /// Table 3 reference PCN shape `(clusters, connections, mesh side)`.
+    pub fn paper_pcn(&self) -> (u64, u64, u16) {
+        match self {
+            RealisticModel::LeNetMnist => (9, 19, 3),
+            RealisticModel::LeNetImageNet => (251, 2_151, 16),
+            RealisticModel::AlexNet => (229, 4_289, 16),
+            RealisticModel::MobileNet => (1_688, 37_418, 42),
+            RealisticModel::InceptionV3 => (3_570, 117_597, 60),
+            RealisticModel::ResNet => (6_956, 478_602, 84),
+        }
+    }
+
+    /// Builds the model's layer graph with seeded spike densities.
+    pub fn layer_graph(&self, seed: u64) -> LayerGraph {
+        match self {
+            RealisticModel::LeNetMnist => Self::lenet_mnist(seed),
+            RealisticModel::LeNetImageNet => Self::lenet_imagenet(seed),
+            RealisticModel::AlexNet => Self::alexnet(seed),
+            RealisticModel::MobileNet => Self::mobilenet(seed),
+            RealisticModel::InceptionV3 => Self::inception_v3(seed),
+            RealisticModel::ResNet => Self::resnet(seed),
+        }
+    }
+
+    /// Materializes the explicit network; only LeNet-MNIST (and
+    /// LeNet-ImageNet, just under the guard) are small enough.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::TooLargeToMaterialize`] beyond 10⁸ synapses.
+    pub fn build(&self, seed: u64) -> Result<SnnNetwork, ModelError> {
+        self.layer_graph(seed).materialize(MATERIALIZE_LIMIT)
+    }
+
+    /// LeNet-5 on 32×32 inputs: the classic C1/S2/C3/S4/C5/F6/output
+    /// stack. Totals are within rounding of Table 3 without calibration
+    /// (9118 neurons, 422 824 synapses vs "0.4 M").
+    fn lenet_mnist(seed: u64) -> LayerGraph {
+        let mut s = Skeleton::new();
+        let input = s.layer(1024); // 32x32
+        let c1 = s.win_layer(input, 4704, 25); // 6@28x28, 5x5 kernels
+        let s2 = s.win_layer(c1, 1176, 4); // 6@14x14, 2x2 pooling
+        let c3 = s.win_layer(s2, 1600, 150); // 16@10x10, 5x5 over 6 maps
+        let s4 = s.win_layer(c3, 400, 4); // 16@5x5
+        let c5 = s.layer(120);
+        s.full(s4, c5);
+        let f6 = s.layer(84);
+        s.full(c5, f6);
+        let out = s.layer(10);
+        s.full(f6, out);
+        s.build("LeNet-MNIST", None, seed)
+    }
+
+    /// LeNet scaled to 224×224×3 inputs; calibrated to 188 M synapses.
+    fn lenet_imagenet(seed: u64) -> LayerGraph {
+        let mut s = Skeleton::new();
+        let input = s.layer(150_528); // 224x224x3
+        let c1 = s.win_layer_t(input, 290_400, 75, 4); // 6@220x220, 5x5x3
+        let s2 = s.win_layer(c1, 72_600, 4); // 6@110x110
+        let c3 = s.win_layer_t(s2, 179_776, 150, 8); // 16@106x106
+        let s4 = s.win_layer(c3, 44_944, 4); // 16@53x53
+        let c5 = s.win_layer_t(s4, 288_120, 400, 16); // 120@49x49
+        let f6 = s.layer(84);
+        s.full(c5, f6);
+        let out = s.layer(10);
+        s.full(f6, out);
+        s.build("LeNet-ImageNet", Some(188_000_000), seed)
+    }
+
+    /// AlexNet with its two pooling stages and three FC layers;
+    /// calibrated to 1.0 B synapses.
+    fn alexnet(seed: u64) -> LayerGraph {
+        let mut s = Skeleton::new();
+        let input = s.layer(150_528); // 224x224x3
+        let c1 = s.win_layer_t(input, 290_400, 363, 12); // 96@55x55, 11x11x3
+        let p1 = s.win_layer_t(c1, 69_984, 9, 4); // 96@27x27
+        let c2 = s.win_layer_t(p1, 186_624, 1675, 24); // 256@27x27, 5x5x96 (pruned)
+        let p2 = s.win_layer_t(c2, 43_264, 9, 4); // 256@13x13
+        let c3 = s.win_layer_t(p2, 64_896, 2304, 24); // 384@13x13, 3x3x256
+        let c4 = s.win_layer_t(c3, 64_896, 3456, 24); // 384@13x13, 3x3x384
+        let c5 = s.win_layer_t(c4, 43_264, 3456, 24); // 256@13x13
+        let f6 = s.win_layer_t(c5, 4_096, 9216, 32); // dense from 6x6x256
+        let f7 = s.layer(4_096);
+        s.full(f6, f7);
+        let f8 = s.layer(1_000);
+        s.full(f7, f8);
+        s.build("AlexNet", Some(1_000_000_000), seed)
+    }
+
+    /// MobileNetV1 at 256×256: depthwise (fan-in 9) / pointwise (fan-in
+    /// `C_in`) separable stacks; calibrated to 0.5 B synapses.
+    fn mobilenet(seed: u64) -> LayerGraph {
+        let mut s = Skeleton::new();
+        let input = s.layer(196_608); // 256x256x3
+        let mut prev = s.win_layer_t(input, 524_288, 27, 8); // 32@128^2
+        // (channels, spatial elements) per depthwise/pointwise pair.
+        let pairs: [(u64, u64, u64); 13] = [
+            // (dw size, pw size, pw fan-in)
+            (524_288, 1_048_576, 32),
+            (262_144, 524_288, 64),
+            (524_288, 524_288, 128),
+            (131_072, 262_144, 128),
+            (262_144, 262_144, 256),
+            (65_536, 131_072, 256),
+            (131_072, 131_072, 512),
+            (131_072, 131_072, 512),
+            (131_072, 131_072, 512),
+            (131_072, 131_072, 512),
+            (131_072, 131_072, 512),
+            (32_768, 65_536, 512),
+            (65_536, 65_536, 1024),
+        ];
+        for (dw, pw, f) in pairs {
+            let d = s.win_layer_t(prev, dw, 9, 8);
+            prev = s.win_layer_t(d, pw, f, 24);
+        }
+        let pool = s.win_layer(prev, 1_024, 64);
+        let fc = s.layer(1_000);
+        s.full(pool, fc);
+        s.build("MobileNet", Some(500_000_000), seed)
+    }
+
+    /// InceptionV3-style stem plus three groups of multi-branch blocks;
+    /// spatial sizes scaled so neurons ≈ 14.6 M, fan-ins calibrated to
+    /// 5.4 B synapses.
+    fn inception_v3(seed: u64) -> LayerGraph {
+        // Spatial scale applied to all convolutional layer sizes.
+        const SC: f64 = 1.58;
+        let z = |n: u64| -> u64 { ((n as f64 * SC).round() as u64).max(1) };
+        let mut s = Skeleton::new();
+        let input = s.layer(z(268_203)); // 299x299x3
+        let s1 = s.win_layer_t(input, z(710_432), 27, 8); // 32@149^2
+        let s2 = s.win_layer_t(s1, z(691_488), 288, 8); // 32@147^2
+        let s3 = s.win_layer_t(s2, z(1_382_976), 288, 8); // 64@147^2
+        let s4 = s.win_layer(s3, z(341_056), 9); // pool 64@73^2
+        let s5 = s.win_layer_t(s4, z(426_320), 64, 8); // 80@73^2
+        let s6 = s.win_layer_t(s5, z(967_872), 720, 8); // 192@71^2
+        let s7 = s.win_layer(s6, z(235_200), 9); // pool 192@35^2
+        // A blocks (35x35): four branches, some two convolutions deep.
+        let mut inputs = vec![s7];
+        for _ in 0..3 {
+            let mut outs = Vec::new();
+            for &(mid, out, f1, f2) in &[
+                (z(78_400), z(117_600), 192u64, 576u64), // 1x1 -> 3x3 branch
+                (z(58_800), z(78_400), 192, 432),        // 1x1 -> 5x5 branch
+                (z(78_400), z(117_600), 192, 576),       // double 3x3 branch
+                (z(39_200), z(39_200), 9, 192),          // pool -> 1x1 branch
+            ] {
+                let mut mid_id = None;
+                for &inp in &inputs {
+                    match mid_id {
+                        Some(m) => s.win_t(inp, m, f1, 24),
+                        None => mid_id = Some(s.win_layer_t(inp, mid, f1, 24)),
+                    }
+                }
+                let m = mid_id.expect("at least one input");
+                outs.push(s.win_layer_t(m, out, f2, 24));
+            }
+            inputs = outs;
+        }
+        // B blocks (17x17, 768 channels): 7x1 factorized branches.
+        inputs = {
+            // Reduction: connect all A outputs into a single grid layer.
+            let red = s.layer(z(221_952));
+            for &i in &inputs {
+                s.win_t(i, red, 864, 24);
+            }
+            vec![red]
+        };
+        for _ in 0..4 {
+            let mut outs = Vec::new();
+            for &(mid, out, f1, f2) in &[
+                (z(55_488), z(55_488), 768u64, 768u64),
+                (z(36_992), z(55_488), 768, 896),
+                (z(36_992), z(55_488), 896, 896),
+                (z(55_488), z(55_488), 9, 768),
+            ] {
+                let mut mid_id = None;
+                for &inp in &inputs {
+                    match mid_id {
+                        Some(m) => s.win_t(inp, m, f1, 24),
+                        None => mid_id = Some(s.win_layer_t(inp, mid, f1, 24)),
+                    }
+                }
+                let m = mid_id.expect("at least one input");
+                outs.push(s.win_layer_t(m, out, f2, 24));
+            }
+            inputs = outs;
+        }
+        // C blocks (8x8, 2048 channels).
+        inputs = {
+            let red = s.layer(z(131_072));
+            for &i in &inputs {
+                s.win_t(i, red, 1280, 24);
+            }
+            vec![red]
+        };
+        for _ in 0..2 {
+            let mut outs = Vec::new();
+            for &(mid, out, f1, f2) in &[
+                (z(20_480), z(20_480), 1280u64, 1280u64),
+                (z(24_576), z(49_152), 1280, 1152),
+                (z(28_672), z(49_152), 1280, 1344),
+                (z(12_288), z(12_288), 9, 1280),
+            ] {
+                let mut mid_id = None;
+                for &inp in &inputs {
+                    match mid_id {
+                        Some(m) => s.win_t(inp, m, f1, 24),
+                        None => mid_id = Some(s.win_layer_t(inp, mid, f1, 24)),
+                    }
+                }
+                let m = mid_id.expect("at least one input");
+                outs.push(s.win_layer_t(m, out, f2, 24));
+            }
+            inputs = outs;
+        }
+        let pool = s.layer(2_048);
+        for &i in &inputs {
+            s.win(i, pool, 64);
+        }
+        let fc = s.layer(1_000);
+        s.full(pool, fc);
+        s.build("InceptionV3", Some(5_400_000_000), seed)
+    }
+
+    /// ResNet-152 with bottleneck blocks and identity skip connections
+    /// (fan-in-1 windows); spatial sizes scaled so neurons ≈ 28.5 M,
+    /// fan-ins calibrated to 11.6 B synapses.
+    fn resnet(seed: u64) -> LayerGraph {
+        const SC: f64 = 1.378;
+        let z = |n: u64| -> u64 { ((n as f64 * SC).round() as u64).max(1) };
+        let mut s = Skeleton::new();
+        let input = s.layer(z(150_528));
+        let conv1 = s.win_layer_t(input, z(802_816), 147, 12); // 64@112^2, 7x7x3
+        // (blocks, width of the two narrow convs, width of the wide conv,
+        //  narrow fan-in, 3x3 fan-in, wide fan-in).
+        let stages: [(usize, u64, u64, u64, u64, u64); 4] = [
+            (3, z(200_704), z(802_816), 256, 576, 64),
+            (8, z(100_352), z(401_408), 512, 1152, 128),
+            (36, z(50_176), z(200_704), 1024, 2304, 256),
+            (3, z(25_088), z(100_352), 2048, 4608, 512),
+        ];
+        let mut prev = conv1;
+        for (blocks, narrow, wide, f1, f2, f3) in stages {
+            for _ in 0..blocks {
+                let a = s.win_layer_t(prev, narrow, f1, 48);
+                let b = s.win_layer_t(a, narrow, f2, 48);
+                let c = s.win_layer_t(b, wide, f3, 48);
+                // Identity skip: block input feeds the block output
+                // directly.
+                s.win(prev, c, 1);
+                prev = c;
+            }
+        }
+        let pool = s.win_layer(prev, 2_048, 64);
+        let fc = s.layer(1_000);
+        s.full(pool, fc);
+        s.build("ResNet", Some(11_600_000_000), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_mnist_matches_table3_exactly() {
+        let g = RealisticModel::LeNetMnist.layer_graph(0);
+        assert_eq!(g.num_neurons(), 9_118);
+        assert_eq!(g.num_synapses(), 422_824); // "0.4M" in the table
+    }
+
+    #[test]
+    fn all_models_hit_paper_totals() {
+        for m in RealisticModel::all() {
+            let g = m.layer_graph(0);
+            let (pn, ps) = m.paper_totals();
+            let n = g.num_neurons() as f64;
+            let s = g.num_synapses() as f64;
+            assert!(
+                (n - pn as f64).abs() / (pn as f64) < 0.05,
+                "{}: neurons {n} vs paper {pn}",
+                m.name()
+            );
+            assert!(
+                (s - ps as f64).abs() / (ps as f64) < 0.10,
+                "{}: synapses {s} vs paper {ps}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lenet_mnist_materializes_and_roundtrips() {
+        let snn = RealisticModel::LeNetMnist.build(1).unwrap();
+        assert_eq!(snn.num_neurons(), 9_118);
+        assert_eq!(snn.num_synapses(), 422_824);
+    }
+
+    #[test]
+    fn resnet_has_skip_connections() {
+        let g = RealisticModel::ResNet.layer_graph(0);
+        let skips = g
+            .conns()
+            .iter()
+            .filter(|c| matches!(c.pattern, ConnPattern::Window { fan_in: 1 }))
+            .count();
+        assert_eq!(skips, 3 + 8 + 36 + 3);
+    }
+
+    #[test]
+    fn inception_is_branchy() {
+        let g = RealisticModel::InceptionV3.layer_graph(0);
+        // Some layer must feed more than one successor (parallel branches).
+        let mut out_deg = vec![0u32; g.num_layers()];
+        for c in g.conns() {
+            out_deg[c.from] += 1;
+        }
+        assert!(out_deg.iter().any(|&d| d >= 4), "expected 4-way branch points");
+    }
+
+    #[test]
+    fn graphs_are_seed_deterministic() {
+        for m in [RealisticModel::LeNetMnist, RealisticModel::AlexNet] {
+            assert_eq!(m.layer_graph(5), m.layer_graph(5));
+            assert_ne!(m.layer_graph(5), m.layer_graph(6));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The complete Table 3 benchmark suite.
+
+use snnmap_hw::CoreConstraints;
+
+use crate::generators::{CnnSpec, DnnSpec, RealisticModel};
+use crate::{LayerGraph, ModelError, PartitionPolicy, Pcn};
+
+/// The reference values of one Table 3 row, as printed in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table3Row {
+    /// Application name.
+    pub name: &'static str,
+    /// `G_SNN` neurons.
+    pub neurons: u64,
+    /// `G_SNN` synapses (the table rounds; this is the rounded value in
+    /// raw units, e.g. "805M" → `805_000_000`).
+    pub synapses: u64,
+    /// `G_PCN` clusters.
+    pub clusters: u64,
+    /// `G_PCN` connections.
+    pub connections: u64,
+    /// Target hardware mesh side (`side × side`).
+    pub mesh_side: u16,
+}
+
+/// One runnable benchmark of the Table 3 suite: the paper's reference
+/// numbers plus a generator for the actual layer graph / PCN.
+#[derive(Debug, Clone)]
+pub struct Table3Benchmark {
+    /// Paper reference values.
+    pub row: Table3Row,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Dnn(DnnSpec),
+    Cnn(CnnSpec),
+    Realistic(RealisticModel),
+}
+
+impl Table3Benchmark {
+    /// The application's layer graph (seeded spike densities).
+    pub fn layer_graph(&self, seed: u64) -> LayerGraph {
+        match &self.kind {
+            Kind::Dnn(d) => d.layer_graph(seed),
+            Kind::Cnn(c) => c.layer_graph(seed),
+            Kind::Realistic(r) => r.layer_graph(seed),
+        }
+    }
+
+    /// Partitions the application for the paper's target hardware
+    /// (4096 neurons per core, Table 3 policy) and returns the PCN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from partitioning.
+    pub fn pcn(&self, seed: u64) -> Result<Pcn, ModelError> {
+        self.layer_graph(seed)
+            .partition_analytic(Self::partition_constraints(), PartitionPolicy::table3())
+    }
+
+    /// The constraints under which Table 3 cluster counts arise: the
+    /// paper's 4096-neuron core limit, with the synapse limit left
+    /// unenforced (see [`PartitionPolicy`] for why).
+    pub fn partition_constraints() -> CoreConstraints {
+        CoreConstraints::new(4096, u64::MAX)
+    }
+
+    /// Whether this is one of the very large benchmarks (≥ 65 536
+    /// clusters) that slow baselines cannot finish in reasonable time.
+    pub fn is_huge(&self) -> bool {
+        self.row.clusters >= 65_536
+    }
+}
+
+/// All 13 Table 3 benchmarks in the paper's order.
+pub fn table3_suite() -> Vec<Table3Benchmark> {
+    vec![
+        Table3Benchmark {
+            row: Table3Row {
+                name: "DNN_65K",
+                neurons: 65_536,
+                synapses: 805_000_000,
+                clusters: 16,
+                connections: 48,
+                mesh_side: 4,
+            },
+            kind: Kind::Dnn(DnnSpec::dnn_65k()),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "DNN_16M",
+                neurons: 16_700_000,
+                synapses: 4_000_000_000_000,
+                clusters: 4_096,
+                connections: 258_048,
+                mesh_side: 64,
+            },
+            kind: Kind::Dnn(DnnSpec::dnn_16m()),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "DNN_268M",
+                neurons: 268_000_000,
+                synapses: 70_000_000_000_000,
+                clusters: 65_536,
+                connections: 4_000_000,
+                mesh_side: 256,
+            },
+            kind: Kind::Dnn(DnnSpec::dnn_268m()),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "DNN_4B",
+                neurons: 4_000_000_000,
+                synapses: 1_125_000_000_000_000,
+                clusters: 1_048_576,
+                connections: 67_000_000,
+                mesh_side: 1024,
+            },
+            kind: Kind::Dnn(DnnSpec::dnn_4b()),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "CNN_65K",
+                neurons: 65_536,
+                synapses: 2_000_000,
+                clusters: 16,
+                connections: 48,
+                mesh_side: 4,
+            },
+            kind: Kind::Cnn(CnnSpec::cnn_65k()),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "CNN_16M",
+                neurons: 16_700_000,
+                synapses: 528_000_000,
+                clusters: 4_096,
+                connections: 16_384,
+                mesh_side: 64,
+            },
+            kind: Kind::Cnn(CnnSpec::cnn_16m()),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "CNN_268M",
+                neurons: 268_000_000,
+                synapses: 8_000_000_000,
+                clusters: 65_536,
+                connections: 262_000,
+                mesh_side: 256,
+            },
+            kind: Kind::Cnn(CnnSpec::cnn_268m()),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "LeNet-MNIST",
+                neurons: 9_118,
+                synapses: 400_000,
+                clusters: 9,
+                connections: 19,
+                mesh_side: 3,
+            },
+            kind: Kind::Realistic(RealisticModel::LeNetMnist),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "LeNet-ImageNet",
+                neurons: 1_000_000,
+                synapses: 188_000_000,
+                clusters: 251,
+                connections: 2_151,
+                mesh_side: 16,
+            },
+            kind: Kind::Realistic(RealisticModel::LeNetImageNet),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "AlexNet",
+                neurons: 900_000,
+                synapses: 1_000_000_000,
+                clusters: 229,
+                connections: 4_289,
+                mesh_side: 16,
+            },
+            kind: Kind::Realistic(RealisticModel::AlexNet),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "MobileNet",
+                neurons: 6_900_000,
+                synapses: 500_000_000,
+                clusters: 1_688,
+                connections: 37_418,
+                mesh_side: 42,
+            },
+            kind: Kind::Realistic(RealisticModel::MobileNet),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "InceptionV3",
+                neurons: 14_600_000,
+                synapses: 5_400_000_000,
+                clusters: 3_570,
+                connections: 117_597,
+                mesh_side: 60,
+            },
+            kind: Kind::Realistic(RealisticModel::InceptionV3),
+        },
+        Table3Benchmark {
+            row: Table3Row {
+                name: "ResNet",
+                neurons: 28_500_000,
+                synapses: 11_600_000_000,
+                clusters: 6_956,
+                connections: 478_602,
+                mesh_side: 84,
+            },
+            kind: Kind::Realistic(RealisticModel::ResNet),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::Mesh;
+
+    #[test]
+    fn suite_has_thirteen_rows_in_paper_order() {
+        let suite = table3_suite();
+        assert_eq!(suite.len(), 13);
+        assert_eq!(suite[0].row.name, "DNN_65K");
+        assert_eq!(suite[3].row.name, "DNN_4B");
+        assert_eq!(suite[12].row.name, "ResNet");
+    }
+
+    #[test]
+    fn mesh_sides_fit_cluster_counts() {
+        for b in table3_suite() {
+            let side = b.row.mesh_side as u64;
+            assert!(
+                side * side >= b.row.clusters,
+                "{}: {} clusters on {}x{}",
+                b.row.name,
+                b.row.clusters,
+                side,
+                side
+            );
+            // And the paper's sides are the minimal squares.
+            assert_eq!(
+                Mesh::square_for(b.row.clusters).unwrap().rows(),
+                b.row.mesh_side,
+                "{}",
+                b.row.name
+            );
+        }
+    }
+
+    #[test]
+    fn small_benchmarks_match_cluster_counts_exactly() {
+        // Synthetic DNN/CNN rows are cluster-exact by construction.
+        for b in table3_suite().into_iter().take(2) {
+            let pcn = b.pcn(0).unwrap();
+            assert_eq!(pcn.num_clusters() as u64, b.row.clusters, "{}", b.row.name);
+            assert_eq!(pcn.num_connections(), b.row.connections, "{}", b.row.name);
+        }
+    }
+
+    #[test]
+    fn lenet_mnist_pcn_close_to_paper() {
+        let b = &table3_suite()[7];
+        let pcn = b.pcn(0).unwrap();
+        // Layer-aligned packing gives 9 clusters, matching the paper.
+        assert_eq!(pcn.num_clusters(), 9);
+    }
+
+    #[test]
+    fn huge_flag() {
+        let suite = table3_suite();
+        assert!(!suite[0].is_huge());
+        assert!(suite[2].is_huge()); // DNN_268M
+        assert!(suite[3].is_huge()); // DNN_4B
+        assert!(suite[6].is_huge()); // CNN_268M
+        assert!(!suite[12].is_huge()); // ResNet
+    }
+}

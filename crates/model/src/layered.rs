@@ -1,0 +1,870 @@
+//! Layer-level SNN descriptions with analytic partitioning.
+//!
+//! Every Table 3 benchmark is a *layered* network (synthetic DNN/CNN or a
+//! converted deep ANN). At the paper's largest scale (DNN_4B:
+//! 4.3 × 10⁹ neurons, 1.125 × 10¹⁵ synapses) the neuron-level graph cannot
+//! be materialized on any machine — but it does not have to be: Algorithm 1
+//! is sequential first-fit over the neuron id order, so for layered
+//! networks the resulting clusters and the aggregated inter-cluster
+//! traffic (eq. 5) have a closed form over the layer structure. This
+//! module computes that closed form, and is cross-validated against the
+//! explicit partitioner at small scale (see the tests).
+
+use std::fmt;
+
+use snnmap_hw::CoreConstraints;
+
+use crate::{ModelError, Pcn, PcnBuilder, SnnBuilder, SnnNetwork};
+
+/// How two layers are wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnPattern {
+    /// Every source neuron connects to every target neuron (dense/FC).
+    Full,
+    /// Each target neuron receives exactly `fan_in` synapses from a
+    /// contiguous window of source neurons whose position slides linearly
+    /// with the target's position — the 1D shadow of convolutional
+    /// locality (including multi-channel smearing), and `fan_in = 1` is an
+    /// identity/skip connection.
+    Window {
+        /// Synapses per target neuron.
+        fan_in: u64,
+    },
+    /// Like [`ConnPattern::Window`], but the `fan_in` synapses of each
+    /// target neuron are split over `taps` sliding sub-windows spaced
+    /// evenly across the source layer — the 1D shadow of a convolution
+    /// over a *channel-major* source layout, where each output pixel
+    /// reads a small window from every input channel block. Raises the
+    /// cluster-level connection count by roughly a factor of `taps`,
+    /// matching the dense PCNs the paper reports for converted CNNs.
+    MultiWindow {
+        /// Total synapses per target neuron (across all taps).
+        fan_in: u64,
+        /// Number of evenly spaced sub-windows.
+        taps: u32,
+    },
+}
+
+/// A directed connection between two layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerConn {
+    /// Source layer index.
+    pub from: usize,
+    /// Target layer index.
+    pub to: usize,
+    /// Wiring pattern.
+    pub pattern: ConnPattern,
+    /// Spike density per synapse (the `w_S` of eq. 2, uniform within the
+    /// connection).
+    pub rate: f32,
+}
+
+/// Options controlling the analytic partitioner.
+///
+/// The defaults reproduce the paper's Table 3 cluster counts, which are
+/// consistent with (a) clusters never spanning layer boundaries — each
+/// core hosts neurons of a single layer — and (b) only the neuron limit
+/// `CON_npc` binding (the synthetic DNNs put ~50 M stored synapses in each
+/// 16-cluster partition of DNN_65K, far beyond `CON_spc = 64 K`, so the
+/// paper's partitions cannot have enforced the synapse limit).
+///
+/// [`PartitionPolicy::strict`] instead follows Algorithm 1 literally
+/// (layer-oblivious, both limits enforced), which is bit-identical to
+/// running [`partition`](crate::partition) on the materialized network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionPolicy {
+    /// Close the current cluster at every layer boundary.
+    pub respect_layers: bool,
+    /// Enforce `CON_spc` in addition to `CON_npc`.
+    pub enforce_synapse_limit: bool,
+}
+
+impl PartitionPolicy {
+    /// Table 3-compatible policy: layer-aligned clusters, neuron limit
+    /// only.
+    pub const fn table3() -> Self {
+        Self { respect_layers: true, enforce_synapse_limit: false }
+    }
+
+    /// Algorithm 1 taken literally: layer-oblivious first-fit under both
+    /// limits.
+    pub const fn strict() -> Self {
+        Self { respect_layers: false, enforce_synapse_limit: true }
+    }
+}
+
+impl Default for PartitionPolicy {
+    fn default() -> Self {
+        Self::table3()
+    }
+}
+
+/// A layered SNN: a DAG of layers (with neuron counts) and inter-layer
+/// connections.
+///
+/// Neuron ids are assigned contiguously in layer order; within a layer,
+/// in raster order. The graph supports skip connections (`from`/`to` need
+/// not be consecutive) and arbitrary forward or backward links, so
+/// recurrent topologies can be described too.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::CoreConstraints;
+/// use snnmap_model::{ConnPattern, LayerGraph, PartitionPolicy};
+///
+/// let mut g = LayerGraph::new("tiny-dnn");
+/// let a = g.add_layer(16);
+/// let b = g.add_layer(16);
+/// g.connect(a, b, ConnPattern::Full, 1.0)?;
+/// assert_eq!(g.num_synapses(), 256);
+///
+/// let pcn = g.partition_analytic(
+///     CoreConstraints::new(4, 1 << 30),
+///     PartitionPolicy::table3(),
+/// )?;
+/// assert_eq!(pcn.num_clusters(), 8);
+/// assert_eq!(pcn.num_connections(), 16); // 4 x 4 cluster pairs
+/// # Ok::<(), snnmap_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGraph {
+    name: String,
+    layers: Vec<u64>,
+    conns: Vec<LayerConn>,
+}
+
+impl LayerGraph {
+    /// Creates an empty layer graph with a display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), layers: Vec::new(), conns: Vec::new() }
+    }
+
+    /// The graph's display name (e.g. `"DNN_4B"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a layer of `neurons` neurons and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neurons` is zero.
+    pub fn add_layer(&mut self, neurons: u64) -> usize {
+        assert!(neurons > 0, "layers must be nonempty");
+        self.layers.push(neurons);
+        self.layers.len() - 1
+    }
+
+    /// Connects layer `from` to layer `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidConnection`] for unknown layers or
+    /// `from == to`; [`ModelError::FanInTooLarge`] when a window's fan-in
+    /// exceeds the source layer.
+    pub fn connect(
+        &mut self,
+        from: usize,
+        to: usize,
+        pattern: ConnPattern,
+        rate: f32,
+    ) -> Result<&mut Self, ModelError> {
+        let n = self.layers.len();
+        if from >= n || to >= n || from == to {
+            return Err(ModelError::InvalidConnection { from, to, layers: n });
+        }
+        match pattern {
+            ConnPattern::Window { fan_in } => {
+                if fan_in == 0 || fan_in > self.layers[from] {
+                    return Err(ModelError::FanInTooLarge { fan_in, layer: self.layers[from] });
+                }
+            }
+            ConnPattern::MultiWindow { fan_in, taps } => {
+                let n_pre = self.layers[from];
+                let max_tap_f = fan_in.div_ceil(taps.max(1) as u64);
+                let min_tap_len = n_pre / taps.max(1) as u64;
+                if taps == 0 || fan_in < taps as u64 || max_tap_f > min_tap_len {
+                    return Err(ModelError::FanInTooLarge { fan_in, layer: n_pre });
+                }
+            }
+            ConnPattern::Full => {}
+        }
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(ModelError::InvalidWeight { weight: rate });
+        }
+        self.conns.push(LayerConn { from, to, pattern, rate });
+        Ok(self)
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Neuron count of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn layer_size(&self, l: usize) -> u64 {
+        self.layers[l]
+    }
+
+    /// The inter-layer connections.
+    pub fn conns(&self) -> &[LayerConn] {
+        &self.conns
+    }
+
+    /// Total neurons.
+    pub fn num_neurons(&self) -> u64 {
+        self.layers.iter().sum()
+    }
+
+    /// Total synapses implied by the connection patterns.
+    pub fn num_synapses(&self) -> u64 {
+        self.conns
+            .iter()
+            .map(|c| match c.pattern {
+                ConnPattern::Full => self.layers[c.from] * self.layers[c.to],
+                ConnPattern::Window { fan_in }
+                | ConnPattern::MultiWindow { fan_in, .. } => fan_in * self.layers[c.to],
+            })
+            .sum()
+    }
+
+    /// Total spike traffic `Σ w_S(e)` implied by the patterns and rates.
+    pub fn total_traffic(&self) -> f64 {
+        self.conns
+            .iter()
+            .map(|c| {
+                let syn = match c.pattern {
+                    ConnPattern::Full => self.layers[c.from] * self.layers[c.to],
+                    ConnPattern::Window { fan_in }
+                    | ConnPattern::MultiWindow { fan_in, .. } => fan_in * self.layers[c.to],
+                };
+                syn as f64 * c.rate as f64
+            })
+            .sum()
+    }
+
+    /// Global id of the first neuron of each layer (length `layers + 1`).
+    fn layer_offsets(&self) -> Vec<u64> {
+        let mut off = Vec::with_capacity(self.layers.len() + 1);
+        let mut acc = 0u64;
+        off.push(0);
+        for &l in &self.layers {
+            acc += l;
+            off.push(acc);
+        }
+        off
+    }
+
+    /// Uniform per-neuron fan-in of each layer (sum over incoming
+    /// connections).
+    fn layer_fan_in(&self) -> Vec<u64> {
+        let mut fi = vec![0u64; self.layers.len()];
+        for c in &self.conns {
+            fi[c.to] += match c.pattern {
+                ConnPattern::Full => self.layers[c.from],
+                ConnPattern::Window { fan_in }
+                | ConnPattern::MultiWindow { fan_in, .. } => fan_in,
+            };
+        }
+        fi
+    }
+
+    /// Decomposes a window-like pattern into its sliding bands: each tap
+    /// is `(tap_lo, tap_len, tap_fan_in)` — a sub-range of the source
+    /// layer holding a sub-window of the target's fan-in. A plain
+    /// [`ConnPattern::Window`] is a single tap covering the whole layer.
+    fn bands_of(pattern: ConnPattern, n_pre: u64) -> Vec<(u64, u64, u64)> {
+        match pattern {
+            ConnPattern::Full => Vec::new(),
+            ConnPattern::Window { fan_in } => vec![(0, n_pre, fan_in)],
+            ConnPattern::MultiWindow { fan_in, taps } => {
+                let taps = taps as u64;
+                let base = fan_in / taps;
+                let rem = fan_in % taps;
+                (0..taps)
+                    .map(|k| {
+                        let lo = k * n_pre / taps;
+                        let hi = (k + 1) * n_pre / taps;
+                        let f = base + u64::from(k < rem);
+                        (lo, hi - lo, f)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The start position of target neuron `j`'s source window for a
+    /// window connection: a length-`fan_in` interval sliding linearly from
+    /// the start to the end of the source layer.
+    fn window_start(n_pre: u64, n_post: u64, fan_in: u64, j: u64) -> u64 {
+        if n_post <= 1 || n_pre == fan_in {
+            return 0;
+        }
+        // round(j * (n_pre - fan_in) / (n_post - 1))
+        let num = j as u128 * (n_pre - fan_in) as u128;
+        let den = (n_post - 1) as u128;
+        ((num + den / 2) / den) as u64
+    }
+
+    /// Materializes the explicit neuron-level network.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::TooManyNeurons`] beyond `u32` ids,
+    /// [`ModelError::TooLargeToMaterialize`] beyond `limit` synapses,
+    /// [`ModelError::EmptyNetwork`] for a graph without layers.
+    pub fn materialize(&self, limit: u64) -> Result<SnnNetwork, ModelError> {
+        let n = self.num_neurons();
+        if n == 0 {
+            return Err(ModelError::EmptyNetwork);
+        }
+        if n > u32::MAX as u64 {
+            return Err(ModelError::TooManyNeurons { neurons: n });
+        }
+        let m = self.num_synapses();
+        if m > limit {
+            return Err(ModelError::TooLargeToMaterialize { synapses: m, limit });
+        }
+        let off = self.layer_offsets();
+        let mut b = SnnBuilder::with_capacity(n as u32, m as usize);
+        for c in &self.conns {
+            let (n_pre, n_post) = (self.layers[c.from], self.layers[c.to]);
+            let (pre0, post0) = (off[c.from], off[c.to]);
+            match c.pattern {
+                ConnPattern::Full => {
+                    for i in 0..n_pre {
+                        for j in 0..n_post {
+                            b.synapse((pre0 + i) as u32, (post0 + j) as u32, c.rate)?;
+                        }
+                    }
+                }
+                ConnPattern::Window { .. } | ConnPattern::MultiWindow { .. } => {
+                    for (tap_lo, tap_len, tap_f) in Self::bands_of(c.pattern, n_pre) {
+                        for j in 0..n_post {
+                            let lo = tap_lo + Self::window_start(tap_len, n_post, tap_f, j);
+                            for i in lo..lo + tap_f {
+                                b.synapse((pre0 + i) as u32, (post0 + j) as u32, c.rate)?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Partitions the layered network analytically, producing the same
+    /// PCN first-fit partitioning would (under the given policy) without
+    /// materializing any synapse.
+    ///
+    /// Cluster boundaries are exact. Edge weights for `Full` connections
+    /// are exact; for `Window` connections they are computed by
+    /// continuous band-overlap integration, which conserves total traffic
+    /// exactly and matches the discrete synapse counts per cluster pair to
+    /// within edge effects (validated against materialized partitions in
+    /// the tests).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyNetwork`] for a graph without layers; other
+    /// [`ModelError`]s propagate from PCN construction.
+    pub fn partition_analytic(
+        &self,
+        con: CoreConstraints,
+        policy: PartitionPolicy,
+    ) -> Result<Pcn, ModelError> {
+        if self.layers.is_empty() {
+            return Err(ModelError::EmptyNetwork);
+        }
+        let fan_in = self.layer_fan_in();
+        let offsets = self.layer_offsets();
+
+        // Pass 1: pack clusters. Each cluster is a contiguous global
+        // neuron range; record its start and accumulated loads.
+        let mut starts: Vec<u64> = Vec::new(); // global start of each cluster
+        let mut neurons: Vec<u32> = Vec::new();
+        let mut synapses: Vec<u64> = Vec::new();
+        let mut cur_start = 0u64;
+        let mut cur_cnt = 0u64;
+        let mut cur_syn = 0u64;
+        let close =
+            |starts: &mut Vec<u64>, neurons: &mut Vec<u32>, synapses: &mut Vec<u64>,
+             cur_start: &mut u64, cur_cnt: &mut u64, cur_syn: &mut u64| {
+                if *cur_cnt > 0 {
+                    starts.push(*cur_start);
+                    neurons.push(*cur_cnt as u32);
+                    synapses.push(*cur_syn);
+                    *cur_start += *cur_cnt;
+                    *cur_cnt = 0;
+                    *cur_syn = 0;
+                }
+            };
+        for (l, &size) in self.layers.iter().enumerate() {
+            if policy.respect_layers {
+                close(&mut starts, &mut neurons, &mut synapses, &mut cur_start, &mut cur_cnt, &mut cur_syn);
+            }
+            let fi = fan_in[l];
+            let mut left = size;
+            while left > 0 {
+                let cap_n = con.neurons_per_core as u64 - cur_cnt;
+                let cap_s = if policy.enforce_synapse_limit && fi > 0 {
+                    (con.synapses_per_core.saturating_sub(cur_syn)) / fi
+                } else {
+                    u64::MAX
+                };
+                let take = cap_n.min(cap_s).min(left);
+                if take == 0 {
+                    if cur_cnt > 0 {
+                        close(&mut starts, &mut neurons, &mut synapses, &mut cur_start, &mut cur_cnt, &mut cur_syn);
+                        continue;
+                    }
+                    // A single neuron exceeds the synapse budget: force an
+                    // over-budget singleton, mirroring `partition`.
+                    cur_cnt = 1;
+                    cur_syn = fi;
+                    left -= 1;
+                    close(&mut starts, &mut neurons, &mut synapses, &mut cur_start, &mut cur_cnt, &mut cur_syn);
+                    continue;
+                }
+                cur_cnt += take;
+                cur_syn += take * fi;
+                left -= take;
+            }
+        }
+        close(&mut starts, &mut neurons, &mut synapses, &mut cur_start, &mut cur_cnt, &mut cur_syn);
+
+        let n_clusters = starts.len();
+        // Sentinel end for range queries.
+        let mut bounds = starts.clone();
+        bounds.push(self.num_neurons());
+
+        let mut builder = PcnBuilder::with_capacity(n_clusters, self.conns.len() * 4);
+        for (c, (&n, &s)) in neurons.iter().zip(synapses.iter()).enumerate() {
+            let id = builder.add_cluster(n, s);
+            debug_assert_eq!(id as usize, c);
+        }
+
+        // Pass 2: aggregate inter-cluster traffic per connection.
+        for conn in &self.conns {
+            let (n_pre, n_post) = (self.layers[conn.from], self.layers[conn.to]);
+            let (pre0, post0) = (offsets[conn.from], offsets[conn.to]);
+            // Clusters overlapping the target layer.
+            let first_post = match bounds.binary_search(&post0) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            match conn.pattern {
+                ConnPattern::Full => {
+                    let first_pre = match bounds.binary_search(&pre0) {
+                        Ok(i) => i,
+                        Err(i) => i - 1,
+                    };
+                    let mut cb = first_post;
+                    while cb < n_clusters && bounds[cb] < post0 + n_post {
+                        let b_lo = bounds[cb].max(post0);
+                        let b_hi = bounds[cb + 1].min(post0 + n_post);
+                        let post_cnt = b_hi - b_lo;
+                        let mut ca = first_pre;
+                        while ca < n_clusters && bounds[ca] < pre0 + n_pre {
+                            let a_lo = bounds[ca].max(pre0);
+                            let a_hi = bounds[ca + 1].min(pre0 + n_pre);
+                            let w = (a_hi - a_lo) as f64 * post_cnt as f64 * conn.rate as f64;
+                            builder.add_edge(ca as u32, cb as u32, w as f32)?;
+                            ca += 1;
+                        }
+                        cb += 1;
+                    }
+                }
+                ConnPattern::Window { .. } | ConnPattern::MultiWindow { .. } => {
+                    for (tap_lo, tap_len, tap_f) in Self::bands_of(conn.pattern, n_pre) {
+                        // Continuous window-start slope within this tap's
+                        // sub-range. Using `n_post` (not `n_post − 1`)
+                        // keeps every continuous window inside
+                        // `[0, tap_len]`, so the band integral conserves
+                        // the exact synapse total `tap_f · n_post`.
+                        let slope = (tap_len - tap_f) as f64 / n_post as f64;
+                        let mut cb = first_post;
+                        while cb < n_clusters && bounds[cb] < post0 + n_post {
+                            let b_lo = bounds[cb].max(post0);
+                            let b_hi = bounds[cb + 1].min(post0 + n_post);
+                            // Local post index range [p0, p1).
+                            let p0 = (b_lo - post0) as f64;
+                            let p1 = (b_hi - post0) as f64;
+                            // Source span touched by this post range,
+                            // relative to the tap's sub-range start.
+                            let span_lo = slope * p0;
+                            let span_hi = slope * p1 + tap_f as f64;
+                            // Clusters overlapping the absolute span.
+                            let g_lo = pre0 + tap_lo + span_lo.floor().max(0.0) as u64;
+                            let mut ca = match bounds.binary_search(&g_lo) {
+                                Ok(i) => i,
+                                Err(i) => i - 1,
+                            };
+                            let abs_hi = (pre0 + tap_lo) as f64 + span_hi;
+                            while ca < n_clusters && (bounds[ca] as f64) < abs_hi {
+                                let a_lo = bounds[ca].max(pre0);
+                                let a_hi = bounds[ca + 1].min(pre0 + n_pre);
+                                if a_hi > a_lo {
+                                    // Pre-cluster range in tap-local
+                                    // coordinates.
+                                    let q0 = (a_lo - pre0) as f64 - tap_lo as f64;
+                                    let q1 = (a_hi - pre0) as f64 - tap_lo as f64;
+                                    let w = band_overlap_integral(
+                                        p0, p1, slope, tap_f as f64, q0, q1,
+                                    ) * conn.rate as f64;
+                                    if w > 0.0 {
+                                        builder.add_edge(ca as u32, cb as u32, w as f32)?;
+                                    }
+                                }
+                                ca += 1;
+                            }
+                            cb += 1;
+                        }
+                    }
+                }
+            }
+        }
+        builder.build()
+    }
+}
+
+impl fmt::Display for LayerGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} layers, {} neurons, {} synapses",
+            self.name,
+            self.num_layers(),
+            self.num_neurons(),
+            self.num_synapses()
+        )
+    }
+}
+
+/// Integrates `∫_{p0}^{p1} max(0, min(s·j + f, q1) − max(s·j, q0)) dj` —
+/// the traffic a sliding window connection deposits between a target
+/// cluster's post range `[p0, p1)` and a source cluster's pre range
+/// `[q0, q1)`.
+///
+/// The integrand is piecewise linear; breakpoints occur where the inner
+/// min/max arguments cross. Integration is exact per linear piece.
+fn band_overlap_integral(p0: f64, p1: f64, s: f64, f: f64, q0: f64, q1: f64) -> f64 {
+    debug_assert!(p1 >= p0 && q1 >= q0 && f >= 0.0 && s >= 0.0);
+    let inner = |j: f64| (s * j + f).min(q1) - (s * j).max(q0);
+    if s == 0.0 {
+        return inner(0.0).max(0.0) * (p1 - p0);
+    }
+    let mut pts = vec![p0, p1, q0 / s, q1 / s, (q0 - f) / s, (q1 - f) / s];
+    pts.retain(|x| x.is_finite());
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    let mut total = 0.0;
+    for w in pts.windows(2) {
+        let (a, b) = (w[0].max(p0), w[1].min(p1));
+        if b <= a {
+            continue;
+        }
+        let (va, vb) = (inner(a), inner(b));
+        if va <= 0.0 && vb <= 0.0 {
+            continue;
+        }
+        if va >= 0.0 && vb >= 0.0 {
+            total += 0.5 * (va + vb) * (b - a);
+        } else {
+            // One endpoint below zero: integrate the positive triangle.
+            let t = va / (va - vb); // crossing point fraction in [0, 1]
+            let cross = a + t * (b - a);
+            if va > 0.0 {
+                total += 0.5 * va * (cross - a);
+            } else {
+                total += 0.5 * vb * (b - cross);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition;
+
+    fn mini_dnn() -> LayerGraph {
+        let mut g = LayerGraph::new("mini");
+        let a = g.add_layer(16);
+        let b = g.add_layer(16);
+        let c = g.add_layer(16);
+        g.connect(a, b, ConnPattern::Full, 1.0).unwrap();
+        g.connect(b, c, ConnPattern::Full, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn totals() {
+        let g = mini_dnn();
+        assert_eq!(g.num_neurons(), 48);
+        assert_eq!(g.num_synapses(), 512);
+        assert_eq!(g.total_traffic(), 512.0);
+    }
+
+    #[test]
+    fn connect_validation() {
+        let mut g = LayerGraph::new("t");
+        let a = g.add_layer(4);
+        let b = g.add_layer(4);
+        assert!(matches!(
+            g.connect(a, a, ConnPattern::Full, 1.0),
+            Err(ModelError::InvalidConnection { .. })
+        ));
+        assert!(matches!(
+            g.connect(a, 7, ConnPattern::Full, 1.0),
+            Err(ModelError::InvalidConnection { .. })
+        ));
+        assert!(matches!(
+            g.connect(a, b, ConnPattern::Window { fan_in: 5 }, 1.0),
+            Err(ModelError::FanInTooLarge { .. })
+        ));
+        assert!(matches!(
+            g.connect(a, b, ConnPattern::Full, -1.0),
+            Err(ModelError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn materialize_matches_declared_counts() {
+        let g = mini_dnn();
+        let snn = g.materialize(1 << 20).unwrap();
+        assert_eq!(snn.num_neurons() as u64, g.num_neurons());
+        assert_eq!(snn.num_synapses(), g.num_synapses());
+        assert!((snn.total_traffic() - g.total_traffic()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn materialize_window_fan_in_exact() {
+        let mut g = LayerGraph::new("w");
+        let a = g.add_layer(20);
+        let b = g.add_layer(10);
+        g.connect(a, b, ConnPattern::Window { fan_in: 4 }, 1.0).unwrap();
+        let snn = g.materialize(1 << 20).unwrap();
+        // Every post neuron has exactly fan_in incoming synapses.
+        for j in 20..30 {
+            assert_eq!(snn.fan_in(j), 4);
+        }
+        assert_eq!(snn.num_synapses(), 40);
+    }
+
+    #[test]
+    fn materialize_limit_enforced() {
+        let g = mini_dnn();
+        assert!(matches!(
+            g.materialize(100),
+            Err(ModelError::TooLargeToMaterialize { synapses: 512, limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn analytic_strict_matches_explicit_partition() {
+        // The core cross-validation: strict analytic partitioning equals
+        // Algorithm 1 on the materialized network — identical cluster
+        // boundaries, connection sets, and (for Full conns) weights.
+        let mut g = LayerGraph::new("x");
+        let a = g.add_layer(13);
+        let b = g.add_layer(29);
+        let c = g.add_layer(7);
+        g.connect(a, b, ConnPattern::Full, 1.0).unwrap();
+        g.connect(b, c, ConnPattern::Full, 2.0).unwrap();
+        let snn = g.materialize(1 << 20).unwrap();
+        for con in [
+            CoreConstraints::new(4, u64::MAX),
+            CoreConstraints::new(7, u64::MAX),
+            CoreConstraints::new(100, 40),
+            CoreConstraints::new(5, 60),
+        ] {
+            let explicit = partition(&snn, con).unwrap();
+            let analytic = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
+            assert_eq!(explicit.num_clusters(), analytic.num_clusters(), "{con}");
+            for cl in 0..explicit.num_clusters() {
+                assert_eq!(explicit.neurons_in(cl), analytic.neurons_in(cl), "{con} cluster {cl}");
+                assert_eq!(explicit.synapses_in(cl), analytic.synapses_in(cl), "{con} cluster {cl}");
+            }
+            assert_eq!(explicit.num_connections(), analytic.num_connections(), "{con}");
+            for (f, t, w) in explicit.iter_edges() {
+                let wa = analytic.edge_weight(f, t).unwrap_or(0.0);
+                assert!((w - wa).abs() < 1e-4, "{con} edge {f}->{t}: {w} vs {wa}");
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_window_weights_close_to_explicit() {
+        let mut g = LayerGraph::new("w");
+        let a = g.add_layer(64);
+        let b = g.add_layer(48);
+        g.connect(a, b, ConnPattern::Window { fan_in: 9 }, 1.0).unwrap();
+        let snn = g.materialize(1 << 20).unwrap();
+        let con = CoreConstraints::new(16, u64::MAX);
+        let explicit = partition(&snn, con).unwrap();
+        let analytic = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
+        assert_eq!(explicit.num_clusters(), analytic.num_clusters());
+        // Total traffic is conserved exactly.
+        assert!(
+            (explicit.total_traffic() + explicit.intra_traffic()
+                - analytic.total_traffic()
+                - analytic.intra_traffic())
+            .abs()
+                < 1e-6 * explicit.total_traffic().max(1.0)
+        );
+        // Per-edge weights agree within band-integration edge effects.
+        for (f, t, w) in explicit.iter_edges() {
+            let wa = analytic.edge_weight(f, t).unwrap_or(0.0);
+            assert!(
+                (w as f64 - wa as f64).abs() <= 0.25 * w as f64 + 3.0,
+                "edge {f}->{t}: explicit {w} vs analytic {wa}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiwindow_matches_materialized_partition() {
+        let mut g = LayerGraph::new("mw");
+        let a = g.add_layer(96);
+        let b = g.add_layer(60);
+        g.connect(a, b, ConnPattern::MultiWindow { fan_in: 12, taps: 4 }, 1.0).unwrap();
+        let snn = g.materialize(1 << 20).unwrap();
+        // Every post neuron has exactly fan_in synapses across the taps.
+        for j in 96..156 {
+            assert_eq!(snn.fan_in(j), 12);
+        }
+        let con = CoreConstraints::new(16, u64::MAX);
+        let explicit = partition(&snn, con).unwrap();
+        let analytic = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
+        assert_eq!(explicit.num_clusters(), analytic.num_clusters());
+        // Total traffic conserved and each tap's band lands in the right
+        // cluster neighbourhood.
+        let et = explicit.total_traffic() + explicit.intra_traffic();
+        let at = analytic.total_traffic() + analytic.intra_traffic();
+        assert!((et - at).abs() < 1e-6 * et.max(1.0), "{et} vs {at}");
+        for (f, t, w) in explicit.iter_edges() {
+            let wa = analytic.edge_weight(f, t).unwrap_or(0.0);
+            assert!(
+                (w as f64 - wa as f64).abs() <= 0.35 * w as f64 + 3.0,
+                "edge {f}->{t}: explicit {w} vs analytic {wa}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiwindow_raises_connection_count() {
+        let build = |pattern| {
+            let mut g = LayerGraph::new("t");
+            let a = g.add_layer(1024);
+            let b = g.add_layer(1024);
+            g.connect(a, b, pattern, 1.0).unwrap();
+            g.partition_analytic(CoreConstraints::new(64, u64::MAX), PartitionPolicy::table3())
+                .unwrap()
+                .num_connections()
+        };
+        let single = build(ConnPattern::Window { fan_in: 64 });
+        let multi = build(ConnPattern::MultiWindow { fan_in: 64, taps: 8 });
+        assert!(multi > 2 * single, "taps should fan out: {multi} vs {single}");
+    }
+
+    #[test]
+    fn multiwindow_validation() {
+        let mut g = LayerGraph::new("v");
+        let a = g.add_layer(16);
+        let b = g.add_layer(16);
+        // More taps than fan-in.
+        assert!(g
+            .connect(a, b, ConnPattern::MultiWindow { fan_in: 2, taps: 4 }, 1.0)
+            .is_err());
+        // Per-tap window longer than the tap sub-range
+        // (ceil(17/4) = 5 > 16/4 = 4).
+        assert!(g
+            .connect(a, b, ConnPattern::MultiWindow { fan_in: 17, taps: 4 }, 1.0)
+            .is_err());
+        // Windows exactly filling each tap are allowed (slope 0).
+        assert!(g
+            .connect(a, b, ConnPattern::MultiWindow { fan_in: 16, taps: 4 }, 1.0)
+            .is_ok());
+        assert!(g
+            .connect(a, b, ConnPattern::MultiWindow { fan_in: 8, taps: 4 }, 1.0)
+            .is_ok());
+    }
+
+    #[test]
+    fn table3_policy_aligns_clusters_to_layers() {
+        let mut g = LayerGraph::new("align");
+        let a = g.add_layer(10);
+        let b = g.add_layer(10);
+        g.connect(a, b, ConnPattern::Full, 1.0).unwrap();
+        let con = CoreConstraints::new(8, u64::MAX);
+        let pcn = g.partition_analytic(con, PartitionPolicy::table3()).unwrap();
+        // ceil(10/8) per layer: clusters of 8, 2, 8, 2.
+        assert_eq!(pcn.num_clusters(), 4);
+        assert_eq!(pcn.neurons_in(0), 8);
+        assert_eq!(pcn.neurons_in(1), 2);
+        assert_eq!(pcn.neurons_in(2), 8);
+        assert_eq!(pcn.neurons_in(3), 2);
+        // Strict policy lets clusters straddle the boundary: 8, 8, 4.
+        let pcn = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
+        assert_eq!(pcn.num_clusters(), 3);
+    }
+
+    #[test]
+    fn skip_connection_window_one() {
+        // Identity skip: layer a feeds both b and c; the a->c skip has
+        // fan-in 1.
+        let mut g = LayerGraph::new("skip");
+        let a = g.add_layer(32);
+        let b = g.add_layer(32);
+        let c = g.add_layer(32);
+        g.connect(a, b, ConnPattern::Full, 1.0).unwrap();
+        g.connect(b, c, ConnPattern::Full, 1.0).unwrap();
+        g.connect(a, c, ConnPattern::Window { fan_in: 1 }, 0.5).unwrap();
+        assert_eq!(g.num_synapses(), 32 * 32 * 2 + 32);
+        let pcn = g
+            .partition_analytic(CoreConstraints::new(16, u64::MAX), PartitionPolicy::table3())
+            .unwrap();
+        // Skip edges connect matching halves: cluster 0 -> cluster 4,
+        // cluster 1 -> cluster 5. The continuous band integral may bleed
+        // a sub-synapse sliver across the halfway boundary; the dominant
+        // weights must sit on the matching pairs.
+        let main = pcn.edge_weight(0, 4).unwrap();
+        assert!(main > 0.0);
+        assert!(pcn.edge_weight(1, 5).unwrap() > 0.0);
+        let sliver = pcn.edge_weight(0, 5).unwrap_or(0.0);
+        assert!(sliver < 0.05 * main, "sliver {sliver} vs main {main}");
+    }
+
+    #[test]
+    fn band_overlap_full_coverage_conserves_area() {
+        // Integrating over the full source layer returns f per unit post.
+        let (p0, p1, s, f) = (0.0, 10.0, 2.0, 4.0);
+        let whole = band_overlap_integral(p0, p1, s, f, 0.0, 2.0 * 10.0 + 4.0);
+        assert!((whole - f * (p1 - p0)).abs() < 1e-9, "{whole}");
+        // Splitting the source range partitions the integral.
+        let a = band_overlap_integral(p0, p1, s, f, 0.0, 10.0);
+        let b = band_overlap_integral(p0, p1, s, f, 10.0, 24.0);
+        assert!((a + b - whole).abs() < 1e-9);
+    }
+
+    #[test]
+    fn band_overlap_zero_when_disjoint() {
+        assert_eq!(band_overlap_integral(0.0, 5.0, 1.0, 2.0, 100.0, 120.0), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_errors() {
+        let g = LayerGraph::new("empty");
+        assert!(matches!(
+            g.partition_analytic(CoreConstraints::default(), PartitionPolicy::table3()),
+            Err(ModelError::EmptyNetwork)
+        ));
+        assert!(matches!(g.materialize(10), Err(ModelError::EmptyNetwork)));
+    }
+}

@@ -1,0 +1,56 @@
+//! SNN application model, partitioner, and workload generators.
+//!
+//! This crate implements §3.2 of *Mapping Very Large Scale Spiking Neuron
+//! Network to Neuromorphic Hardware* (ASPLOS '23):
+//!
+//! * [`SnnNetwork`] — the application graph `G_SNN = (V_S, E_S, w_S)`:
+//!   neurons, synapses, and per-synapse spike-traffic weights,
+//! * [`partition`] — Algorithm 1, the sequential first-fit partitioner
+//!   that packs neurons into clusters under per-core capacity limits,
+//! * [`Pcn`] — the Partitioned Cluster Network `G_PCN = (V_P, E_P, w_P)`
+//!   with traffic-aggregated cluster-to-cluster weights (eq. 5),
+//! * [`LayerGraph`] — a layer-level description of (deep) SNNs from which
+//!   both an explicit [`SnnNetwork`] *and* an analytically partitioned
+//!   [`Pcn`] can be derived. The analytic path is what makes the paper's
+//!   billion-neuron benchmarks (Table 3) representable: DNN_4B has
+//!   1.125 × 10¹⁵ synapses, which no machine materializes, but its PCN
+//!   (1 M clusters, 67 M connections) is a deterministic closed form of
+//!   first-fit partitioning over the layered structure,
+//! * [`generators`] — every Table 3 benchmark: synthetic DNN/CNN families
+//!   and the realistic model suite (LeNet, AlexNet, MobileNet,
+//!   InceptionV3, ResNet), plus random graphs for testing.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_hw::CoreConstraints;
+//! use snnmap_model::generators::DnnSpec;
+//! use snnmap_model::partition;
+//!
+//! // A 3-layer DNN, materialized and partitioned with Algorithm 1.
+//! let snn = DnnSpec::new(&[100, 200, 50]).build(7)?;
+//! let con = CoreConstraints::new(64, 1 << 40);
+//! let pcn = partition(&snn, con)?;
+//! assert!(pcn.num_clusters() >= 350 / 64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod error;
+pub mod generators;
+mod layered;
+mod partition;
+mod pcn;
+pub mod refine;
+mod snn;
+
+pub use error::ModelError;
+pub use layered::{ConnPattern, LayerConn, LayerGraph, PartitionPolicy};
+pub use partition::partition;
+pub use refine::{
+    cut_weight, partition_with_assignment, pcn_from_assignment, refine_partition, RefineStats,
+};
+pub use pcn::{Pcn, PcnBuilder};
+pub use snn::{SnnBuilder, SnnNetwork};

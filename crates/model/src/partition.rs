@@ -1,0 +1,185 @@
+//! Algorithm 1: sequential first-fit neuron partitioning.
+
+use snnmap_hw::CoreConstraints;
+
+use crate::{ModelError, Pcn, PcnBuilder, SnnNetwork};
+
+/// Partitions an SNN into clusters with Algorithm 1 of the paper and
+/// builds the resulting [`Pcn`].
+///
+/// Neurons are visited in id order and greedily appended to the current
+/// cluster; a neuron that would overflow either per-core limit closes the
+/// cluster and starts a new one. A neuron's synaptic load is its *fan-in*
+/// (the synapse weights the hosting core must store), matching crossbar
+/// hardware semantics.
+///
+/// First-fit over the id order means every cluster is a contiguous id
+/// range — the property the layer-level analytic partitioner
+/// ([`LayerGraph::partition_analytic`](crate::LayerGraph::partition_analytic))
+/// relies on for its closed form.
+///
+/// A neuron whose own fan-in exceeds `CON_spc` still gets a (singleton)
+/// cluster: the alternative is an unmappable network, and the paper's
+/// model has no neuron-splitting mechanism. Such clusters are
+/// over-budget, which callers can detect via [`Pcn::synapses_in`].
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from PCN construction (e.g. an empty
+/// network).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::CoreConstraints;
+/// use snnmap_model::{partition, SnnBuilder};
+///
+/// let mut b = SnnBuilder::new(6);
+/// for i in 0..5 {
+///     b.synapse(i, i + 1, 1.0)?;
+/// }
+/// let snn = b.build()?;
+/// // Two neurons per core: six neurons -> three clusters in a chain.
+/// let pcn = partition(&snn, CoreConstraints::new(2, 1024))?;
+/// assert_eq!(pcn.num_clusters(), 3);
+/// assert_eq!(pcn.num_connections(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn partition(snn: &SnnNetwork, con: CoreConstraints) -> Result<Pcn, ModelError> {
+    let n = snn.num_neurons();
+    if n == 0 {
+        return Err(ModelError::EmptyNetwork);
+    }
+    let mut cluster_of = vec![0u32; n as usize];
+    let mut builder = PcnBuilder::new();
+
+    let mut cur_neurons = 0u32;
+    let mut cur_synapses = 0u64;
+    for x in 0..n {
+        let fi = snn.fan_in(x) as u64;
+        let overflow = cur_neurons + 1 > con.neurons_per_core
+            || cur_synapses + fi > con.synapses_per_core;
+        if overflow && cur_neurons > 0 {
+            builder.add_cluster(cur_neurons, cur_synapses);
+            cur_neurons = 0;
+            cur_synapses = 0;
+        }
+        cluster_of[x as usize] = builder.num_clusters();
+        cur_neurons += 1;
+        cur_synapses += fi;
+    }
+    builder.add_cluster(cur_neurons, cur_synapses);
+
+    for (u, v, w) in snn.iter_synapses() {
+        builder.add_edge(cluster_of[u as usize], cluster_of[v as usize], w)?;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnnBuilder;
+
+    fn layered_snn(sizes: &[u32]) -> SnnNetwork {
+        // Fully connected consecutive layers, unit spike densities.
+        let n: u32 = sizes.iter().sum();
+        let mut b = SnnBuilder::new(n);
+        let mut start = 0u32;
+        for w in sizes.windows(2) {
+            for i in 0..w[0] {
+                for j in 0..w[1] {
+                    b.synapse(start + i, start + w[0] + j, 1.0).unwrap();
+                }
+            }
+            start += w[0];
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn neuron_constraint_only() {
+        let snn = layered_snn(&[4, 4]);
+        let pcn = partition(&snn, CoreConstraints::new(3, u64::MAX)).unwrap();
+        // 8 neurons, 3 per cluster -> clusters of 3, 3, 2.
+        assert_eq!(pcn.num_clusters(), 3);
+        assert_eq!(pcn.neurons_in(0), 3);
+        assert_eq!(pcn.neurons_in(2), 2);
+        assert_eq!(pcn.total_neurons(), 8);
+    }
+
+    #[test]
+    fn synapse_constraint_closes_clusters() {
+        // Each layer-2 neuron has fan-in 4; limit 8 synapses -> two such
+        // neurons per cluster.
+        let snn = layered_snn(&[4, 4]);
+        let pcn = partition(&snn, CoreConstraints::new(100, 8)).unwrap();
+        // Neurons 0..4 have fan-in 0, then fan-in-4 neurons two per cluster:
+        // cluster 0 = {0,1,2,3,4,5}(syn 8), cluster 1 = {6,7}(syn 8).
+        assert_eq!(pcn.num_clusters(), 2);
+        assert_eq!(pcn.synapses_in(0), 8);
+        assert_eq!(pcn.synapses_in(1), 8);
+    }
+
+    #[test]
+    fn clusters_are_contiguous_ranges() {
+        let snn = layered_snn(&[5, 7, 3]);
+        let pcn = partition(&snn, CoreConstraints::new(4, u64::MAX)).unwrap();
+        // Contiguity is implied by first-fit; verify via cluster sizes
+        // summing to the neuron count in order.
+        let total: u64 = (0..pcn.num_clusters()).map(|c| pcn.neurons_in(c) as u64).sum();
+        assert_eq!(total, 15);
+        assert_eq!(pcn.num_clusters(), 4); // ceil(15 / 4)
+    }
+
+    #[test]
+    fn traffic_preserved_across_partition() {
+        // eq. 5: total PCN traffic + intra-cluster traffic equals total
+        // synapse traffic.
+        let snn = layered_snn(&[4, 4, 4]);
+        for npc in [1u32, 2, 3, 5, 12] {
+            let pcn = partition(&snn, CoreConstraints::new(npc, u64::MAX)).unwrap();
+            let total = pcn.total_traffic() + pcn.intra_traffic();
+            assert!(
+                (total - snn.total_traffic()).abs() < 1e-9,
+                "npc={npc}: {} != {}",
+                total,
+                snn.total_traffic()
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_neuron_gets_singleton_cluster() {
+        // One neuron with fan-in 10 under a synapse limit of 4.
+        let mut b = SnnBuilder::new(11);
+        for i in 0..10 {
+            b.synapse(i, 10, 1.0).unwrap();
+        }
+        let snn = b.build().unwrap();
+        let pcn = partition(&snn, CoreConstraints::new(100, 4)).unwrap();
+        let last = pcn.num_clusters() - 1;
+        assert_eq!(pcn.neurons_in(last), 1);
+        assert!(pcn.synapses_in(last) > 4, "over-budget singleton is kept");
+    }
+
+    #[test]
+    fn whole_network_in_one_cluster_has_no_connections() {
+        let snn = layered_snn(&[4, 4]);
+        let pcn = partition(&snn, CoreConstraints::new(4096, u64::MAX)).unwrap();
+        assert_eq!(pcn.num_clusters(), 1);
+        assert_eq!(pcn.num_connections(), 0);
+        assert_eq!(pcn.intra_traffic(), snn.total_traffic());
+    }
+
+    #[test]
+    fn dnn_65k_structure_in_miniature() {
+        // The Table 3 DNN pattern scaled down: 4 layers x 16 neurons with
+        // 4 neurons per core gives 16 clusters and 3*4*4 = 48 connections,
+        // exactly the DNN_65K row's PCN shape.
+        let snn = layered_snn(&[16, 16, 16, 16]);
+        let pcn = partition(&snn, CoreConstraints::new(4, u64::MAX)).unwrap();
+        assert_eq!(pcn.num_clusters(), 16);
+        assert_eq!(pcn.num_connections(), 48);
+    }
+}

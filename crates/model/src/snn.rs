@@ -1,0 +1,296 @@
+//! Explicit neuron-level SNN graphs.
+
+use std::fmt;
+
+use crate::ModelError;
+
+/// An SNN application graph `G_SNN = (V_S, E_S, w_S)` (eq. 2): neurons as
+/// nodes, synapses as directed edges, and edge weights giving the *spike
+/// traffic density* on each synapse (not the synaptic weight — §3.2).
+///
+/// Stored in compressed sparse row (CSR) form over `u32` neuron ids.
+/// Explicit graphs are meant for the small and medium benchmarks; the
+/// billion-neuron Table 3 applications are handled analytically through
+/// [`LayerGraph`](crate::LayerGraph).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_model::SnnBuilder;
+///
+/// let mut b = SnnBuilder::new(3);
+/// b.synapse(0, 1, 1.0)?;
+/// b.synapse(0, 2, 0.5)?;
+/// b.synapse(1, 2, 2.0)?;
+/// let snn = b.build()?;
+/// assert_eq!(snn.num_neurons(), 3);
+/// assert_eq!(snn.num_synapses(), 3);
+/// assert_eq!(snn.fan_in(2), 2);
+/// assert_eq!(snn.total_traffic(), 3.5);
+/// # Ok::<(), snnmap_model::ModelError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct SnnNetwork {
+    n: u32,
+    /// CSR offsets of outgoing synapses, length `n + 1`.
+    out_offsets: Vec<u64>,
+    /// Targets of outgoing synapses, sorted per source.
+    out_targets: Vec<u32>,
+    /// Spike densities aligned with `out_targets`.
+    out_weights: Vec<f32>,
+    /// Incoming synapse count per neuron (the fan-in each core must store).
+    fan_in: Vec<u32>,
+    total_traffic: f64,
+}
+
+impl SnnNetwork {
+    /// Number of neurons `|V_S|`.
+    #[inline]
+    pub fn num_neurons(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of synapses `|E_S|`.
+    #[inline]
+    pub fn num_synapses(&self) -> u64 {
+        self.out_targets.len() as u64
+    }
+
+    /// Total spike traffic `Σ w_S(e)` over all synapses.
+    #[inline]
+    pub fn total_traffic(&self) -> f64 {
+        self.total_traffic
+    }
+
+    /// Outgoing synapses of `neuron` as `(target, spike density)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron ≥ num_neurons()`.
+    pub fn synapses_out(&self, neuron: u32) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let lo = self.out_offsets[neuron as usize] as usize;
+        let hi = self.out_offsets[neuron as usize + 1] as usize;
+        self.out_targets[lo..hi].iter().copied().zip(self.out_weights[lo..hi].iter().copied())
+    }
+
+    /// Number of outgoing synapses of `neuron`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron ≥ num_neurons()`.
+    #[inline]
+    pub fn fan_out(&self, neuron: u32) -> u32 {
+        (self.out_offsets[neuron as usize + 1] - self.out_offsets[neuron as usize]) as u32
+    }
+
+    /// Number of incoming synapses of `neuron` — the synaptic storage the
+    /// hosting core must provide, counted against `CON_spc` by the
+    /// partitioner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neuron ≥ num_neurons()`.
+    #[inline]
+    pub fn fan_in(&self, neuron: u32) -> u32 {
+        self.fan_in[neuron as usize]
+    }
+
+    /// Iterates all synapses as `(from, to, spike density)`.
+    pub fn iter_synapses(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.n).flat_map(move |u| self.synapses_out(u).map(move |(v, w)| (u, v, w)))
+    }
+}
+
+impl fmt::Debug for SnnNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnnNetwork")
+            .field("neurons", &self.n)
+            .field("synapses", &self.num_synapses())
+            .field("total_traffic", &self.total_traffic)
+            .finish()
+    }
+}
+
+impl fmt::Display for SnnNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SNN with {} neurons, {} synapses", self.n, self.num_synapses())
+    }
+}
+
+/// Incremental builder for [`SnnNetwork`].
+///
+/// Synapses may be added in any order; `build` sorts them into CSR form.
+/// Duplicate `(from, to)` synapses are kept as parallel edges (their
+/// traffic simply adds up in all aggregations).
+#[derive(Debug, Clone, Default)]
+pub struct SnnBuilder {
+    n: u32,
+    edges: Vec<(u32, u32, f32)>,
+}
+
+impl SnnBuilder {
+    /// Starts a network with `n` neurons (ids `0..n`).
+    pub fn new(n: u32) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Pre-allocates capacity for `cap` synapses.
+    pub fn with_capacity(n: u32, cap: usize) -> Self {
+        Self { n, edges: Vec::with_capacity(cap) }
+    }
+
+    /// Adds a synapse `from → to` with spike density `weight`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidSynapse`] for out-of-range neuron ids,
+    /// [`ModelError::InvalidWeight`] for non-finite or negative weights.
+    pub fn synapse(&mut self, from: u32, to: u32, weight: f32) -> Result<&mut Self, ModelError> {
+        if from >= self.n || to >= self.n {
+            return Err(ModelError::InvalidSynapse { from, to, neurons: self.n });
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(ModelError::InvalidWeight { weight });
+        }
+        self.edges.push((from, to, weight));
+        Ok(self)
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::EmptyNetwork`] if `n == 0`.
+    pub fn build(self) -> Result<SnnNetwork, ModelError> {
+        if self.n == 0 {
+            return Err(ModelError::EmptyNetwork);
+        }
+        let n = self.n as usize;
+        let mut counts = vec![0u64; n + 1];
+        let mut fan_in = vec![0u32; n];
+        for &(u, v, _) in &self.edges {
+            counts[u as usize + 1] += 1;
+            fan_in[v as usize] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let out_offsets = counts;
+        let m = self.edges.len();
+        let mut out_targets = vec![0u32; m];
+        let mut out_weights = vec![0f32; m];
+        let mut cursor = out_offsets.clone();
+        let mut total = 0f64;
+        for (u, v, w) in self.edges {
+            let c = &mut cursor[u as usize];
+            out_targets[*c as usize] = v;
+            out_weights[*c as usize] = w;
+            *c += 1;
+            total += w as f64;
+        }
+        // Sort each row by target for deterministic iteration.
+        let mut net = SnnNetwork {
+            n: self.n,
+            out_offsets,
+            out_targets,
+            out_weights,
+            fan_in,
+            total_traffic: total,
+        };
+        for u in 0..n {
+            let lo = net.out_offsets[u] as usize;
+            let hi = net.out_offsets[u + 1] as usize;
+            let mut row: Vec<(u32, f32)> = net.out_targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(net.out_weights[lo..hi].iter().copied())
+                .collect();
+            row.sort_unstable_by_key(|&(t, _)| t);
+            for (k, (t, w)) in row.into_iter().enumerate() {
+                net.out_targets[lo + k] = t;
+                net.out_weights[lo + k] = w;
+            }
+        }
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> SnnNetwork {
+        let mut b = SnnBuilder::new(4);
+        b.synapse(0, 1, 1.0).unwrap();
+        b.synapse(1, 2, 2.0).unwrap();
+        b.synapse(2, 3, 3.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_traffic() {
+        let snn = chain();
+        assert_eq!(snn.num_neurons(), 4);
+        assert_eq!(snn.num_synapses(), 3);
+        assert_eq!(snn.total_traffic(), 6.0);
+    }
+
+    #[test]
+    fn fan_in_fan_out() {
+        let mut b = SnnBuilder::new(3);
+        b.synapse(0, 2, 1.0).unwrap();
+        b.synapse(1, 2, 1.0).unwrap();
+        b.synapse(2, 0, 1.0).unwrap();
+        let snn = b.build().unwrap();
+        assert_eq!(snn.fan_in(2), 2);
+        assert_eq!(snn.fan_in(0), 1);
+        assert_eq!(snn.fan_in(1), 0);
+        assert_eq!(snn.fan_out(2), 1);
+    }
+
+    #[test]
+    fn rows_sorted_by_target() {
+        let mut b = SnnBuilder::new(4);
+        b.synapse(0, 3, 3.0).unwrap();
+        b.synapse(0, 1, 1.0).unwrap();
+        b.synapse(0, 2, 2.0).unwrap();
+        let snn = b.build().unwrap();
+        let row: Vec<_> = snn.synapses_out(0).collect();
+        assert_eq!(row, vec![(1, 1.0), (2, 2.0), (3, 3.0)]);
+    }
+
+    #[test]
+    fn parallel_edges_kept() {
+        let mut b = SnnBuilder::new(2);
+        b.synapse(0, 1, 1.0).unwrap();
+        b.synapse(0, 1, 2.0).unwrap();
+        let snn = b.build().unwrap();
+        assert_eq!(snn.num_synapses(), 2);
+        assert_eq!(snn.fan_in(1), 2);
+        assert_eq!(snn.total_traffic(), 3.0);
+    }
+
+    #[test]
+    fn iter_synapses_covers_all() {
+        let snn = chain();
+        let all: Vec<_> = snn.iter_synapses().collect();
+        assert_eq!(all, vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = SnnBuilder::new(2);
+        assert!(matches!(b.synapse(0, 5, 1.0), Err(ModelError::InvalidSynapse { .. })));
+        assert!(matches!(b.synapse(0, 1, f32::NAN), Err(ModelError::InvalidWeight { .. })));
+        assert!(matches!(b.synapse(0, 1, -1.0), Err(ModelError::InvalidWeight { .. })));
+        assert!(matches!(SnnBuilder::new(0).build(), Err(ModelError::EmptyNetwork)));
+    }
+
+    #[test]
+    fn isolated_neurons_allowed() {
+        let snn = SnnBuilder::new(5).build().unwrap();
+        assert_eq!(snn.num_synapses(), 0);
+        assert_eq!(snn.fan_in(4), 0);
+        assert_eq!(snn.total_traffic(), 0.0);
+    }
+}

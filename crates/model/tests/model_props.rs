@@ -1,0 +1,86 @@
+//! Property tests: the analytic layer-level partitioner agrees with the
+//! explicit Algorithm 1 on randomly generated layered networks.
+
+use proptest::prelude::*;
+use snnmap_hw::CoreConstraints;
+use snnmap_model::{partition, ConnPattern, LayerGraph, PartitionPolicy};
+
+/// A random small layered network: 2–5 layers, mixed Full/Window/Multi
+/// connections between consecutive layers plus optional skips.
+fn arbitrary_layer_graph() -> impl Strategy<Value = LayerGraph> {
+    let layers = prop::collection::vec(4u64..60, 2..5);
+    let knobs = prop::collection::vec((0u8..3, 1u64..12, 1u32..4, 0.1f32..2.0), 8);
+    (layers, knobs).prop_map(|(layers, knobs)| {
+        let mut g = LayerGraph::new("prop");
+        let ids: Vec<usize> = layers.iter().map(|&n| g.add_layer(n)).collect();
+        for (k, w) in ids.windows(2).enumerate() {
+            let (kind, f, taps, rate) = knobs[k % knobs.len()];
+            let n_pre = layers[k];
+            let pattern = match kind {
+                0 => ConnPattern::Full,
+                1 => ConnPattern::Window { fan_in: f.min(n_pre) },
+                _ => {
+                    let taps = taps.min(n_pre as u32).max(1);
+                    let max_fan = (n_pre / taps as u64) * taps as u64;
+                    ConnPattern::MultiWindow {
+                        fan_in: f.max(taps as u64).min(max_fan),
+                        taps,
+                    }
+                }
+            };
+            g.connect(w[0], w[1], pattern, rate).unwrap();
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Strict analytic partitioning produces exactly the clusters the
+    /// explicit partitioner does, for arbitrary layered networks and
+    /// constraint mixes, and conserves total traffic.
+    #[test]
+    fn analytic_equals_explicit(
+        g in arbitrary_layer_graph(),
+        npc in 3u32..40,
+        spc_k in 1u64..100,
+    ) {
+        let con = CoreConstraints::new(npc, spc_k * 16);
+        let snn = g.materialize(1 << 22).unwrap();
+        let explicit = partition(&snn, con).unwrap();
+        let analytic = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
+        prop_assert_eq!(explicit.num_clusters(), analytic.num_clusters());
+        for c in 0..explicit.num_clusters() {
+            prop_assert_eq!(explicit.neurons_in(c), analytic.neurons_in(c), "cluster {}", c);
+            prop_assert_eq!(explicit.synapses_in(c), analytic.synapses_in(c), "cluster {}", c);
+        }
+        let te = explicit.total_traffic() + explicit.intra_traffic();
+        let ta = analytic.total_traffic() + analytic.intra_traffic();
+        prop_assert!((te - ta).abs() < 1e-4 * te.max(1.0), "{} vs {}", te, ta);
+    }
+
+    /// Materialization matches the declared synapse counts, and every
+    /// window target has exactly its fan-in.
+    #[test]
+    fn materialize_counts(g in arbitrary_layer_graph()) {
+        let snn = g.materialize(1 << 22).unwrap();
+        prop_assert_eq!(snn.num_neurons() as u64, g.num_neurons());
+        prop_assert_eq!(snn.num_synapses(), g.num_synapses());
+        prop_assert!((snn.total_traffic() - g.total_traffic()).abs()
+            < 1e-4 * g.total_traffic().max(1.0));
+    }
+
+    /// Table 3 policy never yields clusters spanning layers: the first
+    /// cluster of every layer starts exactly at the layer boundary, so
+    /// per-layer cluster counts are the per-layer first-fit counts.
+    #[test]
+    fn table3_policy_layer_alignment(g in arbitrary_layer_graph(), npc in 3u32..40) {
+        let con = CoreConstraints::new(npc, u64::MAX);
+        let pcn = g.partition_analytic(con, PartitionPolicy::table3()).unwrap();
+        let expected: u64 = (0..g.num_layers())
+            .map(|l| g.layer_size(l).div_ceil(npc as u64))
+            .sum();
+        prop_assert_eq!(pcn.num_clusters() as u64, expected);
+    }
+}

@@ -1,0 +1,45 @@
+//! A cycle-driven 2D-mesh network-on-chip simulator.
+//!
+//! The paper evaluates placements with *analytic* metrics (§3.3): hop
+//! counts for energy/latency and the Algorithm 4 expectation for
+//! congestion. This crate provides the corresponding *executable* model —
+//! a mesh of routers with bounded input queues, round-robin arbitration
+//! and per-hop backpressure — so those analytic numbers can be
+//! cross-validated against simulated spike traffic (the `noc_validate`
+//! experiment binary).
+//!
+//! * [`NocSim`] — the simulator: inject spike packets, step cycles,
+//!   collect delivery/latency/traversal statistics,
+//! * [`Routing`] — deterministic XY or the random minimal staircase that
+//!   matches the paper's `Expe` congestion model,
+//! * [`PcnTraffic`] — Bernoulli per-flow injection derived from a PCN's
+//!   connection weights and a placement,
+//! * [`NocStats`] — delivered counts, latency distribution, per-router
+//!   traversal map.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_hw::{Coord, Mesh};
+//! use snnmap_noc::{NocConfig, NocSim};
+//!
+//! let mut sim = NocSim::new(Mesh::new(4, 4)?, NocConfig::default());
+//! sim.inject(Coord::new(0, 0), Coord::new(3, 3));
+//! let delivered = sim.drain(100);
+//! assert!(delivered);
+//! assert_eq!(sim.stats().delivered, 1);
+//! // 6 hops: 7 router traversals of 1 cycle each.
+//! assert_eq!(sim.stats().max_latency, 7);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod sim;
+mod stats;
+mod traffic;
+
+pub use sim::{NocConfig, NocSim, Routing};
+pub use stats::NocStats;
+pub use traffic::PcnTraffic;

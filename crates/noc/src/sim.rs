@@ -1,0 +1,423 @@
+//! The cycle-driven mesh simulator.
+
+use std::collections::VecDeque;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use snnmap_hw::{Coord, Mesh};
+
+use crate::NocStats;
+
+/// Input ports of a router. `LOCAL` receives injections from the bound
+/// core; the four directional ports receive from mesh neighbours.
+const LOCAL: usize = 0;
+const NORTH: usize = 1; // from x−1
+const SOUTH: usize = 2; // from x+1
+const WEST: usize = 3; // from y−1
+const EAST: usize = 4; // from y+1
+const NUM_PORTS: usize = 5;
+
+/// Output directions (EJECT delivers to the bound core).
+const OUT_NORTH: usize = 0; // toward x−1
+const OUT_SOUTH: usize = 1; // toward x+1
+const OUT_WEST: usize = 2; // toward y−1
+const OUT_EAST: usize = 3; // toward y+1
+const OUT_EJECT: usize = 4;
+const NUM_OUTS: usize = 5;
+
+/// Routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Routing {
+    /// Deterministic dimension-ordered routing: resolve the row (x)
+    /// offset first, then the column (y). Deadlock-free.
+    Xy,
+    /// Random minimal ("staircase") routing: at every router with both
+    /// offsets unresolved, pick one of the two productive directions
+    /// uniformly — the executable counterpart of the paper's `Expe`
+    /// congestion model (Algorithm 4). The choice is re-drawn on every
+    /// blocked attempt, which in practice avoids the cyclic waits
+    /// adaptive minimal routing can otherwise produce.
+    RandomMinimal,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NocConfig {
+    /// Per-input-port FIFO depth; full queues exert backpressure.
+    pub queue_capacity: usize,
+    /// Routing policy.
+    pub routing: Routing,
+    /// RNG seed (used by [`Routing::RandomMinimal`]).
+    pub seed: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 8, routing: Routing::Xy, seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dst: Coord,
+    injected_at: u64,
+}
+
+#[derive(Debug, Default)]
+struct Router {
+    inputs: [VecDeque<Packet>; NUM_PORTS],
+    /// Round-robin arbitration pointer per output.
+    rr: [usize; NUM_OUTS],
+}
+
+/// A cycle-driven simulator of the paper's hardware model (§3.1): a 2D
+/// mesh of routers with bidirectional links, bounded input FIFOs,
+/// round-robin arbitration and one packet per output port per cycle.
+///
+/// Each spike is a single-flit packet. A packet traverses one router per
+/// cycle when unblocked, so an unloaded `d`-hop route delivers in `d + 1`
+/// cycles — matching the analytic latency `(d+1)·L_r + d·L_w` for
+/// `L_r = 1` up to the small wire term.
+///
+/// See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct NocSim {
+    mesh: Mesh,
+    routers: Vec<Router>,
+    cycle: u64,
+    in_flight: u64,
+    config: NocConfig,
+    rng: ChaCha8Rng,
+    stats: NocStats,
+    /// Scratch: staged moves `(from_router, to_router, to_port)`.
+    moves: Vec<(usize, usize, usize)>,
+    /// Scratch: staged incoming counts per (router, port).
+    incoming: Vec<u8>,
+}
+
+impl NocSim {
+    /// Creates an idle network.
+    pub fn new(mesh: Mesh, config: NocConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queues need capacity");
+        let n = mesh.len();
+        Self {
+            mesh,
+            routers: (0..n).map(|_| Router::default()).collect(),
+            cycle: 0,
+            in_flight: 0,
+            config,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            stats: NocStats::new(mesh),
+            moves: Vec::new(),
+            incoming: vec![0; n * NUM_PORTS],
+        }
+    }
+
+    /// The simulated mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Packets currently queued in the network.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Injects one spike from the core at `src` toward the core at `dst`.
+    /// Returns `false` (and counts a rejection) when the source's local
+    /// queue is full — backpressure reaching the core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is outside the mesh.
+    pub fn inject(&mut self, src: Coord, dst: Coord) -> bool {
+        assert!(self.mesh.contains(src) && self.mesh.contains(dst));
+        let r = self.mesh.index_of(src);
+        let q = &mut self.routers[r].inputs[LOCAL];
+        if q.len() >= self.config.queue_capacity {
+            self.stats.rejected += 1;
+            return false;
+        }
+        q.push_back(Packet { dst, injected_at: self.cycle });
+        self.stats.injected += 1;
+        self.in_flight += 1;
+        true
+    }
+
+    /// Desired output port for a packet sitting at router `at`.
+    fn route(&mut self, at: Coord, dst: Coord) -> usize {
+        if at == dst {
+            return OUT_EJECT;
+        }
+        let dx = dst.x as i32 - at.x as i32;
+        let dy = dst.y as i32 - at.y as i32;
+        let x_out = if dx < 0 { OUT_NORTH } else { OUT_SOUTH };
+        let y_out = if dy < 0 { OUT_WEST } else { OUT_EAST };
+        match self.config.routing {
+            Routing::Xy => {
+                if dx != 0 {
+                    x_out
+                } else {
+                    y_out
+                }
+            }
+            Routing::RandomMinimal => {
+                if dx != 0 && dy != 0 {
+                    if self.rng.gen_bool(0.5) {
+                        x_out
+                    } else {
+                        y_out
+                    }
+                } else if dx != 0 {
+                    x_out
+                } else {
+                    y_out
+                }
+            }
+        }
+    }
+
+    /// Neighbour router index and its receiving input port for an output
+    /// direction.
+    fn link(&self, from: Coord, out: usize) -> (usize, usize) {
+        let (to, in_port) = match out {
+            OUT_NORTH => (Coord::new(from.x - 1, from.y), SOUTH),
+            OUT_SOUTH => (Coord::new(from.x + 1, from.y), NORTH),
+            OUT_WEST => (Coord::new(from.x, from.y - 1), EAST),
+            OUT_EAST => (Coord::new(from.x, from.y + 1), WEST),
+            _ => unreachable!("eject has no link"),
+        };
+        debug_assert!(self.mesh.contains(to), "minimal routing never leaves the mesh");
+        (self.mesh.index_of(to), in_port)
+    }
+
+    /// Advances the network one cycle: every router arbitrates each
+    /// output port among the input queues whose head requests it, moving
+    /// at most one packet per output, subject to the downstream queue's
+    /// capacity. Ejections deliver immediately.
+    pub fn step(&mut self) {
+        self.moves.clear();
+        self.incoming.iter_mut().for_each(|c| *c = 0);
+
+        for r in 0..self.routers.len() {
+            let here = self.mesh.coord_of_index(r);
+            // Desired output of each head-of-queue packet.
+            let mut desires = [usize::MAX; NUM_PORTS];
+            let heads: [Option<Packet>; NUM_PORTS] =
+                std::array::from_fn(|p| self.routers[r].inputs[p].front().copied());
+            for (desire, head) in desires.iter_mut().zip(heads) {
+                if let Some(pkt) = head {
+                    *desire = self.route(here, pkt.dst);
+                }
+            }
+            let mut popped = [false; NUM_PORTS];
+            for out in 0..NUM_OUTS {
+                // Round-robin scan of input ports for this output.
+                let start = self.routers[r].rr[out];
+                let mut winner = None;
+                for k in 0..NUM_PORTS {
+                    let p = (start + k) % NUM_PORTS;
+                    if !popped[p] && desires[p] == out {
+                        winner = Some(p);
+                        break;
+                    }
+                }
+                let Some(p) = winner else { continue };
+                if out == OUT_EJECT {
+                    let pkt = self.routers[r].inputs[p].pop_front().expect("head exists");
+                    popped[p] = true;
+                    self.routers[r].rr[out] = (p + 1) % NUM_PORTS;
+                    self.stats.traversals[r] += 1;
+                    let latency = self.cycle - pkt.injected_at + 1;
+                    self.stats.delivered += 1;
+                    self.stats.total_latency += latency;
+                    self.stats.max_latency = self.stats.max_latency.max(latency);
+                    self.in_flight -= 1;
+                } else {
+                    let (to, in_port) = self.link(here, out);
+                    let slot = to * NUM_PORTS + in_port;
+                    let room = self.config.queue_capacity
+                        > self.routers[to].inputs[in_port].len() + self.incoming[slot] as usize;
+                    if room {
+                        self.incoming[slot] += 1;
+                        self.moves.push((r, to, in_port));
+                        // Mark the pop now so another output cannot take
+                        // the same head; actual pop happens in commit.
+                        popped[p] = true;
+                        self.routers[r].rr[out] = (p + 1) % NUM_PORTS;
+                        // Remember which port to pop from in commit order.
+                        self.moves.last_mut().expect("just pushed").0 = r * NUM_PORTS + p;
+                    }
+                }
+            }
+        }
+
+        // Commit staged moves: pop from the recorded input port, push to
+        // the downstream queue.
+        for k in 0..self.moves.len() {
+            let (from_slot, to, in_port) = self.moves[k];
+            let (r, p) = (from_slot / NUM_PORTS, from_slot % NUM_PORTS);
+            let pkt = self.routers[r].inputs[p].pop_front().expect("staged head exists");
+            self.stats.traversals[r] += 1;
+            self.routers[to].inputs[in_port].push_back(pkt);
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Steps until the network is empty or `max_cycles` pass; returns
+    /// whether everything was delivered.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.in_flight == 0 {
+                return true;
+            }
+            self.step();
+        }
+        self.in_flight == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(rows: u16, cols: u16) -> NocSim {
+        NocSim::new(Mesh::new(rows, cols).unwrap(), NocConfig::default())
+    }
+
+    #[test]
+    fn single_packet_latency_is_hops_plus_one() {
+        for (src, dst, d) in [
+            (Coord::new(0, 0), Coord::new(0, 3), 3u64),
+            (Coord::new(0, 0), Coord::new(3, 3), 6),
+            (Coord::new(2, 2), Coord::new(2, 2), 0),
+            (Coord::new(3, 0), Coord::new(0, 0), 3),
+        ] {
+            let mut s = sim(4, 4);
+            s.inject(src, dst);
+            assert!(s.drain(100));
+            assert_eq!(s.stats().delivered, 1);
+            assert_eq!(s.stats().max_latency, d + 1, "{src} -> {dst}");
+        }
+    }
+
+    #[test]
+    fn traversals_equal_route_length() {
+        let mut s = sim(5, 5);
+        s.inject(Coord::new(0, 0), Coord::new(2, 3));
+        s.drain(100);
+        let total: u64 = s.stats().traversals.iter().sum();
+        assert_eq!(total, 6); // 5 hops + source router
+    }
+
+    #[test]
+    fn xy_route_loads_the_expected_routers() {
+        let mut s = sim(4, 4);
+        s.inject(Coord::new(0, 0), Coord::new(2, 2));
+        s.drain(100);
+        // XY (x first): (0,0) (1,0) (2,0) (2,1) (2,2).
+        let expect = [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)];
+        for (x, y) in expect {
+            let idx = s.mesh().index_of(Coord::new(x, y));
+            assert_eq!(s.stats().traversals[idx], 1, "({x},{y})");
+        }
+        assert_eq!(s.stats().traversals.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn conservation_under_load() {
+        let mut s = sim(4, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..500 {
+            let src = Coord::new(rng.gen_range(0..4), rng.gen_range(0..4));
+            let dst = Coord::new(rng.gen_range(0..4), rng.gen_range(0..4));
+            s.inject(src, dst);
+            s.step();
+        }
+        assert!(s.drain(10_000));
+        let st = s.stats();
+        assert_eq!(st.delivered + st.rejected, 500);
+        assert_eq!(st.injected, st.delivered);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_local_queue_full() {
+        let mut s = NocSim::new(
+            Mesh::new(2, 2).unwrap(),
+            NocConfig { queue_capacity: 2, ..NocConfig::default() },
+        );
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(1, 1);
+        assert!(s.inject(src, dst));
+        assert!(s.inject(src, dst));
+        assert!(!s.inject(src, dst), "third injection must be rejected");
+        assert_eq!(s.stats().rejected, 1);
+        assert!(s.drain(100));
+    }
+
+    #[test]
+    fn random_minimal_is_deterministic_per_seed_and_delivers() {
+        let cfg = NocConfig { routing: Routing::RandomMinimal, seed: 9, queue_capacity: 8 };
+        let run = || {
+            let mut s = NocSim::new(Mesh::new(6, 6).unwrap(), cfg);
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            for _ in 0..200 {
+                let src = Coord::new(rng.gen_range(0..6), rng.gen_range(0..6));
+                let dst = Coord::new(rng.gen_range(0..6), rng.gen_range(0..6));
+                s.inject(src, dst);
+                s.step();
+            }
+            assert!(s.drain(10_000));
+            s.stats().clone()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.delivered + a.rejected, 200);
+    }
+
+    #[test]
+    fn random_minimal_spreads_over_the_rectangle() {
+        // Many packets over the same long diagonal flow: XY loads only the
+        // L-shaped path; random minimal touches interior routers too.
+        let count_loaded = |routing| {
+            let mut s = NocSim::new(
+                Mesh::new(6, 6).unwrap(),
+                NocConfig { routing, seed: 4, queue_capacity: 64 },
+            );
+            for _ in 0..64 {
+                s.inject(Coord::new(0, 0), Coord::new(5, 5));
+                s.step();
+            }
+            assert!(s.drain(10_000));
+            s.stats().traversals.iter().filter(|&&t| t > 0).count()
+        };
+        let xy = count_loaded(Routing::Xy);
+        let rm = count_loaded(Routing::RandomMinimal);
+        assert_eq!(xy, 11); // 10 hops + source
+        assert!(rm > xy, "random minimal should use more routers: {rm} vs {xy}");
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_output() {
+        // Two packets from different inputs racing for the same output
+        // port: both delivered, one delayed.
+        let mut s = sim(3, 3);
+        s.inject(Coord::new(0, 1), Coord::new(2, 1));
+        s.inject(Coord::new(1, 0), Coord::new(1, 2));
+        assert!(s.drain(100));
+        assert_eq!(s.stats().delivered, 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! Simulation statistics.
+
+use snnmap_hw::Mesh;
+
+/// Aggregated statistics of one NoC simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NocStats {
+    /// Packets successfully delivered to their destination core.
+    pub delivered: u64,
+    /// Packets injected into the network.
+    pub injected: u64,
+    /// Injection attempts rejected because the source queue was full
+    /// (backpressure reaching the core).
+    pub rejected: u64,
+    /// Sum of delivered-packet latencies, in cycles (one cycle per router
+    /// traversal, so an unloaded `d`-hop route takes `d + 1` cycles).
+    pub total_latency: u64,
+    /// Largest delivered-packet latency.
+    pub max_latency: u64,
+    /// Per-router traversal counts, row-major — the simulated counterpart
+    /// of the paper's `Con(x, y)` congestion map.
+    pub traversals: Vec<u64>,
+}
+
+impl NocStats {
+    pub(crate) fn new(mesh: Mesh) -> Self {
+        Self {
+            delivered: 0,
+            injected: 0,
+            rejected: 0,
+            total_latency: 0,
+            max_latency: 0,
+            traversals: vec![0; mesh.len()],
+        }
+    }
+
+    /// Mean delivered-packet latency in cycles (0 when nothing was
+    /// delivered).
+    pub fn average_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean per-router traversal count — the simulated `M_ac`.
+    pub fn average_traversals(&self) -> f64 {
+        if self.traversals.is_empty() {
+            0.0
+        } else {
+            self.traversals.iter().sum::<u64>() as f64 / self.traversals.len() as f64
+        }
+    }
+
+    /// Hottest router's traversal count — the simulated `M_mc`.
+    pub fn max_traversals(&self) -> u64 {
+        self.traversals.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_of_empty_run_are_zero() {
+        let s = NocStats::new(Mesh::new(2, 2).unwrap());
+        assert_eq!(s.average_latency(), 0.0);
+        assert_eq!(s.average_traversals(), 0.0);
+        assert_eq!(s.max_traversals(), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests on the NoC simulator's conservation and determinism
+//! guarantees.
+
+use proptest::prelude::*;
+use snnmap_hw::{Coord, Mesh};
+use snnmap_noc::{NocConfig, NocSim, Routing};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Packets are conserved under arbitrary injection sequences and both
+    /// routing policies: injected = delivered after drain, and rejected
+    /// injections are exactly the difference from attempts.
+    #[test]
+    fn packet_conservation(
+        flows in prop::collection::vec(((0u16..5, 0u16..5), (0u16..5, 0u16..5)), 1..200),
+        routing_xy in any::<bool>(),
+        cap in 1usize..8,
+    ) {
+        let mesh = Mesh::new(5, 5).unwrap();
+        let routing = if routing_xy { Routing::Xy } else { Routing::RandomMinimal };
+        let mut sim = NocSim::new(mesh, NocConfig { routing, seed: 1, queue_capacity: cap });
+        let attempts = flows.len() as u64;
+        for ((sx, sy), (tx, ty)) in flows {
+            sim.inject(Coord::new(sx, sy), Coord::new(tx, ty));
+            sim.step();
+        }
+        prop_assert!(sim.drain(100_000), "network failed to drain");
+        let s = sim.stats();
+        prop_assert_eq!(s.injected + s.rejected, attempts);
+        prop_assert_eq!(s.delivered, s.injected);
+        prop_assert_eq!(sim.in_flight(), 0);
+    }
+
+    /// Unloaded single-packet latency equals hops + 1 regardless of
+    /// routing policy, and the traversal map's mass equals hops + 1.
+    #[test]
+    fn single_packet_latency(
+        src in (0u16..6, 0u16..6),
+        dst in (0u16..6, 0u16..6),
+        routing_xy in any::<bool>(),
+    ) {
+        let mesh = Mesh::new(6, 6).unwrap();
+        let routing = if routing_xy { Routing::Xy } else { Routing::RandomMinimal };
+        let mut sim = NocSim::new(mesh, NocConfig { routing, seed: 3, queue_capacity: 4 });
+        let (s, d) = (Coord::new(src.0, src.1), Coord::new(dst.0, dst.1));
+        sim.inject(s, d);
+        prop_assert!(sim.drain(1000));
+        let hops = s.manhattan(d) as u64;
+        prop_assert_eq!(sim.stats().max_latency, hops + 1);
+        let mass: u64 = sim.stats().traversals.iter().sum();
+        prop_assert_eq!(mass, hops + 1);
+    }
+
+    /// Random-minimal routing stays inside the source-target bounding
+    /// rectangle: no router outside it is ever traversed.
+    #[test]
+    fn random_minimal_stays_in_rectangle(
+        src in (0u16..6, 0u16..6),
+        dst in (0u16..6, 0u16..6),
+        seed in 0u64..100,
+    ) {
+        let mesh = Mesh::new(6, 6).unwrap();
+        let mut sim = NocSim::new(
+            mesh,
+            NocConfig { routing: Routing::RandomMinimal, seed, queue_capacity: 4 },
+        );
+        let (s, d) = (Coord::new(src.0, src.1), Coord::new(dst.0, dst.1));
+        for _ in 0..8 {
+            sim.inject(s, d);
+            sim.step();
+        }
+        prop_assert!(sim.drain(1000));
+        for (i, &t) in sim.stats().traversals.iter().enumerate() {
+            if t == 0 {
+                continue;
+            }
+            let c = mesh.coord_of_index(i);
+            prop_assert!(
+                c.x >= s.x.min(d.x) && c.x <= s.x.max(d.x)
+                    && c.y >= s.y.min(d.y) && c.y <= s.y.max(d.y),
+                "router {c} outside rectangle {s}..{d}"
+            );
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Map the same application onto different published hardware profiles
+//! (Table 1): per-core capacities change the partition, which changes
+//! the cluster network, which changes the placement problem.
+//!
+//! ```sh
+//! cargo run --release --example custom_hardware
+//! ```
+
+use snnmap::hw::presets;
+use snnmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One application, materialized once: LeNet on MNIST.
+    let snn = RealisticModel::LeNetMnist.build(7)?;
+    println!("application: {snn}\n");
+    let cost = CostModel::paper_target();
+
+    println!(
+        "{:<14} {:>14} {:>10} {:>12} {:>14} {:>10}",
+        "platform", "neurons/core", "clusters", "mesh", "energy", "avg lat"
+    );
+    for platform in presets::all_platforms() {
+        let con = platform.core_constraints();
+        let pcn = partition(&snn, con)?;
+        let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;
+        let outcome = Mapper::builder().build().map(&pcn, mesh)?;
+        let report = evaluate(&pcn, &outcome.placement, cost)?;
+        println!(
+            "{:<14} {:>14} {:>10} {:>12} {:>14.0} {:>10.3}",
+            platform.name,
+            platform.neurons_per_core,
+            pcn.num_clusters(),
+            mesh.to_string(),
+            report.energy,
+            report.avg_latency,
+        );
+    }
+    println!(
+        "\nSmaller cores mean more clusters and a larger mesh: total interconnect energy\n\
+         grows, and the placement algorithm has more to win. The same pipeline serves\n\
+         every profile — only `CoreConstraints` changes."
+    );
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Measure spike traffic by actually executing the SNN, then map with
+//! the measured densities — the paper's `w_S` semantics made literal.
+//!
+//! The generators default to seeded-random spike densities; here we
+//! instead run LeNet-MNIST under a leaky integrate-and-fire simulation
+//! with Poisson input drive, count every neuron's spikes, and feed the
+//! measured per-synapse densities through partition → placement →
+//! metrics. The comparison shows how much placement quality depends on
+//! weighting the real hot paths.
+//!
+//! ```sh
+//! cargo run --release --example measured_traffic
+//! ```
+
+use snnmap::lif::{measure_traffic, LifConfig};
+use snnmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // LeNet-MNIST topology, edge weights now interpreted as synaptic
+    // strengths for the dynamics (scaled to a regime with activity).
+    let topology = RealisticModel::LeNetMnist.build(3)?;
+    println!("topology: {topology}");
+
+    let cfg = LifConfig { input_rate: 0.5, input_strength: 1.2, ..LifConfig::default() };
+    let measured = measure_traffic(&topology, &cfg, 5_000, 11)?;
+    let active = measured.spike_rates.iter().filter(|&&r| r > 0.0).count();
+    println!(
+        "simulated {} steps: {} spikes total, {}/{} neurons active, peak rate {:.3}",
+        measured.steps,
+        measured.total_spikes,
+        active,
+        topology.num_neurons(),
+        measured.spike_rates.iter().cloned().fold(0.0, f64::max),
+    );
+
+    // Map both versions of the application and compare.
+    let con = CoreConstraints::new(256, 64 * 1024);
+    let cost = CostModel::paper_target();
+    for (name, snn) in [("uniform-ish weights", &topology), ("measured densities", &measured.network)]
+    {
+        let pcn = partition(snn, con)?;
+        let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;
+        let outcome = Mapper::builder().build().map(&pcn, mesh)?;
+        let report = evaluate(&pcn, &outcome.placement, cost)?;
+        println!(
+            "{name:<22} {} connections, energy {:.4e}, avg latency {:.3}",
+            pcn.num_connections(),
+            report.energy,
+            report.avg_latency
+        );
+    }
+    println!(
+        "\nThe PCN topology is identical; only the traffic weights differ. With measured\n\
+         densities the optimizer concentrates on the paths that actually carry spikes,\n\
+         which is exactly the information the paper's `w_S` provides."
+    );
+    Ok(())
+}

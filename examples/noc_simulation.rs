@@ -1,0 +1,61 @@
+//! Drive the cycle-level NoC simulator with traffic from a mapped SNN
+//! and compare simulated behaviour against the analytic metrics.
+//!
+//! ```sh
+//! cargo run --release --example noc_simulation
+//! ```
+
+use snnmap::core::InitialPlacement;
+use snnmap::noc::{NocConfig, NocSim, PcnTraffic, Routing};
+use snnmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-size application: LeNet on ImageNet-scale inputs.
+    let (constraints, cost) = snnmap::hw::presets::paper_target();
+    let _ = constraints;
+    let pcn = RealisticModel::LeNetImageNet
+        .layer_graph(3)
+        .partition_analytic(
+            CoreConstraints::new(4096, u64::MAX),
+            snnmap::model::PartitionPolicy::table3(),
+        )?;
+    let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;
+    println!("{pcn} on {mesh}\n");
+
+    for (name, mapper) in [
+        (
+            "random",
+            Mapper::builder()
+                .initial_placement(InitialPlacement::Random(5))
+                .fd_enabled(false)
+                .build(),
+        ),
+        ("proposed", Mapper::builder().build()),
+    ] {
+        let placement = mapper.map(&pcn, mesh)?.placement;
+        let analytic = evaluate(&pcn, &placement, cost)?;
+
+        // Low offered load so queueing stays negligible and the analytic
+        // (contention-free) model applies.
+        let scale = 0.01 * mesh.len() as f64 / pcn.total_traffic();
+        let mut sim = NocSim::new(
+            mesh,
+            NocConfig { routing: Routing::RandomMinimal, seed: 1, queue_capacity: 16 },
+        );
+        let mut traffic = PcnTraffic::new(&pcn, &placement, scale, 2);
+        traffic.run(&mut sim, 3_000);
+        let s = sim.stats();
+
+        println!("{name} placement:");
+        println!("  analytic avg latency   {:.3}", analytic.avg_latency);
+        println!("  simulated avg latency  {:.3}", s.average_latency());
+        println!(
+            "  simulated congestion   avg {:.2}, max {} traversals over {} delivered spikes",
+            s.average_traversals(),
+            s.max_traversals(),
+            s.delivered
+        );
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Quickstart: map a small SNN onto a mesh and inspect the quality
+//! metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use snnmap::core::InitialPlacement;
+use snnmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe an SNN application: a small dense network, materialized
+    //    neuron by neuron (G_SNN of the paper, §3.2).
+    let snn = DnnSpec::new(&[256, 512, 512, 128]).build(42)?;
+    println!("application: {snn}");
+
+    // 2. Partition it into per-core clusters with Algorithm 1 under the
+    //    paper's target hardware constraints (Table 2).
+    let (constraints, cost) = snnmap::hw::presets::paper_target();
+    let pcn = partition(&snn, constraints)?;
+    println!("partitioned:  {pcn}");
+
+    // 3. Pick the smallest square mesh that fits and run the paper's
+    //    mapper: Hilbert-curve initial placement + Force-Directed
+    //    refinement (u_c potential, lambda = 0.3).
+    let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;
+    let outcome = Mapper::builder().build().map(&pcn, mesh)?;
+    let stats = outcome.fd_stats.expect("FD enabled by default");
+    println!(
+        "mapped onto {mesh}: {} FD iterations, {} swaps, energy {:.0} -> {:.0}",
+        stats.iterations, stats.swaps, stats.initial_energy, stats.final_energy
+    );
+
+    // 4. Evaluate all five quality metrics (§3.3) and compare against a
+    //    random placement.
+    let report = evaluate(&pcn, &outcome.placement, cost)?;
+    let random = Mapper::builder()
+        .initial_placement(InitialPlacement::Random(7))
+        .fd_enabled(false)
+        .build()
+        .map(&pcn, mesh)?;
+    let baseline = evaluate(&pcn, &random.placement, cost)?;
+    let rel = report.normalized_to(&baseline);
+    println!("\nmetric            proposed    vs random");
+    println!("energy            {:>10.0}  {:>8.3}", report.energy, rel.energy);
+    println!("avg latency       {:>10.3}  {:>8.3}", report.avg_latency, rel.avg_latency);
+    println!("max latency       {:>10.2}  {:>8.3}", report.max_latency, rel.max_latency);
+    println!("avg congestion    {:>10.1}  {:>8.3}", report.avg_congestion, rel.avg_congestion);
+    println!("max congestion    {:>10.1}  {:>8.3}", report.max_congestion, rel.max_congestion);
+    Ok(())
+}

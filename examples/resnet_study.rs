@@ -1,0 +1,58 @@
+//! ResNet mapping study: the paper's Figure 8 workflow in miniature.
+//!
+//! Builds the ResNet benchmark (28.5 M neurons, 11.6 B synapses) through
+//! the analytic layer-level partitioner, then compares initial-placement
+//! strategies and potential fields on the resulting 7000-cluster PCN.
+//!
+//! ```sh
+//! cargo run --release --example resnet_study
+//! ```
+
+use std::time::Instant;
+
+use snnmap::core::{InitialPlacement, Mapper, Potential};
+use snnmap::model::PartitionPolicy;
+use snnmap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = RealisticModel::ResNet.layer_graph(0);
+    println!("building {graph}");
+    let pcn = graph.partition_analytic(
+        CoreConstraints::new(4096, u64::MAX),
+        PartitionPolicy::table3(),
+    )?;
+    let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;
+    println!("PCN: {pcn} on {mesh}\n");
+
+    let cost = CostModel::paper_target();
+    let configs: Vec<(&str, Mapper)> = vec![
+        (
+            "random",
+            Mapper::builder()
+                .initial_placement(InitialPlacement::Random(1))
+                .fd_enabled(false)
+                .build(),
+        ),
+        ("HSC only", Mapper::builder().fd_enabled(false).build()),
+        ("HSC + FD(u_a)", Mapper::builder().potential(Potential::L1).build()),
+        ("HSC + FD(u_c)", Mapper::builder().potential(Potential::L2Squared).build()),
+        (
+            "HSC + FD(energy)",
+            Mapper::builder().potential(Potential::energy_model(cost)).build(),
+        ),
+    ];
+
+    let mut baseline_energy = None;
+    for (name, mapper) in configs {
+        let t = Instant::now();
+        let outcome = mapper.map(&pcn, mesh)?;
+        let energy = snnmap::metrics::energy(&pcn, &outcome.placement, cost)?;
+        let base = *baseline_energy.get_or_insert(energy);
+        println!(
+            "{name:<18} energy {energy:>14.0}  ({:>6.3} of random)  in {:.2?}",
+            energy / base,
+            t.elapsed()
+        );
+    }
+    Ok(())
+}

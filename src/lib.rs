@@ -1,0 +1,63 @@
+//! # snnmap
+//!
+//! A reproduction of *Mapping Very Large Scale Spiking Neuron Network to
+//! Neuromorphic Hardware* (ASPLOS '23): Hilbert space-filling-curve initial
+//! placement plus Force-Directed refinement for mapping partitioned SNN
+//! clusters onto 2D-mesh neuromorphic hardware, together with the hardware
+//! model, workload generators, quality metrics, baseline mappers, and a NoC
+//! simulator used for evaluation.
+//!
+//! This facade crate re-exports the workspace crates under stable paths:
+//!
+//! * [`hw`] — mesh, constraints, cost model, placements,
+//! * [`model`] — SNN graphs, partitioner, PCN, workload generators,
+//! * [`curves`] — Hilbert / gilbert / ZigZag / spiral space-filling curves,
+//! * [`metrics`] — the five §3.3 placement-quality metrics,
+//! * [`core`] — toposort, Hilbert initial placement, the FD engine, the
+//!   end-to-end [`Mapper`](snnmap_core::Mapper),
+//! * [`baselines`] — Random, TrueNorth, DFSynthesizer, and PSO mappers,
+//! * [`noc`] — a cycle-driven 2D-mesh NoC simulator,
+//! * [`io`] — `.pcn` edge-list and placement-JSON file formats,
+//! * [`lif`] — a leaky integrate-and-fire simulator for measuring spike
+//!   traffic densities by execution.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use snnmap::prelude::*;
+//!
+//! // A small synthetic DNN on a toy core with 64 neurons per core.
+//! let (_, cost) = snnmap::hw::presets::paper_target();
+//! let snn = DnnSpec::new(&[64, 128, 64]).build(42)?;
+//! let pcn = partition(&snn, CoreConstraints::new(64, 1 << 20))?;
+//! let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;
+//!
+//! let mapper = Mapper::builder().potential(Potential::L2Squared).build();
+//! let outcome = mapper.map(&pcn, mesh)?;
+//! let report = evaluate(&pcn, &outcome.placement, cost)?;
+//! assert!(report.energy > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use snnmap_baselines as baselines;
+pub use snnmap_core as core;
+pub use snnmap_curves as curves;
+pub use snnmap_hw as hw;
+pub use snnmap_metrics as metrics;
+pub use snnmap_model as model;
+pub use snnmap_io as io;
+pub use snnmap_lif as lif;
+pub use snnmap_noc as noc;
+
+/// Commonly used items, for glob import in examples and applications.
+pub mod prelude {
+    pub use snnmap_core::{Mapper, Potential};
+    pub use snnmap_curves::{Gilbert, Hilbert, SpaceFillingCurve, Spiral, ZigZag};
+    pub use snnmap_hw::{Coord, CoreConstraints, CostModel, Mesh, Placement};
+    pub use snnmap_metrics::{evaluate, MetricsReport};
+    pub use snnmap_model::generators::{CnnSpec, DnnSpec, RealisticModel};
+    pub use snnmap_model::{partition, Pcn, SnnNetwork};
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration tests across the workspace crates: SNN
+//! generation → partitioning → placement → metrics.
+
+use snnmap::core::{InitialPlacement, Mapper, Potential};
+use snnmap::metrics::energy;
+use snnmap::model::{partition, PartitionPolicy};
+use snnmap::prelude::*;
+
+fn paper_constraints() -> (CoreConstraints, CostModel) {
+    snnmap::hw::presets::paper_target()
+}
+
+#[test]
+fn full_pipeline_on_materialized_dnn() {
+    // Materialize -> Algorithm 1 -> HSC+FD -> metrics, checking every
+    // interface contract along the way.
+    let (con, cost) = paper_constraints();
+    let snn = DnnSpec::new(&[512, 1024, 512, 128]).build(1).expect("small enough");
+    let pcn = partition(&snn, con).expect("partitions");
+    assert_eq!(pcn.total_neurons(), snn.num_neurons() as u64);
+    assert!(
+        (pcn.total_traffic() + pcn.intra_traffic() - snn.total_traffic()).abs()
+            < 1e-6 * snn.total_traffic()
+    );
+
+    let mesh = Mesh::square_for(pcn.num_clusters() as u64).expect("fits");
+    let outcome = Mapper::builder().build().map(&pcn, mesh).expect("maps");
+    outcome.placement.check_consistency().expect("valid placement");
+    let report = evaluate(&pcn, &outcome.placement, cost).expect("evaluates");
+    assert!(report.energy > 0.0);
+    assert!(report.avg_latency <= report.max_latency);
+    assert!(report.avg_congestion <= report.max_congestion);
+}
+
+#[test]
+fn analytic_and_materialized_paths_agree_end_to_end() {
+    // The same application through both partitioning paths must produce
+    // the same PCN shape and, after identical mapping, identical energy.
+    let (con, cost) = paper_constraints();
+    let spec = DnnSpec::new(&[300, 700, 300]);
+    let graph = spec.layer_graph(3);
+    let snn = graph.materialize(10_000_000).expect("small enough");
+
+    let via_explicit = partition(&snn, con).expect("explicit");
+    let via_analytic =
+        graph.partition_analytic(con, PartitionPolicy::strict()).expect("analytic");
+    assert_eq!(via_explicit.num_clusters(), via_analytic.num_clusters());
+    assert_eq!(via_explicit.num_connections(), via_analytic.num_connections());
+
+    let mesh = Mesh::square_for(via_explicit.num_clusters() as u64).expect("fits");
+    let mapper = Mapper::builder().build();
+    let a = mapper.map(&via_explicit, mesh).expect("maps");
+    let b = mapper.map(&via_analytic, mesh).expect("maps");
+    let ea = energy(&via_explicit, &a.placement, cost).expect("eval");
+    let eb = energy(&via_analytic, &b.placement, cost).expect("eval");
+    assert!((ea - eb).abs() < 1e-6 * ea.max(1.0), "{ea} vs {eb}");
+}
+
+#[test]
+fn proposed_beats_every_curve_init_on_every_small_benchmark() {
+    // §5.2's central comparison, run over the small end of the Table 3
+    // suite: the full pipeline must dominate raw curve placements.
+    let (_, cost) = paper_constraints();
+    for bench in snnmap::model::generators::table3_suite() {
+        if bench.row.clusters > 300 {
+            continue;
+        }
+        let pcn = bench.pcn(1).expect("builds");
+        let mesh = Mesh::square_for(pcn.num_clusters() as u64).expect("fits");
+        let proposed = Mapper::builder().build().map(&pcn, mesh).expect("maps");
+        let e_prop = energy(&pcn, &proposed.placement, cost).expect("eval");
+        for init in [
+            InitialPlacement::ZigZag,
+            InitialPlacement::Circle,
+            InitialPlacement::Random(9),
+        ] {
+            let other = Mapper::builder()
+                .initial_placement(init)
+                .fd_enabled(false)
+                .build()
+                .map(&pcn, mesh)
+                .expect("maps");
+            let e_other = energy(&pcn, &other.placement, cost).expect("eval");
+            assert!(
+                e_prop <= e_other * 1.001,
+                "{}: proposed {e_prop} vs {init:?} {e_other}",
+                bench.row.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fd_monotonically_improves_any_initialization() {
+    let (_, cost) = paper_constraints();
+    let pcn = snnmap::model::generators::random_pcn(100, 5.0, 3).expect("builds");
+    let mesh = Mesh::new(10, 10).expect("mesh");
+    for init in [
+        InitialPlacement::Hilbert,
+        InitialPlacement::ZigZag,
+        InitialPlacement::Circle,
+        InitialPlacement::Serpentine,
+        InitialPlacement::Random(4),
+    ] {
+        let before = Mapper::builder()
+            .initial_placement(init)
+            .fd_enabled(false)
+            .build()
+            .map(&pcn, mesh)
+            .expect("maps");
+        let after = Mapper::builder()
+            .initial_placement(init)
+            .potential(Potential::energy_model(cost))
+            .build()
+            .map(&pcn, mesh)
+            .expect("maps");
+        let eb = energy(&pcn, &before.placement, cost).expect("eval");
+        let ea = energy(&pcn, &after.placement, cost).expect("eval");
+        assert!(ea <= eb + 1e-9, "{init:?}: FD worsened energy {eb} -> {ea}");
+    }
+}
+
+#[test]
+fn lenet_mnist_matches_paper_pcn_shape() {
+    let bench = &snnmap::model::generators::table3_suite()[7];
+    assert_eq!(bench.row.name, "LeNet-MNIST");
+    let pcn = bench.pcn(0).expect("builds");
+    assert_eq!(pcn.num_clusters() as u64, bench.row.clusters);
+    let mesh = Mesh::square_for(pcn.num_clusters() as u64).expect("fits");
+    assert_eq!(mesh.rows(), bench.row.mesh_side);
+}

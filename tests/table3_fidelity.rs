@@ -1,0 +1,101 @@
+//! Fidelity tests: the generated benchmark suite tracks the paper's
+//! Table 3 within documented tolerances (the guarantees EXPERIMENTS.md
+//! reports are enforced here, so regressions in the generators fail CI).
+
+use snnmap::model::generators::table3_suite;
+
+/// Benchmarks small enough to build in test time (everything except the
+/// 28-second DNN_4B; its shape is pinned by the same closed forms the
+/// smaller DNNs verify).
+fn testable() -> impl Iterator<Item = snnmap::model::generators::Table3Benchmark> {
+    table3_suite().into_iter().filter(|b| b.row.name != "DNN_4B")
+}
+
+#[test]
+fn neuron_totals_within_5_percent() {
+    for b in testable() {
+        let g = b.layer_graph(0);
+        let ours = g.num_neurons() as f64;
+        let paper = b.row.neurons as f64;
+        assert!(
+            (ours - paper).abs() / paper < 0.05,
+            "{}: {ours} neurons vs paper {paper}",
+            b.row.name
+        );
+    }
+}
+
+#[test]
+fn synapse_totals_within_10_percent() {
+    for b in testable() {
+        let g = b.layer_graph(0);
+        let ours = g.num_synapses() as f64;
+        let paper = b.row.synapses as f64;
+        assert!(
+            (ours - paper).abs() / paper < 0.10,
+            "{}: {ours} synapses vs paper {paper}",
+            b.row.name
+        );
+    }
+}
+
+#[test]
+fn cluster_counts_within_2_percent() {
+    for b in testable() {
+        let pcn = b.pcn(0).expect("builds");
+        let ours = pcn.num_clusters() as f64;
+        let paper = b.row.clusters as f64;
+        assert!(
+            (ours - paper).abs() / paper <= 0.02,
+            "{}: {ours} clusters vs paper {paper}",
+            b.row.name
+        );
+    }
+}
+
+#[test]
+fn synthetic_dnns_match_table3_exactly() {
+    // Rows whose printed Table 3 values are exact (the larger DNNs print
+    // rounded values like "4M"; their closed forms are checked in the
+    // generator unit tests instead).
+    for b in table3_suite() {
+        if b.row.name != "DNN_65K" && b.row.name != "DNN_16M" {
+            continue;
+        }
+        let pcn = b.pcn(0).expect("builds");
+        assert_eq!(pcn.num_clusters() as u64, b.row.clusters, "{}", b.row.name);
+        assert_eq!(pcn.num_connections(), b.row.connections, "{}", b.row.name);
+    }
+}
+
+#[test]
+fn connection_counts_within_3x() {
+    // The least constrained column (depends on the unspecified neuron
+    // ordering of the paper's conversion flow); hold the order of
+    // magnitude.
+    for b in testable() {
+        let pcn = b.pcn(0).expect("builds");
+        let ours = pcn.num_connections() as f64;
+        let paper = b.row.connections as f64;
+        let ratio = if ours > paper { ours / paper } else { paper / ours };
+        assert!(ratio <= 3.0, "{}: {ours} connections vs paper {paper}", b.row.name);
+    }
+}
+
+#[test]
+fn every_benchmark_fits_the_paper_mesh_within_one_side() {
+    // Our cluster counts track the paper's within 2%, which can tip a
+    // count just over the paper's exact square (e.g. InceptionV3: 3621 on
+    // the paper's 60x60 = 3600); the harness then sizes 61x61. Assert we
+    // never need more than one extra row/column.
+    for b in testable() {
+        let pcn = b.pcn(0).expect("builds");
+        let side = b.row.mesh_side as u64 + 1;
+        assert!(
+            pcn.num_clusters() as u64 <= side * side,
+            "{}: {} clusters cannot fit {side}x{side}",
+            b.row.name,
+            pcn.num_clusters()
+        );
+    }
+}
