@@ -8,8 +8,10 @@ use snnmap_baselines::{
     BaselineMapper, Budget, DfSynthesizerMapper, PsoMapper, RandomMapper, TrueNorthMapper,
 };
 use snnmap_core::{InitialPlacement, Mapper, Potential};
-use snnmap_hw::{CostModel, Mesh, Placement};
-use snnmap_io::{read_pcn, read_placement, write_pcn, write_placement};
+use snnmap_hw::{
+    CoreConstraints, CostModel, FaultInjector, FaultMap, FaultPattern, Mesh, Placement,
+};
+use snnmap_io::{read_faults, read_pcn, read_placement, write_faults, write_pcn, write_placement};
 use snnmap_metrics::{evaluate_with, hop_histogram, EvalOptions};
 use snnmap_model::generators::{random_pcn, table3_suite};
 use snnmap_model::Pcn;
@@ -93,11 +95,41 @@ fn parse_mesh(spec: &str) -> Result<Mesh, CliError> {
     Mesh::new(rows, cols).map_err(|e| CliError::usage(e.to_string()))
 }
 
+/// Resolves a `--faults` argument: a number in `[0, 1)` is a uniform
+/// core+link fault rate fed to a seeded [`FaultInjector`]; anything else
+/// is a fault-map JSON file path.
+fn load_faults(o: &Opts, mesh: Mesh, seed: u64) -> Result<Option<FaultMap>, CliError> {
+    let Some(spec) = o.flag("faults") else {
+        return Ok(None);
+    };
+    let fm = match spec.parse::<f64>() {
+        Ok(rate) => {
+            let pattern = FaultPattern::Uniform { core_rate: rate, link_rate: rate };
+            FaultInjector::new(seed)
+                .inject(mesh, &pattern)
+                .map_err(|e| CliError::usage(e.to_string()))?
+        }
+        Err(_) => read_faults(Path::new(spec))?,
+    };
+    Ok(Some(fm))
+}
+
 /// `snnmap map`: place a PCN onto a mesh.
 pub fn map(args: &[String]) -> Result<String, CliError> {
     let o = Opts::parse(
         args,
-        &["out", "method", "mesh", "init", "potential", "lambda", "budget-secs", "seed"],
+        &[
+            "out",
+            "method",
+            "mesh",
+            "init",
+            "potential",
+            "lambda",
+            "budget-secs",
+            "seed",
+            "faults",
+            "faults-out",
+        ],
     )?;
     let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
     let out = Path::new(o.required("out")?);
@@ -109,8 +141,20 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
     };
     let budget_secs: u64 = o.parsed_or("budget-secs", 0)?;
     let budget = (budget_secs > 0).then(|| Duration::from_secs(budget_secs));
+    let faults = load_faults(&o, mesh, seed)?;
+    if let Some(path) = o.flag("faults-out") {
+        match &faults {
+            Some(fm) => write_faults(Path::new(path), fm)?,
+            None => return Err(CliError::usage("`--faults-out` requires `--faults`")),
+        }
+    }
 
     let method = o.flag("method").unwrap_or("proposed");
+    if faults.is_some() && method != "proposed" {
+        return Err(CliError::usage(format!(
+            "`--faults` is only supported with `--method proposed`, not `{method}`"
+        )));
+    }
     let (placement, detail) = match method {
         "proposed" => {
             let init = match o.flag("init").unwrap_or("hilbert") {
@@ -136,6 +180,9 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 Mapper::builder().initial_placement(init).potential(potential).lambda(lambda);
             if let Some(b) = budget {
                 builder = builder.time_budget(b);
+            }
+            if let Some(fm) = faults.clone() {
+                builder = builder.fault_map(fm);
             }
             let outcome = builder.build().map(&pcn, mesh)?;
             let detail = match outcome.fd_stats {
@@ -175,11 +222,56 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
     };
 
     write_placement(out, &placement)?;
+    let fault_note = match &faults {
+        Some(fm) => format!(
+            " avoiding {} dead core(s), {} faulty link(s)",
+            fm.num_dead_cores(),
+            fm.num_faulty_links()
+        ),
+        None => String::new(),
+    };
     Ok(format!(
-        "placed {} clusters on {mesh} -> {}\n{detail}\n",
+        "placed {} clusters on {mesh}{fault_note} -> {}\n{detail}\n",
         placement.placed_count(),
         out.display()
     ))
+}
+
+/// `snnmap validate`: check a placement against a fault map and per-core
+/// capacity constraints. Violations become [`CliError::Validation`]
+/// (process exit code 3).
+pub fn validate(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(args, &["faults", "seed", "npc", "spc"])?;
+    let (pcn, placement) = load_pair(&o)?;
+    let seed: u64 = o.parsed_or("seed", 42)?;
+    let faults = load_faults(&o, placement.mesh(), seed)?;
+    let defaults = CoreConstraints::default();
+    let npc: u32 = o.parsed_or("npc", defaults.neurons_per_core)?;
+    let spc: u64 = o.parsed_or("spc", defaults.synapses_per_core)?;
+    if npc == 0 || spc == 0 {
+        return Err(CliError::usage("per-core capacities must be nonzero"));
+    }
+    let con = CoreConstraints::new(npc, spc);
+    let report = snnmap_core::validate(&pcn, &placement, faults.as_ref(), Some(&con))?;
+    if !report.is_ok() {
+        return Err(CliError::Validation(report));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "placement valid: {} clusters on {} within {con}",
+        placement.placed_count(),
+        placement.mesh()
+    );
+    if let Some(fm) = &faults {
+        let _ = writeln!(
+            out,
+            "checked against {} dead core(s), {} faulty link(s)",
+            fm.num_dead_cores(),
+            fm.num_faulty_links()
+        );
+    }
+    Ok(out)
 }
 
 fn load_pair(o: &Opts) -> Result<(Pcn, Placement), CliError> {

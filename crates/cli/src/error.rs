@@ -17,11 +17,24 @@ pub enum CliError {
     Eval(snnmap_hw::HwError),
     /// Workload generation failed.
     Model(snnmap_model::ModelError),
+    /// `snnmap validate` found placement violations; the report lists them.
+    Validation(snnmap_core::ValidationReport),
 }
 
 impl CliError {
     pub(crate) fn usage(message: impl Into<String>) -> Self {
         CliError::Usage(message.into())
+    }
+
+    /// The process exit code for this error: 2 for usage errors, 3 when
+    /// `snnmap validate` found violations, 1 for everything else
+    /// (I/O, mapping, evaluation, generation failures).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Validation(_) => 3,
+            _ => 1,
+        }
     }
 }
 
@@ -33,6 +46,7 @@ impl fmt::Display for CliError {
             CliError::Map(e) => write!(f, "{e}"),
             CliError::Eval(e) => write!(f, "{e}"),
             CliError::Model(e) => write!(f, "{e}"),
+            CliError::Validation(report) => write!(f, "{report}"),
         }
     }
 }
@@ -44,7 +58,7 @@ impl Error for CliError {
             CliError::Map(e) => Some(e),
             CliError::Eval(e) => Some(e),
             CliError::Model(e) => Some(e),
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Validation(_) => None,
         }
     }
 }
@@ -84,5 +98,15 @@ mod tests {
         assert!(e.source().is_none());
         let e = CliError::from(snnmap_io::IoError::Invalid { message: "x".into() });
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        assert_eq!(CliError::usage("x").exit_code(), 2);
+        let io = CliError::from(snnmap_io::IoError::Invalid { message: "x".into() });
+        assert_eq!(io.exit_code(), 1);
+        let v = CliError::Validation(snnmap_core::ValidationReport::default());
+        assert_eq!(v.exit_code(), 3);
+        assert!(v.source().is_none());
     }
 }

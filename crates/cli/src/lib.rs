@@ -6,8 +6,11 @@
 //! * `gen` — write a benchmark or random PCN to a `.pcn` file,
 //! * `info` — summarize a PCN file,
 //! * `map` — place a PCN onto a mesh with any implemented method,
+//!   optionally avoiding faulty hardware (`--faults <rate|file>`),
 //! * `eval` — compute the five §3.3 quality metrics of a placement,
-//! * `viz` — render a placement's congestion map as an ASCII heatmap.
+//! * `viz` — render a placement's congestion map as an ASCII heatmap,
+//! * `validate` — check a placement against a fault map and per-core
+//!   capacity constraints; exits 3 when violations are found.
 //!
 //! The library surface is a single [`run`] function over string
 //! arguments (what `main` calls), which keeps every code path unit
@@ -36,8 +39,16 @@ commands:
         [--mesh <RxC>] [--init hilbert|zigzag|circle|serpentine|random]
         [--potential l1|l1sq|l2sq|energy] [--lambda F]
         [--budget-secs N] [--seed N]
+        [--faults <rate|file.json>] [--faults-out <file.json>]
   eval  <file.pcn> <placement.json> [--sample N]
   viz   <file.pcn> <placement.json> [--width N]
+  validate <file.pcn> <placement.json>
+        [--faults <rate|file.json>] [--seed N] [--npc N] [--spc N]
+
+`--faults` takes a uniform core/link fault rate in [0, 1) (seeded by
+`--seed`) or a fault-map JSON file written by `--faults-out`.
+
+exit codes: 0 ok, 1 runtime error, 2 usage error, 3 invalid placement.
 
 run `snnmap <command>` with missing arguments for details.";
 
@@ -55,6 +66,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "map" => commands::map(rest),
         "eval" => commands::eval(rest),
         "viz" => commands::viz(rest),
+        "validate" => commands::validate(rest),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),
     }
@@ -115,6 +127,71 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("9 clusters"), "{out}");
+    }
+
+    #[test]
+    fn fault_aware_map_then_validate() {
+        let dir = std::env::temp_dir().join("snnmap_cli_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let placement = dir.join("p.json");
+        let faults = dir.join("faults.json");
+        let pcn_s = pcn.to_str().unwrap();
+        let placement_s = placement.to_str().unwrap();
+        let faults_s = faults.to_str().unwrap();
+
+        run(&sv(&["gen", "--random", "30,3", "--seed", "2", "--out", pcn_s])).unwrap();
+        let out = run(&sv(&[
+            "map", pcn_s, "--out", placement_s, "--mesh", "8x8", "--seed", "9",
+            "--faults", "0.1", "--faults-out", faults_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("placed 30 clusters"), "{out}");
+        assert!(out.contains("avoiding"), "{out}");
+
+        // The written fault map validates the placement it shaped.
+        let out =
+            run(&sv(&["validate", pcn_s, placement_s, "--faults", faults_s])).unwrap();
+        assert!(out.contains("placement valid"), "{out}");
+
+        // Faults are only meaningful for the proposed mapper.
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", placement_s, "--method", "random", "--faults", "0.1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn validate_flags_violations_with_exit_code_3() {
+        let dir = std::env::temp_dir().join("snnmap_cli_validate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let placement = dir.join("p.json");
+        let faults = dir.join("faults.json");
+        let pcn_s = pcn.to_str().unwrap();
+        let placement_s = placement.to_str().unwrap();
+
+        // 16 clusters fill a 4x4 mesh completely, so *any* dead core is
+        // an occupied dead core.
+        run(&sv(&["gen", "--random", "16,3", "--seed", "3", "--out", pcn_s])).unwrap();
+        run(&sv(&["map", pcn_s, "--out", placement_s, "--mesh", "4x4"])).unwrap();
+        std::fs::write(
+            &faults,
+            r#"{"format":"snnmap-faults-v1","rows":4,"cols":4,"dead_cores":[[0,0]],"faulty_links":[]}"#,
+        )
+        .unwrap();
+        let err = run(&sv(&[
+            "validate", pcn_s, placement_s, "--faults", faults.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("violation"), "{err}");
+
+        // An impossible capacity bound also trips validation.
+        let err = run(&sv(&["validate", pcn_s, placement_s, "--npc", "1", "--spc", "1"]))
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
     }
 
     #[test]

@@ -6,8 +6,11 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{}", snnmap_cli::USAGE);
-            std::process::exit(1);
+            let code = e.exit_code();
+            if code == 2 {
+                eprintln!("{}", snnmap_cli::USAGE);
+            }
+            std::process::exit(code);
         }
     }
 }

@@ -25,6 +25,28 @@ pub enum CoreError {
         /// Total clusters.
         total: u32,
     },
+    /// The mesh has enough cores in total, but too many are dead for the
+    /// PCN to fit on the survivors.
+    InsufficientCores {
+        /// Clusters to place.
+        clusters: u32,
+        /// Healthy (usable) cores.
+        healthy: usize,
+        /// Total cores including dead ones.
+        total: usize,
+    },
+    /// The force-directed sweep fraction λ was outside `(0, 1]`.
+    InvalidLambda {
+        /// The rejected value.
+        lambda: f64,
+    },
+    /// A PCN and a placement disagree on the number of clusters.
+    ClusterCountMismatch {
+        /// Clusters in the PCN.
+        pcn: u32,
+        /// Clusters the placement tracks.
+        placement: u32,
+    },
     /// A hardware-layer error (out-of-bounds placement, occupancy
     /// violation, …).
     Hw(HwError),
@@ -40,6 +62,18 @@ impl fmt::Display for CoreError {
             }
             CoreError::IncompletePlacement { placed, total } => {
                 write!(f, "placement covers {placed} of {total} clusters")
+            }
+            CoreError::InsufficientCores { clusters, healthy, total } => {
+                write!(
+                    f,
+                    "{clusters} clusters cannot fit on {healthy} healthy of {total} cores"
+                )
+            }
+            CoreError::InvalidLambda { lambda } => {
+                write!(f, "lambda must be in (0, 1], got {lambda}")
+            }
+            CoreError::ClusterCountMismatch { pcn, placement } => {
+                write!(f, "PCN has {pcn} clusters but placement tracks {placement}")
             }
             CoreError::Hw(e) => write!(f, "hardware error: {e}"),
             CoreError::Curve(e) => write!(f, "curve error: {e}"),

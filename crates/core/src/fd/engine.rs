@@ -2,7 +2,7 @@
 
 use std::time::{Duration, Instant};
 
-use snnmap_hw::{Coord, Mesh, Placement};
+use snnmap_hw::{Coord, FaultMap, HwError, Mesh, Placement};
 use snnmap_model::Pcn;
 
 use crate::{CoreError, Potential};
@@ -144,18 +144,39 @@ pub fn force_directed(
     placement: &mut Placement,
     config: &FdConfig,
 ) -> Result<FdStats, CoreError> {
-    if !placement.is_complete() {
-        return Err(CoreError::IncompletePlacement {
-            placed: placement.placed_count(),
-            total: placement.len(),
-        });
+    force_directed_impl(pcn, placement, config, None)
+}
+
+/// Fault-aware [`force_directed`]: swaps into or out of dead cores are
+/// never considered (their pairs carry zero tension), so the refinement
+/// explores only the healthy subgraph while keeping the monotone
+/// energy-descent guarantee — dead cores start empty and stay empty.
+///
+/// # Errors
+///
+/// [`HwError::FaultyCore`] (wrapped in [`CoreError::Hw`]) if the input
+/// placement already occupies a dead core; otherwise as
+/// [`force_directed`].
+pub fn force_directed_masked(
+    pcn: &Pcn,
+    placement: &mut Placement,
+    config: &FdConfig,
+    faults: &FaultMap,
+) -> Result<FdStats, CoreError> {
+    force_directed_impl(pcn, placement, config, Some(faults))
+}
+
+fn force_directed_impl(
+    pcn: &Pcn,
+    placement: &mut Placement,
+    config: &FdConfig,
+    faults: Option<&FaultMap>,
+) -> Result<FdStats, CoreError> {
+    if !(config.lambda > 0.0 && config.lambda <= 1.0) {
+        return Err(CoreError::InvalidLambda { lambda: config.lambda });
     }
-    assert!(
-        config.lambda > 0.0 && config.lambda <= 1.0,
-        "lambda must be in (0, 1], got {}",
-        config.lambda
-    );
-    let mut engine = Engine::new(pcn, placement, config.potential, config.tension_mode);
+    let mut engine =
+        Engine::new(pcn, placement, config.potential, config.tension_mode, faults)?;
     let initial_energy = engine.system_energy();
     let start = Instant::now();
     // Naive tension can oscillate (it may accept energy-increasing
@@ -206,7 +227,7 @@ pub fn force_directed(
             if t <= TENSION_EPS {
                 continue;
             }
-            engine.swap(key, &mut affected);
+            engine.swap(key, &mut affected)?;
             swaps += 1;
         }
 
@@ -240,10 +261,9 @@ pub fn force_directed(
 }
 
 fn sort_queue(queue: &mut [(f64, u64)]) {
-    // Highest tension first; key as deterministic tie-breaker.
-    queue.sort_unstable_by(|a, b| {
-        b.0.partial_cmp(&a.0).expect("tensions are finite").then(a.1.cmp(&b.1))
-    });
+    // Highest tension first; key as deterministic tie-breaker. total_cmp
+    // keeps the order well-defined even if a weight ever produces a NaN.
+    queue.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 }
 
 /// The mutable state of one FD run: the placement's grids plus the
@@ -258,6 +278,11 @@ struct Engine<'a> {
     /// `force[p][d]`: energy reduction from moving the cluster at
     /// position `p` one step in direction `d` (0 for empty positions).
     force: Vec<[f64; 4]>,
+    /// `pos[c]`: mesh index of cluster `c`, maintained across swaps so
+    /// lookups never have to unwrap an `Option` on the hot path.
+    pos: Vec<usize>,
+    /// `dead[p]`: position `p` is a dead core (empty when fault-free).
+    dead: Vec<bool>,
 }
 
 impl<'a> Engine<'a> {
@@ -266,8 +291,43 @@ impl<'a> Engine<'a> {
         placement: &'a mut Placement,
         potential: Potential,
         tension_mode: TensionMode,
-    ) -> Self {
+        faults: Option<&FaultMap>,
+    ) -> Result<Self, CoreError> {
         let mesh = placement.mesh();
+        if placement.len() != pcn.num_clusters() {
+            return Err(CoreError::ClusterCountMismatch {
+                pcn: pcn.num_clusters(),
+                placement: placement.len(),
+            });
+        }
+        let dead: Vec<bool> = match faults {
+            Some(fm) => {
+                if fm.mesh() != mesh {
+                    return Err(CoreError::Hw(HwError::InvalidFaultSpec {
+                        message: format!(
+                            "fault map covers {} but placement targets {mesh}",
+                            fm.mesh()
+                        ),
+                    }));
+                }
+                mesh.iter().map(|c| fm.is_dead(c)).collect()
+            }
+            None => Vec::new(),
+        };
+        let mut pos = vec![0usize; placement.len() as usize];
+        for c in 0..placement.len() {
+            let Some(coord) = placement.coord_of(c) else {
+                return Err(CoreError::IncompletePlacement {
+                    placed: placement.placed_count(),
+                    total: placement.len(),
+                });
+            };
+            let p = mesh.index_of(coord);
+            if !dead.is_empty() && dead[p] {
+                return Err(CoreError::Hw(HwError::FaultyCore { coord }));
+            }
+            pos[c as usize] = p;
+        }
         let mut engine = Self {
             pcn,
             placement,
@@ -276,11 +336,13 @@ impl<'a> Engine<'a> {
             tension_mode,
             unit_step: potential.unit_step(),
             force: vec![[0.0; 4]; mesh.len()],
+            pos,
+            dead,
         };
         for p in 0..mesh.len() {
             engine.rebuild_force(p);
         }
-        engine
+        Ok(engine)
     }
 
     #[inline]
@@ -290,7 +352,12 @@ impl<'a> Engine<'a> {
 
     #[inline]
     fn pos_index(&self, cluster: u32) -> usize {
-        self.mesh.index_of(self.placement.coord_of(cluster).expect("complete placement"))
+        self.pos[cluster as usize]
+    }
+
+    #[inline]
+    fn is_dead_pos(&self, p: usize) -> bool {
+        !self.dead.is_empty() && self.dead[p]
     }
 
     /// Neighbour position of `p` in direction `d`, if inside the mesh.
@@ -345,9 +412,9 @@ impl<'a> Engine<'a> {
     fn system_energy(&self) -> f64 {
         let mut es = 0.0;
         for c in 0..self.pcn.num_clusters() {
-            let pc = self.placement.coord_of(c).expect("complete placement");
+            let pc = self.coord(self.pos_index(c));
             for (t, w) in self.pcn.out_edges(c) {
-                let pt = self.placement.coord_of(t).expect("complete placement");
+                let pt = self.coord(self.pos_index(t));
                 es += w as f64 * self.u(pc, pt);
             }
         }
@@ -365,11 +432,11 @@ impl<'a> Engine<'a> {
                 let there = self.coord(q);
                 let mut sum = 0.0;
                 for (t, w) in self.pcn.out_edges(c) {
-                    let pt = self.placement.coord_of(t).expect("complete placement");
+                    let pt = self.coord(self.pos_index(t));
                     sum += w as f64 * (self.u(pt, here) - self.u(pt, there));
                 }
                 for (s, w) in self.pcn.in_edges(c) {
-                    let ps = self.placement.coord_of(s).expect("complete placement");
+                    let ps = self.coord(self.pos_index(s));
                     sum += w as f64 * (self.u(ps, here) - self.u(ps, there));
                 }
                 *slot = sum;
@@ -392,7 +459,13 @@ impl<'a> Engine<'a> {
     /// a swap preserves), so that term is corrected out.
     fn tension(&self, key: u64) -> f64 {
         let (p, d) = self.decode(key);
-        let q = self.step(p, d).expect("pair keys are in-mesh");
+        let Some(q) = self.step(p, d) else { return 0.0 };
+        // A pair touching a dead core carries no tension: dead cores stay
+        // empty, and forbidding these swaps keeps descent monotone over
+        // the healthy subgraph.
+        if self.is_dead_pos(p) || self.is_dead_pos(q) {
+            return 0.0;
+        }
         let cu = self.placement.cluster_at(self.coord(p));
         let cv = self.placement.cluster_at(self.coord(q));
         match (cu, cv) {
@@ -415,13 +488,19 @@ impl<'a> Engine<'a> {
     /// full rebuilds at the two positions, O(1)-per-edge patches at every
     /// graph neighbour (Algorithm 3 lines 20–26). Appends moved and
     /// affected clusters to `affected`.
-    fn swap(&mut self, key: u64, affected: &mut Vec<u32>) {
+    fn swap(&mut self, key: u64, affected: &mut Vec<u32>) -> Result<(), CoreError> {
         let (p, d) = self.decode(key);
-        let q = self.step(p, d).expect("pair keys are in-mesh");
+        let Some(q) = self.step(p, d) else { return Ok(()) };
         let (pc, qc) = (self.coord(p), self.coord(q));
         let cu = self.placement.cluster_at(pc);
         let cv = self.placement.cluster_at(qc);
-        self.placement.swap_cores(pc, qc).expect("pair coords are in-mesh");
+        self.placement.swap_cores(pc, qc)?;
+        if let Some(u) = cu {
+            self.pos[u as usize] = q;
+        }
+        if let Some(v) = cv {
+            self.pos[v as usize] = p;
+        }
 
         // Patch neighbours before rebuilding the pair's own forces (the
         // patches only touch other positions).
@@ -435,6 +514,7 @@ impl<'a> Engine<'a> {
         }
         self.rebuild_force(p);
         self.rebuild_force(q);
+        Ok(())
     }
 
     /// After `moved` relocated `from → to`, adjust the force of each of
@@ -460,8 +540,8 @@ impl<'a> Engine<'a> {
             if k == moved || Some(k) == other {
                 continue;
             }
-            let pk = self.placement.coord_of(k).expect("complete placement");
-            let pki = self.mesh.index_of(pk);
+            let pki = self.pos_index(k);
+            let pk = self.coord(pki);
             for d in 0..4 {
                 let Some(qi) = self.step(pki, d) else { continue };
                 let there = self.coord(qi);
@@ -523,7 +603,8 @@ mod tests {
         let cfg = FdConfig::default();
         let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
         let mut scratch = p.clone();
-        let engine = Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact);
+        let engine =
+            Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact, None).unwrap();
         assert!((engine.system_energy() - stats.final_energy).abs() < 1e-6);
     }
 
@@ -627,7 +708,9 @@ mod tests {
         let mut p = random_placement(&pcn, mesh, 13).unwrap();
         force_directed(&pcn, &mut p, &FdConfig::default()).unwrap();
         let mut scratch = p.clone();
-        let engine = Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact);
+        let engine =
+            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None)
+                .unwrap();
         for pos in 0..mesh.len() {
             for d in [DOWN, RIGHT] {
                 if let Some(key) = engine.pair_key(pos, d) {
@@ -692,6 +775,53 @@ mod tests {
         let exact = run(TensionMode::Exact);
         let naive = run(TensionMode::PaperNaive);
         assert!(exact <= naive * 1.05, "exact {exact} vs naive {naive}");
+    }
+
+    #[test]
+    fn masked_fd_never_touches_dead_cores_and_descends() {
+        let pcn = random_pcn(40, 4.0, 9).unwrap();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        for i in 0..6u16 {
+            fm.kill_core(Coord::new(i, (i * 3) % 8)).unwrap();
+        }
+        let mut p = crate::random_placement_masked(&pcn, mesh, 31, &fm).unwrap();
+        let stats =
+            force_directed_masked(&pcn, &mut p, &FdConfig::default(), &fm).unwrap();
+        assert!(stats.converged);
+        assert!(stats.final_energy <= stats.initial_energy + 1e-9);
+        p.check_consistency().unwrap();
+        for c in 0..40u32 {
+            assert!(!fm.is_dead(p.coord_of(c).unwrap()), "cluster {c} landed on a dead core");
+        }
+    }
+
+    #[test]
+    fn masked_fd_rejects_placement_on_dead_core() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut p = random_placement(&pcn, mesh, 2).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        // Kill the core cluster 0 sits on: the input is already invalid.
+        let c0 = p.coord_of(0).unwrap();
+        fm.kill_core(c0).unwrap();
+        assert!(matches!(
+            force_directed_masked(&pcn, &mut p, &FdConfig::default(), &fm),
+            Err(CoreError::Hw(HwError::FaultyCore { coord })) if coord == c0
+        ));
+    }
+
+    #[test]
+    fn bad_lambda_is_a_typed_error() {
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut p = random_placement(&pcn, mesh, 2).unwrap();
+        for lambda in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(matches!(
+                force_directed(&pcn, &mut p, &FdConfig { lambda, ..FdConfig::default() }),
+                Err(CoreError::InvalidLambda { .. })
+            ));
+        }
     }
 
     #[test]

@@ -3,5 +3,5 @@
 mod engine;
 mod potential;
 
-pub use engine::{force_directed, FdConfig, FdStats, TensionMode};
+pub use engine::{force_directed, force_directed_masked, FdConfig, FdStats, TensionMode};
 pub use potential::Potential;

@@ -3,11 +3,46 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use snnmap_curves::{Gilbert, Hilbert, SpaceFillingCurve};
-use snnmap_hw::{Mesh, Placement};
+use snnmap_curves::{masked_traversal, Gilbert, Hilbert, SpaceFillingCurve};
+use snnmap_hw::{Coord, FaultMap, Mesh, Placement};
 use snnmap_model::Pcn;
 
 use crate::{toposort, CoreError};
+
+/// Checks that `n` clusters fit on the healthy cores of `mesh` under an
+/// optional fault map, producing the most specific error available.
+fn check_capacity(n: u32, mesh: Mesh, faults: Option<&FaultMap>) -> Result<(), CoreError> {
+    if n as usize > mesh.len() {
+        return Err(CoreError::MeshTooSmall { clusters: n, cores: mesh.len() });
+    }
+    if let Some(fm) = faults {
+        if fm.mesh() != mesh {
+            return Err(CoreError::Hw(snnmap_hw::HwError::InvalidFaultSpec {
+                message: format!("fault map covers {} but placement targets {mesh}", fm.mesh()),
+            }));
+        }
+        if n as usize > fm.healthy_cores() {
+            return Err(CoreError::InsufficientCores {
+                clusters: n,
+                healthy: fm.healthy_cores(),
+                total: mesh.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Builds an unplaced placement, masked when a fault map is supplied.
+fn fresh_placement(
+    mesh: Mesh,
+    n: u32,
+    faults: Option<&FaultMap>,
+) -> Result<Placement, CoreError> {
+    match faults {
+        Some(fm) => Ok(Placement::new_unplaced_masked(mesh, n, fm)?),
+        None => Ok(Placement::new_unplaced(mesh, n)),
+    }
+}
 
 /// Places a topologically sorted cluster sequence along a curve's
 /// traversal: the `i`-th cluster of `order` lands on the `i`-th mesh
@@ -39,11 +74,40 @@ pub fn sequence_placement(
     curve: &dyn SpaceFillingCurve,
     mesh: Mesh,
 ) -> Result<Placement, CoreError> {
-    if order.len() > mesh.len() {
-        return Err(CoreError::MeshTooSmall { clusters: order.len() as u32, cores: mesh.len() });
-    }
-    let traversal = curve.traversal(mesh)?;
-    let mut p = Placement::new_unplaced(mesh, order.len() as u32);
+    sequence_placement_impl(order, curve, mesh, None)
+}
+
+/// Fault-aware [`sequence_placement`]: the curve traversal is *compacted*
+/// over the healthy cores, so the `i`-th cluster lands on the `i`-th
+/// *surviving* core the curve visits. Dead cores are skipped rather than
+/// left as holes in the sequence, preserving as much curve locality as the
+/// fault pattern allows.
+///
+/// # Errors
+///
+/// [`CoreError::InsufficientCores`] when the survivors cannot hold the
+/// sequence; otherwise as [`sequence_placement`].
+pub fn sequence_placement_masked(
+    order: &[u32],
+    curve: &dyn SpaceFillingCurve,
+    mesh: Mesh,
+    faults: &FaultMap,
+) -> Result<Placement, CoreError> {
+    sequence_placement_impl(order, curve, mesh, Some(faults))
+}
+
+fn sequence_placement_impl(
+    order: &[u32],
+    curve: &dyn SpaceFillingCurve,
+    mesh: Mesh,
+    faults: Option<&FaultMap>,
+) -> Result<Placement, CoreError> {
+    check_capacity(order.len() as u32, mesh, faults)?;
+    let traversal = match faults {
+        Some(fm) => masked_traversal(curve, mesh, |c| !fm.is_dead(c))?,
+        None => curve.traversal(mesh)?,
+    };
+    let mut p = fresh_placement(mesh, order.len() as u32, faults)?;
     for (i, &c) in order.iter().enumerate() {
         p.place(c, traversal[i])?;
     }
@@ -75,13 +139,36 @@ pub fn sequence_placement(
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn hsc_placement(pcn: &Pcn, mesh: Mesh) -> Result<Placement, CoreError> {
+    hsc_placement_impl(pcn, mesh, None)
+}
+
+/// Fault-aware [`hsc_placement`]: same curve choice, but the traversal is
+/// compacted over healthy cores (see [`sequence_placement_masked`]).
+///
+/// # Errors
+///
+/// [`CoreError::InsufficientCores`] when the PCN outnumbers the healthy
+/// cores; otherwise as [`hsc_placement`].
+pub fn hsc_placement_masked(
+    pcn: &Pcn,
+    mesh: Mesh,
+    faults: &FaultMap,
+) -> Result<Placement, CoreError> {
+    hsc_placement_impl(pcn, mesh, Some(faults))
+}
+
+fn hsc_placement_impl(
+    pcn: &Pcn,
+    mesh: Mesh,
+    faults: Option<&FaultMap>,
+) -> Result<Placement, CoreError> {
     let order = toposort(pcn);
     let pow2_square =
         mesh.rows() == mesh.cols() && (mesh.rows() as u32).is_power_of_two();
     if pow2_square {
-        sequence_placement(&order, &Hilbert, mesh)
+        sequence_placement_impl(&order, &Hilbert, mesh, faults)
     } else {
-        sequence_placement(&order, &Gilbert, mesh)
+        sequence_placement_impl(&order, &Gilbert, mesh, faults)
     }
 }
 
@@ -92,16 +179,42 @@ pub fn hsc_placement(pcn: &Pcn, mesh: Mesh) -> Result<Placement, CoreError> {
 ///
 /// [`CoreError::MeshTooSmall`] if the PCN outnumbers the cores.
 pub fn random_placement(pcn: &Pcn, mesh: Mesh, seed: u64) -> Result<Placement, CoreError> {
+    random_placement_impl(pcn, mesh, seed, None)
+}
+
+/// Fault-aware [`random_placement`]: clusters shuffled uniformly over the
+/// *healthy* cores only. Deterministic per seed.
+///
+/// # Errors
+///
+/// [`CoreError::InsufficientCores`] when the PCN outnumbers the healthy
+/// cores; otherwise as [`random_placement`].
+pub fn random_placement_masked(
+    pcn: &Pcn,
+    mesh: Mesh,
+    seed: u64,
+    faults: &FaultMap,
+) -> Result<Placement, CoreError> {
+    random_placement_impl(pcn, mesh, seed, Some(faults))
+}
+
+fn random_placement_impl(
+    pcn: &Pcn,
+    mesh: Mesh,
+    seed: u64,
+    faults: Option<&FaultMap>,
+) -> Result<Placement, CoreError> {
     let n = pcn.num_clusters();
-    if n as usize > mesh.len() {
-        return Err(CoreError::MeshTooSmall { clusters: n, cores: mesh.len() });
-    }
+    check_capacity(n, mesh, faults)?;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut cores: Vec<usize> = (0..mesh.len()).collect();
+    let mut cores: Vec<Coord> = match faults {
+        Some(fm) => fm.healthy_iter().collect(),
+        None => mesh.iter().collect(),
+    };
     cores.shuffle(&mut rng);
-    let mut p = Placement::new_unplaced(mesh, n);
+    let mut p = fresh_placement(mesh, n, faults)?;
     for c in 0..n {
-        p.place(c, mesh.coord_of_index(cores[c as usize]))?;
+        p.place(c, cores[c as usize])?;
     }
     Ok(p)
 }
@@ -189,6 +302,64 @@ mod tests {
         let hsc = energy(&pcn, &hsc_placement(&pcn, mesh).unwrap(), cm).unwrap();
         let rnd = energy(&pcn, &random_placement(&pcn, mesh, 3).unwrap(), cm).unwrap();
         assert!(hsc < rnd, "hsc {hsc} should beat random {rnd}");
+    }
+
+    #[test]
+    fn masked_hsc_avoids_dead_cores_and_compacts() {
+        let pcn = chain_pcn(14);
+        let mesh = Mesh::new(4, 4).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        fm.kill_core(snnmap_hw::Coord::new(0, 0)).unwrap();
+        fm.kill_core(snnmap_hw::Coord::new(2, 2)).unwrap();
+        let p = hsc_placement_masked(&pcn, mesh, &fm).unwrap();
+        assert!(p.is_complete());
+        p.check_consistency().unwrap();
+        for c in 0..14u32 {
+            assert!(!fm.is_dead(p.coord_of(c).unwrap()));
+        }
+    }
+
+    #[test]
+    fn masked_placement_reports_insufficient_cores() {
+        let pcn = chain_pcn(9);
+        let mesh = Mesh::new(3, 3).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        fm.kill_core(snnmap_hw::Coord::new(1, 1)).unwrap();
+        assert!(matches!(
+            hsc_placement_masked(&pcn, mesh, &fm),
+            Err(CoreError::InsufficientCores { clusters: 9, healthy: 8, total: 9 })
+        ));
+        assert!(matches!(
+            random_placement_masked(&pcn, mesh, 0, &fm),
+            Err(CoreError::InsufficientCores { .. })
+        ));
+    }
+
+    #[test]
+    fn masked_random_is_seeded_and_fault_avoiding() {
+        let pcn = random_pcn(40, 4.0, 2).unwrap();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        for x in 0..4u16 {
+            fm.kill_core(snnmap_hw::Coord::new(x, x)).unwrap();
+        }
+        let a = random_placement_masked(&pcn, mesh, 11, &fm).unwrap();
+        let b = random_placement_masked(&pcn, mesh, 11, &fm).unwrap();
+        assert_eq!(a, b);
+        a.check_consistency().unwrap();
+        for c in 0..40u32 {
+            assert!(!fm.is_dead(a.coord_of(c).unwrap()));
+        }
+    }
+
+    #[test]
+    fn masked_placement_rejects_mismatched_mesh() {
+        let pcn = chain_pcn(4);
+        let fm = FaultMap::new(Mesh::new(2, 2).unwrap());
+        assert!(matches!(
+            hsc_placement_masked(&pcn, Mesh::new(3, 3).unwrap(), &fm),
+            Err(CoreError::Hw(snnmap_hw::HwError::InvalidFaultSpec { .. }))
+        ));
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!
 //! The [`Mapper`] type packages both steps behind a builder API.
 //!
+//! **Fault-aware mapping**: every phase has a `_masked` variant taking a
+//! [`snnmap_hw::FaultMap`] (or configure [`MapperBuilder::fault_map`]) so
+//! placement and refinement avoid dead cores; [`validate`] and [`repair`]
+//! check and patch an existing placement after the hardware degrades.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,9 +48,14 @@ mod fd;
 mod hsc;
 mod mapper;
 mod toposort;
+mod validate;
 
 pub use error::CoreError;
-pub use fd::{force_directed, FdConfig, FdStats, Potential, TensionMode};
-pub use hsc::{hsc_placement, random_placement, sequence_placement};
+pub use fd::{force_directed, force_directed_masked, FdConfig, FdStats, Potential, TensionMode};
+pub use hsc::{
+    hsc_placement, hsc_placement_masked, random_placement, random_placement_masked,
+    sequence_placement, sequence_placement_masked,
+};
 pub use mapper::{InitialPlacement, MapOutcome, Mapper, MapperBuilder};
 pub use toposort::toposort;
+pub use validate::{repair, validate, RepairMove, RepairOutcome, ValidationReport, Violation};

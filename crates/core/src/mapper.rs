@@ -4,12 +4,13 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use snnmap_curves::{Serpentine, SpaceFillingCurve, Spiral, ZigZag};
-use snnmap_hw::{Mesh, Placement};
+use snnmap_hw::{FaultMap, Mesh, Placement};
 use snnmap_model::Pcn;
 
 use crate::{
-    force_directed, hsc_placement, random_placement, sequence_placement, toposort, CoreError,
-    FdConfig, FdStats, Potential,
+    force_directed, force_directed_masked, hsc_placement, hsc_placement_masked,
+    random_placement, random_placement_masked, sequence_placement, sequence_placement_masked,
+    toposort, CoreError, FdConfig, FdStats, Potential,
 };
 
 /// How the initial placement is produced (step 1 of Figure 3; the
@@ -74,6 +75,7 @@ pub struct MapOutcome {
 pub struct Mapper {
     init: InitialPlacement,
     fd: Option<FdConfig>,
+    faults: Option<FaultMap>,
 }
 
 impl Mapper {
@@ -92,28 +94,46 @@ impl Mapper {
         self.fd.as_ref()
     }
 
-    /// Maps a PCN onto a mesh.
+    /// The configured hardware fault map, if any.
+    pub fn fault_map(&self) -> Option<&FaultMap> {
+        self.faults.as_ref()
+    }
+
+    /// Maps a PCN onto a mesh. When a fault map is configured (see
+    /// [`MapperBuilder::fault_map`]), every phase avoids dead cores: the
+    /// initial curve/random placement uses only healthy cores and the FD
+    /// refinement never swaps into a dead one.
     ///
     /// # Errors
     ///
     /// [`CoreError::MeshTooSmall`] if the PCN outnumbers the cores;
-    /// curve errors cannot occur (generalized Hilbert covers every mesh),
-    /// but propagate as [`CoreError::Curve`] if they do.
+    /// [`CoreError::InsufficientCores`] if it outnumbers the *healthy*
+    /// cores under the configured fault map; curve errors cannot occur
+    /// (generalized Hilbert covers every mesh), but propagate as
+    /// [`CoreError::Curve`] if they do.
     pub fn map(&self, pcn: &Pcn, mesh: Mesh) -> Result<MapOutcome, CoreError> {
+        let fm = self.faults.as_ref();
         let t0 = Instant::now();
-        let mut placement = match self.init {
-            InitialPlacement::Hilbert => hsc_placement(pcn, mesh)?,
-            InitialPlacement::ZigZag => self.curve_init(pcn, mesh, &ZigZag)?,
-            InitialPlacement::Circle => self.curve_init(pcn, mesh, &Spiral)?,
-            InitialPlacement::Serpentine => self.curve_init(pcn, mesh, &Serpentine)?,
-            InitialPlacement::Random(seed) => random_placement(pcn, mesh, seed)?,
+        let mut placement = match (self.init, fm) {
+            (InitialPlacement::Hilbert, None) => hsc_placement(pcn, mesh)?,
+            (InitialPlacement::Hilbert, Some(fm)) => hsc_placement_masked(pcn, mesh, fm)?,
+            (InitialPlacement::ZigZag, _) => self.curve_init(pcn, mesh, &ZigZag)?,
+            (InitialPlacement::Circle, _) => self.curve_init(pcn, mesh, &Spiral)?,
+            (InitialPlacement::Serpentine, _) => self.curve_init(pcn, mesh, &Serpentine)?,
+            (InitialPlacement::Random(seed), None) => random_placement(pcn, mesh, seed)?,
+            (InitialPlacement::Random(seed), Some(fm)) => {
+                random_placement_masked(pcn, mesh, seed, fm)?
+            }
         };
         let init_elapsed = t0.elapsed();
 
         let t1 = Instant::now();
-        let fd_stats = match &self.fd {
-            Some(cfg) => Some(force_directed(pcn, &mut placement, cfg)?),
-            None => None,
+        let fd_stats = match (&self.fd, fm) {
+            (Some(cfg), None) => Some(force_directed(pcn, &mut placement, cfg)?),
+            (Some(cfg), Some(fm)) => {
+                Some(force_directed_masked(pcn, &mut placement, cfg, fm)?)
+            }
+            (None, _) => None,
         };
         let fd_elapsed = t1.elapsed();
 
@@ -127,7 +147,10 @@ impl Mapper {
         curve: &dyn SpaceFillingCurve,
     ) -> Result<Placement, CoreError> {
         let order = toposort(pcn);
-        sequence_placement(&order, curve, mesh)
+        match self.faults.as_ref() {
+            Some(fm) => sequence_placement_masked(&order, curve, mesh, fm),
+            None => sequence_placement(&order, curve, mesh),
+        }
     }
 }
 
@@ -152,11 +175,17 @@ pub struct MapperBuilder {
     init: InitialPlacement,
     fd_enabled: bool,
     fd: FdConfig,
+    faults: Option<FaultMap>,
 }
 
 impl Default for MapperBuilder {
     fn default() -> Self {
-        Self { init: InitialPlacement::Hilbert, fd_enabled: true, fd: FdConfig::default() }
+        Self {
+            init: InitialPlacement::Hilbert,
+            fd_enabled: true,
+            fd: FdConfig::default(),
+            faults: None,
+        }
     }
 }
 
@@ -203,9 +232,16 @@ impl MapperBuilder {
         self
     }
 
+    /// Installs a hardware fault map: the whole pipeline will place and
+    /// refine on healthy cores only (default: none, fault-free hardware).
+    pub fn fault_map(mut self, faults: FaultMap) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Finalizes the mapper.
     pub fn build(self) -> Mapper {
-        Mapper { init: self.init, fd: self.fd_enabled.then_some(self.fd) }
+        Mapper { init: self.init, fd: self.fd_enabled.then_some(self.fd), faults: self.faults }
     }
 }
 
@@ -273,6 +309,40 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn builder_rejects_bad_lambda() {
         let _ = Mapper::builder().lambda(0.0);
+    }
+
+    #[test]
+    fn faulty_hardware_is_avoided_by_every_initialization() {
+        use snnmap_hw::{FaultInjector, FaultPattern};
+        let pcn = random_pcn(50, 4.0, 1).unwrap();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let fm = FaultInjector::new(42)
+            .inject(mesh, &FaultPattern::Uniform { core_rate: 0.08, link_rate: 0.0 })
+            .unwrap();
+        assert!(fm.num_dead_cores() > 0);
+        for init in [
+            InitialPlacement::Hilbert,
+            InitialPlacement::ZigZag,
+            InitialPlacement::Circle,
+            InitialPlacement::Serpentine,
+            InitialPlacement::Random(3),
+        ] {
+            let out = Mapper::builder()
+                .initial_placement(init)
+                .fault_map(fm.clone())
+                .build()
+                .map(&pcn, mesh)
+                .unwrap();
+            assert!(out.placement.is_complete(), "{init:?}");
+            out.placement.check_consistency().unwrap();
+            for c in 0..50u32 {
+                let coord = out.placement.coord_of(c).unwrap();
+                assert!(!fm.is_dead(coord), "{init:?}: cluster {c} on dead core {coord}");
+            }
+            if let Some(stats) = out.fd_stats {
+                assert!(stats.final_energy <= stats.initial_energy + 1e-9, "{init:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Placement validation and repair against hardware faults and per-core
+//! capacity limits.
+//!
+//! Mapping pipelines produce placements; deployed systems develop faults.
+//! [`validate`] checks a placement against a [`FaultMap`] and the paper's
+//! `CON_npc`/`CON_spc` capacity constraints (§3.2), reporting every
+//! [`Violation`]; [`repair`] greedily relocates clusters stranded on dead
+//! cores (and places stragglers) onto the nearest healthy free core, so a
+//! previously good placement survives a fault-map update without a full
+//! re-mapping run.
+
+use std::fmt;
+
+use snnmap_hw::{Coord, CoreConstraints, FaultMap, HwError, Placement};
+use snnmap_model::Pcn;
+
+use crate::CoreError;
+
+/// One way a placement can violate the hardware's ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// The cluster has no core at all.
+    Unplaced {
+        /// The unplaced cluster.
+        cluster: u32,
+    },
+    /// The cluster sits on a core the fault map marks dead.
+    OnDeadCore {
+        /// The stranded cluster.
+        cluster: u32,
+        /// The dead core it occupies.
+        coord: Coord,
+    },
+    /// The cluster exceeds the per-core neuron or synapse capacity.
+    CapacityExceeded {
+        /// The oversized cluster.
+        cluster: u32,
+        /// The core it occupies.
+        coord: Coord,
+        /// Its neuron count.
+        neurons: u32,
+        /// Its synapse count.
+        synapses: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Unplaced { cluster } => write!(f, "cluster {cluster} is unplaced"),
+            Violation::OnDeadCore { cluster, coord } => {
+                write!(f, "cluster {cluster} occupies dead core {coord}")
+            }
+            Violation::CapacityExceeded { cluster, coord, neurons, synapses } => write!(
+                f,
+                "cluster {cluster} at {coord} exceeds core capacity \
+                 ({neurons} neurons, {synapses} synapses)"
+            ),
+        }
+    }
+}
+
+/// The outcome of [`validate`]: every violation found, in cluster order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// `true` when the placement is fully consistent with the hardware.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found, ordered by cluster id.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_ok() {
+            return write!(f, "placement valid");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks `placement` against an optional fault map and optional per-core
+/// capacity constraints.
+///
+/// Injectivity and grid/position agreement are structural invariants of
+/// [`Placement`] itself; this function checks the *external* ground truth:
+/// completeness, dead cores, and `CON_npc`/`CON_spc`.
+///
+/// # Errors
+///
+/// [`CoreError::ClusterCountMismatch`] when `pcn` and `placement` disagree
+/// on the cluster count; [`HwError::InvalidFaultSpec`] (wrapped) when the
+/// fault map covers a different mesh.
+pub fn validate(
+    pcn: &Pcn,
+    placement: &Placement,
+    faults: Option<&FaultMap>,
+    constraints: Option<&CoreConstraints>,
+) -> Result<ValidationReport, CoreError> {
+    check_compatible(pcn, placement, faults)?;
+    let mut violations = Vec::new();
+    for c in 0..placement.len() {
+        let Some(coord) = placement.coord_of(c) else {
+            violations.push(Violation::Unplaced { cluster: c });
+            continue;
+        };
+        if let Some(fm) = faults {
+            if fm.is_dead(coord) {
+                violations.push(Violation::OnDeadCore { cluster: c, coord });
+            }
+        }
+        if let Some(con) = constraints {
+            let neurons = pcn.neurons_in(c);
+            let synapses = pcn.synapses_in(c);
+            if !con.admits(neurons, synapses) {
+                violations.push(Violation::CapacityExceeded { cluster: c, coord, neurons, synapses });
+            }
+        }
+    }
+    Ok(ValidationReport { violations })
+}
+
+/// One relocation performed by [`repair`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairMove {
+    /// The relocated cluster.
+    pub cluster: u32,
+    /// Where it was (`None` if it was unplaced).
+    pub from: Option<Coord>,
+    /// The healthy free core it now occupies.
+    pub to: Coord,
+}
+
+/// The outcome of [`repair`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RepairOutcome {
+    /// Relocations performed, in cluster order.
+    pub moved: Vec<RepairMove>,
+    /// Violations relocation cannot fix (capacity overruns: all cores are
+    /// homogeneous, so no destination would admit the cluster either).
+    pub unrepaired: Vec<Violation>,
+}
+
+/// Greedily repairs a placement in place: clusters on dead cores move to
+/// the nearest healthy free core (ties broken row-major, so repair is
+/// deterministic), unplaced clusters are placed next to their
+/// heaviest-traffic placed neighbour. Capacity violations are reported
+/// back unrepaired — relocation cannot shrink a cluster.
+///
+/// # Errors
+///
+/// As [`validate`], plus [`CoreError::InsufficientCores`] when a stranded
+/// cluster has no healthy free core left to move to. The placement may be
+/// partially repaired when an error is returned.
+pub fn repair(
+    pcn: &Pcn,
+    placement: &mut Placement,
+    faults: Option<&FaultMap>,
+    constraints: Option<&CoreConstraints>,
+) -> Result<RepairOutcome, CoreError> {
+    let report = validate(pcn, placement, faults, constraints)?;
+    let mut outcome = RepairOutcome::default();
+    for v in report.violations() {
+        match *v {
+            Violation::OnDeadCore { cluster, coord } => {
+                let to = relocate(placement, faults, cluster, coord)?;
+                outcome.moved.push(RepairMove { cluster, from: Some(coord), to });
+            }
+            Violation::Unplaced { cluster } => {
+                let anchor = anchor_for(pcn, placement, cluster);
+                let to = nearest_free_healthy(placement, faults, anchor).ok_or_else(|| {
+                    insufficient(placement, faults)
+                })?;
+                placement.place(cluster, to)?;
+                outcome.moved.push(RepairMove { cluster, from: None, to });
+            }
+            Violation::CapacityExceeded { .. } => outcome.unrepaired.push(*v),
+        }
+    }
+    Ok(outcome)
+}
+
+fn check_compatible(
+    pcn: &Pcn,
+    placement: &Placement,
+    faults: Option<&FaultMap>,
+) -> Result<(), CoreError> {
+    if pcn.num_clusters() != placement.len() {
+        return Err(CoreError::ClusterCountMismatch {
+            pcn: pcn.num_clusters(),
+            placement: placement.len(),
+        });
+    }
+    if let Some(fm) = faults {
+        if fm.mesh() != placement.mesh() {
+            return Err(CoreError::Hw(HwError::InvalidFaultSpec {
+                message: format!(
+                    "fault map covers {} but placement targets {}",
+                    fm.mesh(),
+                    placement.mesh()
+                ),
+            }));
+        }
+    }
+    Ok(())
+}
+
+/// Moves `cluster` off the dead core `coord` to the nearest healthy free
+/// core.
+fn relocate(
+    placement: &mut Placement,
+    faults: Option<&FaultMap>,
+    cluster: u32,
+    coord: Coord,
+) -> Result<Coord, CoreError> {
+    let to = nearest_free_healthy(placement, faults, coord)
+        .ok_or_else(|| insufficient(placement, faults))?;
+    placement.unplace(cluster)?;
+    placement.place(cluster, to)?;
+    Ok(to)
+}
+
+/// Where an unplaced cluster would like to be: the core of its
+/// heaviest-traffic placed graph neighbour, or the mesh centre when every
+/// neighbour is itself unplaced.
+fn anchor_for(pcn: &Pcn, placement: &Placement, cluster: u32) -> Coord {
+    let mut best: Option<(f64, Coord)> = None;
+    let neighbors = pcn.out_edges(cluster).chain(pcn.in_edges(cluster));
+    for (k, w) in neighbors {
+        if let Some(c) = placement.coord_of(k) {
+            let w = w as f64;
+            if best.map_or(true, |(bw, _)| w > bw) {
+                best = Some((w, c));
+            }
+        }
+    }
+    match best {
+        Some((_, c)) => c,
+        None => {
+            let mesh = placement.mesh();
+            Coord::new(mesh.rows() / 2, mesh.cols() / 2)
+        }
+    }
+}
+
+/// The free healthy core nearest to `anchor` (Manhattan distance, then
+/// row-major index — fully deterministic).
+fn nearest_free_healthy(
+    placement: &Placement,
+    faults: Option<&FaultMap>,
+    anchor: Coord,
+) -> Option<Coord> {
+    let mesh = placement.mesh();
+    mesh.iter()
+        .filter(|&c| {
+            placement.cluster_at(c).is_none()
+                && !placement.is_masked(c)
+                && faults.map_or(true, |fm| !fm.is_dead(c))
+        })
+        .min_by_key(|&c| (c.manhattan(anchor), mesh.index_of(c)))
+}
+
+fn insufficient(placement: &Placement, faults: Option<&FaultMap>) -> CoreError {
+    let total = placement.mesh().len();
+    let healthy = faults.map_or(total, FaultMap::healthy_cores);
+    CoreError::InsufficientCores { clusters: placement.len(), healthy, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::Mesh;
+    use snnmap_model::PcnBuilder;
+
+    fn pcn_with(n: u32, neurons: u32, synapses: u64) -> Pcn {
+        let mut b = PcnBuilder::new();
+        for _ in 0..n {
+            b.add_cluster(neurons, synapses);
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, (i + 1) as f32).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_placement_validates() {
+        let pcn = pcn_with(4, 10, 100);
+        let mesh = Mesh::new(2, 2).unwrap();
+        let p = crate::hsc_placement(&pcn, mesh).unwrap();
+        let report = validate(&pcn, &p, None, Some(&CoreConstraints::default())).unwrap();
+        assert!(report.is_ok());
+        assert_eq!(report.to_string(), "placement valid");
+    }
+
+    #[test]
+    fn detects_and_repairs_dead_core_occupancy() {
+        let pcn = pcn_with(4, 10, 100);
+        let mesh = Mesh::new(3, 3).unwrap();
+        let p0 = crate::hsc_placement(&pcn, mesh).unwrap();
+        // The fault arrives *after* mapping: kill the core under cluster 2.
+        let dead = p0.coord_of(2).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        fm.kill_core(dead).unwrap();
+        let report = validate(&pcn, &p0, Some(&fm), None).unwrap();
+        assert_eq!(report.violations(), &[Violation::OnDeadCore { cluster: 2, coord: dead }]);
+
+        let mut p = p0.clone();
+        let outcome = repair(&pcn, &mut p, Some(&fm), None).unwrap();
+        assert_eq!(outcome.moved.len(), 1);
+        assert_eq!(outcome.moved[0].cluster, 2);
+        assert_eq!(outcome.moved[0].from, Some(dead));
+        assert!(outcome.unrepaired.is_empty());
+        assert!(validate(&pcn, &p, Some(&fm), None).unwrap().is_ok());
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn repairs_unplaced_clusters_near_their_neighbours() {
+        let pcn = pcn_with(3, 1, 1);
+        let mesh = Mesh::new(3, 3).unwrap();
+        let mut p = Placement::new_unplaced(mesh, 3);
+        p.place(0, Coord::new(0, 0)).unwrap();
+        p.place(2, Coord::new(2, 2)).unwrap();
+        // Cluster 1's heaviest edge is 1<->2 (weight 2 vs 1), so it should
+        // land next to cluster 2.
+        let outcome = repair(&pcn, &mut p, None, None).unwrap();
+        assert_eq!(outcome.moved.len(), 1);
+        let to = outcome.moved[0].to;
+        assert_eq!(to.manhattan(Coord::new(2, 2)), 1);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn capacity_violations_are_reported_not_repaired() {
+        let pcn = pcn_with(2, 100, 10);
+        let mesh = Mesh::new(2, 2).unwrap();
+        let mut p = crate::hsc_placement(&pcn, mesh).unwrap();
+        let tight = CoreConstraints::new(50, 1_000);
+        let report = validate(&pcn, &p, None, Some(&tight)).unwrap();
+        assert_eq!(report.violations().len(), 2);
+        let outcome = repair(&pcn, &mut p, None, Some(&tight)).unwrap();
+        assert!(outcome.moved.is_empty());
+        assert_eq!(outcome.unrepaired.len(), 2);
+    }
+
+    #[test]
+    fn repair_without_room_reports_insufficient_cores() {
+        let pcn = pcn_with(4, 1, 1);
+        let mesh = Mesh::new(2, 2).unwrap();
+        let mut p = crate::hsc_placement(&pcn, mesh).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        fm.kill_core(p.coord_of(0).unwrap()).unwrap();
+        // Full mesh, one core now dead: nowhere to go.
+        assert!(matches!(
+            repair(&pcn, &mut p, Some(&fm), None),
+            Err(CoreError::InsufficientCores { clusters: 4, healthy: 3, total: 4 })
+        ));
+    }
+
+    #[test]
+    fn mismatched_inputs_are_typed_errors() {
+        let pcn = pcn_with(2, 1, 1);
+        let p = Placement::new_unplaced(Mesh::new(2, 2).unwrap(), 3);
+        assert!(matches!(
+            validate(&pcn, &p, None, None),
+            Err(CoreError::ClusterCountMismatch { pcn: 2, placement: 3 })
+        ));
+        let p = Placement::new_unplaced(Mesh::new(2, 2).unwrap(), 2);
+        let fm = FaultMap::new(Mesh::new(3, 3).unwrap());
+        assert!(matches!(
+            validate(&pcn, &p, Some(&fm), None),
+            Err(CoreError::Hw(HwError::InvalidFaultSpec { .. }))
+        ));
+    }
+}

@@ -49,6 +49,41 @@ pub trait SpaceFillingCurve {
     }
 }
 
+/// A curve traversal restricted to the cores `keep` accepts, preserving
+/// the curve's visit order: the 1D sequence is *compacted* over the
+/// surviving cores, so locality degrades gracefully instead of leaving
+/// holes in the placed sequence.
+///
+/// This is the fault-aware counterpart of
+/// [`SpaceFillingCurve::traversal`]: passing a fault map's "is healthy"
+/// predicate yields the visit order over usable cores only.
+///
+/// # Errors
+///
+/// Any domain error of the underlying curve.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_curves::{masked_traversal, Hilbert};
+/// use snnmap_hw::{Coord, Mesh};
+///
+/// let mesh = Mesh::new(4, 4)?;
+/// let all = masked_traversal(&Hilbert, mesh, |_| true)?;
+/// assert_eq!(all.len(), 16);
+/// let survivors = masked_traversal(&Hilbert, mesh, |c| c != Coord::new(0, 0))?;
+/// assert_eq!(survivors.len(), 15);
+/// assert!(!survivors.contains(&Coord::new(0, 0)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn masked_traversal(
+    curve: &dyn SpaceFillingCurve,
+    mesh: Mesh,
+    keep: impl Fn(Coord) -> bool,
+) -> Result<Vec<Coord>, CurveError> {
+    Ok(curve.traversal(mesh)?.into_iter().filter(|&c| keep(c)).collect())
+}
+
 /// Test-support: assert a traversal is a permutation of the mesh and each
 /// step moves exactly one hop. Exposed so downstream crates can validate
 /// custom curves in their own tests.
@@ -136,6 +171,18 @@ mod tests {
             RowMajor.coord(mesh, 6),
             Err(CurveError::IndexOutOfRange { index: 6, len: 6 })
         ));
+    }
+
+    #[test]
+    fn masked_traversal_is_an_order_preserving_subsequence() {
+        let mesh = Mesh::new(2, 3).unwrap();
+        let full = RowMajor.traversal(mesh).unwrap();
+        let masked = masked_traversal(&RowMajor, mesh, |c| c.y != 1).unwrap();
+        assert_eq!(masked.len(), 4);
+        let mut it = full.iter();
+        for c in &masked {
+            assert!(it.any(|f| f == c), "{c} out of curve order");
+        }
     }
 
     #[test]

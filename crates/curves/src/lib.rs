@@ -44,7 +44,7 @@ mod hilbert;
 mod spiral;
 mod zigzag;
 
-pub use curve::SpaceFillingCurve;
+pub use curve::{masked_traversal, SpaceFillingCurve};
 pub use error::CurveError;
 pub use gilbert::Gilbert;
 pub use hilbert::Hilbert;

@@ -57,6 +57,24 @@ pub enum HwError {
         /// Number of cores available.
         cores: u64,
     },
+    /// Attempted to place (or move) a cluster onto a core marked dead by
+    /// the fault map.
+    FaultyCore {
+        /// The dead core's coordinate.
+        coord: Coord,
+    },
+    /// A link operation referenced two cores that are not mesh neighbours.
+    NotAdjacent {
+        /// First endpoint.
+        a: Coord,
+        /// Second endpoint.
+        b: Coord,
+    },
+    /// A fault specification was malformed (bad rate, mesh mismatch, …).
+    InvalidFaultSpec {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -82,6 +100,15 @@ impl fmt::Display for HwError {
             HwError::InsufficientCapacity { clusters, cores } => {
                 write!(f, "{clusters} clusters cannot fit on {cores} cores")
             }
+            HwError::FaultyCore { coord } => {
+                write!(f, "core {coord} is marked dead by the fault map")
+            }
+            HwError::NotAdjacent { a, b } => {
+                write!(f, "cores {a} and {b} are not mesh neighbours")
+            }
+            HwError::InvalidFaultSpec { message } => {
+                write!(f, "invalid fault specification: {message}")
+            }
         }
     }
 }
@@ -103,6 +130,9 @@ mod tests {
             HwError::UnknownCluster { cluster: 10, len: 5 },
             HwError::Unplaced { cluster: 2 },
             HwError::InsufficientCapacity { clusters: 10, cores: 9 },
+            HwError::FaultyCore { coord: Coord::new(2, 2) },
+            HwError::NotAdjacent { a: Coord::new(0, 0), b: Coord::new(2, 2) },
+            HwError::InvalidFaultSpec { message: "rate out of range".into() },
         ];
         for e in errs {
             let msg = e.to_string();

@@ -1,0 +1,491 @@
+//! The hardware fault model: dead cores and faulty mesh links.
+//!
+//! Real neuromorphic chips ship with manufacturing defects and develop
+//! in-field faults; a mapper that assumes a pristine mesh produces
+//! placements a defective chip cannot load. [`FaultMap`] records which
+//! cores and links are unusable, and [`FaultInjector`] generates seeded,
+//! reproducible fault maps for evaluation ([`FaultPattern::Uniform`]
+//! random defects, [`FaultPattern::Clustered`] regional damage, or an
+//! [`FaultPattern::Explicit`] list from a chip's test report).
+//!
+//! Determinism guarantees: a `FaultMap` iterates its dead cores in
+//! row-major mesh order and its faulty links in canonical sorted order,
+//! and [`FaultInjector::inject`] is a pure function of `(seed, mesh,
+//! pattern)` — the same inputs always produce an identical map.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Coord, HwError, Mesh};
+
+/// A canonical undirected mesh link: the two endpoints in sorted order.
+///
+/// Links are bidirectional (§3.1), so `(a, b)` and `(b, a)` name the same
+/// wire; the canonical form keys the smaller coordinate first.
+pub type Link = (Coord, Coord);
+
+#[inline]
+fn canonical_link(a: Coord, b: Coord) -> Link {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Which cores and links of a mesh are defective.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::{Coord, FaultMap, Mesh};
+///
+/// let mesh = Mesh::new(4, 4)?;
+/// let mut faults = FaultMap::new(mesh);
+/// faults.kill_core(Coord::new(1, 1))?;
+/// faults.fail_link(Coord::new(0, 0), Coord::new(0, 1))?;
+/// assert!(faults.is_dead(Coord::new(1, 1)));
+/// assert!(!faults.link_ok(Coord::new(0, 1), Coord::new(0, 0)));
+/// assert_eq!(faults.healthy_cores(), 15);
+/// # Ok::<(), snnmap_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultMap {
+    mesh: Mesh,
+    /// Mesh linear index → dead flag.
+    dead: Vec<bool>,
+    n_dead: u32,
+    /// Faulty links in canonical (sorted-endpoint) form.
+    links: BTreeSet<Link>,
+}
+
+impl FaultMap {
+    /// A fully healthy mesh.
+    pub fn new(mesh: Mesh) -> Self {
+        Self { mesh, dead: vec![false; mesh.len()], n_dead: 0, links: BTreeSet::new() }
+    }
+
+    /// Builds a map from explicit dead-core and faulty-link lists
+    /// (duplicates are collapsed).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::OutOfBounds`] for a coordinate outside the mesh,
+    /// [`HwError::NotAdjacent`] for a link between non-neighbours.
+    pub fn from_parts(mesh: Mesh, dead_cores: &[Coord], links: &[Link]) -> Result<Self, HwError> {
+        let mut map = Self::new(mesh);
+        for &c in dead_cores {
+            map.kill_core(c)?;
+        }
+        for &(a, b) in links {
+            map.fail_link(a, b)?;
+        }
+        Ok(map)
+    }
+
+    /// The mesh this fault map describes.
+    #[inline]
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Marks a core dead. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::OutOfBounds`] for a coordinate outside the mesh.
+    pub fn kill_core(&mut self, coord: Coord) -> Result<(), HwError> {
+        if !self.mesh.contains(coord) {
+            return Err(HwError::OutOfBounds { coord });
+        }
+        let idx = self.mesh.index_of(coord);
+        if !self.dead[idx] {
+            self.dead[idx] = true;
+            self.n_dead += 1;
+        }
+        Ok(())
+    }
+
+    /// Marks the link between two neighbouring cores faulty. Idempotent;
+    /// endpoint order is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::OutOfBounds`] or [`HwError::NotAdjacent`].
+    pub fn fail_link(&mut self, a: Coord, b: Coord) -> Result<(), HwError> {
+        for c in [a, b] {
+            if !self.mesh.contains(c) {
+                return Err(HwError::OutOfBounds { coord: c });
+            }
+        }
+        if !a.is_adjacent(b) {
+            return Err(HwError::NotAdjacent { a, b });
+        }
+        self.links.insert(canonical_link(a, b));
+        Ok(())
+    }
+
+    /// Whether a core is dead. Out-of-mesh coordinates read as dead: they
+    /// are equally unusable for placement.
+    #[inline]
+    pub fn is_dead(&self, coord: Coord) -> bool {
+        !self.mesh.contains(coord) || self.dead[self.mesh.index_of(coord)]
+    }
+
+    /// Whether the link between two neighbouring cores is healthy (either
+    /// endpoint order). Non-adjacent or out-of-mesh pairs read as broken.
+    #[inline]
+    pub fn link_ok(&self, a: Coord, b: Coord) -> bool {
+        self.mesh.contains(a)
+            && self.mesh.contains(b)
+            && a.is_adjacent(b)
+            && !self.links.contains(&canonical_link(a, b))
+    }
+
+    /// Number of dead cores.
+    #[inline]
+    pub fn num_dead_cores(&self) -> u32 {
+        self.n_dead
+    }
+
+    /// Number of faulty links.
+    #[inline]
+    pub fn num_faulty_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of usable (non-dead) cores.
+    #[inline]
+    pub fn healthy_cores(&self) -> usize {
+        self.mesh.len() - self.n_dead as usize
+    }
+
+    /// Whether the map records no faults at all.
+    #[inline]
+    pub fn is_healthy(&self) -> bool {
+        self.n_dead == 0 && self.links.is_empty()
+    }
+
+    /// Iterates dead cores in row-major mesh order (deterministic).
+    pub fn dead_cores(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.mesh.iter().filter(|&c| self.dead[self.mesh.index_of(c)])
+    }
+
+    /// Iterates faulty links in canonical sorted order (deterministic).
+    pub fn faulty_links(&self) -> impl Iterator<Item = Link> + '_ {
+        self.links.iter().copied()
+    }
+
+    /// Iterates healthy cores in row-major mesh order.
+    pub fn healthy_iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.mesh.iter().filter(|&c| !self.dead[self.mesh.index_of(c)])
+    }
+}
+
+impl fmt::Display for FaultMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} dead cores, {} faulty links on {}",
+            self.n_dead,
+            self.links.len(),
+            self.mesh
+        )
+    }
+}
+
+/// The shape of injected faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPattern {
+    /// Each core dies independently; `core_rate`/`link_rate` are the
+    /// fractions of cores/links marked faulty (rounded to the nearest
+    /// count). Models uniformly scattered manufacturing defects.
+    Uniform {
+        /// Fraction of cores to kill, in `[0, 1)`.
+        core_rate: f64,
+        /// Fraction of links to break, in `[0, 1)`.
+        link_rate: f64,
+    },
+    /// Dead cores concentrate around `regions` randomly chosen centers —
+    /// the closest cores to any center die first. Models localized damage
+    /// (a bad quadrant, a cracked corner).
+    Clustered {
+        /// Fraction of cores to kill, in `[0, 1)`.
+        core_rate: f64,
+        /// Number of damage centers (at least 1).
+        regions: u32,
+    },
+    /// An exact list, e.g. from a chip's production test report.
+    Explicit {
+        /// Dead cores.
+        dead_cores: Vec<Coord>,
+        /// Faulty links (endpoint order irrelevant).
+        faulty_links: Vec<Link>,
+    },
+}
+
+/// Deterministic fault generator: the same `(seed, mesh, pattern)` triple
+/// always yields an identical [`FaultMap`].
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::{FaultInjector, FaultPattern, Mesh};
+///
+/// let mesh = Mesh::new(16, 16)?;
+/// let pattern = FaultPattern::Uniform { core_rate: 0.05, link_rate: 0.0 };
+/// let a = FaultInjector::new(7).inject(mesh, &pattern)?;
+/// let b = FaultInjector::new(7).inject(mesh, &pattern)?;
+/// assert_eq!(a, b);
+/// assert_eq!(a.num_dead_cores(), 13); // round(0.05 * 256)
+/// # Ok::<(), snnmap_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjector {
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The injector's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates a fault map on `mesh` following `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidFaultSpec`] for rates outside `[0, 1)` or zero
+    /// regions; [`HwError::OutOfBounds`]/[`HwError::NotAdjacent`] for bad
+    /// explicit lists.
+    pub fn inject(&self, mesh: Mesh, pattern: &FaultPattern) -> Result<FaultMap, HwError> {
+        match pattern {
+            FaultPattern::Uniform { core_rate, link_rate } => {
+                check_rate(*core_rate, "core_rate")?;
+                check_rate(*link_rate, "link_rate")?;
+                let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+                let mut map = FaultMap::new(mesh);
+
+                let n_dead = (core_rate * mesh.len() as f64).round() as usize;
+                let mut cores: Vec<usize> = (0..mesh.len()).collect();
+                cores.shuffle(&mut rng);
+                for &idx in cores.iter().take(n_dead) {
+                    map.kill_core(mesh.coord_of_index(idx))?;
+                }
+
+                let mut links = all_links(mesh);
+                let n_faulty = (link_rate * links.len() as f64).round() as usize;
+                links.shuffle(&mut rng);
+                for &(a, b) in links.iter().take(n_faulty) {
+                    map.fail_link(a, b)?;
+                }
+                Ok(map)
+            }
+            FaultPattern::Clustered { core_rate, regions } => {
+                check_rate(*core_rate, "core_rate")?;
+                if *regions == 0 {
+                    return Err(HwError::InvalidFaultSpec {
+                        message: "clustered pattern needs at least one region".into(),
+                    });
+                }
+                let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+                let mut cores: Vec<usize> = (0..mesh.len()).collect();
+                cores.shuffle(&mut rng);
+                let centers: Vec<Coord> = cores
+                    .iter()
+                    .take((*regions as usize).min(mesh.len()))
+                    .map(|&i| mesh.coord_of_index(i))
+                    .collect();
+                // Kill the budget closest-to-any-center cores; index as a
+                // deterministic tie-breaker.
+                let mut by_dist: Vec<(u32, usize)> = (0..mesh.len())
+                    .map(|i| {
+                        let c = mesh.coord_of_index(i);
+                        let d = centers.iter().map(|&z| z.manhattan(c)).min().unwrap_or(0);
+                        (d, i)
+                    })
+                    .collect();
+                by_dist.sort_unstable();
+                let n_dead = (core_rate * mesh.len() as f64).round() as usize;
+                let mut map = FaultMap::new(mesh);
+                for &(_, i) in by_dist.iter().take(n_dead) {
+                    map.kill_core(mesh.coord_of_index(i))?;
+                }
+                Ok(map)
+            }
+            FaultPattern::Explicit { dead_cores, faulty_links } => {
+                FaultMap::from_parts(mesh, dead_cores, faulty_links)
+            }
+        }
+    }
+}
+
+fn check_rate(rate: f64, name: &str) -> Result<(), HwError> {
+    if !(rate.is_finite() && (0.0..1.0).contains(&rate)) {
+        return Err(HwError::InvalidFaultSpec {
+            message: format!("{name} must be in [0, 1), got {rate}"),
+        });
+    }
+    Ok(())
+}
+
+/// Every undirected link of the mesh in canonical order.
+fn all_links(mesh: Mesh) -> Vec<Link> {
+    let mut links = Vec::with_capacity(2 * mesh.len());
+    for c in mesh.iter() {
+        if c.x + 1 < mesh.rows() {
+            links.push(canonical_link(c, Coord::new(c.x + 1, c.y)));
+        }
+        if c.y + 1 < mesh.cols() {
+            links.push(canonical_link(c, Coord::new(c.x, c.y + 1)));
+        }
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4() -> Mesh {
+        Mesh::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn empty_map_is_healthy() {
+        let m = FaultMap::new(mesh4());
+        assert!(m.is_healthy());
+        assert_eq!(m.healthy_cores(), 16);
+        assert_eq!(m.num_dead_cores(), 0);
+        assert_eq!(m.dead_cores().count(), 0);
+        assert!(!m.is_dead(Coord::new(0, 0)));
+        assert!(m.link_ok(Coord::new(0, 0), Coord::new(0, 1)));
+    }
+
+    #[test]
+    fn kill_core_is_idempotent_and_bounded() {
+        let mut m = FaultMap::new(mesh4());
+        m.kill_core(Coord::new(1, 1)).unwrap();
+        m.kill_core(Coord::new(1, 1)).unwrap();
+        assert_eq!(m.num_dead_cores(), 1);
+        assert!(m.is_dead(Coord::new(1, 1)));
+        assert!(matches!(m.kill_core(Coord::new(9, 9)), Err(HwError::OutOfBounds { .. })));
+        // Out-of-mesh coordinates read as dead.
+        assert!(m.is_dead(Coord::new(9, 9)));
+    }
+
+    #[test]
+    fn links_are_undirected_and_validated() {
+        let mut m = FaultMap::new(mesh4());
+        m.fail_link(Coord::new(0, 1), Coord::new(0, 0)).unwrap();
+        assert!(!m.link_ok(Coord::new(0, 0), Coord::new(0, 1)));
+        assert!(!m.link_ok(Coord::new(0, 1), Coord::new(0, 0)));
+        m.fail_link(Coord::new(0, 0), Coord::new(0, 1)).unwrap();
+        assert_eq!(m.num_faulty_links(), 1);
+        assert!(matches!(
+            m.fail_link(Coord::new(0, 0), Coord::new(2, 2)),
+            Err(HwError::NotAdjacent { .. })
+        ));
+        assert!(matches!(
+            m.fail_link(Coord::new(0, 0), Coord::new(9, 0)),
+            Err(HwError::OutOfBounds { .. })
+        ));
+        // Non-adjacent pairs read as broken.
+        assert!(!m.link_ok(Coord::new(0, 0), Coord::new(3, 3)));
+    }
+
+    #[test]
+    fn uniform_injection_is_deterministic_and_sized() {
+        let mesh = Mesh::new(16, 16).unwrap();
+        let p = FaultPattern::Uniform { core_rate: 0.05, link_rate: 0.05 };
+        let a = FaultInjector::new(42).inject(mesh, &p).unwrap();
+        let b = FaultInjector::new(42).inject(mesh, &p).unwrap();
+        let c = FaultInjector::new(43).inject(mesh, &p).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.num_dead_cores(), 13); // round(0.05 * 256)
+        assert_eq!(a.num_faulty_links(), 24); // round(0.05 * 480)
+        assert_eq!(a.healthy_cores(), 256 - 13);
+        assert_eq!(a.dead_cores().count(), 13);
+    }
+
+    #[test]
+    fn clustered_injection_concentrates_damage() {
+        let mesh = Mesh::new(16, 16).unwrap();
+        let p = FaultPattern::Clustered { core_rate: 0.1, regions: 1 };
+        let m = FaultInjector::new(5).inject(mesh, &p).unwrap();
+        assert_eq!(m.num_dead_cores(), 26);
+        // All dead cores lie within a small radius of each other: the
+        // maximum pairwise distance of ~26 closest-to-center cores is far
+        // below the mesh diameter.
+        let dead: Vec<Coord> = m.dead_cores().collect();
+        let max_pair = dead
+            .iter()
+            .flat_map(|&a| dead.iter().map(move |&b| a.manhattan(b)))
+            .max()
+            .unwrap();
+        assert!(max_pair <= 10, "clustered faults spread too far: {max_pair}");
+        // Deterministic.
+        assert_eq!(m, FaultInjector::new(5).inject(mesh, &p).unwrap());
+    }
+
+    #[test]
+    fn explicit_injection_roundtrips() {
+        let dead = vec![Coord::new(0, 0), Coord::new(2, 3)];
+        let links = vec![(Coord::new(1, 1), Coord::new(1, 2))];
+        let p = FaultPattern::Explicit { dead_cores: dead.clone(), faulty_links: links.clone() };
+        let m = FaultInjector::new(0).inject(mesh4(), &p).unwrap();
+        assert_eq!(m.dead_cores().collect::<Vec<_>>(), dead);
+        assert_eq!(m.faulty_links().collect::<Vec<_>>(), links);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let inj = FaultInjector::new(1);
+        for rate in [-0.1, 1.0, 1.5, f64::NAN] {
+            assert!(matches!(
+                inj.inject(mesh4(), &FaultPattern::Uniform { core_rate: rate, link_rate: 0.0 }),
+                Err(HwError::InvalidFaultSpec { .. })
+            ));
+        }
+        assert!(matches!(
+            inj.inject(mesh4(), &FaultPattern::Clustered { core_rate: 0.1, regions: 0 }),
+            Err(HwError::InvalidFaultSpec { .. })
+        ));
+        assert!(inj
+            .inject(
+                mesh4(),
+                &FaultPattern::Explicit {
+                    dead_cores: vec![Coord::new(9, 9)],
+                    faulty_links: vec![],
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn all_links_counts_match_formula() {
+        // An N x M mesh has N(M-1) + M(N-1) links.
+        for (r, c) in [(1u16, 1u16), (2, 2), (3, 5), (16, 16)] {
+            let mesh = Mesh::new(r, c).unwrap();
+            let expect = r as usize * (c as usize - 1) + c as usize * (r as usize - 1);
+            assert_eq!(all_links(mesh).len(), expect, "{r}x{c}");
+        }
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut m = FaultMap::new(mesh4());
+        m.kill_core(Coord::new(0, 0)).unwrap();
+        assert!(m.to_string().contains("1 dead cores"));
+    }
+}

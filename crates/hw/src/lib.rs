@@ -12,6 +12,8 @@
 //! * [`CostModel`] — the interconnect energy/latency constants
 //!   `EN_r`, `EN_w`, `L_r`, `L_w` (Table 2),
 //! * [`Placement`] — an injective map from cluster indices to cores,
+//! * [`FaultMap`] / [`FaultInjector`] — defective cores and mesh links,
+//!   plus seeded deterministic fault generation,
 //! * [`presets`] — the platforms of Table 1 and the paper's target hardware.
 //!
 //! # Examples
@@ -35,12 +37,14 @@
 
 mod constraints;
 mod error;
+mod fault;
 mod mesh;
 mod placement;
 pub mod presets;
 
 pub use constraints::{CoreConstraints, CostModel};
 pub use error::HwError;
+pub use fault::{FaultInjector, FaultMap, FaultPattern, Link};
 pub use mesh::{Coord, CoordIter, Mesh};
 pub use placement::Placement;
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::{ClusterId, Coord, HwError, Mesh};
+use crate::{ClusterId, Coord, FaultMap, HwError, Mesh};
 
 /// A (partial) placement `P : V_P → S` — an injective map from cluster
 /// indices to mesh cores (§3.3, eqs. 7–8).
@@ -42,6 +42,9 @@ pub struct Placement {
     pos: Vec<Option<Coord>>,
     /// Mesh linear index → occupying cluster.
     grid: Vec<Option<ClusterId>>,
+    /// Mesh linear index → unplaceable (dead core). Empty when no fault
+    /// mask is attached, so fault-free placements pay nothing.
+    masked: Vec<bool>,
     placed: u32,
 }
 
@@ -62,8 +65,59 @@ impl Placement {
             mesh,
             pos: vec![None; n_clusters as usize],
             grid: vec![None; mesh.len()],
+            masked: Vec::new(),
             placed: 0,
         }
+    }
+
+    /// Creates an empty placement whose dead cores (per `faults`) are
+    /// unplaceable: [`Placement::place`] and [`Placement::swap_cores`]
+    /// refuse to put a cluster on them.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidFaultSpec`] if `faults` describes a different
+    /// mesh; [`HwError::InsufficientCapacity`] if `n_clusters` exceeds the
+    /// number of healthy cores.
+    pub fn new_unplaced_masked(
+        mesh: Mesh,
+        n_clusters: u32,
+        faults: &FaultMap,
+    ) -> Result<Self, HwError> {
+        if faults.mesh() != mesh {
+            return Err(HwError::InvalidFaultSpec {
+                message: format!("fault map is for {}, placement for {mesh}", faults.mesh()),
+            });
+        }
+        if n_clusters as usize > faults.healthy_cores() {
+            return Err(HwError::InsufficientCapacity {
+                clusters: n_clusters as u64,
+                cores: faults.healthy_cores() as u64,
+            });
+        }
+        let masked = mesh.iter().map(|c| faults.is_dead(c)).collect();
+        Ok(Self {
+            mesh,
+            pos: vec![None; n_clusters as usize],
+            grid: vec![None; mesh.len()],
+            masked,
+            placed: 0,
+        })
+    }
+
+    /// Whether core `coord` is masked off (dead). Out-of-mesh coordinates
+    /// read as unmasked; they fail placement with
+    /// [`HwError::OutOfBounds`] instead.
+    #[inline]
+    pub fn is_masked(&self, coord: Coord) -> bool {
+        !self.masked.is_empty()
+            && self.mesh.contains(coord)
+            && self.masked[self.mesh.index_of(coord)]
+    }
+
+    /// Number of masked (unplaceable) cores.
+    pub fn masked_count(&self) -> usize {
+        self.masked.iter().filter(|&&m| m).count()
     }
 
     /// Builds a complete placement from a per-cluster coordinate sequence:
@@ -166,6 +220,9 @@ impl Placement {
         if !self.mesh.contains(coord) {
             return Err(HwError::OutOfBounds { coord });
         }
+        if self.is_masked(coord) {
+            return Err(HwError::FaultyCore { coord });
+        }
         let idx = self.mesh.index_of(coord);
         if let Some(occupant) = self.grid[idx] {
             return Err(HwError::CoreOccupied { coord, occupant });
@@ -198,7 +255,9 @@ impl Placement {
     ///
     /// # Errors
     ///
-    /// [`HwError::OutOfBounds`] if either coordinate is outside the mesh.
+    /// [`HwError::OutOfBounds`] if either coordinate is outside the mesh;
+    /// [`HwError::FaultyCore`] if the exchange would move a cluster onto a
+    /// masked (dead) core.
     pub fn swap_cores(&mut self, a: Coord, b: Coord) -> Result<(), HwError> {
         for c in [a, b] {
             if !self.mesh.contains(c) {
@@ -210,6 +269,12 @@ impl Placement {
         }
         let ia = self.mesh.index_of(a);
         let ib = self.mesh.index_of(b);
+        if self.grid[ia].is_some() && self.is_masked(b) {
+            return Err(HwError::FaultyCore { coord: b });
+        }
+        if self.grid[ib].is_some() && self.is_masked(a) {
+            return Err(HwError::FaultyCore { coord: a });
+        }
         self.grid.swap(ia, ib);
         if let Some(cl) = self.grid[ia] {
             self.pos[cl as usize] = Some(a);
@@ -253,6 +318,9 @@ impl Placement {
                 }
                 if self.grid[self.mesh.index_of(*c)] != Some(i as ClusterId) {
                     return Err(format!("grid/pos mismatch for cluster {i} at {c}"));
+                }
+                if self.is_masked(*c) {
+                    return Err(format!("cluster {i} occupies masked (dead) core {c}"));
                 }
                 seen += 1;
             }
@@ -405,6 +473,56 @@ mod tests {
         p.place(0, Coord::new(1, 1)).unwrap();
         let v: Vec<_> = p.iter_placed().collect();
         assert_eq!(v, vec![(0, Coord::new(1, 1)), (2, Coord::new(0, 0))]);
+    }
+
+    #[test]
+    fn masked_cores_are_unplaceable() {
+        use crate::FaultMap;
+        let mut faults = FaultMap::new(mesh3());
+        faults.kill_core(Coord::new(1, 1)).unwrap();
+        let mut p = Placement::new_unplaced_masked(mesh3(), 4, &faults).unwrap();
+        assert!(p.is_masked(Coord::new(1, 1)));
+        assert_eq!(p.masked_count(), 1);
+        assert_eq!(
+            p.place(0, Coord::new(1, 1)),
+            Err(HwError::FaultyCore { coord: Coord::new(1, 1) })
+        );
+        p.place(0, Coord::new(0, 0)).unwrap();
+        // A swap may not move an occupant onto the dead core...
+        assert_eq!(
+            p.swap_cores(Coord::new(0, 0), Coord::new(1, 1)),
+            Err(HwError::FaultyCore { coord: Coord::new(1, 1) })
+        );
+        // ...but swaps between healthy cores still work.
+        p.swap_cores(Coord::new(0, 0), Coord::new(2, 2)).unwrap();
+        assert_eq!(p.coord_of(0), Some(Coord::new(2, 2)));
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn masked_constructor_enforces_healthy_capacity() {
+        use crate::FaultMap;
+        let mut faults = FaultMap::new(mesh3());
+        faults.kill_core(Coord::new(0, 0)).unwrap();
+        // 9 cores, 1 dead: 9 clusters no longer fit.
+        assert!(matches!(
+            Placement::new_unplaced_masked(mesh3(), 9, &faults),
+            Err(HwError::InsufficientCapacity { clusters: 9, cores: 8 })
+        ));
+        assert!(Placement::new_unplaced_masked(mesh3(), 8, &faults).is_ok());
+        // Mesh mismatch is rejected.
+        let other = FaultMap::new(Mesh::new(2, 2).unwrap());
+        assert!(matches!(
+            Placement::new_unplaced_masked(mesh3(), 1, &other),
+            Err(HwError::InvalidFaultSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn unmasked_placement_reports_no_masks() {
+        let p = Placement::new_unplaced(mesh3(), 2);
+        assert!(!p.is_masked(Coord::new(0, 0)));
+        assert_eq!(p.masked_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Fault-map JSON serialization.
+//!
+//! The rendered document is fully deterministic: dead cores are listed in
+//! row-major order and faulty links sorted canonically (both guaranteed
+//! by [`FaultMap`]'s iteration order), so the same fault map — e.g. one
+//! produced by a seeded
+//! [`FaultInjector`](snnmap_hw::FaultInjector) — always renders to
+//! byte-identical JSON.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use snnmap_hw::{Coord, FaultMap, Mesh};
+
+use crate::IoError;
+
+/// The JSON document shape for a fault map.
+#[derive(Debug, Serialize, Deserialize)]
+struct FaultDoc {
+    format: String,
+    rows: u16,
+    cols: u16,
+    /// Dead cores as `[x, y]`, row-major.
+    dead_cores: Vec<(u16, u16)>,
+    /// Faulty links as `[[x, y], [x, y]]` with canonically ordered
+    /// endpoints, sorted.
+    faulty_links: Vec<((u16, u16), (u16, u16))>,
+}
+
+/// Renders a fault map as pretty-printed JSON (byte-identical for equal
+/// fault maps).
+pub fn render_faults(faults: &FaultMap) -> String {
+    let doc = FaultDoc {
+        format: "snnmap-faults-v1".to_string(),
+        rows: faults.mesh().rows(),
+        cols: faults.mesh().cols(),
+        dead_cores: faults.dead_cores().map(|c| (c.x, c.y)).collect(),
+        faulty_links: faults
+            .faulty_links()
+            .map(|(a, b)| ((a.x, a.y), (b.x, b.y)))
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("fault doc always serializes")
+}
+
+/// Parses a fault map from JSON.
+///
+/// # Errors
+///
+/// [`IoError::Json`] for malformed JSON; [`IoError::Invalid`] for a wrong
+/// format tag, a bad mesh, out-of-mesh coordinates, or non-adjacent link
+/// endpoints.
+pub fn parse_faults(text: &str) -> Result<FaultMap, IoError> {
+    let doc: FaultDoc = serde_json::from_str(text)?;
+    if doc.format != "snnmap-faults-v1" {
+        return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });
+    }
+    let mesh = Mesh::new(doc.rows, doc.cols)
+        .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    let mut fm = FaultMap::new(mesh);
+    for (x, y) in doc.dead_cores {
+        fm.kill_core(Coord::new(x, y))
+            .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    }
+    for ((ax, ay), (bx, by)) in doc.faulty_links {
+        fm.fail_link(Coord::new(ax, ay), Coord::new(bx, by))
+            .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    }
+    Ok(fm)
+}
+
+/// Reads a fault map from a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] plus all [`parse_faults`] errors.
+pub fn read_faults(path: &Path) -> Result<FaultMap, IoError> {
+    parse_faults(&fs::read_to_string(path)?)
+}
+
+/// Writes a fault map to a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] for filesystem failures.
+pub fn write_faults(path: &Path, faults: &FaultMap) -> Result<(), IoError> {
+    Ok(fs::write(path, render_faults(faults))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::{FaultInjector, FaultPattern};
+
+    fn sample() -> FaultMap {
+        let mesh = Mesh::new(3, 4).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        fm.kill_core(Coord::new(2, 1)).unwrap();
+        fm.kill_core(Coord::new(0, 3)).unwrap();
+        fm.fail_link(Coord::new(1, 1), Coord::new(1, 2)).unwrap();
+        fm.fail_link(Coord::new(0, 0), Coord::new(1, 0)).unwrap();
+        fm
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fm = sample();
+        let back = parse_faults(&render_faults(&fm)).unwrap();
+        assert_eq!(fm, back);
+    }
+
+    #[test]
+    fn rendering_is_byte_deterministic_per_seed() {
+        // The acceptance property: the same fault seed yields a
+        // byte-identical fault-map file across runs.
+        let mesh = Mesh::new(16, 16).unwrap();
+        let pattern = FaultPattern::Uniform { core_rate: 0.05, link_rate: 0.02 };
+        let a = render_faults(&FaultInjector::new(7).inject(mesh, &pattern).unwrap());
+        let b = render_faults(&FaultInjector::new(7).inject(mesh, &pattern).unwrap());
+        assert_eq!(a, b);
+        assert_eq!(parse_faults(&a).unwrap(), parse_faults(&b).unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(matches!(parse_faults("not json"), Err(IoError::Json(_))));
+        let wrong_tag =
+            r#"{"format":"nope","rows":2,"cols":2,"dead_cores":[],"faulty_links":[]}"#;
+        assert!(matches!(parse_faults(wrong_tag), Err(IoError::Invalid { .. })));
+        let out_of_mesh = r#"{"format":"snnmap-faults-v1","rows":2,"cols":2,"dead_cores":[[5,5]],"faulty_links":[]}"#;
+        assert!(matches!(parse_faults(out_of_mesh), Err(IoError::Invalid { .. })));
+        let not_adjacent = r#"{"format":"snnmap-faults-v1","rows":3,"cols":3,"dead_cores":[],"faulty_links":[[[0,0],[2,2]]]}"#;
+        assert!(matches!(parse_faults(not_adjacent), Err(IoError::Invalid { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("snnmap_io_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.json");
+        let fm = sample();
+        write_faults(&path, &fm).unwrap();
+        assert_eq!(read_faults(&path).unwrap(), fm);
+    }
+}

@@ -10,6 +10,9 @@
 //! * **Placement JSON** ([`read_placement`] / [`write_placement`]) — the
 //!   mesh dimensions and each cluster's core coordinates; the artifact a
 //!   hardware loader consumes.
+//! * **Fault-map JSON** ([`read_faults`] / [`write_faults`]) — dead cores
+//!   and faulty mesh links; deterministic rendering makes equal fault
+//!   maps byte-identical on disk.
 //!
 //! # PCN format
 //!
@@ -46,10 +49,12 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod error;
+mod fault_format;
 mod pcn_format;
 mod placement_format;
 
 pub use error::IoError;
+pub use fault_format::{parse_faults, read_faults, render_faults, write_faults};
 pub use pcn_format::{parse_pcn, read_pcn, render_pcn, write_pcn};
 pub use placement_format::{
     parse_placement, read_placement, render_placement, write_placement,

@@ -1,0 +1,85 @@
+//! Error type for the NoC simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use snnmap_hw::{Coord, Mesh};
+
+/// Errors produced by [`NocSim`](crate::NocSim) operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NocError {
+    /// A coordinate lies outside the simulated mesh.
+    OutOfBounds {
+        /// The offending coordinate.
+        coord: Coord,
+    },
+    /// The source or destination core is marked dead by the fault map.
+    DeadCore {
+        /// The dead core.
+        coord: Coord,
+    },
+    /// No healthy path connects the source to the destination (the fault
+    /// pattern disconnected them).
+    Unroutable {
+        /// Injection source.
+        src: Coord,
+        /// Intended destination.
+        dst: Coord,
+    },
+    /// A fault map was built for a different mesh than the simulator's.
+    MeshMismatch {
+        /// The simulator's mesh.
+        sim: Mesh,
+        /// The fault map's mesh.
+        faults: Mesh,
+    },
+}
+
+impl fmt::Display for NocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NocError::OutOfBounds { coord } => {
+                write!(f, "coordinate {coord} is outside the simulated mesh")
+            }
+            NocError::DeadCore { coord } => {
+                write!(f, "core {coord} is marked dead by the fault map")
+            }
+            NocError::Unroutable { src, dst } => {
+                write!(f, "no healthy route from {src} to {dst}")
+            }
+            NocError::MeshMismatch { sim, faults } => {
+                write!(f, "simulator mesh {sim} does not match fault-map mesh {faults}")
+            }
+        }
+    }
+}
+
+impl Error for NocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let cases: Vec<(NocError, &str)> = vec![
+            (NocError::OutOfBounds { coord: Coord::new(9, 9) }, "outside"),
+            (NocError::DeadCore { coord: Coord::new(1, 1) }, "dead"),
+            (
+                NocError::Unroutable { src: Coord::new(0, 0), dst: Coord::new(1, 1) },
+                "no healthy route",
+            ),
+            (
+                NocError::MeshMismatch {
+                    sim: Mesh::new(2, 2).unwrap(),
+                    faults: Mesh::new(3, 3).unwrap(),
+                },
+                "match",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

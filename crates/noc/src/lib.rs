@@ -12,34 +12,50 @@
 //!   collect delivery/latency/traversal statistics,
 //! * [`Routing`] — deterministic XY or the random minimal staircase that
 //!   matches the paper's `Expe` congestion model,
+//! * [`NocSim::with_faults`] — fault-aware operation: dead cores refuse
+//!   traffic and packets detour around faulty links/cores on shortest
+//!   healthy paths, the extra hops surfacing in
+//!   [`NocStats::detour_hops`],
 //! * [`PcnTraffic`] — Bernoulli per-flow injection derived from a PCN's
 //!   connection weights and a placement,
 //! * [`NocStats`] — delivered counts, latency distribution, per-router
-//!   traversal map.
+//!   traversal map,
+//! * [`NocError`] — typed injection/configuration failures.
 //!
 //! # Examples
 //!
 //! ```
-//! use snnmap_hw::{Coord, Mesh};
+//! use snnmap_hw::{Coord, FaultMap, Mesh};
 //! use snnmap_noc::{NocConfig, NocSim};
 //!
-//! let mut sim = NocSim::new(Mesh::new(4, 4)?, NocConfig::default());
-//! sim.inject(Coord::new(0, 0), Coord::new(3, 3));
+//! let mesh = Mesh::new(4, 4)?;
+//! let mut sim = NocSim::new(mesh, NocConfig::default());
+//! sim.inject(Coord::new(0, 0), Coord::new(3, 3))?;
 //! let delivered = sim.drain(100);
 //! assert!(delivered);
 //! assert_eq!(sim.stats().delivered, 1);
 //! // 6 hops: 7 router traversals of 1 cycle each.
 //! assert_eq!(sim.stats().max_latency, 7);
+//!
+//! // The same spike on degraded hardware detours around a faulty link.
+//! let mut faults = FaultMap::new(mesh);
+//! faults.fail_link(Coord::new(0, 0), Coord::new(0, 1))?;
+//! let mut sim = NocSim::with_faults(mesh, NocConfig::default(), &faults)?;
+//! sim.inject(Coord::new(0, 0), Coord::new(0, 3))?;
+//! assert!(sim.drain(100));
+//! assert_eq!(sim.stats().detour_hops, 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod error;
 mod sim;
 mod stats;
 mod traffic;
 
+pub use error::NocError;
 pub use sim::{NocConfig, NocSim, Routing};
 pub use stats::NocStats;
 pub use traffic::PcnTraffic;

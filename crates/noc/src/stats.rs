@@ -17,6 +17,10 @@ pub struct NocStats {
     pub total_latency: u64,
     /// Largest delivered-packet latency.
     pub max_latency: u64,
+    /// Total hops delivered packets travelled beyond their fault-free
+    /// Manhattan minimum — the cost of routing around dead cores and
+    /// faulty links (always 0 on fault-free networks).
+    pub detour_hops: u64,
     /// Per-router traversal counts, row-major — the simulated counterpart
     /// of the paper's `Con(x, y)` congestion map.
     pub traversals: Vec<u64>,
@@ -30,6 +34,7 @@ impl NocStats {
             rejected: 0,
             total_latency: 0,
             max_latency: 0,
+            detour_hops: 0,
             traversals: vec![0; mesh.len()],
         }
     }

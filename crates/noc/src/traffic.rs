@@ -67,11 +67,14 @@ impl PcnTraffic {
         self.flows.len()
     }
 
-    /// Injects one cycle's worth of spikes into `sim`.
+    /// Injects one cycle's worth of spikes into `sim`. Spikes the
+    /// simulator refuses (endpoint outside its mesh, dead core,
+    /// unroutable pair) are dropped; rejections from backpressure are
+    /// counted by the simulator as usual.
     pub fn inject_cycle(&mut self, sim: &mut NocSim) {
         for &(src, dst, p) in &self.flows {
             if p > 0.0 && self.rng.gen_bool(p) {
-                sim.inject(src, dst);
+                let _ = sim.inject(src, dst);
             }
         }
     }

@@ -22,7 +22,7 @@ proptest! {
         let mut sim = NocSim::new(mesh, NocConfig { routing, seed: 1, queue_capacity: cap });
         let attempts = flows.len() as u64;
         for ((sx, sy), (tx, ty)) in flows {
-            sim.inject(Coord::new(sx, sy), Coord::new(tx, ty));
+            sim.inject(Coord::new(sx, sy), Coord::new(tx, ty)).unwrap();
             sim.step();
         }
         prop_assert!(sim.drain(100_000), "network failed to drain");
@@ -44,7 +44,7 @@ proptest! {
         let routing = if routing_xy { Routing::Xy } else { Routing::RandomMinimal };
         let mut sim = NocSim::new(mesh, NocConfig { routing, seed: 3, queue_capacity: 4 });
         let (s, d) = (Coord::new(src.0, src.1), Coord::new(dst.0, dst.1));
-        sim.inject(s, d);
+        sim.inject(s, d).unwrap();
         prop_assert!(sim.drain(1000));
         let hops = s.manhattan(d) as u64;
         prop_assert_eq!(sim.stats().max_latency, hops + 1);
@@ -67,7 +67,7 @@ proptest! {
         );
         let (s, d) = (Coord::new(src.0, src.1), Coord::new(dst.0, dst.1));
         for _ in 0..8 {
-            sim.inject(s, d);
+            sim.inject(s, d).unwrap();
             sim.step();
         }
         prop_assert!(sim.drain(1000));

@@ -1,0 +1,144 @@
+//! Derive macros for the vendored `serde` crate.
+//!
+//! Supports plain named-field structs only (which is all the workspace
+//! derives on). Implemented directly over `proc_macro::TokenTree` — no
+//! `syn`/`quote`, since the build environment cannot fetch crates.
+
+// Vendored stub: not held to the workspace lint bar.
+#![allow(warnings, clippy::all, clippy::pedantic)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_struct(input);
+    let mut body = String::new();
+    for f in &target.fields {
+        body.push_str(&format!(
+            "m.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+        ));
+    }
+    let name = &target.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut m = ::serde::Map::new();\n\
+                 {body}\
+                 ::serde::Value::Object(m)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+///
+/// Missing keys deserialize from `null`, so `Option` fields may be
+/// omitted from the document.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_struct(input);
+    let mut body = String::new();
+    for f in &target.fields {
+        body.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(\n\
+                 o.get({f:?}).unwrap_or(&::serde::Value::Null),\n\
+             ).map_err(|e| e.in_field({f:?}))?,\n"
+        ));
+    }
+    let name = &target.name;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let o = v.as_object().ok_or_else(|| {{\n\
+                     ::serde::Error::custom(\"expected object for {name}\")\n\
+                 }})?;\n\
+                 ::std::result::Result::Ok(Self {{\n\
+                     {body}\
+                 }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+struct Target {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and its field names from the derive input.
+fn parse_struct(input: TokenStream) -> Target {
+    let mut iter = input.into_iter();
+    let mut name = None;
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "struct" {
+                break;
+            }
+            if id.to_string() == "enum" || id.to_string() == "union" {
+                panic!("vendored serde derive supports structs only");
+            }
+        }
+    }
+    let mut fields = Vec::new();
+    for tt in iter {
+        match tt {
+            TokenTree::Ident(id) if name.is_none() => name = Some(id.to_string()),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = parse_fields(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    Target { name: name.expect("struct has a name"), fields }
+}
+
+/// Walks the brace-group token stream of a struct body, collecting field
+/// names. Skips attributes and visibility; skips types by consuming until
+/// a comma at zero angle-bracket depth (commas inside parens/brackets are
+/// hidden inside `Group`s and never reach this level).
+fn parse_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    'fields: loop {
+        // Attributes: `#[...]`, possibly several.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Visibility: `pub`, optionally `pub(...)`.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            _ => break 'fields,
+        }
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
