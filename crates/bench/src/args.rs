@@ -42,6 +42,9 @@ pub struct Options {
     pub json: Option<std::path::PathBuf>,
     /// `--sample N`: congestion edge-sample cap (default 200 000).
     pub congestion_sample: u64,
+    /// `--threads N`: worker threads for the proposed mapper (default 0 =
+    /// auto; the placement is bit-identical for every value).
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -52,6 +55,7 @@ impl Default for Options {
             seed: 42,
             json: None,
             congestion_sample: 200_000,
+            threads: 0,
         }
     }
 }
@@ -66,7 +70,7 @@ impl Options {
                 eprintln!("{msg}");
                 eprintln!(
                     "usage: [--scale small|medium|large|full] [--budget-secs N] \
-                     [--seed N] [--json PATH] [--sample N]"
+                     [--seed N] [--json PATH] [--sample N] [--threads N]"
                 );
                 std::process::exit(2);
             }
@@ -112,6 +116,10 @@ impl Options {
                     opts.congestion_sample =
                         value.parse().map_err(|_| format!("bad --sample `{value}`"))?
                 }
+                "--threads" => {
+                    opts.threads =
+                        value.parse().map_err(|_| format!("bad --threads `{value}`"))?
+                }
                 "--json" => opts.json = Some(value.into()),
                 other => return Err(format!("unknown flag `{other}`")),
             }
@@ -134,19 +142,21 @@ mod tests {
         assert_eq!(o.scale, Scale::Medium);
         assert_eq!(o.budget_secs, 120);
         assert_eq!(o.seed, 42);
+        assert_eq!(o.threads, 0);
     }
 
     #[test]
     fn parses_all_flags() {
         let o = parse(&[
             "--scale", "full", "--budget-secs", "5", "--seed", "7", "--json", "/tmp/x.json",
-            "--sample", "100",
+            "--sample", "100", "--threads", "4",
         ])
         .unwrap();
         assert_eq!(o.scale, Scale::Full);
         assert_eq!(o.budget_secs, 5);
         assert_eq!(o.seed, 7);
         assert_eq!(o.congestion_sample, 100);
+        assert_eq!(o.threads, 4);
         assert!(o.json.is_some());
     }
 

@@ -66,7 +66,8 @@ pub fn run_comparison(methods: &[Method], options: &Options) -> Vec<RunRecord> {
                 _ => Some(Duration::from_secs(options.budget_secs)),
             };
             eprintln!("[comparison] {name}: running {method}...");
-            let run = match method.run(&pcn, mesh, budget, options.seed) {
+            let run = match method.run_with_threads(&pcn, mesh, budget, options.seed, options.threads)
+            {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("[comparison] {name}/{method}: {e}");

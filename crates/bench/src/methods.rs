@@ -55,6 +55,24 @@ impl Method {
         budget_limit: Option<Duration>,
         seed: u64,
     ) -> Result<MethodRun, CoreError> {
+        self.run_with_threads(pcn, mesh, budget_limit, seed, 0)
+    }
+
+    /// [`Method::run`] with an explicit worker-thread count for the
+    /// proposed mapper (`0` = auto; baselines are serial and ignore it).
+    /// The proposed placement is bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MeshTooSmall`] if the PCN outnumbers the cores.
+    pub fn run_with_threads(
+        &self,
+        pcn: &Pcn,
+        mesh: Mesh,
+        budget_limit: Option<Duration>,
+        seed: u64,
+        threads: usize,
+    ) -> Result<MethodRun, CoreError> {
         let start = Instant::now();
         let budget = match budget_limit {
             Some(d) => Budget::limited(d),
@@ -68,7 +86,7 @@ impl Method {
             }
             Method::Pso => run_baseline(&PsoMapper::new(seed), pcn, mesh, budget)?,
             Method::Proposed => {
-                let mut builder = Mapper::builder();
+                let mut builder = Mapper::builder().threads(threads);
                 if let Some(d) = budget_limit {
                     builder = builder.time_budget(d);
                 }

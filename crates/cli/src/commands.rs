@@ -129,6 +129,7 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             "seed",
             "faults",
             "faults-out",
+            "threads",
         ],
     )?;
     let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
@@ -176,8 +177,14 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             if !(lambda > 0.0 && lambda <= 1.0) {
                 return Err(CliError::usage("lambda must be in (0, 1]"));
             }
-            let mut builder =
-                Mapper::builder().initial_placement(init).potential(potential).lambda(lambda);
+            // 0 = auto (SNNMAP_THREADS, else available parallelism); the
+            // placement is bit-identical for every thread count.
+            let threads: usize = o.parsed_or("threads", 0)?;
+            let mut builder = Mapper::builder()
+                .initial_placement(init)
+                .potential(potential)
+                .lambda(lambda)
+                .threads(threads);
             if let Some(b) = budget {
                 builder = builder.time_budget(b);
             }

@@ -38,7 +38,7 @@ commands:
         [--method proposed|random|truenorth|dfsynthesizer|pso]
         [--mesh <RxC>] [--init hilbert|zigzag|circle|serpentine|random]
         [--potential l1|l1sq|l2sq|energy] [--lambda F]
-        [--budget-secs N] [--seed N]
+        [--budget-secs N] [--seed N] [--threads N]
         [--faults <rate|file.json>] [--faults-out <file.json>]
   eval  <file.pcn> <placement.json> [--sample N]
   viz   <file.pcn> <placement.json> [--width N]
@@ -192,6 +192,32 @@ mod tests {
         let err = run(&sv(&["validate", pcn_s, placement_s, "--npc", "1", "--spc", "1"]))
             .unwrap_err();
         assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn map_threads_flag_is_accepted_and_output_invariant() {
+        let dir = std::env::temp_dir().join("snnmap_cli_threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let pcn_s = pcn.to_str().unwrap();
+        run(&sv(&["gen", "--random", "60,4", "--seed", "1", "--out", pcn_s])).unwrap();
+        let mut outputs = Vec::new();
+        for threads in ["1", "4"] {
+            let placement = dir.join(format!("p{threads}.json"));
+            run(&sv(&[
+                "map", pcn_s, "--out", placement.to_str().unwrap(), "--threads", threads,
+            ]))
+            .unwrap();
+            outputs.push(std::fs::read_to_string(&placement).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "placement must not depend on --threads");
+        // Only the proposed method understands the flag's machinery, but
+        // parsing rejects garbage regardless.
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--threads", "many",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -1,11 +1,32 @@
 //! The Force-Directed engine (Algorithm 3).
+//!
+//! The hot path is organised for million-core meshes:
+//!
+//! * a packed per-cluster *hot record* (`stamp + coordinate + force`) so
+//!   a swap's neighbour patch touches one cache line per graph
+//!   neighbour instead of five scattered arrays;
+//! * a merged out+in adjacency CSR — each patch/rebuild walks a single
+//!   contiguous row, and the mutual-edge correction is a short row scan
+//!   instead of two binary searches;
+//! * per-sweep *dirty* pair tracking — only pairs whose endpoints saw a
+//!   force or occupancy change are re-scored, everything else carries
+//!   its cached tension over;
+//! * `select_nth_unstable`-based top-λ selection instead of sorting the
+//!   whole queue every sweep;
+//! * the placement itself is untouched during sweeps; the result is
+//!   committed once at the end via [`Placement::set_coords`];
+//! * the initial scoring, dirty re-scoring and system-energy reduction
+//!   run on [`crate::par`]'s scoped-thread helpers, merged in
+//!   deterministic key/block order so the result is bit-identical for
+//!   every thread count.
 
+use std::cmp::Ordering;
 use std::time::{Duration, Instant};
 
 use snnmap_hw::{Coord, FaultMap, HwError, Mesh, Placement};
 use snnmap_model::Pcn;
 
-use crate::{CoreError, Potential};
+use crate::{par, CoreError, Potential};
 
 /// How the tension of a connected adjacent pair is computed.
 ///
@@ -34,6 +55,11 @@ pub enum TensionMode {
 /// convergence argument to survive floating-point noise.
 const TENSION_EPS: f64 = 1e-9;
 
+/// Fixed block size of the system-energy reduction. Partial sums are
+/// taken per block and combined in block order, so the total (including
+/// its floating-point rounding) never depends on the thread count.
+const ENERGY_BLOCK: usize = 4096;
+
 /// Configuration of the Force-Directed algorithm.
 ///
 /// # Examples
@@ -60,6 +86,12 @@ pub struct FdConfig {
     /// Tension bookkeeping: exact swap delta vs the paper's naive force
     /// sum (ablation).
     pub tension_mode: TensionMode,
+    /// Worker threads for the parallel phases. `0` means auto: the
+    /// `SNNMAP_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism (see
+    /// [`crate::par::resolve_threads`]). The refined placement and the
+    /// returned [`FdStats`] are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for FdConfig {
@@ -70,6 +102,7 @@ impl Default for FdConfig {
             max_iterations: None,
             time_budget: None,
             tension_mode: TensionMode::Exact,
+            threads: 0,
         }
     }
 }
@@ -90,10 +123,14 @@ pub struct FdStats {
     pub converged: bool,
 }
 
-/// Direction encoding shared with the paper: `UP, DOWN, LEFT, RIGHT`.
-const DIRS: [(i32, i32); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+/// Direction encoding shared with the paper: `UP = 0, DOWN = 1,
+/// LEFT = 2, RIGHT = 3`; `OFF[d]` is the coordinate shift of one step.
+const OFF: [(i32, i32); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
 const DOWN: usize = 1;
 const RIGHT: usize = 3;
+
+/// Occupant-table sentinel for an empty core.
+const EMPTY: u32 = u32::MAX;
 
 #[inline]
 fn opposite(d: usize) -> usize {
@@ -105,6 +142,16 @@ fn opposite(d: usize) -> usize {
     }
 }
 
+/// Queue order: highest tension first; key as deterministic tie-breaker.
+/// `total_cmp` keeps the order well-defined even if a weight ever
+/// produces a NaN, and — because keys are unique — makes the order a
+/// strict total order, so partial (top-λ) selection yields exactly the
+/// prefix a full sort would.
+#[inline]
+fn cmp_entries(a: &(f64, u64), b: &(f64, u64)) -> Ordering {
+    b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+}
+
 /// Runs the Force-Directed algorithm (Algorithm 3) on a complete
 /// placement, refining it in place.
 ///
@@ -114,7 +161,7 @@ fn opposite(d: usize) -> usize {
 /// system energy when exchanged carry *positive tension*; every
 /// iteration swaps the top-λ fraction of the positive-tension queue
 /// (re-checking each pair just before its swap, §4.5 design choice 1),
-/// then rebuilds tensions only around affected clusters (design
+/// then re-scores tensions only around affected clusters (design
 /// choice 3). Iteration continues until no positive tension remains.
 ///
 /// Pairs with one empty core are supported (the swap is a move), which
@@ -175,8 +222,9 @@ fn force_directed_impl(
     if !(config.lambda > 0.0 && config.lambda <= 1.0) {
         return Err(CoreError::InvalidLambda { lambda: config.lambda });
     }
+    let threads = par::resolve_threads(config.threads);
     let mut engine =
-        Engine::new(pcn, placement, config.potential, config.tension_mode, faults)?;
+        Engine::new(pcn, placement, config.potential, config.tension_mode, faults, threads)?;
     let initial_energy = engine.system_energy();
     let start = Instant::now();
     // Naive tension can oscillate (it may accept energy-increasing
@@ -186,19 +234,33 @@ fn force_directed_impl(
         (_, cap) => cap,
     };
 
-    // Build the initial positive-tension queue over all adjacent pairs.
-    let mut queue: Vec<(f64, u64)> = Vec::new();
-    for p in 0..engine.mesh.len() {
+    // Initial positive-tension queue over all adjacent pairs, scored in
+    // parallel and concatenated in ascending position order. The queue is
+    // deliberately *not* kept sorted: each sweep selects its top-λ prefix
+    // with select_nth_unstable, which yields exactly the prefix a full
+    // sort would (cmp_entries is a strict total order).
+    let mesh_len = engine.mesh.len();
+    let queue_src = &engine;
+    let mut queue: Vec<(f64, u64)> = par::par_flat_map(threads, mesh_len, |p, out| {
         for d in [DOWN, RIGHT] {
-            if let Some(key) = engine.pair_key(p, d) {
-                let t = engine.tension(key);
+            if let Some(key) = queue_src.pair_key(p, d) {
+                let t = queue_src.tension(key);
                 if t > TENSION_EPS {
-                    queue.push((t, key));
+                    out.push((t, key));
                 }
             }
         }
-    }
-    sort_queue(&mut queue);
+    });
+
+    // Per-sweep scratch, allocated once and reused. Epoch stamps replace
+    // sort+dedup passes: a slot is "marked this sweep" iff its stamp
+    // equals the current epoch.
+    let mut key_stamp = vec![0u32; 2 * mesh_len];
+    let mut pos_stamp = vec![0u32; mesh_len];
+    let mut affected: Vec<u32> = Vec::new();
+    let mut dirty: Vec<u64> = Vec::new();
+    let mut carried: Vec<(f64, u64)> = Vec::new();
+    let mut epoch = 0u32;
 
     let mut iterations = 0u64;
     let mut swaps = 0u64;
@@ -217,70 +279,149 @@ fn force_directed_impl(
             }
         }
         iterations += 1;
+        if epoch == u32::MAX {
+            // One epoch per sweep, so this fires only after 2^32 - 1
+            // sweeps — but reset anyway so a stale stamp can never alias
+            // the current epoch across the wrap.
+            key_stamp.fill(0);
+            pos_stamp.fill(0);
+            for h in &mut engine.hot {
+                h.stamp = 0;
+            }
+            epoch = 0;
+        }
+        epoch += 1;
 
         let take = ((config.lambda * queue.len() as f64).ceil() as usize).clamp(1, queue.len());
-        let mut affected: Vec<u32> = Vec::new();
-        for &(_, key) in queue.iter().take(take) {
+        if take < queue.len() {
+            queue.select_nth_unstable_by(take - 1, cmp_entries);
+        }
+        queue[..take].sort_unstable_by(cmp_entries);
+
+        affected.clear();
+        for &(cached, key) in queue.iter().take(take) {
             // Check before the swap: earlier swaps this iteration may have
-            // flipped this pair's tension (§4.5 design choice 1).
-            let t = engine.tension(key);
+            // flipped this pair's tension (§4.5 design choice 1). Swaps
+            // stamp every position whose force or occupancy they change,
+            // so an untouched pair's recheck would return exactly the
+            // cached (positive) score — skip the recompute.
+            let (p, d) = engine.decode(key);
+            let clean = pos_stamp[p] != epoch
+                && engine.step(p, d).is_some_and(|q| pos_stamp[q] != epoch);
+            let t = if clean { cached } else { engine.tension(key) };
             if t <= TENSION_EPS {
                 continue;
             }
-            engine.swap(key, &mut affected)?;
+            engine.swap(key, epoch, &mut affected, &mut pos_stamp);
             swaps += 1;
         }
 
-        // Build the next queue: all current pairs plus every pair touching
-        // an affected cluster's position.
-        let mut keys: Vec<u64> = queue.iter().map(|&(_, k)| k).collect();
-        affected.sort_unstable();
-        affected.dedup();
+        // A cached tension is stale iff an endpoint position was stamped
+        // by a swap this sweep (its force or occupancy changed).
+        // Candidate pairs for the next queue are every pair around an
+        // affected cluster plus every queued pair touching a stamped
+        // position; everything else carries over unscored.
+        dirty.clear();
         for &c in &affected {
-            let p = engine.pos_index(c);
-            for d in 0..4 {
-                if let Some(key) = engine.pair_key_any(p, d) {
-                    keys.push(key);
-                }
+            let p = engine.pos[c as usize] as usize;
+            debug_assert_eq!(pos_stamp[p], epoch);
+            engine.push_incident_keys(p, epoch, &mut key_stamp, &mut dirty);
+        }
+
+        carried.clear();
+        for &(t, key) in &queue {
+            if key_stamp[key as usize] == epoch {
+                continue; // already queued for re-scoring
+            }
+            let (p, d) = engine.decode(key);
+            let q = engine.step(p, d).expect("queued pairs lie inside the mesh");
+            if pos_stamp[p] == epoch || pos_stamp[q] == epoch {
+                key_stamp[key as usize] = epoch;
+                dirty.push(key);
+            } else {
+                carried.push((t, key));
             }
         }
-        keys.sort_unstable();
-        keys.dedup();
-        queue.clear();
-        for key in keys {
-            let t = engine.tension(key);
+
+        // Re-score the dirty pairs in parallel, merged in ascending key
+        // order — with the sorted dirty list this makes the next queue's
+        // layout (and therefore the whole run) thread-count independent.
+        dirty.sort_unstable();
+        let eng = &engine;
+        let dirty_ref = &dirty;
+        let rescored = par::par_flat_map(threads, dirty.len(), |i, out| {
+            let key = dirty_ref[i];
+            let t = eng.tension(key);
             if t > TENSION_EPS {
-                queue.push((t, key));
+                out.push((t, key));
             }
-        }
-        sort_queue(&mut queue);
+        });
+        queue.clear();
+        queue.extend_from_slice(&carried);
+        queue.extend(rescored);
     }
 
     let final_energy = engine.system_energy();
+    engine.writeback()?;
     Ok(FdStats { iterations, swaps, initial_energy, final_energy, converged })
 }
 
-fn sort_queue(queue: &mut [(f64, u64)]) {
-    // Highest tension first; key as deterministic tie-breaker. total_cmp
-    // keeps the order well-defined even if a weight ever produces a NaN.
-    queue.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+/// Per-cluster hot record: everything a neighbour patch needs, packed
+/// into 40 bytes so one swap's per-neighbour work is one cache-line
+/// touch instead of loads from five scattered arrays.
+#[derive(Clone, Copy)]
+struct Hot {
+    /// Sweep epoch at which this cluster last entered `affected`.
+    stamp: u32,
+    /// The cluster's current coordinate (mirrors `pos`).
+    coord: Coord,
+    /// 64-bit Bloom signature of the cluster's graph neighbours
+    /// (bit `k % 64` per neighbour `k`). A zero test proves two
+    /// clusters unconnected without walking the adjacency row — the
+    /// common case for mesh-adjacent pairs — while a set bit falls
+    /// back to the exact row scan.
+    sig: u64,
+    /// `force[d]`: energy reduction from moving this cluster one step in
+    /// direction `d` (eq. 27), maintained incrementally across swaps.
+    force: [f64; 4],
 }
 
-/// The mutable state of one FD run: the placement's grids plus the
-/// per-position force arrays of eq. 27, maintained incrementally.
+/// Bloom-signature bit of cluster `k` (see [`Hot::sig`]).
+#[inline]
+fn sig_bit(k: u32) -> u64 {
+    1u64 << (k % 64)
+}
+
+/// The mutable state of one FD run: flat occupancy tables plus the
+/// per-cluster force records of eq. 27, maintained incrementally. The
+/// caller's placement is read at construction and written back once at
+/// the end of the run.
 struct Engine<'a> {
     pcn: &'a Pcn,
     placement: &'a mut Placement,
     mesh: Mesh,
+    rows: usize,
+    cols: usize,
     potential: Potential,
     tension_mode: TensionMode,
     unit_step: f64,
-    /// `force[p][d]`: energy reduction from moving the cluster at
-    /// position `p` one step in direction `d` (0 for empty positions).
-    force: Vec<[f64; 4]>,
+    threads: usize,
+    /// Flat coordinate table: `coords[p] == mesh.coord_of_index(p)`.
+    coords: Vec<Coord>,
+    /// Merged adjacency CSR: row `c` is `out_edges(c)` followed by
+    /// `in_edges(c)`, so force work walks one contiguous row per
+    /// cluster. f32→f64 weight conversion is exact, so precomputing
+    /// nothing here changes any sum.
+    adj_off: Vec<u32>,
+    adj: Vec<(u32, f32)>,
+    /// Per-cluster packed hot state (coordinate + force + sweep stamp).
+    hot: Vec<Hot>,
     /// `pos[c]`: mesh index of cluster `c`, maintained across swaps so
     /// lookups never have to unwrap an `Option` on the hot path.
-    pos: Vec<usize>,
+    pos: Vec<u32>,
+    /// `occ[p]`: cluster at position `p`, or [`EMPTY`] — mirrors the
+    /// placement's grid without the `Option` indirection.
+    occ: Vec<u32>,
     /// `dead[p]`: position `p` is a dead core (empty when fault-free).
     dead: Vec<bool>,
 }
@@ -292,6 +433,7 @@ impl<'a> Engine<'a> {
         potential: Potential,
         tension_mode: TensionMode,
         faults: Option<&FaultMap>,
+        threads: usize,
     ) -> Result<Self, CoreError> {
         let mesh = placement.mesh();
         if placement.len() != pcn.num_clusters() {
@@ -314,7 +456,9 @@ impl<'a> Engine<'a> {
             }
             None => Vec::new(),
         };
-        let mut pos = vec![0usize; placement.len() as usize];
+        let n = placement.len() as usize;
+        let mut pos = vec![0u32; n];
+        let mut occ = vec![EMPTY; mesh.len()];
         for c in 0..placement.len() {
             let Some(coord) = placement.coord_of(c) else {
                 return Err(CoreError::IncompletePlacement {
@@ -326,33 +470,53 @@ impl<'a> Engine<'a> {
             if !dead.is_empty() && dead[p] {
                 return Err(CoreError::Hw(HwError::FaultyCore { coord }));
             }
-            pos[c as usize] = p;
+            pos[c as usize] = p as u32;
+            occ[p] = c;
+        }
+        let mut adj_off = Vec::with_capacity(n + 1);
+        adj_off.push(0u32);
+        let mut adj: Vec<(u32, f32)> =
+            Vec::with_capacity((2 * pcn.num_connections()) as usize);
+        for c in 0..n as u32 {
+            adj.extend(pcn.out_edges(c));
+            adj.extend(pcn.in_edges(c));
+            adj_off.push(u32::try_from(adj.len()).expect("adjacency exceeds u32 offsets"));
         }
         let mut engine = Self {
             pcn,
             placement,
             mesh,
+            rows: mesh.rows() as usize,
+            cols: mesh.cols() as usize,
             potential,
             tension_mode,
             unit_step: potential.unit_step(),
-            force: vec![[0.0; 4]; mesh.len()],
+            threads,
+            coords: mesh.coord_table(),
+            adj_off,
+            adj,
+            hot: Vec::new(),
             pos,
+            occ,
             dead,
         };
-        for p in 0..mesh.len() {
-            engine.rebuild_force(p);
+        // A cluster's force depends only on occupancy, never on other
+        // forces, so the initial build is an independent per-index fill.
+        let mut hot = vec![Hot { stamp: 0, coord: Coord::default(), sig: 0, force: [0.0; 4] }; n];
+        {
+            let eng = &engine;
+            par::par_init(threads, &mut hot, |c| eng.init_hot(c as u32));
         }
+        engine.hot = hot;
         Ok(engine)
     }
 
+    /// Merged adjacency row of cluster `c`: out-edges then in-edges.
     #[inline]
-    fn coord(&self, p: usize) -> Coord {
-        self.mesh.coord_of_index(p)
-    }
-
-    #[inline]
-    fn pos_index(&self, cluster: u32) -> usize {
-        self.pos[cluster as usize]
+    fn row(&self, c: u32) -> &[(u32, f32)] {
+        let lo = self.adj_off[c as usize] as usize;
+        let hi = self.adj_off[c as usize + 1] as usize;
+        &self.adj[lo..hi]
     }
 
     #[inline]
@@ -360,17 +524,17 @@ impl<'a> Engine<'a> {
         !self.dead.is_empty() && self.dead[p]
     }
 
-    /// Neighbour position of `p` in direction `d`, if inside the mesh.
+    /// Neighbour position of `p` in direction `d` (`UP, DOWN, LEFT,
+    /// RIGHT`), if inside the mesh.
     #[inline]
     fn step(&self, p: usize, d: usize) -> Option<usize> {
-        let c = self.coord(p);
-        let (dx, dy) = DIRS[d];
-        let x = c.x as i32 + dx;
-        let y = c.y as i32 + dy;
-        if x < 0 || y < 0 || x >= self.mesh.rows() as i32 || y >= self.mesh.cols() as i32 {
-            return None;
+        let c = self.coords[p];
+        match d {
+            0 => (c.x > 0).then(|| p - self.cols),
+            1 => ((c.x as usize) + 1 < self.rows).then(|| p + self.cols),
+            2 => (c.y > 0).then(|| p - 1),
+            _ => ((c.y as usize) + 1 < self.cols).then(|| p + 1),
         }
-        Some(self.mesh.index_of(Coord::new(x as u16, y as u16)))
     }
 
     /// Canonical key of the adjacent pair `(p, step(p, d))`, encoding the
@@ -383,15 +547,37 @@ impl<'a> Engine<'a> {
         Some((p as u64) << 1 | u64::from(d == RIGHT))
     }
 
-    /// Canonical pair key for any direction (normalizing UP/LEFT to the
-    /// neighbour's DOWN/RIGHT).
+    /// Stamps and appends the canonical keys of the (up to four) mesh
+    /// edges incident to position `p` that are not yet marked this
+    /// epoch — pure index arithmetic, no neighbour lookups: the UP/LEFT
+    /// edges of `p` are the DOWN/RIGHT keys of `p - cols` / `p - 1`.
     #[inline]
-    fn pair_key_any(&self, p: usize, d: usize) -> Option<u64> {
-        let q = self.step(p, d)?;
-        match d {
-            DOWN | RIGHT => self.pair_key(p, d),
-            0 => self.pair_key(q, DOWN),
-            _ => self.pair_key(q, RIGHT),
+    fn push_incident_keys(
+        &self,
+        p: usize,
+        epoch: u32,
+        key_stamp: &mut [u32],
+        dirty: &mut Vec<u64>,
+    ) {
+        let c = self.coords[p];
+        let mut push = |key: u64| {
+            let s = &mut key_stamp[key as usize];
+            if *s != epoch {
+                *s = epoch;
+                dirty.push(key);
+            }
+        };
+        if c.x > 0 {
+            push(((p - self.cols) as u64) << 1);
+        }
+        if (c.x as usize) + 1 < self.rows {
+            push((p as u64) << 1);
+        }
+        if c.y > 0 {
+            push(((p - 1) as u64) << 1 | 1);
+        }
+        if (c.y as usize) + 1 < self.cols {
+            push((p as u64) << 1 | 1);
         }
     }
 
@@ -408,49 +594,72 @@ impl<'a> Engine<'a> {
         self.potential.value(a.x as i32 - b.x as i32, a.y as i32 - b.y as i32)
     }
 
-    /// System total potential energy (eq. 23).
+    /// System total potential energy (eq. 23), reduced over fixed
+    /// [`ENERGY_BLOCK`]-cluster blocks so the sum is identical for any
+    /// thread count.
     fn system_energy(&self) -> f64 {
-        let mut es = 0.0;
-        for c in 0..self.pcn.num_clusters() {
-            let pc = self.coord(self.pos_index(c));
-            for (t, w) in self.pcn.out_edges(c) {
-                let pt = self.coord(self.pos_index(t));
-                es += w as f64 * self.u(pc, pt);
+        let n = self.pcn.num_clusters() as usize;
+        par::par_block_sum(self.threads, n, ENERGY_BLOCK, |range| {
+            let mut es = 0.0;
+            for c in range {
+                let pc = self.hot[c].coord;
+                for (t, w) in self.pcn.out_edges(c as u32) {
+                    let pt = self.hot[t as usize].coord;
+                    es += w as f64 * self.u(pc, pt);
+                }
             }
-        }
-        es
+            es
+        })
     }
 
-    /// Rebuilds the four directed forces of the cluster at position `p`
-    /// (eq. 27), or zeroes them if `p` is empty.
-    fn rebuild_force(&mut self, p: usize) {
+    /// Initial hot record of cluster `c`: its coordinate plus the four
+    /// directed forces of eq. 27. Pure in everything except `hot`
+    /// itself, so initial builds can run one cluster per worker.
+    ///
+    /// The merged row is walked once with the four directions in the
+    /// inner loop (each direction's slot still accumulates its terms in
+    /// edge order, so the sums are bit-for-bit those of the
+    /// direction-outer form), which touches every neighbour coordinate
+    /// and `u(·, here)` once instead of four times.
+    fn init_hot(&self, c: u32) -> Hot {
+        let p = self.pos[c as usize] as usize;
+        let here = self.coords[p];
         let mut f = [0.0f64; 4];
-        if let Some(c) = self.placement.cluster_at(self.coord(p)) {
-            let here = self.coord(p);
-            for (d, slot) in f.iter_mut().enumerate() {
-                let Some(q) = self.step(p, d) else { continue };
-                let there = self.coord(q);
-                let mut sum = 0.0;
-                for (t, w) in self.pcn.out_edges(c) {
-                    let pt = self.coord(self.pos_index(t));
-                    sum += w as f64 * (self.u(pt, here) - self.u(pt, there));
-                }
-                for (s, w) in self.pcn.in_edges(c) {
-                    let ps = self.coord(self.pos_index(s));
-                    sum += w as f64 * (self.u(ps, here) - self.u(ps, there));
-                }
-                *slot = sum;
+        let mut there = [Coord::default(); 4];
+        let mut valid = [false; 4];
+        for d in 0..4 {
+            if let Some(q) = self.step(p, d) {
+                there[d] = self.coords[q];
+                valid[d] = true;
             }
         }
-        self.force[p] = f;
+        let mut sig = 0u64;
+        for &(k, w) in self.row(c) {
+            sig |= sig_bit(k);
+            let pt = self.coords[self.pos[k as usize] as usize];
+            let u_here = self.u(pt, here);
+            for d in 0..4 {
+                if valid[d] {
+                    f[d] += w as f64 * (u_here - self.u(pt, there[d]));
+                }
+            }
+        }
+        Hot { stamp: 0, coord: here, sig, force: f }
     }
 
     /// Total traffic on the (up to two) directed connections between two
-    /// clusters.
+    /// clusters, summed in row order — out-edge `a → b` first, then
+    /// in-edge `b → a` — exactly the order the two `edge_weight`
+    /// lookups this replaces added them in.
     #[inline]
     fn mutual_weight(&self, a: u32, b: u32) -> f64 {
-        self.pcn.edge_weight(a, b).unwrap_or(0.0) as f64
-            + self.pcn.edge_weight(b, a).unwrap_or(0.0) as f64
+        let mut m = 0.0f64;
+        for &(k, w) in self.row(a) {
+            if k == b {
+                m += w as f64;
+            }
+        }
+        m
     }
 
     /// The tension of an adjacent pair (eq. 30): the exact system-energy
@@ -466,93 +675,182 @@ impl<'a> Engine<'a> {
         if self.is_dead_pos(p) || self.is_dead_pos(q) {
             return 0.0;
         }
-        let cu = self.placement.cluster_at(self.coord(p));
-        let cv = self.placement.cluster_at(self.coord(q));
-        match (cu, cv) {
-            (None, None) => 0.0,
-            (Some(_), None) => self.force[p][d],
-            (None, Some(_)) => self.force[q][opposite(d)],
-            (Some(u), Some(v)) => {
-                let naive = self.force[p][d] + self.force[q][opposite(d)];
-                match self.tension_mode {
-                    TensionMode::Exact => {
-                        naive - 2.0 * self.mutual_weight(u, v) * self.unit_step
-                    }
-                    TensionMode::PaperNaive => naive,
+        let cu = self.occ[p];
+        let cv = self.occ[q];
+        if cu == EMPTY {
+            if cv == EMPTY {
+                0.0
+            } else {
+                self.hot[cv as usize].force[opposite(d)]
+            }
+        } else if cv == EMPTY {
+            self.hot[cu as usize].force[d]
+        } else {
+            let hu = &self.hot[cu as usize];
+            let naive = hu.force[d] + self.hot[cv as usize].force[opposite(d)];
+            match self.tension_mode {
+                TensionMode::Exact => {
+                    // The signature test proves most mesh-adjacent pairs
+                    // unconnected without a row scan; the correction
+                    // expression is kept verbatim either way so the f64
+                    // result (down to signed zeros) is unchanged.
+                    let mutual = if hu.sig & sig_bit(cv) == 0 {
+                        0.0
+                    } else {
+                        self.mutual_weight(cu, cv)
+                    };
+                    naive - 2.0 * mutual * self.unit_step
                 }
+                TensionMode::PaperNaive => naive,
             }
         }
     }
 
-    /// Swaps the occupants of a pair and maintains the force arrays:
-    /// full rebuilds at the two positions, O(1)-per-edge patches at every
-    /// graph neighbour (Algorithm 3 lines 20–26). Appends moved and
-    /// affected clusters to `affected`.
-    fn swap(&mut self, key: u64, affected: &mut Vec<u32>) -> Result<(), CoreError> {
+    /// Swaps the occupants of a pair and maintains the force records:
+    /// rebuilds at the two positions fused with O(1)-per-edge patches at
+    /// every graph neighbour (Algorithm 3 lines 20–26). Moved and
+    /// affected clusters are epoch-stamped into `affected`; every
+    /// position whose force or occupancy changes is stamped into
+    /// `pos_stamp`, which is what lets callers trust cached tensions of
+    /// unstamped pairs. The caller's placement is deliberately not
+    /// touched — see [`Engine::writeback`].
+    fn swap(&mut self, key: u64, epoch: u32, affected: &mut Vec<u32>, pos_stamp: &mut [u32]) {
         let (p, d) = self.decode(key);
-        let Some(q) = self.step(p, d) else { return Ok(()) };
-        let (pc, qc) = (self.coord(p), self.coord(q));
-        let cu = self.placement.cluster_at(pc);
-        let cv = self.placement.cluster_at(qc);
-        self.placement.swap_cores(pc, qc)?;
-        if let Some(u) = cu {
-            self.pos[u as usize] = q;
+        let Some(q) = self.step(p, d) else { return };
+        let (pc, qc) = (self.coords[p], self.coords[q]);
+        let cu = self.occ[p];
+        let cv = self.occ[q];
+        self.occ[p] = cv;
+        self.occ[q] = cu;
+        if cu != EMPTY {
+            self.pos[cu as usize] = q as u32;
+            self.hot[cu as usize].coord = qc;
         }
-        if let Some(v) = cv {
-            self.pos[v as usize] = p;
+        if cv != EMPTY {
+            self.pos[cv as usize] = p as u32;
+            self.hot[cv as usize].coord = pc;
         }
+        pos_stamp[p] = epoch;
+        pos_stamp[q] = epoch;
 
-        // Patch neighbours before rebuilding the pair's own forces (the
-        // patches only touch other positions).
-        if let Some(u) = cu {
-            self.patch_neighbors(u, pc, qc, cv, affected);
-            affected.push(u);
+        // Each moved cluster's edges are walked exactly once: the pass
+        // patches its neighbours' forces *and* accumulates the cluster's
+        // own rebuilt force at its new position. The cu pass runs first so
+        // neighbours shared by both clusters receive their patches in the
+        // same order as separate patch-then-rebuild phases would apply
+        // them; the rebuilt forces only read coordinates, never forces,
+        // so committing each one right after its pass is equivalent to
+        // full rebuilds.
+        if cu != EMPTY {
+            let f = self.patch_and_rebuild(cu, pc, qc, cv, epoch, affected, pos_stamp);
+            let h = &mut self.hot[cu as usize];
+            h.force = f;
+            if h.stamp != epoch {
+                h.stamp = epoch;
+                affected.push(cu);
+            }
         }
-        if let Some(v) = cv {
-            self.patch_neighbors(v, qc, pc, cu, affected);
-            affected.push(v);
+        if cv != EMPTY {
+            let f = self.patch_and_rebuild(cv, qc, pc, cu, epoch, affected, pos_stamp);
+            let h = &mut self.hot[cv as usize];
+            h.force = f;
+            if h.stamp != epoch {
+                h.stamp = epoch;
+                affected.push(cv);
+            }
         }
-        self.rebuild_force(p);
-        self.rebuild_force(q);
-        Ok(())
     }
 
-    /// After `moved` relocated `from → to`, adjust the force of each of
+    /// After `moved` relocated `from → to`: adjusts the force of each of
     /// its graph neighbours by the per-edge delta (skipping `other`, the
-    /// second moved cluster, whose position gets a full rebuild).
-    fn patch_neighbors(
+    /// second moved cluster, whose force is rebuilt by its own pass)
+    /// and returns `moved`'s rebuilt force at its new position — one
+    /// merged-CSR pass touching one hot record per neighbour.
+    ///
+    /// Both the patches and the returned force accumulate their terms in
+    /// edge (row) order with unchanged expression trees, so the results
+    /// are bit-for-bit those of separate patch and rebuild passes.
+    #[allow(clippy::too_many_arguments)]
+    fn patch_and_rebuild(
         &mut self,
         moved: u32,
         from: Coord,
         to: Coord,
-        other: Option<u32>,
+        other: u32,
+        epoch: u32,
         affected: &mut Vec<u32>,
-    ) {
-        // Collect both edge directions; weights enter the force formula
-        // identically either way.
-        let neighbors: Vec<(u32, f64)> = self
-            .pcn
-            .out_edges(moved)
-            .map(|(t, w)| (t, w as f64))
-            .chain(self.pcn.in_edges(moved).map(|(s, w)| (s, w as f64)))
-            .collect();
-        for (k, w) in neighbors {
-            if k == moved || Some(k) == other {
+        pos_stamp: &mut [u32],
+    ) -> [f64; 4] {
+        let pot = self.potential;
+        let rows = self.rows as i32;
+        let cols = self.cols as i32;
+        // Every potential evaluation below passes the same integer
+        // displacements the coordinate-based forms produce — a mesh
+        // neighbour in direction `d` is exactly an `OFF[d]` shift — so no
+        // per-direction position lookups are needed and the f64 results
+        // are unchanged.
+        let (tx, ty) = (to.x as i32, to.y as i32);
+        let (fx, fy) = (from.x as i32, from.y as i32);
+        let mut tvalid = [false; 4];
+        for (d, v) in tvalid.iter_mut().enumerate() {
+            let nx = tx + OFF[d].0;
+            let ny = ty + OFF[d].1;
+            *v = nx >= 0 && ny >= 0 && nx < rows && ny < cols;
+        }
+        let mut f = [0.0f64; 4];
+        let lo = self.adj_off[moved as usize] as usize;
+        let hi = self.adj_off[moved as usize + 1] as usize;
+        for e in lo..hi {
+            let (k, w) = self.adj[e];
+            let w = w as f64;
+            let hk = &mut self.hot[k as usize];
+            let pk = hk.coord;
+            let (kx, ky) = (pk.x as i32, pk.y as i32);
+            // `moved`'s own force term of this edge at the new position
+            // (every edge contributes, exactly as a full rebuild would).
+            let ndx = kx - tx;
+            let ndy = ky - ty;
+            let u_here = pot.value(ndx, ndy);
+            for d in 0..4 {
+                if tvalid[d] {
+                    f[d] += w * (u_here - pot.value(ndx - OFF[d].0, ndy - OFF[d].1));
+                }
+            }
+            if k == moved || k == other {
                 continue;
             }
-            let pki = self.pos_index(k);
-            let pk = self.coord(pki);
-            for d in 0..4 {
-                let Some(qi) = self.step(pki, d) else { continue };
-                let there = self.coord(qi);
+            let (dx, dy) = (tx - kx, ty - ky);
+            let (fdx, fdy) = (fx - kx, fy - ky);
+            let u_to_pk = pot.value(dx, dy);
+            let u_from_pk = pot.value(fdx, fdy);
+            for (d, &(ox, oy)) in OFF.iter().enumerate() {
+                let nx = kx + ox;
+                let ny = ky + oy;
+                if nx < 0 || ny < 0 || nx >= rows || ny >= cols {
+                    continue;
+                }
                 // Force term of edge (k, moved) in direction d changed
                 // from the `from` position to the `to` position.
-                self.force[pki][d] += w
-                    * ((self.u(to, pk) - self.u(to, there))
-                        - (self.u(from, pk) - self.u(from, there)));
+                let delta = w
+                    * ((u_to_pk - pot.value(dx - ox, dy - oy))
+                        - (u_from_pk - pot.value(fdx - ox, fdy - oy)));
+                hk.force[d] += delta;
             }
-            affected.push(k);
+            if hk.stamp != epoch {
+                hk.stamp = epoch;
+                affected.push(k);
+            }
+            pos_stamp[self.pos[k as usize] as usize] = epoch;
         }
+        f
+    }
+
+    /// Commits the engine's occupancy back into the caller's placement
+    /// in one bulk assignment — the placement is untouched during
+    /// sweeps, so this is the only write it sees.
+    fn writeback(&mut self) -> Result<(), CoreError> {
+        let coords: Vec<Coord> = self.hot.iter().map(|h| h.coord).collect();
+        self.placement.set_coords(&coords).map_err(CoreError::Hw)
     }
 }
 
@@ -604,7 +902,7 @@ mod tests {
         let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
         let mut scratch = p.clone();
         let engine =
-            Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact, None).unwrap();
+            Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact, None, 1).unwrap();
         assert!((engine.system_energy() - stats.final_energy).abs() < 1e-6);
     }
 
@@ -709,7 +1007,7 @@ mod tests {
         force_directed(&pcn, &mut p, &FdConfig::default()).unwrap();
         let mut scratch = p.clone();
         let engine =
-            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None)
+            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None, 1)
                 .unwrap();
         for pos in 0..mesh.len() {
             for d in [DOWN, RIGHT] {
@@ -837,6 +1135,27 @@ mod tests {
             )
             .unwrap();
             assert!(stats.converged, "lambda={lambda}");
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_serial() {
+        // The full property test lives in tests/fd_par_props.rs; this is
+        // the fast in-module smoke check of the same guarantee.
+        let pcn = small_pcn();
+        let mesh = Mesh::new(8, 8).unwrap();
+        let base = random_placement(&pcn, mesh, 29).unwrap();
+        let run = |threads: usize| {
+            let mut p = base.clone();
+            let cfg = FdConfig { threads, ..FdConfig::default() };
+            let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
+            (p, stats)
+        };
+        let (p1, s1) = run(1);
+        for threads in [2, 4] {
+            let (pt, st) = run(threads);
+            assert_eq!(pt, p1, "placement diverged at threads={threads}");
+            assert_eq!(st, s1, "stats diverged at threads={threads}");
         }
     }
 }

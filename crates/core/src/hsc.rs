@@ -7,7 +7,7 @@ use snnmap_curves::{masked_traversal, Gilbert, Hilbert, SpaceFillingCurve};
 use snnmap_hw::{Coord, FaultMap, Mesh, Placement};
 use snnmap_model::Pcn;
 
-use crate::{toposort, CoreError};
+use crate::{par, toposort, CoreError};
 
 /// Checks that `n` clusters fit on the healthy cores of `mesh` under an
 /// optional fault map, producing the most specific error available.
@@ -107,11 +107,44 @@ fn sequence_placement_impl(
         Some(fm) => masked_traversal(curve, mesh, |c| !fm.is_dead(c))?,
         None => curve.traversal(mesh)?,
     };
+    place_along(order, &traversal, mesh, faults)
+}
+
+/// Lays `order[i]` on `traversal[i]`.
+fn place_along(
+    order: &[u32],
+    traversal: &[Coord],
+    mesh: Mesh,
+    faults: Option<&FaultMap>,
+) -> Result<Placement, CoreError> {
     let mut p = fresh_placement(mesh, order.len() as u32, faults)?;
     for (i, &c) in order.iter().enumerate() {
         p.place(c, traversal[i])?;
     }
     Ok(p)
+}
+
+/// Builds the classic Hilbert traversal of a `2^k` square mesh across up
+/// to `threads` workers, using the closed-form [`Hilbert::d2xy`] per
+/// index. Identical to `Hilbert.traversal(mesh)` for every thread count
+/// (each element is a pure function of its index); a fault mask is then
+/// applied in curve order, matching [`masked_traversal`].
+fn hilbert_traversal_par(
+    mesh: Mesh,
+    faults: Option<&FaultMap>,
+    threads: usize,
+) -> Vec<Coord> {
+    let side = mesh.rows() as u32;
+    debug_assert!(mesh.rows() == mesh.cols() && side.is_power_of_two());
+    let mut traversal = vec![Coord::new(0, 0); mesh.len()];
+    par::par_init(threads, &mut traversal, |d| {
+        let (x, y) = Hilbert::d2xy(side, d as u64);
+        Coord::new(x as u16, y as u16)
+    });
+    match faults {
+        Some(fm) => traversal.into_iter().filter(|&c| !fm.is_dead(c)).collect(),
+        None => traversal,
+    }
 }
 
 /// The paper's initial placement `P_init = Hilbert ∘ Seq` (§4.2.3):
@@ -139,7 +172,28 @@ fn sequence_placement_impl(
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn hsc_placement(pcn: &Pcn, mesh: Mesh) -> Result<Placement, CoreError> {
-    hsc_placement_impl(pcn, mesh, None)
+    hsc_placement_impl(pcn, mesh, None, 1)
+}
+
+/// [`hsc_placement`] with the Hilbert traversal built across up to
+/// `threads` workers (`0` = auto, see [`par::resolve_threads`]).
+///
+/// The traversal is an element-wise pure function of the curve index
+/// ([`Hilbert::d2xy`]), so the resulting placement is **bit-identical for
+/// every thread count** — parallelism only changes the wall-clock time of
+/// the initial-placement phase on million-core meshes. Non-`2^k`-square
+/// meshes fall back to the serial generalized [`Gilbert`] construction,
+/// whose recursive structure is inherently sequential.
+///
+/// # Errors
+///
+/// As [`hsc_placement`].
+pub fn hsc_placement_threaded(
+    pcn: &Pcn,
+    mesh: Mesh,
+    threads: usize,
+) -> Result<Placement, CoreError> {
+    hsc_placement_impl(pcn, mesh, None, par::resolve_threads(threads))
 }
 
 /// Fault-aware [`hsc_placement`]: same curve choice, but the traversal is
@@ -154,22 +208,44 @@ pub fn hsc_placement_masked(
     mesh: Mesh,
     faults: &FaultMap,
 ) -> Result<Placement, CoreError> {
-    hsc_placement_impl(pcn, mesh, Some(faults))
+    hsc_placement_impl(pcn, mesh, Some(faults), 1)
+}
+
+/// [`hsc_placement_masked`] with a parallel Hilbert traversal; see
+/// [`hsc_placement_threaded`] for the threading semantics (the fault mask
+/// is applied in curve order after the parallel build, so the compaction
+/// matches the serial path exactly).
+///
+/// # Errors
+///
+/// As [`hsc_placement_masked`].
+pub fn hsc_placement_masked_threaded(
+    pcn: &Pcn,
+    mesh: Mesh,
+    faults: &FaultMap,
+    threads: usize,
+) -> Result<Placement, CoreError> {
+    hsc_placement_impl(pcn, mesh, Some(faults), par::resolve_threads(threads))
 }
 
 fn hsc_placement_impl(
     pcn: &Pcn,
     mesh: Mesh,
     faults: Option<&FaultMap>,
+    threads: usize,
 ) -> Result<Placement, CoreError> {
     let order = toposort(pcn);
     let pow2_square =
         mesh.rows() == mesh.cols() && (mesh.rows() as u32).is_power_of_two();
-    if pow2_square {
-        sequence_placement_impl(&order, &Hilbert, mesh, faults)
-    } else {
-        sequence_placement_impl(&order, &Gilbert, mesh, faults)
+    if !pow2_square {
+        return sequence_placement_impl(&order, &Gilbert, mesh, faults);
     }
+    if threads <= 1 {
+        return sequence_placement_impl(&order, &Hilbert, mesh, faults);
+    }
+    check_capacity(order.len() as u32, mesh, faults)?;
+    let traversal = hilbert_traversal_par(mesh, faults, threads);
+    place_along(&order, &traversal, mesh, faults)
 }
 
 /// The baseline: clusters shuffled uniformly over the cores (§5.1.3,
@@ -360,6 +436,42 @@ mod tests {
             hsc_placement_masked(&pcn, Mesh::new(3, 3).unwrap(), &fm),
             Err(CoreError::Hw(snnmap_hw::HwError::InvalidFaultSpec { .. }))
         ));
+    }
+
+    #[test]
+    fn threaded_hsc_is_identical_for_every_thread_count() {
+        // 64x64 = 4096 cores clears the par_init granularity throttle, so
+        // threads = 2.. genuinely split the traversal across workers.
+        let pcn = random_pcn(4000, 4.0, 9).unwrap();
+        let mesh = Mesh::new(64, 64).unwrap();
+        let serial = hsc_placement(&pcn, mesh).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = hsc_placement_threaded(&pcn, mesh, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_masked_hsc_matches_serial_compaction() {
+        let pcn = random_pcn(4000, 4.0, 9).unwrap();
+        let mesh = Mesh::new(64, 64).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        for i in 0..60u16 {
+            fm.kill_core(Coord::new(i, (i * 7) % 64)).unwrap();
+        }
+        let serial = hsc_placement_masked(&pcn, mesh, &fm).unwrap();
+        for threads in [2, 4, 8] {
+            let par = hsc_placement_masked_threaded(&pcn, mesh, &fm, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_hsc_falls_back_to_gilbert_on_non_pow2() {
+        let pcn = random_pcn(3000, 4.0, 2).unwrap();
+        let mesh = Mesh::new(60, 60).unwrap();
+        let serial = hsc_placement(&pcn, mesh).unwrap();
+        assert_eq!(hsc_placement_threaded(&pcn, mesh, 4).unwrap(), serial);
     }
 
     #[test]

@@ -47,14 +47,16 @@ mod error;
 mod fd;
 mod hsc;
 mod mapper;
+pub mod par;
 mod toposort;
 mod validate;
 
 pub use error::CoreError;
 pub use fd::{force_directed, force_directed_masked, FdConfig, FdStats, Potential, TensionMode};
 pub use hsc::{
-    hsc_placement, hsc_placement_masked, random_placement, random_placement_masked,
-    sequence_placement, sequence_placement_masked,
+    hsc_placement, hsc_placement_masked, hsc_placement_masked_threaded,
+    hsc_placement_threaded, random_placement, random_placement_masked, sequence_placement,
+    sequence_placement_masked,
 };
 pub use mapper::{InitialPlacement, MapOutcome, Mapper, MapperBuilder};
 pub use toposort::toposort;

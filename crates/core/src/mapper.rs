@@ -8,9 +8,9 @@ use snnmap_hw::{FaultMap, Mesh, Placement};
 use snnmap_model::Pcn;
 
 use crate::{
-    force_directed, force_directed_masked, hsc_placement, hsc_placement_masked,
-    random_placement, random_placement_masked, sequence_placement, sequence_placement_masked,
-    toposort, CoreError, FdConfig, FdStats, Potential,
+    force_directed, force_directed_masked, hsc_placement_masked_threaded,
+    hsc_placement_threaded, random_placement, random_placement_masked, sequence_placement,
+    sequence_placement_masked, toposort, CoreError, FdConfig, FdStats, Potential,
 };
 
 /// How the initial placement is produced (step 1 of Figure 3; the
@@ -76,6 +76,7 @@ pub struct Mapper {
     init: InitialPlacement,
     fd: Option<FdConfig>,
     faults: Option<FaultMap>,
+    threads: usize,
 }
 
 impl Mapper {
@@ -99,6 +100,12 @@ impl Mapper {
         self.faults.as_ref()
     }
 
+    /// The configured worker-thread count (`0` = auto; see
+    /// [`crate::par::resolve_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Maps a PCN onto a mesh. When a fault map is configured (see
     /// [`MapperBuilder::fault_map`]), every phase avoids dead cores: the
     /// initial curve/random placement uses only healthy cores and the FD
@@ -115,8 +122,12 @@ impl Mapper {
         let fm = self.faults.as_ref();
         let t0 = Instant::now();
         let mut placement = match (self.init, fm) {
-            (InitialPlacement::Hilbert, None) => hsc_placement(pcn, mesh)?,
-            (InitialPlacement::Hilbert, Some(fm)) => hsc_placement_masked(pcn, mesh, fm)?,
+            (InitialPlacement::Hilbert, None) => {
+                hsc_placement_threaded(pcn, mesh, self.threads)?
+            }
+            (InitialPlacement::Hilbert, Some(fm)) => {
+                hsc_placement_masked_threaded(pcn, mesh, fm, self.threads)?
+            }
             (InitialPlacement::ZigZag, _) => self.curve_init(pcn, mesh, &ZigZag)?,
             (InitialPlacement::Circle, _) => self.curve_init(pcn, mesh, &Spiral)?,
             (InitialPlacement::Serpentine, _) => self.curve_init(pcn, mesh, &Serpentine)?,
@@ -176,6 +187,7 @@ pub struct MapperBuilder {
     fd_enabled: bool,
     fd: FdConfig,
     faults: Option<FaultMap>,
+    threads: usize,
 }
 
 impl Default for MapperBuilder {
@@ -185,6 +197,7 @@ impl Default for MapperBuilder {
             fd_enabled: true,
             fd: FdConfig::default(),
             faults: None,
+            threads: 0,
         }
     }
 }
@@ -239,9 +252,27 @@ impl MapperBuilder {
         self
     }
 
+    /// Sets the worker-thread count for both the Hilbert traversal and
+    /// the FD engine (default `0` = auto: `SNNMAP_THREADS`, else the
+    /// machine's available parallelism).
+    ///
+    /// The pipeline produces **bit-identical placements for every thread
+    /// count** — this knob only trades wall-clock time for cores.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Finalizes the mapper.
     pub fn build(self) -> Mapper {
-        Mapper { init: self.init, fd: self.fd_enabled.then_some(self.fd), faults: self.faults }
+        let mut fd = self.fd;
+        fd.threads = self.threads;
+        Mapper {
+            init: self.init,
+            fd: self.fd_enabled.then_some(fd),
+            faults: self.faults,
+            threads: self.threads,
+        }
     }
 }
 
@@ -294,6 +325,24 @@ mod tests {
         let a = evaluate(&pcn, &init_only.placement, cost).unwrap();
         let b = evaluate(&pcn, &full.placement, cost).unwrap();
         assert!(b.energy <= a.energy, "FD must not worsen energy");
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_outcome() {
+        let pcn = random_pcn(120, 5.0, 4).unwrap();
+        let mesh = Mesh::new(16, 16).unwrap();
+        let reference = Mapper::builder().threads(1).build().map(&pcn, mesh).unwrap();
+        for threads in [2, 4, 8] {
+            let m = Mapper::builder().threads(threads).build();
+            assert_eq!(m.threads(), threads);
+            let out = m.map(&pcn, mesh).unwrap();
+            assert_eq!(out.placement, reference.placement, "threads={threads}");
+            assert_eq!(
+                out.fd_stats.as_ref().unwrap().swaps,
+                reference.fd_stats.as_ref().unwrap().swaps,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Scoped-thread data-parallel helpers.
+//!
+//! The build environment has no access to crates.io, so instead of rayon
+//! this module provides the three primitives the mapping pipeline needs,
+//! built on [`std::thread::scope`]:
+//!
+//! * [`par_init`] — fill a slice element-wise from a pure index function;
+//! * [`par_flat_map`] — map an index range through a collector and
+//!   concatenate the per-chunk results in index order;
+//! * [`par_block_sum`] — reduce an index range to an `f64` in *fixed-size
+//!   blocks* whose partial sums are combined in block order.
+//!
+//! All three produce **bit-identical results for every thread count**:
+//! work is split into contiguous index ranges processed left to right,
+//! per-element computations are pure, and every merge happens in
+//! deterministic index (or block) order. Floating-point reductions never
+//! depend on how many workers ran — [`par_block_sum`] fixes the block
+//! boundaries independently of the thread count, so the rounding of each
+//! partial sum is reproducible. This is what lets the Force-Directed
+//! engine guarantee byte-identical placements for `threads = 1, 2, 4, …`.
+//!
+//! Threads are spawned per call (scoped, borrowing the caller's data) and
+//! joined before returning; small inputs fall back to the serial path so
+//! the spawn cost is only paid where it can be amortized.
+
+use std::num::NonZeroUsize;
+
+/// Work below this many items per *extra* worker is done serially: a
+/// thread spawn costs tens of microseconds, which only pays for itself on
+/// chunks of at least a few thousand cheap items.
+const MIN_ITEMS_PER_THREAD: usize = 2048;
+
+/// Resolves a requested worker count to an effective one.
+///
+/// `0` means *auto*: the `SNNMAP_THREADS` environment variable if set to
+/// a positive integer, otherwise [`std::thread::available_parallelism`]
+/// (falling back to 1 when even that is unavailable). Any positive
+/// request is honoured as-is.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::par::resolve_threads;
+///
+/// assert_eq!(resolve_threads(3), 3);
+/// assert!(resolve_threads(0) >= 1); // auto-detected
+/// ```
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("SNNMAP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Caps `threads` so every worker has at least [`MIN_ITEMS_PER_THREAD`]
+/// items, and never exceeds the item count.
+#[inline]
+fn effective_threads(threads: usize, items: usize) -> usize {
+    let by_work = items / MIN_ITEMS_PER_THREAD;
+    threads.min(by_work.max(1)).max(1)
+}
+
+/// Fills `out[i] = f(base_of_chunk + i)` across up to `threads` workers.
+///
+/// The slice is split into contiguous chunks, one per worker; chunk `0`
+/// runs on the calling thread so a worker is only spawned when there is a
+/// second chunk. Because `f` is pure per index and every element is
+/// written exactly once, the result is identical for any thread count.
+pub fn par_init<T, F>(threads: usize, out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_init_inner(effective_threads(threads, out.len()), out, f);
+}
+
+/// [`par_init`] without the work-granularity throttle: the caller has
+/// already decided how many workers the job deserves (e.g.
+/// [`par_block_sum`], whose few slots each carry a whole block of work).
+fn par_init_inner<T, F>(threads: usize, out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = out.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut chunks = out.chunks_mut(chunk);
+        let first = chunks.next();
+        for (k, part) in chunks.enumerate() {
+            let base = (k + 1) * chunk;
+            s.spawn(move || {
+                for (j, slot) in part.iter_mut().enumerate() {
+                    *slot = f(base + j);
+                }
+            });
+        }
+        if let Some(part) = first {
+            for (j, slot) in part.iter_mut().enumerate() {
+                *slot = f(j);
+            }
+        }
+    });
+}
+
+/// Runs `f(i, &mut results)` for every `i in 0..n` and returns the
+/// concatenation of the per-chunk result vectors **in chunk (= index)
+/// order**.
+///
+/// `f` may push zero or more items per index (filtering maps use this),
+/// so the output length is data-dependent; the *order* of surviving items
+/// always matches what the serial loop would produce, independent of the
+/// thread count.
+pub fn par_flat_map<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut Vec<R>) + Sync,
+{
+    let threads = effective_threads(threads, n);
+    if threads == 1 {
+        let mut out = Vec::new();
+        for i in 0..n {
+            f(i, &mut out);
+        }
+        return out;
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads - 1);
+        for k in 1..threads {
+            let lo = k * chunk;
+            let hi = ((k + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            handles.push(s.spawn(move || {
+                let mut v = Vec::new();
+                for i in lo..hi {
+                    f(i, &mut v);
+                }
+                v
+            }));
+        }
+        let mut first = Vec::new();
+        for i in 0..chunk.min(n) {
+            f(i, &mut first);
+        }
+        parts.push(first);
+        for h in handles {
+            // A worker can only panic if `f` panicked; propagate it.
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Sums `f(lo..hi)` over fixed-size blocks of `block` indices, combining
+/// the per-block partial sums **in block order**.
+///
+/// Block boundaries depend only on `n` and `block` — never on the thread
+/// count — so every partial sum (and therefore the total, including its
+/// floating-point rounding) is bit-identical for any `threads`. Blocks
+/// are distributed over workers via [`par_init`].
+pub fn par_block_sum<F>(threads: usize, n: usize, block: usize, f: F) -> f64
+where
+    F: Fn(std::ops::Range<usize>) -> f64 + Sync,
+{
+    assert!(block > 0, "block size must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    let blocks = n.div_ceil(block);
+    if blocks == 1 {
+        return f(0..n);
+    }
+    let mut partial = vec![0.0f64; blocks];
+    // Granularity is decided on the underlying item count (each slot is a
+    // whole block of work), not on the handful of partial-sum slots.
+    par_init_inner(effective_threads(threads, n), &mut partial, |b| {
+        let lo = b * block;
+        let hi = (lo + block).min(n);
+        f(lo..hi)
+    });
+    partial.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_honours_explicit_request() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn par_init_matches_serial_for_every_thread_count() {
+        let n = 10_000;
+        let mut expect = vec![0u64; n];
+        par_init(1, &mut expect, |i| (i as u64).wrapping_mul(0x9e3779b9));
+        for threads in [2, 3, 4, 8, 17] {
+            let mut got = vec![0u64; n];
+            par_init(threads, &mut got, |i| (i as u64).wrapping_mul(0x9e3779b9));
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_flat_map_preserves_order_and_filtering() {
+        let n = 9_999;
+        let f = |i: usize, out: &mut Vec<usize>| {
+            if i % 3 == 0 {
+                out.push(i * 2);
+            }
+        };
+        let expect = par_flat_map(1, n, f);
+        assert_eq!(expect.len(), n.div_ceil(3));
+        for threads in [2, 4, 5, 16] {
+            assert_eq!(par_flat_map(threads, n, f), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_block_sum_is_bitwise_thread_independent() {
+        // Sums of many different magnitudes expose any reassociation.
+        let n = 50_000;
+        let weight = |i: usize| ((i % 97) as f64).exp2() * 1e-7;
+        let f = |r: std::ops::Range<usize>| r.map(weight).sum::<f64>();
+        let expect = par_block_sum(1, n, 1024, f);
+        for threads in [2, 3, 4, 8] {
+            let got = par_block_sum(threads, n, 1024, f);
+            assert_eq!(got.to_bits(), expect.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_block_sum_handles_degenerate_sizes() {
+        assert_eq!(par_block_sum(4, 0, 16, |_| 1.0), 0.0);
+        assert_eq!(par_block_sum(4, 5, 16, |r| r.len() as f64), 5.0);
+        assert_eq!(par_block_sum(1, 33, 16, |r| r.len() as f64), 33.0);
+    }
+
+    #[test]
+    fn small_inputs_run_serially_but_correctly() {
+        let mut out = vec![0usize; 10];
+        par_init(8, &mut out, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        let v = par_flat_map(8, 10, |i, out| out.push(i));
+        assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,167 @@
+//! Determinism property tests for the parallel Force-Directed engine:
+//! on random PCNs over meshes up to 64×64 — including the fault-masked
+//! path — `force_directed` must produce an **identical placement and
+//! identical [`FdStats`]** for `threads = 1, 2, 4, 8`. Parallelism may
+//! only change wall-clock time, never a single coordinate or statistic
+//! (energies are compared via their bit patterns, not a tolerance).
+
+use proptest::prelude::*;
+use snnmap_core::{
+    force_directed, force_directed_masked, hsc_placement_masked_threaded,
+    hsc_placement_threaded, FdConfig, FdStats, Potential,
+};
+use snnmap_hw::{FaultInjector, FaultMap, FaultPattern, Mesh};
+use snnmap_model::generators::random_pcn;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Bitwise comparison of two stats records: `PartialEq` on the floats
+/// would already fail on any rounding difference, but comparing bits also
+/// distinguishes `-0.0` from `0.0` and documents the guarantee we make.
+fn assert_stats_bits_equal(a: &FdStats, b: &FdStats, ctx: &str) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.iterations, b.iterations, "iterations diverged: {}", ctx);
+    prop_assert_eq!(a.swaps, b.swaps, "swaps diverged: {}", ctx);
+    prop_assert_eq!(
+        a.initial_energy.to_bits(),
+        b.initial_energy.to_bits(),
+        "initial energy bits diverged: {}",
+        ctx
+    );
+    prop_assert_eq!(
+        a.final_energy.to_bits(),
+        b.final_energy.to_bits(),
+        "final energy bits diverged: {}",
+        ctx
+    );
+    prop_assert_eq!(a.converged, b.converged, "convergence flag diverged: {}", ctx);
+    Ok(())
+}
+
+fn potential_from(idx: u8) -> Potential {
+    match idx % 3 {
+        0 => Potential::L2Squared,
+        1 => Potential::L1,
+        _ => Potential::L1Squared,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fault-free path: HSC init + capped FD agree across thread counts
+    /// on meshes from 8×8 to 64×64.
+    #[test]
+    fn fd_is_thread_count_invariant(
+        side_idx in 0usize..4,
+        fill_pct in 60u32..=100,
+        pot_idx in 0u8..3,
+        seed in 0u64..1000,
+    ) {
+        let side = [8u16, 16, 32, 64][side_idx];
+        let cores = side as u32 * side as u32;
+        let clusters = (cores * fill_pct / 100).max(4);
+        let pcn = random_pcn(clusters, 4.0, seed).unwrap();
+        let mesh = Mesh::new(side, side).unwrap();
+        // Larger meshes get a sweep cap so the suite stays fast; the cap
+        // cannot hide divergence (every sweep is compared end-state).
+        let cap = if side >= 32 { Some(12) } else { None };
+
+        let init = hsc_placement_threaded(&pcn, mesh, 1).unwrap();
+        let mut reference = None;
+        for threads in THREADS {
+            prop_assert_eq!(
+                &hsc_placement_threaded(&pcn, mesh, threads).unwrap(),
+                &init,
+                "initial placement diverged at threads={}",
+                threads
+            );
+            let cfg = FdConfig {
+                potential: potential_from(pot_idx),
+                max_iterations: cap,
+                threads,
+                ..FdConfig::default()
+            };
+            let mut p = init.clone();
+            let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
+            match &reference {
+                None => reference = Some((p, stats)),
+                Some((rp, rs)) => {
+                    prop_assert_eq!(&p, rp, "placement diverged at threads={}", threads);
+                    assert_stats_bits_equal(&stats, rs, &format!("threads={threads}"))?;
+                }
+            }
+        }
+    }
+
+    /// Fault-masked path: dead cores constrain both the compacted Hilbert
+    /// init and the FD swap moves; the thread count still changes nothing.
+    #[test]
+    fn masked_fd_is_thread_count_invariant(
+        side_idx in 0usize..3,
+        rate_pct in 1u32..=8,
+        seed in 0u64..1000,
+    ) {
+        let side = [16u16, 32, 64][side_idx];
+        let mesh = Mesh::new(side, side).unwrap();
+        let pattern = FaultPattern::Uniform {
+            core_rate: rate_pct as f64 / 100.0,
+            link_rate: 0.0,
+        };
+        let fm: FaultMap = FaultInjector::new(seed).inject(mesh, &pattern).unwrap();
+        let healthy = mesh.len() - fm.num_dead_cores() as usize;
+        // Leave a little slack so the placement always fits.
+        let clusters = (healthy as u32 * 9 / 10).max(4);
+        let pcn = random_pcn(clusters, 4.0, seed ^ 0xA5A5).unwrap();
+        let cap = if side >= 32 { Some(10) } else { None };
+
+        let init = hsc_placement_masked_threaded(&pcn, mesh, &fm, 1).unwrap();
+        let mut reference = None;
+        for threads in THREADS {
+            prop_assert_eq!(
+                &hsc_placement_masked_threaded(&pcn, mesh, &fm, threads).unwrap(),
+                &init,
+                "masked initial placement diverged at threads={}",
+                threads
+            );
+            let cfg = FdConfig { max_iterations: cap, threads, ..FdConfig::default() };
+            let mut p = init.clone();
+            let stats = force_directed_masked(&pcn, &mut p, &cfg, &fm).unwrap();
+            for (_, coord) in p.iter_placed() {
+                prop_assert!(!fm.is_dead(coord), "swap onto dead core {}", coord);
+            }
+            match &reference {
+                None => reference = Some((p, stats)),
+                Some((rp, rs)) => {
+                    prop_assert_eq!(&p, rp, "masked placement diverged at threads={}", threads);
+                    assert_stats_bits_equal(&stats, rs, &format!("masked threads={threads}"))?;
+                }
+            }
+        }
+    }
+}
+
+/// One deterministic full-convergence run (no caps): the strongest form
+/// of the guarantee on a mid-size mesh, exercised every test run rather
+/// than under proptest shrinking.
+#[test]
+fn full_convergence_is_thread_count_invariant() {
+    let pcn = random_pcn(240, 4.0, 7).unwrap();
+    let mesh = Mesh::new(16, 16).unwrap();
+    let init = hsc_placement_threaded(&pcn, mesh, 1).unwrap();
+    let mut reference = None;
+    for threads in THREADS {
+        let cfg = FdConfig { threads, ..FdConfig::default() };
+        let mut p = init.clone();
+        let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
+        assert!(stats.converged, "threads={threads} failed to converge");
+        match &reference {
+            None => reference = Some((p, stats)),
+            Some((rp, rs)) => {
+                assert_eq!(&p, rp, "placement diverged at threads={threads}");
+                assert_eq!(stats.iterations, rs.iterations);
+                assert_eq!(stats.swaps, rs.swaps);
+                assert_eq!(stats.final_energy.to_bits(), rs.final_energy.to_bits());
+            }
+        }
+    }
+}

@@ -198,6 +198,29 @@ impl Mesh {
     pub fn iter(&self) -> CoordIter {
         CoordIter { mesh: *self, next: 0 }
     }
+
+    /// The full coordinate table in index order:
+    /// `table[self.index_of(c)] == c` for every in-mesh `c`.
+    ///
+    /// Hot loops (the Force-Directed engine visits every edge of every
+    /// affected cluster per sweep) use this flat table to replace the
+    /// div/mod of [`Mesh::coord_of_index`] with an indexed load.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snnmap_hw::Mesh;
+    ///
+    /// let mesh = Mesh::new(3, 5)?;
+    /// let table = mesh.coord_table();
+    /// assert_eq!(table.len(), mesh.len());
+    /// assert!(table.iter().enumerate().all(|(i, &c)| mesh.index_of(c) == i));
+    /// # Ok::<(), snnmap_hw::HwError>(())
+    /// ```
+    #[must_use]
+    pub fn coord_table(&self) -> Vec<Coord> {
+        self.iter().collect()
+    }
 }
 
 impl fmt::Display for Mesh {

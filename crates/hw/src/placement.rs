@@ -285,6 +285,66 @@ impl Placement {
         Ok(())
     }
 
+    /// Reassigns every cluster's coordinate in one bulk operation,
+    /// replacing the current (possibly partial) assignment: `coords[i]`
+    /// becomes the position of cluster `i`. The whole assignment is
+    /// validated before any state changes, so on error the placement is
+    /// left exactly as it was.
+    ///
+    /// This is the Force-Directed engine's write-back path: the engine
+    /// tracks occupancy in its own flat tables during sweeps and commits
+    /// the result here once, instead of paying two placement updates per
+    /// swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords.len() != self.len()` — a bulk assignment covers
+    /// exactly the clusters the placement tracks.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::OutOfBounds`] for a coordinate outside the mesh,
+    /// [`HwError::FaultyCore`] for a masked (dead) target core, and
+    /// [`HwError::CoreOccupied`] if two clusters name the same core.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snnmap_hw::{Mesh, Coord, Placement};
+    ///
+    /// let mesh = Mesh::new(2, 2)?;
+    /// let mut p = Placement::new_unplaced(mesh, 2);
+    /// p.set_coords(&[Coord::new(1, 1), Coord::new(0, 0)])?;
+    /// assert_eq!(p.coord_of(0), Some(Coord::new(1, 1)));
+    /// assert_eq!(p.cluster_at(Coord::new(0, 0)), Some(1));
+    /// # Ok::<(), snnmap_hw::HwError>(())
+    /// ```
+    pub fn set_coords(&mut self, coords: &[Coord]) -> Result<(), HwError> {
+        assert_eq!(
+            coords.len(),
+            self.pos.len(),
+            "set_coords must cover every cluster of the placement"
+        );
+        let mut grid: Vec<Option<ClusterId>> = vec![None; self.mesh.len()];
+        for (i, &c) in coords.iter().enumerate() {
+            if !self.mesh.contains(c) {
+                return Err(HwError::OutOfBounds { coord: c });
+            }
+            if self.is_masked(c) {
+                return Err(HwError::FaultyCore { coord: c });
+            }
+            let idx = self.mesh.index_of(c);
+            if let Some(occupant) = grid[idx] {
+                return Err(HwError::CoreOccupied { coord: c, occupant });
+            }
+            grid[idx] = Some(i as ClusterId);
+        }
+        self.grid = grid;
+        self.pos = coords.iter().map(|&c| Some(c)).collect();
+        self.placed = self.pos.len() as u32;
+        Ok(())
+    }
+
     /// Manhattan distance `‖P(c_i) − P(c_j)‖₁` between two placed clusters —
     /// the quantity inside every metric of §3.3.
     ///
@@ -473,6 +533,54 @@ mod tests {
         p.place(0, Coord::new(1, 1)).unwrap();
         let v: Vec<_> = p.iter_placed().collect();
         assert_eq!(v, vec![(0, Coord::new(1, 1)), (2, Coord::new(0, 0))]);
+    }
+
+    #[test]
+    fn set_coords_bulk_assigns_and_overwrites() {
+        let mut p = Placement::new_unplaced(mesh3(), 3);
+        p.place(0, Coord::new(2, 2)).unwrap();
+        p.set_coords(&[Coord::new(0, 0), Coord::new(0, 1), Coord::new(1, 0)]).unwrap();
+        assert!(p.is_complete());
+        assert_eq!(p.coord_of(0), Some(Coord::new(0, 0)));
+        assert_eq!(p.cluster_at(Coord::new(2, 2)), None, "old assignment fully replaced");
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn set_coords_rejects_invalid_and_leaves_placement_untouched() {
+        let mut p = Placement::new_unplaced(mesh3(), 2);
+        p.place(0, Coord::new(1, 1)).unwrap();
+        let before = p.clone();
+        assert!(matches!(
+            p.set_coords(&[Coord::new(0, 0), Coord::new(3, 0)]),
+            Err(HwError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            p.set_coords(&[Coord::new(0, 0), Coord::new(0, 0)]),
+            Err(HwError::CoreOccupied { occupant: 0, .. })
+        ));
+        assert_eq!(p, before, "failed bulk assignment must not mutate");
+    }
+
+    #[test]
+    fn set_coords_respects_fault_mask() {
+        use crate::FaultMap;
+        let mut faults = FaultMap::new(mesh3());
+        faults.kill_core(Coord::new(1, 1)).unwrap();
+        let mut p = Placement::new_unplaced_masked(mesh3(), 2, &faults).unwrap();
+        assert!(matches!(
+            p.set_coords(&[Coord::new(0, 0), Coord::new(1, 1)]),
+            Err(HwError::FaultyCore { coord }) if coord == Coord::new(1, 1)
+        ));
+        p.set_coords(&[Coord::new(0, 0), Coord::new(2, 2)]).unwrap();
+        p.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "every cluster")]
+    fn set_coords_panics_on_length_mismatch() {
+        let mut p = Placement::new_unplaced(mesh3(), 3);
+        let _ = p.set_coords(&[Coord::new(0, 0)]);
     }
 
     #[test]
