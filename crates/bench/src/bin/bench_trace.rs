@@ -1,0 +1,369 @@
+//! Convergence-trace benchmark: runs the full proposed pipeline once
+//! *without* tracing and once *with* an in-memory trace sink on the same
+//! workload, asserts the two placements are **sha256-identical** (tracing
+//! must never perturb the pipeline), and aggregates the collected
+//! telemetry — per-phase spans, per-sweep FD convergence, thread-pool
+//! counters — into a machine-readable `BENCH_trace.json`.
+//!
+//! ```text
+//! cargo run --release -p snnmap-bench --bin bench_trace -- \
+//!     --clusters 60000 --mesh 256x256 --max-iters 40 \
+//!     --threads 4 --json results/BENCH_trace.json
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use snnmap_bench::table::{write_json, Table};
+use snnmap_core::Mapper;
+use snnmap_hw::{Mesh, Placement};
+use snnmap_model::generators::random_pcn;
+use snnmap_trace::{MemorySink, Sha256, TraceEvent};
+
+// The trace layer reports allocation deltas per phase; they are all zero
+// unless the binary installs the counting allocator.
+#[global_allocator]
+static ALLOC: snnmap_trace::CountingAlloc = snnmap_trace::CountingAlloc::new();
+
+/// One pipeline phase span from the trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TracePhase {
+    /// Phase name (`toposort`, `hsc_init`, `fd`, ...).
+    pub name: String,
+    /// Wall-clock nanoseconds.
+    pub wall_ns: u64,
+    /// Heap bytes allocated during the phase.
+    pub alloc_bytes: u64,
+    /// Heap allocations during the phase.
+    pub allocs: u64,
+}
+
+/// One FD sweep's convergence telemetry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSweep {
+    /// 1-based sweep number.
+    pub sweep: u64,
+    /// Queue length at sweep start.
+    pub queue: u64,
+    /// λ-selection cutoff (pairs considered this sweep).
+    pub cutoff: u64,
+    /// Swaps applied this sweep.
+    pub applied: u64,
+    /// Dirty clusters after the sweep.
+    pub dirty: u64,
+    /// Positive-tension pairs carried to the next queue.
+    pub carried: u64,
+    /// System energy after the sweep.
+    pub energy: f64,
+    /// Wall-clock nanoseconds of the sweep.
+    pub wall_ns: u64,
+}
+
+/// The FD engine's configuration as traced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceFdConfig {
+    /// Potential field.
+    pub potential: String,
+    /// Tension mode.
+    pub tension: String,
+    /// λ queue fraction.
+    pub lambda: f64,
+    /// Iteration cap, if any.
+    pub max_iterations: Option<u64>,
+    /// Resolved worker threads.
+    pub threads: usize,
+}
+
+/// The FD engine's final statistics as traced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceFdDone {
+    /// Sweeps performed.
+    pub iterations: u64,
+    /// Swaps applied in total.
+    pub swaps: u64,
+    /// Energy before refinement.
+    pub initial_energy: f64,
+    /// Energy after refinement.
+    pub final_energy: f64,
+    /// Whether the queue emptied before any cap fired.
+    pub converged: bool,
+}
+
+/// Thread-pool utilization counters for the FD scope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TracePar {
+    /// Parallel-helper invocations.
+    pub calls: u64,
+    /// Invocations that actually fanned out.
+    pub parallel_calls: u64,
+    /// Worker threads spawned in total.
+    pub workers_spawned: u64,
+}
+
+/// The whole record written to `--json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceBench {
+    /// Trace schema version the telemetry was collected under.
+    pub schema: u64,
+    /// PCN cluster count.
+    pub clusters: u32,
+    /// PCN connection count.
+    pub connections: u64,
+    /// Mesh as `RxC`.
+    pub mesh: String,
+    /// PCN generator seed.
+    pub seed: u64,
+    /// PCN average out-degree.
+    pub degree: f64,
+    /// FD iteration cap.
+    pub max_iters: u64,
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Wall-clock seconds of the untraced pipeline run.
+    pub untraced_secs: f64,
+    /// Wall-clock seconds of the traced pipeline run.
+    pub traced_secs: f64,
+    /// sha256 of the untraced placement's coordinate table.
+    pub untraced_digest: String,
+    /// sha256 of the traced placement (must equal `untraced_digest`).
+    pub traced_digest: String,
+    /// Per-phase spans, in pipeline order.
+    pub phases: Vec<TracePhase>,
+    /// The FD configuration event.
+    pub fd_config: Option<TraceFdConfig>,
+    /// Per-sweep convergence record.
+    pub sweeps: Vec<TraceSweep>,
+    /// Final FD statistics.
+    pub fd_done: Option<TraceFdDone>,
+    /// FD-scope thread-pool counters.
+    pub par: Option<TracePar>,
+}
+
+/// sha256 over the cluster→coordinate table in cluster order, each
+/// coordinate as `x.to_le_bytes() ++ y.to_le_bytes()`.
+fn digest(p: &Placement, clusters: u32) -> String {
+    let mut h = Sha256::new();
+    for c in 0..clusters {
+        let coord = p.coord_of(c).expect("complete placement");
+        h.update(&coord.x.to_le_bytes());
+        h.update(&coord.y.to_le_bytes());
+    }
+    h.finalize_hex()
+}
+
+struct Args {
+    clusters: u32,
+    mesh: Mesh,
+    seed: u64,
+    degree: f64,
+    max_iters: u64,
+    threads: usize,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut clusters: u32 = 60_000;
+    let mut mesh_spec = "256x256".to_string();
+    let mut seed: u64 = 42;
+    let mut degree: f64 = 4.0;
+    let mut max_iters: u64 = 40;
+    let mut threads: usize = 4;
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err("snnmap pipeline trace benchmark".to_string());
+        }
+        let value = it.next().ok_or_else(|| format!("missing value for {flag}"))?;
+        match flag.as_str() {
+            "--clusters" => {
+                clusters = value.parse().map_err(|_| format!("bad --clusters `{value}`"))?
+            }
+            "--mesh" => mesh_spec = value,
+            "--seed" => seed = value.parse().map_err(|_| format!("bad --seed `{value}`"))?,
+            "--degree" => {
+                degree = value.parse().map_err(|_| format!("bad --degree `{value}`"))?
+            }
+            "--max-iters" => {
+                max_iters =
+                    value.parse().map_err(|_| format!("bad --max-iters `{value}`"))?
+            }
+            "--threads" => {
+                threads = value.parse().map_err(|_| format!("bad --threads `{value}`"))?;
+                if threads == 0 {
+                    return Err("--threads wants a positive count".into());
+                }
+            }
+            "--json" => json = Some(PathBuf::from(value)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let (r, c) = mesh_spec
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("expected `--mesh RxC`, got `{mesh_spec}`"))?;
+    let rows: u16 = r.parse().map_err(|_| format!("bad mesh rows `{r}`"))?;
+    let cols: u16 = c.parse().map_err(|_| format!("bad mesh cols `{c}`"))?;
+    let mesh = Mesh::new(rows, cols).map_err(|e| e.to_string())?;
+    Ok(Args { clusters, mesh, seed, degree, max_iters, threads, json })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: bench_trace [--clusters N] [--mesh RxC] [--seed N] [--degree F] \
+                 [--max-iters N] [--threads N] [--json PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "[bench_trace] building PCN: {} clusters, degree {}, seed {}...",
+        args.clusters, args.degree, args.seed
+    );
+    let pcn = random_pcn(args.clusters, args.degree, args.seed).expect("PCN build");
+    let mapper = Mapper::builder()
+        .max_iterations(args.max_iters)
+        .threads(args.threads)
+        .build();
+
+    eprintln!("[bench_trace] untraced pipeline on {}...", args.mesh);
+    let t0 = Instant::now();
+    let untraced = mapper.map(&pcn, args.mesh).expect("untraced map");
+    let untraced_secs = t0.elapsed().as_secs_f64();
+    let untraced_digest = digest(&untraced.placement, args.clusters);
+
+    eprintln!("[bench_trace] traced pipeline (in-memory sink)...");
+    let mut sink = MemorySink::new();
+    let t1 = Instant::now();
+    let traced = mapper.map_traced(&pcn, args.mesh, &mut sink).expect("traced map");
+    let traced_secs = t1.elapsed().as_secs_f64();
+    let traced_digest = digest(&traced.placement, args.clusters);
+
+    // The tentpole guarantee: instrumentation observes, never perturbs.
+    assert_eq!(
+        untraced_digest, traced_digest,
+        "tracing changed the placement — instrumentation is not passive"
+    );
+    assert_eq!(
+        untraced.fd_stats.as_ref().map(|s| (s.iterations, s.swaps)),
+        traced.fd_stats.as_ref().map(|s| (s.iterations, s.swaps)),
+        "tracing changed the FD statistics"
+    );
+
+    let mut phases = Vec::new();
+    let mut fd_config = None;
+    let mut sweeps = Vec::new();
+    let mut fd_done = None;
+    let mut par = None;
+    for event in sink.events() {
+        match event {
+            TraceEvent::Phase(p) => phases.push(TracePhase {
+                name: p.name.clone(),
+                wall_ns: p.wall_ns,
+                alloc_bytes: p.alloc_bytes,
+                allocs: p.allocs,
+            }),
+            TraceEvent::FdConfig(c) => {
+                fd_config = Some(TraceFdConfig {
+                    potential: c.potential.clone(),
+                    tension: c.tension.clone(),
+                    lambda: c.lambda,
+                    max_iterations: c.max_iterations,
+                    threads: c.threads,
+                })
+            }
+            TraceEvent::FdSweep(s) => sweeps.push(TraceSweep {
+                sweep: s.sweep,
+                queue: s.queue,
+                cutoff: s.cutoff,
+                applied: s.applied,
+                dirty: s.dirty,
+                carried: s.carried,
+                energy: s.energy,
+                wall_ns: s.wall_ns,
+            }),
+            TraceEvent::FdDone(d) => {
+                fd_done = Some(TraceFdDone {
+                    iterations: d.iterations,
+                    swaps: d.swaps,
+                    initial_energy: d.initial_energy,
+                    final_energy: d.final_energy,
+                    converged: d.converged,
+                })
+            }
+            TraceEvent::Par(p) if p.scope == "fd" => {
+                par = Some(TracePar {
+                    calls: p.calls,
+                    parallel_calls: p.parallel_calls,
+                    workers_spawned: p.workers_spawned,
+                })
+            }
+            _ => {}
+        }
+    }
+
+    println!(
+        "\npipeline trace: {} clusters on {} (seed {}, cap {}, {} threads)\n",
+        args.clusters, args.mesh, args.seed, args.max_iters, args.threads
+    );
+    let mut t = Table::new(&["Phase", "Wall (ms)", "Alloc (MiB)", "Allocs"]);
+    for p in &phases {
+        t.row(&[
+            p.name.clone(),
+            format!("{:.2}", p.wall_ns as f64 / 1e6),
+            format!("{:.2}", p.alloc_bytes as f64 / (1024.0 * 1024.0)),
+            p.allocs.to_string(),
+        ]);
+    }
+    t.print();
+    if !sweeps.is_empty() {
+        println!();
+        let mut t = Table::new(&["Sweep", "Queue", "Cutoff", "Applied", "Dirty", "Energy"]);
+        for s in &sweeps {
+            t.row(&[
+                s.sweep.to_string(),
+                s.queue.to_string(),
+                s.cutoff.to_string(),
+                s.applied.to_string(),
+                s.dirty.to_string(),
+                format!("{:.6e}", s.energy),
+            ]);
+        }
+        t.print();
+    }
+    println!(
+        "\nuntraced {:.3}s, traced {:.3}s; placements sha256-identical ({})",
+        untraced_secs,
+        traced_secs,
+        &untraced_digest[..16]
+    );
+
+    let record = TraceBench {
+        schema: snnmap_trace::schema::VERSION,
+        clusters: pcn.num_clusters(),
+        connections: pcn.num_connections(),
+        mesh: format!("{}x{}", args.mesh.rows(), args.mesh.cols()),
+        seed: args.seed,
+        degree: args.degree,
+        max_iters: args.max_iters,
+        threads: args.threads,
+        untraced_secs,
+        traced_secs,
+        untraced_digest,
+        traced_digest,
+        phases,
+        fd_config,
+        sweeps,
+        fd_done,
+        par,
+    };
+    if let Some(path) = &args.json {
+        write_json(path, &record).expect("write json");
+        println!("wrote {}", path.display());
+    }
+}

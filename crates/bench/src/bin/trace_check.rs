@@ -1,0 +1,49 @@
+//! Validates a `--trace-out` JSONL stream against the versioned trace
+//! schema (see `snnmap-io`'s `validate_trace`) and prints a per-event
+//! summary. Exit codes: 0 valid, 1 invalid, 2 usage.
+//!
+//! ```text
+//! cargo run --release -p snnmap-bench --bin trace_check -- run.jsonl
+//! ```
+
+use snnmap_io::validate_trace;
+
+fn main() {
+    let mut paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.iter().any(|a| a == "--help" || a == "-h") || paths.is_empty() {
+        eprintln!("usage: trace_check <run.jsonl>...");
+        std::process::exit(2);
+    }
+    paths.sort();
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_trace(&text) {
+            Ok(summary) => {
+                let events: Vec<String> = summary
+                    .events
+                    .iter()
+                    .map(|(name, count)| format!("{name} x{count}"))
+                    .collect();
+                println!(
+                    "{path}: ok — {} lines ({}){}",
+                    summary.lines,
+                    events.join(", "),
+                    if summary.timing { ", with timing" } else { ", timing-free" }
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(i32::from(failed));
+}

@@ -130,6 +130,8 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             "faults",
             "faults-out",
             "threads",
+            "trace-out",
+            "trace-timing",
         ],
     )?;
     let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
@@ -150,10 +152,31 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
         }
     }
 
+    // `--trace-out` wins over the `SNNMAP_TRACE` env fallback, which lets
+    // wrappers/CI turn tracing on without editing the command line.
+    let trace_out = o
+        .flag("trace-out")
+        .map(str::to_owned)
+        .or_else(|| std::env::var("SNNMAP_TRACE").ok().filter(|v| !v.is_empty()));
+    let trace_timing = match o.flag("trace-timing").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::usage(format!(
+                "`--trace-timing` takes `on` or `off`, got `{other}`"
+            )))
+        }
+    };
+
     let method = o.flag("method").unwrap_or("proposed");
     if faults.is_some() && method != "proposed" {
         return Err(CliError::usage(format!(
             "`--faults` is only supported with `--method proposed`, not `{method}`"
+        )));
+    }
+    if trace_out.is_some() && method != "proposed" {
+        return Err(CliError::usage(format!(
+            "`--trace-out` is only supported with `--method proposed`, not `{method}`"
         )));
     }
     let (placement, detail) = match method {
@@ -191,7 +214,21 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             if let Some(fm) = faults.clone() {
                 builder = builder.fault_map(fm);
             }
-            let outcome = builder.build().map(&pcn, mesh)?;
+            let mapper = builder.build();
+            let outcome = match &trace_out {
+                Some(path) => {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| CliError::Io(snnmap_io::IoError::Io(e)))?;
+                    let mut sink = snnmap_trace::JsonlSink::new(std::io::BufWriter::new(file))
+                        .with_timing(trace_timing);
+                    let outcome = mapper.map_traced(&pcn, mesh, &mut sink)?;
+                    // `finish` surfaces the first latched write error and
+                    // flushes the BufWriter through to the file.
+                    sink.finish().map_err(|e| CliError::Io(snnmap_io::IoError::Io(e)))?;
+                    outcome
+                }
+                None => mapper.map(&pcn, mesh)?,
+            };
             let detail = match outcome.fd_stats {
                 Some(s) => format!(
                     "FD: {} iterations, {} swaps, energy {:.4e} -> {:.4e}{}",
@@ -237,8 +274,12 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
         ),
         None => String::new(),
     };
+    let trace_note = match &trace_out {
+        Some(path) => format!("\ntrace -> {path}"),
+        None => String::new(),
+    };
     Ok(format!(
-        "placed {} clusters on {mesh}{fault_note} -> {}\n{detail}\n",
+        "placed {} clusters on {mesh}{fault_note} -> {}\n{detail}{trace_note}\n",
         placement.placed_count(),
         out.display()
     ))

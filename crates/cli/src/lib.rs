@@ -40,6 +40,7 @@ commands:
         [--potential l1|l1sq|l2sq|energy] [--lambda F]
         [--budget-secs N] [--seed N] [--threads N]
         [--faults <rate|file.json>] [--faults-out <file.json>]
+        [--trace-out <run.jsonl>] [--trace-timing on|off]
   eval  <file.pcn> <placement.json> [--sample N]
   viz   <file.pcn> <placement.json> [--width N]
   validate <file.pcn> <placement.json>
@@ -47,6 +48,12 @@ commands:
 
 `--faults` takes a uniform core/link fault rate in [0, 1) (seeded by
 `--seed`) or a fault-map JSON file written by `--faults-out`.
+
+`--trace-out` streams per-phase timing and FD convergence telemetry as
+JSON lines (schema in DESIGN.md); the SNNMAP_TRACE env var is the
+fallback destination when the flag is absent. `--trace-timing off`
+omits wall-clock/allocation fields so replays are byte-identical.
+Tracing never changes the placement.
 
 exit codes: 0 ok, 1 runtime error, 2 usage error, 3 invalid placement.
 
@@ -215,6 +222,71 @@ mod tests {
         // parsing rejects garbage regardless.
         let err = run(&sv(&[
             "map", pcn_s, "--out", "/dev/null", "--threads", "many",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn map_trace_out_is_validated_byte_stable_and_placement_invariant() {
+        let dir = std::env::temp_dir().join("snnmap_cli_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let pcn_s = pcn.to_str().unwrap();
+        run(&sv(&["gen", "--random", "50,4", "--seed", "7", "--out", pcn_s])).unwrap();
+
+        // Untraced reference placement.
+        let plain = dir.join("plain.json");
+        run(&sv(&["map", pcn_s, "--out", plain.to_str().unwrap(), "--mesh", "8x8"]))
+            .unwrap();
+
+        // Two timing-off traced runs: same placement, byte-identical traces.
+        let mut traces = Vec::new();
+        for i in 0..2 {
+            let placement = dir.join(format!("t{i}.json"));
+            let trace = dir.join(format!("t{i}.jsonl"));
+            let out = run(&sv(&[
+                "map", pcn_s, "--out", placement.to_str().unwrap(), "--mesh", "8x8",
+                "--trace-out", trace.to_str().unwrap(), "--trace-timing", "off",
+            ]))
+            .unwrap();
+            assert!(out.contains("trace ->"), "{out}");
+            assert_eq!(
+                std::fs::read_to_string(&placement).unwrap(),
+                std::fs::read_to_string(&plain).unwrap(),
+                "tracing changed the placement"
+            );
+            traces.push(std::fs::read_to_string(&trace).unwrap());
+        }
+        assert_eq!(traces[0], traces[1], "timing-off traces must be byte-identical");
+
+        // The stream validates against the schema and has no timing tail.
+        let summary = snnmap_io::validate_trace(&traces[0]).unwrap();
+        assert_eq!(summary.count("run"), 1);
+        assert!(summary.count("fd_sweep") >= 1);
+        assert!(!summary.timing);
+
+        // Timing on (the default) adds the tail but still validates.
+        let trace = dir.join("timed.jsonl");
+        run(&sv(&[
+            "map", pcn_s, "--out", plain.to_str().unwrap(), "--mesh", "8x8",
+            "--trace-out", trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let timed = snnmap_io::validate_trace(&std::fs::read_to_string(&trace).unwrap())
+            .unwrap();
+        assert!(timed.timing);
+
+        // Guard rails: bad --trace-timing value, baseline methods.
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--trace-out", "/dev/null",
+            "--trace-timing", "sometimes",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--method", "random",
+            "--trace-out", "/dev/null",
         ]))
         .unwrap_err();
         assert_eq!(err.exit_code(), 2);

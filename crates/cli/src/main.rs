@@ -1,5 +1,10 @@
 //! `snnmap` — map SNN cluster networks onto neuromorphic meshes.
 
+// Counting allocator so `--trace-out` phase spans carry allocation
+// deltas; two relaxed atomic adds per allocation, nothing on free.
+#[global_allocator]
+static ALLOC: snnmap_trace::CountingAlloc = snnmap_trace::CountingAlloc::new();
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match snnmap_cli::run(&args) {

@@ -25,6 +25,9 @@ use std::time::{Duration, Instant};
 
 use snnmap_hw::{Coord, FaultMap, HwError, Mesh, Placement};
 use snnmap_model::Pcn;
+use snnmap_trace::{
+    FdConfigEvent, FdDoneEvent, FdSweepEvent, NoopSink, ParEvent, TraceEvent, TraceSink,
+};
 
 use crate::{par, CoreError, Potential};
 
@@ -191,7 +194,48 @@ pub fn force_directed(
     placement: &mut Placement,
     config: &FdConfig,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, None)
+    force_directed_impl(pcn, placement, config, None, &mut NoopSink)
+}
+
+/// [`force_directed`] with trace instrumentation: emits an `fd_config`
+/// header, one `fd_sweep` convergence record per sweep (queue size,
+/// λ cutoff, swaps applied, dirty/carried pair counts, post-sweep system
+/// energy), an `fd_done` summary and a `par` thread-pool utilization
+/// delta into `sink`.
+///
+/// The instrumentation is zero-cost when disabled: every probe — the
+/// per-sweep energy recomputation included — is guarded by
+/// [`TraceSink::enabled`], and with [`NoopSink`] (what
+/// [`force_directed`] passes) monomorphization removes it entirely, so
+/// the refined placement and [`FdStats`] are bit-identical with and
+/// without tracing by construction.
+///
+/// # Errors
+///
+/// As [`force_directed`].
+pub fn force_directed_traced<S: TraceSink + ?Sized>(
+    pcn: &Pcn,
+    placement: &mut Placement,
+    config: &FdConfig,
+    sink: &mut S,
+) -> Result<FdStats, CoreError> {
+    force_directed_impl(pcn, placement, config, None, sink)
+}
+
+/// [`force_directed_masked`] with trace instrumentation; see
+/// [`force_directed_traced`].
+///
+/// # Errors
+///
+/// As [`force_directed_masked`].
+pub fn force_directed_masked_traced<S: TraceSink + ?Sized>(
+    pcn: &Pcn,
+    placement: &mut Placement,
+    config: &FdConfig,
+    faults: &FaultMap,
+    sink: &mut S,
+) -> Result<FdStats, CoreError> {
+    force_directed_impl(pcn, placement, config, Some(faults), sink)
 }
 
 /// Fault-aware [`force_directed`]: swaps into or out of dead cores are
@@ -210,14 +254,15 @@ pub fn force_directed_masked(
     config: &FdConfig,
     faults: &FaultMap,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, Some(faults))
+    force_directed_impl(pcn, placement, config, Some(faults), &mut NoopSink)
 }
 
-fn force_directed_impl(
+pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
     pcn: &Pcn,
     placement: &mut Placement,
     config: &FdConfig,
     faults: Option<&FaultMap>,
+    sink: &mut S,
 ) -> Result<FdStats, CoreError> {
     if !(config.lambda > 0.0 && config.lambda <= 1.0) {
         return Err(CoreError::InvalidLambda { lambda: config.lambda });
@@ -233,6 +278,20 @@ fn force_directed_impl(
         (TensionMode::PaperNaive, None) => Some(1_000),
         (_, cap) => cap,
     };
+    let par_before = sink.enabled().then(par::counters);
+    if sink.enabled() {
+        sink.record(&TraceEvent::FdConfig(FdConfigEvent {
+            potential: format!("{:?}", config.potential),
+            tension: format!("{:?}", config.tension_mode),
+            lambda: config.lambda,
+            max_iterations,
+            time_budget_ms: config
+                .time_budget
+                .map(|b| u64::try_from(b.as_millis()).unwrap_or(u64::MAX)),
+            threads,
+            masked: faults.is_some(),
+        }));
+    }
 
     // Initial positive-tension queue over all adjacent pairs, scored in
     // parallel and concatenated in ascending position order. The queue is
@@ -279,6 +338,9 @@ fn force_directed_impl(
             }
         }
         iterations += 1;
+        let sweep_t0 = sink.enabled().then(Instant::now);
+        let queue_len = queue.len();
+        let swaps_before = swaps;
         if epoch == u32::MAX {
             // One epoch per sweep, so this fires only after 2^32 - 1
             // sweeps — but reset anyway so a stale stamp can never alias
@@ -359,11 +421,48 @@ fn force_directed_impl(
         queue.clear();
         queue.extend_from_slice(&carried);
         queue.extend(rescored);
+
+        if sink.enabled() {
+            // The per-sweep energy recompute is the one probe with real
+            // cost; it runs only here, under an enabled sink, so the
+            // untraced hot loop is untouched.
+            sink.record(&TraceEvent::FdSweep(FdSweepEvent {
+                sweep: iterations,
+                queue: queue_len as u64,
+                cutoff: take as u64,
+                applied: swaps - swaps_before,
+                dirty: dirty.len() as u64,
+                carried: carried.len() as u64,
+                energy: engine.system_energy(),
+                wall_ns: sweep_t0
+                    .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                    .unwrap_or(0),
+            }));
+        }
     }
 
     let final_energy = engine.system_energy();
     engine.writeback()?;
-    Ok(FdStats { iterations, swaps, initial_energy, final_energy, converged })
+    let stats = FdStats { iterations, swaps, initial_energy, final_energy, converged };
+    if sink.enabled() {
+        sink.record(&TraceEvent::FdDone(FdDoneEvent {
+            iterations: stats.iterations,
+            swaps: stats.swaps,
+            initial_energy: stats.initial_energy,
+            final_energy: stats.final_energy,
+            converged: stats.converged,
+        }));
+        if let Some(before) = par_before {
+            let d = par::counters().since(before);
+            sink.record(&TraceEvent::Par(ParEvent {
+                scope: "fd".to_owned(),
+                calls: d.calls,
+                parallel_calls: d.parallel_calls,
+                workers_spawned: d.workers_spawned,
+            }));
+        }
+    }
+    Ok(stats)
 }
 
 /// Per-cluster hot record: everything a neighbour patch needs, packed

@@ -3,5 +3,9 @@
 mod engine;
 mod potential;
 
-pub use engine::{force_directed, force_directed_masked, FdConfig, FdStats, TensionMode};
+pub(crate) use engine::force_directed_impl;
+pub use engine::{
+    force_directed, force_directed_masked, force_directed_masked_traced,
+    force_directed_traced, FdConfig, FdStats, TensionMode,
+};
 pub use potential::Potential;

@@ -235,17 +235,29 @@ fn hsc_placement_impl(
     threads: usize,
 ) -> Result<Placement, CoreError> {
     let order = toposort(pcn);
+    hsc_sequence_impl(&order, mesh, faults, threads)
+}
+
+/// The curve-layout half of [`hsc_placement_impl`], taking an
+/// already-toposorted order — lets traced callers time the topo sort and
+/// the HSC layout as separate phases.
+pub(crate) fn hsc_sequence_impl(
+    order: &[u32],
+    mesh: Mesh,
+    faults: Option<&FaultMap>,
+    threads: usize,
+) -> Result<Placement, CoreError> {
     let pow2_square =
         mesh.rows() == mesh.cols() && (mesh.rows() as u32).is_power_of_two();
     if !pow2_square {
-        return sequence_placement_impl(&order, &Gilbert, mesh, faults);
+        return sequence_placement_impl(order, &Gilbert, mesh, faults);
     }
     if threads <= 1 {
-        return sequence_placement_impl(&order, &Hilbert, mesh, faults);
+        return sequence_placement_impl(order, &Hilbert, mesh, faults);
     }
     check_capacity(order.len() as u32, mesh, faults)?;
     let traversal = hilbert_traversal_par(mesh, faults, threads);
-    place_along(&order, &traversal, mesh, faults)
+    place_along(order, &traversal, mesh, faults)
 }
 
 /// The baseline: clusters shuffled uniformly over the cores (§5.1.3,

@@ -52,7 +52,10 @@ mod toposort;
 mod validate;
 
 pub use error::CoreError;
-pub use fd::{force_directed, force_directed_masked, FdConfig, FdStats, Potential, TensionMode};
+pub use fd::{
+    force_directed, force_directed_masked, force_directed_masked_traced,
+    force_directed_traced, FdConfig, FdStats, Potential, TensionMode,
+};
 pub use hsc::{
     hsc_placement, hsc_placement_masked, hsc_placement_masked_threaded,
     hsc_placement_threaded, random_placement, random_placement_masked, sequence_placement,

@@ -6,10 +6,14 @@ use std::time::{Duration, Instant};
 use snnmap_curves::{Serpentine, SpaceFillingCurve, Spiral, ZigZag};
 use snnmap_hw::{FaultMap, Mesh, Placement};
 use snnmap_model::Pcn;
+use snnmap_trace::{
+    time_phase, NoopSink, PhaseEvent, RunEvent, TraceEvent, TraceSink,
+};
 
+use crate::fd::force_directed_impl;
+use crate::hsc::hsc_sequence_impl;
 use crate::{
-    force_directed, force_directed_masked, hsc_placement_masked_threaded,
-    hsc_placement_threaded, random_placement, random_placement_masked, sequence_placement,
+    par, random_placement, random_placement_masked, sequence_placement,
     sequence_placement_masked, toposort, CoreError, FdConfig, FdStats, Potential,
 };
 
@@ -119,49 +123,117 @@ impl Mapper {
     /// (generalized Hilbert covers every mesh), but propagate as
     /// [`CoreError::Curve`] if they do.
     pub fn map(&self, pcn: &Pcn, mesh: Mesh) -> Result<MapOutcome, CoreError> {
+        self.map_traced(pcn, mesh, &mut NoopSink)
+    }
+
+    /// [`Mapper::map`] with trace instrumentation: emits a `run` header,
+    /// per-phase spans (`toposort`, `hsc_init`/`curve_init`/`random_init`,
+    /// `fd`) and the FD engine's convergence telemetry into `sink`.
+    ///
+    /// Zero-cost when disabled: every probe is guarded by
+    /// [`TraceSink::enabled`], and [`Mapper::map`] delegates here with
+    /// [`NoopSink`], whose statically-false `enabled()` lets
+    /// monomorphization delete the instrumentation — the placement is
+    /// bit-identical with and without tracing by construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mapper::map`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snnmap_core::Mapper;
+    /// use snnmap_hw::Mesh;
+    /// use snnmap_model::generators::random_pcn;
+    /// use snnmap_trace::{MemorySink, TraceEvent};
+    ///
+    /// let pcn = random_pcn(100, 4.0, 5)?;
+    /// let mesh = Mesh::square_for(100)?;
+    /// let mut sink = MemorySink::new();
+    /// let traced = Mapper::builder().build().map_traced(&pcn, mesh, &mut sink)?;
+    /// let plain = Mapper::builder().build().map(&pcn, mesh)?;
+    /// assert_eq!(traced.placement, plain.placement);
+    /// assert!(matches!(sink.events()[0], TraceEvent::Run(_)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn map_traced<S: TraceSink + ?Sized>(
+        &self,
+        pcn: &Pcn,
+        mesh: Mesh,
+        sink: &mut S,
+    ) -> Result<MapOutcome, CoreError> {
         let fm = self.faults.as_ref();
+        let threads_resolved = par::resolve_threads(self.threads);
+        if sink.enabled() {
+            sink.record(&TraceEvent::Run(RunEvent {
+                tool: "map".to_owned(),
+                clusters: pcn.num_clusters(),
+                connections: pcn.num_connections(),
+                mesh_rows: mesh.rows(),
+                mesh_cols: mesh.cols(),
+                threads_requested: self.threads,
+                threads_resolved,
+            }));
+        }
+
         let t0 = Instant::now();
         let mut placement = match (self.init, fm) {
-            (InitialPlacement::Hilbert, None) => {
-                hsc_placement_threaded(pcn, mesh, self.threads)?
+            (InitialPlacement::Hilbert, _) => {
+                let order = time_phase(sink, "toposort", || toposort(pcn));
+                time_phase(sink, "hsc_init", || {
+                    hsc_sequence_impl(&order, mesh, fm, threads_resolved)
+                })?
             }
-            (InitialPlacement::Hilbert, Some(fm)) => {
-                hsc_placement_masked_threaded(pcn, mesh, fm, self.threads)?
+            (InitialPlacement::ZigZag, _) => self.curve_init(pcn, mesh, &ZigZag, sink)?,
+            (InitialPlacement::Circle, _) => self.curve_init(pcn, mesh, &Spiral, sink)?,
+            (InitialPlacement::Serpentine, _) => {
+                self.curve_init(pcn, mesh, &Serpentine, sink)?
             }
-            (InitialPlacement::ZigZag, _) => self.curve_init(pcn, mesh, &ZigZag)?,
-            (InitialPlacement::Circle, _) => self.curve_init(pcn, mesh, &Spiral)?,
-            (InitialPlacement::Serpentine, _) => self.curve_init(pcn, mesh, &Serpentine)?,
-            (InitialPlacement::Random(seed), None) => random_placement(pcn, mesh, seed)?,
+            (InitialPlacement::Random(seed), None) => {
+                time_phase(sink, "random_init", || random_placement(pcn, mesh, seed))?
+            }
             (InitialPlacement::Random(seed), Some(fm)) => {
-                random_placement_masked(pcn, mesh, seed, fm)?
+                time_phase(sink, "random_init", || {
+                    random_placement_masked(pcn, mesh, seed, fm)
+                })?
             }
         };
         let init_elapsed = t0.elapsed();
 
         let t1 = Instant::now();
-        let fd_stats = match (&self.fd, fm) {
-            (Some(cfg), None) => Some(force_directed(pcn, &mut placement, cfg)?),
-            (Some(cfg), Some(fm)) => {
-                Some(force_directed_masked(pcn, &mut placement, cfg, fm)?)
-            }
-            (None, _) => None,
+        let fd_alloc0 = sink.enabled().then(snnmap_trace::alloc_snapshot);
+        let fd_stats = match &self.fd {
+            Some(cfg) => Some(force_directed_impl(pcn, &mut placement, cfg, fm, sink)?),
+            None => None,
         };
         let fd_elapsed = t1.elapsed();
+        if sink.enabled() && self.fd.is_some() {
+            let da = snnmap_trace::alloc_snapshot()
+                .since(fd_alloc0.unwrap_or_default());
+            sink.record(&TraceEvent::Phase(PhaseEvent {
+                name: "fd".to_owned(),
+                wall_ns: u64::try_from(fd_elapsed.as_nanos()).unwrap_or(u64::MAX),
+                alloc_bytes: da.bytes,
+                allocs: da.allocs,
+            }));
+        }
 
         Ok(MapOutcome { placement, fd_stats, init_elapsed, fd_elapsed })
     }
 
-    fn curve_init(
+    fn curve_init<S: TraceSink + ?Sized>(
         &self,
         pcn: &Pcn,
         mesh: Mesh,
         curve: &dyn SpaceFillingCurve,
+        sink: &mut S,
     ) -> Result<Placement, CoreError> {
-        let order = toposort(pcn);
-        match self.faults.as_ref() {
+        let order = time_phase(sink, "toposort", || toposort(pcn));
+        time_phase(sink, "curve_init", || match self.faults.as_ref() {
             Some(fm) => sequence_placement_masked(&order, curve, mesh, fm),
             None => sequence_placement(&order, curve, mesh),
-        }
+        })
     }
 }
 
@@ -391,6 +463,71 @@ mod tests {
             if let Some(stats) = out.fd_stats {
                 assert!(stats.final_energy <= stats.initial_energy + 1e-9, "{init:?}");
             }
+        }
+    }
+
+    #[test]
+    fn traced_map_matches_untraced_and_orders_events() {
+        use snnmap_trace::MemorySink;
+        let pcn = random_pcn(120, 5.0, 4).unwrap();
+        let mesh = Mesh::new(16, 16).unwrap();
+        let mapper = Mapper::builder().threads(2).build();
+        let plain = mapper.map(&pcn, mesh).unwrap();
+        let mut sink = MemorySink::new();
+        let traced = mapper.map_traced(&pcn, mesh, &mut sink).unwrap();
+        assert_eq!(traced.placement, plain.placement);
+        assert_eq!(traced.fd_stats, plain.fd_stats);
+
+        let names: Vec<&str> = sink.events().iter().map(|e| e.name()).collect();
+        // run, toposort, hsc_init, fd_config, sweeps…, fd_done, par, fd.
+        assert_eq!(&names[..3], &["run", "phase", "phase"]);
+        assert_eq!(names[3], "fd_config");
+        assert_eq!(*names.last().unwrap(), "phase");
+        let sweeps = names.iter().filter(|n| **n == "fd_sweep").count() as u64;
+        assert_eq!(sweeps, traced.fd_stats.unwrap().iterations);
+        assert!(names.contains(&"fd_done"));
+        assert!(names.contains(&"par"));
+
+        // The per-sweep energy telemetry must agree with FdStats and
+        // descend monotonically (exact tension mode).
+        let energies: Vec<f64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                snnmap_trace::TraceEvent::FdSweep(s) => Some(s.energy),
+                _ => None,
+            })
+            .collect();
+        let stats = traced.fd_stats.unwrap();
+        assert_eq!(energies.last().copied().unwrap().to_bits(), stats.final_energy.to_bits());
+        for w in energies.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "energy must not increase: {w:?}");
+        }
+    }
+
+    #[test]
+    fn traced_map_covers_every_initialization_kind() {
+        use snnmap_trace::{MemorySink, TraceEvent};
+        let pcn = random_pcn(50, 4.0, 1).unwrap();
+        let mesh = Mesh::new(8, 8).unwrap();
+        for (init, expect) in [
+            (InitialPlacement::Hilbert, "hsc_init"),
+            (InitialPlacement::ZigZag, "curve_init"),
+            (InitialPlacement::Circle, "curve_init"),
+            (InitialPlacement::Serpentine, "curve_init"),
+            (InitialPlacement::Random(3), "random_init"),
+        ] {
+            let mut sink = MemorySink::new();
+            let out = Mapper::builder()
+                .initial_placement(init)
+                .build()
+                .map_traced(&pcn, mesh, &mut sink)
+                .unwrap();
+            assert!(out.placement.is_complete(), "{init:?}");
+            let has_phase = sink.events().iter().any(|e| {
+                matches!(e, TraceEvent::Phase(p) if p.name == expect)
+            });
+            assert!(has_phase, "{init:?} should emit a {expect} phase");
         }
     }
 

@@ -24,11 +24,68 @@
 //! the spawn cost is only paid where it can be amortized.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Work below this many items per *extra* worker is done serially: a
 /// thread spawn costs tens of microseconds, which only pays for itself on
 /// chunks of at least a few thousand cheap items.
 const MIN_ITEMS_PER_THREAD: usize = 2048;
+
+/// Process-wide utilization counters: every helper invocation bumps
+/// `CALLS`; invocations that actually fan out bump `PARALLEL_CALLS` and
+/// add their extra workers to `WORKERS`. Relaxed atomics: the counters
+/// feed telemetry deltas, never synchronization, and two increments per
+/// helper call are noise next to a thread spawn.
+static CALLS: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
+static WORKERS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative thread-pool utilization counters (see [`counters`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParCounters {
+    /// Parallel-helper invocations ([`par_init`], [`par_flat_map`],
+    /// [`par_block_sum`]), including ones that ran serially.
+    pub calls: u64,
+    /// Invocations that fanned out to at least one extra worker.
+    pub parallel_calls: u64,
+    /// Worker threads spawned in total (the calling thread, which always
+    /// processes the first chunk, is not counted).
+    pub workers_spawned: u64,
+}
+
+impl ParCounters {
+    /// The counter delta from `earlier` to `self`.
+    pub fn since(self, earlier: ParCounters) -> ParCounters {
+        ParCounters {
+            calls: self.calls.wrapping_sub(earlier.calls),
+            parallel_calls: self.parallel_calls.wrapping_sub(earlier.parallel_calls),
+            workers_spawned: self.workers_spawned.wrapping_sub(earlier.workers_spawned),
+        }
+    }
+}
+
+/// Reads the process-wide utilization counters. Trace consumers snapshot
+/// before and after a pipeline scope and report the
+/// [`ParCounters::since`] delta.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::par::{counters, par_flat_map};
+///
+/// let before = counters();
+/// let v = par_flat_map(2, 10_000, |i, out| out.push(i));
+/// assert_eq!(v.len(), 10_000);
+/// let delta = counters().since(before);
+/// assert_eq!(delta.calls, 1);
+/// ```
+pub fn counters() -> ParCounters {
+    ParCounters {
+        calls: CALLS.load(Relaxed),
+        parallel_calls: PARALLEL_CALLS.load(Relaxed),
+        workers_spawned: WORKERS.load(Relaxed),
+    }
+}
 
 /// Resolves a requested worker count to an effective one.
 ///
@@ -78,6 +135,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    CALLS.fetch_add(1, Relaxed);
     par_init_inner(effective_threads(threads, out.len()), out, f);
 }
 
@@ -99,11 +157,13 @@ where
     }
     let chunk = n.div_ceil(threads);
     let f = &f;
+    PARALLEL_CALLS.fetch_add(1, Relaxed);
     std::thread::scope(|s| {
         let mut chunks = out.chunks_mut(chunk);
         let first = chunks.next();
         for (k, part) in chunks.enumerate() {
             let base = (k + 1) * chunk;
+            WORKERS.fetch_add(1, Relaxed);
             s.spawn(move || {
                 for (j, slot) in part.iter_mut().enumerate() {
                     *slot = f(base + j);
@@ -131,6 +191,7 @@ where
     R: Send,
     F: Fn(usize, &mut Vec<R>) + Sync,
 {
+    CALLS.fetch_add(1, Relaxed);
     let threads = effective_threads(threads, n);
     if threads == 1 {
         let mut out = Vec::new();
@@ -142,6 +203,7 @@ where
     let chunk = n.div_ceil(threads);
     let f = &f;
     let mut parts: Vec<Vec<R>> = Vec::with_capacity(threads);
+    PARALLEL_CALLS.fetch_add(1, Relaxed);
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(threads - 1);
         for k in 1..threads {
@@ -150,6 +212,7 @@ where
             if lo >= hi {
                 break;
             }
+            WORKERS.fetch_add(1, Relaxed);
             handles.push(s.spawn(move || {
                 let mut v = Vec::new();
                 for i in lo..hi {
@@ -188,6 +251,7 @@ where
     F: Fn(std::ops::Range<usize>) -> f64 + Sync,
 {
     assert!(block > 0, "block size must be positive");
+    CALLS.fetch_add(1, Relaxed);
     if n == 0 {
         return 0.0;
     }
@@ -261,6 +325,25 @@ mod tests {
         assert_eq!(par_block_sum(4, 0, 16, |_| 1.0), 0.0);
         assert_eq!(par_block_sum(4, 5, 16, |r| r.len() as f64), 5.0);
         assert_eq!(par_block_sum(1, 33, 16, |r| r.len() as f64), 33.0);
+    }
+
+    #[test]
+    fn counters_observe_parallel_fanout() {
+        // Other tests run concurrently in this process, so deltas are
+        // lower bounds, never exact counts.
+        let before = counters();
+        let mut out = vec![0u64; 3 * MIN_ITEMS_PER_THREAD];
+        par_init(3, &mut out, |i| i as u64);
+        let d = counters().since(before);
+        assert!(d.calls >= 1, "{d:?}");
+        assert!(d.parallel_calls >= 1, "{d:?}");
+        assert!(d.workers_spawned >= 2, "{d:?}");
+
+        // A serial-path call bumps only `calls`.
+        let before = counters();
+        let mut small = vec![0u64; 4];
+        par_init(1, &mut small, |i| i as u64);
+        assert!(counters().since(before).calls >= 1);
     }
 
     #[test]

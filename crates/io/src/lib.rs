@@ -52,6 +52,7 @@ mod error;
 mod fault_format;
 mod pcn_format;
 mod placement_format;
+mod trace_format;
 
 pub use error::IoError;
 pub use fault_format::{parse_faults, read_faults, render_faults, write_faults};
@@ -59,3 +60,4 @@ pub use pcn_format::{parse_pcn, read_pcn, render_pcn, write_pcn};
 pub use placement_format::{
     parse_placement, read_placement, render_placement, write_placement,
 };
+pub use trace_format::{validate_trace, TraceSummary};

@@ -1,0 +1,260 @@
+//! Validation of trace JSONL streams against the versioned schema.
+//!
+//! A trace stream (see `snnmap-trace`) is one JSON object per line with a
+//! fixed field order; [`validate_trace`] checks a stream line by line
+//! against [`snnmap_trace::schema`] so CI (and users) can assert a
+//! `--trace-out` file is well-formed without external tooling.
+
+use serde_json::Value;
+use snnmap_trace::schema;
+
+use crate::IoError;
+
+/// Summary of a validated trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total event lines.
+    pub lines: usize,
+    /// `(event name, count)` in first-seen order.
+    pub events: Vec<(String, usize)>,
+    /// Whether any timing-only field (e.g. `wall_ns`) was present.
+    pub timing: bool,
+}
+
+impl TraceSummary {
+    /// The count of events named `name` (0 when absent).
+    pub fn count(&self, name: &str) -> usize {
+        self.events.iter().find(|(n, _)| n == name).map_or(0, |(_, c)| *c)
+    }
+}
+
+/// The expected JSON shape of a schema field, derived from its name.
+fn check_type(event: &str, field: &str, v: &Value, line: usize) -> Result<(), IoError> {
+    let ok = match field {
+        "event" | "tool" | "mesh" | "name" | "potential" | "tension" | "scope" => {
+            v.as_str().is_some()
+        }
+        "converged" | "masked" => matches!(v, Value::Bool(_)),
+        // Nullable numerics: caps/budgets that may be unset, and floats
+        // that were non-finite at render time.
+        "lambda" | "max_iterations" | "time_budget_ms" | "energy" | "initial_energy"
+        | "final_energy" => matches!(v, Value::Number(_) | Value::Null),
+        _ => matches!(v, Value::Number(_)),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(IoError::Parse {
+            line,
+            message: format!("event {event:?}: field {field:?} has the wrong JSON type"),
+        })
+    }
+}
+
+/// Validates a JSONL trace stream against the versioned schema.
+///
+/// Checks, per line: the line parses as a JSON object; its `event` name
+/// is known; its keys are exactly the schema's required fields in the
+/// schema's order, optionally followed by the timing-only fields (all or
+/// none of them, in order); and every field has the expected JSON type.
+/// Stream-level checks: the first line must be a `run` header whose
+/// `schema` equals [`schema::VERSION`].
+///
+/// # Errors
+///
+/// [`IoError::Parse`] (with a 1-based line number) on the first
+/// violation; [`IoError::Invalid`] for an empty stream.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_io::validate_trace;
+///
+/// let text = "{\"schema\":1,\"event\":\"run\",\"tool\":\"map\",\"clusters\":2,\
+///             \"connections\":1,\"mesh\":\"2x2\",\"threads_requested\":0,\
+///             \"threads_resolved\":1}\n\
+///             {\"event\":\"phase\",\"name\":\"toposort\"}\n";
+/// let summary = validate_trace(text)?;
+/// assert_eq!(summary.lines, 2);
+/// assert_eq!(summary.count("phase"), 1);
+/// assert!(!summary.timing);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn validate_trace(text: &str) -> Result<TraceSummary, IoError> {
+    let mut summary = TraceSummary { lines: 0, events: Vec::new(), timing: false };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            return Err(IoError::Parse { line, message: "blank line in trace stream".into() });
+        }
+        let value: Value = serde_json::from_str(raw).map_err(|e| IoError::Parse {
+            line,
+            message: format!("not valid JSON: {e}"),
+        })?;
+        let obj = value.as_object().ok_or_else(|| IoError::Parse {
+            line,
+            message: "trace line is not a JSON object".into(),
+        })?;
+        let event = obj
+            .get("event")
+            .and_then(Value::as_str)
+            .ok_or_else(|| IoError::Parse {
+                line,
+                message: "missing string field \"event\"".into(),
+            })?
+            .to_owned();
+        let (required, timing_only) = schema::fields(&event).ok_or_else(|| IoError::Parse {
+            line,
+            message: format!("unknown event kind {event:?}"),
+        })?;
+
+        // Keys must be exactly `required` (in order), optionally followed
+        // by all of `timing_only` (in order).
+        let keys: Vec<&String> = obj.iter().map(|(k, _)| k).collect();
+        let matches_required = keys.len() >= required.len()
+            && keys.iter().zip(required.iter()).all(|(k, r)| k.as_str() == *r);
+        let tail: Vec<&str> = keys.iter().skip(required.len()).map(|k| k.as_str()).collect();
+        let tail_ok = tail.is_empty() || tail == timing_only;
+        if !matches_required || !tail_ok {
+            return Err(IoError::Parse {
+                line,
+                message: format!(
+                    "event {event:?}: fields {keys:?} do not match schema \
+                     {required:?} (+ optional {timing_only:?})"
+                ),
+            });
+        }
+        if !tail.is_empty() {
+            summary.timing = true;
+        }
+        for (k, v) in obj.iter() {
+            check_type(&event, k, v, line)?;
+        }
+
+        if line == 1 {
+            if event != "run" {
+                return Err(IoError::Parse {
+                    line,
+                    message: format!("stream must start with a \"run\" header, got {event:?}"),
+                });
+            }
+            let version = match obj.get("schema") {
+                Some(Value::Number(n)) => n.as_f64(),
+                _ => -1.0,
+            };
+            if version != schema::VERSION as f64 {
+                return Err(IoError::Parse {
+                    line,
+                    message: format!(
+                        "unsupported trace schema version {version} (expected {})",
+                        schema::VERSION
+                    ),
+                });
+            }
+        }
+
+        summary.lines += 1;
+        match summary.events.iter_mut().find(|(n, _)| *n == event) {
+            Some((_, c)) => *c += 1,
+            None => summary.events.push((event, 1)),
+        }
+    }
+    if summary.lines == 0 {
+        return Err(IoError::Invalid { message: "empty trace stream".into() });
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_trace::{
+        FdSweepEvent, JsonlSink, PhaseEvent, RunEvent, TraceEvent, TraceSink,
+    };
+
+    fn sample(timing: bool) -> String {
+        let mut sink = JsonlSink::new(Vec::new()).with_timing(timing);
+        sink.record(&TraceEvent::Run(RunEvent {
+            tool: "map".into(),
+            clusters: 4,
+            connections: 6,
+            mesh_rows: 2,
+            mesh_cols: 2,
+            threads_requested: 0,
+            threads_resolved: 2,
+        }));
+        sink.record(&TraceEvent::Phase(PhaseEvent {
+            name: "toposort".into(),
+            wall_ns: 10,
+            alloc_bytes: 20,
+            allocs: 3,
+        }));
+        sink.record(&TraceEvent::FdSweep(FdSweepEvent {
+            sweep: 1,
+            queue: 9,
+            cutoff: 3,
+            applied: 3,
+            dirty: 12,
+            carried: 2,
+            energy: 4.5,
+            wall_ns: 77,
+        }));
+        String::from_utf8(sink.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn accepts_real_sink_output_with_and_without_timing() {
+        for timing in [false, true] {
+            let s = validate_trace(&sample(timing)).unwrap();
+            assert_eq!(s.lines, 3, "timing={timing}");
+            assert_eq!(s.timing, timing);
+            assert_eq!(s.count("run"), 1);
+            assert_eq!(s.count("phase"), 1);
+            assert_eq!(s.count("fd_sweep"), 1);
+            assert_eq!(s.count("fd_done"), 0);
+        }
+    }
+
+    #[test]
+    fn rejects_streams_without_a_run_header() {
+        let err = validate_trace("{\"event\":\"phase\",\"name\":\"fd\"}\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_schema_version_and_unknown_events() {
+        let bad_version = sample(false).replacen("\"schema\":1", "\"schema\":2", 1);
+        assert!(validate_trace(&bad_version).is_err());
+        let unknown = format!("{}{}\n", sample(false), "{\"event\":\"mystery\"}");
+        assert!(validate_trace(&unknown).is_err());
+    }
+
+    #[test]
+    fn rejects_field_order_and_type_violations() {
+        // Swap two required fields of the phase line.
+        let reordered = sample(false).replacen(
+            "{\"event\":\"phase\",\"name\":\"toposort\"}",
+            "{\"name\":\"toposort\",\"event\":\"phase\"}",
+            1,
+        );
+        assert!(validate_trace(&reordered).is_err());
+        // A string where a number belongs.
+        let bad_type = sample(false).replacen("\"clusters\":4", "\"clusters\":\"4\"", 1);
+        assert!(validate_trace(&bad_type).is_err());
+        // A partial timing tail (wall_ns without the alloc fields).
+        let partial = sample(false).replacen(
+            "{\"event\":\"phase\",\"name\":\"toposort\"}",
+            "{\"event\":\"phase\",\"name\":\"toposort\",\"wall_ns\":5}",
+            1,
+        );
+        assert!(validate_trace(&partial).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_streams() {
+        assert!(matches!(validate_trace(""), Err(IoError::Invalid { .. })));
+        assert!(validate_trace("not json\n").is_err());
+        let blank = format!("{}\n{}", sample(false), "\n");
+        assert!(validate_trace(&blank).is_err());
+    }
+}

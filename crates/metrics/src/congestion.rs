@@ -36,7 +36,7 @@ pub struct CongestionStats {
 ///
 /// let mesh = Mesh::new(2, 2)?;
 /// let mut acc = CongestionAccumulator::new(mesh);
-/// acc.add_edge(Coord::new(0, 0), Coord::new(1, 1), 4.0);
+/// acc.add_edge(Coord::new(0, 0), Coord::new(1, 1), 4.0)?;
 /// let stats = acc.stats();
 /// // Corners see the full 4.0; the two detours 2.0 each: avg = 12/4.
 /// assert_eq!(stats.average, 3.0);
@@ -60,14 +60,21 @@ impl CongestionAccumulator {
     /// Adds one connection carrying `weight` traffic from `s` to `t`,
     /// spreading it over the bounding rectangle per Algorithm 4.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics in debug builds if either endpoint is outside the mesh.
-    pub fn add_edge(&mut self, s: Coord, t: Coord, weight: f64) {
-        debug_assert!(self.mesh.contains(s) && self.mesh.contains(t));
+    /// [`HwError::OutOfBounds`] if either endpoint lies outside the mesh;
+    /// the accumulator is left unchanged (a release build used to corrupt
+    /// the map through unchecked row-major indexing here).
+    pub fn add_edge(&mut self, s: Coord, t: Coord, weight: f64) -> Result<(), HwError> {
+        for coord in [s, t] {
+            if !self.mesh.contains(coord) {
+                return Err(HwError::OutOfBounds { coord });
+            }
+        }
         self.total_traffic += weight;
         self.evaluated_traffic += weight;
         self.spread(s, t, weight);
+        Ok(())
     }
 
     /// Records an edge's traffic in the totals *without* evaluating its
@@ -112,17 +119,24 @@ impl CongestionAccumulator {
     /// Under sampling (`coverage < 1`), the average is rescaled by
     /// `1 / coverage` (unbiased for uniform edge sampling); the maximum is
     /// reported unscaled and is therefore a lower bound.
+    ///
+    /// Degenerate accumulators — no edges at all, or every edge skipped
+    /// by sampling so nothing was evaluated — report `coverage: 1.0`,
+    /// `average: 0.0`, `max: 0.0` rather than dividing by a zero total.
+    /// The guards are written `!(x > 0.0)` so a NaN total (from a caller
+    /// feeding NaN weights) also takes the degenerate path instead of
+    /// propagating into every field.
+    // `!(x > 0.0)` is deliberate (NaN-inclusive), not a spelled-out `<=`.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn stats(&self) -> CongestionStats {
-        let coverage = if self.total_traffic > 0.0 {
-            self.evaluated_traffic / self.total_traffic
-        } else {
-            1.0
-        };
+        if !(self.total_traffic > 0.0) || !(self.evaluated_traffic > 0.0) {
+            return CongestionStats { average: 0.0, max: 0.0, coverage: 1.0 };
+        }
+        let coverage = self.evaluated_traffic / self.total_traffic;
         let sum: f64 = self.map.iter().sum();
         let max = self.map.iter().copied().fold(0.0, f64::max);
-        let scale = if coverage > 0.0 { 1.0 / coverage } else { 1.0 };
         CongestionStats {
-            average: sum * scale / self.mesh.len() as f64,
+            average: sum / coverage / self.mesh.len() as f64,
             max,
             coverage,
         }
@@ -139,14 +153,16 @@ impl CongestionAccumulator {
 /// # Errors
 ///
 /// [`HwError::Unplaced`] / [`HwError::UnknownCluster`] if an edge endpoint
-/// has no position.
+/// has no position; [`HwError::OutOfBounds`] if a position lies outside
+/// the accumulator's mesh (impossible for a well-formed [`Placement`],
+/// but propagated rather than asserted).
 pub fn congestion_map(pcn: &Pcn, placement: &Placement) -> Result<CongestionAccumulator, HwError> {
     let mut acc = CongestionAccumulator::new(placement.mesh());
     for c in 0..pcn.num_clusters() {
         let pc = placement.try_coord_of(c)?;
         for (t, w) in pcn.out_edges(c) {
             let pt = placement.try_coord_of(t)?;
-            acc.add_edge(pc, pt, w as f64);
+            acc.add_edge(pc, pt, w as f64)?;
         }
     }
     Ok(acc)
@@ -178,7 +194,7 @@ pub(crate) fn congestion_map_sampled(
         for (t, w) in pcn.out_edges(c) {
             if rng.gen_bool(prob) {
                 let pt = placement.try_coord_of(t)?;
-                acc.add_edge(pc, pt, w as f64);
+                acc.add_edge(pc, pt, w as f64)?;
             } else {
                 acc.skip_edge(w as f64);
             }
@@ -286,5 +302,106 @@ mod tests {
         assert_eq!(s.average, 0.0);
         assert_eq!(s.max, 0.0);
         assert_eq!(s.coverage, 1.0);
+    }
+
+    #[test]
+    fn all_edges_skipped_is_degenerate_not_nan() {
+        // Sampling can skip every edge: total > 0 but nothing evaluated.
+        // coverage must not report 0 (which the average would then divide
+        // by); the degenerate contract is coverage 1.0, average/max 0.0.
+        let mut acc = CongestionAccumulator::new(Mesh::new(3, 3).unwrap());
+        acc.skip_edge(5.0);
+        acc.skip_edge(2.5);
+        let s = acc.stats();
+        assert_eq!(s, CongestionStats { average: 0.0, max: 0.0, coverage: 1.0 });
+    }
+
+    #[test]
+    fn nan_traffic_takes_the_degenerate_path() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let mut acc = CongestionAccumulator::new(mesh);
+        acc.add_edge(Coord::new(0, 0), Coord::new(1, 1), f64::NAN).unwrap();
+        let s = acc.stats();
+        assert!(s.average == 0.0 && s.max == 0.0 && s.coverage == 1.0, "{s:?}");
+    }
+
+    #[test]
+    fn out_of_mesh_endpoints_are_typed_errors_and_leave_the_map_untouched() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let mut acc = CongestionAccumulator::new(mesh);
+        let bad = Coord::new(3, 0);
+        for (s, t) in [(bad, Coord::new(0, 0)), (Coord::new(0, 0), bad), (bad, bad)] {
+            let err = acc.add_edge(s, t, 1.0).unwrap_err();
+            assert!(matches!(err, HwError::OutOfBounds { coord } if coord == bad), "{err}");
+        }
+        assert!(acc.map().iter().all(|&v| v == 0.0));
+        assert_eq!(acc.stats(), CongestionStats { average: 0.0, max: 0.0, coverage: 1.0 });
+        // The accumulator still works after a rejected edge.
+        acc.add_edge(Coord::new(0, 0), Coord::new(2, 2), 1.0).unwrap();
+        assert!(acc.stats().max > 0.0);
+    }
+
+    #[test]
+    fn quadrant_flips_bit_match_the_per_point_expe() {
+        // An asymmetric rectangle (dx = 3, dy = 1) walked in all four
+        // flip_x/flip_y quadrants: every cell the accumulator writes must
+        // bit-equal `w * expe(cell, s, t)` — `spread`'s flipped fast path
+        // and the per-point reference share the same grid, so even the
+        // rounding must agree.
+        use crate::expe;
+        let mesh = Mesh::new(9, 9).unwrap();
+        let w = 3.25;
+        let center = Coord::new(4, 4);
+        for t in [Coord::new(7, 5), Coord::new(1, 5), Coord::new(7, 3), Coord::new(1, 3)] {
+            let mut acc = CongestionAccumulator::new(mesh);
+            acc.add_edge(center, t, w).unwrap();
+            for c in mesh.iter() {
+                let got = acc.map()[mesh.index_of(c)];
+                let want = w * expe(c, center, t);
+                assert!(
+                    got.to_bits() == want.to_bits(),
+                    "{center} -> {t} at {c}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_flips_match_brute_force_staircase_enumeration() {
+        // Independent reference: enumerate every monotone staircase walk
+        // with its probability (½ per free step, straight once an axis is
+        // exhausted) in *mesh* coordinates, stepping from s toward t, and
+        // accumulate per-router visit probability. dx ≠ dy so an i/j (or
+        // flip) mix-up shifts mass to the wrong cells.
+        fn walk(p: Coord, t: Coord, prob: f64, visits: &mut [f64], mesh: Mesh) {
+            visits[mesh.index_of(p)] += prob;
+            if p == t {
+                return;
+            }
+            let step_x = Coord::new(if t.x > p.x { p.x + 1 } else { p.x.wrapping_sub(1) }, p.y);
+            let step_y = Coord::new(p.x, if t.y > p.y { p.y + 1 } else { p.y.wrapping_sub(1) });
+            if p.x == t.x {
+                walk(step_y, t, prob, visits, mesh);
+            } else if p.y == t.y {
+                walk(step_x, t, prob, visits, mesh);
+            } else {
+                walk(step_x, t, prob / 2.0, visits, mesh);
+                walk(step_y, t, prob / 2.0, visits, mesh);
+            }
+        }
+        let mesh = Mesh::new(8, 8).unwrap();
+        let w = 2.0;
+        let s = Coord::new(3, 4);
+        for t in [Coord::new(6, 5), Coord::new(0, 5), Coord::new(6, 3), Coord::new(0, 3)] {
+            let mut acc = CongestionAccumulator::new(mesh);
+            acc.add_edge(s, t, w).unwrap();
+            let mut visits = vec![0.0; mesh.len()];
+            walk(s, t, 1.0, &mut visits, mesh);
+            for c in mesh.iter() {
+                let got = acc.map()[mesh.index_of(c)];
+                let want = w * visits[mesh.index_of(c)];
+                assert!((got - want).abs() < 1e-12, "{s} -> {t} at {c}: {got} vs {want}");
+            }
+        }
     }
 }

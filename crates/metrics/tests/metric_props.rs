@@ -116,13 +116,52 @@ proptest! {
         let mut fwd = CongestionAccumulator::new(mesh);
         let mut rev = CongestionAccumulator::new(mesh);
         for &((sx, sy), (tx, ty), w) in &edges {
-            fwd.add_edge(Coord::new(sx, sy), Coord::new(tx, ty), w);
+            fwd.add_edge(Coord::new(sx, sy), Coord::new(tx, ty), w).unwrap();
         }
         for &((sx, sy), (tx, ty), w) in edges.iter().rev() {
-            rev.add_edge(Coord::new(sx, sy), Coord::new(tx, ty), w);
+            rev.add_edge(Coord::new(sx, sy), Coord::new(tx, ty), w).unwrap();
         }
         for (a, b) in fwd.map().iter().zip(rev.map()) {
             prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// On non-square meshes the row-major index `x · cols + y` must not
+    /// alias across rows: every edge's mass lands strictly inside its
+    /// bounding rectangle and the total mass is conserved. (A rows/cols
+    /// mix-up in the stride shifts mass into unrelated routers without
+    /// changing the total, so both checks are needed.)
+    #[test]
+    fn non_square_meshes_do_not_alias(
+        rows in 2u16..7,
+        extra_cols in 1u16..5,
+        edges in prop::collection::vec(((0u16..6, 0u16..10), (0u16..6, 0u16..10), 0.1f64..5.0), 1..10)
+    ) {
+        let cols = rows + extra_cols;
+        let mesh = Mesh::new(rows, cols).unwrap();
+        let clip = |x: u16, max: u16| x.min(max - 1);
+        let mut acc = CongestionAccumulator::new(mesh);
+        let mut expected_mass = 0.0;
+        for &((sx, sy), (tx, ty), w) in &edges {
+            let s = Coord::new(clip(sx, rows), clip(sy, cols));
+            let t = Coord::new(clip(tx, rows), clip(ty, cols));
+            acc.add_edge(s, t, w).unwrap();
+            expected_mass +=
+                w * ((s.x.abs_diff(t.x) + s.y.abs_diff(t.y)) as f64 + 1.0);
+        }
+        let mass: f64 = acc.map().iter().sum();
+        prop_assert!((mass - expected_mass).abs() < 1e-9 * expected_mass.max(1.0));
+        // Any router outside every bounding rectangle must be untouched.
+        for c in mesh.iter() {
+            let inside_some = edges.iter().any(|&((sx, sy), (tx, ty), _)| {
+                let s = Coord::new(clip(sx, rows), clip(sy, cols));
+                let t = Coord::new(clip(tx, rows), clip(ty, cols));
+                c.x >= s.x.min(t.x) && c.x <= s.x.max(t.x)
+                    && c.y >= s.y.min(t.y) && c.y <= s.y.max(t.y)
+            });
+            if !inside_some {
+                prop_assert_eq!(acc.map()[mesh.index_of(c)], 0.0, "router {}", c);
+            }
         }
     }
 }

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use snnmap_hw::{Coord, FaultMap, Mesh};
+use snnmap_trace::{NocEvent, TraceEvent, TraceSink};
 
 use crate::{NocError, NocStats};
 
@@ -173,6 +174,30 @@ impl NocSim {
     /// Run statistics so far.
     pub fn stats(&self) -> &NocStats {
         &self.stats
+    }
+
+    /// Emits the simulator's counters as a single `noc` trace event
+    /// (cycles, injected/delivered/rejected packets, link traversals,
+    /// latency totals, detour hops).
+    ///
+    /// Guarded by [`TraceSink::enabled`], so a
+    /// [`snnmap_trace::NoopSink`] costs nothing; call it at whatever
+    /// cadence the analysis needs — once after [`NocSim::drain`] for a
+    /// run summary, or every N cycles for a time series.
+    pub fn record_trace<S: TraceSink + ?Sized>(&self, sink: &mut S) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.record(&TraceEvent::Noc(NocEvent {
+            cycles: self.cycle,
+            injected: self.stats.injected,
+            delivered: self.stats.delivered,
+            rejected: self.stats.rejected,
+            traversals: self.stats.traversals.iter().sum(),
+            total_latency: self.stats.total_latency,
+            max_latency: self.stats.max_latency,
+            detour_hops: self.stats.detour_hops,
+        }));
     }
 
     /// Injects one spike from the core at `src` toward the core at `dst`.
@@ -478,6 +503,29 @@ mod tests {
             assert!(s.drain(100));
             assert_eq!(s.stats().delivered, 1);
             assert_eq!(s.stats().max_latency, d + 1, "{src} -> {dst}");
+        }
+    }
+
+    #[test]
+    fn record_trace_mirrors_the_stats() {
+        use snnmap_trace::{MemorySink, NoopSink};
+        let mut s = sim(4, 4);
+        s.inject(Coord::new(0, 0), Coord::new(3, 3)).unwrap();
+        s.inject(Coord::new(1, 1), Coord::new(2, 0)).unwrap();
+        assert!(s.drain(100));
+        s.record_trace(&mut NoopSink); // must be a no-op
+        let mut sink = MemorySink::new();
+        s.record_trace(&mut sink);
+        assert_eq!(sink.len(), 1);
+        match &sink.events()[0] {
+            TraceEvent::Noc(e) => {
+                assert_eq!(e.cycles, s.cycle());
+                assert_eq!(e.injected, s.stats().injected);
+                assert_eq!(e.delivered, 2);
+                assert_eq!(e.traversals, s.stats().traversals.iter().sum::<u64>());
+                assert_eq!(e.max_latency, s.stats().max_latency);
+            }
+            other => panic!("unexpected event {other:?}"),
         }
     }
 

@@ -1,0 +1,100 @@
+//! A counting global allocator for per-phase allocation telemetry.
+//!
+//! Library crates in this workspace forbid `unsafe`; this module is the
+//! one audited exception (a `GlobalAlloc` impl cannot be written without
+//! it). The counter is passive: binaries opt in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: snnmap_trace::CountingAlloc = snnmap_trace::CountingAlloc::new();
+//! ```
+//!
+//! and phase spans then report heap-bytes/allocation-call deltas. When no
+//! binary installs it, [`snapshot`] stays at zero and phase events simply
+//! report `alloc_bytes: 0` — tracing continues to work, minus the
+//! allocation columns.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Forwarding allocator that counts allocation calls and requested bytes.
+///
+/// Deallocations are deliberately not subtracted: the telemetry question
+/// is "how much allocator traffic did this phase generate", not "what is
+/// the live heap size", and a monotone counter makes deltas meaningful
+/// even when another thread frees concurrently.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Const constructor for use in `#[global_allocator]` statics.
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        BYTES.fetch_add(new_size.saturating_sub(layout.size()) as u64, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Monotone allocation counters at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Total heap bytes requested so far.
+    pub bytes: u64,
+    /// Total allocation calls so far.
+    pub allocs: u64,
+}
+
+impl AllocSnapshot {
+    /// The counter delta from `earlier` to `self`.
+    pub fn since(self, earlier: AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+        }
+    }
+}
+
+/// Reads the current counters (all zero unless [`CountingAlloc`] is the
+/// process's global allocator).
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot { bytes: BYTES.load(Relaxed), allocs: ALLOCS.load(Relaxed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_is_wrapping_and_monotone_friendly() {
+        let a = AllocSnapshot { bytes: 100, allocs: 3 };
+        let b = AllocSnapshot { bytes: 250, allocs: 7 };
+        assert_eq!(b.since(a), AllocSnapshot { bytes: 150, allocs: 4 });
+        assert_eq!(a.since(a), AllocSnapshot::default());
+    }
+}

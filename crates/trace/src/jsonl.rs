@@ -1,0 +1,135 @@
+//! JSON-lines sink: one deterministic JSON object per event.
+
+use std::io::{self, Write};
+
+use crate::{TraceEvent, TraceSink};
+
+/// Streams events as JSONL to any [`Write`] target.
+///
+/// Field order is fixed by [`TraceEvent::render`]; with timing disabled
+/// (`with_timing(false)`) two traces of the same deterministic run are
+/// byte-identical, which CI uses for replay comparisons.
+///
+/// I/O errors are latched rather than panicking mid-pipeline: the first
+/// error stops further writes and is surfaced by [`JsonlSink::finish`]
+/// (or [`JsonlSink::take_error`]).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_trace::{FdDoneEvent, JsonlSink, TraceEvent, TraceSink};
+///
+/// let mut sink = JsonlSink::new(Vec::new()).with_timing(false);
+/// sink.record(&TraceEvent::FdDone(FdDoneEvent {
+///     iterations: 1,
+///     swaps: 0,
+///     initial_energy: 0.0,
+///     final_energy: 0.0,
+///     converged: true,
+/// }));
+/// let bytes = sink.finish()?;
+/// assert_eq!(String::from_utf8(bytes)?.lines().count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    timing: bool,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `out`; timing fields are emitted by default.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, timing: true, lines: 0, error: None }
+    }
+
+    /// Enables or disables wall-clock/allocation fields (disable for
+    /// byte-stable replays).
+    pub fn with_timing(mut self, timing: bool) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Takes the latched I/O error, if any occurred.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Flushes and returns the writer, or the first latched I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.render(self.timing);
+        match self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n")) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParEvent, PhaseEvent};
+
+    fn phase(name: &str) -> TraceEvent {
+        TraceEvent::Phase(PhaseEvent {
+            name: name.into(),
+            wall_ns: 42,
+            alloc_bytes: 0,
+            allocs: 0,
+        })
+    }
+
+    #[test]
+    fn timing_off_is_byte_stable_across_replays() {
+        let run = || {
+            let mut sink = JsonlSink::new(Vec::new()).with_timing(false);
+            sink.record(&phase("toposort"));
+            sink.record(&TraceEvent::Par(ParEvent {
+                scope: "fd".into(),
+                calls: 3,
+                parallel_calls: 1,
+                workers_spawned: 2,
+            }));
+            sink.finish().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn io_errors_are_latched_not_panicked() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Failing);
+        sink.record(&phase("fd"));
+        sink.record(&phase("fd"));
+        assert_eq!(sink.lines(), 0);
+        assert!(sink.finish().is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Zero-cost-when-disabled observability for the snnmap pipeline.
+//!
+//! The mapping pipeline (partition → topo sort → HSC init → FD sweeps →
+//! validate/repair → NoC sim) reports its internals through a single
+//! narrow interface, the [`TraceSink`] trait. Instrumented code is
+//! generic over `S: TraceSink + ?Sized` and guards every expensive probe
+//! (per-sweep energy recomputation, `Instant::now()`, allocation
+//! snapshots) behind [`TraceSink::enabled`]; with the default
+//! [`NoopSink`], `enabled()` is statically `false`, so monomorphization
+//! deletes the instrumentation entirely — the hot loops compile to the
+//! same code as before the trace layer existed.
+//!
+//! Three sinks cover the use cases:
+//!
+//! | Sink           | Destination      | Use                                   |
+//! |----------------|------------------|---------------------------------------|
+//! | [`NoopSink`]   | —                | default; zero overhead                |
+//! | [`JsonlSink`]  | any [`std::io::Write`] | `snnmap map --trace-out run.jsonl` |
+//! | [`MemorySink`] | `Vec<TraceEvent>` | bench aggregation, tests             |
+//!
+//! Events render to JSONL with **deterministic field order** and a
+//! versioned `schema` field ([`schema::VERSION`]); timing-derived fields
+//! are optional so deterministic runs replay byte-identically.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_trace::{time_phase, MemorySink, NoopSink, TraceEvent, TraceSink};
+//!
+//! fn work<S: TraceSink + ?Sized>(sink: &mut S) -> u32 {
+//!     time_phase(sink, "square", || 7 * 7)
+//! }
+//!
+//! assert_eq!(work(&mut NoopSink), 49); // no events, no timers
+//! let mut mem = MemorySink::new();
+//! assert_eq!(work(&mut mem), 49);
+//! assert!(matches!(mem.events()[0], TraceEvent::Phase(_)));
+//! ```
+
+#![deny(unsafe_code)] // `alloc` is the single audited exception
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod alloc;
+mod digest;
+mod event;
+mod jsonl;
+mod memory;
+
+pub use alloc::{snapshot as alloc_snapshot, AllocSnapshot, CountingAlloc};
+pub use digest::{sha256_hex, Sha256};
+pub use event::{
+    FdConfigEvent, FdDoneEvent, FdSweepEvent, NocEvent, ParEvent, PhaseEvent, RunEvent,
+    TraceEvent,
+};
+pub use jsonl::JsonlSink;
+pub use memory::MemorySink;
+
+use std::time::Instant;
+
+/// Receiver for pipeline trace events.
+///
+/// Implementations decide what to do with each [`TraceEvent`]; the
+/// pipeline decides *whether to gather one at all* by checking
+/// [`TraceSink::enabled`] first, so disabled sinks cost nothing — not
+/// even the event construction.
+pub trait TraceSink {
+    /// Whether events should be gathered at all. Defaults to `true`;
+    /// [`NoopSink`] overrides it to a constant `false` that the
+    /// optimizer propagates through monomorphized pipeline code.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. Must not panic on I/O problems (latch them
+    /// and surface at the end of the run instead).
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// The disabled sink: `enabled()` is statically `false` and `record` is
+/// unreachable in practice.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        (**self).record(event);
+    }
+}
+
+/// Runs `f`, emitting a [`PhaseEvent`] span (wall time + allocation
+/// delta) named `name` when the sink is enabled. With a disabled sink
+/// this is exactly `f()` — no timers, no snapshots.
+pub fn time_phase<S: TraceSink + ?Sized, T>(sink: &mut S, name: &str, f: impl FnOnce() -> T) -> T {
+    if !sink.enabled() {
+        return f();
+    }
+    let a0 = alloc::snapshot();
+    let t0 = Instant::now();
+    let result = f();
+    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let da = alloc::snapshot().since(a0);
+    sink.record(&TraceEvent::Phase(PhaseEvent {
+        name: name.to_owned(),
+        wall_ns,
+        alloc_bytes: da.bytes,
+        allocs: da.allocs,
+    }));
+    result
+}
+
+/// The versioned JSONL schema: event names, their required fields, and
+/// the timing-only fields a `--trace-timing off` stream omits.
+pub mod schema {
+    /// Schema version stamped into every `run` header line.
+    pub const VERSION: u64 = 1;
+
+    /// Phase-name vocabulary used by the shipped pipeline. Custom phases
+    /// are permitted (the field is free-form), but these are the names
+    /// CI and the bench harness rely on.
+    pub const PHASES: &[&str] = &[
+        "partition",
+        "toposort",
+        "hsc_init",
+        "curve_init",
+        "random_init",
+        "fd",
+        "validate",
+        "repair",
+        "noc_sim",
+    ];
+
+    /// `(event name, required fields, timing-only fields)` for every
+    /// event kind. Required fields appear in exactly this order in the
+    /// rendered JSONL; timing-only fields follow them when timing is on.
+    pub const EVENTS: &[(&str, &[&str], &[&str])] = &[
+        (
+            "run",
+            &[
+                "schema",
+                "event",
+                "tool",
+                "clusters",
+                "connections",
+                "mesh",
+                "threads_requested",
+                "threads_resolved",
+            ],
+            &[],
+        ),
+        ("phase", &["event", "name"], &["wall_ns", "alloc_bytes", "allocs"]),
+        (
+            "fd_config",
+            &[
+                "event",
+                "potential",
+                "tension",
+                "lambda",
+                "max_iterations",
+                "time_budget_ms",
+                "threads",
+                "masked",
+            ],
+            &[],
+        ),
+        (
+            "fd_sweep",
+            &["event", "sweep", "queue", "cutoff", "applied", "dirty", "carried", "energy"],
+            &["wall_ns"],
+        ),
+        (
+            "fd_done",
+            &["event", "iterations", "swaps", "initial_energy", "final_energy", "converged"],
+            &[],
+        ),
+        (
+            "noc",
+            &[
+                "event",
+                "cycles",
+                "injected",
+                "delivered",
+                "rejected",
+                "traversals",
+                "total_latency",
+                "max_latency",
+                "detour_hops",
+            ],
+            &[],
+        ),
+        ("par", &["event", "scope", "calls", "parallel_calls", "workers_spawned"], &[]),
+    ];
+
+    /// Looks up `(required, timing-only)` field lists for an event name.
+    pub fn fields(event: &str) -> Option<(&'static [&'static str], &'static [&'static str])> {
+        EVENTS
+            .iter()
+            .find(|(name, _, _)| *name == event)
+            .map(|(_, required, timing)| (*required, *timing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_skips_the_span() {
+        let mut sink = NoopSink;
+        assert!(!sink.enabled());
+        let v = time_phase(&mut sink, "x", || 11);
+        assert_eq!(v, 11);
+    }
+
+    #[test]
+    fn dyn_sinks_work_through_the_blanket_impl() {
+        let mut mem = MemorySink::new();
+        {
+            let dyn_sink: &mut dyn TraceSink = &mut mem;
+            assert!(dyn_sink.enabled());
+            let mut wrapped = dyn_sink;
+            time_phase(&mut wrapped, "span", || ());
+        }
+        assert_eq!(mem.len(), 1);
+        match &mem.events()[0] {
+            TraceEvent::Phase(p) => assert_eq!(p.name, "span"),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_covers_every_event_kind() {
+        for name in ["run", "phase", "fd_config", "fd_sweep", "fd_done", "noc", "par"] {
+            let (required, _) = schema::fields(name).expect(name);
+            assert!(required.contains(&"event"), "{name}");
+        }
+        assert!(schema::fields("nope").is_none());
+    }
+
+    #[test]
+    fn rendered_events_match_their_schema_field_lists() {
+        // Render one of each kind with timing on and check the field
+        // order equals required ++ timing-only.
+        let events = [
+            TraceEvent::Run(RunEvent {
+                tool: "t".into(),
+                clusters: 1,
+                connections: 1,
+                mesh_rows: 1,
+                mesh_cols: 1,
+                threads_requested: 0,
+                threads_resolved: 1,
+            }),
+            TraceEvent::Phase(PhaseEvent {
+                name: "fd".into(),
+                wall_ns: 1,
+                alloc_bytes: 2,
+                allocs: 3,
+            }),
+            TraceEvent::FdConfig(FdConfigEvent {
+                potential: "p".into(),
+                tension: "t".into(),
+                lambda: 0.3,
+                max_iterations: None,
+                time_budget_ms: None,
+                threads: 1,
+                masked: false,
+            }),
+            TraceEvent::FdSweep(FdSweepEvent {
+                sweep: 1,
+                queue: 1,
+                cutoff: 1,
+                applied: 1,
+                dirty: 1,
+                carried: 1,
+                energy: 0.0,
+                wall_ns: 1,
+            }),
+            TraceEvent::FdDone(FdDoneEvent {
+                iterations: 1,
+                swaps: 1,
+                initial_energy: 0.0,
+                final_energy: 0.0,
+                converged: true,
+            }),
+            TraceEvent::Noc(NocEvent {
+                cycles: 1,
+                injected: 1,
+                delivered: 1,
+                rejected: 0,
+                traversals: 1,
+                total_latency: 1,
+                max_latency: 1,
+                detour_hops: 0,
+            }),
+            TraceEvent::Par(ParEvent {
+                scope: "total".into(),
+                calls: 1,
+                parallel_calls: 1,
+                workers_spawned: 1,
+            }),
+        ];
+        for e in &events {
+            let (required, timing) = schema::fields(e.name()).unwrap();
+            let line = e.render(true);
+            let mut keys = Vec::new();
+            // Top-level keys of a flat object: every `"name":` at depth 1.
+            let body = line.strip_prefix('{').unwrap().strip_suffix('}').unwrap();
+            let mut rest = body;
+            while let Some(start) = rest.find('"') {
+                let after = &rest[start + 1..];
+                let end = after.find('"').unwrap();
+                keys.push(&after[..end]);
+                let tail = &after[end + 1..];
+                debug_assert!(tail.starts_with(':'));
+                // Skip past the value to the next comma at depth 1 (all
+                // values here are scalars, so the next `,` delimits).
+                match tail.find(",\"") {
+                    Some(comma) => rest = &tail[comma + 1..],
+                    None => break,
+                }
+            }
+            let expect: Vec<&str> = required.iter().chain(timing.iter()).copied().collect();
+            assert_eq!(keys, expect, "event {}", e.name());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! In-memory sink for programmatic aggregation (bench harness, tests).
+
+use crate::{TraceEvent, TraceSink};
+
+/// Collects every event into a `Vec` for later inspection.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_trace::{FdSweepEvent, MemorySink, TraceEvent, TraceSink};
+///
+/// let mut sink = MemorySink::new();
+/// sink.record(&TraceEvent::FdSweep(FdSweepEvent {
+///     sweep: 1, queue: 5, cutoff: 2, applied: 2, dirty: 8, carried: 3,
+///     energy: 1.0, wall_ns: 0,
+/// }));
+/// assert_eq!(sink.events().len(), 1);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The recorded events in arrival order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, yielding the recorded events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}

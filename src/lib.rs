@@ -19,7 +19,9 @@
 //! * [`noc`] — a cycle-driven 2D-mesh NoC simulator,
 //! * [`io`] — `.pcn` edge-list and placement-JSON file formats,
 //! * [`lif`] — a leaky integrate-and-fire simulator for measuring spike
-//!   traffic densities by execution.
+//!   traffic densities by execution,
+//! * [`trace`] — the zero-cost-when-disabled observability layer: trace
+//!   sinks, the versioned JSONL event schema, allocation counters.
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ pub use snnmap_model as model;
 pub use snnmap_io as io;
 pub use snnmap_lif as lif;
 pub use snnmap_noc as noc;
+pub use snnmap_trace as trace;
 
 /// Commonly used items, for glob import in examples and applications.
 pub mod prelude {

@@ -1,0 +1,104 @@
+//! End-to-end tests of the observability layer: the traced pipeline must
+//! produce the same placement as the untraced one, the JSONL rendering
+//! must validate against the versioned schema, and the telemetry must be
+//! internally consistent with the returned statistics.
+
+use snnmap::core::Mapper;
+use snnmap::hw::Mesh;
+use snnmap::io::validate_trace;
+use snnmap::model::generators::random_pcn;
+use snnmap::trace::{JsonlSink, MemorySink, Sha256, TraceEvent};
+
+fn placement_sha256(p: &snnmap::hw::Placement, clusters: u32) -> String {
+    let mut h = Sha256::new();
+    for c in 0..clusters {
+        let coord = p.coord_of(c).expect("complete placement");
+        h.update(&coord.x.to_le_bytes());
+        h.update(&coord.y.to_le_bytes());
+    }
+    h.finalize_hex()
+}
+
+#[test]
+fn traced_and_untraced_pipelines_are_sha256_identical() {
+    let pcn = random_pcn(400, 4.0, 11).unwrap();
+    let mesh = Mesh::new(20, 20).unwrap();
+    let mapper = Mapper::builder().max_iterations(25).threads(2).build();
+
+    let plain = mapper.map(&pcn, mesh).unwrap();
+    let mut sink = MemorySink::new();
+    let traced = mapper.map_traced(&pcn, mesh, &mut sink).unwrap();
+
+    assert_eq!(
+        placement_sha256(&plain.placement, 400),
+        placement_sha256(&traced.placement, 400),
+        "tracing perturbed the placement"
+    );
+
+    // The telemetry agrees with the returned statistics.
+    let stats = traced.fd_stats.expect("FD ran");
+    let sweeps: Vec<_> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::FdSweep(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sweeps.len() as u64, stats.iterations);
+    assert_eq!(sweeps.iter().map(|s| s.applied).sum::<u64>(), stats.swaps);
+    let last_energy = sweeps.last().expect("at least one sweep").energy;
+    assert_eq!(last_energy.to_bits(), stats.final_energy.to_bits());
+}
+
+#[test]
+fn jsonl_stream_from_the_real_pipeline_validates_and_replays_byte_stably() {
+    let pcn = random_pcn(200, 4.0, 5).unwrap();
+    let mesh = Mesh::new(15, 15).unwrap();
+    let mapper = Mapper::builder().max_iterations(10).build();
+
+    let run = || {
+        let mut sink = JsonlSink::new(Vec::new()).with_timing(false);
+        mapper.map_traced(&pcn, mesh, &mut sink).unwrap();
+        String::from_utf8(sink.finish().unwrap()).unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "timing-off replays must be byte-identical");
+
+    let summary = validate_trace(&a).unwrap();
+    assert_eq!(summary.count("run"), 1);
+    assert_eq!(summary.count("fd_config"), 1);
+    assert_eq!(summary.count("fd_done"), 1);
+    assert!(summary.count("fd_sweep") >= 1);
+    assert!(summary.count("phase") >= 3, "toposort, init, fd spans expected");
+    assert!(!summary.timing);
+
+    // With timing on, the same stream still validates.
+    let mut sink = JsonlSink::new(Vec::new());
+    mapper.map_traced(&pcn, mesh, &mut sink).unwrap();
+    let timed = String::from_utf8(sink.finish().unwrap()).unwrap();
+    assert!(validate_trace(&timed).unwrap().timing);
+}
+
+#[test]
+fn noc_counters_flow_through_the_same_sink() {
+    use snnmap::noc::{NocConfig, NocSim, PcnTraffic};
+
+    let pcn = random_pcn(36, 3.0, 9).unwrap();
+    let mesh = Mesh::new(6, 6).unwrap();
+    let outcome = Mapper::builder().max_iterations(5).build().map(&pcn, mesh).unwrap();
+
+    let mut sim = NocSim::new(mesh, NocConfig::default());
+    let mut traffic = PcnTraffic::new(&pcn, &outcome.placement, 1.0, 42);
+    traffic.run(&mut sim, 200);
+
+    let mut sink = MemorySink::new();
+    sim.record_trace(&mut sink);
+    let [TraceEvent::Noc(n)] = sink.events() else {
+        panic!("expected exactly one noc event, got {:?}", sink.events());
+    };
+    let stats = sim.stats();
+    assert_eq!(n.injected, stats.injected);
+    assert_eq!(n.delivered, stats.delivered);
+    assert!(n.cycles >= 200);
+}
