@@ -10,7 +10,7 @@ fn bench_partition(c: &mut Criterion) {
     let mut g = c.benchmark_group("partition");
     // Explicit Algorithm 1 over a materialized two-million-synapse
     // network.
-    let snn = DnnSpec::new(&[1000, 1000, 1000]).build(1).unwrap();
+    let snn = DnnSpec::new(&[1000, 1000, 1000]).unwrap().build(1).unwrap();
     let con = CoreConstraints::new(64, 1 << 30);
     g.bench_function("explicit_2M_synapses", |b| {
         b.iter(|| partition(black_box(&snn), con).unwrap())

@@ -29,12 +29,15 @@ fn main() {
         ),
         (
             "DNN 4x1024",
-            DnnSpec::new(&[1024; 4]).build(options.seed).expect("materializes"),
+            DnnSpec::new(&[1024; 4]).expect("valid shape").build(options.seed).expect("materializes"),
             CoreConstraints::new(128, u64::MAX),
         ),
         (
             "CNN 8x2048 f32",
-            CnnSpec::new(&[2048; 8], 32).build(options.seed).expect("materializes"),
+            CnnSpec::new(&[2048; 8], 32)
+                .expect("valid shape")
+                .build(options.seed)
+                .expect("materializes"),
             CoreConstraints::new(128, u64::MAX),
         ),
         (

@@ -7,11 +7,18 @@ use std::time::Duration;
 use snnmap_baselines::{
     BaselineMapper, Budget, DfSynthesizerMapper, PsoMapper, RandomMapper, TrueNorthMapper,
 };
-use snnmap_core::{InitialPlacement, Mapper, Potential};
+use snnmap_core::{
+    CheckpointWriter, CoreError, FdCheckpoint, FdRunOpts, InitialPlacement, MapOutcome, Mapper,
+    Potential,
+};
 use snnmap_hw::{
     CoreConstraints, CostModel, FaultInjector, FaultMap, FaultPattern, Mesh, Placement,
 };
-use snnmap_io::{read_faults, read_pcn, read_placement, write_faults, write_pcn, write_placement};
+use snnmap_io::{
+    read_checkpoint, read_faults, read_pcn, read_placement, render_faults, render_pcn,
+    write_checkpoint, write_faults, write_pcn, write_placement, CheckpointMeta,
+};
+use snnmap_trace::{sha256_hex, JsonlSink, NoopSink, TraceSink};
 use snnmap_metrics::{evaluate_with, hop_histogram, EvalOptions};
 use snnmap_model::generators::{random_pcn, table3_suite};
 use snnmap_model::Pcn;
@@ -114,6 +121,113 @@ fn load_faults(o: &Opts, mesh: Mesh, seed: u64) -> Result<Option<FaultMap>, CliE
     Ok(Some(fm))
 }
 
+/// Provenance digests for a proposed-method run: the PCN and every
+/// configuration knob that shapes the FD trajectory (budgets and thread
+/// counts are deliberately excluded — the trajectory is invariant to
+/// them, and resuming under a *different* budget is the whole point).
+fn proposed_digests(
+    pcn: &Pcn,
+    init: &str,
+    potential: &str,
+    lambda: f64,
+    seed: u64,
+    faults: Option<&FaultMap>,
+) -> CheckpointMeta {
+    let faults_digest = match faults {
+        Some(fm) => sha256_hex(render_faults(fm).as_bytes()),
+        None => "none".to_string(),
+    };
+    let config = format!(
+        "init={init} potential={potential} lambda={lambda} seed={seed} faults={faults_digest}"
+    );
+    CheckpointMeta {
+        config_digest: sha256_hex(config.as_bytes()),
+        pcn_digest: sha256_hex(render_pcn(pcn).as_bytes()),
+    }
+}
+
+/// Runs a mapping closure against a JSONL sink when `--trace-out` was
+/// given, or a [`NoopSink`] otherwise, surfacing latched write errors.
+fn with_sink<F>(trace_out: Option<&str>, timing: bool, f: F) -> Result<MapOutcome, CliError>
+where
+    F: FnOnce(&mut dyn TraceSink) -> Result<MapOutcome, CoreError>,
+{
+    match trace_out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::Io(snnmap_io::IoError::Io(e)))?;
+            let mut sink =
+                JsonlSink::new(std::io::BufWriter::new(file)).with_timing(timing);
+            let outcome = f(&mut sink)?;
+            // `finish` surfaces the first latched write error and flushes
+            // the BufWriter through to the file.
+            sink.finish().map_err(|e| CliError::Io(snnmap_io::IoError::Io(e)))?;
+            Ok(outcome)
+        }
+        None => Ok(f(&mut NoopSink)?),
+    }
+}
+
+/// The flags shared by `map --method proposed` and `resume` that shape
+/// the run: stop budgets and checkpointing.
+const RESILIENCE_FLAGS: [&str; 4] =
+    ["deadline-ms", "max-sweeps", "checkpoint-every", "checkpoint-out"];
+
+/// Assembles [`FdRunOpts`] from the resilience flags. The returned
+/// writer closure (if any) must stay alive while `opts` is used, so the
+/// caller keeps both.
+struct ResilienceOpts {
+    deadline_ms: u64,
+    max_sweeps: u64,
+    checkpoint_every: u64,
+    checkpoint_out: Option<String>,
+}
+
+impl ResilienceOpts {
+    fn parse(o: &Opts) -> Result<Self, CliError> {
+        let r = ResilienceOpts {
+            deadline_ms: o.parsed_or("deadline-ms", 0)?,
+            max_sweeps: o.parsed_or("max-sweeps", 0)?,
+            checkpoint_every: o.parsed_or("checkpoint-every", 0)?,
+            checkpoint_out: o.flag("checkpoint-out").map(str::to_owned),
+        };
+        if r.checkpoint_every > 0 && r.checkpoint_out.is_none() {
+            return Err(CliError::usage("`--checkpoint-every` requires `--checkpoint-out`"));
+        }
+        Ok(r)
+    }
+
+    /// A checkpoint-writer closure bound to `--checkpoint-out` and the
+    /// run's provenance digests.
+    fn writer(
+        &self,
+        meta: &CheckpointMeta,
+    ) -> Option<impl FnMut(&FdCheckpoint) -> Result<(), String>> {
+        let path = std::path::PathBuf::from(self.checkpoint_out.as_ref()?);
+        let meta = meta.clone();
+        Some(move |cp: &FdCheckpoint| {
+            write_checkpoint(&path, cp, &meta).map_err(|e| e.to_string())
+        })
+    }
+
+    fn apply<'h>(
+        &self,
+        opts: &mut FdRunOpts<'h>,
+        writer: Option<&'h mut CheckpointWriter<'h>>,
+    ) {
+        if self.deadline_ms > 0 {
+            opts.budget.deadline = Some(Duration::from_millis(self.deadline_ms));
+        }
+        if self.max_sweeps > 0 {
+            opts.budget.max_sweeps = Some(self.max_sweeps);
+        }
+        if self.checkpoint_every > 0 {
+            opts.checkpoint_every = Some(self.checkpoint_every);
+        }
+        opts.on_checkpoint = writer;
+    }
+}
+
 /// `snnmap map`: place a PCN onto a mesh.
 pub fn map(args: &[String]) -> Result<String, CliError> {
     let o = Opts::parse(
@@ -132,6 +246,10 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             "threads",
             "trace-out",
             "trace-timing",
+            "deadline-ms",
+            "max-sweeps",
+            "checkpoint-every",
+            "checkpoint-out",
         ],
     )?;
     let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
@@ -179,9 +297,19 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             "`--trace-out` is only supported with `--method proposed`, not `{method}`"
         )));
     }
+    if method != "proposed" {
+        for flag in RESILIENCE_FLAGS {
+            if o.flag(flag).is_some() {
+                return Err(CliError::usage(format!(
+                    "`--{flag}` is only supported with `--method proposed`, not `{method}`"
+                )));
+            }
+        }
+    }
     let (placement, detail) = match method {
         "proposed" => {
-            let init = match o.flag("init").unwrap_or("hilbert") {
+            let init_name = o.flag("init").unwrap_or("hilbert");
+            let init = match init_name {
                 "hilbert" => InitialPlacement::Hilbert,
                 "zigzag" => InitialPlacement::ZigZag,
                 "circle" => InitialPlacement::Circle,
@@ -189,7 +317,8 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 "random" => InitialPlacement::Random(seed),
                 other => return Err(CliError::usage(format!("unknown init `{other}`"))),
             };
-            let potential = match o.flag("potential").unwrap_or("l2sq") {
+            let potential_name = o.flag("potential").unwrap_or("l2sq");
+            let potential = match potential_name {
                 "l1" => Potential::L1,
                 "l1sq" => Potential::L1Squared,
                 "l2sq" => Potential::L2Squared,
@@ -215,31 +344,27 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 builder = builder.fault_map(fm);
             }
             let mapper = builder.build();
-            let outcome = match &trace_out {
-                Some(path) => {
-                    let file = std::fs::File::create(path)
-                        .map_err(|e| CliError::Io(snnmap_io::IoError::Io(e)))?;
-                    let mut sink = snnmap_trace::JsonlSink::new(std::io::BufWriter::new(file))
-                        .with_timing(trace_timing);
-                    let outcome = mapper.map_traced(&pcn, mesh, &mut sink)?;
-                    // `finish` surfaces the first latched write error and
-                    // flushes the BufWriter through to the file.
-                    sink.finish().map_err(|e| CliError::Io(snnmap_io::IoError::Io(e)))?;
-                    outcome
-                }
-                None => mapper.map(&pcn, mesh)?,
-            };
-            let detail = match outcome.fd_stats {
-                Some(s) => format!(
-                    "FD: {} iterations, {} swaps, energy {:.4e} -> {:.4e}{}",
-                    s.iterations,
-                    s.swaps,
-                    s.initial_energy,
-                    s.final_energy,
-                    if s.converged { "" } else { " (early stop)" }
-                ),
-                None => "no FD".to_string(),
-            };
+            let resilience = ResilienceOpts::parse(&o)?;
+            let meta = proposed_digests(
+                &pcn,
+                init_name,
+                potential_name,
+                lambda,
+                seed,
+                faults.as_ref(),
+            );
+            let mut writer = resilience.writer(&meta);
+            let mut run_opts = FdRunOpts::default();
+            resilience.apply(
+                &mut run_opts,
+                writer
+                    .as_mut()
+                    .map(|w| w as &mut dyn FnMut(&FdCheckpoint) -> Result<(), String>),
+            );
+            let outcome = with_sink(trace_out.as_deref(), trace_timing, |sink| {
+                mapper.map_budgeted_traced(&pcn, mesh, &mut run_opts, sink)
+            })?;
+            let detail = fd_detail(&outcome, resilience.checkpoint_out.as_deref());
             (outcome.placement, detail)
         }
         baseline => {
@@ -281,6 +406,145 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
     Ok(format!(
         "placed {} clusters on {mesh}{fault_note} -> {}\n{detail}{trace_note}\n",
         placement.placed_count(),
+        out.display()
+    ))
+}
+
+/// The FD summary line shared by `map` and `resume`, plus a note when a
+/// checkpoint file was actually flushed.
+fn fd_detail(outcome: &MapOutcome, checkpoint_out: Option<&str>) -> String {
+    let mut detail = match &outcome.fd_stats {
+        Some(s) => format!(
+            "FD: {} iterations, {} swaps, energy {:.4e} -> {:.4e}{}",
+            s.iterations,
+            s.swaps,
+            s.initial_energy,
+            s.final_energy,
+            if s.converged {
+                String::new()
+            } else {
+                format!(" (stopped: {})", s.stop.as_str())
+            }
+        ),
+        None => "no FD".to_string(),
+    };
+    if let Some(path) = checkpoint_out {
+        // The engine only flushes on a budgeted stop or a periodic
+        // interval, so the file may legitimately not exist (converged
+        // runs need no checkpoint).
+        if Path::new(path).exists() {
+            let _ = write!(detail, "\ncheckpoint -> {path}");
+        }
+    }
+    detail
+}
+
+/// `snnmap resume`: continue a Force-Directed run from a checkpoint
+/// written by `map --checkpoint-out`. The mapper configuration flags must
+/// match the original run — the checkpoint's provenance digests are
+/// verified before any work happens — while budgets may differ freely
+/// (resuming under a new budget is the point). The resumed run is
+/// bit-identical to the uninterrupted one.
+pub fn resume(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(
+        args,
+        &[
+            "checkpoint",
+            "out",
+            "init",
+            "potential",
+            "lambda",
+            "seed",
+            "threads",
+            "faults",
+            "trace-out",
+            "trace-timing",
+            "deadline-ms",
+            "max-sweeps",
+            "checkpoint-every",
+            "checkpoint-out",
+        ],
+    )?;
+    let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
+    let (checkpoint, on_disk) = read_checkpoint(Path::new(o.required("checkpoint")?))?;
+    let out = Path::new(o.required("out")?);
+    let seed: u64 = o.parsed_or("seed", 42)?;
+    let faults = load_faults(&o, checkpoint.mesh, seed)?;
+
+    let init_name = o.flag("init").unwrap_or("hilbert");
+    if !["hilbert", "zigzag", "circle", "serpentine", "random"].contains(&init_name) {
+        return Err(CliError::usage(format!("unknown init `{init_name}`")));
+    }
+    let potential_name = o.flag("potential").unwrap_or("l2sq");
+    let potential = match potential_name {
+        "l1" => Potential::L1,
+        "l1sq" => Potential::L1Squared,
+        "l2sq" => Potential::L2Squared,
+        "energy" => Potential::energy_model(CostModel::paper_target()),
+        other => return Err(CliError::usage(format!("unknown potential `{other}`"))),
+    };
+    let lambda: f64 = o.parsed_or("lambda", 0.3)?;
+    if !(lambda > 0.0 && lambda <= 1.0) {
+        return Err(CliError::usage("lambda must be in (0, 1]"));
+    }
+    let threads: usize = o.parsed_or("threads", 0)?;
+
+    let meta =
+        proposed_digests(&pcn, init_name, potential_name, lambda, seed, faults.as_ref());
+    if meta.pcn_digest != on_disk.pcn_digest {
+        return Err(CliError::usage(
+            "checkpoint was taken from a different PCN (digest mismatch); \
+             resume with the original input file",
+        ));
+    }
+    if meta.config_digest != on_disk.config_digest {
+        return Err(CliError::usage(
+            "checkpoint was taken under a different configuration (digest \
+             mismatch); pass the original --init/--potential/--lambda/--seed/\
+             --faults values",
+        ));
+    }
+
+    let trace_out = o
+        .flag("trace-out")
+        .map(str::to_owned)
+        .or_else(|| std::env::var("SNNMAP_TRACE").ok().filter(|v| !v.is_empty()));
+    let trace_timing = match o.flag("trace-timing").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::usage(format!(
+                "`--trace-timing` takes `on` or `off`, got `{other}`"
+            )))
+        }
+    };
+
+    let mut builder = Mapper::builder().potential(potential).lambda(lambda).threads(threads);
+    if let Some(fm) = faults.clone() {
+        builder = builder.fault_map(fm);
+    }
+    let mapper = builder.build();
+    let resilience = ResilienceOpts::parse(&o)?;
+    let mut writer = resilience.writer(&meta);
+    let mut run_opts = FdRunOpts::default();
+    resilience.apply(
+        &mut run_opts,
+        writer.as_mut().map(|w| w as &mut dyn FnMut(&FdCheckpoint) -> Result<(), String>),
+    );
+    let restored_sweeps = checkpoint.sweeps;
+    let outcome = with_sink(trace_out.as_deref(), trace_timing, |sink| {
+        mapper.resume_traced(&pcn, &checkpoint, &mut run_opts, sink)
+    })?;
+    let detail = fd_detail(&outcome, resilience.checkpoint_out.as_deref());
+    write_placement(out, &outcome.placement)?;
+    let trace_note = match &trace_out {
+        Some(path) => format!("\ntrace -> {path}"),
+        None => String::new(),
+    };
+    Ok(format!(
+        "resumed at sweep {restored_sweeps}: placed {} clusters on {} -> {}\n{detail}{trace_note}\n",
+        outcome.placement.placed_count(),
+        outcome.placement.mesh(),
         out.display()
     ))
 }

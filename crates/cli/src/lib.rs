@@ -7,6 +7,10 @@
 //! * `info` — summarize a PCN file,
 //! * `map` — place a PCN onto a mesh with any implemented method,
 //!   optionally avoiding faulty hardware (`--faults <rate|file>`),
+//!   under a stop budget (`--deadline-ms`, `--max-sweeps`) and with
+//!   periodic checkpoints (`--checkpoint-every`, `--checkpoint-out`),
+//! * `resume` — continue an interrupted Force-Directed run from a
+//!   checkpoint, bit-identical to the uninterrupted run,
 //! * `eval` — compute the five §3.3 quality metrics of a placement,
 //! * `viz` — render a placement's congestion map as an ASCII heatmap,
 //! * `validate` — check a placement against a fault map and per-core
@@ -41,6 +45,14 @@ commands:
         [--budget-secs N] [--seed N] [--threads N]
         [--faults <rate|file.json>] [--faults-out <file.json>]
         [--trace-out <run.jsonl>] [--trace-timing on|off]
+        [--deadline-ms N] [--max-sweeps N]
+        [--checkpoint-every N] [--checkpoint-out <cp.json>]
+  resume <file.pcn> --checkpoint <cp.json> --out <placement.json>
+        [--init ...] [--potential ...] [--lambda F] [--seed N]
+        [--threads N] [--faults <rate|file.json>]
+        [--deadline-ms N] [--max-sweeps N]
+        [--checkpoint-every N] [--checkpoint-out <cp.json>]
+        [--trace-out <run.jsonl>] [--trace-timing on|off]
   eval  <file.pcn> <placement.json> [--sample N]
   viz   <file.pcn> <placement.json> [--width N]
   validate <file.pcn> <placement.json>
@@ -54,6 +66,14 @@ JSON lines (schema in DESIGN.md); the SNNMAP_TRACE env var is the
 fallback destination when the flag is absent. `--trace-timing off`
 omits wall-clock/allocation fields so replays are byte-identical.
 Tracing never changes the placement.
+
+`--deadline-ms` / `--max-sweeps` make the FD phase *anytime*: the run
+stops at the next sweep boundary and returns the best placement so far
+(never worse than the initial one). `--checkpoint-out` flushes a
+resumable snapshot on every budgeted stop, and `--checkpoint-every N`
+additionally every N sweeps. `resume` verifies the checkpoint's
+provenance digests, then continues the run; a killed-and-resumed run
+produces a placement byte-identical to an uninterrupted one.
 
 exit codes: 0 ok, 1 runtime error, 2 usage error, 3 invalid placement.
 
@@ -71,6 +91,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "gen" => commands::gen(rest),
         "info" => commands::info(rest),
         "map" => commands::map(rest),
+        "resume" => commands::resume(rest),
         "eval" => commands::eval(rest),
         "viz" => commands::viz(rest),
         "validate" => commands::validate(rest),
@@ -290,6 +311,105 @@ mod tests {
         ]))
         .unwrap_err();
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn budgeted_map_checkpoint_then_resume_matches_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("snnmap_cli_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let pcn_s = pcn.to_str().unwrap();
+        run(&sv(&["gen", "--random", "100,4", "--seed", "1", "--out", pcn_s])).unwrap();
+
+        // Uninterrupted reference run.
+        let full = dir.join("full.json");
+        run(&sv(&["map", pcn_s, "--out", full.to_str().unwrap(), "--mesh", "10x10"]))
+            .unwrap();
+
+        // Budget-stopped run flushing a checkpoint every sweep.
+        let partial = dir.join("partial.json");
+        let cp = dir.join("cp.json");
+        let cp_s = cp.to_str().unwrap();
+        let out = run(&sv(&[
+            "map", pcn_s, "--out", partial.to_str().unwrap(), "--mesh", "10x10",
+            "--max-sweeps", "1", "--checkpoint-every", "1", "--checkpoint-out", cp_s,
+        ]))
+        .unwrap();
+        assert!(out.contains("stopped: sweep_cap_reached"), "{out}");
+        assert!(out.contains("checkpoint ->"), "{out}");
+        assert!(cp.exists());
+        assert_ne!(
+            std::fs::read_to_string(&partial).unwrap(),
+            std::fs::read_to_string(&full).unwrap(),
+            "one sweep must not already be converged for this test to bite"
+        );
+
+        // Resume to convergence: byte-identical to the uninterrupted run.
+        let resumed = dir.join("resumed.json");
+        let out = run(&sv(&[
+            "resume", pcn_s, "--checkpoint", cp_s, "--out", resumed.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("resumed at sweep 1"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&resumed).unwrap(),
+            std::fs::read_to_string(&full).unwrap(),
+            "resumed placement must be byte-identical to the uninterrupted run"
+        );
+
+        // Provenance guard: different lambda → different config digest.
+        let err = run(&sv(&[
+            "resume", pcn_s, "--checkpoint", cp_s, "--out", "/dev/null",
+            "--lambda", "0.9",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("different configuration"), "{err}");
+
+        // Flag plumbing guards.
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--checkpoint-every", "1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--method", "random",
+            "--deadline-ms", "5",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&["resume", pcn_s, "--out", "/dev/null"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing --checkpoint must be a usage error");
+    }
+
+    #[test]
+    fn resumed_trace_validates_and_reports_the_resume_event() {
+        let dir = std::env::temp_dir().join("snnmap_cli_resume_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let pcn_s = pcn.to_str().unwrap();
+        run(&sv(&["gen", "--random", "80,4", "--seed", "3", "--out", pcn_s])).unwrap();
+
+        let cp = dir.join("cp.json");
+        let cp_s = cp.to_str().unwrap();
+        run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--mesh", "9x9",
+            "--max-sweeps", "1", "--checkpoint-out", cp_s,
+        ]))
+        .unwrap();
+        assert!(cp.exists(), "budgeted stop must flush a checkpoint");
+
+        let trace = dir.join("resume.jsonl");
+        run(&sv(&[
+            "resume", pcn_s, "--checkpoint", cp_s, "--out", "/dev/null",
+            "--trace-out", trace.to_str().unwrap(), "--trace-timing", "off",
+        ]))
+        .unwrap();
+        let summary =
+            snnmap_io::validate_trace(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert_eq!(summary.count("run"), 1);
+        assert_eq!(summary.count("resume"), 1);
+        assert_eq!(summary.count("fd_done"), 1);
     }
 
     #[test]

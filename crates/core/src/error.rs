@@ -47,6 +47,24 @@ pub enum CoreError {
         /// Clusters the placement tracks.
         placement: u32,
     },
+    /// A parallel worker closure panicked; the run stopped at the last
+    /// consistent sweep boundary (with a checkpoint flushed when one was
+    /// requested) instead of aborting the process.
+    WorkerPanicked {
+        /// The panic message of the poisoned chunk.
+        message: String,
+    },
+    /// The caller-supplied checkpoint writer reported a failure.
+    CheckpointFailed {
+        /// The writer's error message.
+        message: String,
+    },
+    /// A `FdRunOpts` field was inconsistent with the run it was applied
+    /// to (wrong force-table length, region mask of the wrong size, …).
+    InvalidRunOpts {
+        /// What was inconsistent.
+        message: String,
+    },
     /// A hardware-layer error (out-of-bounds placement, occupancy
     /// violation, …).
     Hw(HwError),
@@ -74,6 +92,15 @@ impl fmt::Display for CoreError {
             }
             CoreError::ClusterCountMismatch { pcn, placement } => {
                 write!(f, "PCN has {pcn} clusters but placement tracks {placement}")
+            }
+            CoreError::WorkerPanicked { message } => {
+                write!(f, "parallel worker panicked: {message}")
+            }
+            CoreError::CheckpointFailed { message } => {
+                write!(f, "checkpoint write failed: {message}")
+            }
+            CoreError::InvalidRunOpts { message } => {
+                write!(f, "invalid run options: {message}")
             }
             CoreError::Hw(e) => write!(f, "hardware error: {e}"),
             CoreError::Curve(e) => write!(f, "curve error: {e}"),
@@ -115,5 +142,12 @@ mod tests {
         assert!(e.source().is_none());
         let e = CoreError::from(HwError::OutOfBounds { coord: Coord::new(1, 1) });
         assert!(e.source().is_some());
+        let e = CoreError::WorkerPanicked { message: "chunk 3 died".into() };
+        assert!(e.to_string().contains("chunk 3 died"));
+        assert!(e.source().is_none());
+        let e = CoreError::CheckpointFailed { message: "disk full".into() };
+        assert!(e.to_string().contains("disk full"));
+        let e = CoreError::InvalidRunOpts { message: "bad region len".into() };
+        assert!(e.to_string().contains("bad region len"));
     }
 }

@@ -21,12 +21,16 @@
 //!   every thread count.
 
 use std::cmp::Ordering;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use snnmap_hw::{Coord, FaultMap, HwError, Mesh, Placement};
 use snnmap_model::Pcn;
 use snnmap_trace::{
-    FdConfigEvent, FdDoneEvent, FdSweepEvent, NoopSink, ParEvent, TraceEvent, TraceSink,
+    CheckpointEvent, FdConfigEvent, FdDoneEvent, FdSweepEvent, NoopSink, ParEvent, ResumeEvent,
+    TraceEvent, TraceSink,
 };
 
 use crate::{par, CoreError, Potential};
@@ -113,17 +117,169 @@ impl Default for FdConfig {
 /// Outcome statistics of one Force-Directed run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FdStats {
-    /// Sweeps of the positive-tension queue performed.
+    /// Sweeps of the positive-tension queue performed (cumulative across
+    /// resumes).
     pub iterations: u64,
-    /// Pair swaps applied.
+    /// Pair swaps applied (cumulative across resumes).
     pub swaps: u64,
     /// System potential energy of the input placement (eq. 23).
     pub initial_energy: f64,
     /// System potential energy at termination.
     pub final_energy: f64,
     /// `true` if the queue emptied (full convergence); `false` if an
-    /// iteration or time cap fired first.
+    /// iteration cap, deadline or cancellation fired first.
     pub converged: bool,
+    /// Why the run stopped (refines `converged`).
+    pub stop: StopReason,
+}
+
+/// Why a Force-Directed run returned.
+///
+/// Every reason is a *successful* anytime outcome: the returned placement
+/// is complete, valid, and — by monotone energy descent (eq. 31) — no
+/// worse than the input placement, whichever reason fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The positive-tension queue emptied: no swap can lower the energy.
+    Converged,
+    /// A wall-clock limit fired ([`RunBudget::deadline`] or
+    /// [`FdConfig::time_budget`]).
+    DeadlineExpired,
+    /// A sweep cap fired ([`RunBudget::max_sweeps`] or
+    /// [`FdConfig::max_iterations`]).
+    SweepCapReached,
+    /// The [`RunBudget::cancel`] flag was raised.
+    Cancelled,
+}
+
+impl StopReason {
+    /// Stable lower-snake-case label (used in traces and CLI output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::DeadlineExpired => "deadline_expired",
+            StopReason::SweepCapReached => "sweep_cap_reached",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Cooperative stop conditions, checked at sweep boundaries.
+///
+/// All three limits compose (first to fire wins) and all make FD an
+/// *anytime* algorithm: hitting a limit is not an error, the run returns
+/// its best-so-far placement tagged with the [`StopReason`].
+///
+/// The deadline clock starts when the run (or resumed run) enters the
+/// engine; it is per-invocation, not cumulative across resumes.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    /// Wall-clock limit for this invocation.
+    pub deadline: Option<Duration>,
+    /// Cap on *total* sweeps — a resumed run counts the checkpoint's
+    /// sweeps toward it, so the cap means the same thing whether or not
+    /// the run was interrupted.
+    pub max_sweeps: Option<u64>,
+    /// Cooperative cancellation: raise the flag from another thread and
+    /// the run stops at the next sweep boundary.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// A consistent snapshot of a Force-Directed run at a sweep boundary.
+///
+/// Carries everything a bit-exact resume needs. The force table is part
+/// of the snapshot because forces are maintained *incrementally* during
+/// sweeps: floating-point addition is non-associative, so a from-scratch
+/// force rebuild would differ from the incrementally patched values in
+/// the low bits — restoring the table verbatim is what makes a resumed
+/// run byte-identical to the uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdCheckpoint {
+    /// The mesh the run targets.
+    pub mesh: Mesh,
+    /// Coordinate of every cluster at the snapshot.
+    pub coords: Vec<Coord>,
+    /// The incrementally maintained force record of every cluster
+    /// (eq. 27), `[UP, DOWN, LEFT, RIGHT]`.
+    pub forces: Vec<[f64; 4]>,
+    /// Sweeps completed.
+    pub sweeps: u64,
+    /// Swaps applied.
+    pub swaps: u64,
+    /// System energy of the *original* input placement.
+    pub initial_energy: f64,
+    /// System energy at the snapshot.
+    pub energy: f64,
+}
+
+/// Resume state extracted from a checkpoint ([`FdRunOpts::resume`]).
+///
+/// Deliberately excludes coordinates: the caller restores those into the
+/// [`Placement`] it passes in (see `Mapper::resume`), keeping this type a
+/// pure engine-state overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdResume {
+    /// Sweeps already completed (seeds the sweep counter).
+    pub sweeps: u64,
+    /// Swaps already applied (seeds the swap counter).
+    pub swaps: u64,
+    /// System energy of the original input placement.
+    pub initial_energy: f64,
+    /// Force table to restore verbatim (see [`FdCheckpoint::forces`]).
+    pub forces: Vec<[f64; 4]>,
+}
+
+impl FdResume {
+    /// Extracts the engine-state overlay of `checkpoint`.
+    pub fn from_checkpoint(checkpoint: &FdCheckpoint) -> Self {
+        FdResume {
+            sweeps: checkpoint.sweeps,
+            swaps: checkpoint.swaps,
+            initial_energy: checkpoint.initial_energy,
+            forces: checkpoint.forces.clone(),
+        }
+    }
+}
+
+/// A caller-supplied checkpoint writer ([`FdRunOpts::on_checkpoint`]):
+/// receives each flushed snapshot; an `Err` aborts the run.
+pub type CheckpointWriter<'h> = dyn FnMut(&FdCheckpoint) -> Result<(), String> + 'h;
+
+/// Per-run options of [`force_directed_budgeted`]: budget, resume state,
+/// checkpoint cadence and an optional region restriction.
+#[derive(Default)]
+pub struct FdRunOpts<'h> {
+    /// Cooperative stop conditions (default: run to convergence).
+    pub budget: RunBudget,
+    /// Resume from a checkpoint instead of starting fresh. The caller
+    /// must have restored the checkpoint's coordinates into the
+    /// placement; energies and counters are seeded from here.
+    pub resume: Option<FdResume>,
+    /// Flush a checkpoint every N completed sweeps (in addition to the
+    /// flush on every budgeted stop). Must be positive; ignored without
+    /// [`FdRunOpts::on_checkpoint`].
+    pub checkpoint_every: Option<u64>,
+    /// Checkpoint writer. Called at each flush point; an `Err` aborts the
+    /// run with [`CoreError::CheckpointFailed`]. After a worker panic the
+    /// writer is invoked best-effort before the error returns.
+    pub on_checkpoint: Option<&'h mut CheckpointWriter<'h>>,
+    /// Restrict swaps to a region: `region[p]` says mesh index `p` may
+    /// take part. Pairs with an endpoint outside carry zero tension, so
+    /// everything outside the region stays exactly where it is (used by
+    /// incremental fault repair). Length must equal the mesh size.
+    pub region: Option<Vec<bool>>,
+}
+
+impl fmt::Debug for FdRunOpts<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FdRunOpts")
+            .field("budget", &self.budget)
+            .field("resume", &self.resume.as_ref().map(|r| r.sweeps))
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("on_checkpoint", &self.on_checkpoint.is_some())
+            .field("region", &self.region.as_ref().map(Vec::len))
+            .finish()
+    }
 }
 
 /// Direction encoding shared with the paper: `UP = 0, DOWN = 1,
@@ -194,7 +350,58 @@ pub fn force_directed(
     placement: &mut Placement,
     config: &FdConfig,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, None, &mut NoopSink)
+    force_directed_impl(pcn, placement, config, None, &mut FdRunOpts::default(), &mut NoopSink)
+}
+
+/// The fully-general Force-Directed entry point: optional fault mask,
+/// cooperative [`RunBudget`], checkpoint/resume and region restriction
+/// via [`FdRunOpts`], trace instrumentation via `sink`.
+///
+/// Whatever stops the run — convergence, deadline, sweep cap or
+/// cancellation — the placement left in `placement` is complete, valid
+/// and no worse (in system energy) than the input: budget expiry is an
+/// anytime outcome tagged in [`FdStats::stop`], never an error.
+///
+/// # Errors
+///
+/// As [`force_directed`] / [`force_directed_masked`], plus
+/// [`CoreError::InvalidRunOpts`] for inconsistent options (zero
+/// `checkpoint_every`, wrong resume force-table or region length),
+/// [`CoreError::CheckpointFailed`] when the checkpoint writer fails, and
+/// [`CoreError::WorkerPanicked`] when a parallel worker panics (the
+/// checkpoint writer is invoked best-effort first; the placement is left
+/// untouched).
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::{force_directed_budgeted, random_placement, FdConfig, FdRunOpts, RunBudget};
+/// use snnmap_hw::Mesh;
+/// use snnmap_model::generators::random_pcn;
+/// use snnmap_trace::NoopSink;
+///
+/// let pcn = random_pcn(64, 4.0, 2)?;
+/// let mut placement = random_placement(&pcn, Mesh::new(8, 8)?, 0)?;
+/// let mut opts = FdRunOpts {
+///     budget: RunBudget { max_sweeps: Some(3), ..RunBudget::default() },
+///     ..FdRunOpts::default()
+/// };
+/// let stats = force_directed_budgeted(
+///     &pcn, &mut placement, &FdConfig::default(), None, &mut opts, &mut NoopSink,
+/// )?;
+/// assert!(stats.iterations <= 3);
+/// assert!(stats.final_energy <= stats.initial_energy);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn force_directed_budgeted<S: TraceSink + ?Sized>(
+    pcn: &Pcn,
+    placement: &mut Placement,
+    config: &FdConfig,
+    faults: Option<&FaultMap>,
+    opts: &mut FdRunOpts<'_>,
+    sink: &mut S,
+) -> Result<FdStats, CoreError> {
+    force_directed_impl(pcn, placement, config, faults, opts, sink)
 }
 
 /// [`force_directed`] with trace instrumentation: emits an `fd_config`
@@ -219,7 +426,7 @@ pub fn force_directed_traced<S: TraceSink + ?Sized>(
     config: &FdConfig,
     sink: &mut S,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, None, sink)
+    force_directed_impl(pcn, placement, config, None, &mut FdRunOpts::default(), sink)
 }
 
 /// [`force_directed_masked`] with trace instrumentation; see
@@ -235,7 +442,7 @@ pub fn force_directed_masked_traced<S: TraceSink + ?Sized>(
     faults: &FaultMap,
     sink: &mut S,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, Some(faults), sink)
+    force_directed_impl(pcn, placement, config, Some(faults), &mut FdRunOpts::default(), sink)
 }
 
 /// Fault-aware [`force_directed`]: swaps into or out of dead cores are
@@ -254,7 +461,52 @@ pub fn force_directed_masked(
     config: &FdConfig,
     faults: &FaultMap,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, Some(faults), &mut NoopSink)
+    force_directed_impl(
+        pcn,
+        placement,
+        config,
+        Some(faults),
+        &mut FdRunOpts::default(),
+        &mut NoopSink,
+    )
+}
+
+/// Builds a checkpoint and hands it to the caller's writer (a no-op
+/// without one), emitting a `checkpoint` trace event on success.
+fn flush_checkpoint<S: TraceSink + ?Sized>(
+    engine: &Engine<'_>,
+    on_checkpoint: &mut Option<&mut CheckpointWriter<'_>>,
+    sweeps: u64,
+    swaps: u64,
+    initial_energy: f64,
+    energy: f64,
+    sink: &mut S,
+) -> Result<(), CoreError> {
+    let Some(cb) = on_checkpoint.as_mut() else { return Ok(()) };
+    let cp = engine.checkpoint(sweeps, swaps, initial_energy, energy);
+    cb(&cp).map_err(|message| CoreError::CheckpointFailed { message })?;
+    if sink.enabled() {
+        sink.record(&TraceEvent::Checkpoint(CheckpointEvent { sweep: sweeps, swaps, energy }));
+    }
+    Ok(())
+}
+
+/// Turns a worker panic into [`CoreError::WorkerPanicked`], first
+/// flushing a best-effort checkpoint of the engine's last consistent
+/// state. The energy recompute runs serially on purpose — the recovery
+/// path must not re-enter the parallel helpers that just failed.
+fn worker_panicked<S: TraceSink + ?Sized>(
+    engine: &Engine<'_>,
+    on_checkpoint: &mut Option<&mut CheckpointWriter<'_>>,
+    sweeps: u64,
+    swaps: u64,
+    initial_energy: f64,
+    panic: par::WorkerPanic,
+    sink: &mut S,
+) -> CoreError {
+    let energy = engine.system_energy_serial();
+    let _ = flush_checkpoint(engine, on_checkpoint, sweeps, swaps, initial_energy, energy, sink);
+    CoreError::WorkerPanicked { message: panic.message().to_owned() }
 }
 
 pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
@@ -262,16 +514,46 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
     placement: &mut Placement,
     config: &FdConfig,
     faults: Option<&FaultMap>,
+    opts: &mut FdRunOpts<'_>,
     sink: &mut S,
 ) -> Result<FdStats, CoreError> {
     if !(config.lambda > 0.0 && config.lambda <= 1.0) {
         return Err(CoreError::InvalidLambda { lambda: config.lambda });
     }
+    if opts.checkpoint_every == Some(0) {
+        return Err(CoreError::InvalidRunOpts {
+            message: "checkpoint_every must be positive".to_owned(),
+        });
+    }
+    let FdRunOpts { budget, resume, checkpoint_every, on_checkpoint, region } = opts;
     let threads = par::resolve_threads(config.threads);
     let mut engine =
         Engine::new(pcn, placement, config.potential, config.tension_mode, faults, threads)?;
-    let initial_energy = engine.system_energy();
+    engine.set_region(region.as_deref())?;
     let start = Instant::now();
+
+    // A resume seeds the counters and restores the incrementally built
+    // force table verbatim (see [`FdCheckpoint`]); a fresh run computes
+    // the initial energy from scratch.
+    let mut iterations = 0u64;
+    let mut swaps = 0u64;
+    let initial_energy = match resume.as_ref() {
+        Some(r) => {
+            engine.restore_forces(&r.forces)?;
+            iterations = r.sweeps;
+            swaps = r.swaps;
+            r.initial_energy
+        }
+        None => match engine.try_system_energy() {
+            Ok(e) => e,
+            Err(p) => {
+                // No progress yet: the flushed snapshot *is* the input.
+                let e = engine.system_energy_serial();
+                let _ = flush_checkpoint(&engine, on_checkpoint, 0, 0, e, e, sink);
+                return Err(CoreError::WorkerPanicked { message: p.message().to_owned() });
+            }
+        },
+    };
     // Naive tension can oscillate (it may accept energy-increasing
     // swaps), so cap its iterations unless the caller already did.
     let max_iterations = match (config.tension_mode, config.max_iterations) {
@@ -291,16 +573,26 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
             threads,
             masked: faults.is_some(),
         }));
+        if let Some(r) = resume.as_ref() {
+            sink.record(&TraceEvent::Resume(ResumeEvent {
+                sweep: r.sweeps,
+                swaps: r.swaps,
+                initial_energy: r.initial_energy,
+            }));
+        }
     }
 
     // Initial positive-tension queue over all adjacent pairs, scored in
     // parallel and concatenated in ascending position order. The queue is
     // deliberately *not* kept sorted: each sweep selects its top-λ prefix
     // with select_nth_unstable, which yields exactly the prefix a full
-    // sort would (cmp_entries is a strict total order).
+    // sort would (cmp_entries is a strict total order). On resume this
+    // full rescan reproduces the uninterrupted run's queue *as a set*
+    // (tension is a pure function of occupancy and the restored forces),
+    // and set equality is all the sweep logic depends on.
     let mesh_len = engine.mesh.len();
     let queue_src = &engine;
-    let mut queue: Vec<(f64, u64)> = par::par_flat_map(threads, mesh_len, |p, out| {
+    let mut queue: Vec<(f64, u64)> = par::try_par_flat_map(threads, mesh_len, |p, out| {
         for d in [DOWN, RIGHT] {
             if let Some(key) = queue_src.pair_key(p, d) {
                 let t = queue_src.tension(key);
@@ -309,7 +601,10 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
                 }
             }
         }
-    });
+    })
+    .map_err(|p| {
+        worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
+    })?;
 
     // Per-sweep scratch, allocated once and reused. Epoch stamps replace
     // sort+dedup passes: a slot is "marked this sweep" iff its stamp
@@ -321,19 +616,39 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
     let mut carried: Vec<(f64, u64)> = Vec::new();
     let mut epoch = 0u32;
 
-    let mut iterations = 0u64;
-    let mut swaps = 0u64;
-    let mut converged = true;
+    // Stop conditions are checked once per sweep boundary: sweeps are the
+    // engine's unit of consistency (monotone descent holds at every
+    // boundary), so stopping here always leaves a valid best-so-far
+    // placement. Caps compare against the *total* sweep count, so they
+    // mean the same thing for fresh and resumed runs; both clocks measure
+    // this invocation only.
+    let mut stop = StopReason::Converged;
     while !queue.is_empty() {
         if let Some(cap) = max_iterations {
             if iterations >= cap {
-                converged = false;
+                stop = StopReason::SweepCapReached;
                 break;
             }
         }
-        if let Some(budget) = config.time_budget {
-            if start.elapsed() >= budget {
-                converged = false;
+        if let Some(cap) = budget.max_sweeps {
+            if iterations >= cap {
+                stop = StopReason::SweepCapReached;
+                break;
+            }
+        }
+        if budget.cancel.as_ref().is_some_and(|c| c.load(Relaxed)) {
+            stop = StopReason::Cancelled;
+            break;
+        }
+        if let Some(limit) = config.time_budget {
+            if start.elapsed() >= limit {
+                stop = StopReason::DeadlineExpired;
+                break;
+            }
+        }
+        if let Some(limit) = budget.deadline {
+            if start.elapsed() >= limit {
+                stop = StopReason::DeadlineExpired;
                 break;
             }
         }
@@ -411,13 +726,19 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
         dirty.sort_unstable();
         let eng = &engine;
         let dirty_ref = &dirty;
-        let rescored = par::par_flat_map(threads, dirty.len(), |i, out| {
+        // A panic here (or in any probe below) is caught after the sweep's
+        // swaps are fully committed, so the engine is at a consistent
+        // boundary and the flushed checkpoint is resumable.
+        let rescored = par::try_par_flat_map(threads, dirty.len(), |i, out| {
             let key = dirty_ref[i];
             let t = eng.tension(key);
             if t > TENSION_EPS {
                 out.push((t, key));
             }
-        });
+        })
+        .map_err(|p| {
+            worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
+        })?;
         queue.clear();
         queue.extend_from_slice(&carried);
         queue.extend(rescored);
@@ -426,6 +747,9 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
             // The per-sweep energy recompute is the one probe with real
             // cost; it runs only here, under an enabled sink, so the
             // untraced hot loop is untouched.
+            let energy = engine.try_system_energy().map_err(|p| {
+                worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
+            })?;
             sink.record(&TraceEvent::FdSweep(FdSweepEvent {
                 sweep: iterations,
                 queue: queue_len as u64,
@@ -433,17 +757,48 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
                 applied: swaps - swaps_before,
                 dirty: dirty.len() as u64,
                 carried: carried.len() as u64,
-                energy: engine.system_energy(),
+                energy,
                 wall_ns: sweep_t0
                     .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
                     .unwrap_or(0),
             }));
         }
+
+        if checkpoint_every.is_some_and(|n| iterations % n == 0) && on_checkpoint.is_some() {
+            // Checkpoint sweeps pay one extra energy reduction; that is
+            // the whole cost of the cadence.
+            let energy = engine.try_system_energy().map_err(|p| {
+                worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
+            })?;
+            flush_checkpoint(
+                &engine,
+                on_checkpoint,
+                iterations,
+                swaps,
+                initial_energy,
+                energy,
+                sink,
+            )?;
+        }
     }
 
-    let final_energy = engine.system_energy();
+    let final_energy = engine.try_system_energy().map_err(|p| {
+        worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
+    })?;
+    if stop != StopReason::Converged {
+        // Every budgeted stop leaves a resume point behind (when a writer
+        // is installed), so an expired run can always be continued.
+        flush_checkpoint(&engine, on_checkpoint, iterations, swaps, initial_energy, final_energy, sink)?;
+    }
     engine.writeback()?;
-    let stats = FdStats { iterations, swaps, initial_energy, final_energy, converged };
+    let stats = FdStats {
+        iterations,
+        swaps,
+        initial_energy,
+        final_energy,
+        converged: stop == StopReason::Converged,
+        stop,
+    };
     if sink.enabled() {
         sink.record(&TraceEvent::FdDone(FdDoneEvent {
             iterations: stats.iterations,
@@ -451,6 +806,7 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
             initial_energy: stats.initial_energy,
             final_energy: stats.final_energy,
             converged: stats.converged,
+            stop: stats.stop.as_str().to_owned(),
         }));
         if let Some(before) = par_before {
             let d = par::counters().since(before);
@@ -523,6 +879,10 @@ struct Engine<'a> {
     occ: Vec<u32>,
     /// `dead[p]`: position `p` is a dead core (empty when fault-free).
     dead: Vec<bool>,
+    /// `active[p]`: position `p` may take part in swaps (empty when the
+    /// whole mesh is active). Pairs with an inactive endpoint carry zero
+    /// tension, exactly like dead-core pairs.
+    active: Vec<bool>,
 }
 
 impl<'a> Engine<'a> {
@@ -598,16 +958,74 @@ impl<'a> Engine<'a> {
             pos,
             occ,
             dead,
+            active: Vec::new(),
         };
         // A cluster's force depends only on occupancy, never on other
         // forces, so the initial build is an independent per-index fill.
+        // A worker panic here happens before any progress exists, so
+        // there is nothing to checkpoint — the typed error is enough.
         let mut hot = vec![Hot { stamp: 0, coord: Coord::default(), sig: 0, force: [0.0; 4] }; n];
         {
             let eng = &engine;
-            par::par_init(threads, &mut hot, |c| eng.init_hot(c as u32));
+            par::try_par_init(threads, &mut hot, |c| eng.init_hot(c as u32))
+                .map_err(|p| CoreError::WorkerPanicked { message: p.message().to_owned() })?;
         }
         engine.hot = hot;
         Ok(engine)
+    }
+
+    /// Installs (or clears) the swap-region restriction.
+    fn set_region(&mut self, region: Option<&[bool]>) -> Result<(), CoreError> {
+        match region {
+            None => {
+                self.active = Vec::new();
+                Ok(())
+            }
+            Some(r) => {
+                if r.len() != self.mesh.len() {
+                    return Err(CoreError::InvalidRunOpts {
+                        message: format!(
+                            "region mask covers {} cores but the mesh has {}",
+                            r.len(),
+                            self.mesh.len()
+                        ),
+                    });
+                }
+                self.active = r.to_vec();
+                Ok(())
+            }
+        }
+    }
+
+    /// Overwrites every cluster's force record with a checkpointed table
+    /// (see [`FdCheckpoint::forces`] for why verbatim restore matters).
+    fn restore_forces(&mut self, forces: &[[f64; 4]]) -> Result<(), CoreError> {
+        if forces.len() != self.hot.len() {
+            return Err(CoreError::InvalidRunOpts {
+                message: format!(
+                    "resume force table covers {} clusters but the PCN has {}",
+                    forces.len(),
+                    self.hot.len()
+                ),
+            });
+        }
+        for (h, f) in self.hot.iter_mut().zip(forces) {
+            h.force = *f;
+        }
+        Ok(())
+    }
+
+    /// Snapshots the engine at a sweep boundary.
+    fn checkpoint(&self, sweeps: u64, swaps: u64, initial_energy: f64, energy: f64) -> FdCheckpoint {
+        FdCheckpoint {
+            mesh: self.mesh,
+            coords: self.hot.iter().map(|h| h.coord).collect(),
+            forces: self.hot.iter().map(|h| h.force).collect(),
+            sweeps,
+            swaps,
+            initial_energy,
+            energy,
+        }
     }
 
     /// Merged adjacency row of cluster `c`: out-edges then in-edges.
@@ -693,22 +1111,33 @@ impl<'a> Engine<'a> {
         self.potential.value(a.x as i32 - b.x as i32, a.y as i32 - b.y as i32)
     }
 
-    /// System total potential energy (eq. 23), reduced over fixed
-    /// [`ENERGY_BLOCK`]-cluster blocks so the sum is identical for any
-    /// thread count.
-    fn system_energy(&self) -> f64 {
-        let n = self.pcn.num_clusters() as usize;
-        par::par_block_sum(self.threads, n, ENERGY_BLOCK, |range| {
-            let mut es = 0.0;
-            for c in range {
-                let pc = self.hot[c].coord;
-                for (t, w) in self.pcn.out_edges(c as u32) {
-                    let pt = self.hot[t as usize].coord;
-                    es += w as f64 * self.u(pc, pt);
-                }
+    /// One [`ENERGY_BLOCK`]-sized block of the system-energy reduction.
+    fn energy_block(&self, range: std::ops::Range<usize>) -> f64 {
+        let mut es = 0.0;
+        for c in range {
+            let pc = self.hot[c].coord;
+            for (t, w) in self.pcn.out_edges(c as u32) {
+                let pt = self.hot[t as usize].coord;
+                es += w as f64 * self.u(pc, pt);
             }
-            es
-        })
+        }
+        es
+    }
+
+    /// System total potential energy (eq. 23) with panic isolation,
+    /// reduced over fixed [`ENERGY_BLOCK`]-cluster blocks so the sum is
+    /// identical for any thread count.
+    fn try_system_energy(&self) -> Result<f64, par::WorkerPanic> {
+        let n = self.pcn.num_clusters() as usize;
+        par::try_par_block_sum(self.threads, n, ENERGY_BLOCK, |range| self.energy_block(range))
+    }
+
+    /// [`Engine::try_system_energy`] forced onto the serial path
+    /// (identical bits — the block boundaries don't change) for recovery
+    /// code that must not re-enter the parallel helpers.
+    fn system_energy_serial(&self) -> f64 {
+        let n = self.pcn.num_clusters() as usize;
+        par::par_block_sum(1, n, ENERGY_BLOCK, |range| self.energy_block(range))
     }
 
     /// Initial hot record of cluster `c`: its coordinate plus the four
@@ -772,6 +1201,12 @@ impl<'a> Engine<'a> {
         // empty, and forbidding these swaps keeps descent monotone over
         // the healthy subgraph.
         if self.is_dead_pos(p) || self.is_dead_pos(q) {
+            return 0.0;
+        }
+        // Same idea for a repair region: pairs with an endpoint outside
+        // the active region are frozen, so the rest of the mesh is
+        // untouched by construction.
+        if !self.active.is_empty() && (!self.active[p] || !self.active[q]) {
             return 0.0;
         }
         let cu = self.occ[p];
@@ -1002,7 +1437,7 @@ mod tests {
         let mut scratch = p.clone();
         let engine =
             Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact, None, 1).unwrap();
-        assert!((engine.system_energy() - stats.final_energy).abs() < 1e-6);
+        assert!((engine.system_energy_serial() - stats.final_energy).abs() < 1e-6);
     }
 
     #[test]
@@ -1256,5 +1691,68 @@ mod tests {
             assert_eq!(pt, p1, "placement diverged at threads={threads}");
             assert_eq!(st, s1, "stats diverged at threads={threads}");
         }
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error_with_a_flushed_checkpoint() {
+        // Sized so the injection can only fire where we want it: a 64x64
+        // mesh (4096 positions) lets the initial queue build fan out at
+        // threads=2, while <4096 clusters keep the energy reduction in a
+        // single serial block and the hot-record init under the
+        // per-thread minimum — the recovery probes never spawn workers,
+        // so the armed hook cannot re-trigger on the panic path.
+        let _guard = par::hooks::exclusive();
+        let pcn = random_pcn(3500, 3.0, 11).unwrap();
+        let mesh = Mesh::new(64, 64).unwrap();
+        let base = crate::hsc_placement_threaded(&pcn, mesh, 2).unwrap();
+        let cfg = FdConfig { threads: 2, ..FdConfig::default() };
+
+        let mut p = base.clone();
+        let mut cp: Option<FdCheckpoint> = None;
+        let mut writer = |c: &FdCheckpoint| {
+            cp = Some(c.clone());
+            Ok(())
+        };
+        let mut opts =
+            FdRunOpts { on_checkpoint: Some(&mut writer), ..FdRunOpts::default() };
+        par::hooks::fail_after(0);
+        let err = force_directed_budgeted(&pcn, &mut p, &cfg, None, &mut opts, &mut NoopSink)
+            .unwrap_err();
+        par::hooks::disarm();
+        drop(opts);
+        match err {
+            CoreError::WorkerPanicked { ref message } => {
+                assert_eq!(message, par::hooks::INJECTED_PANIC);
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The panic path flushed a checkpoint at the consistent boundary
+        // (sweep 0 — the build of the initial queue) and left the
+        // caller's placement untouched (writeback only happens on
+        // success).
+        let cp = cp.expect("the panic path must flush a checkpoint");
+        assert_eq!(cp.sweeps, 0);
+        assert_eq!(cp.swaps, 0);
+        assert_eq!(p, base);
+
+        // The flushed checkpoint is resumable, and the resumed run tracks
+        // the uninterrupted one exactly.
+        let budget = RunBudget { max_sweeps: Some(2), ..RunBudget::default() };
+        let mut resumed = base.clone();
+        resumed.set_coords(&cp.coords).unwrap();
+        let mut ropts = FdRunOpts {
+            budget: budget.clone(),
+            resume: Some(FdResume::from_checkpoint(&cp)),
+            ..FdRunOpts::default()
+        };
+        let rs = force_directed_budgeted(&pcn, &mut resumed, &cfg, None, &mut ropts, &mut NoopSink)
+            .unwrap();
+        let mut plain = base.clone();
+        let mut popts = FdRunOpts { budget, ..FdRunOpts::default() };
+        let ps = force_directed_budgeted(&pcn, &mut plain, &cfg, None, &mut popts, &mut NoopSink)
+            .unwrap();
+        assert_eq!(resumed, plain);
+        assert_eq!(rs.swaps, ps.swaps);
+        assert_eq!(rs.final_energy.to_bits(), ps.final_energy.to_bits());
     }
 }

@@ -53,14 +53,15 @@ mod validate;
 
 pub use error::CoreError;
 pub use fd::{
-    force_directed, force_directed_masked, force_directed_masked_traced,
-    force_directed_traced, FdConfig, FdStats, Potential, TensionMode,
+    force_directed, force_directed_budgeted, force_directed_masked,
+    force_directed_masked_traced, force_directed_traced, CheckpointWriter, FdCheckpoint,
+    FdConfig, FdResume, FdRunOpts, FdStats, Potential, RunBudget, StopReason, TensionMode,
 };
 pub use hsc::{
     hsc_placement, hsc_placement_masked, hsc_placement_masked_threaded,
     hsc_placement_threaded, random_placement, random_placement_masked, sequence_placement,
     sequence_placement_masked,
 };
-pub use mapper::{InitialPlacement, MapOutcome, Mapper, MapperBuilder};
+pub use mapper::{InitialPlacement, MapOutcome, Mapper, MapperBuilder, RepairReport};
 pub use toposort::toposort;
 pub use validate::{repair, validate, RepairMove, RepairOutcome, ValidationReport, Violation};

@@ -4,17 +4,19 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use snnmap_curves::{Serpentine, SpaceFillingCurve, Spiral, ZigZag};
-use snnmap_hw::{FaultMap, Mesh, Placement};
+use snnmap_hw::{Coord, FaultDelta, FaultMap, HwError, Mesh, Placement};
 use snnmap_model::Pcn;
 use snnmap_trace::{
-    time_phase, NoopSink, PhaseEvent, RunEvent, TraceEvent, TraceSink,
+    time_phase, NoopSink, PhaseEvent, RepairEvent, RunEvent, TraceEvent, TraceSink,
 };
 
 use crate::fd::force_directed_impl;
 use crate::hsc::hsc_sequence_impl;
+use crate::validate::{repair, RepairMove};
 use crate::{
     par, random_placement, random_placement_masked, sequence_placement,
-    sequence_placement_masked, toposort, CoreError, FdConfig, FdStats, Potential,
+    sequence_placement_masked, toposort, CoreError, FdCheckpoint, FdConfig, FdResume, FdRunOpts,
+    FdStats, Potential, RunBudget,
 };
 
 /// How the initial placement is produced (step 1 of Figure 3; the
@@ -47,6 +49,26 @@ pub struct MapOutcome {
     pub init_elapsed: Duration,
     /// Wall-clock time of the FD phase (zero if disabled).
     pub fd_elapsed: Duration,
+}
+
+/// The outcome of [`Mapper::repair_incremental`]: what broke, what was
+/// disturbed, and the statistics of the local refinement pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// What broke since the previous fault map ([`FaultMap::diff`]).
+    pub delta: FaultDelta,
+    /// Clusters the eviction pass relocated off newly dead cores, in
+    /// cluster order.
+    pub evicted: Vec<RepairMove>,
+    /// Clusters whose final coordinate differs from their pre-repair one
+    /// (eviction plus local FD refinement) — the disruption metric a
+    /// live system pays to apply the new placement.
+    pub moved: u64,
+    /// Cores inside the dirty region the FD pass was allowed to touch
+    /// (`0` when nothing broke).
+    pub region_cores: u64,
+    /// Statistics of the budgeted, region-masked FD pass, when it ran.
+    pub fd_stats: Option<FdStats>,
 }
 
 /// The paper's complete mapping approach: initial placement followed by
@@ -163,6 +185,44 @@ impl Mapper {
         mesh: Mesh,
         sink: &mut S,
     ) -> Result<MapOutcome, CoreError> {
+        self.map_budgeted_traced(pcn, mesh, &mut FdRunOpts::default(), sink)
+    }
+
+    /// [`Mapper::map`] under caller-supplied [`FdRunOpts`]: deadline,
+    /// sweep-cap and cancellation budgets, periodic checkpointing and
+    /// region masks all apply to the FD phase (see
+    /// [`crate::force_directed_budgeted`]). The initial placement always
+    /// runs to completion — it is cheap and not interruptible — so an
+    /// expired budget still yields a complete, valid placement whose
+    /// energy is no worse than the initial one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mapper::map`], plus [`CoreError::InvalidRunOpts`],
+    /// [`CoreError::CheckpointFailed`] and [`CoreError::WorkerPanicked`]
+    /// from the budgeted FD engine.
+    pub fn map_budgeted(
+        &self,
+        pcn: &Pcn,
+        mesh: Mesh,
+        opts: &mut FdRunOpts<'_>,
+    ) -> Result<MapOutcome, CoreError> {
+        self.map_budgeted_traced(pcn, mesh, opts, &mut NoopSink)
+    }
+
+    /// [`Mapper::map_budgeted`] with trace instrumentation (see
+    /// [`Mapper::map_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Mapper::map_budgeted`].
+    pub fn map_budgeted_traced<S: TraceSink + ?Sized>(
+        &self,
+        pcn: &Pcn,
+        mesh: Mesh,
+        opts: &mut FdRunOpts<'_>,
+        sink: &mut S,
+    ) -> Result<MapOutcome, CoreError> {
         let fm = self.faults.as_ref();
         let threads_resolved = par::resolve_threads(self.threads);
         if sink.enabled() {
@@ -204,7 +264,7 @@ impl Mapper {
         let t1 = Instant::now();
         let fd_alloc0 = sink.enabled().then(snnmap_trace::alloc_snapshot);
         let fd_stats = match &self.fd {
-            Some(cfg) => Some(force_directed_impl(pcn, &mut placement, cfg, fm, sink)?),
+            Some(cfg) => Some(force_directed_impl(pcn, &mut placement, cfg, fm, opts, sink)?),
             None => None,
         };
         let fd_elapsed = t1.elapsed();
@@ -220,6 +280,206 @@ impl Mapper {
         }
 
         Ok(MapOutcome { placement, fd_stats, init_elapsed, fd_elapsed })
+    }
+
+    /// Continues an interrupted FD run from a checkpoint.
+    ///
+    /// The placement is rebuilt from the checkpoint's coordinate table,
+    /// and the engine's force record, sweep/swap counters and initial
+    /// energy are restored verbatim — so killing a run at any sweep
+    /// boundary and resuming it yields a placement bit-identical to the
+    /// uninterrupted run. `opts` carries the *new* invocation's budget
+    /// and checkpoint cadence (a wall-clock deadline restarts from now; a
+    /// sweep cap counts total sweeps including the checkpoint's); any
+    /// `opts.resume` already set is overwritten from the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidRunOpts`] when the FD phase is disabled on
+    /// this mapper or the checkpoint does not match the PCN;
+    /// [`CoreError::Hw`] when the checkpoint's coordinates collide, fall
+    /// outside its mesh, or the configured fault map covers a different
+    /// mesh.
+    pub fn resume(
+        &self,
+        pcn: &Pcn,
+        checkpoint: &FdCheckpoint,
+        opts: &mut FdRunOpts<'_>,
+    ) -> Result<MapOutcome, CoreError> {
+        self.resume_traced(pcn, checkpoint, opts, &mut NoopSink)
+    }
+
+    /// [`Mapper::resume`] with trace instrumentation: emits a `run`
+    /// header (`tool: "resume"`), a `resume` event with the restored
+    /// counters, and the FD engine's convergence telemetry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mapper::resume`].
+    pub fn resume_traced<S: TraceSink + ?Sized>(
+        &self,
+        pcn: &Pcn,
+        checkpoint: &FdCheckpoint,
+        opts: &mut FdRunOpts<'_>,
+        sink: &mut S,
+    ) -> Result<MapOutcome, CoreError> {
+        let Some(cfg) = self.fd.as_ref() else {
+            return Err(CoreError::InvalidRunOpts {
+                message: "resume needs the FD phase enabled on this mapper".into(),
+            });
+        };
+        let n = pcn.num_clusters();
+        if checkpoint.coords.len() != n as usize {
+            return Err(CoreError::InvalidRunOpts {
+                message: format!(
+                    "checkpoint covers {} clusters but the PCN has {n}",
+                    checkpoint.coords.len()
+                ),
+            });
+        }
+        if n as usize > checkpoint.mesh.len() {
+            return Err(CoreError::InvalidRunOpts {
+                message: format!("checkpoint mesh {} cannot hold {n} clusters", checkpoint.mesh),
+            });
+        }
+        if let Some(fm) = self.faults.as_ref() {
+            if fm.mesh() != checkpoint.mesh {
+                return Err(CoreError::Hw(HwError::InvalidFaultSpec {
+                    message: format!(
+                        "fault map covers {} but the checkpoint targets {}",
+                        fm.mesh(),
+                        checkpoint.mesh
+                    ),
+                }));
+            }
+        }
+        if sink.enabled() {
+            sink.record(&TraceEvent::Run(RunEvent {
+                tool: "resume".to_owned(),
+                clusters: n,
+                connections: pcn.num_connections(),
+                mesh_rows: checkpoint.mesh.rows(),
+                mesh_cols: checkpoint.mesh.cols(),
+                threads_requested: self.threads,
+                threads_resolved: par::resolve_threads(self.threads),
+            }));
+        }
+        let mut placement = Placement::new_unplaced(checkpoint.mesh, n);
+        placement.set_coords(&checkpoint.coords)?;
+        opts.resume = Some(FdResume::from_checkpoint(checkpoint));
+        let t1 = Instant::now();
+        let stats =
+            force_directed_impl(pcn, &mut placement, cfg, self.faults.as_ref(), opts, sink)?;
+        let fd_elapsed = t1.elapsed();
+        Ok(MapOutcome { placement, fd_stats: Some(stats), init_elapsed: Duration::ZERO, fd_elapsed })
+    }
+
+    /// Patches a live placement after the hardware degrades, disturbing
+    /// as few clusters as possible.
+    ///
+    /// `previous` is the fault map the placement was produced under,
+    /// `current` the hardware's new state; [`FaultMap::diff`] yields what
+    /// broke. Clusters stranded on newly dead cores are evicted to the
+    /// nearest free healthy core (the deterministic [`repair`] pass),
+    /// then a budgeted FD pass restricted to the *dirty region* — the
+    /// union of radius-`radius` Manhattan balls around every eviction
+    /// endpoint, newly dead core and failed-link endpoint — locally
+    /// re-optimizes while the rest of the placement stays frozen. The
+    /// result moves strictly fewer clusters than a full remap, at a small
+    /// cost in final energy.
+    ///
+    /// # Errors
+    ///
+    /// As [`repair`], plus [`CoreError::Hw`] when the two fault maps
+    /// disagree on the mesh. On error the placement is unchanged (the
+    /// eviction pass is transactional and the FD pass only writes back on
+    /// success).
+    pub fn repair_incremental(
+        &self,
+        pcn: &Pcn,
+        placement: &mut Placement,
+        previous: &FaultMap,
+        current: &FaultMap,
+        radius: u16,
+        budget: RunBudget,
+    ) -> Result<RepairReport, CoreError> {
+        self.repair_incremental_traced(
+            pcn, placement, previous, current, radius, budget, &mut NoopSink,
+        )
+    }
+
+    /// [`Mapper::repair_incremental`] with trace instrumentation: emits
+    /// the FD engine's telemetry for the region pass plus one final
+    /// `repair` event summarizing the disruption.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mapper::repair_incremental`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn repair_incremental_traced<S: TraceSink + ?Sized>(
+        &self,
+        pcn: &Pcn,
+        placement: &mut Placement,
+        previous: &FaultMap,
+        current: &FaultMap,
+        radius: u16,
+        budget: RunBudget,
+        sink: &mut S,
+    ) -> Result<RepairReport, CoreError> {
+        let delta = current.diff(previous)?;
+        if delta.is_empty() {
+            return Ok(RepairReport {
+                delta,
+                evicted: Vec::new(),
+                moved: 0,
+                region_cores: 0,
+                fd_stats: None,
+            });
+        }
+        let n = pcn.num_clusters();
+        let before: Vec<Option<Coord>> = (0..n).map(|c| placement.coord_of(c)).collect();
+        let outcome = repair(pcn, placement, Some(current), None)?;
+
+        let mesh = placement.mesh();
+        let mut seeds: Vec<Coord> = Vec::new();
+        for mv in &outcome.moved {
+            seeds.extend(mv.from);
+            seeds.push(mv.to);
+        }
+        seeds.extend_from_slice(&delta.new_dead_cores);
+        for &(a, b) in &delta.new_failed_links {
+            seeds.push(a);
+            seeds.push(b);
+        }
+        let mut region = vec![false; mesh.len()];
+        for c in mesh.iter() {
+            if seeds.iter().any(|&s| s.manhattan(c) <= u32::from(radius)) {
+                region[mesh.index_of(c)] = true;
+            }
+        }
+        let region_cores = region.iter().filter(|&&active| active).count() as u64;
+
+        let fd_stats = match self.fd.as_ref() {
+            Some(cfg) if region_cores > 0 => {
+                let mut opts =
+                    FdRunOpts { budget, region: Some(region), ..FdRunOpts::default() };
+                Some(force_directed_impl(pcn, placement, cfg, Some(current), &mut opts, sink)?)
+            }
+            _ => None,
+        };
+
+        let moved =
+            (0..n).filter(|&c| placement.coord_of(c) != before[c as usize]).count() as u64;
+        if sink.enabled() {
+            sink.record(&TraceEvent::Repair(RepairEvent {
+                evicted: outcome.moved.len() as u64,
+                moved,
+                region_cores,
+                energy_before: fd_stats.as_ref().map_or(0.0, |s| s.initial_energy),
+                energy_after: fd_stats.as_ref().map_or(0.0, |s| s.final_energy),
+            }));
+        }
+        Ok(RepairReport { delta, evicted: outcome.moved, moved, region_cores, fd_stats })
     }
 
     fn curve_init<S: TraceSink + ?Sized>(
@@ -529,6 +789,342 @@ mod tests {
             });
             assert!(has_phase, "{init:?} should emit a {expect} phase");
         }
+    }
+
+    #[test]
+    fn zero_sweep_budget_returns_the_initial_placement() {
+        use crate::StopReason;
+        let pcn = random_pcn(100, 5.0, 9).unwrap();
+        let mesh = Mesh::new(10, 10).unwrap();
+        let init_only =
+            Mapper::builder().fd_enabled(false).build().map(&pcn, mesh).unwrap();
+        let mut opts = FdRunOpts {
+            budget: RunBudget { max_sweeps: Some(0), ..RunBudget::default() },
+            ..FdRunOpts::default()
+        };
+        let out = Mapper::builder().build().map_budgeted(&pcn, mesh, &mut opts).unwrap();
+        let stats = out.fd_stats.unwrap();
+        assert_eq!(stats.stop, StopReason::SweepCapReached);
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 0);
+        assert_eq!(stats.swaps, 0);
+        assert_eq!(stats.final_energy.to_bits(), stats.initial_energy.to_bits());
+        assert_eq!(out.placement, init_only.placement);
+    }
+
+    #[test]
+    fn cancellation_stops_before_the_first_sweep() {
+        use crate::StopReason;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let pcn = random_pcn(100, 5.0, 9).unwrap();
+        let mesh = Mesh::new(10, 10).unwrap();
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut opts = FdRunOpts {
+            budget: RunBudget { cancel: Some(flag), ..RunBudget::default() },
+            ..FdRunOpts::default()
+        };
+        let out = Mapper::builder().build().map_budgeted(&pcn, mesh, &mut opts).unwrap();
+        let stats = out.fd_stats.unwrap();
+        assert_eq!(stats.stop, StopReason::Cancelled);
+        assert_eq!(stats.iterations, 0);
+        assert!(out.placement.is_complete());
+    }
+
+    #[test]
+    fn anytime_budget_never_worsens_energy_and_stays_valid() {
+        // The anytime guarantee: for random PCNs, fault masks and sweep
+        // budgets, a budget-stopped run yields a complete, validate()-clean
+        // placement with energy no worse than the initial one.
+        use snnmap_hw::{FaultInjector, FaultPattern};
+        let mesh = Mesh::new(10, 10).unwrap();
+        for seed in 0..6u64 {
+            let pcn = random_pcn(70 + 5 * seed as u32, 4.0, seed).unwrap();
+            let fm = (seed % 2 == 0).then(|| {
+                FaultInjector::new(seed)
+                    .inject(mesh, &FaultPattern::Uniform { core_rate: 0.05, link_rate: 0.0 })
+                    .unwrap()
+            });
+            for cap in [0, 1, 2, 5] {
+                let mut b = Mapper::builder();
+                if let Some(fm) = fm.clone() {
+                    b = b.fault_map(fm);
+                }
+                let mut opts = FdRunOpts {
+                    budget: RunBudget { max_sweeps: Some(cap), ..RunBudget::default() },
+                    ..FdRunOpts::default()
+                };
+                let out = b.build().map_budgeted(&pcn, mesh, &mut opts).unwrap();
+                let stats = out.fd_stats.unwrap();
+                assert!(
+                    stats.final_energy <= stats.initial_energy + 1e-9,
+                    "seed {seed} cap {cap}: energy worsened"
+                );
+                assert!(out.placement.is_complete(), "seed {seed} cap {cap}");
+                out.placement.check_consistency().unwrap();
+                let report =
+                    crate::validate(&pcn, &out.placement, fm.as_ref(), None).unwrap();
+                assert!(report.is_ok(), "seed {seed} cap {cap}: {report}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_and_resume_reproduce_the_uninterrupted_run() {
+        use crate::StopReason;
+        // Stop the run at several sweep offsets, checkpoint, resume — the
+        // final placement and statistics must be bit-identical to the
+        // uninterrupted run, for serial and parallel engines alike.
+        let pcn = random_pcn(120, 5.0, 4).unwrap();
+        let mesh = Mesh::new(16, 16).unwrap();
+        for threads in [1usize, 4] {
+            let mapper = Mapper::builder().threads(threads).build();
+            let full = mapper.map(&pcn, mesh).unwrap();
+            let full_stats = full.fd_stats.unwrap();
+            assert!(full_stats.iterations > 3, "test needs a few sweeps to interrupt");
+            for offset in [1u64, 2, 3] {
+                let mut cp: Option<FdCheckpoint> = None;
+                let mut writer = |c: &FdCheckpoint| {
+                    cp = Some(c.clone());
+                    Ok(())
+                };
+                let mut opts = FdRunOpts {
+                    budget: RunBudget { max_sweeps: Some(offset), ..RunBudget::default() },
+                    on_checkpoint: Some(&mut writer),
+                    ..FdRunOpts::default()
+                };
+                let partial = mapper.map_budgeted(&pcn, mesh, &mut opts).unwrap();
+                drop(opts);
+                let partial_stats = partial.fd_stats.unwrap();
+                assert_eq!(partial_stats.stop, StopReason::SweepCapReached);
+                let cp = cp.expect("budget stop must flush a checkpoint");
+                assert_eq!(cp.sweeps, offset);
+                // The written-back partial placement matches the snapshot.
+                for (c, &coord) in cp.coords.iter().enumerate() {
+                    assert_eq!(partial.placement.coord_of(c as u32), Some(coord));
+                }
+
+                let resumed =
+                    mapper.resume(&pcn, &cp, &mut FdRunOpts::default()).unwrap();
+                let rs = resumed.fd_stats.unwrap();
+                assert_eq!(
+                    resumed.placement, full.placement,
+                    "threads {threads} offset {offset}: placement diverged"
+                );
+                assert_eq!(rs.iterations, full_stats.iterations);
+                assert_eq!(rs.swaps, full_stats.swaps);
+                assert_eq!(rs.stop, StopReason::Converged);
+                assert!(rs.converged);
+                assert_eq!(
+                    rs.final_energy.to_bits(),
+                    full_stats.final_energy.to_bits(),
+                    "threads {threads} offset {offset}: energy bits diverged"
+                );
+                assert_eq!(rs.initial_energy.to_bits(), full_stats.initial_energy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_fire_on_schedule() {
+        let pcn = random_pcn(120, 5.0, 4).unwrap();
+        let mesh = Mesh::new(16, 16).unwrap();
+        let mut sweeps_seen: Vec<u64> = Vec::new();
+        let mut writer = |c: &FdCheckpoint| {
+            sweeps_seen.push(c.sweeps);
+            Ok(())
+        };
+        let mut opts = FdRunOpts {
+            checkpoint_every: Some(2),
+            on_checkpoint: Some(&mut writer),
+            ..FdRunOpts::default()
+        };
+        let out = Mapper::builder().build().map_budgeted(&pcn, mesh, &mut opts).unwrap();
+        drop(opts);
+        let iterations = out.fd_stats.unwrap().iterations;
+        let expect: Vec<u64> = (1..=iterations).filter(|i| i % 2 == 0).collect();
+        assert_eq!(sweeps_seen, expect);
+    }
+
+    #[test]
+    fn failing_checkpoint_writer_is_a_typed_error() {
+        let pcn = random_pcn(120, 5.0, 4).unwrap();
+        let mesh = Mesh::new(16, 16).unwrap();
+        let mut writer = |_: &FdCheckpoint| Err("disk full".to_owned());
+        let mut opts = FdRunOpts {
+            checkpoint_every: Some(1),
+            on_checkpoint: Some(&mut writer),
+            ..FdRunOpts::default()
+        };
+        let err = Mapper::builder().build().map_budgeted(&pcn, mesh, &mut opts).unwrap_err();
+        assert!(matches!(err, CoreError::CheckpointFailed { ref message } if message == "disk full"));
+        // checkpoint_every: Some(0) is rejected up front.
+        let mut opts = FdRunOpts { checkpoint_every: Some(0), ..FdRunOpts::default() };
+        assert!(matches!(
+            Mapper::builder().build().map_budgeted(&pcn, mesh, &mut opts),
+            Err(CoreError::InvalidRunOpts { .. })
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_inputs() {
+        let pcn = random_pcn(100, 4.0, 5).unwrap();
+        let mesh = Mesh::square_for(100).unwrap();
+        let mut cp: Option<FdCheckpoint> = None;
+        let mut writer = |c: &FdCheckpoint| {
+            cp = Some(c.clone());
+            Ok(())
+        };
+        let mut opts = FdRunOpts {
+            budget: RunBudget { max_sweeps: Some(1), ..RunBudget::default() },
+            on_checkpoint: Some(&mut writer),
+            ..FdRunOpts::default()
+        };
+        Mapper::builder().build().map_budgeted(&pcn, mesh, &mut opts).unwrap();
+        drop(opts);
+        let cp = cp.unwrap();
+
+        // FD disabled: nothing to resume.
+        let m = Mapper::builder().fd_enabled(false).build();
+        assert!(matches!(
+            m.resume(&pcn, &cp, &mut FdRunOpts::default()),
+            Err(CoreError::InvalidRunOpts { .. })
+        ));
+        // Cluster-count mismatch.
+        let other = random_pcn(50, 4.0, 5).unwrap();
+        assert!(matches!(
+            Mapper::builder().build().resume(&other, &cp, &mut FdRunOpts::default()),
+            Err(CoreError::InvalidRunOpts { .. })
+        ));
+        // Fault map on a different mesh.
+        let m = Mapper::builder()
+            .fault_map(FaultMap::new(Mesh::new(30, 30).unwrap()))
+            .build();
+        assert!(matches!(
+            m.resume(&pcn, &cp, &mut FdRunOpts::default()),
+            Err(CoreError::Hw(_))
+        ));
+        // Corrupted checkpoint: colliding coordinates.
+        let mut bad = cp.clone();
+        bad.coords[1] = bad.coords[0];
+        assert!(matches!(
+            Mapper::builder().build().resume(&pcn, &bad, &mut FdRunOpts::default()),
+            Err(CoreError::Hw(_))
+        ));
+    }
+
+    #[test]
+    fn repair_incremental_disturbs_fewer_clusters_than_a_full_remap() {
+        use snnmap_hw::Coord;
+        let pcn = random_pcn(200, 4.0, 7).unwrap();
+        let mesh = Mesh::new(16, 16).unwrap();
+        let mapper = Mapper::builder().build();
+        let baseline = mapper.map(&pcn, mesh).unwrap();
+
+        // The hardware degrades after deployment: three occupied cores die.
+        let previous = FaultMap::new(mesh);
+        let mut current = FaultMap::new(mesh);
+        for cluster in [10u32, 50, 90] {
+            current.kill_core(baseline.placement.coord_of(cluster).unwrap()).unwrap();
+        }
+        current
+            .fail_link(Coord::new(0, 0), Coord::new(0, 1))
+            .unwrap();
+
+        let mut patched = baseline.placement.clone();
+        let report = mapper
+            .repair_incremental(&pcn, &mut patched, &previous, &current, 2, RunBudget::default())
+            .unwrap();
+        assert_eq!(report.evicted.len(), 3);
+        assert_eq!(report.delta.new_dead_cores.len(), 3);
+        assert_eq!(report.delta.new_failed_links.len(), 1);
+        assert!(report.region_cores > 0);
+        assert!(report.moved >= 3, "the evicted clusters count as moved");
+        assert!(
+            crate::validate(&pcn, &patched, Some(&current), None).unwrap().is_ok(),
+            "patched placement must be valid on the degraded hardware"
+        );
+        patched.check_consistency().unwrap();
+        if let Some(stats) = &report.fd_stats {
+            assert!(stats.final_energy <= stats.initial_energy + 1e-9);
+        }
+
+        // A full remap on the degraded hardware moves far more clusters.
+        let remapped = Mapper::builder()
+            .fault_map(current.clone())
+            .build()
+            .map(&pcn, mesh)
+            .unwrap();
+        let remap_moved = (0..200u32)
+            .filter(|&c| remapped.placement.coord_of(c) != baseline.placement.coord_of(c))
+            .count() as u64;
+        assert!(
+            report.moved < remap_moved,
+            "incremental repair ({}) must disturb fewer clusters than a full remap ({})",
+            report.moved,
+            remap_moved
+        );
+    }
+
+    #[test]
+    fn repair_incremental_with_no_new_faults_is_a_noop() {
+        let pcn = random_pcn(100, 4.0, 5).unwrap();
+        let mesh = Mesh::square_for(100).unwrap();
+        let mapper = Mapper::builder().build();
+        let out = mapper.map(&pcn, mesh).unwrap();
+        let mut p = out.placement.clone();
+        let fm = FaultMap::new(mesh);
+        let report =
+            mapper.repair_incremental(&pcn, &mut p, &fm, &fm, 2, RunBudget::default()).unwrap();
+        assert!(report.delta.is_empty());
+        assert_eq!(report.moved, 0);
+        assert_eq!(report.region_cores, 0);
+        assert!(report.fd_stats.is_none());
+        assert_eq!(p, out.placement);
+    }
+
+    #[test]
+    fn repair_incremental_emits_a_repair_event() {
+        use snnmap_trace::MemorySink;
+        let pcn = random_pcn(150, 4.0, 3).unwrap();
+        let mesh = Mesh::new(16, 16).unwrap();
+        let mapper = Mapper::builder().build();
+        let out = mapper.map(&pcn, mesh).unwrap();
+        let previous = FaultMap::new(mesh);
+        let mut current = FaultMap::new(mesh);
+        current.kill_core(out.placement.coord_of(0).unwrap()).unwrap();
+
+        let mut p = out.placement.clone();
+        let mut sink = MemorySink::new();
+        let report = mapper
+            .repair_incremental_traced(
+                &pcn,
+                &mut p,
+                &previous,
+                &current,
+                2,
+                RunBudget::default(),
+                &mut sink,
+            )
+            .unwrap();
+        let repair_events: Vec<_> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Repair(r) => Some(r.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(repair_events.len(), 1);
+        let ev = &repair_events[0];
+        assert_eq!(ev.evicted, 1);
+        assert_eq!(ev.moved, report.moved);
+        assert_eq!(ev.region_cores, report.region_cores);
+        let stats = report.fd_stats.unwrap();
+        assert_eq!(ev.energy_before.to_bits(), stats.initial_energy.to_bits());
+        assert_eq!(ev.energy_after.to_bits(), stats.final_energy.to_bits());
+        // The traced repair also carries the region FD telemetry.
+        assert!(sink.events().iter().any(|e| e.name() == "fd_done"));
     }
 
     #[test]

@@ -22,8 +22,19 @@
 //! Threads are spawned per call (scoped, borrowing the caller's data) and
 //! joined before returning; small inputs fall back to the serial path so
 //! the spawn cost is only paid where it can be amortized.
+//!
+//! **Panic isolation**: every chunk body runs under
+//! [`std::panic::catch_unwind`], so a panicking closure surfaces as a
+//! typed [`WorkerPanic`] from the `try_*` variants ([`try_par_init`],
+//! [`try_par_flat_map`], [`try_par_block_sum`]) instead of aborting the
+//! process mid-scope. The panic-free wrappers re-raise the panic with the
+//! original message for callers that treat a poisoned chunk as a bug.
 
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 /// Work below this many items per *extra* worker is done serially: a
@@ -39,6 +50,95 @@ const MIN_ITEMS_PER_THREAD: usize = 2048;
 static CALLS: AtomicU64 = AtomicU64::new(0);
 static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
 static WORKERS: AtomicU64 = AtomicU64::new(0);
+
+/// A worker closure panicked inside a parallel helper.
+///
+/// Carries the panic message (when the payload was a string, which
+/// `panic!` produces) so callers can surface *why* the chunk was
+/// poisoned. Returned by the `try_*` helper variants; the panic-free
+/// wrappers re-raise it instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    message: String,
+}
+
+impl WorkerPanic {
+    fn from_payload(payload: &(dyn Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "worker panicked with a non-string payload".to_owned()
+        };
+        WorkerPanic { message }
+    }
+
+    /// The panic message of the poisoned chunk.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parallel worker panicked: {}", self.message)
+    }
+}
+
+impl Error for WorkerPanic {}
+
+/// Test-only fault injection for the panic-isolation path.
+///
+/// Not part of the public API surface (hidden from docs); always compiled
+/// so integration tests and downstream crates' tests can arm it without a
+/// feature flag. Disarmed it costs one relaxed atomic load per *spawned*
+/// worker chunk — the serial fallback never injects, so recovery paths
+/// that deliberately run serially (e.g. the checkpoint flush after a
+/// worker panic) cannot re-trigger it.
+#[doc(hidden)]
+pub mod hooks {
+    use std::sync::atomic::{AtomicI64, Ordering::Relaxed};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Remaining spawned-worker chunks before one panics; negative means
+    /// disarmed.
+    static COUNTDOWN: AtomicI64 = AtomicI64::new(i64::MIN);
+
+    /// Serializes tests that arm the hook: the countdown is process-wide,
+    /// so concurrently running tests would otherwise steal each other's
+    /// injection. Hold the guard across arm → assert → disarm.
+    static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+    /// Takes the armed-hook test lock (poison-tolerant: a previous test
+    /// failing while armed must not cascade).
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        EXCLUSIVE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The message the injected panic carries.
+    pub const INJECTED_PANIC: &str = "injected worker panic (test hook)";
+
+    /// Arms the hook: the `(skip + 1)`-th spawned worker chunk from now
+    /// panics with [`INJECTED_PANIC`].
+    pub fn fail_after(skip: u64) {
+        COUNTDOWN.store(i64::try_from(skip).unwrap_or(i64::MAX), Relaxed);
+    }
+
+    /// Disarms the hook.
+    pub fn disarm() {
+        COUNTDOWN.store(i64::MIN, Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn maybe_inject() {
+        // The load screens the common (disarmed) case; near zero, exactly
+        // one thread observes the 0 → -1 transition and panics.
+        if COUNTDOWN.load(Relaxed) >= 0 && COUNTDOWN.fetch_sub(1, Relaxed) == 0 {
+            panic!("{}", INJECTED_PANIC);
+        }
+    }
+}
 
 /// Cumulative thread-pool utilization counters (see [`counters`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -130,19 +230,42 @@ fn effective_threads(threads: usize, items: usize) -> usize {
 /// runs on the calling thread so a worker is only spawned when there is a
 /// second chunk. Because `f` is pure per index and every element is
 /// written exactly once, the result is identical for any thread count.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` (see [`try_par_init`] for the typed-error
+/// variant).
 pub fn par_init<T, F>(threads: usize, out: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    CALLS.fetch_add(1, Relaxed);
-    par_init_inner(effective_threads(threads, out.len()), out, f);
+    if let Err(p) = try_par_init(threads, out, f) {
+        panic!("{p}");
+    }
 }
 
-/// [`par_init`] without the work-granularity throttle: the caller has
+/// [`par_init`] with panic isolation: a panicking `f` poisons only its
+/// chunk and surfaces as [`WorkerPanic`]. On error the slice may be
+/// partially (re)written — callers discard it.
+///
+/// # Errors
+///
+/// [`WorkerPanic`] when any chunk's `f` panicked (the first in chunk
+/// order wins).
+pub fn try_par_init<T, F>(threads: usize, out: &mut [T], f: F) -> Result<(), WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    CALLS.fetch_add(1, Relaxed);
+    par_init_inner(effective_threads(threads, out.len()), out, f)
+}
+
+/// [`try_par_init`] without the work-granularity throttle: the caller has
 /// already decided how many workers the job deserves (e.g.
 /// [`par_block_sum`], whose few slots each carry a whole block of work).
-fn par_init_inner<T, F>(threads: usize, out: &mut [T], f: F)
+fn par_init_inner<T, F>(threads: usize, out: &mut [T], f: F) -> Result<(), WorkerPanic>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -150,10 +273,12 @@ where
     let n = out.len();
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = f(i);
-        }
-        return;
+        return catch_unwind(AssertUnwindSafe(|| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(i);
+            }
+        }))
+        .map_err(|p| WorkerPanic::from_payload(&*p));
     }
     let chunk = n.div_ceil(threads);
     let f = &f;
@@ -161,21 +286,42 @@ where
     std::thread::scope(|s| {
         let mut chunks = out.chunks_mut(chunk);
         let first = chunks.next();
+        let mut handles = Vec::with_capacity(threads - 1);
         for (k, part) in chunks.enumerate() {
             let base = (k + 1) * chunk;
             WORKERS.fetch_add(1, Relaxed);
-            s.spawn(move || {
-                for (j, slot) in part.iter_mut().enumerate() {
-                    *slot = f(base + j);
-                }
-            });
+            handles.push(s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    hooks::maybe_inject();
+                    for (j, slot) in part.iter_mut().enumerate() {
+                        *slot = f(base + j);
+                    }
+                }))
+            }));
         }
+        // First error in chunk order wins, so the reported panic is the
+        // same for every interleaving.
+        let mut result: Result<(), WorkerPanic> = Ok(());
         if let Some(part) = first {
-            for (j, slot) in part.iter_mut().enumerate() {
-                *slot = f(j);
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                for (j, slot) in part.iter_mut().enumerate() {
+                    *slot = f(j);
+                }
+            })) {
+                result = Err(WorkerPanic::from_payload(&*p));
             }
         }
-    });
+        for h in handles {
+            // The outer join error covers a panic that escaped the catch
+            // (impossible for unwinding panics, but stay total).
+            if let Err(p) = h.join().and_then(|r| r) {
+                if result.is_ok() {
+                    result = Err(WorkerPanic::from_payload(&*p));
+                }
+            }
+        }
+        result
+    })
 }
 
 /// Runs `f(i, &mut results)` for every `i in 0..n` and returns the
@@ -186,7 +332,27 @@ where
 /// so the output length is data-dependent; the *order* of surviving items
 /// always matches what the serial loop would produce, independent of the
 /// thread count.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` (see [`try_par_flat_map`] for the
+/// typed-error variant).
 pub fn par_flat_map<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut Vec<R>) + Sync,
+{
+    try_par_flat_map(threads, n, f).unwrap_or_else(|p| panic!("{p}"))
+}
+
+/// [`par_flat_map`] with panic isolation: a panicking `f` poisons only
+/// its chunk and surfaces as [`WorkerPanic`].
+///
+/// # Errors
+///
+/// [`WorkerPanic`] when any chunk's `f` panicked (the first in chunk
+/// order wins).
+pub fn try_par_flat_map<R, F>(threads: usize, n: usize, f: F) -> Result<Vec<R>, WorkerPanic>
 where
     R: Send,
     F: Fn(usize, &mut Vec<R>) + Sync,
@@ -194,11 +360,14 @@ where
     CALLS.fetch_add(1, Relaxed);
     let threads = effective_threads(threads, n);
     if threads == 1 {
-        let mut out = Vec::new();
-        for i in 0..n {
-            f(i, &mut out);
-        }
-        return out;
+        return catch_unwind(AssertUnwindSafe(|| {
+            let mut out = Vec::new();
+            for i in 0..n {
+                f(i, &mut out);
+            }
+            out
+        }))
+        .map_err(|p| WorkerPanic::from_payload(&*p));
     }
     let chunk = n.div_ceil(threads);
     let f = &f;
@@ -214,29 +383,45 @@ where
             }
             WORKERS.fetch_add(1, Relaxed);
             handles.push(s.spawn(move || {
-                let mut v = Vec::new();
-                for i in lo..hi {
-                    f(i, &mut v);
-                }
-                v
+                catch_unwind(AssertUnwindSafe(|| {
+                    hooks::maybe_inject();
+                    let mut v = Vec::new();
+                    for i in lo..hi {
+                        f(i, &mut v);
+                    }
+                    v
+                }))
             }));
         }
-        let mut first = Vec::new();
-        for i in 0..chunk.min(n) {
-            f(i, &mut first);
+        let mut result: Result<(), WorkerPanic> = Ok(());
+        match catch_unwind(AssertUnwindSafe(|| {
+            let mut v = Vec::new();
+            for i in 0..chunk.min(n) {
+                f(i, &mut v);
+            }
+            v
+        })) {
+            Ok(v) => parts.push(v),
+            Err(p) => result = Err(WorkerPanic::from_payload(&*p)),
         }
-        parts.push(first);
         for h in handles {
-            // A worker can only panic if `f` panicked; propagate it.
-            parts.push(h.join().expect("parallel worker panicked"));
+            match h.join().and_then(|r| r) {
+                Ok(v) => parts.push(v),
+                Err(p) => {
+                    if result.is_ok() {
+                        result = Err(WorkerPanic::from_payload(&*p));
+                    }
+                }
+            }
         }
-    });
+        result
+    })?;
     let total = parts.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(total);
     for p in parts {
         out.extend(p);
     }
-    out
+    Ok(out)
 }
 
 /// Sums `f(lo..hi)` over fixed-size blocks of `block` indices, combining
@@ -246,18 +431,46 @@ where
 /// count — so every partial sum (and therefore the total, including its
 /// floating-point rounding) is bit-identical for any `threads`. Blocks
 /// are distributed over workers via [`par_init`].
+///
+/// # Panics
+///
+/// Panics on `block == 0` (a caller bug), and re-raises a panic from `f`
+/// (see [`try_par_block_sum`] for the typed-error variant).
 pub fn par_block_sum<F>(threads: usize, n: usize, block: usize, f: F) -> f64
+where
+    F: Fn(std::ops::Range<usize>) -> f64 + Sync,
+{
+    try_par_block_sum(threads, n, block, f).unwrap_or_else(|p| panic!("{p}"))
+}
+
+/// [`par_block_sum`] with panic isolation: a panicking `f` poisons only
+/// its chunk and surfaces as [`WorkerPanic`].
+///
+/// # Panics
+///
+/// Panics on `block == 0` (a caller bug, not a worker fault).
+///
+/// # Errors
+///
+/// [`WorkerPanic`] when any block's `f` panicked.
+pub fn try_par_block_sum<F>(
+    threads: usize,
+    n: usize,
+    block: usize,
+    f: F,
+) -> Result<f64, WorkerPanic>
 where
     F: Fn(std::ops::Range<usize>) -> f64 + Sync,
 {
     assert!(block > 0, "block size must be positive");
     CALLS.fetch_add(1, Relaxed);
     if n == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let blocks = n.div_ceil(block);
     if blocks == 1 {
-        return f(0..n);
+        return catch_unwind(AssertUnwindSafe(|| f(0..n)))
+            .map_err(|p| WorkerPanic::from_payload(&*p));
     }
     let mut partial = vec![0.0f64; blocks];
     // Granularity is decided on the underlying item count (each slot is a
@@ -266,8 +479,8 @@ where
         let lo = b * block;
         let hi = (lo + block).min(n);
         f(lo..hi)
-    });
-    partial.iter().sum()
+    })?;
+    Ok(partial.iter().sum())
 }
 
 #[cfg(test)]
@@ -353,5 +566,78 @@ mod tests {
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
         let v = par_flat_map(8, 10, |i, out| out.push(i));
         assert_eq!(v, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_closure_is_a_typed_error_not_an_abort() {
+        // Serial path: caught on the calling thread.
+        let err = try_par_flat_map(1, 10, |i, _out: &mut Vec<u32>| {
+            if i == 3 {
+                panic!("poisoned at {i}");
+            }
+        })
+        .unwrap_err();
+        assert!(err.message().contains("poisoned at 3"), "{err}");
+        assert!(err.to_string().contains("parallel worker panicked"));
+
+        // Parallel path: caught in a spawned worker, scope still joins.
+        let n = 4 * MIN_ITEMS_PER_THREAD;
+        let err = try_par_flat_map(4, n, |i, _out: &mut Vec<u32>| {
+            if i == n - 1 {
+                panic!("last chunk dies");
+            }
+        })
+        .unwrap_err();
+        assert!(err.message().contains("last chunk dies"), "{err}");
+
+        let mut out = vec![0u8; n];
+        let err = try_par_init(4, &mut out, |i| {
+            if i == 0 {
+                panic!("first chunk dies");
+            }
+            1
+        })
+        .unwrap_err();
+        assert!(err.message().contains("first chunk dies"), "{err}");
+
+        let err = try_par_block_sum(4, n, 512, |r| {
+            if r.start == 0 {
+                panic!("block zero dies");
+            }
+            0.0
+        })
+        .unwrap_err();
+        assert!(err.message().contains("block zero dies"), "{err}");
+    }
+
+    #[test]
+    fn first_chunk_error_wins_deterministically() {
+        // Every index panics; the reported message must always be the
+        // calling thread's chunk (chunk 0), regardless of scheduling.
+        let n = 4 * MIN_ITEMS_PER_THREAD;
+        for _ in 0..8 {
+            let err =
+                try_par_flat_map(4, n, |i, _out: &mut Vec<u32>| panic!("chunk of {i}"))
+                    .unwrap_err();
+            assert_eq!(err.message(), "chunk of 0");
+        }
+    }
+
+    #[test]
+    fn injection_hook_fires_once_in_a_spawned_worker() {
+        let _guard = hooks::exclusive();
+        let n = 4 * MIN_ITEMS_PER_THREAD;
+        hooks::fail_after(0);
+        let err = try_par_flat_map(4, n, |i, out: &mut Vec<usize>| out.push(i)).unwrap_err();
+        hooks::disarm();
+        assert_eq!(err.message(), hooks::INJECTED_PANIC);
+        // Disarmed, the same call succeeds and the serial path is immune
+        // even while armed.
+        let v = try_par_flat_map(4, n, |i, out: &mut Vec<usize>| out.push(i)).unwrap();
+        assert_eq!(v.len(), n);
+        hooks::fail_after(0);
+        let v = try_par_flat_map(1, 64, |i, out: &mut Vec<usize>| out.push(i)).unwrap();
+        hooks::disarm();
+        assert_eq!(v.len(), 64);
     }
 }

@@ -160,11 +160,16 @@ pub struct RepairOutcome {
 /// heaviest-traffic placed neighbour. Capacity violations are reported
 /// back unrepaired — relocation cannot shrink a cluster.
 ///
+/// Repair is **transactional** (the moves are staged on a scratch copy
+/// and committed only on success, so an error leaves `placement`
+/// untouched) and **idempotent**: repairing an already-repaired placement
+/// performs no moves.
+///
 /// # Errors
 ///
 /// As [`validate`], plus [`CoreError::InsufficientCores`] when a stranded
-/// cluster has no healthy free core left to move to. The placement may be
-/// partially repaired when an error is returned.
+/// cluster has no healthy free core left to move to. The placement is
+/// unchanged when an error is returned.
 pub fn repair(
     pcn: &Pcn,
     placement: &mut Placement,
@@ -172,24 +177,26 @@ pub fn repair(
     constraints: Option<&CoreConstraints>,
 ) -> Result<RepairOutcome, CoreError> {
     let report = validate(pcn, placement, faults, constraints)?;
+    let mut staged = placement.clone();
     let mut outcome = RepairOutcome::default();
     for v in report.violations() {
         match *v {
             Violation::OnDeadCore { cluster, coord } => {
-                let to = relocate(placement, faults, cluster, coord)?;
+                let to = relocate(&mut staged, faults, cluster, coord)?;
                 outcome.moved.push(RepairMove { cluster, from: Some(coord), to });
             }
             Violation::Unplaced { cluster } => {
-                let anchor = anchor_for(pcn, placement, cluster);
-                let to = nearest_free_healthy(placement, faults, anchor).ok_or_else(|| {
-                    insufficient(placement, faults)
+                let anchor = anchor_for(pcn, &staged, cluster);
+                let to = nearest_free_healthy(&staged, faults, anchor).ok_or_else(|| {
+                    insufficient(&staged, faults)
                 })?;
-                placement.place(cluster, to)?;
+                staged.place(cluster, to)?;
                 outcome.moved.push(RepairMove { cluster, from: None, to });
             }
             Violation::CapacityExceeded { .. } => outcome.unrepaired.push(*v),
         }
     }
+    *placement = staged;
     Ok(outcome)
 }
 
@@ -258,7 +265,7 @@ fn anchor_for(pcn: &Pcn, placement: &Placement, cluster: u32) -> Coord {
 
 /// The free healthy core nearest to `anchor` (Manhattan distance, then
 /// row-major index — fully deterministic).
-fn nearest_free_healthy(
+pub(crate) fn nearest_free_healthy(
     placement: &Placement,
     faults: Option<&FaultMap>,
     anchor: Coord,
@@ -369,6 +376,60 @@ mod tests {
             repair(&pcn, &mut p, Some(&fm), None),
             Err(CoreError::InsufficientCores { clusters: 4, healthy: 3, total: 4 })
         ));
+    }
+
+    #[test]
+    fn failed_repair_leaves_the_placement_untouched() {
+        let pcn = pcn_with(4, 1, 1);
+        let mesh = Mesh::new(2, 3).unwrap();
+        let mut p = crate::hsc_placement(&pcn, mesh).unwrap();
+        // Strand two clusters but leave only one free healthy core: the
+        // first stranded cluster could relocate, the second cannot — the
+        // whole repair must roll back.
+        let mut fm = FaultMap::new(mesh);
+        fm.kill_core(p.coord_of(0).unwrap()).unwrap();
+        fm.kill_core(p.coord_of(1).unwrap()).unwrap();
+        let free: Vec<Coord> = mesh.iter().filter(|&c| p.cluster_at(c).is_none()).collect();
+        assert_eq!(free.len(), 2);
+        fm.kill_core(free[0]).unwrap();
+        let before = p.clone();
+        assert!(matches!(
+            repair(&pcn, &mut p, Some(&fm), None),
+            Err(CoreError::InsufficientCores { .. })
+        ));
+        assert_eq!(p, before, "a failed repair must not mutate the placement");
+    }
+
+    #[test]
+    fn repair_is_idempotent_under_every_fault_pattern() {
+        use snnmap_hw::{FaultInjector, FaultPattern};
+        let pcn = pcn_with(40, 2, 4);
+        let mesh = Mesh::new(8, 8).unwrap();
+        for seed in 0..8u64 {
+            for pattern in [
+                FaultPattern::Uniform { core_rate: 0.15, link_rate: 0.05 },
+                FaultPattern::Clustered { core_rate: 0.15, regions: 2 },
+            ] {
+                let fm = FaultInjector::new(seed).inject(mesh, &pattern).unwrap();
+                let mut p = crate::hsc_placement(&pcn, mesh).unwrap();
+                let first = repair(&pcn, &mut p, Some(&fm), None).unwrap();
+                // Repaired placements always pass validate().
+                assert!(
+                    validate(&pcn, &p, Some(&fm), None).unwrap().is_ok(),
+                    "seed {seed}: repaired placement still invalid"
+                );
+                p.check_consistency().unwrap();
+                // repair(repair(p)) == repair(p): the second pass is a no-op.
+                let snapshot = p.clone();
+                let second = repair(&pcn, &mut p, Some(&fm), None).unwrap();
+                assert!(second.moved.is_empty(), "seed {seed}: {second:?}");
+                assert_eq!(p, snapshot, "seed {seed}: second repair changed the placement");
+                // And a third, for good measure of the fixed point.
+                let third = repair(&pcn, &mut p, Some(&fm), None).unwrap();
+                assert_eq!(second, third);
+                let _ = first;
+            }
+        }
     }
 
     #[test]

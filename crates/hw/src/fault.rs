@@ -184,6 +184,65 @@ impl FaultMap {
     pub fn healthy_iter(&self) -> impl Iterator<Item = Coord> + '_ {
         self.mesh.iter().filter(|&c| !self.dead[self.mesh.index_of(c)])
     }
+
+    /// The faults present in `self` but not in `earlier`: what broke since
+    /// the older map was taken. Dead cores come out in row-major mesh
+    /// order and links in canonical sorted order (deterministic). Faults
+    /// that *healed* (present in `earlier` only) are ignored — hardware
+    /// does not un-break, and a conservative repair must not trust it to.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidFaultSpec`] when the two maps describe different
+    /// meshes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snnmap_hw::{Coord, FaultMap, Mesh};
+    ///
+    /// let mesh = Mesh::new(4, 4)?;
+    /// let before = FaultMap::new(mesh);
+    /// let mut after = before.clone();
+    /// after.kill_core(Coord::new(2, 1))?;
+    /// let delta = after.diff(&before)?;
+    /// assert_eq!(delta.new_dead_cores, vec![Coord::new(2, 1)]);
+    /// assert!(delta.new_failed_links.is_empty());
+    /// # Ok::<(), snnmap_hw::HwError>(())
+    /// ```
+    pub fn diff(&self, earlier: &FaultMap) -> Result<FaultDelta, HwError> {
+        if self.mesh != earlier.mesh {
+            return Err(HwError::InvalidFaultSpec {
+                message: format!(
+                    "cannot diff fault maps of different meshes: {} vs {}",
+                    self.mesh, earlier.mesh
+                ),
+            });
+        }
+        let new_dead_cores =
+            self.dead_cores().filter(|&c| !earlier.dead[earlier.mesh.index_of(c)]).collect();
+        let new_failed_links =
+            self.links.iter().filter(|l| !earlier.links.contains(l)).copied().collect();
+        Ok(FaultDelta { new_dead_cores, new_failed_links })
+    }
+}
+
+/// What broke between two [`FaultMap`] snapshots of the same mesh
+/// (see [`FaultMap::diff`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultDelta {
+    /// Cores dead in the newer map only, in row-major mesh order.
+    pub new_dead_cores: Vec<Coord>,
+    /// Links faulty in the newer map only, in canonical sorted order.
+    pub new_failed_links: Vec<Link>,
+}
+
+impl FaultDelta {
+    /// Whether nothing new broke.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.new_dead_cores.is_empty() && self.new_failed_links.is_empty()
+    }
 }
 
 impl fmt::Display for FaultMap {
@@ -480,6 +539,36 @@ mod tests {
             let expect = r as usize * (c as usize - 1) + c as usize * (r as usize - 1);
             assert_eq!(all_links(mesh).len(), expect, "{r}x{c}");
         }
+    }
+
+    #[test]
+    fn diff_reports_only_newly_broken_parts_in_order() {
+        let mesh = mesh4();
+        let mut before = FaultMap::new(mesh);
+        before.kill_core(Coord::new(0, 0)).unwrap();
+        before.fail_link(Coord::new(3, 2), Coord::new(3, 3)).unwrap();
+        let mut after = before.clone();
+        // Same mesh, same old faults, plus fresh damage (inserted out of
+        // row-major order to exercise the ordering guarantee).
+        after.kill_core(Coord::new(2, 2)).unwrap();
+        after.kill_core(Coord::new(1, 0)).unwrap();
+        after.fail_link(Coord::new(0, 1), Coord::new(0, 2)).unwrap();
+        let delta = after.diff(&before).unwrap();
+        assert_eq!(delta.new_dead_cores, vec![Coord::new(1, 0), Coord::new(2, 2)]);
+        assert_eq!(delta.new_failed_links, vec![(Coord::new(0, 1), Coord::new(0, 2))]);
+        assert!(!delta.is_empty());
+        // Identical maps diff to nothing.
+        assert!(after.diff(&after.clone()).unwrap().is_empty());
+        // "Healed" faults are ignored: diffing the other way reports only
+        // what `before` has that `after` lacks — nothing.
+        assert!(before.diff(&after).unwrap().is_empty());
+    }
+
+    #[test]
+    fn diff_rejects_mismatched_meshes() {
+        let a = FaultMap::new(mesh4());
+        let b = FaultMap::new(Mesh::new(3, 3).unwrap());
+        assert!(matches!(a.diff(&b), Err(HwError::InvalidFaultSpec { .. })));
     }
 
     #[test]

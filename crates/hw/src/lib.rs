@@ -44,7 +44,7 @@ pub mod presets;
 
 pub use constraints::{CoreConstraints, CostModel};
 pub use error::HwError;
-pub use fault::{FaultInjector, FaultMap, FaultPattern, Link};
+pub use fault::{FaultDelta, FaultInjector, FaultMap, FaultPattern, Link};
 pub use mesh::{Coord, CoordIter, Mesh};
 pub use placement::Placement;
 

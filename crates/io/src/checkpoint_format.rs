@@ -1,0 +1,273 @@
+//! FD checkpoint JSON serialization.
+//!
+//! A checkpoint captures a Force-Directed run at a sweep boundary
+//! ([`FdCheckpoint`]): every cluster's coordinate, the engine's
+//! incrementally patched force table, and the sweep/swap/energy
+//! counters. The force table is restored verbatim on resume — its values
+//! differ in the low bits from a from-scratch rebuild (floating-point
+//! addition is not associative), and carrying them is what makes a
+//! killed-and-resumed run bit-identical to an uninterrupted one.
+//!
+//! All `f64` values are stored as IEEE-754 bit patterns
+//! ([`f64::to_bits`]) so the JSON round trip is exact, and the document
+//! carries two caller-supplied digests (run configuration and PCN) so
+//! `snnmap resume` can refuse a checkpoint taken under different inputs.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use snnmap_core::FdCheckpoint;
+use snnmap_hw::Coord;
+
+use crate::limits::checked_mesh;
+use crate::IoError;
+
+/// Provenance of a checkpoint: digests of the inputs the run was started
+/// with. [`parse_checkpoint`] returns them for the caller to compare
+/// against the inputs it is about to resume with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Digest of the run configuration (potential, λ, tension mode, …).
+    pub config_digest: String,
+    /// Digest of the PCN the run maps.
+    pub pcn_digest: String,
+}
+
+/// The JSON document shape for a checkpoint.
+#[derive(Debug, Serialize, Deserialize)]
+struct CheckpointDoc {
+    format: String,
+    config_digest: String,
+    pcn_digest: String,
+    rows: u16,
+    cols: u16,
+    sweeps: u64,
+    swaps: u64,
+    initial_energy_bits: u64,
+    energy_bits: u64,
+    /// Element `i` is cluster `i`'s `[x, y]`.
+    coords: Vec<(u16, u16)>,
+    /// Element `i` is cluster `i`'s `[UP, DOWN, LEFT, RIGHT]` force
+    /// record as `f64` bit patterns.
+    forces_bits: Vec<[u64; 4]>,
+}
+
+const FORMAT: &str = "snnmap-checkpoint-v1";
+
+/// Renders a checkpoint as pretty-printed JSON (deterministic: equal
+/// checkpoints render byte-identically).
+pub fn render_checkpoint(checkpoint: &FdCheckpoint, meta: &CheckpointMeta) -> String {
+    let doc = CheckpointDoc {
+        format: FORMAT.to_string(),
+        config_digest: meta.config_digest.clone(),
+        pcn_digest: meta.pcn_digest.clone(),
+        rows: checkpoint.mesh.rows(),
+        cols: checkpoint.mesh.cols(),
+        sweeps: checkpoint.sweeps,
+        swaps: checkpoint.swaps,
+        initial_energy_bits: checkpoint.initial_energy.to_bits(),
+        energy_bits: checkpoint.energy.to_bits(),
+        coords: checkpoint.coords.iter().map(|c| (c.x, c.y)).collect(),
+        forces_bits: checkpoint
+            .forces
+            .iter()
+            .map(|f| [f[0].to_bits(), f[1].to_bits(), f[2].to_bits(), f[3].to_bits()])
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("checkpoint doc always serializes")
+}
+
+/// Parses a checkpoint from JSON, validating it as untrusted input.
+///
+/// # Errors
+///
+/// [`IoError::Json`] for malformed JSON; [`IoError::Invalid`] for a
+/// wrong format tag, a dimension bomb (see [`crate::MAX_MESH_CORES`]), a
+/// coordinate/force table length mismatch, more clusters than cores,
+/// out-of-mesh coordinates, or two clusters on the same core.
+pub fn parse_checkpoint(text: &str) -> Result<(FdCheckpoint, CheckpointMeta), IoError> {
+    let doc: CheckpointDoc = serde_json::from_str(text)?;
+    if doc.format != FORMAT {
+        return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });
+    }
+    let mesh = checked_mesh(doc.rows, doc.cols)?;
+    if doc.coords.len() != doc.forces_bits.len() {
+        return Err(IoError::Invalid {
+            message: format!(
+                "{} coordinates but {} force records",
+                doc.coords.len(),
+                doc.forces_bits.len()
+            ),
+        });
+    }
+    if doc.coords.len() > mesh.len() {
+        return Err(IoError::Invalid {
+            message: format!("{} clusters exceed {} cores", doc.coords.len(), mesh.len()),
+        });
+    }
+    let mut occupied = vec![false; mesh.len()];
+    let mut coords = Vec::with_capacity(doc.coords.len());
+    for (cluster, &(x, y)) in doc.coords.iter().enumerate() {
+        let c = Coord::new(x, y);
+        if !mesh.contains(c) {
+            return Err(IoError::Invalid {
+                message: format!("cluster {cluster} at {c} lies outside the {mesh} mesh"),
+            });
+        }
+        let idx = mesh.index_of(c);
+        if occupied[idx] {
+            return Err(IoError::Invalid {
+                message: format!("two clusters occupy core {c}"),
+            });
+        }
+        occupied[idx] = true;
+        coords.push(c);
+    }
+    let checkpoint = FdCheckpoint {
+        mesh,
+        coords,
+        forces: doc
+            .forces_bits
+            .iter()
+            .map(|f| {
+                [
+                    f64::from_bits(f[0]),
+                    f64::from_bits(f[1]),
+                    f64::from_bits(f[2]),
+                    f64::from_bits(f[3]),
+                ]
+            })
+            .collect(),
+        sweeps: doc.sweeps,
+        swaps: doc.swaps,
+        initial_energy: f64::from_bits(doc.initial_energy_bits),
+        energy: f64::from_bits(doc.energy_bits),
+    };
+    let meta = CheckpointMeta { config_digest: doc.config_digest, pcn_digest: doc.pcn_digest };
+    Ok((checkpoint, meta))
+}
+
+/// Reads a checkpoint from a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] plus all [`parse_checkpoint`] errors.
+pub fn read_checkpoint(path: &Path) -> Result<(FdCheckpoint, CheckpointMeta), IoError> {
+    parse_checkpoint(&fs::read_to_string(path)?)
+}
+
+/// Writes a checkpoint to a JSON file, atomically: the document lands in
+/// a sibling temporary file first and is renamed over `path`, so a
+/// process killed mid-write leaves either the previous checkpoint or the
+/// new one — never a truncated file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] for filesystem failures.
+pub fn write_checkpoint(
+    path: &Path,
+    checkpoint: &FdCheckpoint,
+    meta: &CheckpointMeta,
+) -> Result<(), IoError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    fs::write(tmp, render_checkpoint(checkpoint, meta))?;
+    Ok(fs::rename(tmp, path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_hw::Mesh;
+
+    fn sample() -> (FdCheckpoint, CheckpointMeta) {
+        let cp = FdCheckpoint {
+            mesh: Mesh::new(2, 3).unwrap(),
+            coords: vec![Coord::new(0, 0), Coord::new(1, 2), Coord::new(0, 2)],
+            // Deliberately awkward values: results of non-associative
+            // sums, negative zero, subnormals.
+            forces: vec![
+                [0.1 + 0.2, -0.0, f64::MIN_POSITIVE, 1.5e308],
+                [0.0, -3.25, 2.0f64.powi(-1060), 7.0],
+                [1.0 / 3.0, 0.3 - 0.1, -55.5, 0.0],
+            ],
+            sweeps: 17,
+            swaps: 112,
+            initial_energy: 1234.5678,
+            energy: 0.1 + 0.2 + 0.3,
+        };
+        let meta = CheckpointMeta {
+            config_digest: "cfg-abc".into(),
+            pcn_digest: "pcn-def".into(),
+        };
+        (cp, meta)
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let (cp, meta) = sample();
+        let text = render_checkpoint(&cp, &meta);
+        let (back, back_meta) = parse_checkpoint(&text).unwrap();
+        assert_eq!(back_meta, meta);
+        assert_eq!(back.mesh, cp.mesh);
+        assert_eq!(back.coords, cp.coords);
+        assert_eq!(back.sweeps, cp.sweeps);
+        assert_eq!(back.swaps, cp.swaps);
+        assert_eq!(back.initial_energy.to_bits(), cp.initial_energy.to_bits());
+        assert_eq!(back.energy.to_bits(), cp.energy.to_bits());
+        for (a, b) in back.forces.iter().zip(cp.forces.iter()) {
+            for d in 0..4 {
+                assert_eq!(a[d].to_bits(), b[d].to_bits());
+            }
+        }
+        // Deterministic rendering.
+        assert_eq!(text, render_checkpoint(&back, &back_meta));
+    }
+
+    #[test]
+    fn rejects_adversarial_documents() {
+        let (cp, meta) = sample();
+        let good = render_checkpoint(&cp, &meta);
+        // Wrong format tag.
+        let bad = good.replacen(FORMAT, "snnmap-checkpoint-v999", 1);
+        assert!(matches!(parse_checkpoint(&bad), Err(IoError::Invalid { .. })));
+        // Dimension bomb: 65535x65535 would allocate gigabytes.
+        let bad = good.replacen("\"rows\": 2", "\"rows\": 65535", 1).replacen(
+            "\"cols\": 3",
+            "\"cols\": 65535",
+            1,
+        );
+        assert!(matches!(parse_checkpoint(&bad), Err(IoError::Invalid { .. })));
+        // Out-of-mesh coordinate (render doesn't validate, parse must).
+        let (mut cp2, meta2) = sample();
+        cp2.coords[1] = Coord::new(9, 9);
+        let bad = render_checkpoint(&cp2, &meta2);
+        assert!(matches!(parse_checkpoint(&bad), Err(IoError::Invalid { .. })));
+        // Colliding coordinates.
+        let (mut cp2, meta2) = sample();
+        cp2.coords[1] = cp2.coords[0];
+        let bad = render_checkpoint(&cp2, &meta2);
+        assert!(matches!(parse_checkpoint(&bad), Err(IoError::Invalid { .. })));
+        // Force-table length mismatch.
+        let (mut cp3, meta3) = sample();
+        cp3.forces.pop();
+        let bad = render_checkpoint(&cp3, &meta3);
+        assert!(matches!(parse_checkpoint(&bad), Err(IoError::Invalid { .. })));
+        // Not JSON at all.
+        assert!(matches!(parse_checkpoint("not json"), Err(IoError::Json(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("snnmap_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let (cp, meta) = sample();
+        write_checkpoint(&path, &cp, &meta).unwrap();
+        let (back, back_meta) = read_checkpoint(&path).unwrap();
+        assert_eq!(back_meta, meta);
+        assert_eq!(back.coords, cp.coords);
+    }
+}

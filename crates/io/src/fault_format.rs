@@ -11,8 +11,9 @@ use std::fs;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
-use snnmap_hw::{Coord, FaultMap, Mesh};
+use snnmap_hw::{Coord, FaultMap};
 
+use crate::limits::checked_mesh;
 use crate::IoError;
 
 /// The JSON document shape for a fault map.
@@ -49,15 +50,14 @@ pub fn render_faults(faults: &FaultMap) -> String {
 /// # Errors
 ///
 /// [`IoError::Json`] for malformed JSON; [`IoError::Invalid`] for a wrong
-/// format tag, a bad mesh, out-of-mesh coordinates, or non-adjacent link
-/// endpoints.
+/// format tag, a bad or bomb-sized mesh (see [`crate::MAX_MESH_CORES`]),
+/// out-of-mesh coordinates, or non-adjacent link endpoints.
 pub fn parse_faults(text: &str) -> Result<FaultMap, IoError> {
     let doc: FaultDoc = serde_json::from_str(text)?;
     if doc.format != "snnmap-faults-v1" {
         return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });
     }
-    let mesh = Mesh::new(doc.rows, doc.cols)
-        .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    let mesh = checked_mesh(doc.rows, doc.cols)?;
     let mut fm = FaultMap::new(mesh);
     for (x, y) in doc.dead_cores {
         fm.kill_core(Coord::new(x, y))
@@ -91,7 +91,7 @@ pub fn write_faults(path: &Path, faults: &FaultMap) -> Result<(), IoError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snnmap_hw::{FaultInjector, FaultPattern};
+    use snnmap_hw::{FaultInjector, FaultPattern, Mesh};
 
     fn sample() -> FaultMap {
         let mesh = Mesh::new(3, 4).unwrap();
@@ -132,6 +132,8 @@ mod tests {
         assert!(matches!(parse_faults(out_of_mesh), Err(IoError::Invalid { .. })));
         let not_adjacent = r#"{"format":"snnmap-faults-v1","rows":3,"cols":3,"dead_cores":[],"faulty_links":[[[0,0],[2,2]]]}"#;
         assert!(matches!(parse_faults(not_adjacent), Err(IoError::Invalid { .. })));
+        let bomb = r#"{"format":"snnmap-faults-v1","rows":65535,"cols":65535,"dead_cores":[],"faulty_links":[]}"#;
+        assert!(matches!(parse_faults(bomb), Err(IoError::Invalid { .. })));
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! * **Fault-map JSON** ([`read_faults`] / [`write_faults`]) — dead cores
 //!   and faulty mesh links; deterministic rendering makes equal fault
 //!   maps byte-identical on disk.
+//! * **Checkpoint JSON** ([`read_checkpoint`] / [`write_checkpoint`]) —
+//!   a Force-Directed run frozen at a sweep boundary, with `f64` values
+//!   stored as bit patterns so kill-and-resume is bit-identical to an
+//!   uninterrupted run.
+//!
+//! Every parser treats its input as untrusted: declared sizes are capped
+//! (see [`MAX_MESH_CORES`] / [`MAX_CLUSTERS`]), duplicate declarations
+//! and out-of-range coordinates are typed errors, never panics.
 //!
 //! # PCN format
 //!
@@ -48,14 +56,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod checkpoint_format;
 mod error;
 mod fault_format;
+mod limits;
 mod pcn_format;
 mod placement_format;
 mod trace_format;
 
+pub use checkpoint_format::{
+    parse_checkpoint, read_checkpoint, render_checkpoint, write_checkpoint, CheckpointMeta,
+};
 pub use error::IoError;
 pub use fault_format::{parse_faults, read_faults, render_faults, write_faults};
+pub use limits::{MAX_CLUSTERS, MAX_MESH_CORES};
 pub use pcn_format::{parse_pcn, read_pcn, render_pcn, write_pcn};
 pub use placement_format::{
     parse_placement, read_placement, render_placement, write_placement,

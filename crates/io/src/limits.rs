@@ -1,0 +1,34 @@
+//! Allocation guards for untrusted documents.
+//!
+//! Every parser in this crate allocates buffers sized by numbers read
+//! from the document (`clusters 4294967295`, a 65535×65535 mesh). A
+//! hostile or corrupt file must produce a typed [`IoError`], not a
+//! multi-gigabyte allocation, so declared sizes are capped well above
+//! the paper's 1 M-core scale but far below anything that could hurt.
+
+use snnmap_hw::Mesh;
+
+use crate::IoError;
+
+/// Largest mesh area (rows × cols) a document may declare: 2²⁴ cores,
+/// 16× the paper's million-core target.
+pub const MAX_MESH_CORES: usize = 1 << 24;
+
+/// Largest cluster count a document may declare, matching
+/// [`MAX_MESH_CORES`] (a placement is injective, so more clusters than
+/// cores can never be mapped anyway).
+pub const MAX_CLUSTERS: usize = 1 << 24;
+
+/// Builds the mesh a document declares, refusing dimension bombs.
+pub(crate) fn checked_mesh(rows: u16, cols: u16) -> Result<Mesh, IoError> {
+    let area = rows as usize * cols as usize;
+    if area > MAX_MESH_CORES {
+        return Err(IoError::Invalid {
+            message: format!(
+                "mesh {rows}x{cols} ({area} cores) exceeds the supported \
+                 maximum of {MAX_MESH_CORES}"
+            ),
+        });
+    }
+    Mesh::new(rows, cols).map_err(|e| IoError::Invalid { message: e.to_string() })
+}

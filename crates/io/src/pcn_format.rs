@@ -6,16 +6,21 @@ use std::path::Path;
 
 use snnmap_model::{Pcn, PcnBuilder};
 
+use crate::limits::MAX_CLUSTERS;
 use crate::IoError;
 
 /// Parses a PCN from its text representation (see the crate docs for the
-/// grammar).
+/// grammar). The input is treated as untrusted: the declared cluster
+/// count is capped at [`MAX_CLUSTERS`] so a hostile document cannot force
+/// a huge allocation, and duplicate `clusters` / `cluster <id>` lines are
+/// rejected rather than silently overwriting earlier ones.
 ///
 /// # Errors
 ///
-/// [`IoError::Parse`] with a line number for malformed lines;
-/// [`IoError::Invalid`] for structural violations (edge to an undeclared
-/// cluster, missing header).
+/// [`IoError::Parse`] with a line number for malformed lines, duplicate
+/// declarations, and counts above [`MAX_CLUSTERS`]; [`IoError::Invalid`]
+/// for structural violations (edge to an undeclared cluster, missing
+/// header).
 pub fn parse_pcn(text: &str) -> Result<Pcn, IoError> {
     let mut lines = text
         .lines()
@@ -36,11 +41,13 @@ pub fn parse_pcn(text: &str) -> Result<Pcn, IoError> {
     let mut declared: Option<u32> = None;
     // (neurons, synapses) per cluster; defaulted lazily.
     let mut caps: Vec<(u32, u64)> = Vec::new();
+    // Which clusters already had an explicit `cluster` line.
+    let mut cap_set: Vec<bool> = Vec::new();
     let mut edges: Vec<(u32, u32, f32)> = Vec::new();
 
     for (line_no, line) in lines {
         let mut parts = line.split_whitespace();
-        let kind = parts.next().expect("nonempty line");
+        let Some(kind) = parts.next() else { continue };
         let mut field = |name: &str| {
             parts.next().ok_or(IoError::Parse {
                 line: line_no,
@@ -49,9 +56,24 @@ pub fn parse_pcn(text: &str) -> Result<Pcn, IoError> {
         };
         match kind {
             "clusters" => {
+                if declared.is_some() {
+                    return Err(IoError::Parse {
+                        line: line_no,
+                        message: "duplicate `clusters` directive".into(),
+                    });
+                }
                 let n: u32 = parse_field(field("count")?, line_no, "count")?;
+                if n as usize > MAX_CLUSTERS {
+                    return Err(IoError::Parse {
+                        line: line_no,
+                        message: format!(
+                            "{n} clusters exceed the supported maximum of {MAX_CLUSTERS}"
+                        ),
+                    });
+                }
                 declared = Some(n);
                 caps.resize(n as usize, (1, 0));
+                cap_set.resize(n as usize, false);
             }
             "cluster" => {
                 let id: u32 = parse_field(field("id")?, line_no, "id")?;
@@ -67,6 +89,13 @@ pub fn parse_pcn(text: &str) -> Result<Pcn, IoError> {
                         message: format!("cluster id {id} outside declared count {n}"),
                     });
                 }
+                if cap_set[id as usize] {
+                    return Err(IoError::Parse {
+                        line: line_no,
+                        message: format!("duplicate `cluster {id}` line"),
+                    });
+                }
+                cap_set[id as usize] = true;
                 caps[id as usize] = (neurons, synapses);
             }
             "edge" => {
@@ -202,6 +231,27 @@ mod tests {
         assert!(parse_pcn("pcn v1\ncluster 0 1 1\nclusters 1\n").is_err());
         assert!(parse_pcn("pcn v1\nclusters 1\nedge 0 0 1.0 extra\n").is_err());
         assert!(parse_pcn("pcn v1\nclusters 2\ncluster 5 1 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_adversarial_documents() {
+        // Allocation bomb: u32::MAX clusters would resize `caps` to
+        // ~48 GiB. Must be a typed error, not an OOM.
+        let err = parse_pcn("pcn v1\nclusters 4294967295\n").unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("exceed"), "{message}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Duplicate `clusters` directive (could shrink/grow mid-parse).
+        let err = parse_pcn("pcn v1\nclusters 2\nclusters 3\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+        // Duplicate `cluster <id>` (silent overwrite would hide data).
+        let err =
+            parse_pcn("pcn v1\nclusters 2\ncluster 0 1 1\ncluster 0 9 9\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 4, .. }), "{err}");
     }
 
     #[test]

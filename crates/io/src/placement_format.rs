@@ -4,8 +4,9 @@ use std::fs;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
-use snnmap_hw::{Coord, Mesh, Placement};
+use snnmap_hw::{Coord, Placement};
 
+use crate::limits::checked_mesh;
 use crate::IoError;
 
 /// The JSON document shape for a placement.
@@ -31,12 +32,13 @@ pub fn render_placement(placement: &Placement) -> String {
     serde_json::to_string_pretty(&doc).expect("placement doc always serializes")
 }
 
-/// Parses a placement from JSON.
+/// Parses a placement from JSON, treating it as untrusted input.
 ///
 /// # Errors
 ///
 /// [`IoError::Json`] for malformed JSON, [`IoError::Invalid`] for wrong
-/// format tags, out-of-mesh coordinates, or occupancy violations.
+/// format tags, dimension bombs (see [`crate::MAX_MESH_CORES`]),
+/// out-of-mesh coordinates, or occupancy violations.
 pub fn parse_placement(text: &str) -> Result<Placement, IoError> {
     let doc: PlacementDoc = serde_json::from_str(text)?;
     if doc.format != "snnmap-placement-v1" {
@@ -44,8 +46,7 @@ pub fn parse_placement(text: &str) -> Result<Placement, IoError> {
             message: format!("unknown format tag `{}`", doc.format),
         });
     }
-    let mesh = Mesh::new(doc.rows, doc.cols)
-        .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    let mesh = checked_mesh(doc.rows, doc.cols)?;
     if doc.coords.len() > mesh.len() {
         return Err(IoError::Invalid {
             message: format!("{} clusters exceed {} cores", doc.coords.len(), mesh.len()),
@@ -82,6 +83,7 @@ pub fn write_placement(path: &Path, placement: &Placement) -> Result<(), IoError
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snnmap_hw::Mesh;
 
     fn sample() -> Placement {
         let mesh = Mesh::new(2, 3).unwrap();
@@ -112,6 +114,10 @@ mod tests {
         assert!(matches!(parse_placement(collision), Err(IoError::Invalid { .. })));
         let overfull = r#"{"format":"snnmap-placement-v1","rows":1,"cols":1,"coords":[[0,0],null]}"#;
         assert!(matches!(parse_placement(overfull), Err(IoError::Invalid { .. })));
+        // Dimension bomb: would allocate a 65535x65535 occupancy grid
+        // (~4 billion slots) before any coordinate check.
+        let bomb = r#"{"format":"snnmap-placement-v1","rows":65535,"cols":65535,"coords":[]}"#;
+        assert!(matches!(parse_placement(bomb), Err(IoError::Invalid { .. })));
     }
 
     #[test]

@@ -31,7 +31,7 @@ impl TraceSummary {
 /// The expected JSON shape of a schema field, derived from its name.
 fn check_type(event: &str, field: &str, v: &Value, line: usize) -> Result<(), IoError> {
     let ok = match field {
-        "event" | "tool" | "mesh" | "name" | "potential" | "tension" | "scope" => {
+        "event" | "tool" | "mesh" | "name" | "potential" | "tension" | "scope" | "stop" => {
             v.as_str().is_some()
         }
         "converged" | "masked" => matches!(v, Value::Bool(_)),
@@ -70,7 +70,7 @@ fn check_type(event: &str, field: &str, v: &Value, line: usize) -> Result<(), Io
 /// ```
 /// use snnmap_io::validate_trace;
 ///
-/// let text = "{\"schema\":1,\"event\":\"run\",\"tool\":\"map\",\"clusters\":2,\
+/// let text = "{\"schema\":2,\"event\":\"run\",\"tool\":\"map\",\"clusters\":2,\
 ///             \"connections\":1,\"mesh\":\"2x2\",\"threads_requested\":0,\
 ///             \"threads_resolved\":1}\n\
 ///             {\"event\":\"phase\",\"name\":\"toposort\"}\n";
@@ -216,6 +216,48 @@ mod tests {
     }
 
     #[test]
+    fn accepts_the_resilience_events() {
+        use snnmap_trace::{CheckpointEvent, FdDoneEvent, RepairEvent, ResumeEvent};
+        let mut sink = JsonlSink::new(Vec::new()).with_timing(false);
+        sink.record(&TraceEvent::Run(RunEvent {
+            tool: "resume".into(),
+            clusters: 4,
+            connections: 6,
+            mesh_rows: 2,
+            mesh_cols: 2,
+            threads_requested: 0,
+            threads_resolved: 2,
+        }));
+        sink.record(&TraceEvent::Resume(ResumeEvent { sweep: 3, swaps: 9, initial_energy: 2.0 }));
+        sink.record(&TraceEvent::Checkpoint(CheckpointEvent { sweep: 5, swaps: 12, energy: 1.5 }));
+        sink.record(&TraceEvent::Repair(RepairEvent {
+            evicted: 1,
+            moved: 4,
+            region_cores: 25,
+            energy_before: 2.0,
+            energy_after: 1.8,
+        }));
+        sink.record(&TraceEvent::FdDone(FdDoneEvent {
+            iterations: 5,
+            swaps: 12,
+            initial_energy: 2.0,
+            final_energy: 1.5,
+            converged: false,
+            stop: "deadline_expired".into(),
+        }));
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let s = validate_trace(&text).unwrap();
+        assert_eq!(s.lines, 5);
+        for name in ["resume", "checkpoint", "repair", "fd_done"] {
+            assert_eq!(s.count(name), 1, "{name}");
+        }
+        // `stop` must be a string, not a number.
+        let bad = text.replacen("\"stop\":\"deadline_expired\"", "\"stop\":3", 1);
+        assert_ne!(bad, text);
+        assert!(validate_trace(&bad).is_err());
+    }
+
+    #[test]
     fn rejects_streams_without_a_run_header() {
         let err = validate_trace("{\"event\":\"phase\",\"name\":\"fd\"}\n").unwrap_err();
         assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
@@ -223,7 +265,11 @@ mod tests {
 
     #[test]
     fn rejects_wrong_schema_version_and_unknown_events() {
-        let bad_version = sample(false).replacen("\"schema\":1", "\"schema\":2", 1);
+        // Version-agnostic: bump whatever version the sink stamped.
+        let good = format!("\"schema\":{}", schema::VERSION);
+        let bad = format!("\"schema\":{}", schema::VERSION + 1);
+        let bad_version = sample(false).replacen(&good, &bad, 1);
+        assert!(bad_version != sample(false), "replacement must have applied");
         assert!(validate_trace(&bad_version).is_err());
         let unknown = format!("{}{}\n", sample(false), "{\"event\":\"mystery\"}");
         assert!(validate_trace(&unknown).is_err());

@@ -33,6 +33,29 @@ pub enum ModelError {
         /// Number of layers.
         layers: usize,
     },
+    /// A layer chain needs at least two layers.
+    TooFewLayers {
+        /// Layers given.
+        layers: usize,
+    },
+    /// A layer declared zero neurons.
+    EmptyLayer {
+        /// Index of the empty layer.
+        index: usize,
+    },
+    /// A spec's per-neuron fan-in was zero or exceeded its narrowest
+    /// source layer.
+    InvalidFanIn {
+        /// Requested fan-in.
+        fan_in: u64,
+        /// Largest valid fan-in for the spec.
+        max: u64,
+    },
+    /// An average degree / fan-out was negative or non-finite.
+    InvalidDegree {
+        /// The offending value.
+        degree: f64,
+    },
     /// A window connection's fan-in exceeds the source layer size.
     FanInTooLarge {
         /// Requested fan-in.
@@ -69,6 +92,18 @@ impl fmt::Display for ModelError {
             ModelError::InvalidConnection { from, to, layers } => {
                 write!(f, "connection {from} -> {to} invalid for {layers} layers")
             }
+            ModelError::TooFewLayers { layers } => {
+                write!(f, "a layer chain needs at least two layers, got {layers}")
+            }
+            ModelError::EmptyLayer { index } => {
+                write!(f, "layer {index} has no neurons")
+            }
+            ModelError::InvalidFanIn { fan_in, max } => {
+                write!(f, "fan-in {fan_in} must be in 1..={max}")
+            }
+            ModelError::InvalidDegree { degree } => {
+                write!(f, "average degree {degree} is not a finite nonnegative number")
+            }
             ModelError::FanInTooLarge { fan_in, layer } => {
                 write!(f, "window fan-in {fan_in} exceeds source layer of {layer} neurons")
             }
@@ -95,6 +130,10 @@ mod tests {
             ModelError::InvalidSynapse { from: 1, to: 9, neurons: 5 },
             ModelError::InvalidWeight { weight: f32::NAN },
             ModelError::InvalidConnection { from: 2, to: 2, layers: 3 },
+            ModelError::TooFewLayers { layers: 1 },
+            ModelError::EmptyLayer { index: 2 },
+            ModelError::InvalidFanIn { fan_in: 0, max: 8 },
+            ModelError::InvalidDegree { degree: f64::NAN },
             ModelError::FanInTooLarge { fan_in: 10, layer: 5 },
             ModelError::TooLargeToMaterialize { synapses: 1 << 40, limit: 1 << 30 },
             ModelError::TooManyNeurons { neurons: 1 << 33 },

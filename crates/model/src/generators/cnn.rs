@@ -46,45 +46,59 @@ impl CnnSpec {
     /// A convolutional chain with the given layer widths and per-neuron
     /// fan-in.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fewer than two layers, a zero-width layer, or a fan-in
-    /// of zero or exceeding the narrowest source layer is given.
-    pub fn new(layers: &[u64], fan_in: u64) -> Self {
-        assert!(layers.len() >= 2, "a CNN needs at least two layers");
-        assert!(layers.iter().all(|&l| l > 0), "layers must be nonempty");
-        let min_src = layers[..layers.len() - 1].iter().copied().min().expect("two layers");
-        assert!(
-            fan_in > 0 && fan_in <= min_src,
-            "fan-in {fan_in} must be in 1..={min_src}"
-        );
-        Self {
+    /// [`ModelError::TooFewLayers`] for fewer than two layers,
+    /// [`ModelError::EmptyLayer`] for any zero-width layer, and
+    /// [`ModelError::InvalidFanIn`] for a fan-in of zero or exceeding the
+    /// narrowest source layer.
+    pub fn new(layers: &[u64], fan_in: u64) -> Result<Self, ModelError> {
+        if layers.len() < 2 {
+            return Err(ModelError::TooFewLayers { layers: layers.len() });
+        }
+        if let Some(index) = layers.iter().position(|&l| l == 0) {
+            return Err(ModelError::EmptyLayer { index });
+        }
+        let min_src = layers[..layers.len() - 1].iter().copied().min().unwrap_or(0);
+        if fan_in == 0 || fan_in > min_src {
+            return Err(ModelError::InvalidFanIn { fan_in, max: min_src });
+        }
+        Ok(Self {
             name: format!("CNN_{}", layers.iter().sum::<u64>()),
             layers: layers.to_vec(),
             fan_in,
-        }
+        })
     }
 
     /// A uniform `depth × width` CNN with a display name.
-    pub fn uniform(name: impl Into<String>, depth: usize, width: u64, fan_in: u64) -> Self {
-        let mut s = Self::new(&vec![width; depth], fan_in);
+    ///
+    /// # Errors
+    ///
+    /// As [`CnnSpec::new`] for a degenerate shape.
+    pub fn uniform(
+        name: impl Into<String>,
+        depth: usize,
+        width: u64,
+        fan_in: u64,
+    ) -> Result<Self, ModelError> {
+        let mut s = Self::new(&vec![width; depth], fan_in)?;
         s.name = name.into();
-        s
+        Ok(s)
     }
 
     /// Table 3 row `CNN_65K`: 4 × 16 384, fan-in 41 (2.0 M synapses).
     pub fn cnn_65k() -> Self {
-        Self::uniform("CNN_65K", 4, 16_384, 41)
+        Self::uniform("CNN_65K", 4, 16_384, 41).expect("preset shape is valid")
     }
 
     /// Table 3 row `CNN_16M`: 64 × 262 144, fan-in 32 (528 M synapses).
     pub fn cnn_16m() -> Self {
-        Self::uniform("CNN_16M", 64, 262_144, 32)
+        Self::uniform("CNN_16M", 64, 262_144, 32).expect("preset shape is valid")
     }
 
     /// Table 3 row `CNN_268M`: 1024 × 262 144, fan-in 30 (8.0 B synapses).
     pub fn cnn_268m() -> Self {
-        Self::uniform("CNN_268M", 1024, 262_144, 30)
+        Self::uniform("CNN_268M", 1024, 262_144, 30).expect("preset shape is valid")
     }
 
     /// The display name.
@@ -161,7 +175,7 @@ mod tests {
 
     #[test]
     fn cnn_is_sparser_than_dnn() {
-        let cnn = CnnSpec::new(&[64, 64, 64], 9).build(0).unwrap();
+        let cnn = CnnSpec::new(&[64, 64, 64], 9).unwrap().build(0).unwrap();
         assert_eq!(cnn.num_synapses(), 2 * 64 * 9);
         // Window of 9 per neuron vs 64 for a dense layer.
         assert_eq!(cnn.fan_in(64), 9);
@@ -169,8 +183,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fan-in")]
-    fn rejects_oversized_fan_in() {
-        let _ = CnnSpec::new(&[8, 8], 9);
+    fn degenerate_shapes_are_typed_errors() {
+        assert_eq!(
+            CnnSpec::new(&[8, 8], 9),
+            Err(ModelError::InvalidFanIn { fan_in: 9, max: 8 })
+        );
+        assert_eq!(
+            CnnSpec::new(&[8, 8], 0),
+            Err(ModelError::InvalidFanIn { fan_in: 0, max: 8 })
+        );
+        assert_eq!(CnnSpec::new(&[8], 2), Err(ModelError::TooFewLayers { layers: 1 }));
+        assert_eq!(CnnSpec::new(&[8, 0], 2), Err(ModelError::EmptyLayer { index: 1 }));
     }
 }

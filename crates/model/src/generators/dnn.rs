@@ -50,40 +50,50 @@ pub struct DnnSpec {
 impl DnnSpec {
     /// A DNN with the given layer widths.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fewer than two layers or any zero-width layer is given.
-    pub fn new(layers: &[u64]) -> Self {
-        assert!(layers.len() >= 2, "a DNN needs at least two layers");
-        assert!(layers.iter().all(|&l| l > 0), "layers must be nonempty");
-        Self { name: format!("DNN_{}", layers.iter().sum::<u64>()), layers: layers.to_vec() }
+    /// [`ModelError::TooFewLayers`] for fewer than two layers,
+    /// [`ModelError::EmptyLayer`] for any zero-width layer.
+    pub fn new(layers: &[u64]) -> Result<Self, ModelError> {
+        if layers.len() < 2 {
+            return Err(ModelError::TooFewLayers { layers: layers.len() });
+        }
+        if let Some(index) = layers.iter().position(|&l| l == 0) {
+            return Err(ModelError::EmptyLayer { index });
+        }
+        Ok(Self { name: format!("DNN_{}", layers.iter().sum::<u64>()), layers: layers.to_vec() })
     }
 
     /// A uniform `depth × width` DNN with a display name.
-    pub fn uniform(name: impl Into<String>, depth: usize, width: u64) -> Self {
-        assert!(depth >= 2 && width > 0);
-        Self { name: name.into(), layers: vec![width; depth] }
+    ///
+    /// # Errors
+    ///
+    /// As [`DnnSpec::new`] for a degenerate shape.
+    pub fn uniform(name: impl Into<String>, depth: usize, width: u64) -> Result<Self, ModelError> {
+        let mut s = Self::new(&vec![width; depth])?;
+        s.name = name.into();
+        Ok(s)
     }
 
     /// Table 3 row `DNN_65K`: 4 layers × 16 384 neurons.
     pub fn dnn_65k() -> Self {
-        Self::uniform("DNN_65K", 4, 16_384)
+        Self::uniform("DNN_65K", 4, 16_384).expect("preset shape is valid")
     }
 
     /// Table 3 row `DNN_16M`: 64 layers × 262 144 neurons.
     pub fn dnn_16m() -> Self {
-        Self::uniform("DNN_16M", 64, 262_144)
+        Self::uniform("DNN_16M", 64, 262_144).expect("preset shape is valid")
     }
 
     /// Table 3 row `DNN_268M`: 1024 layers × 262 144 neurons.
     pub fn dnn_268m() -> Self {
-        Self::uniform("DNN_268M", 1024, 262_144)
+        Self::uniform("DNN_268M", 1024, 262_144).expect("preset shape is valid")
     }
 
     /// Table 3 row `DNN_4B`: 16 384 layers × 262 144 neurons — the
     /// paper's 4-billion-neuron headline benchmark.
     pub fn dnn_4b() -> Self {
-        Self::uniform("DNN_4B", 16_384, 262_144)
+        Self::uniform("DNN_4B", 16_384, 262_144).expect("preset shape is valid")
     }
 
     /// The display name.
@@ -152,16 +162,16 @@ mod tests {
 
     #[test]
     fn rates_are_seed_deterministic() {
-        let a = DnnSpec::new(&[10, 20, 10]).layer_graph(9);
-        let b = DnnSpec::new(&[10, 20, 10]).layer_graph(9);
+        let a = DnnSpec::new(&[10, 20, 10]).unwrap().layer_graph(9);
+        let b = DnnSpec::new(&[10, 20, 10]).unwrap().layer_graph(9);
         assert_eq!(a, b);
-        let c = DnnSpec::new(&[10, 20, 10]).layer_graph(10);
+        let c = DnnSpec::new(&[10, 20, 10]).unwrap().layer_graph(10);
         assert_ne!(a, c);
     }
 
     #[test]
     fn small_spec_materializes() {
-        let snn = DnnSpec::new(&[32, 64, 16]).build(3).unwrap();
+        let snn = DnnSpec::new(&[32, 64, 16]).unwrap().build(3).unwrap();
         assert_eq!(snn.num_neurons(), 112);
         assert_eq!(snn.num_synapses(), 32 * 64 + 64 * 16);
     }
@@ -175,8 +185,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least two layers")]
-    fn rejects_single_layer() {
-        let _ = DnnSpec::new(&[10]);
+    fn degenerate_shapes_are_typed_errors() {
+        assert_eq!(DnnSpec::new(&[10]), Err(ModelError::TooFewLayers { layers: 1 }));
+        assert_eq!(DnnSpec::new(&[]), Err(ModelError::TooFewLayers { layers: 0 }));
+        assert_eq!(DnnSpec::new(&[10, 0, 5]), Err(ModelError::EmptyLayer { index: 1 }));
+        assert_eq!(DnnSpec::uniform("X", 1, 10), Err(ModelError::TooFewLayers { layers: 1 }));
     }
 }

@@ -16,7 +16,9 @@ use crate::{ModelError, Pcn, PcnBuilder, SnnBuilder, SnnNetwork};
 ///
 /// # Errors
 ///
-/// [`ModelError::EmptyNetwork`] when `neurons == 0`.
+/// [`ModelError::EmptyNetwork`] when `neurons == 0`;
+/// [`ModelError::InvalidDegree`] when `avg_fan_out` is negative or
+/// non-finite.
 ///
 /// # Examples
 ///
@@ -37,7 +39,9 @@ pub fn random_snn(
     if neurons == 0 {
         return Err(ModelError::EmptyNetwork);
     }
-    assert!(avg_fan_out >= 0.0 && avg_fan_out.is_finite());
+    if !(avg_fan_out >= 0.0 && avg_fan_out.is_finite()) {
+        return Err(ModelError::InvalidDegree { degree: avg_fan_out });
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut b = SnnBuilder::with_capacity(neurons, (neurons as f64 * avg_fan_out) as usize);
     for u in 0..neurons {
@@ -63,7 +67,9 @@ pub fn random_snn(
 ///
 /// # Errors
 ///
-/// [`ModelError::EmptyNetwork`] when `clusters == 0`.
+/// [`ModelError::EmptyNetwork`] when `clusters == 0`;
+/// [`ModelError::InvalidDegree`] when `avg_degree` is negative or
+/// non-finite.
 ///
 /// # Examples
 ///
@@ -78,7 +84,9 @@ pub fn random_pcn(clusters: u32, avg_degree: f64, seed: u64) -> Result<Pcn, Mode
     if clusters == 0 {
         return Err(ModelError::EmptyNetwork);
     }
-    assert!(avg_degree >= 0.0 && avg_degree.is_finite());
+    if !(avg_degree >= 0.0 && avg_degree.is_finite()) {
+        return Err(ModelError::InvalidDegree { degree: avg_degree });
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9C4);
     let mut b = PcnBuilder::with_capacity(clusters as usize, (clusters as f64 * avg_degree) as usize);
     for _ in 0..clusters {
@@ -140,6 +148,17 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter_edges().all(|(f, t, _)| f != t));
         assert_eq!(a.intra_traffic(), 0.0);
+    }
+
+    #[test]
+    fn bad_degrees_are_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            assert!(matches!(
+                random_snn(10, bad, 5, 0),
+                Err(ModelError::InvalidDegree { .. })
+            ));
+            assert!(matches!(random_pcn(10, bad, 0), Err(ModelError::InvalidDegree { .. })));
+        }
     }
 
     #[test]

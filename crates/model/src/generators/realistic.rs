@@ -336,14 +336,12 @@ impl RealisticModel {
                 (z(78_400), z(117_600), 192, 576),       // double 3x3 branch
                 (z(39_200), z(39_200), 9, 192),          // pool -> 1x1 branch
             ] {
-                let mut mid_id = None;
-                for &inp in &inputs {
-                    match mid_id {
-                        Some(m) => s.win_t(inp, m, f1, 24),
-                        None => mid_id = Some(s.win_layer_t(inp, mid, f1, 24)),
-                    }
+                let mut it = inputs.iter();
+                let Some(&first) = it.next() else { continue };
+                let m = s.win_layer_t(first, mid, f1, 24);
+                for &inp in it {
+                    s.win_t(inp, m, f1, 24);
                 }
-                let m = mid_id.expect("at least one input");
                 outs.push(s.win_layer_t(m, out, f2, 24));
             }
             inputs = outs;
@@ -365,14 +363,12 @@ impl RealisticModel {
                 (z(36_992), z(55_488), 896, 896),
                 (z(55_488), z(55_488), 9, 768),
             ] {
-                let mut mid_id = None;
-                for &inp in &inputs {
-                    match mid_id {
-                        Some(m) => s.win_t(inp, m, f1, 24),
-                        None => mid_id = Some(s.win_layer_t(inp, mid, f1, 24)),
-                    }
+                let mut it = inputs.iter();
+                let Some(&first) = it.next() else { continue };
+                let m = s.win_layer_t(first, mid, f1, 24);
+                for &inp in it {
+                    s.win_t(inp, m, f1, 24);
                 }
-                let m = mid_id.expect("at least one input");
                 outs.push(s.win_layer_t(m, out, f2, 24));
             }
             inputs = outs;
@@ -393,14 +389,12 @@ impl RealisticModel {
                 (z(28_672), z(49_152), 1280, 1344),
                 (z(12_288), z(12_288), 9, 1280),
             ] {
-                let mut mid_id = None;
-                for &inp in &inputs {
-                    match mid_id {
-                        Some(m) => s.win_t(inp, m, f1, 24),
-                        None => mid_id = Some(s.win_layer_t(inp, mid, f1, 24)),
-                    }
+                let mut it = inputs.iter();
+                let Some(&first) = it.next() else { continue };
+                let m = s.win_layer_t(first, mid, f1, 24);
+                for &inp in it {
+                    s.win_t(inp, m, f1, 24);
                 }
-                let m = mid_id.expect("at least one input");
                 outs.push(s.win_layer_t(m, out, f2, 24));
             }
             inputs = outs;

@@ -561,7 +561,7 @@ fn band_overlap_integral(p0: f64, p1: f64, s: f64, f: f64, q0: f64, q1: f64) -> 
     }
     let mut pts = vec![p0, p1, q0 / s, q1 / s, (q0 - f) / s, (q1 - f) / s];
     pts.retain(|x| x.is_finite());
-    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    pts.sort_by(f64::total_cmp);
     let mut total = 0.0;
     for w in pts.windows(2) {
         let (a, b) = (w[0].max(p0), w[1].min(p1));

@@ -680,6 +680,59 @@ mod tests {
     }
 
     #[test]
+    fn enclosed_destination_is_unroutable_without_looping() {
+        // The destination itself is healthy but every core around it is
+        // dead: injection must fail fast with a typed error rather than
+        // loop or panic, and the network must stay empty.
+        let mesh = Mesh::new(5, 5).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        for c in [Coord::new(1, 2), Coord::new(3, 2), Coord::new(2, 1), Coord::new(2, 3)] {
+            fm.kill_core(c).unwrap();
+        }
+        let mut s = NocSim::with_faults(mesh, NocConfig::default(), &fm).unwrap();
+        assert_eq!(
+            s.inject(Coord::new(0, 0), Coord::new(2, 2)),
+            Err(NocError::Unroutable { src: Coord::new(0, 0), dst: Coord::new(2, 2) })
+        );
+        // Outbound traffic from inside the enclosure is equally refused.
+        assert_eq!(
+            s.inject(Coord::new(2, 2), Coord::new(0, 0)),
+            Err(NocError::Unroutable { src: Coord::new(2, 2), dst: Coord::new(0, 0) })
+        );
+        assert_eq!(s.stats().injected, 0);
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.drain(10), "an empty network drains immediately");
+        // Traffic that skirts the enclosure still flows, and its forced
+        // detours are accounted.
+        assert!(s.inject(Coord::new(2, 0), Coord::new(2, 4)).unwrap());
+        assert!(s.drain(100));
+        assert_eq!(s.stats().delivered, 1);
+        assert!(s.stats().detour_hops >= 2, "detour {}", s.stats().detour_hops);
+    }
+
+    #[test]
+    fn link_severed_destination_is_unroutable() {
+        // All four links of a healthy core fail: the core is alive but
+        // unreachable, and injection toward it reports Unroutable.
+        let mesh = Mesh::new(3, 3).unwrap();
+        let mut fm = FaultMap::new(mesh);
+        let dst = Coord::new(1, 1);
+        for nb in [Coord::new(0, 1), Coord::new(2, 1), Coord::new(1, 0), Coord::new(1, 2)] {
+            fm.fail_link(dst, nb).unwrap();
+        }
+        let mut s = NocSim::with_faults(mesh, NocConfig::default(), &fm).unwrap();
+        assert_eq!(
+            s.inject(Coord::new(0, 0), dst),
+            Err(NocError::Unroutable { src: Coord::new(0, 0), dst })
+        );
+        // A self-addressed spike never leaves the router, so it still
+        // delivers.
+        assert!(s.inject(dst, dst).unwrap());
+        assert!(s.drain(10));
+        assert_eq!(s.stats().delivered, 1);
+    }
+
+    #[test]
     fn faulty_link_forces_a_counted_detour() {
         let mesh = Mesh::new(3, 3).unwrap();
         let mut fm = FaultMap::new(mesh);

@@ -92,6 +92,46 @@ pub struct FdDoneEvent {
     pub final_energy: f64,
     /// Whether the positive-tension queue drained.
     pub converged: bool,
+    /// Stop reason label (`converged`, `deadline_expired`,
+    /// `sweep_cap_reached`, `cancelled`).
+    pub stop: String,
+}
+
+/// A checkpoint snapshot was flushed (mirrors `FdCheckpoint` counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEvent {
+    /// Sweeps completed at the snapshot.
+    pub sweep: u64,
+    /// Swaps applied at the snapshot.
+    pub swaps: u64,
+    /// System energy at the snapshot.
+    pub energy: f64,
+}
+
+/// An FD run resumed from a checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeEvent {
+    /// Sweeps already completed before this invocation.
+    pub sweep: u64,
+    /// Swaps already applied before this invocation.
+    pub swaps: u64,
+    /// System energy of the original input placement.
+    pub initial_energy: f64,
+}
+
+/// An incremental fault repair completed (mirrors `RepairReport`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairEvent {
+    /// Clusters evicted off newly faulty hardware.
+    pub evicted: u64,
+    /// Clusters whose coordinate changed overall.
+    pub moved: u64,
+    /// Cores in the active repair region.
+    pub region_cores: u64,
+    /// System energy before the repair.
+    pub energy_before: f64,
+    /// System energy after the repair.
+    pub energy_after: f64,
 }
 
 /// NoC simulation counters (mirrors `NocStats`).
@@ -141,6 +181,12 @@ pub enum TraceEvent {
     FdSweep(FdSweepEvent),
     /// FD terminal statistics.
     FdDone(FdDoneEvent),
+    /// Checkpoint snapshot flushed.
+    Checkpoint(CheckpointEvent),
+    /// Run resumed from a checkpoint.
+    Resume(ResumeEvent),
+    /// Incremental fault repair completed.
+    Repair(RepairEvent),
     /// NoC simulation counters.
     Noc(NocEvent),
     /// Thread-pool utilization delta.
@@ -156,6 +202,9 @@ impl TraceEvent {
             TraceEvent::FdConfig(_) => "fd_config",
             TraceEvent::FdSweep(_) => "fd_sweep",
             TraceEvent::FdDone(_) => "fd_done",
+            TraceEvent::Checkpoint(_) => "checkpoint",
+            TraceEvent::Resume(_) => "resume",
+            TraceEvent::Repair(_) => "repair",
             TraceEvent::Noc(_) => "noc",
             TraceEvent::Par(_) => "par",
         }
@@ -178,11 +227,13 @@ impl TraceEvent {
     ///     initial_energy: 8.0,
     ///     final_energy: 2.5,
     ///     converged: true,
+    ///     stop: "converged".into(),
     /// });
     /// assert_eq!(
     ///     e.render(false),
     ///     "{\"event\":\"fd_done\",\"iterations\":3,\"swaps\":10,\
-    ///      \"initial_energy\":8,\"final_energy\":2.5,\"converged\":true}"
+    ///      \"initial_energy\":8,\"final_energy\":2.5,\"converged\":true,\
+    ///      \"stop\":\"converged\"}"
     /// );
     /// ```
     pub fn render(&self, timing: bool) -> String {
@@ -237,6 +288,27 @@ impl TraceEvent {
                 w.field_f64("initial_energy", e.initial_energy);
                 w.field_f64("final_energy", e.final_energy);
                 w.field_bool("converged", e.converged);
+                w.field_str("stop", &e.stop);
+            }
+            TraceEvent::Checkpoint(e) => {
+                w.field_str("event", self.name());
+                w.field_u64("sweep", e.sweep);
+                w.field_u64("swaps", e.swaps);
+                w.field_f64("energy", e.energy);
+            }
+            TraceEvent::Resume(e) => {
+                w.field_str("event", self.name());
+                w.field_u64("sweep", e.sweep);
+                w.field_u64("swaps", e.swaps);
+                w.field_f64("initial_energy", e.initial_energy);
+            }
+            TraceEvent::Repair(e) => {
+                w.field_str("event", self.name());
+                w.field_u64("evicted", e.evicted);
+                w.field_u64("moved", e.moved);
+                w.field_u64("region_cores", e.region_cores);
+                w.field_f64("energy_before", e.energy_before);
+                w.field_f64("energy_after", e.energy_after);
             }
             TraceEvent::Noc(e) => {
                 w.field_str("event", self.name());
@@ -359,7 +431,8 @@ mod tests {
             threads_resolved: 4,
         });
         let line = e.render(true);
-        assert!(line.starts_with("{\"schema\":1,\"event\":\"run\""), "{line}");
+        let lead = format!("{{\"schema\":{},\"event\":\"run\"", crate::schema::VERSION);
+        assert!(line.starts_with(&lead), "{line}");
         assert!(line.contains("\"mesh\":\"4x8\""), "{line}");
     }
 

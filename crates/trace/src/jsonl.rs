@@ -26,6 +26,7 @@ use crate::{TraceEvent, TraceSink};
 ///     initial_energy: 0.0,
 ///     final_energy: 0.0,
 ///     converged: true,
+///     stop: "converged".into(),
 /// }));
 /// let bytes = sink.finish()?;
 /// assert_eq!(String::from_utf8(bytes)?.lines().count(), 1);

@@ -49,8 +49,8 @@ mod memory;
 pub use alloc::{snapshot as alloc_snapshot, AllocSnapshot, CountingAlloc};
 pub use digest::{sha256_hex, Sha256};
 pub use event::{
-    FdConfigEvent, FdDoneEvent, FdSweepEvent, NocEvent, ParEvent, PhaseEvent, RunEvent,
-    TraceEvent,
+    CheckpointEvent, FdConfigEvent, FdDoneEvent, FdSweepEvent, NocEvent, ParEvent, PhaseEvent,
+    RepairEvent, ResumeEvent, RunEvent, TraceEvent,
 };
 pub use jsonl::JsonlSink;
 pub use memory::MemorySink;
@@ -124,7 +124,10 @@ pub fn time_phase<S: TraceSink + ?Sized, T>(sink: &mut S, name: &str, f: impl Fn
 /// the timing-only fields a `--trace-timing off` stream omits.
 pub mod schema {
     /// Schema version stamped into every `run` header line.
-    pub const VERSION: u64 = 1;
+    ///
+    /// v2 added the resilient-execution vocabulary: the `fd_done.stop`
+    /// field and the `checkpoint` / `resume` / `repair` events.
+    pub const VERSION: u64 = 2;
 
     /// Phase-name vocabulary used by the shipped pipeline. Custom phases
     /// are permitted (the field is free-form), but these are the names
@@ -181,7 +184,22 @@ pub mod schema {
         ),
         (
             "fd_done",
-            &["event", "iterations", "swaps", "initial_energy", "final_energy", "converged"],
+            &[
+                "event",
+                "iterations",
+                "swaps",
+                "initial_energy",
+                "final_energy",
+                "converged",
+                "stop",
+            ],
+            &[],
+        ),
+        ("checkpoint", &["event", "sweep", "swaps", "energy"], &[]),
+        ("resume", &["event", "sweep", "swaps", "initial_energy"], &[]),
+        (
+            "repair",
+            &["event", "evicted", "moved", "region_cores", "energy_before", "energy_after"],
             &[],
         ),
         (
@@ -241,7 +259,18 @@ mod tests {
 
     #[test]
     fn schema_covers_every_event_kind() {
-        for name in ["run", "phase", "fd_config", "fd_sweep", "fd_done", "noc", "par"] {
+        for name in [
+            "run",
+            "phase",
+            "fd_config",
+            "fd_sweep",
+            "fd_done",
+            "checkpoint",
+            "resume",
+            "repair",
+            "noc",
+            "par",
+        ] {
             let (required, _) = schema::fields(name).expect(name);
             assert!(required.contains(&"event"), "{name}");
         }
@@ -293,6 +322,16 @@ mod tests {
                 initial_energy: 0.0,
                 final_energy: 0.0,
                 converged: true,
+                stop: "converged".into(),
+            }),
+            TraceEvent::Checkpoint(CheckpointEvent { sweep: 1, swaps: 2, energy: 0.5 }),
+            TraceEvent::Resume(ResumeEvent { sweep: 1, swaps: 2, initial_energy: 0.5 }),
+            TraceEvent::Repair(RepairEvent {
+                evicted: 1,
+                moved: 2,
+                region_cores: 3,
+                energy_before: 1.0,
+                energy_after: 0.5,
             }),
             TraceEvent::Noc(NocEvent {
                 cycles: 1,

@@ -11,7 +11,7 @@ use snnmap::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe an SNN application: a small dense network, materialized
     //    neuron by neuron (G_SNN of the paper, §3.2).
-    let snn = DnnSpec::new(&[256, 512, 512, 128]).build(42)?;
+    let snn = DnnSpec::new(&[256, 512, 512, 128])?.build(42)?;
     println!("application: {snn}");
 
     // 2. Partition it into per-core clusters with Algorithm 1 under the

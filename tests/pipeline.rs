@@ -15,7 +15,8 @@ fn full_pipeline_on_materialized_dnn() {
     // Materialize -> Algorithm 1 -> HSC+FD -> metrics, checking every
     // interface contract along the way.
     let (con, cost) = paper_constraints();
-    let snn = DnnSpec::new(&[512, 1024, 512, 128]).build(1).expect("small enough");
+    let snn =
+        DnnSpec::new(&[512, 1024, 512, 128]).expect("valid shape").build(1).expect("small enough");
     let pcn = partition(&snn, con).expect("partitions");
     assert_eq!(pcn.total_neurons(), snn.num_neurons() as u64);
     assert!(
@@ -37,7 +38,7 @@ fn analytic_and_materialized_paths_agree_end_to_end() {
     // The same application through both partitioning paths must produce
     // the same PCN shape and, after identical mapping, identical energy.
     let (con, cost) = paper_constraints();
-    let spec = DnnSpec::new(&[300, 700, 300]);
+    let spec = DnnSpec::new(&[300, 700, 300]).expect("valid shape");
     let graph = spec.layer_graph(3);
     let snn = graph.materialize(10_000_000).expect("small enough");
 

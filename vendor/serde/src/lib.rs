@@ -364,6 +364,20 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) if items.len() == N => {
+                let parsed = items.iter().map(T::from_value).collect::<Result<Vec<_>, _>>()?;
+                parsed
+                    .try_into()
+                    .map_err(|_| Error::custom(format!("expected {N}-element array")))
+            }
+            other => Err(Error::custom(format!("expected {N}-element array, got {other:?}"))),
+        }
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
