@@ -9,7 +9,7 @@ use snnmap_baselines::{
 };
 use snnmap_core::{
     CheckpointWriter, CoreError, FdCheckpoint, FdRunOpts, InitialPlacement, MapOutcome, Mapper,
-    Potential,
+    Potential, StopReason,
 };
 use snnmap_hw::{
     CoreConstraints, CostModel, FaultInjector, FaultMap, FaultPattern, Mesh, Placement,
@@ -18,6 +18,7 @@ use snnmap_io::{
     read_checkpoint, read_faults, read_pcn, read_placement, render_faults, render_pcn,
     write_checkpoint, write_faults, write_pcn, write_placement, CheckpointMeta,
 };
+use snnmap_serve::{signal, ServeConfig, Server};
 use snnmap_trace::{sha256_hex, JsonlSink, NoopSink, TraceSink};
 use snnmap_metrics::{evaluate_with, hop_histogram, EvalOptions};
 use snnmap_model::generators::{random_pcn, table3_suite};
@@ -361,9 +362,20 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                     .as_mut()
                     .map(|w| w as &mut dyn FnMut(&FdCheckpoint) -> Result<(), String>),
             );
+            // Ctrl-C / SIGTERM stops the FD engine at the next sweep
+            // boundary instead of killing the process mid-write; the
+            // engine flushes a checkpoint first when one is configured.
+            run_opts.budget.cancel = Some(signal::install());
             let outcome = with_sink(trace_out.as_deref(), trace_timing, |sink| {
                 mapper.map_budgeted_traced(&pcn, mesh, &mut run_opts, sink)
             })?;
+            if was_cancelled(&outcome) {
+                return Err(interrupted_exit(
+                    out,
+                    &outcome,
+                    resilience.checkpoint_out.as_deref(),
+                ));
+            }
             let detail = fd_detail(&outcome, resilience.checkpoint_out.as_deref());
             (outcome.placement, detail)
         }
@@ -437,6 +449,73 @@ fn fd_detail(outcome: &MapOutcome, checkpoint_out: Option<&str>) -> String {
         }
     }
     detail
+}
+
+/// Whether the run stopped because the SIGINT/SIGTERM flag rose.
+fn was_cancelled(outcome: &MapOutcome) -> bool {
+    outcome.fd_stats.as_ref().is_some_and(|s| s.stop == StopReason::Cancelled)
+}
+
+/// Best-effort persistence on an interrupt: the best-so-far placement
+/// (never worse than the initial one) still lands on disk, the engine
+/// already flushed a checkpoint if one was configured, and the run
+/// surfaces as [`CliError::Interrupted`] (exit code 130).
+fn interrupted_exit(
+    out: &Path,
+    outcome: &MapOutcome,
+    checkpoint_out: Option<&str>,
+) -> CliError {
+    let mut detail = match write_placement(out, &outcome.placement) {
+        Ok(()) => format!("interrupted: best-so-far placement -> {}", out.display()),
+        Err(e) => format!("interrupted: writing best-so-far placement failed: {e}"),
+    };
+    if let Some(path) = checkpoint_out {
+        if Path::new(path).exists() {
+            let _ = write!(detail, "\ncheckpoint -> {path} (continue with `snnmap resume`)");
+        }
+    }
+    CliError::Interrupted(detail)
+}
+
+/// `snnmap serve`: run the mapping daemon until SIGINT/SIGTERM, then
+/// drain gracefully. Queued and interrupted jobs stay in the spool;
+/// restarting with the same `--spool-dir` resumes them.
+pub fn serve(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(args, &["addr", "workers", "spool-dir", "queue-capacity"])?;
+    let mut config = ServeConfig::default();
+    if let Some(addr) = o.flag("addr") {
+        config.addr = addr.to_string();
+    }
+    config.workers = o.parsed_or("workers", 0)?;
+    if let Some(dir) = o.flag("spool-dir") {
+        config.spool_dir = std::path::PathBuf::from(dir);
+    }
+    config.queue_capacity = o.parsed_or("queue-capacity", config.queue_capacity)?;
+    if config.queue_capacity == 0 {
+        return Err(CliError::usage("`--queue-capacity` must be positive"));
+    }
+    let server = Server::bind(&config)?;
+    let addr =
+        server.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| config.addr.clone());
+    let shutdown = signal::install();
+    // Announce readiness on stderr before blocking, so scripts can wait
+    // for the listener without racing the bind.
+    eprintln!(
+        "snnmap-serve listening on {addr} ({} worker(s), spool {})",
+        server.workers(),
+        config.spool_dir.display()
+    );
+    let report = server.run(&shutdown);
+    signal::reset();
+    Ok(format!(
+        "drained: {} job(s) over the daemon's lifetime, {} interrupted mid-run \
+         (checkpointed), {} left queued\nspool -> {} (restart with the same --spool-dir \
+         to resume)\n",
+        report.jobs_total,
+        report.interrupted,
+        report.queued_left,
+        config.spool_dir.display()
+    ))
 }
 
 /// `snnmap resume`: continue a Force-Directed run from a checkpoint
@@ -531,10 +610,14 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
         &mut run_opts,
         writer.as_mut().map(|w| w as &mut dyn FnMut(&FdCheckpoint) -> Result<(), String>),
     );
+    run_opts.budget.cancel = Some(signal::install());
     let restored_sweeps = checkpoint.sweeps;
     let outcome = with_sink(trace_out.as_deref(), trace_timing, |sink| {
         mapper.resume_traced(&pcn, &checkpoint, &mut run_opts, sink)
     })?;
+    if was_cancelled(&outcome) {
+        return Err(interrupted_exit(out, &outcome, resilience.checkpoint_out.as_deref()));
+    }
     let detail = fd_detail(&outcome, resilience.checkpoint_out.as_deref());
     write_placement(out, &outcome.placement)?;
     let trace_note = match &trace_out {
@@ -597,7 +680,7 @@ fn load_pair(o: &Opts) -> Result<(Pcn, Placement), CliError> {
 
 /// `snnmap eval`: compute the §3.3 metrics of a placement.
 pub fn eval(args: &[String]) -> Result<String, CliError> {
-    let o = Opts::parse(args, &["sample", "seed"])?;
+    let o = Opts::parse(args, &["sample", "seed", "format"])?;
     let (pcn, placement) = load_pair(&o)?;
     let sample: u64 = o.parsed_or("sample", 200_000)?;
     let seed: u64 = o.parsed_or("seed", 42)?;
@@ -607,6 +690,17 @@ pub fn eval(args: &[String]) -> Result<String, CliError> {
         CostModel::paper_target(),
         EvalOptions { congestion_sample: Some((sample, seed)) },
     )?;
+    match o.flag("format").unwrap_or("text") {
+        "text" => {}
+        // The same encoder the serve daemon's /metrics endpoint uses, so
+        // offline evaluation drops straight into a Prometheus scrape.
+        "prometheus" => return Ok(report.to_prometheus()),
+        other => {
+            return Err(CliError::usage(format!(
+                "`--format` takes `text` or `prometheus`, got `{other}`"
+            )))
+        }
+    }
     let mut out = String::new();
     let _ = writeln!(out, "energy (M_ec):           {:.6e}", report.energy);
     let _ = writeln!(out, "avg latency (M_al):      {:.4}", report.avg_latency);

@@ -19,6 +19,11 @@ pub enum CliError {
     Model(snnmap_model::ModelError),
     /// `snnmap validate` found placement violations; the report lists them.
     Validation(snnmap_core::ValidationReport),
+    /// The run was stopped by SIGINT/SIGTERM. The message says what was
+    /// persisted (best-so-far placement, checkpoint) before exiting.
+    Interrupted(String),
+    /// The serve daemon failed to start.
+    Serve(snnmap_serve::ServeError),
 }
 
 impl CliError {
@@ -27,12 +32,14 @@ impl CliError {
     }
 
     /// The process exit code for this error: 2 for usage errors, 3 when
-    /// `snnmap validate` found violations, 1 for everything else
+    /// `snnmap validate` found violations, 130 when a signal stopped the
+    /// run (the shell convention for SIGINT), 1 for everything else
     /// (I/O, mapping, evaluation, generation failures).
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) => 2,
             CliError::Validation(_) => 3,
+            CliError::Interrupted(_) => 130,
             _ => 1,
         }
     }
@@ -47,6 +54,8 @@ impl fmt::Display for CliError {
             CliError::Eval(e) => write!(f, "{e}"),
             CliError::Model(e) => write!(f, "{e}"),
             CliError::Validation(report) => write!(f, "{report}"),
+            CliError::Interrupted(detail) => write!(f, "{detail}"),
+            CliError::Serve(e) => write!(f, "{e}"),
         }
     }
 }
@@ -58,7 +67,8 @@ impl Error for CliError {
             CliError::Map(e) => Some(e),
             CliError::Eval(e) => Some(e),
             CliError::Model(e) => Some(e),
-            CliError::Usage(_) | CliError::Validation(_) => None,
+            CliError::Serve(e) => Some(e),
+            CliError::Usage(_) | CliError::Validation(_) | CliError::Interrupted(_) => None,
         }
     }
 }
@@ -87,6 +97,12 @@ impl From<snnmap_model::ModelError> for CliError {
     }
 }
 
+impl From<snnmap_serve::ServeError> for CliError {
+    fn from(e: snnmap_serve::ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +124,9 @@ mod tests {
         let v = CliError::Validation(snnmap_core::ValidationReport::default());
         assert_eq!(v.exit_code(), 3);
         assert!(v.source().is_none());
+        let i = CliError::Interrupted("stopped at sweep 3".into());
+        assert_eq!(i.exit_code(), 130);
+        assert_eq!(i.to_string(), "stopped at sweep 3");
+        assert!(i.source().is_none());
     }
 }

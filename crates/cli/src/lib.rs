@@ -14,7 +14,11 @@
 //! * `eval` — compute the five §3.3 quality metrics of a placement,
 //! * `viz` — render a placement's congestion map as an ASCII heatmap,
 //! * `validate` — check a placement against a fault map and per-core
-//!   capacity constraints; exits 3 when violations are found.
+//!   capacity constraints; exits 3 when violations are found,
+//! * `serve` — run the mapping-as-a-service daemon (`snnmap-serve`):
+//!   a concurrent job queue over HTTP with live progress, cooperative
+//!   cancellation, graceful drain on SIGINT/SIGTERM, and crash recovery
+//!   from a spool directory.
 //!
 //! The library surface is a single [`run`] function over string
 //! arguments (what `main` calls), which keeps every code path unit
@@ -54,9 +58,12 @@ commands:
         [--checkpoint-every N] [--checkpoint-out <cp.json>]
         [--trace-out <run.jsonl>] [--trace-timing on|off]
   eval  <file.pcn> <placement.json> [--sample N]
+        [--format text|prometheus]
   viz   <file.pcn> <placement.json> [--width N]
   validate <file.pcn> <placement.json>
         [--faults <rate|file.json>] [--seed N] [--npc N] [--spc N]
+  serve [--addr HOST:PORT] [--workers N] [--spool-dir <dir>]
+        [--queue-capacity N]
 
 `--faults` takes a uniform core/link fault rate in [0, 1) (seeded by
 `--seed`) or a fault-map JSON file written by `--faults-out`.
@@ -75,7 +82,14 @@ additionally every N sweeps. `resume` verifies the checkpoint's
 provenance digests, then continues the run; a killed-and-resumed run
 produces a placement byte-identical to an uninterrupted one.
 
-exit codes: 0 ok, 1 runtime error, 2 usage error, 3 invalid placement.
+Ctrl-C (SIGINT) or SIGTERM during `map`/`resume` stops the run at the
+next sweep boundary, writes the best-so-far placement (and checkpoint,
+when configured), and exits 130; a second signal aborts immediately.
+`serve` drains gracefully: running jobs checkpoint to the spool and
+resume when the daemon restarts with the same --spool-dir.
+
+exit codes: 0 ok, 1 runtime error, 2 usage error, 3 invalid placement,
+130 interrupted by SIGINT/SIGTERM.
 
 run `snnmap <command>` with missing arguments for details.";
 
@@ -95,6 +109,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "eval" => commands::eval(rest),
         "viz" => commands::viz(rest),
         "validate" => commands::validate(rest),
+        "serve" => commands::serve(rest),
         "--help" | "-h" | "help" => Ok(format!("{USAGE}\n")),
         other => Err(CliError::usage(format!("unknown command `{other}`"))),
     }
@@ -139,6 +154,29 @@ mod tests {
 
         let out = run(&sv(&["viz", pcn_s, placement_s])).unwrap();
         assert!(out.contains("congestion"), "{out}");
+    }
+
+    #[test]
+    fn eval_prometheus_format_and_serve_usage_guard() {
+        let dir = std::env::temp_dir().join("snnmap_cli_prom");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let placement = dir.join("p.json");
+        let pcn_s = pcn.to_str().unwrap();
+        let placement_s = placement.to_str().unwrap();
+        run(&sv(&["gen", "--random", "20,3", "--out", pcn_s])).unwrap();
+        run(&sv(&["map", pcn_s, "--out", placement_s])).unwrap();
+
+        // The shared encoder: same page shape as the daemon's /metrics.
+        let page = run(&sv(&["eval", pcn_s, placement_s, "--format", "prometheus"]))
+            .unwrap();
+        assert!(page.starts_with("# HELP snnmap_energy"), "{page}");
+        assert!(page.contains("\nsnnmap_max_congestion "), "{page}");
+
+        let err = run(&sv(&["eval", pcn_s, placement_s, "--format", "xml"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&["serve", "--queue-capacity", "0"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

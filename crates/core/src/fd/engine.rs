@@ -153,7 +153,8 @@ pub enum StopReason {
 }
 
 impl StopReason {
-    /// Stable lower-snake-case label (used in traces and CLI output).
+    /// Stable lower-snake-case label (used in traces, CLI output, and
+    /// the serve daemon's job-status JSON).
     pub fn as_str(self) -> &'static str {
         match self {
             StopReason::Converged => "converged",
@@ -161,6 +162,12 @@ impl StopReason {
             StopReason::SweepCapReached => "sweep_cap_reached",
             StopReason::Cancelled => "cancelled",
         }
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

@@ -87,6 +87,7 @@ pub fn render_checkpoint(checkpoint: &FdCheckpoint, meta: &CheckpointMeta) -> St
 /// coordinate/force table length mismatch, more clusters than cores,
 /// out-of-mesh coordinates, or two clusters on the same core.
 pub fn parse_checkpoint(text: &str) -> Result<(FdCheckpoint, CheckpointMeta), IoError> {
+    crate::dupkey::reject_duplicate_keys(text)?;
     let doc: CheckpointDoc = serde_json::from_str(text)?;
     if doc.format != FORMAT {
         return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });

@@ -1,0 +1,119 @@
+//! Duplicate-key detection for untrusted JSON documents.
+//!
+//! The vendored `serde_json` parser (like upstream in its default
+//! configuration) resolves duplicate object keys last-write-wins. That
+//! is fine for trusted artifacts but a classic smuggling vector for
+//! network input: `{"rows": 4, ..., "rows": 60000}` passes a validator
+//! that reads the first key and a consumer that reads the second. Every
+//! JSON parser in this crate rejects duplicates up front via
+//! [`reject_duplicate_keys`] instead.
+
+use std::collections::HashSet;
+
+use crate::IoError;
+
+/// What the scanner expects next inside an object frame.
+enum Frame {
+    /// An object, with every key seen so far (raw, still escaped — two
+    /// spellings of the same key that differ only in escape sequences
+    /// are conservatively treated as distinct).
+    Object { keys: HashSet<String>, expect_key: bool },
+    /// An array; strings inside are values, never keys.
+    Array,
+}
+
+/// Scans a JSON document and returns [`IoError::DuplicateKey`] if any
+/// object repeats a key at the same nesting level.
+///
+/// The scan is purely lexical: it tracks object/array nesting and string
+/// tokens but does not otherwise validate the document (the real parser
+/// runs next and reports malformed JSON as [`IoError::Json`]). On text
+/// that is not valid JSON the scanner simply finds no duplicates.
+pub(crate) fn reject_duplicate_keys(text: &str) -> Result<(), IoError> {
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut chars = text.char_indices();
+    while let Some((start, c)) = chars.next() {
+        match c {
+            '{' => stack.push(Frame::Object { keys: HashSet::new(), expect_key: true }),
+            '[' => stack.push(Frame::Array),
+            '}' | ']' => {
+                stack.pop();
+            }
+            ',' => {
+                if let Some(Frame::Object { expect_key, .. }) = stack.last_mut() {
+                    *expect_key = true;
+                }
+            }
+            '"' => {
+                // Consume the whole string token, honoring escapes.
+                let mut end = None;
+                while let Some((i, sc)) = chars.next() {
+                    match sc {
+                        '\\' => {
+                            chars.next();
+                        }
+                        '"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                let Some(end) = end else { return Ok(()) }; // unterminated: not JSON
+                if let Some(Frame::Object { keys, expect_key }) = stack.last_mut() {
+                    if *expect_key {
+                        let key = &text[start + 1..end];
+                        if !keys.insert(key.to_string()) {
+                            return Err(IoError::DuplicateKey { key: key.to_string() });
+                        }
+                        *expect_key = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_unique_keys_at_every_level() {
+        reject_duplicate_keys(r#"{"a": 1, "b": {"a": 2}, "c": [{"a": 3}, {"a": 4}]}"#)
+            .unwrap();
+        reject_duplicate_keys("[]").unwrap();
+        reject_duplicate_keys("42").unwrap();
+        reject_duplicate_keys("not json at all").unwrap();
+    }
+
+    #[test]
+    fn rejects_top_level_duplicates() {
+        let err = reject_duplicate_keys(r#"{"rows": 4, "rows": 60000}"#).unwrap_err();
+        match err {
+            IoError::DuplicateKey { key } => assert_eq!(key, "rows"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nested_duplicates() {
+        assert!(reject_duplicate_keys(r#"{"a": {"x": 1, "x": 2}}"#).is_err());
+        assert!(reject_duplicate_keys(r#"[{"x": 1}, {"x": 1, "x": 2}]"#).is_err());
+    }
+
+    #[test]
+    fn string_values_and_escapes_are_not_keys() {
+        // The value "a" must not collide with the key "a".
+        reject_duplicate_keys(r#"{"a": "a", "b": "a"}"#).unwrap();
+        // Escaped quote inside a key does not end the token early.
+        reject_duplicate_keys(r#"{"a\"": 1, "a": 2}"#).unwrap();
+        assert!(reject_duplicate_keys(r#"{"a\"": 1, "a\"": 2}"#).is_err());
+        // Braces inside strings are data, not structure.
+        reject_duplicate_keys(r#"{"a": "}{", "b": "{"}"#).unwrap();
+        // Unterminated string: scanner bails, parser reports the error.
+        reject_duplicate_keys(r#"{"a": "unterminated"#).unwrap();
+    }
+}

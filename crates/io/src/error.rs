@@ -24,6 +24,14 @@ pub enum IoError {
         /// Description of the violation.
         message: String,
     },
+    /// A JSON object repeated a key. The underlying parser resolves
+    /// duplicates last-write-wins, which would let a crafted document
+    /// show one value to a validator and another to a consumer, so the
+    /// JSON readers reject the document outright.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -33,6 +41,9 @@ impl fmt::Display for IoError {
             IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
             IoError::Invalid { message } => write!(f, "invalid document: {message}"),
+            IoError::DuplicateKey { key } => {
+                write!(f, "invalid document: duplicate JSON key `{key}`")
+            }
         }
     }
 }

@@ -53,6 +53,7 @@ pub fn render_faults(faults: &FaultMap) -> String {
 /// format tag, a bad or bomb-sized mesh (see [`crate::MAX_MESH_CORES`]),
 /// out-of-mesh coordinates, or non-adjacent link endpoints.
 pub fn parse_faults(text: &str) -> Result<FaultMap, IoError> {
+    crate::dupkey::reject_duplicate_keys(text)?;
     let doc: FaultDoc = serde_json::from_str(text)?;
     if doc.format != "snnmap-faults-v1" {
         return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });

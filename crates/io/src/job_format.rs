@@ -1,0 +1,273 @@
+//! Mapping-job request JSON — the `POST /jobs` body `snnmap-serve`
+//! accepts, and the document a spooled job is recovered from.
+//!
+//! A job bundles a PCN (embedded as the text format [`crate::parse_pcn`]
+//! reads) with the mapper configuration knobs of `snnmap map --method
+//! proposed`. Everything but the PCN is optional and defaults to the
+//! CLI's defaults, so a minimal request is just
+//! `{"format": "snnmap-job-v1", "pcn": "pcn v1\n..."}`.
+//!
+//! Parsing treats the document as untrusted network input: duplicate
+//! JSON keys are rejected ([`IoError::DuplicateKey`]), mesh dimensions
+//! go through the [`crate::MAX_MESH_CORES`] cap, the embedded PCN is
+//! parsed with the hardened PCN reader, and every knob is validated with
+//! a typed error before any mapping work is queued.
+
+use serde::{Deserialize, Serialize};
+use snnmap_hw::Mesh;
+use snnmap_model::Pcn;
+use snnmap_trace::sha256_hex;
+
+use crate::limits::checked_mesh;
+use crate::pcn_format::{parse_pcn, render_pcn};
+use crate::{CheckpointMeta, IoError};
+
+/// The format tag every job document must carry.
+const FORMAT: &str = "snnmap-job-v1";
+
+/// Initial-placement names accepted by [`parse_job`] (the CLI's
+/// `--init` vocabulary).
+pub const JOB_INITS: [&str; 5] = ["hilbert", "zigzag", "circle", "serpentine", "random"];
+
+/// Potential names accepted by [`parse_job`] (the CLI's `--potential`
+/// vocabulary).
+pub const JOB_POTENTIALS: [&str; 4] = ["l1", "l1sq", "l2sq", "energy"];
+
+/// A validated mapping job: the PCN to place plus the proposed-method
+/// configuration. Produced by [`parse_job`]; field semantics match the
+/// same-named `snnmap map` flags.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The cluster network to map.
+    pub pcn: Pcn,
+    /// Target mesh (defaults to the smallest square that fits).
+    pub mesh: Mesh,
+    /// Initial placement: one of [`JOB_INITS`].
+    pub init: String,
+    /// FD potential: one of [`JOB_POTENTIALS`].
+    pub potential: String,
+    /// Queue fraction λ in `(0, 1]`.
+    pub lambda: f64,
+    /// Seed for `init = "random"`.
+    pub seed: u64,
+    /// Worker threads for the FD engine (0 = auto).
+    pub threads: usize,
+    /// Optional sweep budget; the job finishes with the best-so-far
+    /// placement when the cap is reached.
+    pub max_sweeps: Option<u64>,
+    /// Spool-checkpoint cadence in sweeps (0 disables periodic
+    /// checkpoints; budgeted stops still flush one).
+    pub checkpoint_every: u64,
+}
+
+/// The JSON document shape for a job request.
+#[derive(Debug, Serialize, Deserialize)]
+struct JobDoc {
+    format: String,
+    pcn: String,
+    mesh: Option<String>,
+    init: Option<String>,
+    potential: Option<String>,
+    lambda: Option<f64>,
+    seed: Option<u64>,
+    threads: Option<u64>,
+    max_sweeps: Option<u64>,
+    checkpoint_every: Option<u64>,
+}
+
+impl JobSpec {
+    /// The provenance digests a checkpoint taken for this job carries —
+    /// the same formula `snnmap map --checkpoint-out` stamps, so a
+    /// spooled checkpoint can be cross-checked on recovery exactly like
+    /// `snnmap resume` cross-checks a CLI checkpoint.
+    pub fn provenance(&self) -> CheckpointMeta {
+        let config = format!(
+            "init={} potential={} lambda={} seed={} faults=none",
+            self.init, self.potential, self.lambda, self.seed
+        );
+        CheckpointMeta {
+            config_digest: sha256_hex(config.as_bytes()),
+            pcn_digest: sha256_hex(render_pcn(&self.pcn).as_bytes()),
+        }
+    }
+}
+
+/// Renders a job spec back to request JSON (deterministic; the PCN is
+/// embedded via [`render_pcn`], so `parse_job(render_job(s))` round
+/// trips).
+pub fn render_job(spec: &JobSpec) -> String {
+    let doc = JobDoc {
+        format: FORMAT.to_string(),
+        pcn: render_pcn(&spec.pcn),
+        mesh: Some(format!("{}x{}", spec.mesh.rows(), spec.mesh.cols())),
+        init: Some(spec.init.clone()),
+        potential: Some(spec.potential.clone()),
+        lambda: Some(spec.lambda),
+        seed: Some(spec.seed),
+        threads: Some(spec.threads as u64),
+        max_sweeps: spec.max_sweeps,
+        checkpoint_every: Some(spec.checkpoint_every),
+    };
+    serde_json::to_string_pretty(&doc).expect("job doc always serializes")
+}
+
+/// Parses and validates a job request from JSON.
+///
+/// # Errors
+///
+/// [`IoError::DuplicateKey`] for repeated JSON keys, [`IoError::Json`]
+/// for malformed JSON, [`IoError::Parse`] for a malformed embedded PCN,
+/// and [`IoError::Invalid`] for a wrong format tag, an unknown
+/// init/potential name, λ outside `(0, 1]`, a mesh that fails the
+/// [`crate::MAX_MESH_CORES`] bound, or a mesh too small for the PCN.
+pub fn parse_job(text: &str) -> Result<JobSpec, IoError> {
+    crate::dupkey::reject_duplicate_keys(text)?;
+    let doc: JobDoc = serde_json::from_str(text)?;
+    if doc.format != FORMAT {
+        return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });
+    }
+    let pcn = parse_pcn(&doc.pcn)?;
+    let mesh = match doc.mesh.as_deref() {
+        Some(spec) => {
+            let (r, c) = spec.split_once(['x', 'X']).ok_or_else(|| IoError::Invalid {
+                message: format!("mesh must be `<rows>x<cols>`, got `{spec}`"),
+            })?;
+            let rows: u16 = r.parse().map_err(|_| IoError::Invalid {
+                message: format!("bad mesh rows `{r}`"),
+            })?;
+            let cols: u16 = c.parse().map_err(|_| IoError::Invalid {
+                message: format!("bad mesh cols `{c}`"),
+            })?;
+            checked_mesh(rows, cols)?
+        }
+        None => Mesh::square_for(u64::from(pcn.num_clusters()))
+            .map_err(|e| IoError::Invalid { message: e.to_string() })?,
+    };
+    if (mesh.len() as u64) < u64::from(pcn.num_clusters()) {
+        return Err(IoError::Invalid {
+            message: format!(
+                "{} clusters do not fit the {} cores of a {mesh} mesh",
+                pcn.num_clusters(),
+                mesh.len()
+            ),
+        });
+    }
+    let init = doc.init.unwrap_or_else(|| "hilbert".to_string());
+    if !JOB_INITS.contains(&init.as_str()) {
+        return Err(IoError::Invalid { message: format!("unknown init `{init}`") });
+    }
+    let potential = doc.potential.unwrap_or_else(|| "l2sq".to_string());
+    if !JOB_POTENTIALS.contains(&potential.as_str()) {
+        return Err(IoError::Invalid { message: format!("unknown potential `{potential}`") });
+    }
+    let lambda = doc.lambda.unwrap_or(0.3);
+    if !(lambda > 0.0 && lambda <= 1.0) {
+        return Err(IoError::Invalid {
+            message: format!("lambda must be in (0, 1], got {lambda}"),
+        });
+    }
+    let threads = doc.threads.unwrap_or(0);
+    let threads = usize::try_from(threads).map_err(|_| IoError::Invalid {
+        message: format!("thread count {threads} does not fit this platform"),
+    })?;
+    if let Some(0) = doc.max_sweeps {
+        return Err(IoError::Invalid { message: "max_sweeps must be positive".into() });
+    }
+    Ok(JobSpec {
+        pcn,
+        mesh,
+        init,
+        potential,
+        lambda,
+        seed: doc.seed.unwrap_or(42),
+        threads,
+        max_sweeps: doc.max_sweeps,
+        checkpoint_every: doc.checkpoint_every.unwrap_or(4),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PCN: &str = "pcn v1\nclusters 3\nedge 0 1 2.0\nedge 1 2 1.0\n";
+
+    fn minimal(extra: &str) -> String {
+        format!(
+            "{{\"format\": \"snnmap-job-v1\", \"pcn\": \"pcn v1\\nclusters 3\\nedge 0 1 2.0\\nedge 1 2 1.0\\n\"{extra}}}"
+        )
+    }
+
+    #[test]
+    fn minimal_request_gets_cli_defaults() {
+        let spec = parse_job(&minimal("")).unwrap();
+        assert_eq!(spec.pcn.num_clusters(), 3);
+        assert_eq!(spec.mesh, Mesh::square_for(3).unwrap());
+        assert_eq!(spec.init, "hilbert");
+        assert_eq!(spec.potential, "l2sq");
+        assert_eq!(spec.lambda, 0.3);
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.threads, 0);
+        assert_eq!(spec.max_sweeps, None);
+        assert_eq!(spec.checkpoint_every, 4);
+    }
+
+    #[test]
+    fn roundtrips_through_render() {
+        let spec = parse_job(&minimal(
+            ", \"mesh\": \"3x4\", \"init\": \"zigzag\", \"potential\": \"l1\", \
+             \"lambda\": 0.5, \"seed\": 7, \"threads\": 2, \"max_sweeps\": 9, \
+             \"checkpoint_every\": 1",
+        ))
+        .unwrap();
+        let back = parse_job(&render_job(&spec)).unwrap();
+        assert_eq!(back.mesh, spec.mesh);
+        assert_eq!(back.init, spec.init);
+        assert_eq!(back.potential, spec.potential);
+        assert_eq!(back.lambda, spec.lambda);
+        assert_eq!(back.seed, spec.seed);
+        assert_eq!(back.threads, spec.threads);
+        assert_eq!(back.max_sweeps, spec.max_sweeps);
+        assert_eq!(back.checkpoint_every, spec.checkpoint_every);
+        assert_eq!(back.provenance(), spec.provenance());
+        assert_eq!(render_pcn(&back.pcn), render_pcn(&parse_pcn(PCN).unwrap()));
+    }
+
+    #[test]
+    fn provenance_matches_the_cli_formula() {
+        let spec = parse_job(&minimal("")).unwrap();
+        let meta = spec.provenance();
+        let config = "init=hilbert potential=l2sq lambda=0.3 seed=42 faults=none";
+        assert_eq!(meta.config_digest, sha256_hex(config.as_bytes()));
+        // The PCN digest covers the *canonical* rendering, exactly like
+        // `snnmap map --checkpoint-out` digests its parsed input.
+        let canonical = render_pcn(&parse_pcn(PCN).unwrap());
+        assert_eq!(meta.pcn_digest, sha256_hex(canonical.as_bytes()));
+    }
+
+    #[test]
+    fn rejects_adversarial_requests() {
+        // Duplicate key smuggling.
+        let err = parse_job(&minimal(", \"seed\": 1, \"seed\": 2")).unwrap_err();
+        assert!(matches!(err, IoError::DuplicateKey { .. }), "{err:?}");
+        // Wrong format tag.
+        let bad = minimal("").replacen("snnmap-job-v1", "snnmap-job-v9", 1);
+        assert!(matches!(parse_job(&bad), Err(IoError::Invalid { .. })));
+        // Dimension bomb.
+        let err = parse_job(&minimal(", \"mesh\": \"65535x65535\"")).unwrap_err();
+        assert!(matches!(err, IoError::Invalid { .. }), "{err:?}");
+        // Mesh too small for the PCN.
+        assert!(parse_job(&minimal(", \"mesh\": \"1x2\"")).is_err());
+        // Unknown knob values and a bad λ.
+        assert!(parse_job(&minimal(", \"init\": \"spiral\"")).is_err());
+        assert!(parse_job(&minimal(", \"potential\": \"l3\"")).is_err());
+        assert!(parse_job(&minimal(", \"lambda\": 0.0")).is_err());
+        assert!(parse_job(&minimal(", \"max_sweeps\": 0")).is_err());
+        // Malformed embedded PCN.
+        let err =
+            parse_job("{\"format\": \"snnmap-job-v1\", \"pcn\": \"garbage\"}").unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }), "{err:?}");
+        // Not JSON at all.
+        assert!(matches!(parse_job("nope"), Err(IoError::Json(_))));
+    }
+}

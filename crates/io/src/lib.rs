@@ -17,10 +17,17 @@
 //!   a Force-Directed run frozen at a sweep boundary, with `f64` values
 //!   stored as bit patterns so kill-and-resume is bit-identical to an
 //!   uninterrupted run.
+//! * **Job JSON** ([`parse_job`] / [`render_job`]) — a mapping request
+//!   (embedded PCN + proposed-method configuration), the body
+//!   `snnmap-serve` accepts on `POST /jobs`.
 //!
 //! Every parser treats its input as untrusted: declared sizes are capped
 //! (see [`MAX_MESH_CORES`] / [`MAX_CLUSTERS`]), duplicate declarations
-//! and out-of-range coordinates are typed errors, never panics.
+//! and out-of-range coordinates are typed errors, never panics. JSON
+//! parsers additionally reject duplicate object keys
+//! ([`IoError::DuplicateKey`]) instead of resolving them
+//! last-write-wins — network-facing input must not be able to show one
+//! value to a validator and another to a consumer.
 //!
 //! # PCN format
 //!
@@ -57,8 +64,10 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod checkpoint_format;
+mod dupkey;
 mod error;
 mod fault_format;
+mod job_format;
 mod limits;
 mod pcn_format;
 mod placement_format;
@@ -69,6 +78,7 @@ pub use checkpoint_format::{
 };
 pub use error::IoError;
 pub use fault_format::{parse_faults, read_faults, render_faults, write_faults};
+pub use job_format::{parse_job, render_job, JobSpec, JOB_INITS, JOB_POTENTIALS};
 pub use limits::{MAX_CLUSTERS, MAX_MESH_CORES};
 pub use pcn_format::{parse_pcn, read_pcn, render_pcn, write_pcn};
 pub use placement_format::{

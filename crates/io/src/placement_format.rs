@@ -40,6 +40,7 @@ pub fn render_placement(placement: &Placement) -> String {
 /// format tags, dimension bombs (see [`crate::MAX_MESH_CORES`]),
 /// out-of-mesh coordinates, or occupancy violations.
 pub fn parse_placement(text: &str) -> Result<Placement, IoError> {
+    crate::dupkey::reject_duplicate_keys(text)?;
     let doc: PlacementDoc = serde_json::from_str(text)?;
     if doc.format != "snnmap-placement-v1" {
         return Err(IoError::Invalid {

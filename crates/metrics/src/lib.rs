@@ -40,6 +40,7 @@ mod energy;
 mod expe;
 mod histogram;
 mod latency;
+mod prometheus;
 mod report;
 
 pub use congestion::{congestion_map, CongestionAccumulator, CongestionStats};
@@ -47,4 +48,5 @@ pub use energy::energy;
 pub use expe::expe;
 pub use histogram::hop_histogram;
 pub use latency::{average_latency, max_latency};
+pub use prometheus::{PromText, PROM_PREFIX};
 pub use report::{evaluate, evaluate_with, EvalOptions, MetricsReport};

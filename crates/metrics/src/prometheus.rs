@@ -1,0 +1,142 @@
+//! Prometheus text exposition-format (version 0.0.4) encoding.
+//!
+//! One tiny, dependency-free builder shared by everything that exposes
+//! metrics: [`MetricsReport::to_prometheus`](crate::MetricsReport::to_prometheus)
+//! for placement quality, and the `snnmap-serve` daemon's `/metrics`
+//! endpoint for operational gauges. Sharing the formatter keeps the two
+//! surfaces consistent (names, escaping, value formatting) and golden-
+//! file testable.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_metrics::PromText;
+//!
+//! let mut prom = PromText::new();
+//! prom.header("jobs", "gauge", "Jobs by lifecycle state.");
+//! prom.sample("jobs", &[("state", "queued")], 3.0);
+//! prom.sample("jobs", &[("state", "running")], 1.0);
+//! let text = prom.finish();
+//! assert!(text.contains("# TYPE snnmap_jobs gauge"));
+//! assert!(text.contains("snnmap_jobs{state=\"queued\"} 3"));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Prefix stamped onto every metric name, keeping the whole project in
+/// one Prometheus namespace.
+pub const PROM_PREFIX: &str = "snnmap_";
+
+/// Incremental builder for a Prometheus text page.
+///
+/// Metric names passed to [`header`](PromText::header) and
+/// [`sample`](PromText::sample) are bare (`"jobs"`); the builder adds
+/// [`PROM_PREFIX`]. Values render with `f64`'s shortest-roundtrip
+/// display, which Prometheus accepts for integers and floats alike.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the `# HELP` / `# TYPE` preamble for a metric family.
+    /// `kind` is a Prometheus type: `gauge` or `counter`.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {PROM_PREFIX}{name} {help}");
+        let _ = writeln!(self.out, "# TYPE {PROM_PREFIX}{name} {kind}");
+    }
+
+    /// Appends one sample line, with optional `{key="value"}` labels.
+    /// Label values are escaped per the exposition format (`\\`, `\"`,
+    /// `\n`).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let _ = write!(self.out, "{PROM_PREFIX}{name}");
+        if !labels.is_empty() {
+            let _ = write!(self.out, "{{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(self.out, ",");
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            let _ = write!(self.out, "}}");
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// The finished page.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+impl crate::MetricsReport {
+    /// Renders the five §3.3 metrics (plus congestion coverage) as a
+    /// Prometheus text page — the formatter behind both
+    /// `snnmap eval --format prometheus` and the serve daemon's
+    /// `/metrics` endpoint. Rendering is deterministic: equal reports
+    /// produce byte-identical pages (golden-file tested).
+    pub fn to_prometheus(&self) -> String {
+        let mut prom = PromText::new();
+        for (name, help, value) in [
+            ("energy", "Energy consumption M_ec (eq. 9).", self.energy),
+            ("avg_latency", "Average spike latency M_al (eq. 10).", self.avg_latency),
+            ("max_latency", "Maximum spike latency M_ml (eq. 11).", self.max_latency),
+            ("avg_congestion", "Average router congestion M_ac (eq. 12).", self.avg_congestion),
+            ("max_congestion", "Maximum router congestion M_mc (eq. 14).", self.max_congestion),
+            (
+                "congestion_coverage",
+                "Fraction of edge traffic evaluated for the congestion metrics.",
+                self.congestion_coverage,
+            ),
+        ] {
+            prom.header(name, "gauge", help);
+            prom.sample(name, &[], value);
+        }
+        prom.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_render_labels_and_escapes() {
+        let mut prom = PromText::new();
+        prom.header("x", "counter", "Help text.");
+        prom.sample("x", &[("a", "p\"q"), ("b", "l1\nl2\\")], 2.5);
+        let text = prom.finish();
+        assert_eq!(
+            text,
+            "# HELP snnmap_x Help text.\n# TYPE snnmap_x counter\n\
+             snnmap_x{a=\"p\\\"q\",b=\"l1\\nl2\\\\\"} 2.5\n"
+        );
+    }
+
+    #[test]
+    fn integral_values_render_without_fraction() {
+        let mut prom = PromText::new();
+        prom.sample("n", &[], 42.0);
+        assert_eq!(prom.finish(), "snnmap_n 42\n");
+    }
+}

@@ -1,0 +1,24 @@
+//! Golden-file test for the Prometheus report encoder.
+//!
+//! `/metrics` consumers (scrapers, dashboards, CI greps) key on exact
+//! metric names and formatting; this pins the rendered page byte-for-
+//! byte so a formatter change is a conscious, reviewed diff of
+//! `tests/golden/report.prom`.
+
+use snnmap_metrics::MetricsReport;
+
+#[test]
+fn report_page_matches_the_golden_file() {
+    let report = MetricsReport {
+        energy: 1234.5,
+        avg_latency: 4.25,
+        max_latency: 10.0,
+        avg_congestion: 0.125,
+        max_congestion: 8.5,
+        congestion_coverage: 1.0,
+    };
+    let golden = include_str!("golden/report.prom");
+    assert_eq!(report.to_prometheus(), golden);
+    // Deterministic: rendering twice is byte-identical.
+    assert_eq!(report.to_prometheus(), report.to_prometheus());
+}

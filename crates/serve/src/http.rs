@@ -1,0 +1,140 @@
+//! A deliberately small HTTP/1.1 implementation over [`std::net`].
+//!
+//! The build environment is offline-vendored, so the daemon speaks the
+//! protocol directly (cf. the hand-rolled SHA-256 in `snnmap-trace`):
+//! request-line + headers + `Content-Length` body in, status + headers +
+//! body out, `Connection: close` per exchange. That subset is everything
+//! `curl`, the bench load generator, and a reverse proxy need, and
+//! keeping it tiny keeps the attack surface auditable — header size and
+//! body size are hard-capped before any allocation scales with input.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on a request body (the embedded PCN dominates; 64 MiB is
+/// ~1.6M clusters of edge-list text, far beyond the service workloads).
+pub(crate) const MAX_BODY: usize = 64 << 20;
+
+/// Hard cap on the request line plus headers.
+const MAX_HEAD: usize = 64 << 10;
+
+/// One parsed request.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// A request that failed to parse, with the status the peer should see.
+#[derive(Debug)]
+pub(crate) struct BadRequest {
+    pub status: u16,
+    pub reason: &'static str,
+    pub message: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, reason: &'static str, message: impl Into<String>) -> Self {
+        Self { status, reason, message: message.into() }
+    }
+}
+
+/// Reads and parses one request from the stream.
+///
+/// `Ok(None)` means the peer closed the connection before sending a
+/// request line (a health-checker's connect-and-close probe) — not an
+/// error, just nothing to answer.
+pub(crate) fn read_request(
+    stream: &mut TcpStream,
+) -> Result<Option<Request>, BadRequest> {
+    let mut reader = BufReader::new(stream);
+    let io_err =
+        |e: std::io::Error| BadRequest::new(400, "Bad Request", format!("read failed: {e}"));
+
+    let mut line = String::new();
+    let mut head_bytes = 0usize;
+    reader.read_line(&mut line).map_err(io_err)?;
+    if line.is_empty() {
+        return Ok(None);
+    }
+    head_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => return Err(BadRequest::new(400, "Bad Request", "malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(BadRequest::new(505, "HTTP Version Not Supported", version));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).map_err(io_err)?;
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD {
+            return Err(BadRequest::new(431, "Request Header Fields Too Large", ""));
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else { continue };
+        let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+        match name.as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| {
+                    BadRequest::new(400, "Bad Request", format!("bad content-length `{value}`"))
+                })?;
+            }
+            "transfer-encoding" => {
+                return Err(BadRequest::new(
+                    501,
+                    "Not Implemented",
+                    "transfer-encoding is not supported; send a content-length body",
+                ));
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(BadRequest::new(413, "Payload Too Large", format!("{content_length} bytes")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(io_err)?;
+    // Strip the query string; the API has none, and ignoring it keeps
+    // `GET /jobs/3?x=y` a clean 404 rather than a parser quirk.
+    let path = target.split('?').next().unwrap_or("").to_string();
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Writes one response and flushes. `Connection: close` always — one
+/// exchange per connection keeps the server loop stateless.
+pub(crate) fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a `{"error": ...}` JSON response.
+pub(crate) fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    message: &str,
+) -> std::io::Result<()> {
+    let body = serde_json::json!({ "error": message });
+    let body = serde_json::to_string(&body).unwrap_or_default();
+    respond(stream, status, reason, "application/json", body.as_bytes())
+}

@@ -1,0 +1,160 @@
+//! Job records and their lifecycle.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use snnmap_io::JobSpec;
+use snnmap_trace::Progress;
+
+/// Lifecycle of a mapping job: `Queued → Running → Done | Failed |
+/// Cancelled`. A drained-while-running job goes back to `Queued` (its
+/// spooled state stays `running`, so a restart resumes it from the last
+/// checkpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is mapping it right now.
+    Running,
+    /// Finished; the placement is available.
+    Done,
+    /// The mapper returned an error (or a worker panicked — surfaced as
+    /// [`snnmap_core::CoreError::WorkerPanicked`], never daemon death).
+    Failed,
+    /// Cancelled by a client `DELETE`.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lower-case label (status JSON, spool state files,
+    /// Prometheus label values).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The mutable part of a job, behind one mutex.
+#[derive(Debug)]
+pub(crate) struct JobInner {
+    pub state: JobState,
+    /// Failure message when `Failed`.
+    pub error: Option<String>,
+    /// [`snnmap_core::StopReason`] label once the FD phase finished.
+    pub stop: Option<String>,
+    /// The rendered placement document when `Done`.
+    pub placement_json: Option<String>,
+    /// sha256 of `placement_json` (the offline-equivalence digest).
+    pub placement_sha256: Option<String>,
+}
+
+/// One job: immutable spec + shared progress + lifecycle state.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub id: u64,
+    pub spec: JobSpec,
+    /// Fed by the worker's `ProgressSink`, read by status handlers.
+    pub progress: Arc<Progress>,
+    /// The FD engine's cooperative cancel flag ([`snnmap_core::RunBudget`]).
+    pub cancel: Arc<AtomicBool>,
+    /// Raised only by a client `DELETE` — distinguishes a cancelled job
+    /// from one interrupted by a daemon drain.
+    pub client_cancelled: AtomicBool,
+    inner: Mutex<JobInner>,
+}
+
+impl Job {
+    pub fn new(id: u64, spec: JobSpec, state: JobState) -> Self {
+        Self {
+            id,
+            spec,
+            progress: Arc::new(Progress::new()),
+            cancel: Arc::new(AtomicBool::new(false)),
+            client_cancelled: AtomicBool::new(false),
+            inner: Mutex::new(JobInner {
+                state,
+                error: None,
+                stop: None,
+                placement_json: None,
+                placement_sha256: None,
+            }),
+        }
+    }
+
+    /// Runs `f` under the job mutex. A poisoned lock only means a worker
+    /// thread died mid-update; the data is still the best record we
+    /// have, so recover it rather than propagate the poison.
+    pub fn with_inner<T>(&self, f: impl FnOnce(&mut JobInner) -> T) -> T {
+        let mut guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut guard)
+    }
+
+    pub fn state(&self) -> JobState {
+        self.with_inner(|i| i.state)
+    }
+
+    pub fn set_state(&self, state: JobState) {
+        self.with_inner(|i| i.state = state);
+    }
+
+    /// Whether a client asked for cancellation.
+    pub fn client_cancelled(&self) -> bool {
+        self.client_cancelled.load(Ordering::SeqCst)
+    }
+}
+
+/// Parses a spool state label back to a [`JobState`].
+pub(crate) fn parse_state(label: &str) -> Option<JobState> {
+    Some(match label {
+        "queued" => JobState::Queued,
+        "running" => JobState::Running,
+        "done" => JobState::Done,
+        "failed" => JobState::Failed,
+        "cancelled" => JobState::Cancelled,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_labels_roundtrip() {
+        for s in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ] {
+            assert_eq!(parse_state(s.as_str()), Some(s));
+            assert_eq!(s.to_string(), s.as_str());
+        }
+        assert_eq!(parse_state("zombie"), None);
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+    }
+}

@@ -1,0 +1,51 @@
+//! `snnmap-serve` — mapping as a service.
+//!
+//! A concurrent daemon that queues Force-Directed mapping jobs behind a
+//! deliberately small, dependency-free HTTP/1.1 API (the build is
+//! offline-vendored, so the protocol is hand-rolled over
+//! [`std::net::TcpListener`], like the hand-rolled SHA-256 in
+//! `snnmap-trace`):
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /jobs` | Submit a job (`snnmap-job-v1` JSON: embedded PCN + mapper knobs) |
+//! | `GET /jobs/{id}` | Status + live sweep/swap/energy progress |
+//! | `GET /jobs/{id}/placement` | The finished placement document |
+//! | `DELETE /jobs/{id}` | Cooperative cancel (FD sweep boundary) |
+//! | `GET /healthz` | Liveness |
+//! | `GET /metrics` | Prometheus operational metrics |
+//!
+//! The pillars, each reusing an existing subsystem rather than inventing
+//! a parallel one:
+//!
+//! * **Validation** — request bodies go through the hardened
+//!   `snnmap-io` job reader: duplicate-key rejection, mesh dimension
+//!   caps, typed errors.
+//! * **Progress** — workers run the mapper with a
+//!   [`snnmap_trace::ProgressSink`], so `GET /jobs/{id}` reads live
+//!   counters off the trace stream the engine already emits.
+//! * **Cancellation** — `DELETE` raises the engine's own
+//!   [`RunBudget::cancel`](snnmap_core::RunBudget) flag.
+//! * **Crash recovery** — running jobs checkpoint to a spool directory
+//!   via the engine's [`FdCheckpoint`](snnmap_core::FdCheckpoint)
+//!   machinery; a `kill -9`'d daemon restarts, cross-checks provenance
+//!   digests like `snnmap resume`, and finishes the job bit-identically
+//!   to an uninterrupted run.
+//! * **Isolation** — a panicking worker surfaces as one `failed` job
+//!   (`CoreError::WorkerPanicked`), never daemon death.
+//!
+//! [`signal`] is the crate's single audited `unsafe` module (OS signal
+//! handler registration); everything else is `#![deny(unsafe_code)]`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod http;
+mod job;
+mod metrics;
+mod server;
+pub mod signal;
+mod spool;
+
+pub use job::JobState;
+pub use server::{DrainReport, ServeConfig, ServeError, Server};

@@ -1,0 +1,71 @@
+//! The `/metrics` Prometheus page.
+//!
+//! Rendered with the shared [`snnmap_metrics::PromText`] builder, so the
+//! daemon's operational gauges live in the same `snnmap_` namespace (and
+//! follow the same escaping/formatting rules) as the placement-quality
+//! metrics from `snnmap eval --format prometheus`.
+
+use std::sync::atomic::Ordering::SeqCst;
+
+use snnmap_core::par;
+use snnmap_metrics::PromText;
+
+use crate::job::JobState;
+use crate::server::{lock, Shared};
+
+/// Renders the current operational metrics as a Prometheus text page.
+pub(crate) fn render(shared: &Shared) -> String {
+    let states = [
+        JobState::Queued,
+        JobState::Running,
+        JobState::Done,
+        JobState::Failed,
+        JobState::Cancelled,
+    ];
+    let mut counts = [0usize; 5];
+    for job in lock(&shared.jobs).values() {
+        let state = job.state();
+        if let Some(slot) = states.iter().position(|s| *s == state) {
+            counts[slot] += 1;
+        }
+    }
+    let queue_depth = lock(&shared.queue).len();
+
+    let mut prom = PromText::new();
+    prom.header("serve_jobs", "gauge", "Jobs known to the daemon, by lifecycle state.");
+    for (state, count) in states.iter().zip(counts) {
+        prom.sample("serve_jobs", &[("state", state.as_str())], count as f64);
+    }
+    prom.header("serve_queue_depth", "gauge", "Jobs waiting for a worker.");
+    prom.sample("serve_queue_depth", &[], queue_depth as f64);
+    prom.header("serve_queue_capacity", "gauge", "Bound on the job queue.");
+    prom.sample("serve_queue_capacity", &[], shared.queue_capacity as f64);
+    prom.header("serve_workers", "gauge", "Worker pool size.");
+    prom.sample("serve_workers", &[], shared.workers as f64);
+    prom.header("serve_workers_busy", "gauge", "Workers currently mapping a job.");
+    prom.sample("serve_workers_busy", &[], shared.busy_workers.load(SeqCst) as f64);
+    prom.header(
+        "serve_jobs_submitted_total",
+        "counter",
+        "Jobs accepted over the daemon's lifetime (including recovered).",
+    );
+    prom.sample("serve_jobs_submitted_total", &[], shared.submitted_total.load(SeqCst) as f64);
+
+    // Process-wide FD parallelism counters (`snnmap_core::par`).
+    let par = par::counters();
+    prom.header(
+        "par_calls_total",
+        "counter",
+        "Parallel-helper invocations in the FD engine (including serial runs).",
+    );
+    prom.sample("par_calls_total", &[], par.calls as f64);
+    prom.header(
+        "par_parallel_calls_total",
+        "counter",
+        "Invocations that fanned out to at least one extra worker.",
+    );
+    prom.sample("par_parallel_calls_total", &[], par.parallel_calls as f64);
+    prom.header("par_workers_spawned_total", "counter", "FD worker threads spawned in total.");
+    prom.sample("par_workers_spawned_total", &[], par.workers_spawned as f64);
+    prom.finish()
+}

@@ -1,0 +1,819 @@
+//! The daemon: listener, worker pool, job routes, drain, and recovery.
+//!
+//! Concurrency layout — three thread families over one [`Shared`] state:
+//!
+//! * the **accept loop** (the thread that calls [`Server::run`]) polls a
+//!   non-blocking listener and spawns one short-lived thread per
+//!   connection (one HTTP exchange each, `Connection: close`);
+//! * **connection threads** parse a request, take the job or queue lock
+//!   briefly, and respond — they never block on mapping work;
+//! * **workers** (a fixed pool, count via [`snnmap_core::par::resolve_threads`])
+//!   pop the bounded queue and run the FD pipeline; each running job
+//!   checkpoints to the spool, so workers are the only threads doing
+//!   heavy lifting and the only ones a `kill -9` can interrupt
+//!   mid-flight.
+//!
+//! Shutdown is a drain: stop accepting, let in-flight responses finish,
+//! raise every running job's cancel flag (the FD engine stops at the
+//! next sweep boundary *after flushing a checkpoint*), and leave queued
+//! jobs spooled. A restarted daemon picks both kinds back up —
+//! interrupted runs resume bit-identically from their checkpoint.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use snnmap_core::{
+    par, FdCheckpoint, FdRunOpts, InitialPlacement, Mapper, Potential, RunBudget, StopReason,
+};
+use snnmap_hw::CostModel;
+use snnmap_io::{parse_job, read_checkpoint, render_placement, write_checkpoint, JobSpec};
+use snnmap_trace::{sha256_hex, ProgressSink};
+
+use crate::http::{self, Request};
+use crate::job::{parse_state, Job, JobState};
+use crate::metrics;
+use crate::spool::Spool;
+
+/// Daemon configuration (the `snnmap serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, `host:port` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker pool size; 0 = auto, like `snnmap map --threads 0`.
+    pub workers: usize,
+    /// Spool directory for crash recovery (created if missing).
+    pub spool_dir: PathBuf,
+    /// Bound on jobs waiting in the queue; submissions beyond it get
+    /// `429 Too Many Requests`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 0,
+            spool_dir: PathBuf::from("snnmap-spool"),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Startup failure (spool or listener).
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O operation failed while starting the daemon.
+    Io {
+        /// What the daemon was doing.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+/// What the daemon reports after a graceful drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs accepted over the daemon's lifetime (including recovered).
+    pub jobs_total: u64,
+    /// Running jobs interrupted by the drain; each left a spooled
+    /// checkpoint and resumes on restart.
+    pub interrupted: usize,
+    /// Jobs still queued at drain; they re-queue on restart.
+    pub queued_left: usize,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+pub(crate) struct Shared {
+    pub(crate) spool: Spool,
+    pub(crate) jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
+    pub(crate) queue: Mutex<VecDeque<Arc<Job>>>,
+    pub(crate) queue_cond: Condvar,
+    pub(crate) queue_capacity: usize,
+    pub(crate) workers: usize,
+    pub(crate) busy_workers: AtomicUsize,
+    pub(crate) draining: AtomicBool,
+    pub(crate) submitted_total: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("workers", &self.workers).finish_non_exhaustive()
+    }
+}
+
+/// Locks a mutex, recovering from poison: a panicking worker is an
+/// isolated job failure, never a reason to wedge the whole daemon.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The daemon. [`Server::bind`] recovers the spool and binds the
+/// listener; [`Server::run`] serves until the shutdown flag rises.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Opens the spool, recovers every job found in it, and binds the
+    /// listen socket.
+    ///
+    /// Recovery rules: terminal jobs (`done` / `failed` / `cancelled`)
+    /// load as queryable history; `queued` and `running` jobs re-enter
+    /// the queue — a `running` job kept its spooled checkpoint, so its
+    /// worker resumes it bit-identically instead of starting over.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the spool directory or the listener
+    /// cannot be opened.
+    pub fn bind(config: &ServeConfig) -> Result<Self, ServeError> {
+        let io_err = |context: &str| {
+            let context = context.to_string();
+            move |source: std::io::Error| ServeError::Io { context, source }
+        };
+        let spool = Spool::open(&config.spool_dir)
+            .map_err(io_err(&format!("opening spool {}", config.spool_dir.display())))?;
+
+        let mut jobs = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let mut next_id = 1u64;
+        for spooled in spool.scan().map_err(io_err("scanning spool"))? {
+            next_id = next_id.max(spooled.id + 1);
+            let disk_state = parse_state(&spooled.state);
+            let spec = match parse_job(&spooled.request) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    // Requests are validated before they are spooled, so
+                    // this is disk corruption. Tombstone non-terminal
+                    // jobs; leave terminal records alone.
+                    if !disk_state.is_some_and(JobState::is_terminal) {
+                        let _ = spool.write_state(
+                            spooled.id,
+                            "failed",
+                            Some(&format!("unreadable spooled request: {e}")),
+                        );
+                    }
+                    continue;
+                }
+            };
+            // An unknown label is also corruption; re-running is always
+            // safe (mapping is deterministic), so treat it as queued.
+            let state = disk_state.unwrap_or(JobState::Queued);
+            let job = Arc::new(Job::new(spooled.id, spec, state));
+            match state {
+                JobState::Done => match &spooled.placement {
+                    Some(text) => job.with_inner(|i| {
+                        i.placement_sha256 = Some(sha256_hex(text.as_bytes()));
+                        i.placement_json = Some(text.clone());
+                        i.stop = spooled.detail.clone();
+                    }),
+                    None => {
+                        job.with_inner(|i| {
+                            i.state = JobState::Failed;
+                            i.error = Some("placement file missing from spool".to_string());
+                        });
+                        let _ = spool.write_state(
+                            spooled.id,
+                            "failed",
+                            Some("placement file missing from spool"),
+                        );
+                    }
+                },
+                JobState::Failed => job.with_inner(|i| i.error = spooled.detail.clone()),
+                JobState::Cancelled => {}
+                JobState::Queued | JobState::Running => {
+                    job.set_state(JobState::Queued);
+                    queue.push_back(Arc::clone(&job));
+                }
+            }
+            jobs.insert(spooled.id, job);
+        }
+
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(io_err(&format!("binding {}", config.addr)))?;
+        listener.set_nonblocking(true).map_err(io_err("setting the listener non-blocking"))?;
+
+        let submitted = jobs.len() as u64;
+        Ok(Self {
+            shared: Arc::new(Shared {
+                spool,
+                jobs: Mutex::new(jobs),
+                queue: Mutex::new(queue),
+                queue_cond: Condvar::new(),
+                queue_capacity: config.queue_capacity.max(1),
+                workers: par::resolve_threads(config.workers),
+                busy_workers: AtomicUsize::new(0),
+                draining: AtomicBool::new(false),
+                submitted_total: AtomicU64::new(submitted),
+                next_id: AtomicU64::new(next_id),
+            }),
+            listener,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the socket has no local address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The resolved worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Serves until `shutdown` goes high (typically the
+    /// [`signal::install`] flag), then drains gracefully.
+    pub fn run(&self, shutdown: &AtomicBool) -> DrainReport {
+        let workers: Vec<_> = (0..self.shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shutdown.load(SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    conns.push(std::thread::spawn(move || handle_connection(&shared, stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    conns.retain(|h| !h.is_finished());
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => {
+                    // A failed accept (e.g. EMFILE) is transient; back
+                    // off instead of spinning.
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+
+        // Drain: no new work, finish in-flight responses, interrupt
+        // running jobs at their next sweep boundary (checkpoint flushed
+        // by the engine), keep queued jobs spooled for restart.
+        self.shared.draining.store(true, SeqCst);
+        self.shared.queue_cond.notify_all();
+        for conn in conns {
+            let _ = conn.join();
+        }
+        for job in lock(&self.shared.jobs).values() {
+            if job.state() == JobState::Running {
+                job.cancel.store(true, SeqCst);
+            }
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+
+        let jobs = lock(&self.shared.jobs);
+        DrainReport {
+            jobs_total: self.shared.submitted_total.load(SeqCst),
+            interrupted: jobs
+                .values()
+                .filter(|j| j.state() == JobState::Queued && j.progress.snapshot().sweeps > 0)
+                .count(),
+            queued_left: jobs.values().filter(|j| j.state() == JobState::Queued).count(),
+        }
+    }
+}
+
+/// One worker: pop, run, repeat; exit on drain.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if shared.draining.load(SeqCst) {
+                    break None;
+                }
+                if let Some(job) = q.pop_front() {
+                    break Some(job);
+                }
+                q = match shared.queue_cond.wait_timeout(q, Duration::from_millis(200)) {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        };
+        let Some(job) = job else { return };
+        // A DELETE may have landed while the job sat in the queue.
+        if job.state() != JobState::Queued {
+            continue;
+        }
+        shared.busy_workers.fetch_add(1, SeqCst);
+        run_job(shared, &job);
+        shared.busy_workers.fetch_sub(1, SeqCst);
+    }
+}
+
+/// Runs one job through the FD pipeline, spool-checkpointing as it goes.
+fn run_job(shared: &Shared, job: &Job) {
+    if job.client_cancelled() {
+        job.set_state(JobState::Cancelled);
+        let _ = shared.spool.write_state(job.id, "cancelled", None);
+        return;
+    }
+    job.set_state(JobState::Running);
+    let _ = shared.spool.write_state(job.id, "running", None);
+
+    let spec = &job.spec;
+    let (Some(init), Some(potential)) = (job_init(spec), job_potential(spec)) else {
+        // parse_job validated the vocabulary, so this is unreachable;
+        // fail the job rather than panic the worker if it ever isn't.
+        fail_job(shared, job, "unknown init or potential in spooled spec");
+        return;
+    };
+    let mapper = Mapper::builder()
+        .initial_placement(init)
+        .potential(potential)
+        .lambda(spec.lambda)
+        .threads(spec.threads)
+        .build();
+
+    let meta = spec.provenance();
+    let cp_path = shared.spool.checkpoint_path(job.id);
+    // The engine resumes only from a checkpoint proven to belong to this
+    // exact job (same PCN, same configuration) — the `snnmap resume`
+    // provenance check, applied automatically.
+    let resume_from = if cp_path.is_file() {
+        match read_checkpoint(&cp_path) {
+            Ok((cp, on_disk)) if on_disk == meta && cp.mesh == spec.mesh => Some(cp),
+            _ => None,
+        }
+    } else {
+        None
+    };
+
+    let writer_path = cp_path.clone();
+    let writer_meta = meta;
+    let mut writer = move |cp: &FdCheckpoint| -> Result<(), String> {
+        write_checkpoint(&writer_path, cp, &writer_meta).map_err(|e| e.to_string())
+    };
+    let mut run_opts = FdRunOpts {
+        budget: RunBudget {
+            deadline: None,
+            max_sweeps: spec.max_sweeps,
+            cancel: Some(Arc::clone(&job.cancel)),
+        },
+        checkpoint_every: (spec.checkpoint_every > 0).then_some(spec.checkpoint_every),
+        ..FdRunOpts::default()
+    };
+    run_opts.on_checkpoint =
+        Some(&mut writer as &mut dyn FnMut(&FdCheckpoint) -> Result<(), String>);
+
+    let mut sink = ProgressSink::new(Arc::clone(&job.progress));
+    let result = match &resume_from {
+        Some(cp) => mapper.resume_traced(&spec.pcn, cp, &mut run_opts, &mut sink),
+        None => mapper.map_budgeted_traced(&spec.pcn, spec.mesh, &mut run_opts, &mut sink),
+    };
+
+    match result {
+        Ok(outcome) => {
+            let stop = outcome.fd_stats.as_ref().map(|s| s.stop);
+            if stop == Some(StopReason::Cancelled) {
+                if job.client_cancelled() {
+                    job.with_inner(|i| {
+                        i.state = JobState::Cancelled;
+                        i.stop = Some(StopReason::Cancelled.as_str().to_string());
+                    });
+                    let _ = shared.spool.write_state(job.id, "cancelled", None);
+                } else {
+                    // Drain interrupt: the engine flushed a checkpoint;
+                    // the spooled state stays `running`, so a restart
+                    // resumes this job exactly where it stopped.
+                    job.set_state(JobState::Queued);
+                }
+                return;
+            }
+            let text = render_placement(&outcome.placement);
+            let digest = sha256_hex(text.as_bytes());
+            if let Err(e) = shared.spool.write_placement(job.id, &text) {
+                fail_job(shared, job, &format!("writing placement to spool: {e}"));
+                return;
+            }
+            let stop_label = stop.map(|s| s.as_str().to_string());
+            let _ = shared.spool.write_state(job.id, "done", stop_label.as_deref());
+            job.with_inner(|i| {
+                i.state = JobState::Done;
+                i.stop = stop_label;
+                i.placement_json = Some(text);
+                i.placement_sha256 = Some(digest);
+            });
+            // The checkpoint has served its purpose.
+            let _ = std::fs::remove_file(&cp_path);
+        }
+        // Mapper errors — including a worker panic inside the FD engine,
+        // surfaced as `CoreError::WorkerPanicked` — fail this job only.
+        Err(e) => fail_job(shared, job, &e.to_string()),
+    }
+}
+
+fn fail_job(shared: &Shared, job: &Job, message: &str) {
+    job.with_inner(|i| {
+        i.state = JobState::Failed;
+        i.error = Some(message.to_string());
+    });
+    let _ = shared.spool.write_state(job.id, "failed", Some(message));
+}
+
+fn job_init(spec: &JobSpec) -> Option<InitialPlacement> {
+    Some(match spec.init.as_str() {
+        "hilbert" => InitialPlacement::Hilbert,
+        "zigzag" => InitialPlacement::ZigZag,
+        "circle" => InitialPlacement::Circle,
+        "serpentine" => InitialPlacement::Serpentine,
+        "random" => InitialPlacement::Random(spec.seed),
+        _ => return None,
+    })
+}
+
+fn job_potential(spec: &JobSpec) -> Option<Potential> {
+    Some(match spec.potential.as_str() {
+        "l1" => Potential::L1,
+        "l1sq" => Potential::L1Squared,
+        "l2sq" => Potential::L2Squared,
+        "energy" => Potential::energy_model(CostModel::paper_target()),
+        _ => return None,
+    })
+}
+
+/// Handles one connection: one request, one response, close.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nonblocking(false);
+    let request = match http::read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(bad) => {
+            let _ = http::respond_error(&mut stream, bad.status, bad.reason, &bad.message);
+            return;
+        }
+    };
+    let _ = route(shared, &request, &mut stream);
+}
+
+/// Dispatches one request to its handler.
+fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/jobs") => post_job(shared, req, stream),
+        ("GET", "/healthz") => {
+            let body = serde_json::json!({ "status": "ok" });
+            respond_json(stream, 200, "OK", &body)
+        }
+        ("GET", "/metrics") => {
+            let page = metrics::render(shared);
+            http::respond(stream, 200, "OK", "text/plain; version=0.0.4", page.as_bytes())
+        }
+        (method, path) => match (method, parse_job_path(path)) {
+            ("GET", Some((id, false))) => get_job(shared, id, stream),
+            ("GET", Some((id, true))) => get_placement(shared, id, stream),
+            ("DELETE", Some((id, false))) => delete_job(shared, id, stream),
+            _ => http::respond_error(stream, 404, "Not Found", &format!("{method} {path}")),
+        },
+    }
+}
+
+/// `/jobs/{id}` → `(id, false)`; `/jobs/{id}/placement` → `(id, true)`.
+fn parse_job_path(path: &str) -> Option<(u64, bool)> {
+    let rest = path.strip_prefix("/jobs/")?;
+    let (id, placement) = match rest.strip_suffix("/placement") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    if id.is_empty() || id.contains('/') {
+        return None;
+    }
+    id.parse().ok().map(|id| (id, placement))
+}
+
+fn post_job(shared: &Shared, req: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
+    if shared.draining.load(SeqCst) {
+        return http::respond_error(stream, 503, "Service Unavailable", "daemon is draining");
+    }
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return http::respond_error(stream, 400, "Bad Request", "body is not UTF-8");
+    };
+    let spec = match parse_job(body) {
+        Ok(spec) => spec,
+        Err(e) => return http::respond_error(stream, 400, "Bad Request", &e.to_string()),
+    };
+    if lock(&shared.queue).len() >= shared.queue_capacity {
+        return http::respond_error(
+            stream,
+            429,
+            "Too Many Requests",
+            &format!("queue is full ({} jobs)", shared.queue_capacity),
+        );
+    }
+    let id = shared.next_id.fetch_add(1, SeqCst);
+    // Spool before acknowledging: every job a client has an id for
+    // survives a crash.
+    if let Err(e) = shared.spool.create_job(id, body) {
+        return http::respond_error(
+            stream,
+            500,
+            "Internal Server Error",
+            &format!("spooling job: {e}"),
+        );
+    }
+    let job = Arc::new(Job::new(id, spec, JobState::Queued));
+    lock(&shared.jobs).insert(id, Arc::clone(&job));
+    lock(&shared.queue).push_back(job);
+    shared.queue_cond.notify_one();
+    shared.submitted_total.fetch_add(1, SeqCst);
+    let body = serde_json::json!({ "id": id, "state": "queued" });
+    respond_json(stream, 201, "Created", &body)
+}
+
+fn get_job(shared: &Shared, id: u64, stream: &mut TcpStream) -> std::io::Result<()> {
+    let Some(job) = lock(&shared.jobs).get(&id).cloned() else {
+        return no_such_job(stream, id);
+    };
+    let snap = job.progress.snapshot();
+    let (state, error, stop, sha) = job.with_inner(|i| {
+        (i.state, i.error.clone(), i.stop.clone(), i.placement_sha256.clone())
+    });
+    let body = serde_json::json!({
+        "id": job.id,
+        "state": state.as_str(),
+        "clusters": job.spec.pcn.num_clusters(),
+        "mesh": format!("{}x{}", job.spec.mesh.rows(), job.spec.mesh.cols()),
+        "sweeps": snap.sweeps,
+        "swaps": snap.swaps,
+        "energy": opt_value(snap.energy),
+        "stop": opt_value(stop),
+        "error": opt_value(error),
+        "placement_sha256": opt_value(sha),
+    });
+    respond_json(stream, 200, "OK", &body)
+}
+
+fn get_placement(shared: &Shared, id: u64, stream: &mut TcpStream) -> std::io::Result<()> {
+    let Some(job) = lock(&shared.jobs).get(&id).cloned() else {
+        return no_such_job(stream, id);
+    };
+    let (state, placement) = job.with_inner(|i| (i.state, i.placement_json.clone()));
+    match placement {
+        Some(text) if state == JobState::Done => {
+            http::respond(stream, 200, "OK", "application/json", text.as_bytes())
+        }
+        _ => http::respond_error(
+            stream,
+            409,
+            "Conflict",
+            &format!("job {id} is {state}, not done"),
+        ),
+    }
+}
+
+fn delete_job(shared: &Shared, id: u64, stream: &mut TcpStream) -> std::io::Result<()> {
+    let Some(job) = lock(&shared.jobs).get(&id).cloned() else {
+        return no_such_job(stream, id);
+    };
+    let state = job.state();
+    if state.is_terminal() {
+        return http::respond_error(
+            stream,
+            409,
+            "Conflict",
+            &format!("job {id} is already {state}"),
+        );
+    }
+    job.client_cancelled.store(true, SeqCst);
+    job.cancel.store(true, SeqCst);
+    // A queued job cancels immediately; a running one stops at the FD
+    // engine's next sweep boundary (its worker persists the state).
+    let state = if state == JobState::Queued {
+        job.set_state(JobState::Cancelled);
+        let _ = shared.spool.write_state(id, "cancelled", None);
+        JobState::Cancelled
+    } else {
+        state
+    };
+    let body = serde_json::json!({ "id": id, "state": state.as_str() });
+    respond_json(stream, 202, "Accepted", &body)
+}
+
+fn no_such_job(stream: &mut TcpStream, id: u64) -> std::io::Result<()> {
+    http::respond_error(stream, 404, "Not Found", &format!("no job {id}"))
+}
+
+fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &serde_json::Value,
+) -> std::io::Result<()> {
+    let text = serde_json::to_string(body).unwrap_or_default();
+    http::respond(stream, status, reason, "application/json", text.as_bytes())
+}
+
+/// `Some(v)` → its JSON value, `None` → `null`.
+fn opt_value<T: serde::Serialize>(v: Option<T>) -> serde_json::Value {
+    match v {
+        Some(v) => serde_json::to_value(&v),
+        None => serde_json::Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_io::render_pcn;
+    use snnmap_model::generators::random_pcn;
+
+    /// Minimal blocking HTTP client for the tests.
+    fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        use std::io::{Read as _, Write as _};
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("read");
+        let status = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad response: {text}"));
+        let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    fn json_field(body: &str, key: &str) -> serde_json::Value {
+        let value: serde_json::Value = serde_json::from_str(body).expect("response is JSON");
+        value.as_object().and_then(|o| o.get(key)).cloned().unwrap_or(serde_json::Value::Null)
+    }
+
+    fn json_u64(body: &str, key: &str) -> u64 {
+        match json_field(body, key) {
+            serde_json::Value::Number(n) => n.as_f64() as u64,
+            other => panic!("`{key}` is not a number: {other:?}"),
+        }
+    }
+
+    fn temp_config(tag: &str) -> ServeConfig {
+        let spool_dir = std::env::temp_dir().join(format!("snnmap_serve_server_{tag}"));
+        let _ = std::fs::remove_dir_all(&spool_dir);
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            spool_dir,
+            queue_capacity: 8,
+        }
+    }
+
+    fn job_body(clusters: u32, seed: u64, max_sweeps: u64) -> String {
+        let pcn = random_pcn(clusters, 3.0, seed).unwrap();
+        let body = serde_json::json!({
+            "format": "snnmap-job-v1",
+            "pcn": render_pcn(&pcn),
+            "max_sweeps": max_sweeps,
+        });
+        serde_json::to_string(&body).unwrap()
+    }
+
+    fn wait_terminal(addr: SocketAddr, id: u64) -> (String, String) {
+        for _ in 0..600 {
+            let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+            assert_eq!(status, 200, "{body}");
+            let state = json_field(&body, "state").as_str().unwrap_or_default().to_string();
+            if ["done", "failed", "cancelled"].contains(&state.as_str()) {
+                return (state, body);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("job {id} never reached a terminal state");
+    }
+
+    #[test]
+    fn round_trip_matches_the_offline_mapper() {
+        let server = Server::bind(&temp_config("roundtrip")).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || server.run(&flag));
+
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200, "{body}");
+
+        let (status, body) = request(addr, "POST", "/jobs", &job_body(60, 7, 12));
+        assert_eq!(status, 201, "{body}");
+        let id = json_u64(&body, "id");
+        let (state, status_body) = wait_terminal(addr, id);
+        assert_eq!(state, "done", "{status_body}");
+        assert_eq!(
+            json_field(&status_body, "stop").as_str(),
+            Some("sweep_cap_reached"),
+            "{status_body}"
+        );
+
+        let (status, placement) = request(addr, "GET", &format!("/jobs/{id}/placement"), "");
+        assert_eq!(status, 200);
+        // Byte-for-byte what the offline pipeline produces.
+        let pcn = random_pcn(60, 3.0, 7).unwrap();
+        let mesh = snnmap_hw::Mesh::square_for(60).unwrap();
+        let mut opts = FdRunOpts {
+            budget: RunBudget { max_sweeps: Some(12), ..RunBudget::default() },
+            ..FdRunOpts::default()
+        };
+        let offline = Mapper::builder()
+            .initial_placement(InitialPlacement::Hilbert)
+            .potential(Potential::L2Squared)
+            .lambda(0.3)
+            .build()
+            .map_budgeted(&pcn, mesh, &mut opts)
+            .unwrap();
+        assert_eq!(placement, render_placement(&offline.placement));
+        assert_eq!(
+            json_field(&status_body, "placement_sha256").as_str(),
+            Some(sha256_hex(placement.as_bytes()).as_str())
+        );
+
+        let (status, metrics_page) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(metrics_page.contains("snnmap_serve_jobs{state=\"done\"} 1"), "{metrics_page}");
+        assert!(metrics_page.contains("snnmap_serve_workers 2"), "{metrics_page}");
+
+        shutdown.store(true, SeqCst);
+        let report = handle.join().unwrap();
+        assert_eq!(report.jobs_total, 1);
+        assert_eq!(report.queued_left, 0);
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors_and_delete_cancels() {
+        let server = Server::bind(&temp_config("errors")).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || server.run(&flag));
+
+        let (status, _) = request(addr, "GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = request(addr, "GET", "/jobs/999", "");
+        assert_eq!(status, 404);
+        let (status, body) = request(addr, "POST", "/jobs", "{\"format\": \"wrong\"}");
+        assert_eq!(status, 400, "{body}");
+        // Duplicate keys are rejected with the typed io error.
+        let dup = job_body(12, 1, 4).replacen('{', "{\"seed\": 1, \"seed\": 2, ", 1);
+        let (status, body) = request(addr, "POST", "/jobs", &dup);
+        assert_eq!(status, 400);
+        assert!(body.contains("duplicate JSON key"), "{body}");
+
+        // Cancel: big enough to still be queued or running when the
+        // DELETE lands; either way it must land terminal-cancelled
+        // without producing a placement.
+        let (status, body) = request(addr, "POST", "/jobs", &job_body(400, 3, 100_000));
+        assert_eq!(status, 201, "{body}");
+        let id = json_u64(&body, "id");
+        let (status, body) = request(addr, "DELETE", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 202, "{body}");
+        let (state, _) = wait_terminal(addr, id);
+        assert_eq!(state, "cancelled");
+        let (status, _) = request(addr, "GET", &format!("/jobs/{id}/placement"), "");
+        assert_eq!(status, 409);
+        // Cancelling a terminal job conflicts.
+        let (status, _) = request(addr, "DELETE", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 409);
+
+        shutdown.store(true, SeqCst);
+        handle.join().unwrap();
+    }
+}

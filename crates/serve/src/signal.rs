@@ -1,0 +1,111 @@
+//! SIGINT/SIGTERM → a shared cancellation flag.
+//!
+//! The crate denies `unsafe`; this module is the one audited exception
+//! (registering an OS signal handler cannot be written without an
+//! `extern` declaration). The handler itself does the absolute minimum
+//! that is async-signal-safe: flip one `AtomicBool` (behind a lock-free
+//! `OnceLock::get`), or [`std::process::abort`] on the *second* signal
+//! so an operator's repeated Ctrl-C always wins over a wedged drain.
+//!
+//! Consumers pass the installed flag wherever a cooperative cancel flag
+//! is accepted: `snnmap map`/`resume` hand it to
+//! [`RunBudget::cancel`](snnmap_core::RunBudget) so Ctrl-C stops the FD
+//! engine at the next sweep boundary (flushing a best-effort checkpoint
+//! on the way out), and `snnmap serve` polls it in the accept loop to
+//! begin a graceful drain.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// The process-wide terminate flag the handler raises.
+static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+#[cfg(unix)]
+mod sys {
+    pub(super) const SIGINT: i32 = 2;
+    pub(super) const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// libc's `signal(2)`. On Linux/glibc this is the BSD-semantics
+        /// variant: the handler stays installed and interrupted slow
+        /// syscalls restart, which is exactly what a cooperative
+        /// sweep-boundary cancel wants.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) fn install(handler: extern "C" fn(i32)) {
+        // SAFETY: `handler` only touches lock-free atomics (see
+        // `on_terminate`), which is async-signal-safe; `signal` itself
+        // is always safe to call with a valid function pointer.
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    /// No signal story off Unix: `install` still hands out a working
+    /// flag, it just never fires from the OS.
+    pub(super) fn install(_handler: extern "C" fn(i32)) {}
+}
+
+/// The signal handler: first signal raises the flag, second aborts.
+extern "C" fn on_terminate(_signum: i32) {
+    if let Some(flag) = FLAG.get() {
+        if flag.swap(true, Ordering::SeqCst) {
+            std::process::abort();
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (once per process; subsequent
+/// calls are no-ops) and returns the shared terminate flag.
+///
+/// The flag is process-global: every `install` caller sees the same
+/// `Arc`, so a single Ctrl-C cancels the CLI run *and* drains the
+/// daemon, whichever is active.
+pub fn install() -> Arc<AtomicBool> {
+    let flag = FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))).clone();
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| sys::install(on_terminate));
+    flag
+}
+
+/// Clears the terminate flag.
+///
+/// For processes that survive a handled signal (a drained daemon asked
+/// to start serving again) and for tests that simulate an interrupt by
+/// setting the flag directly.
+pub fn reset() {
+    if let Some(flag) = FLAG.get() {
+        flag.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn a_raised_sigterm_sets_the_flag_instead_of_killing_the_process() {
+        let flag = install();
+        assert!(!flag.load(Ordering::SeqCst));
+        // SAFETY: the handler is installed above, so the signal is
+        // caught, flips the flag, and the test process survives.
+        unsafe {
+            raise(sys::SIGTERM);
+        }
+        assert!(flag.load(Ordering::SeqCst), "handler must raise the flag");
+        // Both install() callers share the one flag.
+        assert!(install().load(Ordering::SeqCst));
+        reset();
+        assert!(!flag.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,162 @@
+//! The on-disk spool: everything the daemon needs to survive `kill -9`.
+//!
+//! Layout, one directory per job:
+//!
+//! ```text
+//! <spool>/job-<id>/request.json     # the POST body, verbatim
+//! <spool>/job-<id>/state            # lifecycle label (+ detail lines)
+//! <spool>/job-<id>/checkpoint.json  # FdCheckpoint, atomically replaced
+//! <spool>/job-<id>/placement.json   # the result, once done
+//! ```
+//!
+//! Every file is written atomically (temp + rename, like
+//! [`snnmap_io::write_checkpoint`]), so a daemon killed mid-write leaves
+//! either the old record or the new one — never a torn file. Recovery is
+//! a directory scan: terminal jobs load as history, `queued`/`running`
+//! jobs re-enter the queue, and a `running` job with a checkpoint
+//! resumes from it — byte-identical to never having been killed, by the
+//! FD engine's resume guarantee.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Handle on the spool directory.
+#[derive(Debug)]
+pub(crate) struct Spool {
+    dir: PathBuf,
+}
+
+/// One job directory as found on disk during recovery.
+#[derive(Debug)]
+pub(crate) struct SpooledJob {
+    pub id: u64,
+    /// The original request body.
+    pub request: String,
+    /// The persisted lifecycle label (first line of `state`).
+    pub state: String,
+    /// Detail lines after the label (failure message).
+    pub detail: Option<String>,
+    /// `placement.json` contents, when present.
+    pub placement: Option<String>,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool directory.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(Self { dir: dir.to_path_buf() })
+    }
+
+    pub fn job_dir(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("job-{id}"))
+    }
+
+    pub fn checkpoint_path(&self, id: u64) -> PathBuf {
+        self.job_dir(id).join("checkpoint.json")
+    }
+
+    pub fn placement_path(&self, id: u64) -> PathBuf {
+        self.job_dir(id).join("placement.json")
+    }
+
+    /// Persists a freshly accepted job: its directory, the verbatim
+    /// request body, and a `queued` state record.
+    pub fn create_job(&self, id: u64, request_body: &str) -> io::Result<()> {
+        let dir = self.job_dir(id);
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join("request.json"), request_body.as_bytes())?;
+        self.write_state(id, "queued", None)
+    }
+
+    /// Atomically replaces the job's lifecycle record.
+    pub fn write_state(&self, id: u64, label: &str, detail: Option<&str>) -> io::Result<()> {
+        let mut text = format!("{label}\n");
+        if let Some(detail) = detail {
+            text.push_str(detail);
+            text.push('\n');
+        }
+        write_atomic(&self.job_dir(id).join("state"), text.as_bytes())
+    }
+
+    /// Atomically writes the finished placement document.
+    pub fn write_placement(&self, id: u64, placement_json: &str) -> io::Result<()> {
+        write_atomic(&self.placement_path(id), placement_json.as_bytes())
+    }
+
+    /// Scans the spool for job directories, sorted by id. Directories
+    /// missing a readable request or state record are skipped (a daemon
+    /// killed between `create_dir_all` and the first state write leaves
+    /// at most one such stub; it never held an acknowledged job).
+    pub fn scan(&self) -> io::Result<Vec<SpooledJob>> {
+        let mut jobs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(id) = name.to_str().and_then(|n| n.strip_prefix("job-")) else {
+                continue;
+            };
+            let Ok(id) = id.parse::<u64>() else { continue };
+            let dir = entry.path();
+            let Ok(request) = fs::read_to_string(dir.join("request.json")) else { continue };
+            let Ok(state_text) = fs::read_to_string(dir.join("state")) else { continue };
+            let mut lines = state_text.lines();
+            let state = lines.next().unwrap_or("").to_string();
+            let detail: String = lines.collect::<Vec<_>>().join("\n");
+            jobs.push(SpooledJob {
+                id,
+                request,
+                state,
+                detail: (!detail.is_empty()).then_some(detail),
+                placement: fs::read_to_string(dir.join("placement.json")).ok(),
+            });
+        }
+        jobs.sort_by_key(|j| j.id);
+        Ok(jobs)
+    }
+}
+
+/// Temp-and-rename atomic write, matching `snnmap_io::write_checkpoint`.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    fs::write(tmp, bytes)?;
+    fs::rename(tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_spool(tag: &str) -> Spool {
+        let dir = std::env::temp_dir().join(format!("snnmap_serve_spool_{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        Spool::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn jobs_roundtrip_through_the_scan() {
+        let spool = temp_spool("roundtrip");
+        spool.create_job(1, "{\"a\": 1}").unwrap();
+        spool.create_job(2, "{\"b\": 2}").unwrap();
+        spool.write_state(2, "failed", Some("mesh too small")).unwrap();
+        spool.write_placement(1, "{\"placement\": true}").unwrap();
+        spool.write_state(1, "done", None).unwrap();
+
+        let jobs = spool.scan().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, 1);
+        assert_eq!(jobs[0].state, "done");
+        assert_eq!(jobs[0].placement.as_deref(), Some("{\"placement\": true}"));
+        assert_eq!(jobs[0].detail, None);
+        assert_eq!(jobs[1].id, 2);
+        assert_eq!(jobs[1].state, "failed");
+        assert_eq!(jobs[1].detail.as_deref(), Some("mesh too small"));
+
+        // Non-job clutter and torn stubs are skipped.
+        fs::create_dir_all(spool.dir.join("not-a-job")).unwrap();
+        fs::create_dir_all(spool.dir.join("job-9")).unwrap(); // no request/state
+        assert_eq!(spool.scan().unwrap().len(), 2);
+    }
+}

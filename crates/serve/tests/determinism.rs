@@ -1,0 +1,145 @@
+//! Satellite property: concurrency must be invisible in the results.
+//!
+//! K jobs submitted concurrently to the daemon yield placements
+//! **byte-identical** (compared via sha256, like the daemon reports) to
+//! serial offline [`Mapper::map`] runs of the same specs — across
+//! worker-pool sizes 1, 2, and 4. Workers may interleave arbitrarily;
+//! the placement of one job must never depend on what else the pool is
+//! chewing on, because the FD engine shares no mutable state between
+//! jobs and is itself thread-count invariant.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use snnmap_core::Mapper;
+use snnmap_hw::Mesh;
+use snnmap_io::{render_pcn, render_placement};
+use snnmap_model::generators::random_pcn;
+use snnmap_serve::{ServeConfig, Server};
+use snnmap_trace::sha256_hex;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read");
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad response: {text}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let value: serde_json::Value = serde_json::from_str(body).ok()?;
+    Some(value.as_object()?.get(key)?.as_str()?.to_string())
+}
+
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let value: serde_json::Value = serde_json::from_str(body).ok()?;
+    match value.as_object()?.get(key)? {
+        serde_json::Value::Number(n) => Some(n.as_f64() as u64),
+        _ => None,
+    }
+}
+
+fn wait_done(addr: SocketAddr, id: u64) -> String {
+    for _ in 0..1200 {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        match json_str(&body, "state").as_deref() {
+            Some("done") => return body,
+            Some("failed") | Some("cancelled") => panic!("job {id} ended badly: {body}"),
+            _ => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    panic!("job {id} never finished");
+}
+
+/// One concurrent round: K jobs against a pool of `workers`, digests
+/// compared to serial offline runs.
+fn concurrent_matches_serial(workers: usize, base_seed: u64, k: usize) {
+    let spool_dir =
+        std::env::temp_dir().join(format!("snnmap_serve_det_{workers}_{base_seed}_{k}"));
+    let _ = std::fs::remove_dir_all(&spool_dir);
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        spool_dir,
+        queue_capacity: 64,
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let daemon = std::thread::spawn(move || server.run(&flag));
+
+    // Distinct workloads, submitted from K client threads at once.
+    let specs: Vec<(u32, u64)> =
+        (0..k).map(|j| (40 + 17 * j as u32, base_seed + j as u64)).collect();
+    let submitters: Vec<_> = specs
+        .iter()
+        .map(|&(clusters, seed)| {
+            std::thread::spawn(move || {
+                let pcn = random_pcn(clusters, 3.0, seed).unwrap();
+                let body = serde_json::to_string(&serde_json::json!({
+                    "format": "snnmap-job-v1",
+                    "pcn": render_pcn(&pcn),
+                }))
+                .unwrap();
+                let (status, response) = request(addr, "POST", "/jobs", &body);
+                assert_eq!(status, 201, "{response}");
+                ((clusters, seed), json_u64(&response, "id").expect("id"))
+            })
+        })
+        .collect();
+    let ids: Vec<_> = submitters.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for ((clusters, seed), id) in ids {
+        let status_body = wait_done(addr, id);
+        let (code, placement) = request(addr, "GET", &format!("/jobs/{id}/placement"), "");
+        assert_eq!(code, 200);
+        // The serial reference: same spec through the offline pipeline.
+        let pcn = random_pcn(clusters, 3.0, seed).unwrap();
+        let mesh = Mesh::square_for(u64::from(clusters)).unwrap();
+        let serial = Mapper::builder().build().map(&pcn, mesh).unwrap();
+        let serial_text = render_placement(&serial.placement);
+        assert_eq!(
+            placement, serial_text,
+            "job (clusters={clusters}, seed={seed}) diverged from the serial mapper \
+             under {workers} worker(s)"
+        );
+        assert_eq!(
+            json_str(&status_body, "placement_sha256").as_deref(),
+            Some(sha256_hex(serial_text.as_bytes()).as_str()),
+            "reported digest must match the serial placement"
+        );
+    }
+
+    shutdown.store(true, SeqCst);
+    daemon.join().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The property, over random workloads: worker counts 1, 2, and 4
+    /// all reproduce the serial mapper byte-for-byte.
+    #[test]
+    fn concurrent_jobs_match_serial_mapping(base_seed in 0u64..1000, k in 3usize..=5) {
+        for workers in [1usize, 2, 4] {
+            concurrent_matches_serial(workers, base_seed, k);
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`NoopSink`]   | —                | default; zero overhead                |
 //! | [`JsonlSink`]  | any [`std::io::Write`] | `snnmap map --trace-out run.jsonl` |
 //! | [`MemorySink`] | `Vec<TraceEvent>` | bench aggregation, tests             |
+//! | [`ProgressSink`] | shared [`Progress`] cell | live job status in `snnmap-serve` |
 //!
 //! Events render to JSONL with **deterministic field order** and a
 //! versioned `schema` field ([`schema::VERSION`]); timing-derived fields
@@ -45,6 +46,7 @@ mod digest;
 mod event;
 mod jsonl;
 mod memory;
+mod progress;
 
 pub use alloc::{snapshot as alloc_snapshot, AllocSnapshot, CountingAlloc};
 pub use digest::{sha256_hex, Sha256};
@@ -54,6 +56,7 @@ pub use event::{
 };
 pub use jsonl::JsonlSink;
 pub use memory::MemorySink;
+pub use progress::{Progress, ProgressSink, ProgressSnapshot};
 
 use std::time::Instant;
 

@@ -1,0 +1,200 @@
+//! Live run progress shared across threads.
+//!
+//! A mapping service needs to answer "how far along is this job?" while
+//! the Force-Directed engine is mid-run on another thread. The engine
+//! already narrates its life through [`TraceSink`] events;
+//! [`ProgressSink`] is the sink that folds that stream into a lock-free
+//! [`Progress`] cell any number of observers can snapshot concurrently.
+//!
+//! # Examples
+//!
+//! ```
+//! use snnmap_trace::{FdSweepEvent, Progress, ProgressSink, TraceEvent, TraceSink};
+//! use std::sync::Arc;
+//!
+//! let progress = Arc::new(Progress::new());
+//! let mut sink = ProgressSink::new(Arc::clone(&progress));
+//! sink.record(&TraceEvent::FdSweep(FdSweepEvent {
+//!     sweep: 3, queue: 10, cutoff: 3, applied: 2, dirty: 4, carried: 1,
+//!     energy: 123.5, wall_ns: 0,
+//! }));
+//! let snap = progress.snapshot();
+//! assert_eq!(snap.sweeps, 3);
+//! assert_eq!(snap.swaps, 2);
+//! assert_eq!(snap.energy, Some(123.5));
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{TraceEvent, TraceSink};
+
+/// Shared progress cell: written by a [`ProgressSink`] on the worker
+/// thread, snapshotted by observers (HTTP status handlers, progress
+/// bars) on any other thread. All fields are relaxed atomics — each
+/// snapshot field is individually coherent, which is all a progress
+/// display needs.
+#[derive(Debug)]
+pub struct Progress {
+    sweeps: AtomicU64,
+    swaps: AtomicU64,
+    /// Last observed energy as [`f64::to_bits`]; NaN bits mean "none yet".
+    energy_bits: AtomicU64,
+}
+
+/// One observation of a [`Progress`] cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressSnapshot {
+    /// Sweeps completed so far (cumulative across resume).
+    pub sweeps: u64,
+    /// Swaps applied so far (cumulative across resume).
+    pub swaps: u64,
+    /// Energy after the last completed sweep, if any sweep has run.
+    pub energy: Option<f64>,
+}
+
+impl Progress {
+    /// A fresh cell: zero sweeps/swaps, no energy yet.
+    pub fn new() -> Self {
+        Self {
+            sweeps: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+            energy_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Reads the current progress.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let bits = self.energy_bits.load(Ordering::Relaxed);
+        let energy = f64::from_bits(bits);
+        ProgressSnapshot {
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            energy: (!energy.is_nan()).then_some(energy),
+        }
+    }
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A [`TraceSink`] that keeps a shared [`Progress`] cell current.
+///
+/// Folds `fd_sweep` / `resume` / `fd_done` events into the cell and
+/// ignores everything else. Because `enabled()` is `true`, the engine
+/// pays the per-sweep energy probe — that is the price of live energy
+/// reporting, and it never changes the placement (tracing is
+/// observation-only by construction).
+#[derive(Debug)]
+pub struct ProgressSink {
+    progress: Arc<Progress>,
+}
+
+impl ProgressSink {
+    /// Wraps a shared progress cell.
+    pub fn new(progress: Arc<Progress>) -> Self {
+        Self { progress }
+    }
+
+    /// The cell this sink updates.
+    pub fn progress(&self) -> &Arc<Progress> {
+        &self.progress
+    }
+}
+
+impl TraceSink for ProgressSink {
+    fn record(&mut self, event: &TraceEvent) {
+        let p = &*self.progress;
+        match event {
+            TraceEvent::FdSweep(s) => {
+                p.sweeps.store(s.sweep, Ordering::Relaxed);
+                p.swaps.fetch_add(s.applied, Ordering::Relaxed);
+                p.energy_bits.store(s.energy.to_bits(), Ordering::Relaxed);
+            }
+            // A resumed run starts from the checkpoint's cumulative
+            // counters; later sweeps continue from there.
+            TraceEvent::Resume(r) => {
+                p.sweeps.store(r.sweep, Ordering::Relaxed);
+                p.swaps.store(r.swaps, Ordering::Relaxed);
+                p.energy_bits.store(r.initial_energy.to_bits(), Ordering::Relaxed);
+            }
+            TraceEvent::FdDone(d) => {
+                p.sweeps.store(d.iterations, Ordering::Relaxed);
+                p.swaps.store(d.swaps, Ordering::Relaxed);
+                p.energy_bits.store(d.final_energy.to_bits(), Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FdDoneEvent, FdSweepEvent, ResumeEvent};
+
+    fn sweep(n: u64, applied: u64, energy: f64) -> TraceEvent {
+        TraceEvent::FdSweep(FdSweepEvent {
+            sweep: n,
+            queue: 10,
+            cutoff: 5,
+            applied,
+            dirty: 0,
+            carried: 0,
+            energy,
+            wall_ns: 0,
+        })
+    }
+
+    #[test]
+    fn fresh_cell_reports_nothing_observed() {
+        let p = Progress::default();
+        assert_eq!(p.snapshot(), ProgressSnapshot { sweeps: 0, swaps: 0, energy: None });
+    }
+
+    #[test]
+    fn folds_the_sweep_stream() {
+        let progress = Arc::new(Progress::new());
+        let mut sink = ProgressSink::new(Arc::clone(&progress));
+        assert!(sink.enabled());
+        sink.record(&sweep(1, 4, 90.0));
+        sink.record(&sweep(2, 3, 80.5));
+        let snap = sink.progress().snapshot();
+        assert_eq!(snap.sweeps, 2);
+        assert_eq!(snap.swaps, 7);
+        assert_eq!(snap.energy, Some(80.5));
+        sink.record(&TraceEvent::FdDone(FdDoneEvent {
+            iterations: 3,
+            swaps: 9,
+            initial_energy: 100.0,
+            final_energy: 77.25,
+            converged: true,
+            stop: "converged".into(),
+        }));
+        let snap = progress.snapshot();
+        assert_eq!(snap.sweeps, 3);
+        assert_eq!(snap.swaps, 9);
+        assert_eq!(snap.energy, Some(77.25));
+    }
+
+    #[test]
+    fn resume_restores_cumulative_counters() {
+        let progress = Arc::new(Progress::new());
+        let mut sink = ProgressSink::new(Arc::clone(&progress));
+        sink.record(&TraceEvent::Resume(ResumeEvent {
+            sweep: 17,
+            swaps: 112,
+            initial_energy: 55.5,
+        }));
+        let snap = progress.snapshot();
+        assert_eq!(snap.sweeps, 17);
+        assert_eq!(snap.swaps, 112);
+        assert_eq!(snap.energy, Some(55.5));
+        // The next sweep continues the cumulative swap count.
+        sink.record(&sweep(18, 2, 54.0));
+        assert_eq!(progress.snapshot().swaps, 114);
+    }
+}
