@@ -131,7 +131,8 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args { jobs, workers, clusters, degree, mesh, sweeps, seed0, json })
 }
 
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// One HTTP exchange; returns (status, raw head with headers, body).
+fn request_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(
         stream,
@@ -146,8 +147,24 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad response: {text}"));
-    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    (status, head, body)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = request_full(addr, method, path, body);
     (status, body)
+}
+
+/// The `Retry-After` header's value in seconds, if present.
+fn retry_after_secs(head: &str) -> Option<u64> {
+    head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.trim().eq_ignore_ascii_case("retry-after").then(|| value.trim().parse().ok())?
+    })
 }
 
 fn json_field(body: &str, key: &str) -> Option<serde_json::Value> {
@@ -173,8 +190,21 @@ fn json_u64(body: &str, key: &str) -> Option<u64> {
 /// placement. Returns (id, digest, sweeps, stop, secs).
 fn drive_job(addr: SocketAddr, body: &str) -> (u64, String, u64, String, f64) {
     let t0 = Instant::now();
-    let (status, response) = request(addr, "POST", "/jobs", body);
-    assert_eq!(status, 201, "{response}");
+    // Honor daemon backpressure: a 429 (queue full) or 503 (draining)
+    // carries a `Retry-After` hint; wait it out and resubmit instead of
+    // hammering or giving up.
+    let response = loop {
+        let (status, head, response) = request_full(addr, "POST", "/jobs", body);
+        match status {
+            201 => break response,
+            429 | 503 => {
+                let wait = retry_after_secs(&head).unwrap_or(1).clamp(1, 30);
+                eprintln!("[bench_serve] {status}, retrying in {wait}s: {response}");
+                std::thread::sleep(Duration::from_secs(wait));
+            }
+            other => panic!("POST /jobs -> {other}: {response}"),
+        }
+    };
     let id = json_u64(&response, "id").expect("id");
     let status_body = loop {
         let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
@@ -278,6 +308,7 @@ fn main() {
         workers: args.workers,
         spool_dir: spool_dir.clone(),
         queue_capacity: args.jobs.max(8),
+        ..ServeConfig::default()
     })
     .expect("bind daemon");
     let addr = server.local_addr().expect("local addr");

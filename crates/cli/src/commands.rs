@@ -481,7 +481,18 @@ fn interrupted_exit(
 /// drain gracefully. Queued and interrupted jobs stay in the spool;
 /// restarting with the same `--spool-dir` resumes them.
 pub fn serve(args: &[String]) -> Result<String, CliError> {
-    let o = Opts::parse(args, &["addr", "workers", "spool-dir", "queue-capacity"])?;
+    let o = Opts::parse(
+        args,
+        &[
+            "addr",
+            "workers",
+            "spool-dir",
+            "queue-capacity",
+            "lease-ttl-ms",
+            "daemon-id",
+            "io-timeout-ms",
+        ],
+    )?;
     let mut config = ServeConfig::default();
     if let Some(addr) = o.flag("addr") {
         config.addr = addr.to_string();
@@ -494,6 +505,17 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
     if config.queue_capacity == 0 {
         return Err(CliError::usage("`--queue-capacity` must be positive"));
     }
+    let lease_ttl_ms: u64 = o.parsed_or("lease-ttl-ms", config.lease_ttl.as_millis() as u64)?;
+    if lease_ttl_ms == 0 {
+        return Err(CliError::usage("`--lease-ttl-ms` must be positive"));
+    }
+    config.lease_ttl = Duration::from_millis(lease_ttl_ms);
+    config.daemon_id = o.flag("daemon-id").map(str::to_string);
+    let io_timeout_ms: u64 = o.parsed_or("io-timeout-ms", config.io_timeout.as_millis() as u64)?;
+    if io_timeout_ms == 0 {
+        return Err(CliError::usage("`--io-timeout-ms` must be positive"));
+    }
+    config.io_timeout = Duration::from_millis(io_timeout_ms);
     let server = Server::bind(&config)?;
     let addr =
         server.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| config.addr.clone());
@@ -505,6 +527,9 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         server.workers(),
         config.spool_dir.display()
     );
+    if let Some((seed, spec)) = snnmap_chaos::active_spec() {
+        eprintln!("snnmap-serve chaos armed: seed {seed}, schedule `{spec}`");
+    }
     let report = server.run(&shutdown);
     signal::reset();
     Ok(format!(

@@ -63,7 +63,8 @@ commands:
   validate <file.pcn> <placement.json>
         [--faults <rate|file.json>] [--seed N] [--npc N] [--spc N]
   serve [--addr HOST:PORT] [--workers N] [--spool-dir <dir>]
-        [--queue-capacity N]
+        [--queue-capacity N] [--lease-ttl-ms N] [--daemon-id <id>]
+        [--io-timeout-ms N]
 
 `--faults` takes a uniform core/link fault rate in [0, 1) (seeded by
 `--seed`) or a fault-map JSON file written by `--faults-out`.
@@ -86,7 +87,16 @@ Ctrl-C (SIGINT) or SIGTERM during `map`/`resume` stops the run at the
 next sweep boundary, writes the best-so-far placement (and checkpoint,
 when configured), and exits 130; a second signal aborts immediately.
 `serve` drains gracefully: running jobs checkpoint to the spool and
-resume when the daemon restarts with the same --spool-dir.
+resume when the daemon restarts with the same --spool-dir. Several
+daemons may share one --spool-dir: each running job holds a heartbeated
+LEASE file, and a daemon that dies has its jobs finished by a peer once
+the lease outlives --lease-ttl-ms. `--io-timeout-ms` bounds how long a
+client may take to deliver a request (slow clients get 408).
+
+SNNMAP_CHAOS=<seed>:<failpoint>=<fault>[@<trigger>],... arms seeded,
+replayable fault injection on every spool/checkpoint/socket sync point
+(faults: enospc, torn, fail, short, disconnect; triggers: #N, #N+,
+1inN). Unset, the failpoints compile down to one atomic load.
 
 exit codes: 0 ok, 1 runtime error, 2 usage error, 3 invalid placement,
 130 interrupted by SIGINT/SIGTERM.
@@ -100,6 +110,11 @@ run `snnmap <command>` with missing arguments for details.";
 /// [`CliError`] for unknown commands, malformed options, I/O failures,
 /// and any mapping/evaluation error.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    // Arm the deterministic fault-injection schedule, if any, before the
+    // first I/O. A malformed schedule is a configuration error, not a
+    // license to run without the requested faults.
+    snnmap_chaos::install_from_env()
+        .map_err(|e| CliError::usage(format!("{} env var: {e}", snnmap_chaos::ENV_VAR)))?;
     let (cmd, rest) = args.split_first().ok_or(CliError::usage("missing command"))?;
     match cmd.as_str() {
         "gen" => commands::gen(rest),

@@ -12,8 +12,15 @@
 //! ([`f64::to_bits`]) so the JSON round trip is exact, and the document
 //! carries two caller-supplied digests (run configuration and PCN) so
 //! `snnmap resume` can refuse a checkpoint taken under different inputs.
+//!
+//! The document additionally carries `self_sha256`, a digest of its own
+//! canonical rendering (computed with the digest field blanked). The
+//! provenance digests only cover the *inputs*; a bit flip inside
+//! `coords` or `forces_bits` can still parse cleanly into a
+//! valid-looking checkpoint that resumes to a silently different
+//! placement. [`parse_checkpoint`] re-renders what it parsed and
+//! compares, so any such flip is rejected with a typed error.
 
-use std::fs;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
@@ -51,13 +58,15 @@ struct CheckpointDoc {
     /// Element `i` is cluster `i`'s `[UP, DOWN, LEFT, RIGHT]` force
     /// record as `f64` bit patterns.
     forces_bits: Vec<[u64; 4]>,
+    /// SHA-256 of this document's canonical rendering with this field
+    /// set to `""`. Absent in pre-chaos checkpoints, which are accepted
+    /// without self-verification.
+    self_sha256: Option<String>,
 }
 
 const FORMAT: &str = "snnmap-checkpoint-v1";
 
-/// Renders a checkpoint as pretty-printed JSON (deterministic: equal
-/// checkpoints render byte-identically).
-pub fn render_checkpoint(checkpoint: &FdCheckpoint, meta: &CheckpointMeta) -> String {
+fn render_doc(checkpoint: &FdCheckpoint, meta: &CheckpointMeta, self_sha256: &str) -> String {
     let doc = CheckpointDoc {
         format: FORMAT.to_string(),
         config_digest: meta.config_digest.clone(),
@@ -74,8 +83,17 @@ pub fn render_checkpoint(checkpoint: &FdCheckpoint, meta: &CheckpointMeta) -> St
             .iter()
             .map(|f| [f[0].to_bits(), f[1].to_bits(), f[2].to_bits(), f[3].to_bits()])
             .collect(),
+        self_sha256: Some(self_sha256.to_string()),
     };
     serde_json::to_string_pretty(&doc).expect("checkpoint doc always serializes")
+}
+
+/// Renders a checkpoint as pretty-printed JSON (deterministic: equal
+/// checkpoints render byte-identically), stamped with its own integrity
+/// digest.
+pub fn render_checkpoint(checkpoint: &FdCheckpoint, meta: &CheckpointMeta) -> String {
+    let preimage = render_doc(checkpoint, meta, "");
+    render_doc(checkpoint, meta, &snnmap_trace::sha256_hex(preimage.as_bytes()))
 }
 
 /// Parses a checkpoint from JSON, validating it as untrusted input.
@@ -85,7 +103,9 @@ pub fn render_checkpoint(checkpoint: &FdCheckpoint, meta: &CheckpointMeta) -> St
 /// [`IoError::Json`] for malformed JSON; [`IoError::Invalid`] for a
 /// wrong format tag, a dimension bomb (see [`crate::MAX_MESH_CORES`]), a
 /// coordinate/force table length mismatch, more clusters than cores,
-/// out-of-mesh coordinates, or two clusters on the same core.
+/// out-of-mesh coordinates, two clusters on the same core, or a
+/// document whose `self_sha256` does not match its own canonical
+/// re-rendering (a flipped bit anywhere in the payload).
 pub fn parse_checkpoint(text: &str) -> Result<(FdCheckpoint, CheckpointMeta), IoError> {
     crate::dupkey::reject_duplicate_keys(text)?;
     let doc: CheckpointDoc = serde_json::from_str(text)?;
@@ -146,16 +166,32 @@ pub fn parse_checkpoint(text: &str) -> Result<(FdCheckpoint, CheckpointMeta), Io
         energy: f64::from_bits(doc.energy_bits),
     };
     let meta = CheckpointMeta { config_digest: doc.config_digest, pcn_digest: doc.pcn_digest };
+    if let Some(claimed) = doc.self_sha256 {
+        let preimage = render_doc(&checkpoint, &meta, "");
+        let actual = snnmap_trace::sha256_hex(preimage.as_bytes());
+        if claimed != actual {
+            return Err(IoError::Invalid {
+                message: format!(
+                    "integrity digest mismatch: document claims {claimed}, \
+                     canonical re-rendering hashes to {actual}"
+                ),
+            });
+        }
+    }
     Ok((checkpoint, meta))
 }
 
 /// Reads a checkpoint from a JSON file.
 ///
+/// The read goes through the `checkpoint.read` failpoint; an injected
+/// short read hands [`parse_checkpoint`] a truncated document, which the
+/// format's own validation (JSON structure + `self_sha256`) rejects.
+///
 /// # Errors
 ///
 /// [`IoError::Io`] plus all [`parse_checkpoint`] errors.
 pub fn read_checkpoint(path: &Path) -> Result<(FdCheckpoint, CheckpointMeta), IoError> {
-    parse_checkpoint(&fs::read_to_string(path)?)
+    parse_checkpoint(&snnmap_chaos::cfs::read_to_string("checkpoint.read", path)?)
 }
 
 /// Writes a checkpoint to a JSON file, atomically: the document lands in
@@ -163,9 +199,14 @@ pub fn read_checkpoint(path: &Path) -> Result<(FdCheckpoint, CheckpointMeta), Io
 /// process killed mid-write leaves either the previous checkpoint or the
 /// new one — never a truncated file.
 ///
+/// Both steps are failpoints (`checkpoint.write`, `checkpoint.rename`).
+/// A torn write only ever tears the `.tmp` sibling; `path` itself either
+/// keeps its previous content or receives the complete new document via
+/// the atomic rename.
+///
 /// # Errors
 ///
-/// [`IoError::Io`] for filesystem failures.
+/// [`IoError::Io`] for filesystem failures (including injected ones).
 pub fn write_checkpoint(
     path: &Path,
     checkpoint: &FdCheckpoint,
@@ -174,8 +215,8 @@ pub fn write_checkpoint(
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = Path::new(&tmp);
-    fs::write(tmp, render_checkpoint(checkpoint, meta))?;
-    Ok(fs::rename(tmp, path)?)
+    snnmap_chaos::cfs::write("checkpoint.write", tmp, render_checkpoint(checkpoint, meta).as_bytes())?;
+    Ok(snnmap_chaos::cfs::rename("checkpoint.rename", tmp, path)?)
 }
 
 #[cfg(test)]

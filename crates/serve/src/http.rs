@@ -7,9 +7,17 @@
 //! `curl`, the bench load generator, and a reverse proxy need, and
 //! keeping it tiny keeps the attack surface auditable — header size and
 //! body size are hard-capped before any allocation scales with input.
+//!
+//! Reading is bounded by a **total deadline**, not a per-`read(2)`
+//! timeout: the socket's read timeout is re-armed with the *remaining*
+//! budget before every read, so a slow-loris client trickling one byte
+//! per second exhausts the same budget as one that stalls outright.
+//! Either way the worker thread answers `408 Request Timeout` and moves
+//! on — it is never wedged.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Hard cap on a request body (the embedded PCN dominates; 64 MiB is
 /// ~1.6M clusters of edge-list text, far beyond the service workloads).
@@ -17,6 +25,10 @@ pub(crate) const MAX_BODY: usize = 64 << 20;
 
 /// Hard cap on the request line plus headers.
 const MAX_HEAD: usize = 64 << 10;
+
+/// Body bytes read per deadline re-arm; small enough that a trickling
+/// client cannot stretch one `read_exact` far past the deadline.
+const BODY_CHUNK: usize = 64 << 10;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -38,23 +50,47 @@ impl BadRequest {
     fn new(status: u16, reason: &'static str, message: impl Into<String>) -> Self {
         Self { status, reason, message: message.into() }
     }
+
+    fn timeout(what: &str) -> Self {
+        Self::new(408, "Request Timeout", format!("deadline exceeded while reading {what}"))
+    }
 }
 
-/// Reads and parses one request from the stream.
+/// Maps a read error: a timed-out socket is the client's fault (408),
+/// anything else is a malformed exchange (400).
+fn io_err(what: &'static str) -> impl Fn(std::io::Error) -> BadRequest {
+    move |e: std::io::Error| match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => BadRequest::timeout(what),
+        _ => BadRequest::new(400, "Bad Request", format!("read failed: {e}")),
+    }
+}
+
+/// Arms the socket's read timeout with the time left until `deadline`.
+/// An already-spent deadline is an immediate 408.
+fn arm(stream: &TcpStream, deadline: Instant, what: &'static str) -> Result<(), BadRequest> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(BadRequest::timeout(what));
+    }
+    stream.set_read_timeout(Some(remaining)).map_err(io_err(what))
+}
+
+/// Reads and parses one request from the stream, all of it before
+/// `deadline`.
 ///
 /// `Ok(None)` means the peer closed the connection before sending a
 /// request line (a health-checker's connect-and-close probe) — not an
 /// error, just nothing to answer.
 pub(crate) fn read_request(
     stream: &mut TcpStream,
+    deadline: Instant,
 ) -> Result<Option<Request>, BadRequest> {
     let mut reader = BufReader::new(stream);
-    let io_err =
-        |e: std::io::Error| BadRequest::new(400, "Bad Request", format!("read failed: {e}"));
 
     let mut line = String::new();
     let mut head_bytes = 0usize;
-    reader.read_line(&mut line).map_err(io_err)?;
+    arm(reader.get_ref(), deadline, "the request line")?;
+    reader.read_line(&mut line).map_err(io_err("the request line"))?;
     if line.is_empty() {
         return Ok(None);
     }
@@ -71,7 +107,8 @@ pub(crate) fn read_request(
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        reader.read_line(&mut header).map_err(io_err)?;
+        arm(reader.get_ref(), deadline, "headers")?;
+        reader.read_line(&mut header).map_err(io_err("headers"))?;
         head_bytes += header.len();
         if head_bytes > MAX_HEAD {
             return Err(BadRequest::new(431, "Request Header Fields Too Large", ""));
@@ -102,7 +139,27 @@ pub(crate) fn read_request(
         return Err(BadRequest::new(413, "Payload Too Large", format!("{content_length} bytes")));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(io_err)?;
+    let mut filled = 0usize;
+    while filled < content_length {
+        if snnmap_chaos::check("serve.read_body").is_some() {
+            return Err(BadRequest::new(
+                400,
+                "Bad Request",
+                "read failed: injected client disconnect mid-body",
+            ));
+        }
+        arm(reader.get_ref(), deadline, "the body")?;
+        let end = (filled + BODY_CHUNK).min(content_length);
+        let n = reader.read(&mut body[filled..end]).map_err(io_err("the body"))?;
+        if n == 0 {
+            return Err(BadRequest::new(
+                400,
+                "Bad Request",
+                format!("body truncated at {filled} of {content_length} bytes"),
+            ));
+        }
+        filled += n;
+    }
     // Strip the query string; the API has none, and ignoring it keeps
     // `GET /jobs/3?x=y` a clean 404 rather than a parser quirk.
     let path = target.split('?').next().unwrap_or("").to_string();
@@ -110,7 +167,39 @@ pub(crate) fn read_request(
 }
 
 /// Writes one response and flushes. `Connection: close` always — one
-/// exchange per connection keeps the server loop stateless.
+/// exchange per connection keeps the server loop stateless. `extra`
+/// headers (e.g. `Retry-After`) are emitted verbatim. The `serve.write`
+/// failpoint can sever the connection mid-response, simulating a client
+/// that vanished while the answer was in flight.
+pub(crate) fn respond_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    if snnmap_chaos::check("serve.write").is_some() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return Err(std::io::Error::other("injected peer disconnect mid-response"));
+    }
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// [`respond_with_headers`] without extra headers.
 pub(crate) fn respond(
     stream: &mut TcpStream,
     status: u16,
@@ -118,13 +207,20 @@ pub(crate) fn respond(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
-    stream.write_all(body)?;
-    stream.flush()
+    respond_with_headers(stream, status, reason, content_type, &[], body)
+}
+
+/// Writes a `{"error": ...}` JSON response with extra headers.
+pub(crate) fn respond_error_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra: &[(&str, String)],
+    message: &str,
+) -> std::io::Result<()> {
+    let body = serde_json::json!({ "error": message });
+    let body = serde_json::to_string(&body).unwrap_or_default();
+    respond_with_headers(stream, status, reason, "application/json", extra, body.as_bytes())
 }
 
 /// Writes a `{"error": ...}` JSON response.
@@ -134,7 +230,5 @@ pub(crate) fn respond_error(
     reason: &str,
     message: &str,
 ) -> std::io::Result<()> {
-    let body = serde_json::json!({ "error": message });
-    let body = serde_json::to_string(&body).unwrap_or_default();
-    respond(stream, status, reason, "application/json", body.as_bytes())
+    respond_error_with_headers(stream, status, reason, &[], message)
 }

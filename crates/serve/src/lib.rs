@@ -33,6 +33,17 @@
 //!   to an uninterrupted run.
 //! * **Isolation** — a panicking worker surfaces as one `failed` job
 //!   (`CoreError::WorkerPanicked`), never daemon death.
+//! * **Fault tolerance** — all spool and checkpoint I/O flows through
+//!   the `snnmap-chaos` failpoint seam, transient failures are absorbed
+//!   by bounded retry-with-backoff, socket reads run under a total
+//!   deadline (slow-loris → `408`, never a wedged worker), and corrupt
+//!   job directories are quarantined at startup instead of crashing the
+//!   daemon.
+//! * **Multi-daemon failover** — N daemons can share one spool: each
+//!   running job holds a heartbeated `LEASE` file, and a daemon
+//!   that dies mid-job has its work adopted by a peer once the lease
+//!   expires — finishing byte-identically, because mapping is
+//!   deterministic.
 //!
 //! [`signal`] is the crate's single audited `unsafe` module (OS signal
 //! handler registration); everything else is `#![deny(unsafe_code)]`.
@@ -42,7 +53,9 @@
 
 mod http;
 mod job;
+mod lease;
 mod metrics;
+mod retry;
 mod server;
 pub mod signal;
 mod spool;

@@ -50,6 +50,40 @@ pub(crate) fn render(shared: &Shared) -> String {
         "Jobs accepted over the daemon's lifetime (including recovered).",
     );
     prom.sample("serve_jobs_submitted_total", &[], shared.submitted_total.load(SeqCst) as f64);
+    prom.header(
+        "serve_spool_retries_total",
+        "counter",
+        "Transient spool/checkpoint I/O failures absorbed by retry-with-backoff.",
+    );
+    prom.sample("serve_spool_retries_total", &[], shared.spool.retries() as f64);
+    prom.header(
+        "serve_io_timeouts_total",
+        "counter",
+        "Connections answered 408 after exhausting the read deadline.",
+    );
+    prom.sample("serve_io_timeouts_total", &[], shared.timeouts_total.load(SeqCst) as f64);
+    prom.header(
+        "serve_lease_takeovers_total",
+        "counter",
+        "Jobs adopted from a dead peer's expired lease.",
+    );
+    prom.sample("serve_lease_takeovers_total", &[], shared.takeovers_total.load(SeqCst) as f64);
+    prom.header(
+        "serve_quarantined_jobs_total",
+        "counter",
+        "Corrupt job directories moved to spool/quarantine at startup.",
+    );
+    prom.sample(
+        "serve_quarantined_jobs_total",
+        &[],
+        shared.quarantined_total.load(SeqCst) as f64,
+    );
+    prom.header(
+        "serve_chaos_injected_total",
+        "counter",
+        "Faults injected by the chaos schedule (0 unless SNNMAP_CHAOS is armed).",
+    );
+    prom.sample("serve_chaos_injected_total", &[], snnmap_chaos::injected_total() as f64);
 
     // Process-wide FD parallelism counters (`snnmap_core::par`).
     let par = par::counters();

@@ -1,0 +1,134 @@
+//! Bounded retry with exponential backoff for transient spool I/O.
+//!
+//! A shared spool directory sees transient failures a single-process
+//! spool never did: a peer deleting a `.tmp` we were about to rename, a
+//! disk briefly full, an injected chaos fault. One bounded retry loop
+//! with exponential backoff handles all of them; the retry count is
+//! surfaced on `/metrics` so an operator can see a disk going bad long
+//! before jobs start failing.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Retry schedule: `attempts` tries total, sleeping `base * 2^i` (capped
+/// at `max`) between them.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryPolicy {
+    pub attempts: u32,
+    pub base: Duration,
+    pub max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { attempts: 4, base: Duration::from_millis(10), max: Duration::from_millis(500) }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based).
+    fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.min(16);
+        self.base.saturating_mul(factor).min(self.max)
+    }
+}
+
+/// Runs `op` up to `policy.attempts` times. Every retry (not the first
+/// attempt) bumps `counter`. `fatal` short-circuits errors that must not
+/// be retried (e.g. `AlreadyExists` during id allocation, where the
+/// error *is* the answer).
+pub(crate) fn with_retry<T, E>(
+    policy: &RetryPolicy,
+    counter: &AtomicU64,
+    fatal: impl Fn(&E) -> bool,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let attempts = policy.attempts.max(1);
+    let mut retry = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if fatal(&e) || retry + 1 >= attempts => return Err(e),
+            Err(_) => {
+                std::thread::sleep(policy.backoff(retry));
+                retry += 1;
+                counter.fetch_add(1, Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_without_retrying() {
+        let counter = AtomicU64::new(0);
+        let r: Result<i32, &str> =
+            with_retry(&RetryPolicy::default(), &counter, |_| false, || Ok(7));
+        assert_eq!(r, Ok(7));
+        assert_eq!(counter.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn retries_transient_failures_then_succeeds() {
+        let counter = AtomicU64::new(0);
+        let policy =
+            RetryPolicy { attempts: 4, base: Duration::from_millis(1), max: Duration::from_millis(2) };
+        let mut calls = 0;
+        let r: Result<i32, &str> = with_retry(&policy, &counter, |_| false, || {
+            calls += 1;
+            if calls < 3 {
+                Err("transient")
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r, Ok(3));
+        assert_eq!(counter.load(Relaxed), 2);
+    }
+
+    #[test]
+    fn gives_up_after_the_budget() {
+        let counter = AtomicU64::new(0);
+        let policy =
+            RetryPolicy { attempts: 3, base: Duration::from_millis(1), max: Duration::from_millis(1) };
+        let mut calls = 0u32;
+        let r: Result<(), &str> = with_retry(&policy, &counter, |_| false, || {
+            calls += 1;
+            Err("still broken")
+        });
+        assert_eq!(r, Err("still broken"));
+        assert_eq!(calls, 3);
+        assert_eq!(counter.load(Relaxed), 2);
+    }
+
+    #[test]
+    fn fatal_errors_short_circuit() {
+        let counter = AtomicU64::new(0);
+        let mut calls = 0u32;
+        let r: Result<(), i32> =
+            with_retry(&RetryPolicy::default(), &counter, |&e| e == 17, || {
+                calls += 1;
+                Err(17)
+            });
+        assert_eq!(r, Err(17));
+        assert_eq!(calls, 1, "a fatal error is never retried");
+        assert_eq!(counter.load(Relaxed), 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(100),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(20));
+        assert_eq!(p.backoff(2), Duration::from_millis(40));
+        assert_eq!(p.backoff(5), Duration::from_millis(100), "capped");
+        assert_eq!(p.backoff(63), Duration::from_millis(100), "no overflow");
+    }
+}

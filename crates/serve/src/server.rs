@@ -19,24 +19,26 @@
 //! jobs spooled. A restarted daemon picks both kinds back up —
 //! interrupted runs resume bit-identically from their checkpoint.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use snnmap_core::{
     par, FdCheckpoint, FdRunOpts, InitialPlacement, Mapper, Potential, RunBudget, StopReason,
 };
 use snnmap_hw::CostModel;
-use snnmap_io::{parse_job, read_checkpoint, render_placement, write_checkpoint, JobSpec};
+use snnmap_io::{parse_job, read_checkpoint, render_placement, write_checkpoint, IoError, JobSpec};
 use snnmap_trace::{sha256_hex, ProgressSink};
 
 use crate::http::{self, Request};
 use crate::job::{parse_state, Job, JobState};
+use crate::lease::{self, Acquire};
 use crate::metrics;
-use crate::spool::Spool;
+use crate::retry::with_retry;
+use crate::spool::{ScanEntry, Spool, SpooledJob};
 
 /// Daemon configuration (the `snnmap serve` flags).
 #[derive(Debug, Clone)]
@@ -50,6 +52,17 @@ pub struct ServeConfig {
     /// Bound on jobs waiting in the queue; submissions beyond it get
     /// `429 Too Many Requests`.
     pub queue_capacity: usize,
+    /// Lease time-to-live: a running job whose `LEASE` heartbeat is
+    /// older than this is considered abandoned, and any daemon sharing
+    /// the spool may take it over.
+    pub lease_ttl: Duration,
+    /// This daemon's identity in `LEASE` files; `None` derives a
+    /// process-unique id.
+    pub daemon_id: Option<String>,
+    /// Total per-connection deadline for reading a request (and the
+    /// per-write socket timeout). Slow-loris and stalled-body clients
+    /// get `408 Request Timeout` when it runs out.
+    pub io_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +72,9 @@ impl Default for ServeConfig {
             workers: 0,
             spool_dir: PathBuf::from("snnmap-spool"),
             queue_capacity: 64,
+            lease_ttl: Duration::from_secs(30),
+            daemon_id: None,
+            io_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -103,7 +119,8 @@ pub struct DrainReport {
     pub queued_left: usize,
 }
 
-/// State shared by the accept loop, connection threads, and workers.
+/// State shared by the accept loop, connection threads, workers, and
+/// the janitor/heartbeat background threads.
 pub(crate) struct Shared {
     pub(crate) spool: Spool,
     pub(crate) jobs: Mutex<BTreeMap<u64, Arc<Job>>>,
@@ -114,6 +131,16 @@ pub(crate) struct Shared {
     pub(crate) busy_workers: AtomicUsize,
     pub(crate) draining: AtomicBool,
     pub(crate) submitted_total: AtomicU64,
+    /// This daemon's identity in spool `LEASE` files.
+    pub(crate) daemon_id: String,
+    pub(crate) lease_ttl: Duration,
+    pub(crate) io_timeout: Duration,
+    /// Jobs taken over from a dead peer's expired lease.
+    pub(crate) takeovers_total: AtomicU64,
+    /// Connections answered `408 Request Timeout`.
+    pub(crate) timeouts_total: AtomicU64,
+    /// Corrupt job dirs moved to `quarantine/` (at startup).
+    pub(crate) quarantined_total: AtomicU64,
     next_id: AtomicU64,
 }
 
@@ -149,6 +176,12 @@ impl Server {
     /// the queue — a `running` job kept its spooled checkpoint, so its
     /// worker resumes it bit-identically instead of starting over.
     ///
+    /// Corrupt job directories — an unparseable request, an unknown
+    /// state label, a `done` record without its placement, a garbled
+    /// checkpoint, or a stale stub missing its records entirely — are
+    /// moved to `spool/quarantine/<id>/` with a `REASON` file instead of
+    /// being silently skipped or allowed to wedge startup.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the spool directory or the listener
@@ -160,54 +193,73 @@ impl Server {
         };
         let spool = Spool::open(&config.spool_dir)
             .map_err(io_err(&format!("opening spool {}", config.spool_dir.display())))?;
+        spool.sweep_tmp_files();
 
         let mut jobs = BTreeMap::new();
         let mut queue = VecDeque::new();
-        let mut next_id = 1u64;
-        for spooled in spool.scan().map_err(io_err("scanning spool"))? {
-            next_id = next_id.max(spooled.id + 1);
-            let disk_state = parse_state(&spooled.state);
-            let spec = match parse_job(&spooled.request) {
-                Ok(spec) => spec,
-                Err(e) => {
-                    // Requests are validated before they are spooled, so
-                    // this is disk corruption. Tombstone non-terminal
-                    // jobs; leave terminal records alone.
-                    if !disk_state.is_some_and(JobState::is_terminal) {
-                        let _ = spool.write_state(
-                            spooled.id,
-                            "failed",
-                            Some(&format!("unreadable spooled request: {e}")),
-                        );
+        let mut next_id = spool.max_quarantined_id() + 1;
+        let mut quarantined = 0u64;
+        let mut quarantine = |spool: &Spool, id: u64, reason: &str| {
+            if spool.quarantine(id, reason).is_ok() {
+                quarantined += 1;
+            }
+        };
+        for entry in spool.scan().map_err(io_err("scanning spool"))? {
+            let spooled = match entry {
+                ScanEntry::Job(spooled) => spooled,
+                ScanEntry::Malformed { id, reason, age } => {
+                    next_id = next_id.max(id + 1);
+                    // A *young* stub can be a live peer mid-`create_job`
+                    // on a shared spool; leave those alone. Older than a
+                    // lease TTL, it is debris from a crash.
+                    if age >= config.lease_ttl {
+                        quarantine(&spool, id, &reason);
                     }
                     continue;
                 }
             };
-            // An unknown label is also corruption; re-running is always
-            // safe (mapping is deterministic), so treat it as queued.
-            let state = disk_state.unwrap_or(JobState::Queued);
+            next_id = next_id.max(spooled.id + 1);
+            let Some(state) = parse_state(&spooled.state) else {
+                quarantine(
+                    &spool,
+                    spooled.id,
+                    &format!("unknown state label `{}`", spooled.state),
+                );
+                continue;
+            };
+            let spec = match parse_job(&spooled.request) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    // Requests are validated before they are spooled, so
+                    // this is disk corruption.
+                    quarantine(&spool, spooled.id, &format!("unparseable spooled request: {e}"));
+                    continue;
+                }
+            };
+            if state == JobState::Done && spooled.placement.is_none() {
+                quarantine(&spool, spooled.id, "done but placement.json is missing");
+                continue;
+            }
+            // A torn or bit-flipped checkpoint cannot happen through the
+            // atomic write path, so it is external corruption; the job
+            // dir is evidence. (A transient read error is not.)
+            if !state.is_terminal() {
+                let cp_path = spool.checkpoint_path(spooled.id);
+                if cp_path.is_file() {
+                    match read_checkpoint(&cp_path) {
+                        Ok(_) | Err(IoError::Io(_)) => {}
+                        Err(e) => {
+                            quarantine(&spool, spooled.id, &format!("corrupt checkpoint: {e}"));
+                            continue;
+                        }
+                    }
+                }
+            }
             let job = Arc::new(Job::new(spooled.id, spec, state));
             match state {
-                JobState::Done => match &spooled.placement {
-                    Some(text) => job.with_inner(|i| {
-                        i.placement_sha256 = Some(sha256_hex(text.as_bytes()));
-                        i.placement_json = Some(text.clone());
-                        i.stop = spooled.detail.clone();
-                    }),
-                    None => {
-                        job.with_inner(|i| {
-                            i.state = JobState::Failed;
-                            i.error = Some("placement file missing from spool".to_string());
-                        });
-                        let _ = spool.write_state(
-                            spooled.id,
-                            "failed",
-                            Some("placement file missing from spool"),
-                        );
-                    }
-                },
-                JobState::Failed => job.with_inner(|i| i.error = spooled.detail.clone()),
-                JobState::Cancelled => {}
+                JobState::Done | JobState::Failed | JobState::Cancelled => {
+                    adopt_disk_record(&job, &spooled);
+                }
                 JobState::Queued | JobState::Running => {
                     job.set_state(JobState::Queued);
                     queue.push_back(Arc::clone(&job));
@@ -221,6 +273,10 @@ impl Server {
         listener.set_nonblocking(true).map_err(io_err("setting the listener non-blocking"))?;
 
         let submitted = jobs.len() as u64;
+        let daemon_id = config
+            .daemon_id
+            .clone()
+            .unwrap_or_else(|| format!("pid{}-{:x}", std::process::id(), lease::now_ms()));
         Ok(Self {
             shared: Arc::new(Shared {
                 spool,
@@ -232,6 +288,12 @@ impl Server {
                 busy_workers: AtomicUsize::new(0),
                 draining: AtomicBool::new(false),
                 submitted_total: AtomicU64::new(submitted),
+                daemon_id,
+                lease_ttl: config.lease_ttl,
+                io_timeout: config.io_timeout,
+                takeovers_total: AtomicU64::new(0),
+                timeouts_total: AtomicU64::new(0),
+                quarantined_total: AtomicU64::new(quarantined),
                 next_id: AtomicU64::new(next_id),
             }),
             listener,
@@ -261,6 +323,42 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+
+        // Janitor: reconciles the shared spool (peer-created jobs, jobs
+        // whose lease holder died) until the drain begins. Heartbeat:
+        // keeps our running jobs' leases fresh until the last worker is
+        // gone, so peers don't "take over" jobs we are still finishing.
+        let bg_stop = Arc::new(AtomicBool::new(false));
+        let janitor = {
+            let shared = Arc::clone(&self.shared);
+            let interval = (shared.lease_ttl / 2)
+                .clamp(Duration::from_millis(50), Duration::from_secs(2));
+            std::thread::spawn(move || {
+                let mut last = Instant::now();
+                while !shared.draining.load(SeqCst) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    if last.elapsed() >= interval {
+                        janitor_pass(&shared);
+                        last = Instant::now();
+                    }
+                }
+            })
+        };
+        let heartbeater = {
+            let shared = Arc::clone(&self.shared);
+            let stop = Arc::clone(&bg_stop);
+            let interval = (shared.lease_ttl / 4).max(Duration::from_millis(10));
+            std::thread::spawn(move || {
+                let mut last = Instant::now();
+                while !stop.load(SeqCst) {
+                    std::thread::sleep(Duration::from_millis(10));
+                    if last.elapsed() >= interval {
+                        heartbeat_pass(&shared);
+                        last = Instant::now();
+                    }
+                }
+            })
+        };
 
         let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !shutdown.load(SeqCst) {
@@ -297,6 +395,9 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        bg_stop.store(true, SeqCst);
+        let _ = janitor.join();
+        let _ = heartbeater.join();
 
         let jobs = lock(&self.shared.jobs);
         DrainReport {
@@ -339,13 +440,42 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Runs one job through the FD pipeline, spool-checkpointing as it goes.
+/// Runs one job: lease arbitration first, then the FD pipeline.
 fn run_job(shared: &Shared, job: &Job) {
     if job.client_cancelled() {
         job.set_state(JobState::Cancelled);
         let _ = shared.spool.write_state(job.id, "cancelled", None);
         return;
     }
+    let dir = shared.spool.job_dir(job.id);
+    match lease::acquire_or_steal(&dir, &shared.daemon_id, shared.lease_ttl) {
+        Ok(Acquire::Acquired) => {}
+        Ok(Acquire::Stolen { from: _ }) => {
+            shared.takeovers_total.fetch_add(1, SeqCst);
+        }
+        Ok(Acquire::Held) | Err(_) => {
+            // A live peer owns this job (or the lease file is briefly
+            // unreachable). Leave it Queued; the janitor re-enqueues it
+            // once the peer finishes, dies, or the fault clears.
+            return;
+        }
+    }
+    // The peer that held the lease may have finished the job already;
+    // adopt its on-disk result instead of recomputing.
+    if let Some(spooled) = shared.spool.load(job.id) {
+        if parse_state(&spooled.state).is_some_and(JobState::is_terminal) {
+            adopt_disk_record(job, &spooled);
+            lease::release(&dir, &shared.daemon_id);
+            return;
+        }
+    }
+    execute_job(shared, job);
+    lease::release(&dir, &shared.daemon_id);
+}
+
+/// The FD pipeline itself, spool-checkpointing as it goes. The caller
+/// holds the job's lease.
+fn execute_job(shared: &Shared, job: &Job) {
     job.set_state(JobState::Running);
     let _ = shared.spool.write_state(job.id, "running", None);
 
@@ -379,8 +509,16 @@ fn run_job(shared: &Shared, job: &Job) {
 
     let writer_path = cp_path.clone();
     let writer_meta = meta;
+    let retry_policy = shared.spool.retry_policy();
+    let retry_counter = shared.spool.retry_counter();
+    // Transient checkpoint-write failures (a briefly full disk, an
+    // injected torn write) retry with backoff; only an exhausted budget
+    // aborts the run — as `CoreError::CheckpointFailed`, a typed error.
     let mut writer = move |cp: &FdCheckpoint| -> Result<(), String> {
-        write_checkpoint(&writer_path, cp, &writer_meta).map_err(|e| e.to_string())
+        with_retry(&retry_policy, retry_counter, |_| false, || {
+            write_checkpoint(&writer_path, cp, &writer_meta)
+        })
+        .map_err(|e| e.to_string())
     };
     let mut run_opts = FdRunOpts {
         budget: RunBudget {
@@ -449,6 +587,114 @@ fn fail_job(shared: &Shared, job: &Job, message: &str) {
     let _ = shared.spool.write_state(job.id, "failed", Some(message));
 }
 
+/// Copies a terminal on-disk record into the in-memory job: `done` loads
+/// the placement (and its digest), `failed` the error, and a `done`
+/// record missing its placement becomes a typed failure.
+fn adopt_disk_record(job: &Job, spooled: &SpooledJob) {
+    match parse_state(&spooled.state) {
+        Some(JobState::Done) => match &spooled.placement {
+            Some(text) => job.with_inner(|i| {
+                i.state = JobState::Done;
+                i.placement_sha256 = Some(sha256_hex(text.as_bytes()));
+                i.placement_json = Some(text.clone());
+                i.stop = spooled.detail.clone();
+            }),
+            None => job.with_inner(|i| {
+                i.state = JobState::Failed;
+                i.error = Some("placement file missing from spool".to_string());
+            }),
+        },
+        Some(JobState::Failed) => job.with_inner(|i| {
+            i.state = JobState::Failed;
+            i.error = spooled.detail.clone();
+        }),
+        Some(JobState::Cancelled) => job.set_state(JobState::Cancelled),
+        _ => {}
+    }
+}
+
+/// One janitor sweep over the shared spool. Two duties:
+///
+/// 1. Local `Queued` jobs that are *not* in the queue (their worker
+///    yielded to a peer's lease) — re-enqueue once the peer's lease is
+///    gone or expired, or adopt the peer's finished result.
+/// 2. Job directories created by peers that this daemon has never seen —
+///    terminal ones load as queryable history; non-terminal ones whose
+///    lease is free or expired are adopted into the queue (this is how a
+///    survivor picks up a crashed peer's jobs).
+///
+/// The janitor never quarantines: a directory that looks malformed
+/// mid-flight may be a live peer's half-created job. Quarantine happens
+/// only in [`Server::bind`].
+fn janitor_pass(shared: &Shared) {
+    let known: Vec<Arc<Job>> = lock(&shared.jobs).values().cloned().collect();
+    let enqueued: BTreeSet<u64> = lock(&shared.queue).iter().map(|j| j.id).collect();
+    for job in &known {
+        if job.state() != JobState::Queued || enqueued.contains(&job.id) {
+            continue;
+        }
+        if let Some(spooled) = shared.spool.load(job.id) {
+            if parse_state(&spooled.state).is_some_and(JobState::is_terminal) {
+                adopt_disk_record(job, &spooled);
+                continue;
+            }
+        }
+        let lease_blocks = lease::read(&shared.spool.job_dir(job.id)).is_some_and(|info| {
+            info.owner != shared.daemon_id && !info.is_expired(shared.lease_ttl)
+        });
+        if !lease_blocks {
+            lock(&shared.queue).push_back(Arc::clone(job));
+            shared.queue_cond.notify_one();
+        }
+    }
+
+    let Ok(entries) = shared.spool.scan() else { return };
+    for entry in entries {
+        let ScanEntry::Job(spooled) = entry else { continue };
+        shared.next_id.fetch_max(spooled.id + 1, SeqCst);
+        if lock(&shared.jobs).contains_key(&spooled.id) {
+            continue;
+        }
+        let Some(state) = parse_state(&spooled.state) else { continue };
+        let Ok(spec) = parse_job(&spooled.request) else { continue };
+        if state.is_terminal() {
+            let job = Arc::new(Job::new(spooled.id, spec, state));
+            adopt_disk_record(&job, &spooled);
+            lock(&shared.jobs).insert(spooled.id, job);
+            shared.submitted_total.fetch_add(1, SeqCst);
+        } else {
+            let claimable = match lease::read(&shared.spool.job_dir(spooled.id)) {
+                None => true,
+                Some(info) => {
+                    info.owner == shared.daemon_id || info.is_expired(shared.lease_ttl)
+                }
+            };
+            if !claimable {
+                // A live peer is on it; don't even register the job, so
+                // a later pass re-evaluates from a clean slate.
+                continue;
+            }
+            let job = Arc::new(Job::new(spooled.id, spec, JobState::Queued));
+            lock(&shared.jobs).insert(spooled.id, Arc::clone(&job));
+            lock(&shared.queue).push_back(job);
+            shared.queue_cond.notify_one();
+            shared.submitted_total.fetch_add(1, SeqCst);
+        }
+    }
+}
+
+/// Refreshes the `LEASE` heartbeat of every job this daemon is running.
+fn heartbeat_pass(shared: &Shared) {
+    let running: Vec<Arc<Job>> = lock(&shared.jobs)
+        .values()
+        .filter(|j| j.state() == JobState::Running)
+        .cloned()
+        .collect();
+    for job in running {
+        let _ = lease::heartbeat(&shared.spool.job_dir(job.id), &shared.daemon_id);
+    }
+}
+
 fn job_init(spec: &JobSpec) -> Option<InitialPlacement> {
     Some(match spec.init.as_str() {
         "hilbert" => InitialPlacement::Hilbert,
@@ -470,14 +716,20 @@ fn job_potential(spec: &JobSpec) -> Option<Potential> {
     })
 }
 
-/// Handles one connection: one request, one response, close.
+/// Handles one connection: one request, one response, close — all of it
+/// inside the configured I/O deadline, so no client behavior (slow
+/// loris, stalled body, mid-body disconnect) can wedge this thread.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nonblocking(false);
-    let request = match http::read_request(&mut stream) {
+    let _ = stream.set_write_timeout(Some(shared.io_timeout));
+    let deadline = Instant::now() + shared.io_timeout;
+    let request = match http::read_request(&mut stream, deadline) {
         Ok(Some(request)) => request,
         Ok(None) => return,
         Err(bad) => {
+            if bad.status == 408 {
+                shared.timeouts_total.fetch_add(1, SeqCst);
+            }
             let _ = http::respond_error(&mut stream, bad.status, bad.reason, &bad.message);
             return;
         }
@@ -519,9 +771,23 @@ fn parse_job_path(path: &str) -> Option<(u64, bool)> {
     id.parse().ok().map(|id| (id, placement))
 }
 
+/// `Retry-After` hint on 503: a drain ends with a daemon restart (or a
+/// peer taking over), which takes seconds, not milliseconds.
+const RETRY_AFTER_DRAINING: &str = "5";
+
+/// `Retry-After` hint on 429: queue pressure clears as fast as one job
+/// finishes.
+const RETRY_AFTER_QUEUE_FULL: &str = "1";
+
 fn post_job(shared: &Shared, req: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
     if shared.draining.load(SeqCst) {
-        return http::respond_error(stream, 503, "Service Unavailable", "daemon is draining");
+        return http::respond_error_with_headers(
+            stream,
+            503,
+            "Service Unavailable",
+            &[("Retry-After", RETRY_AFTER_DRAINING.to_string())],
+            "daemon is draining",
+        );
     }
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return http::respond_error(stream, 400, "Bad Request", "body is not UTF-8");
@@ -531,23 +797,35 @@ fn post_job(shared: &Shared, req: &Request, stream: &mut TcpStream) -> std::io::
         Err(e) => return http::respond_error(stream, 400, "Bad Request", &e.to_string()),
     };
     if lock(&shared.queue).len() >= shared.queue_capacity {
-        return http::respond_error(
+        return http::respond_error_with_headers(
             stream,
             429,
             "Too Many Requests",
+            &[("Retry-After", RETRY_AFTER_QUEUE_FULL.to_string())],
             &format!("queue is full ({} jobs)", shared.queue_capacity),
         );
     }
-    let id = shared.next_id.fetch_add(1, SeqCst);
     // Spool before acknowledging: every job a client has an id for
-    // survives a crash.
-    if let Err(e) = shared.spool.create_job(id, body) {
-        return http::respond_error(
-            stream,
-            500,
-            "Internal Server Error",
-            &format!("spooling job: {e}"),
-        );
+    // survives a crash. `create_job`'s `create_dir` is the id arbiter
+    // between daemons sharing the spool — on a collision (a peer
+    // allocated this id first), advance and try the next one.
+    let mut id = shared.next_id.fetch_add(1, SeqCst);
+    loop {
+        match shared.spool.create_job(id, body) {
+            Ok(()) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                shared.next_id.fetch_max(id + 1, SeqCst);
+                id = shared.next_id.fetch_add(1, SeqCst);
+            }
+            Err(e) => {
+                return http::respond_error(
+                    stream,
+                    500,
+                    "Internal Server Error",
+                    &format!("spooling job: {e}"),
+                );
+            }
+        }
     }
     let job = Arc::new(Job::new(id, spec, JobState::Queued));
     lock(&shared.jobs).insert(id, Arc::clone(&job));
@@ -696,6 +974,7 @@ mod tests {
             workers: 2,
             spool_dir,
             queue_capacity: 8,
+            ..ServeConfig::default()
         }
     }
 

@@ -7,24 +7,40 @@
 //! <spool>/job-<id>/state            # lifecycle label (+ detail lines)
 //! <spool>/job-<id>/checkpoint.json  # FdCheckpoint, atomically replaced
 //! <spool>/job-<id>/placement.json   # the result, once done
+//! <spool>/job-<id>/LEASE            # owner + heartbeat (multi-daemon)
+//! <spool>/quarantine/job-<id>/      # corrupt dirs moved aside, + REASON
 //! ```
 //!
 //! Every file is written atomically (temp + rename, like
 //! [`snnmap_io::write_checkpoint`]), so a daemon killed mid-write leaves
-//! either the old record or the new one — never a torn file. Recovery is
-//! a directory scan: terminal jobs load as history, `queued`/`running`
-//! jobs re-enter the queue, and a `running` job with a checkpoint
-//! resumes from it — byte-identical to never having been killed, by the
-//! FD engine's resume guarantee.
+//! either the old record or the new one — never a torn file. All writes
+//! go through the `spool.*` chaos failpoints and a bounded
+//! exponential-backoff retry ([`crate::retry`]), so a transiently full
+//! disk shows up as a `/metrics` counter, not a failed job.
+//!
+//! Recovery is a directory scan: terminal jobs load as history,
+//! `queued`/`running` jobs re-enter the queue, and a `running` job with
+//! a checkpoint resumes from it — byte-identical to never having been
+//! killed, by the FD engine's resume guarantee. Job dirs that cannot be
+//! read at all surface as [`ScanEntry::Malformed`] for the caller to
+//! quarantine (at startup) or skip (while peers may be mid-create).
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use snnmap_chaos::cfs;
+
+use crate::retry::{with_retry, RetryPolicy};
 
 /// Handle on the spool directory.
 #[derive(Debug)]
 pub(crate) struct Spool {
     dir: PathBuf,
+    retry: RetryPolicy,
+    retries: AtomicU64,
 }
 
 /// One job directory as found on disk during recovery.
@@ -41,11 +57,43 @@ pub(crate) struct SpooledJob {
     pub placement: Option<String>,
 }
 
+/// One entry of a spool scan.
+#[derive(Debug)]
+pub(crate) enum ScanEntry {
+    /// A readable job directory.
+    Job(SpooledJob),
+    /// A job directory missing its request or state record.
+    Malformed {
+        id: u64,
+        /// Why it could not be read.
+        reason: String,
+        /// Time since the directory was last modified — young stubs may
+        /// be a live peer mid-`create_job`, old ones are debris.
+        age: Duration,
+    },
+}
+
 impl Spool {
     /// Opens (creating if needed) the spool directory.
     pub fn open(dir: &Path) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
-        Ok(Self { dir: dir.to_path_buf() })
+        Ok(Self { dir: dir.to_path_buf(), retry: RetryPolicy::default(), retries: AtomicU64::new(0) })
+    }
+
+    /// Transient-I/O retries performed so far (for `/metrics`).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Relaxed)
+    }
+
+    /// The spool's retry schedule, for callers (the checkpoint writer)
+    /// that retry their own I/O against the same disk.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The shared retry counter those callers should bump.
+    pub fn retry_counter(&self) -> &AtomicU64 {
+        &self.retries
     }
 
     pub fn job_dir(&self, id: u64) -> PathBuf {
@@ -60,12 +108,26 @@ impl Spool {
         self.job_dir(id).join("placement.json")
     }
 
+    fn quarantine_root(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
     /// Persists a freshly accepted job: its directory, the verbatim
     /// request body, and a `queued` state record.
+    ///
+    /// The directory is created with `create_dir` (not `create_dir_all`)
+    /// so it doubles as the id-allocation arbiter between daemons
+    /// sharing the spool: `AlreadyExists` propagates untouched and means
+    /// "pick another id", every other error is retried as transient.
     pub fn create_job(&self, id: u64, request_body: &str) -> io::Result<()> {
         let dir = self.job_dir(id);
-        fs::create_dir_all(&dir)?;
-        write_atomic(&dir.join("request.json"), request_body.as_bytes())?;
+        with_retry(
+            &self.retry,
+            &self.retries,
+            |e: &io::Error| e.kind() == io::ErrorKind::AlreadyExists,
+            || cfs::create_dir("spool.mkdir", &dir),
+        )?;
+        self.write_atomic(&dir.join("request.json"), request_body.as_bytes())?;
         self.write_state(id, "queued", None)
     }
 
@@ -76,20 +138,22 @@ impl Spool {
             text.push_str(detail);
             text.push('\n');
         }
-        write_atomic(&self.job_dir(id).join("state"), text.as_bytes())
+        self.write_atomic(&self.job_dir(id).join("state"), text.as_bytes())
     }
 
     /// Atomically writes the finished placement document.
     pub fn write_placement(&self, id: u64, placement_json: &str) -> io::Result<()> {
-        write_atomic(&self.placement_path(id), placement_json.as_bytes())
+        self.write_atomic(&self.placement_path(id), placement_json.as_bytes())
     }
 
-    /// Scans the spool for job directories, sorted by id. Directories
-    /// missing a readable request or state record are skipped (a daemon
-    /// killed between `create_dir_all` and the first state write leaves
-    /// at most one such stub; it never held an acknowledged job).
-    pub fn scan(&self) -> io::Result<Vec<SpooledJob>> {
-        let mut jobs = Vec::new();
+    /// Loads one job directory, the same way [`Self::scan`] would.
+    pub fn load(&self, id: u64) -> Option<SpooledJob> {
+        read_job_dir(id, &self.job_dir(id)).ok()
+    }
+
+    /// Scans the spool for job directories, sorted by id.
+    pub fn scan(&self) -> io::Result<Vec<ScanEntry>> {
+        let mut entries = Vec::new();
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
@@ -98,31 +162,118 @@ impl Spool {
             };
             let Ok(id) = id.parse::<u64>() else { continue };
             let dir = entry.path();
-            let Ok(request) = fs::read_to_string(dir.join("request.json")) else { continue };
-            let Ok(state_text) = fs::read_to_string(dir.join("state")) else { continue };
-            let mut lines = state_text.lines();
-            let state = lines.next().unwrap_or("").to_string();
-            let detail: String = lines.collect::<Vec<_>>().join("\n");
-            jobs.push(SpooledJob {
-                id,
-                request,
-                state,
-                detail: (!detail.is_empty()).then_some(detail),
-                placement: fs::read_to_string(dir.join("placement.json")).ok(),
-            });
+            match read_job_dir(id, &dir) {
+                Ok(job) => entries.push(ScanEntry::Job(job)),
+                Err(reason) => {
+                    let age = entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .unwrap_or(Duration::MAX);
+                    entries.push(ScanEntry::Malformed { id, reason, age });
+                }
+            }
         }
-        jobs.sort_by_key(|j| j.id);
-        Ok(jobs)
+        entries.sort_by_key(|e| match e {
+            ScanEntry::Job(j) => j.id,
+            ScanEntry::Malformed { id, .. } => *id,
+        });
+        Ok(entries)
+    }
+
+    /// Largest job id present under the quarantine directory, so freshly
+    /// allocated ids never collide with a quarantined job a client may
+    /// still be polling.
+    pub fn max_quarantined_id(&self) -> u64 {
+        let Ok(read) = fs::read_dir(self.quarantine_root()) else { return 0 };
+        read.filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name();
+                let stem = name.to_str()?.strip_prefix("job-")?;
+                stem.split('.').next()?.parse::<u64>().ok()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Moves a corrupt job directory into `quarantine/` and records why
+    /// in a `REASON` file next to the preserved evidence. Returns the
+    /// quarantine location.
+    pub fn quarantine(&self, id: u64, reason: &str) -> io::Result<PathBuf> {
+        let root = self.quarantine_root();
+        fs::create_dir_all(&root)?;
+        let mut dest = root.join(format!("job-{id}"));
+        // A re-quarantined id (corrupted again after re-use) gets a
+        // numbered sibling rather than clobbering the first evidence.
+        let mut k = 1;
+        while dest.exists() {
+            k += 1;
+            dest = root.join(format!("job-{id}.{k}"));
+        }
+        fs::rename(self.job_dir(id), &dest)?;
+        let _ = fs::write(dest.join("REASON"), format!("{reason}\n"));
+        Ok(dest)
+    }
+
+    /// Deletes leftover `*.tmp` files (torn atomic writes from a crashed
+    /// daemon) inside every job directory. Returns how many were
+    /// removed. Safe against live peers: a peer whose in-flight temp
+    /// file vanishes simply retries the write.
+    pub fn sweep_tmp_files(&self) -> usize {
+        let mut removed = 0;
+        let Ok(read) = fs::read_dir(&self.dir) else { return 0 };
+        for entry in read.filter_map(|e| e.ok()) {
+            let name = entry.file_name();
+            if !name.to_str().is_some_and(|n| n.starts_with("job-")) {
+                continue;
+            }
+            let Ok(files) = fs::read_dir(entry.path()) else { continue };
+            for file in files.filter_map(|f| f.ok()) {
+                let is_tmp = file
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.ends_with(".tmp") || n == "LEASE.hb" || n == "LEASE.stale");
+                if is_tmp && fs::remove_file(file.path()).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Temp-and-rename atomic write with bounded retry; both steps are
+    /// chaos failpoints (`spool.write`, `spool.rename`). A torn write
+    /// only ever tears the `.tmp` sibling — the destination either keeps
+    /// its old bytes or atomically receives all the new ones.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = Path::new(&tmp);
+        with_retry(&self.retry, &self.retries, |_| false, || {
+            cfs::write("spool.write", tmp, bytes)?;
+            cfs::rename("spool.rename", tmp, path)
+        })
     }
 }
 
-/// Temp-and-rename atomic write, matching `snnmap_io::write_checkpoint`.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = Path::new(&tmp);
-    fs::write(tmp, bytes)?;
-    fs::rename(tmp, path)
+/// Reads one job directory; `Err(reason)` when its request or state
+/// record is missing/unreadable.
+fn read_job_dir(id: u64, dir: &Path) -> Result<SpooledJob, String> {
+    let request = cfs::read_to_string("spool.read", &dir.join("request.json"))
+        .map_err(|e| format!("unreadable request.json: {e}"))?;
+    let state_text = cfs::read_to_string("spool.read", &dir.join("state"))
+        .map_err(|e| format!("unreadable state record: {e}"))?;
+    let mut lines = state_text.lines();
+    let state = lines.next().unwrap_or("").to_string();
+    let detail: String = lines.collect::<Vec<_>>().join("\n");
+    Ok(SpooledJob {
+        id,
+        request,
+        state,
+        detail: (!detail.is_empty()).then_some(detail),
+        placement: fs::read_to_string(dir.join("placement.json")).ok(),
+    })
 }
 
 #[cfg(test)]
@@ -135,6 +286,18 @@ mod tests {
         Spool::open(&dir).unwrap()
     }
 
+    fn scanned_jobs(spool: &Spool) -> Vec<SpooledJob> {
+        spool
+            .scan()
+            .unwrap()
+            .into_iter()
+            .filter_map(|e| match e {
+                ScanEntry::Job(j) => Some(j),
+                ScanEntry::Malformed { .. } => None,
+            })
+            .collect()
+    }
+
     #[test]
     fn jobs_roundtrip_through_the_scan() {
         let spool = temp_spool("roundtrip");
@@ -144,7 +307,7 @@ mod tests {
         spool.write_placement(1, "{\"placement\": true}").unwrap();
         spool.write_state(1, "done", None).unwrap();
 
-        let jobs = spool.scan().unwrap();
+        let jobs = scanned_jobs(&spool);
         assert_eq!(jobs.len(), 2);
         assert_eq!(jobs[0].id, 1);
         assert_eq!(jobs[0].state, "done");
@@ -154,9 +317,55 @@ mod tests {
         assert_eq!(jobs[1].state, "failed");
         assert_eq!(jobs[1].detail.as_deref(), Some("mesh too small"));
 
-        // Non-job clutter and torn stubs are skipped.
+        // Non-job clutter is skipped; torn stubs surface as malformed.
         fs::create_dir_all(spool.dir.join("not-a-job")).unwrap();
         fs::create_dir_all(spool.dir.join("job-9")).unwrap(); // no request/state
-        assert_eq!(spool.scan().unwrap().len(), 2);
+        let entries = spool.scan().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!(matches!(&entries[2], ScanEntry::Malformed { id: 9, .. }));
+        assert_eq!(scanned_jobs(&spool).len(), 2);
+
+        // Single-dir loads agree with the scan.
+        assert_eq!(spool.load(2).unwrap().state, "failed");
+        assert!(spool.load(9).is_none());
+    }
+
+    #[test]
+    fn create_job_reports_id_collisions() {
+        let spool = temp_spool("collide");
+        spool.create_job(5, "{}").unwrap();
+        let err = spool.create_job(5, "{}").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert_eq!(spool.retries(), 0, "AlreadyExists must not be retried");
+    }
+
+    #[test]
+    fn quarantine_moves_the_directory_and_keeps_evidence() {
+        let spool = temp_spool("quarantine");
+        spool.create_job(3, "{\"broken\": true}").unwrap();
+        let dest = spool.quarantine(3, "unparseable request").unwrap();
+        assert!(!spool.job_dir(3).exists());
+        assert!(dest.join("request.json").is_file(), "evidence preserved");
+        assert_eq!(fs::read_to_string(dest.join("REASON")).unwrap(), "unparseable request\n");
+        assert!(scanned_jobs(&spool).is_empty(), "quarantined jobs leave the spool");
+        assert_eq!(spool.max_quarantined_id(), 3);
+
+        // Same id corrupted again: fresh evidence, numbered sibling.
+        spool.create_job(3, "{}").unwrap();
+        let dest2 = spool.quarantine(3, "again").unwrap();
+        assert_ne!(dest, dest2);
+        assert_eq!(spool.max_quarantined_id(), 3);
+    }
+
+    #[test]
+    fn sweep_removes_only_debris() {
+        let spool = temp_spool("sweep");
+        spool.create_job(1, "{}").unwrap();
+        fs::write(spool.job_dir(1).join("state.tmp"), "torn").unwrap();
+        fs::write(spool.job_dir(1).join("LEASE.stale"), "").unwrap();
+        assert_eq!(spool.sweep_tmp_files(), 2);
+        assert!(spool.job_dir(1).join("state").is_file(), "real records survive");
+        assert_eq!(spool.load(1).unwrap().state, "queued");
+        assert_eq!(spool.sweep_tmp_files(), 0);
     }
 }

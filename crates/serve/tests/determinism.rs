@@ -78,6 +78,7 @@ fn concurrent_matches_serial(workers: usize, base_seed: u64, k: usize) {
         workers,
         spool_dir,
         queue_capacity: 64,
+        ..ServeConfig::default()
     })
     .unwrap();
     let addr = server.local_addr().unwrap();

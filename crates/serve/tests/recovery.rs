@@ -124,6 +124,7 @@ fn restart_finishes_spooled_jobs_byte_identically() {
         workers: 2,
         spool_dir: spool.clone(),
         queue_capacity: 8,
+        ..ServeConfig::default()
     })
     .unwrap();
     let addr = server.local_addr().unwrap();
