@@ -65,6 +65,8 @@ pub struct FdBench {
     pub seed: u64,
     /// PCN average out-degree.
     pub degree: f64,
+    /// CPUs available to the process when the benchmark ran.
+    pub cpus: usize,
     /// FD iteration cap (0 = run to convergence).
     pub max_iters: u64,
     /// One entry per `--threads` value, in the given order.
@@ -261,6 +263,7 @@ fn main() {
         mesh: format!("{}x{}", args.mesh.rows(), args.mesh.cols()),
         seed: args.seed,
         degree: args.degree,
+        cpus: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
         max_iters: args.max_iters,
         runs,
         baseline: args

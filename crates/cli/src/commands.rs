@@ -9,14 +9,15 @@ use snnmap_baselines::{
 };
 use snnmap_core::{
     CheckpointWriter, CoreError, FdCheckpoint, FdRunOpts, InitialPlacement, MapOutcome, Mapper,
-    Potential, StopReason,
+    MultilevelConfig, Potential, StopReason,
 };
 use snnmap_hw::{
     CoreConstraints, CostModel, FaultInjector, FaultMap, FaultPattern, Mesh, Placement,
 };
 use snnmap_io::{
-    read_checkpoint, read_faults, read_pcn, read_placement, render_faults, render_pcn,
-    write_checkpoint, write_faults, write_pcn, write_placement, CheckpointMeta,
+    read_checkpoint, read_faults, read_pcn, read_pcnb, read_placement, render_faults,
+    render_pcn, write_checkpoint, write_faults, write_pcn, write_pcnb, write_placement,
+    CheckpointMeta,
 };
 use snnmap_serve::{signal, ServeConfig, Server};
 use snnmap_trace::{sha256_hex, JsonlSink, NoopSink, TraceSink};
@@ -26,6 +27,54 @@ use snnmap_model::Pcn;
 
 use crate::opts::Opts;
 use crate::{viz, CliError};
+
+/// Whether a path names a binary (`.pcnb`) PCN file.
+fn is_pcnb(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e.eq_ignore_ascii_case("pcnb"))
+}
+
+/// Reads a PCN in either format, chosen by file extension: `.pcnb` is
+/// the binary layout, anything else the text format.
+fn read_pcn_auto(path: &Path) -> Result<Pcn, CliError> {
+    if is_pcnb(path) {
+        Ok(read_pcnb(path)?)
+    } else {
+        Ok(read_pcn(path)?)
+    }
+}
+
+/// Writes a PCN in either format, chosen by file extension.
+fn write_pcn_auto(path: &Path, pcn: &Pcn) -> Result<(), CliError> {
+    if is_pcnb(path) {
+        write_pcnb(path, pcn)?;
+    } else {
+        write_pcn(path, pcn)?;
+    }
+    Ok(())
+}
+
+/// `snnmap convert`: translate a PCN between the text and binary
+/// formats; the direction is inferred from the file extensions. Both
+/// directions canonicalize, so converting a file to itself is a no-op
+/// fixed point after one round trip.
+pub fn convert(args: &[String]) -> Result<String, CliError> {
+    let o = Opts::parse(args, &["out"])?;
+    if o.num_positional() > 1 {
+        return Err(CliError::usage("expected exactly one <input.pcn|input.pcnb>"));
+    }
+    let input = Path::new(o.positional(0, "input.pcn|input.pcnb")?);
+    let out = Path::new(o.required("out")?);
+    let pcn = read_pcn_auto(input)?;
+    write_pcn_auto(out, &pcn)?;
+    Ok(format!(
+        "converted {} -> {} ({}, {} clusters, {} connections)\n",
+        input.display(),
+        out.display(),
+        if is_pcnb(out) { "binary" } else { "text" },
+        pcn.num_clusters(),
+        pcn.num_connections()
+    ))
+}
 
 /// `snnmap gen`: write a benchmark or random PCN.
 pub fn gen(args: &[String]) -> Result<String, CliError> {
@@ -65,7 +114,7 @@ pub fn gen(args: &[String]) -> Result<String, CliError> {
         }
         _ => return Err(CliError::usage("need exactly one of `--benchmark` or `--random`")),
     };
-    write_pcn(out, &pcn)?;
+    write_pcn_auto(out, &pcn)?;
     Ok(format!(
         "wrote {} ({} clusters, {} connections)\n",
         out.display(),
@@ -77,7 +126,7 @@ pub fn gen(args: &[String]) -> Result<String, CliError> {
 /// `snnmap info`: summarize a PCN file.
 pub fn info(args: &[String]) -> Result<String, CliError> {
     let o = Opts::parse(args, &[])?;
-    let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
+    let pcn = read_pcn_auto(Path::new(o.positional(0, "file.pcn")?))?;
     let mut out = String::new();
     let _ = writeln!(out, "clusters:       {}", pcn.num_clusters());
     let _ = writeln!(out, "connections:    {}", pcn.num_connections());
@@ -133,13 +182,16 @@ fn proposed_digests(
     lambda: f64,
     seed: u64,
     faults: Option<&FaultMap>,
+    multilevel: bool,
 ) -> CheckpointMeta {
     let faults_digest = match faults {
         Some(fm) => sha256_hex(render_faults(fm).as_bytes()),
         None => "none".to_string(),
     };
+    let ml = if multilevel { "on" } else { "off" };
     let config = format!(
-        "init={init} potential={potential} lambda={lambda} seed={seed} faults={faults_digest}"
+        "init={init} potential={potential} lambda={lambda} seed={seed} \
+         faults={faults_digest} multilevel={ml}"
     );
     CheckpointMeta {
         config_digest: sha256_hex(config.as_bytes()),
@@ -245,6 +297,7 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             "faults",
             "faults-out",
             "threads",
+            "multilevel",
             "trace-out",
             "trace-timing",
             "deadline-ms",
@@ -253,7 +306,7 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             "checkpoint-out",
         ],
     )?;
-    let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
+    let pcn = read_pcn_auto(Path::new(o.positional(0, "file.pcn")?))?;
     let out = Path::new(o.required("out")?);
     let seed: u64 = o.parsed_or("seed", 42)?;
     let mesh = match o.flag("mesh") {
@@ -287,10 +340,25 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
         }
     };
 
+    let multilevel = match o.flag("multilevel").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::usage(format!(
+                "`--multilevel` takes `on` or `off`, got `{other}`"
+            )))
+        }
+    };
+
     let method = o.flag("method").unwrap_or("proposed");
     if faults.is_some() && method != "proposed" {
         return Err(CliError::usage(format!(
             "`--faults` is only supported with `--method proposed`, not `{method}`"
+        )));
+    }
+    if multilevel && method != "proposed" {
+        return Err(CliError::usage(format!(
+            "`--multilevel` is only supported with `--method proposed`, not `{method}`"
         )));
     }
     if trace_out.is_some() && method != "proposed" {
@@ -338,6 +406,9 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 .potential(potential)
                 .lambda(lambda)
                 .threads(threads);
+            if multilevel {
+                builder = builder.multilevel(MultilevelConfig::default());
+            }
             if let Some(b) = budget {
                 builder = builder.time_budget(b);
             }
@@ -353,6 +424,7 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 lambda,
                 seed,
                 faults.as_ref(),
+                multilevel,
             );
             let mut writer = resilience.writer(&meta);
             let mut run_opts = FdRunOpts::default();
@@ -561,6 +633,7 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
             "seed",
             "threads",
             "faults",
+            "multilevel",
             "trace-out",
             "trace-timing",
             "deadline-ms",
@@ -569,7 +642,7 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
             "checkpoint-out",
         ],
     )?;
-    let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
+    let pcn = read_pcn_auto(Path::new(o.positional(0, "file.pcn")?))?;
     let (checkpoint, on_disk) = read_checkpoint(Path::new(o.required("checkpoint")?))?;
     let out = Path::new(o.required("out")?);
     let seed: u64 = o.parsed_or("seed", 42)?;
@@ -592,9 +665,28 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::usage("lambda must be in (0, 1]"));
     }
     let threads: usize = o.parsed_or("threads", 0)?;
+    // Checkpoints only ever freeze finest-level FD state, so resuming a
+    // `--multilevel on` run is plain FD from the snapshot — the flag here
+    // exists purely to reproduce the original run's config digest.
+    let multilevel = match o.flag("multilevel").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::usage(format!(
+                "`--multilevel` takes `on` or `off`, got `{other}`"
+            )))
+        }
+    };
 
-    let meta =
-        proposed_digests(&pcn, init_name, potential_name, lambda, seed, faults.as_ref());
+    let meta = proposed_digests(
+        &pcn,
+        init_name,
+        potential_name,
+        lambda,
+        seed,
+        faults.as_ref(),
+        multilevel,
+    );
     if meta.pcn_digest != on_disk.pcn_digest {
         return Err(CliError::usage(
             "checkpoint was taken from a different PCN (digest mismatch); \
@@ -605,7 +697,7 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::usage(
             "checkpoint was taken under a different configuration (digest \
              mismatch); pass the original --init/--potential/--lambda/--seed/\
-             --faults values",
+             --faults/--multilevel values",
         ));
     }
 
@@ -698,7 +790,7 @@ fn load_pair(o: &Opts) -> Result<(Pcn, Placement), CliError> {
     if o.num_positional() > 2 {
         return Err(CliError::usage("expected exactly <file.pcn> <placement.json>"));
     }
-    let pcn = read_pcn(Path::new(o.positional(0, "file.pcn")?))?;
+    let pcn = read_pcn_auto(Path::new(o.positional(0, "file.pcn")?))?;
     let placement = read_placement(Path::new(o.positional(1, "placement.json")?))?;
     Ok((pcn, placement))
 }

@@ -3,12 +3,16 @@
 //!
 //! Subcommands:
 //!
-//! * `gen` — write a benchmark or random PCN to a `.pcn` file,
-//! * `info` — summarize a PCN file,
+//! * `gen` — write a benchmark or random PCN to a `.pcn`/`.pcnb` file,
+//! * `info` — summarize a PCN file (text or binary),
+//! * `convert` — translate a PCN between the text (`.pcn`) and binary
+//!   (`.pcnb`) formats, inferring the direction from the extensions,
 //! * `map` — place a PCN onto a mesh with any implemented method,
-//!   optionally avoiding faulty hardware (`--faults <rate|file>`),
-//!   under a stop budget (`--deadline-ms`, `--max-sweeps`) and with
-//!   periodic checkpoints (`--checkpoint-every`, `--checkpoint-out`),
+//!   optionally via the multilevel coarsen→place→refine pipeline
+//!   (`--multilevel on`), optionally avoiding faulty hardware
+//!   (`--faults <rate|file>`), under a stop budget (`--deadline-ms`,
+//!   `--max-sweeps`) and with periodic checkpoints
+//!   (`--checkpoint-every`, `--checkpoint-out`),
 //! * `resume` — continue an interrupted Force-Directed run from a
 //!   checkpoint, bit-identical to the uninterrupted run,
 //! * `eval` — compute the five §3.3 quality metrics of a placement,
@@ -40,20 +44,21 @@ usage: snnmap <command> [options]
 
 commands:
   gen   --benchmark <table3-name> | --random <clusters>,<avg-degree>
-        [--seed N] --out <file.pcn>
-  info  <file.pcn>
-  map   <file.pcn> --out <placement.json>
+        [--seed N] --out <file.pcn|file.pcnb>
+  info  <file.pcn|file.pcnb>
+  convert <input.pcn|input.pcnb> --out <output.pcn|output.pcnb>
+  map   <file.pcn|file.pcnb> --out <placement.json>
         [--method proposed|random|truenorth|dfsynthesizer|pso]
         [--mesh <RxC>] [--init hilbert|zigzag|circle|serpentine|random]
         [--potential l1|l1sq|l2sq|energy] [--lambda F]
-        [--budget-secs N] [--seed N] [--threads N]
+        [--budget-secs N] [--seed N] [--threads N] [--multilevel on|off]
         [--faults <rate|file.json>] [--faults-out <file.json>]
         [--trace-out <run.jsonl>] [--trace-timing on|off]
         [--deadline-ms N] [--max-sweeps N]
         [--checkpoint-every N] [--checkpoint-out <cp.json>]
   resume <file.pcn> --checkpoint <cp.json> --out <placement.json>
         [--init ...] [--potential ...] [--lambda F] [--seed N]
-        [--threads N] [--faults <rate|file.json>]
+        [--threads N] [--faults <rate|file.json>] [--multilevel on|off]
         [--deadline-ms N] [--max-sweeps N]
         [--checkpoint-every N] [--checkpoint-out <cp.json>]
         [--trace-out <run.jsonl>] [--trace-timing on|off]
@@ -65,6 +70,14 @@ commands:
   serve [--addr HOST:PORT] [--workers N] [--spool-dir <dir>]
         [--queue-capacity N] [--lease-ttl-ms N] [--daemon-id <id>]
         [--io-timeout-ms N]
+
+PCN files are read and written in the text format (`.pcn`) or the
+versioned, checksummed binary format (any path ending in `.pcnb`);
+`convert` translates between them. `--multilevel on` maps through the
+coarsen -> place -> refine pipeline: heavy-edge matching shrinks the
+PCN to a small coarse graph, that graph is placed with the Hilbert/HSC
+init, and each level is then refined with region-masked Force-Directed
+sweeps — much faster at scale, byte-identical across thread counts.
 
 `--faults` takes a uniform core/link fault rate in [0, 1) (seeded by
 `--seed`) or a fault-map JSON file written by `--faults-out`.
@@ -119,6 +132,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match cmd.as_str() {
         "gen" => commands::gen(rest),
         "info" => commands::info(rest),
+        "convert" => commands::convert(rest),
         "map" => commands::map(rest),
         "resume" => commands::resume(rest),
         "eval" => commands::eval(rest),
@@ -463,6 +477,135 @@ mod tests {
         assert_eq!(summary.count("run"), 1);
         assert_eq!(summary.count("resume"), 1);
         assert_eq!(summary.count("fd_done"), 1);
+    }
+
+    #[test]
+    fn convert_round_trips_between_text_and_binary() {
+        let dir = std::env::temp_dir().join("snnmap_cli_convert");
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = dir.join("app.pcn");
+        let binary = dir.join("app.pcnb");
+        let back = dir.join("back.pcn");
+        let text_s = text.to_str().unwrap();
+        let binary_s = binary.to_str().unwrap();
+
+        run(&sv(&["gen", "--random", "50,4", "--seed", "8", "--out", text_s])).unwrap();
+        let out = run(&sv(&["convert", text_s, "--out", binary_s])).unwrap();
+        assert!(out.contains("binary"), "{out}");
+        assert!(out.contains("50 clusters"), "{out}");
+
+        // The binary file is a first-class input everywhere.
+        let info = run(&sv(&["info", binary_s])).unwrap();
+        assert!(info.contains("50"), "{info}");
+        let (pt, pb) = (dir.join("pt.json"), dir.join("pb.json"));
+        run(&sv(&["map", text_s, "--out", pt.to_str().unwrap()])).unwrap();
+        run(&sv(&["map", binary_s, "--out", pb.to_str().unwrap()])).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&pt).unwrap(),
+            std::fs::read_to_string(&pb).unwrap(),
+            "text and binary inputs must map identically"
+        );
+
+        // Converting back lands on the original bytes (both renderers
+        // canonicalize, and `gen` wrote canonical text already).
+        run(&sv(&["convert", binary_s, "--out", back.to_str().unwrap()])).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&text).unwrap(),
+            std::fs::read_to_string(&back).unwrap()
+        );
+
+        // A truncated binary is a typed runtime error, not a panic.
+        let bytes = std::fs::read(&binary).unwrap();
+        std::fs::write(&binary, &bytes[..bytes.len() / 2]).unwrap();
+        let err = run(&sv(&["info", binary_s])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        let err = run(&sv(&["convert", text_s])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing --out is a usage error");
+    }
+
+    #[test]
+    fn multilevel_map_flag_works_and_guards() {
+        let dir = std::env::temp_dir().join("snnmap_cli_multilevel");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let pcn_s = pcn.to_str().unwrap();
+        run(&sv(&["gen", "--random", "120,4", "--seed", "6", "--out", pcn_s])).unwrap();
+
+        // Below the coarsening target the pipeline degenerates to the
+        // flat one, so the flag must not change the placement here.
+        let (flat, ml) = (dir.join("flat.json"), dir.join("ml.json"));
+        run(&sv(&["map", pcn_s, "--out", flat.to_str().unwrap(), "--mesh", "12x12"]))
+            .unwrap();
+        let out = run(&sv(&[
+            "map", pcn_s, "--out", ml.to_str().unwrap(), "--mesh", "12x12",
+            "--multilevel", "on",
+        ]))
+        .unwrap();
+        assert!(out.contains("placed 120 clusters"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&flat).unwrap(),
+            std::fs::read_to_string(&ml).unwrap()
+        );
+
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--multilevel", "maybe",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--method", "random",
+            "--multilevel", "on",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn multilevel_checkpoints_carry_the_flag_in_their_digest() {
+        let dir = std::env::temp_dir().join("snnmap_cli_ml_resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let pcn_s = pcn.to_str().unwrap();
+        run(&sv(&["gen", "--random", "100,4", "--seed", "1", "--out", pcn_s])).unwrap();
+
+        let full = dir.join("full.json");
+        run(&sv(&[
+            "map", pcn_s, "--out", full.to_str().unwrap(), "--mesh", "10x10",
+            "--multilevel", "on",
+        ]))
+        .unwrap();
+
+        let cp = dir.join("cp.json");
+        let cp_s = cp.to_str().unwrap();
+        run(&sv(&[
+            "map", pcn_s, "--out", "/dev/null", "--mesh", "10x10",
+            "--multilevel", "on", "--max-sweeps", "1", "--checkpoint-out", cp_s,
+        ]))
+        .unwrap();
+        assert!(cp.exists(), "budgeted multilevel stop must flush a checkpoint");
+
+        // The digest records the multilevel flag, so a flat resume is
+        // refused until the caller acknowledges the original pipeline.
+        let err = run(&sv(&["resume", pcn_s, "--checkpoint", cp_s, "--out", "/dev/null"]))
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("different configuration"), "{err}");
+
+        // With the flag, resume continues the finest-level FD pass and
+        // lands exactly where the uninterrupted run did.
+        let resumed = dir.join("resumed.json");
+        run(&sv(&[
+            "resume", pcn_s, "--checkpoint", cp_s, "--out", resumed.to_str().unwrap(),
+            "--multilevel", "on",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&resumed).unwrap(),
+            std::fs::read_to_string(&full).unwrap(),
+            "resumed multilevel run must match the uninterrupted one"
+        );
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! Multilevel graph coarsening by heavy-edge matching.
+//!
+//! SNEAP-style multilevel mapping (see PAPERS.md) shrinks the PCN through
+//! repeated **heavy-edge matching**: each round pairs every cluster with
+//! its heaviest-traffic unmatched neighbour and contracts the pair into
+//! one coarse cluster, roughly halving the graph while keeping the bulk
+//! of the traffic *inside* coarse clusters (where it costs nothing on the
+//! interconnect). The resulting hierarchy lets the mapper place a
+//! thousands-of-clusters graph instead of a millions-of-clusters one, and
+//! then refine locally while uncoarsening level by level.
+//!
+//! Everything here is deterministic: clusters are visited in ascending
+//! id, the heaviest *symmetric* weight `w(u→v) + w(v→u)` wins, ties break
+//! to the smallest neighbour id, and coarse ids are assigned by first
+//! appearance. The same PCN always yields the same hierarchy, on any
+//! machine, for any thread count.
+
+use snnmap_model::{Pcn, PcnBuilder};
+
+use crate::CoreError;
+
+/// Sentinel for "no parent assigned yet" during id assignment.
+const UNASSIGNED: u32 = u32::MAX;
+
+/// One level of the coarsening hierarchy: the coarse graph plus the
+/// mapping from the next-finer level's clusters onto it.
+///
+/// For `levels = coarsen(&pcn, &cfg)?`, `levels[0].parent_of` maps the
+/// *original* PCN's cluster ids onto `levels[0].pcn`, and
+/// `levels[k].parent_of` maps `levels[k - 1].pcn`'s ids onto
+/// `levels[k].pcn`. The last element is the coarsest graph.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarse cluster graph at this level.
+    pub pcn: Pcn,
+    /// `parent_of[f]` is the coarse cluster (an id into [`Self::pcn`])
+    /// that fine cluster `f` of the next-finer level was contracted into.
+    /// Dense: every coarse id in `0..pcn.num_clusters()` appears.
+    pub parent_of: Vec<u32>,
+}
+
+/// Stop conditions for [`coarsen`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoarsenConfig {
+    /// Stop once a level has at most this many clusters (the coarsest
+    /// graph the initial placement runs on). Default 4096.
+    pub target_clusters: u32,
+    /// Hard cap on hierarchy depth. Default 32.
+    pub max_levels: u32,
+    /// Stop when a round shrinks the graph by less than this fraction —
+    /// matching degenerates on star-like graphs, and grinding out 2%
+    /// reductions buys nothing. Default 0.05.
+    pub min_reduction: f64,
+}
+
+impl Default for CoarsenConfig {
+    fn default() -> Self {
+        Self { target_clusters: 4096, max_levels: 32, min_reduction: 0.05 }
+    }
+}
+
+/// Coarsens `pcn` into a hierarchy of progressively smaller graphs (see
+/// [`CoarseLevel`] for the indexing convention). Returns an empty vector
+/// when `pcn` is already at or below `cfg.target_clusters` — the caller
+/// should then map the original graph directly.
+///
+/// Every contraction conserves the graph's totals: neuron and synapse
+/// counts sum exactly, and inter-cluster traffic either stays on a coarse
+/// edge or moves into [`Pcn::intra_traffic`] when both endpoints land in
+/// the same coarse cluster (weights re-aggregate in `f32`/`f64` exactly as
+/// [`PcnBuilder`] does, so totals match up to float associativity).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidRunOpts`] when `cfg` is malformed
+/// (`target_clusters == 0`, `min_reduction` outside `[0, 1)`).
+pub fn coarsen(pcn: &Pcn, cfg: &CoarsenConfig) -> Result<Vec<CoarseLevel>, CoreError> {
+    if cfg.target_clusters == 0 {
+        return Err(CoreError::InvalidRunOpts {
+            message: "coarsen target_clusters must be positive".into(),
+        });
+    }
+    if !(0.0..1.0).contains(&cfg.min_reduction) {
+        return Err(CoreError::InvalidRunOpts {
+            message: format!(
+                "coarsen min_reduction must be in [0, 1), got {}",
+                cfg.min_reduction
+            ),
+        });
+    }
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current = pcn;
+    while levels.len() < cfg.max_levels as usize
+        && current.num_clusters() > cfg.target_clusters
+    {
+        let n = current.num_clusters();
+        let level = contract_once(current)?;
+        let coarse_n = level.pcn.num_clusters();
+        if coarse_n >= n {
+            break; // edgeless graph: nothing matched, nothing to gain
+        }
+        let reduction = 1.0 - coarse_n as f64 / n as f64;
+        levels.push(level);
+        if reduction < cfg.min_reduction {
+            break;
+        }
+        current = &levels.last().expect("just pushed").pcn;
+    }
+    Ok(levels)
+}
+
+/// One heavy-edge-matching round: pairs clusters greedily and contracts
+/// each pair (or unmatched singleton) into one coarse cluster.
+fn contract_once(pcn: &Pcn) -> Result<CoarseLevel, CoreError> {
+    let n = pcn.num_clusters() as usize;
+    let mut mate: Vec<u32> = vec![UNASSIGNED; n];
+
+    // Symmetric neighbour weights for one cluster at a time, via an
+    // epoch-stamped scratch table (no per-cluster allocation).
+    let mut weight = vec![0f64; n];
+    let mut stamp = vec![0u32; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut epoch = 0u32;
+
+    for u in 0..n as u32 {
+        if mate[u as usize] != UNASSIGNED {
+            continue;
+        }
+        epoch += 1;
+        touched.clear();
+        // CSR order is fixed, so this f64 accumulation order — and hence
+        // the chosen mate — is identical on every run.
+        for (v, w) in pcn.out_edges(u).chain(pcn.in_edges(u)) {
+            if v == u {
+                continue;
+            }
+            if stamp[v as usize] != epoch {
+                stamp[v as usize] = epoch;
+                weight[v as usize] = 0.0;
+                touched.push(v);
+            }
+            weight[v as usize] += w as f64;
+        }
+        let mut best: Option<(f64, u32)> = None;
+        for &v in &touched {
+            if mate[v as usize] != UNASSIGNED {
+                continue;
+            }
+            let w = weight[v as usize];
+            let better = match best {
+                None => true,
+                Some((bw, bv)) => w > bw || (w == bw && v < bv),
+            };
+            if better {
+                best = Some((w, v));
+            }
+        }
+        if let Some((_, v)) = best {
+            mate[u as usize] = v;
+            mate[v as usize] = u;
+        }
+    }
+
+    // Coarse ids by first appearance over ascending fine ids.
+    let mut parent_of: Vec<u32> = vec![UNASSIGNED; n];
+    let mut coarse_n = 0u32;
+    for f in 0..n {
+        if parent_of[f] != UNASSIGNED {
+            continue;
+        }
+        parent_of[f] = coarse_n;
+        let m = mate[f];
+        if m != UNASSIGNED {
+            debug_assert_eq!(parent_of[m as usize], UNASSIGNED);
+            parent_of[m as usize] = coarse_n;
+        }
+        coarse_n += 1;
+    }
+
+    // Contract: sum neurons/synapses per coarse cluster, re-add every
+    // fine edge under the parent mapping (collapsed pairs become coarse
+    // self-loops, which PcnBuilder folds into intra_traffic), and carry
+    // the fine level's intra total at full f64 precision.
+    let mut neurons = vec![0u64; coarse_n as usize];
+    let mut synapses = vec![0u64; coarse_n as usize];
+    for (f, &parent) in parent_of.iter().enumerate().take(n) {
+        let p = parent as usize;
+        neurons[p] += u64::from(pcn.neurons_in(f as u32));
+        synapses[p] += pcn.synapses_in(f as u32);
+    }
+    let mut b =
+        PcnBuilder::with_capacity(coarse_n as usize, pcn.num_connections() as usize);
+    for p in 0..coarse_n as usize {
+        b.add_cluster(u32::try_from(neurons[p]).unwrap_or(u32::MAX), synapses[p]);
+    }
+    let internal = |e: snnmap_model::ModelError| CoreError::InvalidRunOpts {
+        message: format!("coarsening produced an invalid graph (internal bug): {e}"),
+    };
+    for (f, t, w) in pcn.iter_edges() {
+        b.add_edge(parent_of[f as usize], parent_of[t as usize], w).map_err(internal)?;
+    }
+    b.add_intra(pcn.intra_traffic()).map_err(internal)?;
+    let coarse = b.build().map_err(internal)?;
+    Ok(CoarseLevel { pcn: coarse, parent_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_model::generators::random_pcn;
+
+    fn chain(n: u32) -> Pcn {
+        let mut b = PcnBuilder::new();
+        for _ in 0..n {
+            b.add_cluster(10, 100);
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, 1.0 + i as f32).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn each_cluster_takes_its_heaviest_unmatched_neighbour() {
+        // 0 -2- 1, 0 -9- 2, 2 -1- 3: cluster 0 (visited first) pairs with
+        // its heavy neighbour 2, leaving 1 and 3 as singletons.
+        let mut b = PcnBuilder::new();
+        for _ in 0..4 {
+            b.add_cluster(1, 1);
+        }
+        b.add_edge(0, 1, 2.0).unwrap();
+        b.add_edge(0, 2, 9.0).unwrap();
+        b.add_edge(2, 3, 1.0).unwrap();
+        let pcn = b.build().unwrap();
+        let level = contract_once(&pcn).unwrap();
+        assert_eq!(level.parent_of[0], level.parent_of[2]);
+        assert_ne!(level.parent_of[1], level.parent_of[0]);
+        assert_ne!(level.parent_of[3], level.parent_of[0]);
+        assert_ne!(level.parent_of[1], level.parent_of[3]);
+        assert_eq!(level.pcn.num_clusters(), 3);
+        // The 9.0 edge is now intra-cluster traffic; the rest survives.
+        assert_eq!(level.pcn.intra_traffic(), 9.0);
+        assert_eq!(level.pcn.total_traffic(), 3.0);
+    }
+
+    #[test]
+    fn symmetric_weight_decides_the_match() {
+        // 0→1 weighs 3, but 2→0 plus 0→2 weighs 2+2=4, so 0 pairs with 2.
+        let mut b = PcnBuilder::new();
+        for _ in 0..3 {
+            b.add_cluster(1, 1);
+        }
+        b.add_edge(0, 1, 3.0).unwrap();
+        b.add_edge(0, 2, 2.0).unwrap();
+        b.add_edge(2, 0, 2.0).unwrap();
+        let pcn = b.build().unwrap();
+        let level = contract_once(&pcn).unwrap();
+        assert_eq!(level.parent_of[0], level.parent_of[2]);
+    }
+
+    #[test]
+    fn ties_break_to_the_smallest_neighbour_id() {
+        let mut b = PcnBuilder::new();
+        for _ in 0..3 {
+            b.add_cluster(1, 1);
+        }
+        b.add_edge(0, 1, 5.0).unwrap();
+        b.add_edge(0, 2, 5.0).unwrap();
+        let pcn = b.build().unwrap();
+        let level = contract_once(&pcn).unwrap();
+        assert_eq!(level.parent_of[0], level.parent_of[1]);
+    }
+
+    #[test]
+    fn totals_are_conserved_at_every_level() {
+        let pcn = random_pcn(500, 6.0, 11).unwrap();
+        let cfg = CoarsenConfig { target_clusters: 16, ..CoarsenConfig::default() };
+        let levels = coarsen(&pcn, &cfg).unwrap();
+        assert!(!levels.is_empty());
+        let mut fine: &Pcn = &pcn;
+        for (k, level) in levels.iter().enumerate() {
+            assert!(level.pcn.num_clusters() < fine.num_clusters(), "level {k}");
+            assert_eq!(level.parent_of.len(), fine.num_clusters() as usize, "level {k}");
+            assert_eq!(level.pcn.total_neurons(), fine.total_neurons(), "level {k}");
+            assert_eq!(level.pcn.total_synapses(), fine.total_synapses(), "level {k}");
+            let fine_total = fine.total_traffic() + fine.intra_traffic();
+            let coarse_total = level.pcn.total_traffic() + level.pcn.intra_traffic();
+            let tol = 1e-3 * fine_total.max(1.0);
+            assert!(
+                (fine_total - coarse_total).abs() <= tol,
+                "level {k}: traffic {fine_total} vs {coarse_total}"
+            );
+            // parent_of is dense and in-range.
+            let cn = level.pcn.num_clusters();
+            let mut seen = vec![false; cn as usize];
+            for &p in &level.parent_of {
+                assert!(p < cn, "level {k}");
+                seen[p as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "level {k}: coarse ids must be dense");
+            fine = &level.pcn;
+        }
+        assert!(levels.last().unwrap().pcn.num_clusters() <= 2 * cfg.target_clusters);
+    }
+
+    #[test]
+    fn already_small_graphs_yield_an_empty_hierarchy() {
+        let pcn = chain(10);
+        let levels = coarsen(&pcn, &CoarsenConfig::default()).unwrap();
+        assert!(levels.is_empty());
+    }
+
+    #[test]
+    fn edgeless_graphs_terminate() {
+        let mut b = PcnBuilder::new();
+        for _ in 0..50 {
+            b.add_cluster(1, 1);
+        }
+        let pcn = b.build().unwrap();
+        let cfg = CoarsenConfig { target_clusters: 4, ..CoarsenConfig::default() };
+        let levels = coarsen(&pcn, &cfg).unwrap();
+        assert!(levels.is_empty(), "nothing matches in an edgeless graph");
+    }
+
+    #[test]
+    fn determinism_across_repeats() {
+        let pcn = random_pcn(300, 5.0, 7).unwrap();
+        let cfg = CoarsenConfig { target_clusters: 8, ..CoarsenConfig::default() };
+        let a = coarsen(&pcn, &cfg).unwrap();
+        let b = coarsen(&pcn, &cfg).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.parent_of, y.parent_of);
+            assert_eq!(x.pcn, y.pcn);
+        }
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let pcn = chain(10);
+        let cfg = CoarsenConfig { target_clusters: 0, ..CoarsenConfig::default() };
+        assert!(matches!(coarsen(&pcn, &cfg), Err(CoreError::InvalidRunOpts { .. })));
+        let cfg = CoarsenConfig { min_reduction: 1.0, ..CoarsenConfig::default() };
+        assert!(matches!(coarsen(&pcn, &cfg), Err(CoreError::InvalidRunOpts { .. })));
+    }
+
+    #[test]
+    fn chain_coarsens_by_roughly_half_per_level() {
+        let pcn = chain(64);
+        let cfg = CoarsenConfig { target_clusters: 4, ..CoarsenConfig::default() };
+        let levels = coarsen(&pcn, &cfg).unwrap();
+        // A path graph matches almost perfectly: each round halves it.
+        assert!(levels.len() >= 3);
+        assert_eq!(levels[0].pcn.num_clusters(), 32);
+    }
+}

@@ -318,6 +318,52 @@ fn cmp_entries(a: &(f64, u64), b: &(f64, u64)) -> Ordering {
     b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
 }
 
+/// Sorts the exact top-`take` of the queue (by [`cmp_entries`]) into
+/// `queue[..take]`, leaving the tail in an unspecified — but
+/// deterministic, thread-count independent — order.
+///
+/// Large queues skip `select_nth_unstable`'s full pivoting passes: a
+/// strided sample estimates the cutoff tension, one streaming pass
+/// partitions everything at-or-above that threshold to the front, and
+/// only that slice is sorted. The threshold rank is biased deep by ~2σ
+/// of the sample-quantile error, so the partition almost always captures
+/// the true top-`take`; when the estimate still undershoots (`m < take`)
+/// it falls back to the exact selector, so the result is exact either
+/// way. Because [`cmp_entries`] is a strict total order, "the top-`take`
+/// set" is unique — the sorted prefix is byte-for-byte the one a full
+/// sort would produce, and downstream sweep logic (which consumes the
+/// prefix, and the tail only as a set) cannot observe the change.
+fn select_top(queue: &mut [(f64, u64)], take: usize) {
+    const SAMPLE: usize = 256;
+    let len = queue.len();
+    if take < len && len >= 4 * SAMPLE {
+        let stride = len / SAMPLE;
+        let mut sample: Vec<(f64, u64)> = (0..SAMPLE).map(|i| queue[i * stride]).collect();
+        sample.sort_unstable_by(cmp_entries);
+        // Bernoulli quantile error at s = 256 is σ ≤ 1/32 of the queue;
+        // overshooting the rank by 2σ (= s/16) makes undershoot rare
+        // while keeping the expected over-collection ≲ 6% of the queue.
+        let frac = take as f64 / len as f64;
+        let rank = ((frac * SAMPLE as f64).ceil() as usize + SAMPLE / 16).min(SAMPLE - 1);
+        let pivot = sample[rank];
+        let mut m = 0;
+        for i in 0..len {
+            if cmp_entries(&queue[i], &pivot) != Ordering::Greater {
+                queue.swap(m, i);
+                m += 1;
+            }
+        }
+        if m >= take {
+            queue[..m].sort_unstable_by(cmp_entries);
+            return;
+        }
+    }
+    if take < len {
+        queue.select_nth_unstable_by(take - 1, cmp_entries);
+    }
+    queue[..take].sort_unstable_by(cmp_entries);
+}
+
 /// Runs the Force-Directed algorithm (Algorithm 3) on a complete
 /// placement, refining it in place.
 ///
@@ -592,11 +638,12 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
     // Initial positive-tension queue over all adjacent pairs, scored in
     // parallel and concatenated in ascending position order. The queue is
     // deliberately *not* kept sorted: each sweep selects its top-λ prefix
-    // with select_nth_unstable, which yields exactly the prefix a full
-    // sort would (cmp_entries is a strict total order). On resume this
-    // full rescan reproduces the uninterrupted run's queue *as a set*
-    // (tension is a pure function of occupancy and the restored forces),
-    // and set equality is all the sweep logic depends on.
+    // with select_top — a sampled-threshold streaming pass whose result
+    // is exactly the prefix a full sort would yield (cmp_entries is a
+    // strict total order). On resume this full rescan reproduces the
+    // uninterrupted run's queue *as a set* (tension is a pure function of
+    // occupancy and the restored forces), and set equality is all the
+    // sweep logic depends on.
     let mesh_len = engine.mesh.len();
     let queue_src = &engine;
     let mut queue: Vec<(f64, u64)> = par::try_par_flat_map(threads, mesh_len, |p, out| {
@@ -677,10 +724,7 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
         epoch += 1;
 
         let take = ((config.lambda * queue.len() as f64).ceil() as usize).clamp(1, queue.len());
-        if take < queue.len() {
-            queue.select_nth_unstable_by(take - 1, cmp_entries);
-        }
-        queue[..take].sort_unstable_by(cmp_entries);
+        select_top(&mut queue, take);
 
         affected.clear();
         for &(cached, key) in queue.iter().take(take) {
@@ -1406,6 +1450,40 @@ mod tests {
 
     fn small_pcn() -> Pcn {
         random_pcn(64, 4.0, 42).unwrap()
+    }
+
+    #[test]
+    fn select_top_matches_a_full_sort_exactly() {
+        // Deterministic pseudo-random tensions (xorshift), sizes chosen to
+        // exercise both the sampled-threshold path (>= 1024 entries) and
+        // the small-queue fallback, plus heavy ties to stress the key
+        // tie-breaker.
+        let mut s: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for len in [1usize, 7, 255, 1024, 5000, 60_000] {
+            let base: Vec<(f64, u64)> = (0..len)
+                .map(|k| (((next() % 97) as f64) / 7.0, k as u64))
+                .collect();
+            let mut sorted = base.clone();
+            sorted.sort_unstable_by(cmp_entries);
+            for lambda in [0.01, 0.1, 0.5, 1.0] {
+                let take = ((lambda * len as f64).ceil() as usize).clamp(1, len);
+                let mut q = base.clone();
+                select_top(&mut q, take);
+                assert_eq!(&q[..take], &sorted[..take], "len {len} lambda {lambda}");
+                // The tail must still hold the same entries (as a set).
+                let mut tail: Vec<u64> = q[take..].iter().map(|e| e.1).collect();
+                let mut expect: Vec<u64> = sorted[take..].iter().map(|e| e.1).collect();
+                tail.sort_unstable();
+                expect.sort_unstable();
+                assert_eq!(tail, expect, "len {len} lambda {lambda}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,11 @@ use crate::{par, toposort, CoreError};
 
 /// Checks that `n` clusters fit on the healthy cores of `mesh` under an
 /// optional fault map, producing the most specific error available.
-fn check_capacity(n: u32, mesh: Mesh, faults: Option<&FaultMap>) -> Result<(), CoreError> {
+pub(crate) fn check_capacity(
+    n: u32,
+    mesh: Mesh,
+    faults: Option<&FaultMap>,
+) -> Result<(), CoreError> {
     if n as usize > mesh.len() {
         return Err(CoreError::MeshTooSmall { clusters: n, cores: mesh.len() });
     }

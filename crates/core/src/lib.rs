@@ -43,14 +43,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod coarsen;
 mod error;
 mod fd;
 mod hsc;
 mod mapper;
+mod multilevel;
 pub mod par;
 mod toposort;
 mod validate;
 
+pub use coarsen::{coarsen, CoarseLevel, CoarsenConfig};
 pub use error::CoreError;
 pub use fd::{
     force_directed, force_directed_budgeted, force_directed_masked,
@@ -63,5 +66,6 @@ pub use hsc::{
     sequence_placement_masked,
 };
 pub use mapper::{InitialPlacement, MapOutcome, Mapper, MapperBuilder, RepairReport};
+pub use multilevel::MultilevelConfig;
 pub use toposort::toposort;
 pub use validate::{repair, validate, RepairMove, RepairOutcome, ValidationReport, Violation};

@@ -12,6 +12,7 @@ use snnmap_trace::{
 
 use crate::fd::force_directed_impl;
 use crate::hsc::hsc_sequence_impl;
+use crate::multilevel::MultilevelConfig;
 use crate::validate::{repair, RepairMove};
 use crate::{
     par, random_placement, random_placement_masked, sequence_placement,
@@ -103,6 +104,7 @@ pub struct Mapper {
     fd: Option<FdConfig>,
     faults: Option<FaultMap>,
     threads: usize,
+    multilevel: Option<MultilevelConfig>,
 }
 
 impl Mapper {
@@ -130,6 +132,11 @@ impl Mapper {
     /// [`crate::par::resolve_threads`]).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured multilevel pipeline, if enabled.
+    pub fn multilevel_config(&self) -> Option<&MultilevelConfig> {
+        self.multilevel.as_ref()
     }
 
     /// Maps a PCN onto a mesh. When a fault map is configured (see
@@ -235,6 +242,28 @@ impl Mapper {
                 threads_requested: self.threads,
                 threads_resolved,
             }));
+        }
+
+        if let Some(ml) = &self.multilevel {
+            if self.init != InitialPlacement::Hilbert {
+                return Err(CoreError::InvalidRunOpts {
+                    message: format!(
+                        "the multilevel pipeline places the coarsest graph with the \
+                         Hilbert/HSC init; {:?} is not supported with it",
+                        self.init
+                    ),
+                });
+            }
+            return crate::multilevel::multilevel_map_impl(
+                pcn,
+                mesh,
+                ml,
+                self.fd.as_ref(),
+                fm,
+                threads_resolved,
+                opts,
+                sink,
+            );
         }
 
         let t0 = Instant::now();
@@ -520,6 +549,7 @@ pub struct MapperBuilder {
     fd: FdConfig,
     faults: Option<FaultMap>,
     threads: usize,
+    multilevel: Option<MultilevelConfig>,
 }
 
 impl Default for MapperBuilder {
@@ -530,6 +560,7 @@ impl Default for MapperBuilder {
             fd: FdConfig::default(),
             faults: None,
             threads: 0,
+            multilevel: None,
         }
     }
 }
@@ -595,6 +626,16 @@ impl MapperBuilder {
         self
     }
 
+    /// Enables the multilevel pipeline (coarsen → place → uncoarsen and
+    /// refine; see [`crate::MultilevelConfig`]). Requires the Hilbert
+    /// initial placement — the coarsest graph is placed with the paper's
+    /// HSC init — and produces bit-identical placements for every thread
+    /// count, like the flat pipeline (default: disabled).
+    pub fn multilevel(mut self, config: MultilevelConfig) -> Self {
+        self.multilevel = Some(config);
+        self
+    }
+
     /// Finalizes the mapper.
     pub fn build(self) -> Mapper {
         let mut fd = self.fd;
@@ -604,6 +645,7 @@ impl MapperBuilder {
             fd: self.fd_enabled.then_some(fd),
             faults: self.faults,
             threads: self.threads,
+            multilevel: self.multilevel,
         }
     }
 }

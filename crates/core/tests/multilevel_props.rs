@@ -1,0 +1,139 @@
+//! Property tests for the multilevel pipeline.
+//!
+//! Two guarantees are property-tested here, per ISSUE 7:
+//!
+//! 1. **Coarsen/uncoarsen round-trip**: at every level of the hierarchy,
+//!    expanding each coarse cluster back through `parent_of` recovers the
+//!    finer level's cluster multiset exactly (every fine cluster appears
+//!    in exactly one coarse cluster), and the graph's totals — neurons,
+//!    synapses, and edge weight (inter + intra traffic) — are preserved.
+//! 2. **Determinism**: the full multilevel pipeline produces an identical
+//!    placement and identical FD statistics for `threads = 1, 2, 4`.
+
+use proptest::prelude::*;
+use snnmap_core::{coarsen, CoarsenConfig, Mapper, MultilevelConfig};
+use snnmap_hw::Mesh;
+use snnmap_model::{generators::random_pcn, Pcn};
+
+fn conservation_at_every_level(pcn: &Pcn, cfg: &CoarsenConfig) -> Result<(), TestCaseError> {
+    let levels = coarsen(pcn, cfg).expect("valid config");
+    let mut fine: &Pcn = pcn;
+    for (k, level) in levels.iter().enumerate() {
+        let fine_n = fine.num_clusters();
+        let coarse_n = level.pcn.num_clusters();
+        prop_assert!(coarse_n < fine_n, "level {} must shrink the graph", k);
+        prop_assert_eq!(level.parent_of.len(), fine_n as usize, "level {}", k);
+
+        // Round-trip of the cluster multiset: every fine cluster lands in
+        // exactly one coarse cluster, and every coarse cluster is hit.
+        let mut children_per_coarse = vec![0u32; coarse_n as usize];
+        let mut neurons = vec![0u64; coarse_n as usize];
+        let mut synapses = vec![0u64; coarse_n as usize];
+        for (f, &p) in level.parent_of.iter().enumerate() {
+            prop_assert!(p < coarse_n, "level {}: parent id out of range", k);
+            children_per_coarse[p as usize] += 1;
+            neurons[p as usize] += u64::from(fine.neurons_in(f as u32));
+            synapses[p as usize] += fine.synapses_in(f as u32);
+        }
+        let expanded: u32 = children_per_coarse.iter().sum();
+        prop_assert_eq!(expanded, fine_n, "level {}: round-trip lost clusters", k);
+        for (g, &count) in children_per_coarse.iter().enumerate() {
+            prop_assert!(
+                (1..=2).contains(&count),
+                "level {}: coarse {} groups {} clusters (matching pairs at most 2)",
+                k,
+                g,
+                count
+            );
+            prop_assert_eq!(
+                u64::from(level.pcn.neurons_in(g as u32)),
+                neurons[g],
+                "level {}: coarse {} neuron sum",
+                k,
+                g
+            );
+            prop_assert_eq!(
+                level.pcn.synapses_in(g as u32),
+                synapses[g],
+                "level {}: coarse {} synapse sum",
+                k,
+                g
+            );
+        }
+        prop_assert_eq!(level.pcn.total_neurons(), fine.total_neurons(), "level {}", k);
+        prop_assert_eq!(level.pcn.total_synapses(), fine.total_synapses(), "level {}", k);
+
+        // Total edge weight is conserved: inter-cluster traffic either
+        // stays on a coarse edge or moves into intra_traffic.
+        let fine_total = fine.total_traffic() + fine.intra_traffic();
+        let coarse_total = level.pcn.total_traffic() + level.pcn.intra_traffic();
+        let tol = 1e-3 * fine_total.abs().max(1.0);
+        prop_assert!(
+            (fine_total - coarse_total).abs() <= tol,
+            "level {}: traffic {} vs {}",
+            k,
+            fine_total,
+            coarse_total
+        );
+        fine = &level.pcn;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn coarsen_round_trip_preserves_multiset_and_weight(
+        n in 40u32..400,
+        degree in 2.0f64..8.0,
+        seed in 0u64..1000,
+        target in 4u32..64,
+    ) {
+        let pcn = random_pcn(n, degree, seed).expect("generator accepts these sizes");
+        let cfg = CoarsenConfig { target_clusters: target, ..CoarsenConfig::default() };
+        conservation_at_every_level(&pcn, &cfg)?;
+    }
+
+    #[test]
+    fn multilevel_placement_is_thread_count_independent(
+        n in 150u32..400,
+        seed in 0u64..500,
+    ) {
+        let pcn = random_pcn(n, 5.0, seed).expect("generator accepts these sizes");
+        let mesh = Mesh::square_for(u64::from(n) + 8).expect("small mesh");
+        let cfg = MultilevelConfig {
+            coarsen: CoarsenConfig { target_clusters: 32, ..CoarsenConfig::default() },
+            ..MultilevelConfig::default()
+        };
+        let reference = Mapper::builder()
+            .multilevel(cfg.clone())
+            .threads(1)
+            .build()
+            .map(&pcn, mesh)
+            .expect("mapping succeeds");
+        for threads in [2usize, 4] {
+            let out = Mapper::builder()
+                .multilevel(cfg.clone())
+                .threads(threads)
+                .build()
+                .map(&pcn, mesh)
+                .expect("mapping succeeds");
+            prop_assert_eq!(
+                &out.placement,
+                &reference.placement,
+                "threads={} diverged",
+                threads
+            );
+            let (a, b) = (out.fd_stats.unwrap(), reference.fd_stats.as_ref().unwrap());
+            prop_assert_eq!(a.swaps, b.swaps, "threads={}", threads);
+            prop_assert_eq!(a.iterations, b.iterations, "threads={}", threads);
+            prop_assert_eq!(
+                a.final_energy.to_bits(),
+                b.final_energy.to_bits(),
+                "threads={}",
+                threads
+            );
+        }
+    }
+}

@@ -24,6 +24,19 @@ pub enum IoError {
         /// Description of the violation.
         message: String,
     },
+    /// A binary document ended before a declared section was complete.
+    Truncated {
+        /// The section (magic, header, clusters, edges, checksum) that
+        /// ran out of bytes.
+        section: String,
+    },
+    /// A binary document's bytes are internally inconsistent: wrong
+    /// magic/version, a section length that contradicts the header, a
+    /// non-canonical CSR, or a checksum mismatch.
+    Corrupt {
+        /// Description of the inconsistency.
+        message: String,
+    },
     /// A JSON object repeated a key. The underlying parser resolves
     /// duplicates last-write-wins, which would let a crafted document
     /// show one value to a validator and another to a consumer, so the
@@ -41,6 +54,10 @@ impl fmt::Display for IoError {
             IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
             IoError::Json(e) => write!(f, "json error: {e}"),
             IoError::Invalid { message } => write!(f, "invalid document: {message}"),
+            IoError::Truncated { section } => {
+                write!(f, "truncated document: {section} section ends early")
+            }
+            IoError::Corrupt { message } => write!(f, "corrupt document: {message}"),
             IoError::DuplicateKey { key } => {
                 write!(f, "invalid document: duplicate JSON key `{key}`")
             }

@@ -7,6 +7,11 @@
 //!   capacities and weighted directed connections. This is the interface
 //!   for bringing externally partitioned applications into the mapper
 //!   (e.g. from a PyNN/SNNToolBox flow).
+//! * **Binary PCN** (`.pcnb`, [`read_pcnb`] / [`write_pcnb`]) — the same
+//!   data as a versioned, checksummed little-endian layout with
+//!   length-prefixed CSR sections; a streaming buffered reader loads
+//!   million-cluster networks without the text parser's per-line cost.
+//!   `snnmap convert` translates between the two.
 //! * **Placement JSON** ([`read_placement`] / [`write_placement`]) — the
 //!   mesh dimensions and each cluster's core coordinates; the artifact a
 //!   hardware loader consumes.
@@ -70,6 +75,7 @@ mod fault_format;
 mod job_format;
 mod limits;
 mod pcn_format;
+mod pcnb_format;
 mod placement_format;
 mod trace_format;
 
@@ -81,6 +87,9 @@ pub use fault_format::{parse_faults, read_faults, render_faults, write_faults};
 pub use job_format::{parse_job, render_job, JobSpec, JOB_INITS, JOB_POTENTIALS};
 pub use limits::{MAX_CLUSTERS, MAX_MESH_CORES};
 pub use pcn_format::{parse_pcn, read_pcn, render_pcn, write_pcn};
+pub use pcnb_format::{
+    parse_pcnb, read_pcnb, render_pcnb, write_pcnb, PCNB_MAGIC, PCNB_VERSION,
+};
 pub use placement_format::{
     parse_placement, read_placement, render_placement, write_placement,
 };

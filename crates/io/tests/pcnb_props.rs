@@ -1,0 +1,72 @@
+//! Property tests for the binary PCN format.
+//!
+//! For random PCNs: `.pcnb → Pcn → .pcnb` must be byte-stable and agree
+//! with the text format; truncating the document at *any* offset or
+//! flipping *any* single bit must produce a typed [`IoError`] — never a
+//! panic, and never a silently-accepted wrong graph (a body flip always
+//! changes the FNV-1a state, whose byte-step is bijective, so the
+//! trailing checksum catches whatever the structural validators miss).
+
+use proptest::prelude::*;
+use snnmap_io::{parse_pcn, parse_pcnb, render_pcn, render_pcnb, IoError};
+use snnmap_model::generators::random_pcn;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn binary_round_trip_is_byte_stable_and_matches_text(
+        n in 2u32..120,
+        degree in 1.0f64..6.0,
+        seed in 0u64..1000,
+    ) {
+        let pcn = random_pcn(n, degree, seed).expect("generator accepts these sizes");
+        let bytes = render_pcnb(&pcn);
+        let again = parse_pcnb(&bytes).expect("own rendering parses");
+        prop_assert_eq!(&again, &pcn);
+        prop_assert_eq!(render_pcnb(&again), bytes, "byte-stability");
+        // Crossing through the binary format lands on the same text
+        // rendering as the original graph.
+        prop_assert_eq!(render_pcn(&again), render_pcn(&pcn));
+        let via_text = parse_pcn(&render_pcn(&pcn)).expect("text rendering parses");
+        prop_assert_eq!(via_text.num_connections(), again.num_connections());
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error(
+        n in 2u32..60,
+        seed in 0u64..500,
+        frac in 0.0f64..1.0,
+    ) {
+        let pcn = random_pcn(n, 3.0, seed).expect("generator accepts these sizes");
+        let bytes = render_pcnb(&pcn);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        match parse_pcnb(&bytes[..cut]) {
+            Err(IoError::Truncated { .. } | IoError::Corrupt { .. } | IoError::Invalid { .. }) => {}
+            Ok(_) => prop_assert!(false, "a {cut}-byte prefix of {} parsed", bytes.len()),
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_always_rejected(
+        n in 2u32..60,
+        seed in 0u64..500,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let pcn = random_pcn(n, 3.0, seed).expect("generator accepts these sizes");
+        let mut bytes = render_pcnb(&pcn);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        match parse_pcnb(&bytes) {
+            Err(IoError::Truncated { .. } | IoError::Corrupt { .. } | IoError::Invalid { .. }) => {}
+            Ok(_) => prop_assert!(
+                false,
+                "flipping bit {bit} of byte {pos}/{} was silently accepted",
+                bytes.len()
+            ),
+            Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+        }
+    }
+}

@@ -15,6 +15,6 @@ mod table3;
 
 pub use cnn::CnnSpec;
 pub use dnn::DnnSpec;
-pub use random::{random_pcn, random_snn};
+pub use random::{random_pcn, random_snn, scramble_pcn};
 pub use realistic::RealisticModel;
 pub use table3::{table3_suite, Table3Benchmark, Table3Row};

@@ -114,6 +114,60 @@ pub fn random_pcn(clusters: u32, avg_degree: f64, seed: u64) -> Result<Pcn, Mode
     b.build()
 }
 
+/// Relabels a PCN's cluster ids by a seeded Fisher–Yates permutation,
+/// preserving the graph structure (cluster payloads, edges, weights and
+/// intra-cluster traffic all move with their cluster).
+///
+/// Generators like [`random_pcn`] draw most edges from a window of nearby
+/// cluster ids, so id order itself encodes locality that an id-aware
+/// initial placement can exploit. Scrambling removes that crutch: the
+/// result is the *same* graph presented in an adversarial id order, which
+/// is how real partitioner output arrives — nothing guarantees cluster
+/// ids follow physical neighbourhoods. Benchmarks use this to compare
+/// mapping strategies on structure alone.
+///
+/// Deterministic per `(pcn, seed)`; `seed` only drives the permutation.
+///
+/// # Errors
+///
+/// Never fails in practice (the input PCN is already valid), but
+/// propagates [`ModelError`] from the rebuild for type-compatibility.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_model::generators::{random_pcn, scramble_pcn};
+///
+/// let pcn = random_pcn(64, 4.0, 7)?;
+/// let scr = scramble_pcn(&pcn, 99)?;
+/// assert_eq!(scr.num_clusters(), pcn.num_clusters());
+/// assert_eq!(scr.num_connections(), pcn.num_connections());
+/// # Ok::<(), snnmap_model::ModelError>(())
+/// ```
+pub fn scramble_pcn(pcn: &Pcn, seed: u64) -> Result<Pcn, ModelError> {
+    let n = pcn.num_clusters();
+    // Fisher–Yates: perm[old_id] = new_id.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5C12);
+    let mut perm: Vec<u32> = (0..n).collect();
+    for i in (1..n as usize).rev() {
+        perm.swap(i, rng.gen_range(0..=i));
+    }
+    let mut b = PcnBuilder::with_capacity(n as usize, pcn.num_connections() as usize);
+    // Clusters must be added in new-id order, so invert the permutation.
+    let mut old_of = vec![0u32; n as usize];
+    for (old, &new) in perm.iter().enumerate() {
+        old_of[new as usize] = old as u32;
+    }
+    for &old in &old_of {
+        b.add_cluster(pcn.neurons_in(old), pcn.synapses_in(old));
+    }
+    for (f, t, w) in pcn.iter_edges() {
+        b.add_edge(perm[f as usize], perm[t as usize], w)?;
+    }
+    b.add_intra(pcn.intra_traffic())?;
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +213,37 @@ mod tests {
             ));
             assert!(matches!(random_pcn(10, bad, 0), Err(ModelError::InvalidDegree { .. })));
         }
+    }
+
+    #[test]
+    fn scramble_is_a_deterministic_relabelling() {
+        let pcn = random_pcn(256, 4.0, 11).unwrap();
+        let a = scramble_pcn(&pcn, 7).unwrap();
+        let b = scramble_pcn(&pcn, 7).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, scramble_pcn(&pcn, 8).unwrap());
+        // Structure-preserving: the same invariants, different labels.
+        assert_eq!(a.num_clusters(), pcn.num_clusters());
+        assert_eq!(a.num_connections(), pcn.num_connections());
+        assert_eq!(a.total_neurons(), pcn.total_neurons());
+        assert_eq!(a.total_synapses(), pcn.total_synapses());
+        assert!((a.total_traffic() - pcn.total_traffic()).abs() < 1e-6);
+        assert_eq!(a.intra_traffic(), pcn.intra_traffic());
+        // Sorted degree sequences match (permutation moves, never merges).
+        let degs = |p: &Pcn| {
+            let mut d: Vec<u64> = (0..p.num_clusters()).map(|c| p.degree(c)).collect();
+            d.sort_unstable();
+            d
+        };
+        assert_eq!(degs(&a), degs(&pcn));
+        // And it genuinely shuffles: some cluster payload moved.
+        assert!((0..256).any(|c| a.neurons_in(c) != pcn.neurons_in(c)));
+    }
+
+    #[test]
+    fn scramble_handles_single_cluster() {
+        let single = random_pcn(1, 4.0, 0).unwrap();
+        assert_eq!(scramble_pcn(&single, 3).unwrap(), single);
     }
 
     #[test]

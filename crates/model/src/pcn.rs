@@ -254,6 +254,26 @@ impl PcnBuilder {
         Ok(self)
     }
 
+    /// Adds `weight` directly to the intra-cluster traffic total.
+    ///
+    /// [`PcnBuilder::add_edge`] records self-loops at `f32` precision, but
+    /// [`Pcn::intra_traffic`] is an `f64` total. Deserializers that must
+    /// reproduce a PCN bit-exactly (the `.pcnb` binary format, coarse-graph
+    /// construction) use this to carry the full-precision total instead of
+    /// round-tripping it through `f32`.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidWeight`] for non-finite or negative weights
+    /// (the `f32` cast is lossy but the sign/finiteness check is exact).
+    pub fn add_intra(&mut self, weight: f64) -> Result<&mut Self, ModelError> {
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(ModelError::InvalidWeight { weight: weight as f32 });
+        }
+        self.intra += weight;
+        Ok(self)
+    }
+
     /// Finalizes the PCN: aggregates duplicate edges and builds both CSR
     /// directions.
     ///
@@ -405,6 +425,18 @@ mod tests {
         let sum: f64 = p.iter_edges().map(|(_, _, w)| w as f64).sum();
         assert_eq!(sum, p.total_traffic());
         assert_eq!(p.iter_edges().count() as u64, p.num_connections());
+    }
+
+    #[test]
+    fn add_intra_is_exact_f64() {
+        let mut b = PcnBuilder::new();
+        b.add_cluster(1, 1);
+        let exact = 1.000_000_000_123_456_7_f64; // not representable in f32
+        b.add_intra(exact).unwrap();
+        let p = b.build().unwrap();
+        assert_eq!(p.intra_traffic().to_bits(), exact.to_bits());
+        assert!(PcnBuilder::new().add_intra(f64::NAN).is_err());
+        assert!(PcnBuilder::new().add_intra(-1.0).is_err());
     }
 
     #[test]
