@@ -23,6 +23,11 @@ use snnmap_model::generators::random_pcn;
 pub struct FdRun {
     /// Worker threads requested (explicit, never 0/auto here).
     pub threads: usize,
+    /// Whether this arm requested more threads than the CPUs granted to
+    /// the process. An oversubscribed arm still produces the identical
+    /// placement, but its wall-clock says nothing about multi-core
+    /// scaling — read it as "serial plus scheduling overhead".
+    pub oversubscribed: bool,
     /// Wall-clock seconds of the HSC initial placement.
     pub init_secs: f64,
     /// Wall-clock seconds of the FD refinement.
@@ -192,6 +197,18 @@ fn main() {
     );
     let pcn = random_pcn(args.clusters, args.degree, args.seed).expect("PCN build");
 
+    let cpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let over: Vec<usize> = args.threads.iter().copied().filter(|&t| t > cpus).collect();
+    if !over.is_empty() {
+        eprintln!(
+            "[bench_fd] WARNING: only {cpus} CPU(s) granted to this process, but \
+             thread arm(s) {over:?} were requested. Those arms are OVERSUBSCRIBED: \
+             their timings measure scheduling overhead, not multi-core scaling, and \
+             must not be quoted as speedup evidence. They are annotated \
+             \"oversubscribed\": true in the JSON artifact."
+        );
+    }
+
     let mut runs: Vec<FdRun> = Vec::new();
     for &threads in &args.threads {
         eprintln!("[bench_fd] threads={threads}: init + FD on {}...", args.mesh);
@@ -211,6 +228,7 @@ fn main() {
 
         runs.push(FdRun {
             threads,
+            oversubscribed: threads > cpus,
             init_secs,
             fd_secs,
             sweeps: stats.iterations,
@@ -245,7 +263,11 @@ fn main() {
     ]);
     for r in &runs {
         t.row(&[
-            r.threads.to_string(),
+            if r.oversubscribed {
+                format!("{}*", r.threads)
+            } else {
+                r.threads.to_string()
+            },
             format!("{:.3}", r.init_secs),
             format!("{:.3}", r.fd_secs),
             r.sweeps.to_string(),
@@ -255,6 +277,9 @@ fn main() {
         ]);
     }
     t.print();
+    if !over.is_empty() {
+        println!("\n* oversubscribed: more threads than the {cpus} CPU(s) granted");
+    }
     println!("\nall {} thread counts produced byte-identical placements", runs.len());
 
     let record = FdBench {
@@ -263,7 +288,7 @@ fn main() {
         mesh: format!("{}x{}", args.mesh.rows(), args.mesh.cols()),
         seed: args.seed,
         degree: args.degree,
-        cpus: std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        cpus,
         max_iters: args.max_iters,
         runs,
         baseline: args

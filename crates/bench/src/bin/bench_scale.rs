@@ -38,6 +38,10 @@ use snnmap_model::Pcn;
 pub struct ScaleRun {
     /// Worker threads requested (explicit, never 0/auto here).
     pub threads: usize,
+    /// Whether this arm requested more threads than the CPUs granted to
+    /// the process (timings then measure scheduling overhead, not
+    /// scaling; the placement is identical either way).
+    pub oversubscribed: bool,
     /// Wall-clock seconds of everything before and between FD passes:
     /// coarsening, the coarsest HSC placement, projections, and the
     /// intermediate region-masked refinements.
@@ -289,6 +293,16 @@ fn main() {
         }
     };
     let cpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let over: Vec<usize> = args.threads.iter().copied().filter(|&t| t > cpus).collect();
+    if !over.is_empty() {
+        eprintln!(
+            "[bench_scale] WARNING: only {cpus} CPU(s) granted to this process, but \
+             thread arm(s) {over:?} were requested. Those arms are OVERSUBSCRIBED: \
+             their timings measure scheduling overhead, not multi-core scaling, and \
+             must not be quoted as speedup evidence. They are annotated \
+             \"oversubscribed\": true in the JSON artifact."
+        );
+    }
 
     let mut sizes: Vec<ScaleSize> = Vec::new();
     let mut comparison = None;
@@ -311,6 +325,7 @@ fn main() {
             let stats = outcome.fd_stats.as_ref().expect("finest-level FD runs");
             runs.push(ScaleRun {
                 threads,
+                oversubscribed: threads > cpus,
                 init_secs: outcome.init_elapsed.as_secs_f64(),
                 fd_secs: outcome.fd_elapsed.as_secs_f64(),
                 sweeps: stats.iterations,
@@ -453,7 +468,11 @@ fn main() {
             t.row(&[
                 s.mesh.clone(),
                 s.clusters.to_string(),
-                r.threads.to_string(),
+                if r.oversubscribed {
+                    format!("{}*", r.threads)
+                } else {
+                    r.threads.to_string()
+                },
                 format!("{:.3}", r.init_secs),
                 format!("{:.3}", r.fd_secs),
                 r.sweeps.to_string(),
@@ -463,6 +482,9 @@ fn main() {
         }
     }
     t.print();
+    if !over.is_empty() {
+        println!("\n* oversubscribed: more threads than the {cpus} CPU(s) granted");
+    }
     println!(
         "\nall {} mesh sizes produced byte-identical placements across thread counts",
         sizes.len()

@@ -95,10 +95,14 @@ pub struct TraceFdDone {
 pub struct TracePar {
     /// Parallel-helper invocations.
     pub calls: u64,
-    /// Invocations that actually fanned out.
+    /// Items handed to the parallel helpers (workload-deterministic).
+    pub items: u64,
+    /// Invocations that actually fanned out (tuner-dependent).
     pub parallel_calls: u64,
-    /// Worker threads spawned in total.
+    /// Worker threads spawned in total (tuner-dependent).
     pub workers_spawned: u64,
+    /// Nanoseconds spent inside tuned parallel helpers.
+    pub busy_ns: u64,
 }
 
 /// The whole record written to `--json`.
@@ -299,8 +303,10 @@ fn main() {
             TraceEvent::Par(p) if p.scope == "fd" => {
                 par = Some(TracePar {
                     calls: p.calls,
+                    items: p.items,
                     parallel_calls: p.parallel_calls,
                     workers_spawned: p.workers_spawned,
+                    busy_ns: p.busy_ns,
                 })
             }
             _ => {}

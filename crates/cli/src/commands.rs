@@ -28,6 +28,20 @@ use snnmap_model::Pcn;
 use crate::opts::Opts;
 use crate::{viz, CliError};
 
+/// `--threads` parsing: absent means auto-detect (the builder's `0`),
+/// honoring the `SNNMAP_THREADS` env fallback downstream. An *explicit*
+/// flag must be a positive integer — unlike the env variable (which the
+/// core warns about once and then ignores), a malformed or zero flag
+/// value is a hard usage error, since the user typed it on purpose.
+fn parse_threads_flag(o: &Opts) -> Result<usize, CliError> {
+    match o.flag("threads") {
+        None => Ok(0),
+        Some(v) => snnmap_core::par::parse_env_threads(v).map_err(|e| {
+            CliError::usage(format!("`--threads` takes a positive integer, got `{v}` ({e})"))
+        }),
+    }
+}
+
 /// Whether a path names a binary (`.pcnb`) PCN file.
 fn is_pcnb(path: &Path) -> bool {
     path.extension().is_some_and(|e| e.eq_ignore_ascii_case("pcnb"))
@@ -398,9 +412,9 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             if !(lambda > 0.0 && lambda <= 1.0) {
                 return Err(CliError::usage("lambda must be in (0, 1]"));
             }
-            // 0 = auto (SNNMAP_THREADS, else available parallelism); the
-            // placement is bit-identical for every thread count.
-            let threads: usize = o.parsed_or("threads", 0)?;
+            // Absent = auto (SNNMAP_THREADS, else available parallelism);
+            // the placement is bit-identical for every thread count.
+            let threads = parse_threads_flag(&o)?;
             let mut builder = Mapper::builder()
                 .initial_placement(init)
                 .potential(potential)
@@ -664,7 +678,7 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
     if !(lambda > 0.0 && lambda <= 1.0) {
         return Err(CliError::usage("lambda must be in (0, 1]"));
     }
-    let threads: usize = o.parsed_or("threads", 0)?;
+    let threads = parse_threads_flag(&o)?;
     // Checkpoints only ever freeze finest-level FD state, so resuming a
     // `--multilevel on` run is plain FD from the snapshot — the flag here
     // exists purely to reproduce the original run's config digest.

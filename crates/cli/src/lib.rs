@@ -82,6 +82,13 @@ sweeps — much faster at scale, byte-identical across thread counts.
 `--faults` takes a uniform core/link fault rate in [0, 1) (seeded by
 `--seed`) or a fault-map JSON file written by `--faults-out`.
 
+`--threads N` pins the FD worker-thread count (N >= 1); omit the flag
+for auto-detection (SNNMAP_THREADS if set and valid, else the available
+parallelism). The placement is bit-identical for every thread count —
+threads only change wall-clock time. In a container, pinning N above
+the CPUs actually granted oversubscribes and usually runs *slower* than
+auto; see README \"Multi-core scaling\".
+
 `--trace-out` streams per-phase timing and FD convergence telemetry as
 JSON lines (schema in DESIGN.md); the SNNMAP_TRACE env var is the
 fallback destination when the flag is absent. `--trace-timing off`
@@ -313,6 +320,16 @@ mod tests {
         ]))
         .unwrap_err();
         assert_eq!(err.exit_code(), 2);
+        // An explicit `--threads 0` is a usage error, not silent auto:
+        // auto-detection is spelled by omitting the flag.
+        for bad in ["0", "-1", "1.5"] {
+            let err = run(&sv(&[
+                "map", pcn_s, "--out", "/dev/null", "--threads", bad,
+            ]))
+            .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "--threads {bad} must be a usage error");
+            assert!(err.to_string().contains("--threads"), "{err}");
+        }
     }
 
     #[test]

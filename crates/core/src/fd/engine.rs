@@ -2,23 +2,33 @@
 //!
 //! The hot path is organised for million-core meshes:
 //!
-//! * a packed per-cluster *hot record* (`stamp + coordinate + force`) so
-//!   a swap's neighbour patch touches one cache line per graph
-//!   neighbour instead of five scattered arrays;
+//! * **SoA coordinate layout** — cluster coordinates live in two dense
+//!   `cx`/`cy` arrays of the kernel's scalar type (and the static mesh
+//!   coordinate table in split `mesh_x`/`mesh_y` arrays), so the force
+//!   and energy loops stream contiguous floats through branch-free
+//!   distance kernels (see [`crate::fd::potential`]) instead of
+//!   gathering `(x, y)` structs through the position table;
+//! * a packed per-cluster *hot record* (`signature + force`) so a swap's
+//!   neighbour patch touches one cache line per graph neighbour;
 //! * a merged out+in adjacency CSR — each patch/rebuild walks a single
 //!   contiguous row, and the mutual-edge correction is a short row scan
 //!   instead of two binary searches;
-//! * per-sweep *dirty* pair tracking — only pairs whose endpoints saw a
-//!   force or occupancy change are re-scored, everything else carries
-//!   its cached tension over;
+//! * a per-pair **score table** refreshed by stamped-position scans —
+//!   each sweep recomputes, in parallel, exactly the pairs whose
+//!   endpoint positions a swap touched and copies every other cached
+//!   tension forward; there is no serial dirty-list building, sorting or
+//!   carried-queue scanning between the parallel phases, which is what
+//!   makes the sweep loop scale past one core (Amdahl: the only serial
+//!   part left is the order-dependent swap application itself);
 //! * `select_nth_unstable`-based top-λ selection instead of sorting the
 //!   whole queue every sweep;
 //! * the placement itself is untouched during sweeps; the result is
 //!   committed once at the end via [`Placement::set_coords`];
-//! * the initial scoring, dirty re-scoring and system-energy reduction
-//!   run on [`crate::par`]'s scoped-thread helpers, merged in
-//!   deterministic key/block order so the result is bit-identical for
-//!   every thread count.
+//! * every parallel phase runs on [`crate::par`]'s scoped-thread
+//!   helpers, merged in deterministic key/block order, with per-sweep
+//!   granularity steered by measured-throughput [`par::Tuner`]s — so the
+//!   result is bit-identical for every thread count and the thread count
+//!   only ever changes wall-clock time.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -33,6 +43,7 @@ use snnmap_trace::{
     TraceEvent, TraceSink,
 };
 
+use crate::fd::potential::{with_kernel, CoordF, PotKernel};
 use crate::{par, CoreError, Potential};
 
 /// How the tension of a connected adjacent pair is computed.
@@ -290,8 +301,7 @@ impl fmt::Debug for FdRunOpts<'_> {
 }
 
 /// Direction encoding shared with the paper: `UP = 0, DOWN = 1,
-/// LEFT = 2, RIGHT = 3`; `OFF[d]` is the coordinate shift of one step.
-const OFF: [(i32, i32); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+/// LEFT = 2, RIGHT = 3`.
 const DOWN: usize = 1;
 const RIGHT: usize = 3;
 
@@ -562,6 +572,94 @@ fn worker_panicked<S: TraceSink + ?Sized>(
     CoreError::WorkerPanicked { message: panic.message().to_owned() }
 }
 
+/// Fills the score table from scratch: every scannable key gets its
+/// current tension (the whole table, or — region-restricted — only the
+/// precomputed key list, everything else staying frozen at 0.0).
+fn init_scores(
+    engine: &Engine<'_>,
+    threads: usize,
+    tuner: &mut par::Tuner,
+    score: &mut [f64],
+    scan_keys: &Option<Vec<u64>>,
+) -> Result<(), par::WorkerPanic> {
+    match scan_keys {
+        None => par::try_par_update_tuned(threads, tuner, score, |key, s| {
+            *s = engine.scored_tension(key as u64);
+        }),
+        Some(keys) => {
+            let vals = par::try_par_flat_map_tuned(threads, tuner, keys.len(), |i, out| {
+                out.push(engine.scored_tension(keys[i]));
+            })?;
+            for (&key, t) in keys.iter().zip(vals) {
+                score[key as usize] = t;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Refreshes the score table after a sweep's swaps: keys with a stamped
+/// endpoint position are re-scored in parallel, every other slot keeps
+/// its cached tension. The swap loop stamped exactly the positions whose
+/// occupancy or forces changed, so unstamped cached scores are still
+/// exact — and because staleness is a *position* property, pairs around
+/// a vacated core are caught even when no cluster sits there anymore.
+fn rescore(
+    engine: &Engine<'_>,
+    threads: usize,
+    tuner: &mut par::Tuner,
+    score: &mut [f64],
+    scan_keys: &Option<Vec<u64>>,
+    pos_stamp: &[u32],
+    epoch: u32,
+) -> Result<(), par::WorkerPanic> {
+    match scan_keys {
+        None => par::try_par_update_tuned(threads, tuner, score, |key, s| {
+            if engine.key_stale(key as u64, pos_stamp, epoch) {
+                *s = engine.scored_tension(key as u64);
+            }
+        }),
+        Some(keys) => {
+            let upd = par::try_par_flat_map_tuned(threads, tuner, keys.len(), |i, out| {
+                let key = keys[i];
+                if engine.key_stale(key, pos_stamp, epoch) {
+                    out.push((key, engine.scored_tension(key)));
+                }
+            })?;
+            for (key, t) in upd {
+                score[key as usize] = t;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Collects the positive entries of the score table into a queue in
+/// ascending key order — a deterministic, thread-count-independent
+/// layout, whatever the sweep history was.
+fn collect_queue(
+    threads: usize,
+    tuner: &mut par::Tuner,
+    score: &[f64],
+    scan_keys: &Option<Vec<u64>>,
+) -> Result<Vec<(f64, u64)>, par::WorkerPanic> {
+    match scan_keys {
+        None => par::try_par_flat_map_tuned(threads, tuner, score.len(), |key, out| {
+            let s = score[key];
+            if s > TENSION_EPS {
+                out.push((s, key as u64));
+            }
+        }),
+        Some(keys) => par::try_par_flat_map_tuned(threads, tuner, keys.len(), |i, out| {
+            let key = keys[i];
+            let s = score[key as usize];
+            if s > TENSION_EPS {
+                out.push((s, key));
+            }
+        }),
+    }
+}
+
 pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
     pcn: &Pcn,
     placement: &mut Placement,
@@ -635,39 +733,47 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
         }
     }
 
-    // Initial positive-tension queue over all adjacent pairs, scored in
-    // parallel and concatenated in ascending position order. The queue is
-    // deliberately *not* kept sorted: each sweep selects its top-λ prefix
-    // with select_top — a sampled-threshold streaming pass whose result
-    // is exactly the prefix a full sort would yield (cmp_entries is a
-    // strict total order). On resume this full rescan reproduces the
-    // uninterrupted run's queue *as a set* (tension is a pure function of
-    // occupancy and the restored forces), and set equality is all the
-    // sweep logic depends on.
+    // Pair tensions live in a dense by-key *score table* (two keys —
+    // DOWN and RIGHT — per mesh position; invalid and frozen pairs stay
+    // at 0.0), refreshed each sweep by parallel stamped-position scans:
+    // stale slots are re-scored, everything else copies its cached
+    // tension forward. The positive-tension queue is then collected from
+    // the table in ascending key order, so the queue layout — and
+    // therefore the whole run — is independent of the thread count. The
+    // queue is deliberately *not* kept sorted: each sweep selects its
+    // top-λ prefix with select_top — a sampled-threshold streaming pass
+    // whose result is exactly the prefix a full sort would yield
+    // (cmp_entries is a strict total order). On resume the full initial
+    // scan reproduces the uninterrupted run's queue (tension is a pure
+    // function of occupancy and the restored forces).
+    //
+    // Region-restricted runs (incremental fault repair, multilevel
+    // halos) precompute the key list with both endpoints inside the
+    // region once and scan only that list each sweep, so a small repair
+    // on a huge mesh never pays mesh-sized scans.
     let mesh_len = engine.mesh.len();
-    let queue_src = &engine;
-    let mut queue: Vec<(f64, u64)> = par::try_par_flat_map(threads, mesh_len, |p, out| {
-        for d in [DOWN, RIGHT] {
-            if let Some(key) = queue_src.pair_key(p, d) {
-                let t = queue_src.tension(key);
-                if t > TENSION_EPS {
-                    out.push((t, key));
-                }
-            }
-        }
-    })
-    .map_err(|p| {
+    let nkeys = 2 * mesh_len;
+    let scan_keys: Option<Vec<u64>> = engine.region_keys();
+    let mut score = vec![0.0f64; nkeys];
+    // One granularity tuner per parallel phase family: tension scoring
+    // (expensive per item) and queue collection (a filtered copy, cheap
+    // per item) have very different items/µs rates, so each learns its
+    // own serial/parallel cutoff.
+    let mut tune_score = par::Tuner::new();
+    let mut tune_collect = par::Tuner::new();
+
+    init_scores(&engine, threads, &mut tune_score, &mut score, &scan_keys).map_err(|p| {
         worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
     })?;
+    let mut queue: Vec<(f64, u64)> =
+        collect_queue(threads, &mut tune_collect, &score, &scan_keys).map_err(|p| {
+            worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
+        })?;
 
     // Per-sweep scratch, allocated once and reused. Epoch stamps replace
-    // sort+dedup passes: a slot is "marked this sweep" iff its stamp
-    // equals the current epoch.
-    let mut key_stamp = vec![0u32; 2 * mesh_len];
+    // clear-and-refill passes: a position is "touched this sweep" iff
+    // its stamp equals the current epoch.
     let mut pos_stamp = vec![0u32; mesh_len];
-    let mut affected: Vec<u32> = Vec::new();
-    let mut dirty: Vec<u64> = Vec::new();
-    let mut carried: Vec<(f64, u64)> = Vec::new();
     let mut epoch = 0u32;
 
     // Stop conditions are checked once per sweep boundary: sweeps are the
@@ -714,19 +820,15 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
             // One epoch per sweep, so this fires only after 2^32 - 1
             // sweeps — but reset anyway so a stale stamp can never alias
             // the current epoch across the wrap.
-            key_stamp.fill(0);
             pos_stamp.fill(0);
-            for h in &mut engine.hot {
-                h.stamp = 0;
-            }
             epoch = 0;
         }
         epoch += 1;
 
         let take = ((config.lambda * queue.len() as f64).ceil() as usize).clamp(1, queue.len());
         select_top(&mut queue, take);
+        let t_select = sink.enabled().then(Instant::now);
 
-        affected.clear();
         for &(cached, key) in queue.iter().take(take) {
             // Check before the swap: earlier swaps this iteration may have
             // flipped this pair's tension (§4.5 design choice 1). Swaps
@@ -740,78 +842,70 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
             if t <= TENSION_EPS {
                 continue;
             }
-            engine.swap(key, epoch, &mut affected, &mut pos_stamp);
+            engine.swap(key, epoch, &mut pos_stamp);
             swaps += 1;
         }
+        let t_swap = sink.enabled().then(Instant::now);
 
-        // A cached tension is stale iff an endpoint position was stamped
-        // by a swap this sweep (its force or occupancy changed).
-        // Candidate pairs for the next queue are every pair around an
-        // affected cluster plus every queued pair touching a stamped
-        // position; everything else carries over unscored.
-        dirty.clear();
-        for &c in &affected {
-            let p = engine.pos[c as usize] as usize;
-            debug_assert_eq!(pos_stamp[p], epoch);
-            engine.push_incident_keys(p, epoch, &mut key_stamp, &mut dirty);
-        }
-
-        carried.clear();
-        for &(t, key) in &queue {
-            if key_stamp[key as usize] == epoch {
-                continue; // already queued for re-scoring
-            }
-            let (p, d) = engine.decode(key);
-            let q = engine.step(p, d).expect("queued pairs lie inside the mesh");
-            if pos_stamp[p] == epoch || pos_stamp[q] == epoch {
-                key_stamp[key as usize] = epoch;
-                dirty.push(key);
-            } else {
-                carried.push((t, key));
-            }
-        }
-
-        // Re-score the dirty pairs in parallel, merged in ascending key
-        // order — with the sorted dirty list this makes the next queue's
-        // layout (and therefore the whole run) thread-count independent.
-        dirty.sort_unstable();
-        let eng = &engine;
-        let dirty_ref = &dirty;
-        // A panic here (or in any probe below) is caught after the sweep's
-        // swaps are fully committed, so the engine is at a consistent
-        // boundary and the flushed checkpoint is resumable.
-        let rescored = par::try_par_flat_map(threads, dirty.len(), |i, out| {
-            let key = dirty_ref[i];
-            let t = eng.tension(key);
-            if t > TENSION_EPS {
-                out.push((t, key));
-            }
-        })
-        .map_err(|p| {
+        // Refresh the score table and re-collect the queue, both in
+        // parallel: a cached tension is stale iff an endpoint position
+        // was stamped by a swap this sweep (its force or occupancy
+        // changed — including a position merely *vacated* by a move,
+        // whose surrounding pairs the old affected-cluster walk missed).
+        // A panic here (or in any probe below) is caught after the
+        // sweep's swaps are fully committed, so the engine is at a
+        // consistent boundary and the flushed checkpoint is resumable.
+        rescore(&engine, threads, &mut tune_score, &mut score, &scan_keys, &pos_stamp, epoch)
+            .map_err(|p| {
+                worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
+            })?;
+        queue = collect_queue(threads, &mut tune_collect, &score, &scan_keys).map_err(|p| {
             worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
         })?;
-        queue.clear();
-        queue.extend_from_slice(&carried);
-        queue.extend(rescored);
+        let t_rescore = sink.enabled().then(Instant::now);
 
         if sink.enabled() {
-            // The per-sweep energy recompute is the one probe with real
-            // cost; it runs only here, under an enabled sink, so the
-            // untraced hot loop is untouched.
+            // Convergence telemetry (dirty = re-scored pairs, carried =
+            // queue entries kept from cache) is recounted here by a
+            // serial pass over the scan domain, and the energy recompute
+            // is a full parallel reduction — both run only under an
+            // enabled sink, so the untraced hot loop pays nothing.
+            let mut dirty = 0u64;
+            let mut fresh = 0u64;
+            let mut count = |key: u64| {
+                if engine.key_stale(key, &pos_stamp, epoch) {
+                    dirty += 1;
+                    if score[key as usize] > TENSION_EPS {
+                        fresh += 1;
+                    }
+                }
+            };
+            match &scan_keys {
+                None => (0..nkeys as u64).for_each(&mut count),
+                Some(keys) => keys.iter().copied().for_each(&mut count),
+            }
             let energy = engine.try_system_energy().map_err(|p| {
                 worker_panicked(&engine, on_checkpoint, iterations, swaps, initial_energy, p, sink)
             })?;
+            let ns = |a: Instant, b: Instant| u64::try_from((b - a).as_nanos()).unwrap_or(u64::MAX);
+            let (select_ns, swap_ns, rescore_ns) = match (sweep_t0, t_select, t_swap, t_rescore) {
+                (Some(a), Some(b), Some(c), Some(d)) => (ns(a, b), ns(b, c), ns(c, d)),
+                _ => (0, 0, 0),
+            };
             sink.record(&TraceEvent::FdSweep(FdSweepEvent {
                 sweep: iterations,
                 queue: queue_len as u64,
                 cutoff: take as u64,
                 applied: swaps - swaps_before,
-                dirty: dirty.len() as u64,
-                carried: carried.len() as u64,
+                dirty,
+                carried: (queue.len() as u64).saturating_sub(fresh),
                 energy,
                 wall_ns: sweep_t0
                     .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
                     .unwrap_or(0),
+                select_ns,
+                swap_ns,
+                rescore_ns,
             }));
         }
 
@@ -864,23 +958,25 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
             sink.record(&TraceEvent::Par(ParEvent {
                 scope: "fd".to_owned(),
                 calls: d.calls,
+                items: d.items,
                 parallel_calls: d.parallel_calls,
                 workers_spawned: d.workers_spawned,
+                busy_ns: d.busy_ns,
             }));
         }
     }
     Ok(stats)
 }
 
-/// Per-cluster hot record: everything a neighbour patch needs, packed
-/// into 40 bytes so one swap's per-neighbour work is one cache-line
-/// touch instead of loads from five scattered arrays.
+/// Per-cluster hot record: everything a neighbour patch needs beyond the
+/// SoA coordinate arrays, packed into 40 bytes so one swap's
+/// per-neighbour force update is one cache-line touch. Coordinates
+/// deliberately live *outside* this record (in the dense `cx`/`cy`
+/// arrays): the patch loop's coordinate reads then hit two small
+/// cache-resident float arrays while only the force writes take the
+/// random cluster-indexed cache miss.
 #[derive(Clone, Copy)]
 struct Hot {
-    /// Sweep epoch at which this cluster last entered `affected`.
-    stamp: u32,
-    /// The cluster's current coordinate (mirrors `pos`).
-    coord: Coord,
     /// 64-bit Bloom signature of the cluster's graph neighbours
     /// (bit `k % 64` per neighbour `k`). A zero test proves two
     /// clusters unconnected without walking the adjacency row — the
@@ -912,15 +1008,25 @@ struct Engine<'a> {
     tension_mode: TensionMode,
     unit_step: f64,
     threads: usize,
-    /// Flat coordinate table: `coords[p] == mesh.coord_of_index(p)`.
-    coords: Vec<Coord>,
+    /// SoA mesh coordinate tables, split from the flat `(x, y)` table:
+    /// `mesh_x[p]`/`mesh_y[p]` are the row/column of mesh index `p`.
+    /// Static for the whole run; bounds checks (`step`, patch validity)
+    /// read one `u16` array instead of a two-field struct.
+    mesh_x: Vec<u16>,
+    mesh_y: Vec<u16>,
+    /// SoA per-cluster coordinates in the distance kernel's scalar type
+    /// ([`CoordF`]), mirroring `pos` — always exact small integers. The
+    /// energy/force kernels stream these two dense arrays, which is what
+    /// lets them auto-vectorize and keeps their gathers cache-resident.
+    cx: Vec<CoordF>,
+    cy: Vec<CoordF>,
     /// Merged adjacency CSR: row `c` is `out_edges(c)` followed by
     /// `in_edges(c)`, so force work walks one contiguous row per
     /// cluster. f32→f64 weight conversion is exact, so precomputing
     /// nothing here changes any sum.
     adj_off: Vec<u32>,
     adj: Vec<(u32, f32)>,
-    /// Per-cluster packed hot state (coordinate + force + sweep stamp).
+    /// Per-cluster packed hot state (neighbour signature + force).
     hot: Vec<Hot>,
     /// `pos[c]`: mesh index of cluster `c`, maintained across swaps so
     /// lookups never have to unwrap an `Option` on the hot path.
@@ -992,6 +1098,16 @@ impl<'a> Engine<'a> {
             adj.extend(pcn.in_edges(c));
             adj_off.push(u32::try_from(adj.len()).expect("adjacency exceeds u32 offsets"));
         }
+        let coords = mesh.coord_table();
+        let mesh_x: Vec<u16> = coords.iter().map(|c| c.x).collect();
+        let mesh_y: Vec<u16> = coords.iter().map(|c| c.y).collect();
+        let mut cx = vec![0 as CoordF; n];
+        let mut cy = vec![0 as CoordF; n];
+        for c in 0..n {
+            let p = pos[c] as usize;
+            cx[c] = mesh_x[p] as CoordF;
+            cy[c] = mesh_y[p] as CoordF;
+        }
         let mut engine = Self {
             pcn,
             placement,
@@ -1002,7 +1118,10 @@ impl<'a> Engine<'a> {
             tension_mode,
             unit_step: potential.unit_step(),
             threads,
-            coords: mesh.coord_table(),
+            mesh_x,
+            mesh_y,
+            cx,
+            cy,
             adj_off,
             adj,
             hot: Vec::new(),
@@ -1015,11 +1134,13 @@ impl<'a> Engine<'a> {
         // forces, so the initial build is an independent per-index fill.
         // A worker panic here happens before any progress exists, so
         // there is nothing to checkpoint — the typed error is enough.
-        let mut hot = vec![Hot { stamp: 0, coord: Coord::default(), sig: 0, force: [0.0; 4] }; n];
+        let mut hot = vec![Hot { sig: 0, force: [0.0; 4] }; n];
         {
             let eng = &engine;
-            par::try_par_init(threads, &mut hot, |c| eng.init_hot(c as u32))
-                .map_err(|p| CoreError::WorkerPanicked { message: p.message().to_owned() })?;
+            with_kernel!(potential, k => {
+                par::try_par_init(threads, &mut hot, |c| eng.init_hot(k, c as u32))
+            })
+            .map_err(|p| CoreError::WorkerPanicked { message: p.message().to_owned() })?;
         }
         engine.hot = hot;
         Ok(engine)
@@ -1070,13 +1191,22 @@ impl<'a> Engine<'a> {
     fn checkpoint(&self, sweeps: u64, swaps: u64, initial_energy: f64, energy: f64) -> FdCheckpoint {
         FdCheckpoint {
             mesh: self.mesh,
-            coords: self.hot.iter().map(|h| h.coord).collect(),
+            coords: self.cluster_coords(),
             forces: self.hot.iter().map(|h| h.force).collect(),
             sweeps,
             swaps,
             initial_energy,
             energy,
         }
+    }
+
+    /// Current coordinate of every cluster, rebuilt from the position
+    /// table and the (exact integer) mesh coordinate arrays.
+    fn cluster_coords(&self) -> Vec<Coord> {
+        self.pos
+            .iter()
+            .map(|&p| Coord::new(self.mesh_x[p as usize], self.mesh_y[p as usize]))
+            .collect()
     }
 
     /// Merged adjacency row of cluster `c`: out-edges then in-edges.
@@ -1096,57 +1226,23 @@ impl<'a> Engine<'a> {
     /// RIGHT`), if inside the mesh.
     #[inline]
     fn step(&self, p: usize, d: usize) -> Option<usize> {
-        let c = self.coords[p];
         match d {
-            0 => (c.x > 0).then(|| p - self.cols),
-            1 => ((c.x as usize) + 1 < self.rows).then(|| p + self.cols),
-            2 => (c.y > 0).then(|| p - 1),
-            _ => ((c.y as usize) + 1 < self.cols).then(|| p + 1),
+            0 => (self.mesh_x[p] > 0).then(|| p - self.cols),
+            1 => ((self.mesh_x[p] as usize) + 1 < self.rows).then(|| p + self.cols),
+            2 => (self.mesh_y[p] > 0).then(|| p - 1),
+            _ => ((self.mesh_y[p] as usize) + 1 < self.cols).then(|| p + 1),
         }
     }
 
     /// Canonical key of the adjacent pair `(p, step(p, d))`, encoding the
     /// smaller position and its DOWN/RIGHT direction. `None` when the
-    /// step leaves the mesh.
-    #[inline]
+    /// step leaves the mesh. Production scans inline this encoding
+    /// directly; tests keep the named form for convergence probes.
+    #[cfg(test)]
     fn pair_key(&self, p: usize, d: usize) -> Option<u64> {
         debug_assert!(d == DOWN || d == RIGHT);
         self.step(p, d)?;
         Some((p as u64) << 1 | u64::from(d == RIGHT))
-    }
-
-    /// Stamps and appends the canonical keys of the (up to four) mesh
-    /// edges incident to position `p` that are not yet marked this
-    /// epoch — pure index arithmetic, no neighbour lookups: the UP/LEFT
-    /// edges of `p` are the DOWN/RIGHT keys of `p - cols` / `p - 1`.
-    #[inline]
-    fn push_incident_keys(
-        &self,
-        p: usize,
-        epoch: u32,
-        key_stamp: &mut [u32],
-        dirty: &mut Vec<u64>,
-    ) {
-        let c = self.coords[p];
-        let mut push = |key: u64| {
-            let s = &mut key_stamp[key as usize];
-            if *s != epoch {
-                *s = epoch;
-                dirty.push(key);
-            }
-        };
-        if c.x > 0 {
-            push(((p - self.cols) as u64) << 1);
-        }
-        if (c.x as usize) + 1 < self.rows {
-            push((p as u64) << 1);
-        }
-        if c.y > 0 {
-            push(((p - 1) as u64) << 1 | 1);
-        }
-        if (c.y as usize) + 1 < self.cols {
-            push((p as u64) << 1 | 1);
-        }
     }
 
     #[inline]
@@ -1156,20 +1252,66 @@ impl<'a> Engine<'a> {
         (p, d)
     }
 
-    /// Potential between two absolute positions.
+    /// The key list a region-restricted run scans each sweep: every
+    /// valid pair with both endpoints inside the active region, in
+    /// ascending key order. `None` when the whole mesh is active (the
+    /// scans then run over the full score table directly).
+    fn region_keys(&self) -> Option<Vec<u64>> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let mut keys = Vec::new();
+        for p in 0..self.mesh.len() {
+            if !self.active[p] {
+                continue;
+            }
+            for d in [DOWN, RIGHT] {
+                if let Some(q) = self.step(p, d) {
+                    if self.active[q] {
+                        keys.push((p as u64) << 1 | u64::from(d == RIGHT));
+                    }
+                }
+            }
+        }
+        Some(keys)
+    }
+
+    /// Whether `key`'s cached score may have changed this sweep: true
+    /// iff an endpoint position carries the current epoch stamp (its
+    /// occupancy or its occupant's force changed under a swap).
     #[inline]
-    fn u(&self, a: Coord, b: Coord) -> f64 {
-        self.potential.value(a.x as i32 - b.x as i32, a.y as i32 - b.y as i32)
+    fn key_stale(&self, key: u64, pos_stamp: &[u32], epoch: u32) -> bool {
+        let (p, d) = self.decode(key);
+        if pos_stamp[p] == epoch {
+            return true;
+        }
+        match self.step(p, d) {
+            Some(q) => pos_stamp[q] == epoch,
+            None => false,
+        }
+    }
+
+    /// [`Engine::tension`] as used by score production, with the queue
+    /// ordering's precondition asserted: [`cmp_entries`] totals over NaN,
+    /// but a NaN score would still poison top-λ selection semantically —
+    /// catch it at the source in debug builds (weights are validated at
+    /// PCN build time, so this documents and enforces an invariant
+    /// rather than handling an expected case).
+    #[inline]
+    fn scored_tension(&self, key: u64) -> f64 {
+        let t = self.tension(key);
+        debug_assert!(!t.is_nan(), "NaN tension produced for pair key {key}");
+        t
     }
 
     /// One [`ENERGY_BLOCK`]-sized block of the system-energy reduction.
-    fn energy_block(&self, range: std::ops::Range<usize>) -> f64 {
+    fn energy_block<K: PotKernel>(&self, k: K, range: std::ops::Range<usize>) -> f64 {
         let mut es = 0.0;
         for c in range {
-            let pc = self.hot[c].coord;
+            let hx = self.cx[c];
+            let hy = self.cy[c];
             for (t, w) in self.pcn.out_edges(c as u32) {
-                let pt = self.hot[t as usize].coord;
-                es += w as f64 * self.u(pc, pt);
+                es += w as f64 * k.u(hx - self.cx[t as usize], hy - self.cy[t as usize]);
             }
         }
         es
@@ -1180,7 +1322,11 @@ impl<'a> Engine<'a> {
     /// identical for any thread count.
     fn try_system_energy(&self) -> Result<f64, par::WorkerPanic> {
         let n = self.pcn.num_clusters() as usize;
-        par::try_par_block_sum(self.threads, n, ENERGY_BLOCK, |range| self.energy_block(range))
+        with_kernel!(self.potential, k => {
+            par::try_par_block_sum(self.threads, n, ENERGY_BLOCK, |range| {
+                self.energy_block(k, range)
+            })
+        })
     }
 
     /// [`Engine::try_system_energy`] forced onto the serial path
@@ -1188,42 +1334,50 @@ impl<'a> Engine<'a> {
     /// code that must not re-enter the parallel helpers.
     fn system_energy_serial(&self) -> f64 {
         let n = self.pcn.num_clusters() as usize;
-        par::par_block_sum(1, n, ENERGY_BLOCK, |range| self.energy_block(range))
+        with_kernel!(self.potential, k => {
+            par::par_block_sum(1, n, ENERGY_BLOCK, |range| self.energy_block(k, range))
+        })
     }
 
-    /// Initial hot record of cluster `c`: its coordinate plus the four
-    /// directed forces of eq. 27. Pure in everything except `hot`
-    /// itself, so initial builds can run one cluster per worker.
+    /// Initial hot record of cluster `c`: its neighbour signature plus
+    /// the four directed forces of eq. 27. Pure in everything except
+    /// `hot` itself, so initial builds can run one cluster per worker.
     ///
     /// The merged row is walked once with the four directions in the
     /// inner loop (each direction's slot still accumulates its terms in
     /// edge order, so the sums are bit-for-bit those of the
     /// direction-outer form), which touches every neighbour coordinate
-    /// and `u(·, here)` once instead of four times.
-    fn init_hot(&self, c: u32) -> Hot {
+    /// and `u(·, here)` once instead of four times. Neighbour
+    /// coordinates come straight from the cluster-indexed SoA arrays —
+    /// one gather instead of the old position-table double indirection.
+    fn init_hot<K: PotKernel>(&self, kern: K, c: u32) -> Hot {
         let p = self.pos[c as usize] as usize;
-        let here = self.coords[p];
+        let hx = self.cx[c as usize];
+        let hy = self.cy[c as usize];
         let mut f = [0.0f64; 4];
-        let mut there = [Coord::default(); 4];
+        let mut tx = [0 as CoordF; 4];
+        let mut ty = [0 as CoordF; 4];
         let mut valid = [false; 4];
         for d in 0..4 {
             if let Some(q) = self.step(p, d) {
-                there[d] = self.coords[q];
+                tx[d] = self.mesh_x[q] as CoordF;
+                ty[d] = self.mesh_y[q] as CoordF;
                 valid[d] = true;
             }
         }
         let mut sig = 0u64;
         for &(k, w) in self.row(c) {
             sig |= sig_bit(k);
-            let pt = self.coords[self.pos[k as usize] as usize];
-            let u_here = self.u(pt, here);
+            let px = self.cx[k as usize];
+            let py = self.cy[k as usize];
+            let u_here = kern.u(px - hx, py - hy);
             for d in 0..4 {
                 if valid[d] {
-                    f[d] += w as f64 * (u_here - self.u(pt, there[d]));
+                    f[d] += w as f64 * (u_here - kern.u(px - tx[d], py - ty[d]));
                 }
             }
         }
-        Hot { stamp: 0, coord: here, sig, force: f }
+        Hot { sig, force: f }
     }
 
     /// Total traffic on the (up to two) directed connections between two
@@ -1293,27 +1447,30 @@ impl<'a> Engine<'a> {
 
     /// Swaps the occupants of a pair and maintains the force records:
     /// rebuilds at the two positions fused with O(1)-per-edge patches at
-    /// every graph neighbour (Algorithm 3 lines 20–26). Moved and
-    /// affected clusters are epoch-stamped into `affected`; every
-    /// position whose force or occupancy changes is stamped into
-    /// `pos_stamp`, which is what lets callers trust cached tensions of
-    /// unstamped pairs. The caller's placement is deliberately not
+    /// every graph neighbour (Algorithm 3 lines 20–26). Every position
+    /// whose force or occupancy changes — the pair's own two included —
+    /// is stamped into `pos_stamp`, which is what lets callers trust
+    /// cached tensions of unstamped pairs and the rescore scan find
+    /// every stale one. The caller's placement is deliberately not
     /// touched — see [`Engine::writeback`].
-    fn swap(&mut self, key: u64, epoch: u32, affected: &mut Vec<u32>, pos_stamp: &mut [u32]) {
+    fn swap(&mut self, key: u64, epoch: u32, pos_stamp: &mut [u32]) {
         let (p, d) = self.decode(key);
         let Some(q) = self.step(p, d) else { return };
-        let (pc, qc) = (self.coords[p], self.coords[q]);
+        let (px, py) = (self.mesh_x[p] as CoordF, self.mesh_y[p] as CoordF);
+        let (qx, qy) = (self.mesh_x[q] as CoordF, self.mesh_y[q] as CoordF);
         let cu = self.occ[p];
         let cv = self.occ[q];
         self.occ[p] = cv;
         self.occ[q] = cu;
         if cu != EMPTY {
             self.pos[cu as usize] = q as u32;
-            self.hot[cu as usize].coord = qc;
+            self.cx[cu as usize] = qx;
+            self.cy[cu as usize] = qy;
         }
         if cv != EMPTY {
             self.pos[cv as usize] = p as u32;
-            self.hot[cv as usize].coord = pc;
+            self.cx[cv as usize] = px;
+            self.cy[cv as usize] = py;
         }
         pos_stamp[p] = epoch;
         pos_stamp[q] = epoch;
@@ -1327,22 +1484,16 @@ impl<'a> Engine<'a> {
         // so committing each one right after its pass is equivalent to
         // full rebuilds.
         if cu != EMPTY {
-            let f = self.patch_and_rebuild(cu, pc, qc, cv, epoch, affected, pos_stamp);
-            let h = &mut self.hot[cu as usize];
-            h.force = f;
-            if h.stamp != epoch {
-                h.stamp = epoch;
-                affected.push(cu);
-            }
+            let f = with_kernel!(self.potential, k => {
+                self.patch_and_rebuild(k, cu, (px, py), (qx, qy), cv, epoch, pos_stamp)
+            });
+            self.hot[cu as usize].force = f;
         }
         if cv != EMPTY {
-            let f = self.patch_and_rebuild(cv, qc, pc, cu, epoch, affected, pos_stamp);
-            let h = &mut self.hot[cv as usize];
-            h.force = f;
-            if h.stamp != epoch {
-                h.stamp = epoch;
-                affected.push(cv);
-            }
+            let f = with_kernel!(self.potential, k => {
+                self.patch_and_rebuild(k, cv, (qx, qy), (px, py), cu, epoch, pos_stamp)
+            });
+            self.hot[cv as usize].force = f;
         }
     }
 
@@ -1354,33 +1505,36 @@ impl<'a> Engine<'a> {
     ///
     /// Both the patches and the returned force accumulate their terms in
     /// edge (row) order with unchanged expression trees, so the results
-    /// are bit-for-bit those of separate patch and rebuild passes.
+    /// are bit-for-bit those of separate patch and rebuild passes. All
+    /// coordinate arithmetic runs on [`CoordF`] scalars (exact mesh
+    /// integers, so in the f64 build every displacement and bounds test
+    /// below reproduces the integer forms bit-for-bit), monomorphized
+    /// through the potential kernel `kern` — no per-edge enum dispatch.
     #[allow(clippy::too_many_arguments)]
-    fn patch_and_rebuild(
+    fn patch_and_rebuild<K: PotKernel>(
         &mut self,
+        kern: K,
         moved: u32,
-        from: Coord,
-        to: Coord,
+        from: (CoordF, CoordF),
+        to: (CoordF, CoordF),
         other: u32,
         epoch: u32,
-        affected: &mut Vec<u32>,
         pos_stamp: &mut [u32],
     ) -> [f64; 4] {
-        let pot = self.potential;
-        let rows = self.rows as i32;
-        let cols = self.cols as i32;
-        // Every potential evaluation below passes the same integer
-        // displacements the coordinate-based forms produce — a mesh
-        // neighbour in direction `d` is exactly an `OFF[d]` shift — so no
-        // per-direction position lookups are needed and the f64 results
-        // are unchanged.
-        let (tx, ty) = (to.x as i32, to.y as i32);
-        let (fx, fy) = (from.x as i32, from.y as i32);
+        let rows = self.rows as CoordF;
+        let cols = self.cols as CoordF;
+        // Every kernel evaluation below passes the same displacements
+        // the coordinate-based forms produce — a mesh neighbour in
+        // direction `d` is exactly an `offf[d]` shift — so no
+        // per-direction position lookups are needed.
+        let offf: [(CoordF, CoordF); 4] = [(-1.0, 0.0), (1.0, 0.0), (0.0, -1.0), (0.0, 1.0)];
+        let (tx, ty) = to;
+        let (fx, fy) = from;
         let mut tvalid = [false; 4];
         for (d, v) in tvalid.iter_mut().enumerate() {
-            let nx = tx + OFF[d].0;
-            let ny = ty + OFF[d].1;
-            *v = nx >= 0 && ny >= 0 && nx < rows && ny < cols;
+            let nx = tx + offf[d].0;
+            let ny = ty + offf[d].1;
+            *v = nx >= 0.0 && ny >= 0.0 && nx < rows && ny < cols;
         }
         let mut f = [0.0f64; 4];
         let lo = self.adj_off[moved as usize] as usize;
@@ -1388,17 +1542,16 @@ impl<'a> Engine<'a> {
         for e in lo..hi {
             let (k, w) = self.adj[e];
             let w = w as f64;
-            let hk = &mut self.hot[k as usize];
-            let pk = hk.coord;
-            let (kx, ky) = (pk.x as i32, pk.y as i32);
+            let kx = self.cx[k as usize];
+            let ky = self.cy[k as usize];
             // `moved`'s own force term of this edge at the new position
             // (every edge contributes, exactly as a full rebuild would).
             let ndx = kx - tx;
             let ndy = ky - ty;
-            let u_here = pot.value(ndx, ndy);
+            let u_here = kern.u(ndx, ndy);
             for d in 0..4 {
                 if tvalid[d] {
-                    f[d] += w * (u_here - pot.value(ndx - OFF[d].0, ndy - OFF[d].1));
+                    f[d] += w * (u_here - kern.u(ndx - offf[d].0, ndy - offf[d].1));
                 }
             }
             if k == moved || k == other {
@@ -1406,24 +1559,21 @@ impl<'a> Engine<'a> {
             }
             let (dx, dy) = (tx - kx, ty - ky);
             let (fdx, fdy) = (fx - kx, fy - ky);
-            let u_to_pk = pot.value(dx, dy);
-            let u_from_pk = pot.value(fdx, fdy);
-            for (d, &(ox, oy)) in OFF.iter().enumerate() {
+            let u_to_pk = kern.u(dx, dy);
+            let u_from_pk = kern.u(fdx, fdy);
+            let hk = &mut self.hot[k as usize];
+            for (d, &(ox, oy)) in offf.iter().enumerate() {
                 let nx = kx + ox;
                 let ny = ky + oy;
-                if nx < 0 || ny < 0 || nx >= rows || ny >= cols {
+                if nx < 0.0 || ny < 0.0 || nx >= rows || ny >= cols {
                     continue;
                 }
                 // Force term of edge (k, moved) in direction d changed
                 // from the `from` position to the `to` position.
                 let delta = w
-                    * ((u_to_pk - pot.value(dx - ox, dy - oy))
-                        - (u_from_pk - pot.value(fdx - ox, fdy - oy)));
+                    * ((u_to_pk - kern.u(dx - ox, dy - oy))
+                        - (u_from_pk - kern.u(fdx - ox, fdy - oy)));
                 hk.force[d] += delta;
-            }
-            if hk.stamp != epoch {
-                hk.stamp = epoch;
-                affected.push(k);
             }
             pos_stamp[self.pos[k as usize] as usize] = epoch;
         }
@@ -1434,7 +1584,7 @@ impl<'a> Engine<'a> {
     /// in one bulk assignment — the placement is untouched during
     /// sweeps, so this is the only write it sees.
     fn writeback(&mut self) -> Result<(), CoreError> {
-        let coords: Vec<Coord> = self.hot.iter().map(|h| h.coord).collect();
+        let coords = self.cluster_coords();
         self.placement.set_coords(&coords).map_err(CoreError::Hw)
     }
 }
@@ -1482,6 +1632,70 @@ mod tests {
                 tail.sort_unstable();
                 expect.sort_unstable();
                 assert_eq!(tail, expect, "len {len} lambda {lambda}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_top_survives_adversarial_scores() {
+        // Property check against a full sort on inputs chosen to break
+        // naive partial selection: all-equal scores (every comparison
+        // falls through to the key tie-breaker), signed zeros (±0.0
+        // differ under total_cmp), subnormal magnitudes, and duplicated
+        // score values across distinct keys.
+        let cases: Vec<Vec<(f64, u64)>> = vec![
+            (0..4096).map(|k| (1.5, k as u64)).collect(),
+            (0..4096)
+                .map(|k| (if k % 2 == 0 { 0.0 } else { -0.0 }, k as u64))
+                .collect(),
+            (0..4096)
+                .map(|k| (f64::MIN_POSITIVE / ((k % 7 + 1) as f64), k as u64))
+                .collect(),
+            (0..4096).map(|k| ((k % 3) as f64, k as u64)).collect(),
+        ];
+        for (case, base) in cases.into_iter().enumerate() {
+            let len = base.len();
+            let mut sorted = base.clone();
+            sorted.sort_unstable_by(cmp_entries);
+            for take in [1usize, 13, len / 3, len] {
+                let mut q = base.clone();
+                select_top(&mut q, take);
+                assert_eq!(&q[..take], &sorted[..take], "case {case} take {take}");
+                let mut tail: Vec<u64> = q[take..].iter().map(|e| e.1).collect();
+                let mut expect: Vec<u64> = sorted[take..].iter().map(|e| e.1).collect();
+                tail.sort_unstable();
+                expect.sort_unstable();
+                assert_eq!(tail, expect, "case {case} take {take}");
+            }
+        }
+    }
+
+    #[test]
+    fn partially_occupied_mesh_converges_with_no_residual_tension() {
+        // Regression for the vacated-cell rescore hole: when a cluster
+        // moves into an empty core, the pairs around the position it
+        // *left* must be re-scored too (the old affected-cluster walk
+        // only touched graph neighbours of moved clusters and missed
+        // them). Position-stamp staleness covers both endpoints of every
+        // swap, so a converged run must leave no positive tension even
+        // with empty cells in play.
+        let pcn = random_pcn(48, 4.0, 7).unwrap();
+        let mesh = Mesh::new(8, 8).unwrap(); // 64 cores, 16 left empty
+        let mut p = random_placement(&pcn, mesh, 23).unwrap();
+        let stats = force_directed(&pcn, &mut p, &FdConfig::default()).unwrap();
+        assert!(stats.converged);
+        let mut scratch = p.clone();
+        let engine =
+            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None, 1)
+                .unwrap();
+        for pos in 0..mesh.len() {
+            for d in [DOWN, RIGHT] {
+                if let Some(key) = engine.pair_key(pos, d) {
+                    assert!(
+                        engine.tension(key) <= TENSION_EPS,
+                        "positive tension survived at pos {pos} dir {d}"
+                    );
+                }
             }
         }
     }

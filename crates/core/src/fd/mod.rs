@@ -1,7 +1,7 @@
 //! The Force-Directed placement-refinement algorithm (§4.4, Algorithm 3).
 
 mod engine;
-mod potential;
+pub(crate) mod potential;
 
 pub(crate) use engine::force_directed_impl;
 pub use engine::{
@@ -9,4 +9,4 @@ pub use engine::{
     force_directed_masked_traced, force_directed_traced, CheckpointWriter, FdCheckpoint,
     FdConfig, FdResume, FdRunOpts, FdStats, RunBudget, StopReason, TensionMode,
 };
-pub use potential::Potential;
+pub use potential::{CoordF, Potential};

@@ -57,7 +57,7 @@ pub use coarsen::{coarsen, CoarseLevel, CoarsenConfig};
 pub use error::CoreError;
 pub use fd::{
     force_directed, force_directed_budgeted, force_directed_masked,
-    force_directed_masked_traced, force_directed_traced, CheckpointWriter, FdCheckpoint,
+    force_directed_masked_traced, force_directed_traced, CheckpointWriter, CoordF, FdCheckpoint,
     FdConfig, FdResume, FdRunOpts, FdStats, Potential, RunBudget, StopReason, TensionMode,
 };
 pub use hsc::{

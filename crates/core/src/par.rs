@@ -1,16 +1,17 @@
 //! Scoped-thread data-parallel helpers.
 //!
 //! The build environment has no access to crates.io, so instead of rayon
-//! this module provides the three primitives the mapping pipeline needs,
+//! this module provides the four primitives the mapping pipeline needs,
 //! built on [`std::thread::scope`]:
 //!
 //! * [`par_init`] — fill a slice element-wise from a pure index function;
+//! * [`par_update`] — mutate a slice element-wise in place;
 //! * [`par_flat_map`] — map an index range through a collector and
 //!   concatenate the per-chunk results in index order;
 //! * [`par_block_sum`] — reduce an index range to an `f64` in *fixed-size
 //!   blocks* whose partial sums are combined in block order.
 //!
-//! All three produce **bit-identical results for every thread count**:
+//! All of them produce **bit-identical results for every thread count**:
 //! work is split into contiguous index ranges processed left to right,
 //! per-element computations are pure, and every merge happens in
 //! deterministic index (or block) order. Floating-point reductions never
@@ -21,7 +22,15 @@
 //!
 //! Threads are spawned per call (scoped, borrowing the caller's data) and
 //! joined before returning; small inputs fall back to the serial path so
-//! the spawn cost is only paid where it can be amortized.
+//! the spawn cost is only paid where it can be amortized. The serial
+//! cutoff is a fixed floor ([`MIN_ITEMS_PER_THREAD`] items per extra
+//! worker) for the plain helpers, or a *measured* one for the `*_tuned`
+//! variants: a [`Tuner`] turns observed items/µs throughput into the
+//! smallest batch that still amortizes a spawn, so expensive per-item
+//! work fans out sooner and cheap scans don't drown in spawn overhead.
+//! Tuning only ever moves the serial/parallel cutoff — the *results* are
+//! thread-count independent by construction, so feedback from noisy
+//! clocks cannot perturb a single output bit.
 //!
 //! **Panic isolation**: every chunk body runs under
 //! [`std::panic::catch_unwind`], so a panicking closure surfaces as a
@@ -36,20 +45,44 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
 
 /// Work below this many items per *extra* worker is done serially: a
 /// thread spawn costs tens of microseconds, which only pays for itself on
-/// chunks of at least a few thousand cheap items.
+/// chunks of at least a few thousand cheap items. This is the fixed
+/// fallback floor; the `*_tuned` helper variants replace it with a
+/// [`Tuner`]'s measured one.
 const MIN_ITEMS_PER_THREAD: usize = 2048;
 
+/// Assumed cost of spawning and joining one scoped worker, in
+/// microseconds. Deliberately conservative (glibc + Linux measure
+/// 10–25 µs); the tuner uses it as a unit of overhead to amortize, not
+/// as a precise model.
+const SPAWN_COST_US: f64 = 30.0;
+
+/// A worker's chunk must be worth this many spawn costs before fanning
+/// out: ~4× keeps the spawn overhead under ~25% of the parallel phase
+/// even when the throughput estimate is off by a factor of two.
+const SPAWN_AMORTIZE: f64 = 4.0;
+
+/// Clamp bounds of the tuned per-worker work floor. The lower bound
+/// stops a noisy slow sample from parallelizing trivial scans; the upper
+/// stops a fast-scan sample from serializing genuinely large jobs.
+const MIN_GRAIN: usize = 64;
+const MAX_GRAIN: usize = 65_536;
+
 /// Process-wide utilization counters: every helper invocation bumps
-/// `CALLS`; invocations that actually fan out bump `PARALLEL_CALLS` and
-/// add their extra workers to `WORKERS`. Relaxed atomics: the counters
-/// feed telemetry deltas, never synchronization, and two increments per
-/// helper call are noise next to a thread spawn.
+/// `CALLS` and adds its domain size to `ITEMS`; invocations that
+/// actually fan out bump `PARALLEL_CALLS` and add their extra workers to
+/// `WORKERS`; `BUSY_NS` accumulates wall time spent inside helpers.
+/// Relaxed atomics: the counters feed telemetry deltas, never
+/// synchronization, and a few increments per helper call are noise next
+/// to a thread spawn.
 static CALLS: AtomicU64 = AtomicU64::new(0);
 static PARALLEL_CALLS: AtomicU64 = AtomicU64::new(0);
 static WORKERS: AtomicU64 = AtomicU64::new(0);
+static ITEMS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
 
 /// A worker closure panicked inside a parallel helper.
 ///
@@ -143,14 +176,25 @@ pub mod hooks {
 /// Cumulative thread-pool utilization counters (see [`counters`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ParCounters {
-    /// Parallel-helper invocations ([`par_init`], [`par_flat_map`],
-    /// [`par_block_sum`]), including ones that ran serially.
+    /// Parallel-helper invocations ([`par_init`], [`par_update`],
+    /// [`par_flat_map`], [`par_block_sum`] and their tuned variants),
+    /// including ones that ran serially.
     pub calls: u64,
     /// Invocations that fanned out to at least one extra worker.
     pub parallel_calls: u64,
     /// Worker threads spawned in total (the calling thread, which always
     /// processes the first chunk, is not counted).
     pub workers_spawned: u64,
+    /// Total items across all helper invocations (the domain size `n`,
+    /// not the output size). `items / calls` is the mean batch a helper
+    /// saw; together with `workers_spawned` it says whether fan-outs
+    /// carried real work.
+    pub items: u64,
+    /// Wall nanoseconds spent inside the *tuned* helper variants (the
+    /// plain helpers don't read the clock, keeping them zero-overhead).
+    /// `items / busy_ns` is the measured throughput the granularity
+    /// tuner steers by.
+    pub busy_ns: u64,
 }
 
 impl ParCounters {
@@ -160,6 +204,8 @@ impl ParCounters {
             calls: self.calls.wrapping_sub(earlier.calls),
             parallel_calls: self.parallel_calls.wrapping_sub(earlier.parallel_calls),
             workers_spawned: self.workers_spawned.wrapping_sub(earlier.workers_spawned),
+            items: self.items.wrapping_sub(earlier.items),
+            busy_ns: self.busy_ns.wrapping_sub(earlier.busy_ns),
         }
     }
 }
@@ -184,6 +230,68 @@ pub fn counters() -> ParCounters {
         calls: CALLS.load(Relaxed),
         parallel_calls: PARALLEL_CALLS.load(Relaxed),
         workers_spawned: WORKERS.load(Relaxed),
+        items: ITEMS.load(Relaxed),
+        busy_ns: BUSY_NS.load(Relaxed),
+    }
+}
+
+/// Why an `SNNMAP_THREADS` value was rejected (see
+/// [`parse_env_threads`]). The variants exist so each malformed shape is
+/// testable — and reported — distinctly instead of collapsing into a
+/// silent auto-detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadsParseError {
+    /// Empty (or whitespace-only) value.
+    Empty,
+    /// Not a base-10 integer at all.
+    NotANumber,
+    /// Parsed, but zero — thread count `0` only means *auto* as an API
+    /// argument, never as an explicit override.
+    Zero,
+    /// A number too large for `usize`.
+    Overflow,
+}
+
+impl fmt::Display for ThreadsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ThreadsParseError::Empty => "empty value",
+            ThreadsParseError::NotANumber => "not a number",
+            ThreadsParseError::Zero => "must be at least 1",
+            ThreadsParseError::Overflow => "exceeds the machine word size",
+        })
+    }
+}
+
+impl Error for ThreadsParseError {}
+
+/// Parses an `SNNMAP_THREADS`-style value into a positive worker count.
+///
+/// Pure (no environment access), so every malformed shape has a unit
+/// test that cannot race other tests' environment mutations.
+///
+/// # Errors
+///
+/// One [`ThreadsParseError`] variant per malformed shape.
+pub fn parse_env_threads(value: &str) -> Result<usize, ThreadsParseError> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Err(ThreadsParseError::Empty);
+    }
+    match v.parse::<usize>() {
+        Ok(0) => Err(ThreadsParseError::Zero),
+        Ok(n) => Ok(n),
+        Err(_) => {
+            // Distinguish "a number, just too big" from garbage: all
+            // digits (an optional `+` allowed by usize::from_str) can
+            // only have failed on overflow.
+            let digits = v.strip_prefix('+').unwrap_or(v);
+            if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+                Err(ThreadsParseError::Overflow)
+            } else {
+                Err(ThreadsParseError::NotANumber)
+            }
+        }
     }
 }
 
@@ -193,6 +301,13 @@ pub fn counters() -> ParCounters {
 /// a positive integer, otherwise [`std::thread::available_parallelism`]
 /// (falling back to 1 when even that is unavailable). Any positive
 /// request is honoured as-is.
+///
+/// A **malformed** `SNNMAP_THREADS` (garbage, `0`, overflow — see
+/// [`parse_env_threads`]) is *not* silently ignored: the first
+/// resolution that hits one prints a warning to stderr (once per
+/// process), then falls back to auto-detection. Callers that need a hard
+/// failure instead (the CLI's explicit `--threads 0`) validate before
+/// calling this.
 ///
 /// # Examples
 ///
@@ -207,9 +322,16 @@ pub fn resolve_threads(requested: usize) -> usize {
         return requested;
     }
     if let Ok(v) = std::env::var("SNNMAP_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match parse_env_threads(&v) {
+            Ok(n) => return n,
+            Err(e) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid SNNMAP_THREADS={v:?} ({e}); \
+                         falling back to auto-detected parallelism"
+                    );
+                });
             }
         }
     }
@@ -220,8 +342,88 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// items, and never exceeds the item count.
 #[inline]
 fn effective_threads(threads: usize, items: usize) -> usize {
-    let by_work = items / MIN_ITEMS_PER_THREAD;
+    effective_threads_with(threads, items, MIN_ITEMS_PER_THREAD)
+}
+
+/// [`effective_threads`] with an explicit per-worker work floor (what a
+/// [`Tuner`] supplies).
+#[inline]
+fn effective_threads_with(threads: usize, items: usize, min_items: usize) -> usize {
+    let by_work = items / min_items.max(1);
     threads.min(by_work.max(1)).max(1)
+}
+
+/// Measured-throughput granularity feedback for the `*_tuned` helpers.
+///
+/// The fixed [`MIN_ITEMS_PER_THREAD`] floor assumes "a few thousand
+/// cheap items" amortize a spawn — right for copy-like scans, badly
+/// wrong in both directions for the FD engine, whose tension re-scores
+/// cost ~100 ns/item (fan out far earlier) while its queue collects cost
+/// ~5 ns/item (fan out far later). A `Tuner` replaces the assumption
+/// with measurement: each observed invocation updates an exponentially
+/// weighted per-worker throughput estimate (items/µs), and the work
+/// floor becomes "enough items to amortize [`SPAWN_COST_US`]
+/// [`SPAWN_AMORTIZE`] times at that rate", clamped to
+/// [`MIN_GRAIN`]`..=`[`MAX_GRAIN`].
+///
+/// One tuner per call-site *family* (one per distinct per-item cost),
+/// owned by the run that uses it — state never leaks across runs, so the
+/// first call of every run sees the same default floor and fault-
+/// injection tests keep their deterministic spawn schedule. Tuning moves
+/// only the serial/parallel cutoff; results stay bit-identical for every
+/// thread count by the helpers' determinism guarantee, so clock noise
+/// cannot perturb outputs.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use snnmap_core::par::Tuner;
+///
+/// let mut t = Tuner::new();
+/// // 10k items in 1 ms on one worker = 10 items/µs -> floor 1200.
+/// t.observe(10_000, 1, Duration::from_millis(1));
+/// assert_eq!(t.min_items(), 1200);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tuner {
+    /// EWMA per-worker throughput, items per microsecond. `0.0` until
+    /// the first usable sample.
+    rate: f64,
+    samples: u32,
+}
+
+impl Tuner {
+    /// A tuner with no samples: [`Tuner::min_items`] starts at the fixed
+    /// [`MIN_ITEMS_PER_THREAD`] default.
+    pub fn new() -> Self {
+        Tuner::default()
+    }
+
+    /// Current work floor per extra worker: the batch that amortizes one
+    /// spawn [`SPAWN_AMORTIZE`]× at the measured throughput, or the
+    /// fixed default before any sample.
+    pub fn min_items(&self) -> usize {
+        if self.samples == 0 {
+            return MIN_ITEMS_PER_THREAD;
+        }
+        ((self.rate * SPAWN_COST_US * SPAWN_AMORTIZE) as usize).clamp(MIN_GRAIN, MAX_GRAIN)
+    }
+
+    /// Feeds back one invocation: `items` processed by `workers` chunks
+    /// in `elapsed`. Zero-item or unmeasurably fast (sub-tick) calls are
+    /// discarded — a coarse clock must not fake an infinite rate.
+    pub fn observe(&mut self, items: usize, workers: usize, elapsed: Duration) {
+        let us = elapsed.as_secs_f64() * 1e6;
+        if items == 0 || us <= 0.0 {
+            return;
+        }
+        let rate = items as f64 / (us * workers.max(1) as f64);
+        // EWMA with α = 0.3: a few sweeps converge, one outlier doesn't
+        // whipsaw the floor.
+        self.rate = if self.samples == 0 { rate } else { 0.7 * self.rate + 0.3 * rate };
+        self.samples = self.samples.saturating_add(1);
+    }
 }
 
 /// Fills `out[i] = f(base_of_chunk + i)` across up to `threads` workers.
@@ -259,6 +461,7 @@ where
     F: Fn(usize) -> T + Sync,
 {
     CALLS.fetch_add(1, Relaxed);
+    ITEMS.fetch_add(out.len() as u64, Relaxed);
     par_init_inner(effective_threads(threads, out.len()), out, f)
 }
 
@@ -324,6 +527,135 @@ where
     })
 }
 
+/// Applies `f(i, &mut data[i])` to every element in place across up to
+/// `threads` workers.
+///
+/// The in-place sibling of [`par_init`] for when most elements keep
+/// their value (the FD engine's score-table refresh recomputes stale
+/// slots and leaves the rest untouched): `f` sees the previous value and
+/// may skip the write entirely. `f` must be pure per index and must not
+/// read *other* slots — each element is visited exactly once by exactly
+/// one worker, so under that contract the result is identical for any
+/// thread count.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` (see [`try_par_update`] for the
+/// typed-error variant).
+pub fn par_update<T, F>(threads: usize, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if let Err(p) = try_par_update(threads, data, f) {
+        panic!("{p}");
+    }
+}
+
+/// [`par_update`] with panic isolation: a panicking `f` poisons only its
+/// chunk and surfaces as [`WorkerPanic`]. On error the slice may be
+/// partially updated — callers discard it.
+///
+/// # Errors
+///
+/// [`WorkerPanic`] when any chunk's `f` panicked (the first in chunk
+/// order wins).
+pub fn try_par_update<T, F>(threads: usize, data: &mut [T], f: F) -> Result<(), WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    CALLS.fetch_add(1, Relaxed);
+    ITEMS.fetch_add(data.len() as u64, Relaxed);
+    par_update_inner(effective_threads(threads, data.len()), data, f)
+}
+
+/// [`try_par_update`] with the worker count already decided.
+fn par_update_inner<T, F>(threads: usize, data: &mut [T], f: F) -> Result<(), WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = data.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return catch_unwind(AssertUnwindSafe(|| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                f(i, slot);
+            }
+        }))
+        .map_err(|p| WorkerPanic::from_payload(&*p));
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    PARALLEL_CALLS.fetch_add(1, Relaxed);
+    std::thread::scope(|s| {
+        let mut chunks = data.chunks_mut(chunk);
+        let first = chunks.next();
+        let mut handles = Vec::with_capacity(threads - 1);
+        for (k, part) in chunks.enumerate() {
+            let base = (k + 1) * chunk;
+            WORKERS.fetch_add(1, Relaxed);
+            handles.push(s.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| {
+                    hooks::maybe_inject();
+                    for (j, slot) in part.iter_mut().enumerate() {
+                        f(base + j, slot);
+                    }
+                }))
+            }));
+        }
+        let mut result: Result<(), WorkerPanic> = Ok(());
+        if let Some(part) = first {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
+                for (j, slot) in part.iter_mut().enumerate() {
+                    f(j, slot);
+                }
+            })) {
+                result = Err(WorkerPanic::from_payload(&*p));
+            }
+        }
+        for h in handles {
+            if let Err(p) = h.join().and_then(|r| r) {
+                if result.is_ok() {
+                    result = Err(WorkerPanic::from_payload(&*p));
+                }
+            }
+        }
+        result
+    })
+}
+
+/// [`try_par_update`] with a [`Tuner`] deciding the serial/parallel
+/// cutoff and learning from the call's measured throughput.
+///
+/// # Errors
+///
+/// As [`try_par_update`].
+pub fn try_par_update_tuned<T, F>(
+    threads: usize,
+    tuner: &mut Tuner,
+    data: &mut [T],
+    f: F,
+) -> Result<(), WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    CALLS.fetch_add(1, Relaxed);
+    let n = data.len();
+    ITEMS.fetch_add(n as u64, Relaxed);
+    let workers = effective_threads_with(threads, n, tuner.min_items());
+    let t0 = Instant::now();
+    let result = par_update_inner(workers, data, f);
+    let elapsed = t0.elapsed();
+    BUSY_NS.fetch_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX), Relaxed);
+    if result.is_ok() {
+        tuner.observe(n, workers, elapsed);
+    }
+    result
+}
+
 /// Runs `f(i, &mut results)` for every `i in 0..n` and returns the
 /// concatenation of the per-chunk result vectors **in chunk (= index)
 /// order**.
@@ -358,7 +690,47 @@ where
     F: Fn(usize, &mut Vec<R>) + Sync,
 {
     CALLS.fetch_add(1, Relaxed);
-    let threads = effective_threads(threads, n);
+    ITEMS.fetch_add(n as u64, Relaxed);
+    par_flat_map_inner(effective_threads(threads, n), n, f)
+}
+
+/// [`try_par_flat_map`] with a [`Tuner`] deciding the serial/parallel
+/// cutoff and learning from the call's measured throughput (the domain
+/// size `n`, not the output length, is what's measured).
+///
+/// # Errors
+///
+/// As [`try_par_flat_map`].
+pub fn try_par_flat_map_tuned<R, F>(
+    threads: usize,
+    tuner: &mut Tuner,
+    n: usize,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize, &mut Vec<R>) + Sync,
+{
+    CALLS.fetch_add(1, Relaxed);
+    ITEMS.fetch_add(n as u64, Relaxed);
+    let workers = effective_threads_with(threads, n, tuner.min_items());
+    let t0 = Instant::now();
+    let result = par_flat_map_inner(workers, n, f);
+    let elapsed = t0.elapsed();
+    BUSY_NS.fetch_add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX), Relaxed);
+    if result.is_ok() {
+        tuner.observe(n, workers, elapsed);
+    }
+    result
+}
+
+/// [`try_par_flat_map`] with the worker count already decided.
+fn par_flat_map_inner<R, F>(threads: usize, n: usize, f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize, &mut Vec<R>) + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
         return catch_unwind(AssertUnwindSafe(|| {
             let mut out = Vec::new();
@@ -464,6 +836,7 @@ where
 {
     assert!(block > 0, "block size must be positive");
     CALLS.fetch_add(1, Relaxed);
+    ITEMS.fetch_add(n as u64, Relaxed);
     if n == 0 {
         return Ok(0.0);
     }
@@ -491,6 +864,157 @@ mod tests {
     fn resolve_honours_explicit_request() {
         assert_eq!(resolve_threads(1), 1);
         assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn env_threads_parse_accepts_positive_integers() {
+        assert_eq!(parse_env_threads("4"), Ok(4));
+        assert_eq!(parse_env_threads(" 16 "), Ok(16));
+        assert_eq!(parse_env_threads("1"), Ok(1));
+    }
+
+    #[test]
+    fn env_threads_parse_rejects_garbage() {
+        assert_eq!(parse_env_threads("four"), Err(ThreadsParseError::NotANumber));
+        assert_eq!(parse_env_threads("2x"), Err(ThreadsParseError::NotANumber));
+        assert_eq!(parse_env_threads("3.5"), Err(ThreadsParseError::NotANumber));
+        assert_eq!(parse_env_threads("-2"), Err(ThreadsParseError::NotANumber));
+    }
+
+    #[test]
+    fn env_threads_parse_rejects_zero() {
+        assert_eq!(parse_env_threads("0"), Err(ThreadsParseError::Zero));
+        assert_eq!(parse_env_threads(" 0 "), Err(ThreadsParseError::Zero));
+        assert_eq!(parse_env_threads("+0"), Err(ThreadsParseError::Zero));
+    }
+
+    #[test]
+    fn env_threads_parse_rejects_overflow() {
+        // 2^64 and far beyond: digits-only, so the failure is overflow,
+        // not garbage.
+        assert_eq!(
+            parse_env_threads("18446744073709551616"),
+            Err(ThreadsParseError::Overflow)
+        );
+        assert_eq!(
+            parse_env_threads("999999999999999999999999999"),
+            Err(ThreadsParseError::Overflow)
+        );
+    }
+
+    #[test]
+    fn env_threads_parse_rejects_empty() {
+        assert_eq!(parse_env_threads(""), Err(ThreadsParseError::Empty));
+        assert_eq!(parse_env_threads("   "), Err(ThreadsParseError::Empty));
+    }
+
+    #[test]
+    fn tuner_starts_at_the_fixed_default() {
+        assert_eq!(Tuner::new().min_items(), MIN_ITEMS_PER_THREAD);
+    }
+
+    #[test]
+    fn tuner_floor_tracks_measured_throughput() {
+        // Expensive items (1 item/µs) -> tiny batches amortize a spawn.
+        let mut slow = Tuner::new();
+        slow.observe(1_000, 1, Duration::from_millis(1));
+        assert_eq!(slow.min_items(), 120);
+
+        // Cheap items (1000 items/µs) -> the floor grows, clamped.
+        let mut fast = Tuner::new();
+        fast.observe(1_000_000, 1, Duration::from_millis(1));
+        assert_eq!(fast.min_items(), MAX_GRAIN);
+
+        // Parallel samples are normalized per worker: the same wall time
+        // across 4 workers means a quarter of the per-core rate, so the
+        // raw floor (120 / 4 = 30) lands below MIN_GRAIN and clamps.
+        let mut par4 = Tuner::new();
+        par4.observe(1_000, 4, Duration::from_millis(1));
+        assert_eq!(par4.min_items(), MIN_GRAIN);
+    }
+
+    #[test]
+    fn tuner_clamps_and_discards_degenerate_samples() {
+        let mut t = Tuner::new();
+        t.observe(0, 1, Duration::from_millis(1));
+        t.observe(100, 1, Duration::ZERO);
+        assert_eq!(t.min_items(), MIN_ITEMS_PER_THREAD, "degenerate samples must not count");
+        // Absurdly slow items still leave a usable (clamped) floor.
+        t.observe(1, 1, Duration::from_secs(1));
+        assert_eq!(t.min_items(), MIN_GRAIN);
+    }
+
+    #[test]
+    fn par_update_matches_serial_for_every_thread_count() {
+        let n = 10_000;
+        let f = |i: usize, slot: &mut u64| {
+            if i % 3 == 0 {
+                *slot = (i as u64).wrapping_mul(0x9e3779b9);
+            }
+        };
+        let mut expect = vec![7u64; n];
+        par_update(1, &mut expect, f);
+        for threads in [2, 3, 4, 8, 17] {
+            let mut got = vec![7u64; n];
+            par_update(threads, &mut got, f);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_update_panic_is_a_typed_error() {
+        let n = 4 * MIN_ITEMS_PER_THREAD;
+        let mut data = vec![0u8; n];
+        let err = try_par_update(4, &mut data, |i, _slot| {
+            if i == n - 1 {
+                panic!("updater dies at {i}");
+            }
+        })
+        .unwrap_err();
+        assert!(err.message().contains("updater dies"), "{err}");
+    }
+
+    #[test]
+    fn tuned_variants_agree_with_untuned_and_learn() {
+        let n = 50_000;
+        let mut tuner = Tuner::new();
+        let expect = par_flat_map(1, n, |i, out| {
+            if i % 7 == 0 {
+                out.push(i as u64);
+            }
+        });
+        for threads in [1, 2, 4] {
+            let got = try_par_flat_map_tuned(threads, &mut tuner, n, |i, out| {
+                if i % 7 == 0 {
+                    out.push(i as u64);
+                }
+            })
+            .unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        assert!(tuner.samples > 0, "tuned calls must feed the tuner");
+
+        let mut tuner = Tuner::new();
+        let mut expect = vec![0u64; n];
+        par_update(1, &mut expect, |i, s| *s = i as u64 ^ 0xabcd);
+        for threads in [2, 8] {
+            let mut got = vec![0u64; n];
+            try_par_update_tuned(threads, &mut tuner, &mut got, |i, s| *s = i as u64 ^ 0xabcd)
+                .unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn counters_track_items_and_busy_time() {
+        let before = counters();
+        let mut tuner = Tuner::new();
+        let mut data = vec![0u32; 5_000];
+        try_par_update_tuned(2, &mut tuner, &mut data, |i, s| *s = i as u32).unwrap();
+        let d = counters().since(before);
+        assert!(d.calls >= 1, "{d:?}");
+        assert!(d.items >= 5_000, "{d:?}");
+        assert!(d.busy_ns > 0, "{d:?}");
     }
 
     #[test]

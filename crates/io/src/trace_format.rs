@@ -70,7 +70,7 @@ fn check_type(event: &str, field: &str, v: &Value, line: usize) -> Result<(), Io
 /// ```
 /// use snnmap_io::validate_trace;
 ///
-/// let text = "{\"schema\":2,\"event\":\"run\",\"tool\":\"map\",\"clusters\":2,\
+/// let text = "{\"schema\":3,\"event\":\"run\",\"tool\":\"map\",\"clusters\":2,\
 ///             \"connections\":1,\"mesh\":\"2x2\",\"threads_requested\":0,\
 ///             \"threads_resolved\":1}\n\
 ///             {\"event\":\"phase\",\"name\":\"toposort\"}\n";
@@ -198,6 +198,9 @@ mod tests {
             carried: 2,
             energy: 4.5,
             wall_ns: 77,
+            select_ns: 7,
+            swap_ns: 30,
+            rescore_ns: 40,
         }));
         String::from_utf8(sink.finish().unwrap()).unwrap()
     }

@@ -101,5 +101,13 @@ pub(crate) fn render(shared: &Shared) -> String {
     prom.sample("par_parallel_calls_total", &[], par.parallel_calls as f64);
     prom.header("par_workers_spawned_total", "counter", "FD worker threads spawned in total.");
     prom.sample("par_workers_spawned_total", &[], par.workers_spawned as f64);
+    prom.header("par_items_total", "counter", "Items handed to the parallel helpers in total.");
+    prom.sample("par_items_total", &[], par.items as f64);
+    prom.header(
+        "par_busy_ns_total",
+        "counter",
+        "Nanoseconds spent inside granularity-tuned parallel helpers.",
+    );
+    prom.sample("par_busy_ns_total", &[], par.busy_ns as f64);
     prom.finish()
 }

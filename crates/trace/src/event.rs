@@ -77,6 +77,13 @@ pub struct FdSweepEvent {
     pub energy: f64,
     /// Wall-clock nanoseconds for the sweep (timing field).
     pub wall_ns: u64,
+    /// Nanoseconds spent in top-λ selection (timing field).
+    pub select_ns: u64,
+    /// Nanoseconds spent applying swaps (timing field).
+    pub swap_ns: u64,
+    /// Nanoseconds spent re-scoring and re-collecting the queue
+    /// (timing field).
+    pub rescore_ns: u64,
 }
 
 /// Terminal FD statistics (mirrors `FdStats`).
@@ -156,16 +163,29 @@ pub struct NocEvent {
 }
 
 /// Thread-pool utilization delta from `snnmap_core::par` counters.
+///
+/// `parallel_calls` and `workers_spawned` are **timing fields**: the
+/// runtime granularity tuner moves the serial/parallel cutoff based on
+/// measured throughput, so whether a given call fans out varies between
+/// runs even though its result never does. With timing off the line
+/// carries only the run-stable fields.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParEvent {
     /// Which pipeline scope the delta covers (phase name or `total`).
     pub scope: String,
     /// Parallel-helper invocations.
     pub calls: u64,
-    /// Invocations that actually went parallel (≥ 2 workers).
+    /// Items handed to the parallel helpers (deterministic: depends only
+    /// on the workload, never on the thread count or tuner state).
+    pub items: u64,
+    /// Invocations that actually went parallel (≥ 2 workers; timing
+    /// field — the granularity tuner makes this run-dependent).
     pub parallel_calls: u64,
-    /// Worker threads spawned (excludes the calling thread).
+    /// Worker threads spawned, excluding the calling thread (timing
+    /// field).
     pub workers_spawned: u64,
+    /// Nanoseconds spent inside tuned parallel helpers (timing field).
+    pub busy_ns: u64,
 }
 
 /// A single trace record; one JSONL line per event.
@@ -279,6 +299,9 @@ impl TraceEvent {
                 w.field_f64("energy", e.energy);
                 if timing {
                     w.field_u64("wall_ns", e.wall_ns);
+                    w.field_u64("select_ns", e.select_ns);
+                    w.field_u64("swap_ns", e.swap_ns);
+                    w.field_u64("rescore_ns", e.rescore_ns);
                 }
             }
             TraceEvent::FdDone(e) => {
@@ -325,8 +348,12 @@ impl TraceEvent {
                 w.field_str("event", self.name());
                 w.field_str("scope", &e.scope);
                 w.field_u64("calls", e.calls);
-                w.field_u64("parallel_calls", e.parallel_calls);
-                w.field_u64("workers_spawned", e.workers_spawned);
+                w.field_u64("items", e.items);
+                if timing {
+                    w.field_u64("parallel_calls", e.parallel_calls);
+                    w.field_u64("workers_spawned", e.workers_spawned);
+                    w.field_u64("busy_ns", e.busy_ns);
+                }
             }
         }
         w.finish()
@@ -463,6 +490,9 @@ mod tests {
             carried: 55,
             energy: 1.25,
             wall_ns: 999,
+            select_ns: 11,
+            swap_ns: 22,
+            rescore_ns: 33,
         });
         let a = e.render(false);
         assert_eq!(
@@ -471,6 +501,33 @@ mod tests {
              \"applied\":12,\"dirty\":240,\"carried\":55,\"energy\":1.25}"
         );
         assert_eq!(a, e.render(false), "replay must be byte-stable");
+        assert_eq!(
+            e.render(true),
+            "{\"event\":\"fd_sweep\",\"sweep\":2,\"queue\":100,\"cutoff\":30,\
+             \"applied\":12,\"dirty\":240,\"carried\":55,\"energy\":1.25,\
+             \"wall_ns\":999,\"select_ns\":11,\"swap_ns\":22,\"rescore_ns\":33}"
+        );
+    }
+
+    #[test]
+    fn par_tuning_dependent_fields_are_timing_only() {
+        let e = TraceEvent::Par(ParEvent {
+            scope: "total".into(),
+            calls: 9,
+            items: 1234,
+            parallel_calls: 4,
+            workers_spawned: 12,
+            busy_ns: 777,
+        });
+        assert_eq!(
+            e.render(false),
+            "{\"event\":\"par\",\"scope\":\"total\",\"calls\":9,\"items\":1234}"
+        );
+        assert_eq!(
+            e.render(true),
+            "{\"event\":\"par\",\"scope\":\"total\",\"calls\":9,\"items\":1234,\
+             \"parallel_calls\":4,\"workers_spawned\":12,\"busy_ns\":777}"
+        );
     }
 
     #[test]
@@ -495,8 +552,10 @@ mod tests {
         let e = TraceEvent::Par(ParEvent {
             scope: "a\"b\\c\nd".into(),
             calls: 1,
+            items: 0,
             parallel_calls: 0,
             workers_spawned: 0,
+            busy_ns: 0,
         });
         assert!(e.render(false).contains("\"scope\":\"a\\\"b\\\\c\\nd\""));
     }

@@ -108,8 +108,10 @@ mod tests {
             sink.record(&TraceEvent::Par(ParEvent {
                 scope: "fd".into(),
                 calls: 3,
+                items: 100,
                 parallel_calls: 1,
                 workers_spawned: 2,
+                busy_ns: 5,
             }));
             sink.finish().unwrap()
         };

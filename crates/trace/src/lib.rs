@@ -130,7 +130,15 @@ pub mod schema {
     ///
     /// v2 added the resilient-execution vocabulary: the `fd_done.stop`
     /// field and the `checkpoint` / `resume` / `repair` events.
-    pub const VERSION: u64 = 2;
+    ///
+    /// v3 added the multi-core telemetry: `fd_sweep` gained the
+    /// `select_ns` / `swap_ns` / `rescore_ns` timing breakdown, `par`
+    /// gained `items` (deterministic) and `busy_ns`, and
+    /// `par.parallel_calls` / `par.workers_spawned` became timing-only —
+    /// the runtime granularity tuner makes fan-out decisions
+    /// run-dependent, so only workload-stable fields stay in the
+    /// deterministic set.
+    pub const VERSION: u64 = 3;
 
     /// Phase-name vocabulary used by the shipped pipeline. Custom phases
     /// are permitted (the field is free-form), but these are the names
@@ -183,7 +191,7 @@ pub mod schema {
         (
             "fd_sweep",
             &["event", "sweep", "queue", "cutoff", "applied", "dirty", "carried", "energy"],
-            &["wall_ns"],
+            &["wall_ns", "select_ns", "swap_ns", "rescore_ns"],
         ),
         (
             "fd_done",
@@ -220,7 +228,11 @@ pub mod schema {
             ],
             &[],
         ),
-        ("par", &["event", "scope", "calls", "parallel_calls", "workers_spawned"], &[]),
+        (
+            "par",
+            &["event", "scope", "calls", "items"],
+            &["parallel_calls", "workers_spawned", "busy_ns"],
+        ),
     ];
 
     /// Looks up `(required, timing-only)` field lists for an event name.
@@ -318,6 +330,9 @@ mod tests {
                 carried: 1,
                 energy: 0.0,
                 wall_ns: 1,
+                select_ns: 1,
+                swap_ns: 1,
+                rescore_ns: 1,
             }),
             TraceEvent::FdDone(FdDoneEvent {
                 iterations: 1,
@@ -349,8 +364,10 @@ mod tests {
             TraceEvent::Par(ParEvent {
                 scope: "total".into(),
                 calls: 1,
+                items: 1,
                 parallel_calls: 1,
                 workers_spawned: 1,
+                busy_ns: 1,
             }),
         ];
         for e in &events {

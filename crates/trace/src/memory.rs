@@ -12,7 +12,7 @@ use crate::{TraceEvent, TraceSink};
 /// let mut sink = MemorySink::new();
 /// sink.record(&TraceEvent::FdSweep(FdSweepEvent {
 ///     sweep: 1, queue: 5, cutoff: 2, applied: 2, dirty: 8, carried: 3,
-///     energy: 1.0, wall_ns: 0,
+///     energy: 1.0, wall_ns: 0, select_ns: 0, swap_ns: 0, rescore_ns: 0,
 /// }));
 /// assert_eq!(sink.events().len(), 1);
 /// ```

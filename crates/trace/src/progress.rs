@@ -16,7 +16,7 @@
 //! let mut sink = ProgressSink::new(Arc::clone(&progress));
 //! sink.record(&TraceEvent::FdSweep(FdSweepEvent {
 //!     sweep: 3, queue: 10, cutoff: 3, applied: 2, dirty: 4, carried: 1,
-//!     energy: 123.5, wall_ns: 0,
+//!     energy: 123.5, wall_ns: 0, select_ns: 0, swap_ns: 0, rescore_ns: 0,
 //! }));
 //! let snap = progress.snapshot();
 //! assert_eq!(snap.sweeps, 3);
@@ -146,6 +146,9 @@ mod tests {
             carried: 0,
             energy,
             wall_ns: 0,
+            select_ns: 0,
+            swap_ns: 0,
+            rescore_ns: 0,
         })
     }
 
