@@ -11,7 +11,7 @@ fn bench_partition(c: &mut Criterion) {
     // Explicit Algorithm 1 over a materialized two-million-synapse
     // network.
     let snn = DnnSpec::new(&[1000, 1000, 1000]).unwrap().build(1).unwrap();
-    let con = CoreConstraints::new(64, 1 << 30);
+    let con = CoreConstraints::new(64, 1 << 30).unwrap();
     g.bench_function("explicit_2M_synapses", |b| {
         b.iter(|| partition(black_box(&snn), con).unwrap())
     });
@@ -19,7 +19,7 @@ fn bench_partition(c: &mut Criterion) {
     // Analytic partitioning of CNN_16M: 16.7M neurons, 528M synapses —
     // never materialized.
     let graph = CnnSpec::cnn_16m().layer_graph(0);
-    let con = CoreConstraints::new(4096, u64::MAX);
+    let con = CoreConstraints::new(4096, u64::MAX).unwrap();
     g.bench_function("analytic_cnn16m", |b| {
         b.iter(|| {
             graph

@@ -18,7 +18,7 @@ fn main() {
     let pcn = RealisticModel::ResNet
         .layer_graph(options.seed)
         .partition_analytic(
-            snnmap_hw::CoreConstraints::new(4096, u64::MAX),
+            snnmap_hw::CoreConstraints::new(4096, u64::MAX).unwrap(),
             PartitionPolicy::table3(),
         )
         .expect("ResNet builds");

@@ -25,12 +25,12 @@ fn main() {
         (
             "LeNet-MNIST",
             RealisticModel::LeNetMnist.build(options.seed).expect("materializes"),
-            CoreConstraints::new(256, 64 * 1024),
+            CoreConstraints::new(256, 64 * 1024).unwrap(),
         ),
         (
             "DNN 4x1024",
             DnnSpec::new(&[1024; 4]).expect("valid shape").build(options.seed).expect("materializes"),
-            CoreConstraints::new(128, u64::MAX),
+            CoreConstraints::new(128, u64::MAX).unwrap(),
         ),
         (
             "CNN 8x2048 f32",
@@ -38,12 +38,12 @@ fn main() {
                 .expect("valid shape")
                 .build(options.seed)
                 .expect("materializes"),
-            CoreConstraints::new(128, u64::MAX),
+            CoreConstraints::new(128, u64::MAX).unwrap(),
         ),
         (
             "random local SNN",
             random_snn(8192, 8.0, 256, options.seed).expect("builds"),
-            CoreConstraints::new(128, u64::MAX),
+            CoreConstraints::new(128, u64::MAX).unwrap(),
         ),
     ];
 

@@ -12,12 +12,13 @@ use snnmap_core::{
     MultilevelConfig, Potential, StopReason,
 };
 use snnmap_hw::{
-    CoreConstraints, CostModel, FaultInjector, FaultMap, FaultPattern, Mesh, Placement,
+    Board, ChipId, CoreConstraints, CostModel, FaultInjector, FaultMap, FaultPattern, Mesh,
+    Placement,
 };
 use snnmap_io::{
-    read_checkpoint, read_faults, read_pcn, read_pcnb, read_placement, render_faults,
-    render_pcn, write_checkpoint, write_faults, write_pcn, write_pcnb, write_placement,
-    CheckpointMeta,
+    read_board, read_checkpoint, read_faults, read_pcn, read_pcnb, read_placement,
+    render_board, render_faults, render_pcn, write_checkpoint, write_faults, write_pcn,
+    write_pcnb, write_placement, CheckpointMeta,
 };
 use snnmap_serve::{signal, ServeConfig, Server};
 use snnmap_trace::{sha256_hex, JsonlSink, NoopSink, TraceSink};
@@ -166,13 +167,47 @@ fn parse_mesh(spec: &str) -> Result<Mesh, CliError> {
     Mesh::new(rows, cols).map_err(|e| CliError::usage(e.to_string()))
 }
 
+/// Resolves a `--board` argument: a path ending in `.json` is read as a
+/// board JSON file; anything else is a [`Board::parse`] spec (a Table 1
+/// preset name or `GxH/RxC[@NPC,SPC]`).
+fn load_board(o: &Opts) -> Result<Option<Board>, CliError> {
+    let Some(spec) = o.flag("board") else {
+        return Ok(None);
+    };
+    let board = if spec.ends_with(".json") {
+        read_board(Path::new(spec))?
+    } else {
+        Board::parse(spec).map_err(|e| CliError::usage(e.to_string()))?
+    };
+    Ok(Some(board))
+}
+
 /// Resolves a `--faults` argument: a number in `[0, 1)` is a uniform
-/// core+link fault rate fed to a seeded [`FaultInjector`]; anything else
-/// is a fault-map JSON file path.
-fn load_faults(o: &Opts, mesh: Mesh, seed: u64) -> Result<Option<FaultMap>, CliError> {
+/// core+link fault rate fed to a seeded [`FaultInjector`];
+/// `chip:<id,...>` kills whole chips of the `--board` topology; anything
+/// else is a fault-map JSON file path.
+fn load_faults(
+    o: &Opts,
+    mesh: Mesh,
+    seed: u64,
+    board: Option<&Board>,
+) -> Result<Option<FaultMap>, CliError> {
     let Some(spec) = o.flag("faults") else {
         return Ok(None);
     };
+    if let Some(ids) = spec.strip_prefix("chip:") {
+        let board = board.ok_or_else(|| {
+            CliError::usage("`--faults chip:<id,...>` requires `--board`")
+        })?;
+        let mut fm = FaultMap::new(board.mesh());
+        for part in ids.split(',') {
+            let id: ChipId = part.trim().parse().map_err(|_| {
+                CliError::usage(format!("bad chip id `{part}` in `--faults {spec}`"))
+            })?;
+            fm.kill_chip(board, id).map_err(|e| CliError::usage(e.to_string()))?;
+        }
+        return Ok(Some(fm));
+    }
     let fm = match spec.parse::<f64>() {
         Ok(rate) => {
             let pattern = FaultPattern::Uniform { core_rate: rate, link_rate: rate };
@@ -189,6 +224,7 @@ fn load_faults(o: &Opts, mesh: Mesh, seed: u64) -> Result<Option<FaultMap>, CliE
 /// configuration knob that shapes the FD trajectory (budgets and thread
 /// counts are deliberately excluded — the trajectory is invariant to
 /// them, and resuming under a *different* budget is the whole point).
+#[allow(clippy::too_many_arguments)]
 fn proposed_digests(
     pcn: &Pcn,
     init: &str,
@@ -197,15 +233,23 @@ fn proposed_digests(
     seed: u64,
     faults: Option<&FaultMap>,
     multilevel: bool,
+    board: Option<&Board>,
 ) -> CheckpointMeta {
     let faults_digest = match faults {
         Some(fm) => sha256_hex(render_faults(fm).as_bytes()),
         None => "none".to_string(),
     };
     let ml = if multilevel { "on" } else { "off" };
+    // Boardless digests keep their historical value; a board-constrained
+    // run appends its topology digest so a board/no-board resume mismatch
+    // is refused.
+    let board_digest = match board {
+        Some(b) => format!(" board={}", sha256_hex(render_board(b).as_bytes())),
+        None => String::new(),
+    };
     let config = format!(
         "init={init} potential={potential} lambda={lambda} seed={seed} \
-         faults={faults_digest} multilevel={ml}"
+         faults={faults_digest} multilevel={ml}{board_digest}"
     );
     CheckpointMeta {
         config_digest: sha256_hex(config.as_bytes()),
@@ -303,6 +347,7 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             "out",
             "method",
             "mesh",
+            "board",
             "init",
             "potential",
             "lambda",
@@ -323,14 +368,27 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
     let pcn = read_pcn_auto(Path::new(o.positional(0, "file.pcn")?))?;
     let out = Path::new(o.required("out")?);
     let seed: u64 = o.parsed_or("seed", 42)?;
-    let mesh = match o.flag("mesh") {
-        Some(spec) => parse_mesh(spec)?,
-        None => Mesh::square_for(pcn.num_clusters() as u64)
+    let board = load_board(&o)?;
+    let mesh = match (o.flag("mesh"), &board) {
+        (Some(spec), Some(b)) => {
+            let mesh = parse_mesh(spec)?;
+            if mesh != b.mesh() {
+                return Err(CliError::usage(format!(
+                    "`--mesh {mesh}` disagrees with the board's {} mesh; \
+                     omit `--mesh` to derive it from `--board`",
+                    b.mesh()
+                )));
+            }
+            mesh
+        }
+        (Some(spec), None) => parse_mesh(spec)?,
+        (None, Some(b)) => b.mesh(),
+        (None, None) => Mesh::square_for(pcn.num_clusters() as u64)
             .map_err(|e| CliError::usage(e.to_string()))?,
     };
     let budget_secs: u64 = o.parsed_or("budget-secs", 0)?;
     let budget = (budget_secs > 0).then(|| Duration::from_secs(budget_secs));
-    let faults = load_faults(&o, mesh, seed)?;
+    let faults = load_faults(&o, mesh, seed, board.as_ref())?;
     if let Some(path) = o.flag("faults-out") {
         match &faults {
             Some(fm) => write_faults(Path::new(path), fm)?,
@@ -373,6 +431,11 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
     if multilevel && method != "proposed" {
         return Err(CliError::usage(format!(
             "`--multilevel` is only supported with `--method proposed`, not `{method}`"
+        )));
+    }
+    if board.is_some() && method != "proposed" {
+        return Err(CliError::usage(format!(
+            "`--board` is only supported with `--method proposed`, not `{method}`"
         )));
     }
     if trace_out.is_some() && method != "proposed" {
@@ -429,6 +492,9 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             if let Some(fm) = faults.clone() {
                 builder = builder.fault_map(fm);
             }
+            if let Some(b) = board.clone() {
+                builder = builder.board(b);
+            }
             let mapper = builder.build();
             let resilience = ResilienceOpts::parse(&o)?;
             let meta = proposed_digests(
@@ -439,6 +505,7 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 seed,
                 faults.as_ref(),
                 multilevel,
+                board.as_ref(),
             );
             let mut writer = resilience.writer(&meta);
             let mut run_opts = FdRunOpts::default();
@@ -489,6 +556,10 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
     };
 
     write_placement(out, &placement)?;
+    let board_note = match &board {
+        Some(b) => format!(" [{b}]"),
+        None => String::new(),
+    };
     let fault_note = match &faults {
         Some(fm) => format!(
             " avoiding {} dead core(s), {} faulty link(s)",
@@ -502,7 +573,7 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
         None => String::new(),
     };
     Ok(format!(
-        "placed {} clusters on {mesh}{fault_note} -> {}\n{detail}{trace_note}\n",
+        "placed {} clusters on {mesh}{board_note}{fault_note} -> {}\n{detail}{trace_note}\n",
         placement.placed_count(),
         out.display()
     ))
@@ -660,7 +731,10 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
     let (checkpoint, on_disk) = read_checkpoint(Path::new(o.required("checkpoint")?))?;
     let out = Path::new(o.required("out")?);
     let seed: u64 = o.parsed_or("seed", 42)?;
-    let faults = load_faults(&o, checkpoint.mesh, seed)?;
+    // Board-constrained runs are not resumable yet; their checkpoints
+    // carry a board digest no boardless config can reproduce, so the
+    // provenance check below refuses them with a typed usage error.
+    let faults = load_faults(&o, checkpoint.mesh, seed, None)?;
 
     let init_name = o.flag("init").unwrap_or("hilbert");
     if !["hilbert", "zigzag", "circle", "serpentine", "random"].contains(&init_name) {
@@ -700,6 +774,7 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
         seed,
         faults.as_ref(),
         multilevel,
+        None,
     );
     if meta.pcn_digest != on_disk.pcn_digest {
         return Err(CliError::usage(
@@ -767,27 +842,42 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
 /// capacity constraints. Violations become [`CliError::Validation`]
 /// (process exit code 3).
 pub fn validate(args: &[String]) -> Result<String, CliError> {
-    let o = Opts::parse(args, &["faults", "seed", "npc", "spc"])?;
+    let o = Opts::parse(args, &["faults", "seed", "npc", "spc", "board"])?;
     let (pcn, placement) = load_pair(&o)?;
     let seed: u64 = o.parsed_or("seed", 42)?;
-    let faults = load_faults(&o, placement.mesh(), seed)?;
-    let defaults = CoreConstraints::default();
-    let npc: u32 = o.parsed_or("npc", defaults.neurons_per_core)?;
-    let spc: u64 = o.parsed_or("spc", defaults.synapses_per_core)?;
-    if npc == 0 || spc == 0 {
-        return Err(CliError::usage("per-core capacities must be nonzero"));
-    }
-    let con = CoreConstraints::new(npc, spc);
-    let report = snnmap_core::validate(&pcn, &placement, faults.as_ref(), Some(&con))?;
+    let board = load_board(&o)?;
+    let faults = load_faults(&o, placement.mesh(), seed, board.as_ref())?;
+    let (report, checked) = match &board {
+        Some(b) => {
+            // The board carries every core's capacity, so the flat limits
+            // would silently contradict it.
+            if o.flag("npc").is_some() || o.flag("spc").is_some() {
+                return Err(CliError::usage(
+                    "`--npc`/`--spc` conflict with `--board`; the board defines \
+                     per-core capacities",
+                ));
+            }
+            let report = snnmap_core::validate_board(&pcn, &placement, faults.as_ref(), b)?;
+            (report, format!("{b}"))
+        }
+        None => {
+            let defaults = CoreConstraints::default();
+            let npc: u32 = o.parsed_or("npc", defaults.neurons_per_core)?;
+            let spc: u64 = o.parsed_or("spc", defaults.synapses_per_core)?;
+            let con =
+                CoreConstraints::new(npc, spc).map_err(|e| CliError::usage(e.to_string()))?;
+            let report = snnmap_core::validate(&pcn, &placement, faults.as_ref(), Some(&con))?;
+            (report, format!("{} within {con}", placement.mesh()))
+        }
+    };
     if !report.is_ok() {
         return Err(CliError::Validation(report));
     }
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "placement valid: {} clusters on {} within {con}",
-        placement.placed_count(),
-        placement.mesh()
+        "placement valid: {} clusters on {checked}",
+        placement.placed_count()
     );
     if let Some(fm) = &faults {
         let _ = writeln!(

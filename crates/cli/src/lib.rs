@@ -49,10 +49,11 @@ commands:
   convert <input.pcn|input.pcnb> --out <output.pcn|output.pcnb>
   map   <file.pcn|file.pcnb> --out <placement.json>
         [--method proposed|random|truenorth|dfsynthesizer|pso]
-        [--mesh <RxC>] [--init hilbert|zigzag|circle|serpentine|random]
+        [--mesh <RxC>] [--board <spec|board.json>]
+        [--init hilbert|zigzag|circle|serpentine|random]
         [--potential l1|l1sq|l2sq|energy] [--lambda F]
         [--budget-secs N] [--seed N] [--threads N] [--multilevel on|off]
-        [--faults <rate|file.json>] [--faults-out <file.json>]
+        [--faults <rate|file.json|chip:<id,...>>] [--faults-out <file.json>]
         [--trace-out <run.jsonl>] [--trace-timing on|off]
         [--deadline-ms N] [--max-sweeps N]
         [--checkpoint-every N] [--checkpoint-out <cp.json>]
@@ -66,7 +67,8 @@ commands:
         [--format text|prometheus]
   viz   <file.pcn> <placement.json> [--width N]
   validate <file.pcn> <placement.json>
-        [--faults <rate|file.json>] [--seed N] [--npc N] [--spc N]
+        [--faults <rate|file.json|chip:<id,...>>] [--seed N]
+        [--npc N] [--spc N] [--board <spec|board.json>]
   serve [--addr HOST:PORT] [--workers N] [--spool-dir <dir>]
         [--queue-capacity N] [--lease-ttl-ms N] [--daemon-id <id>]
         [--io-timeout-ms N]
@@ -80,7 +82,17 @@ init, and each level is then refined with region-masked Force-Directed
 sweeps — much faster at scale, byte-identical across thread counts.
 
 `--faults` takes a uniform core/link fault rate in [0, 1) (seeded by
-`--seed`) or a fault-map JSON file written by `--faults-out`.
+`--seed`), a fault-map JSON file written by `--faults-out`, or — with
+`--board` — `chip:<id,...>` to kill whole chips.
+
+`--board` maps onto a heterogeneous multi-chip board: a Table 1 preset
+name (`truenorth`, `loihi:2x2`, ...), a custom `GxH/RxC[@NPC,SPC]`
+spec, or a board JSON file. The mesh is derived from the board (an
+explicit `--mesh` must agree). Placement then respects each core's
+neuron/synapse capacity: the HSC init skips cores a cluster does not
+fit on and FD refinement never swaps a cluster onto a core it would
+overload. `validate --board` checks capacity and chip-liveness
+invariants; with a fault map it also rejects clusters on dead chips.
 
 `--threads N` pins the FD worker-thread count (N >= 1); omit the flag
 for auto-detection (SNNMAP_THREADS if set and valid, else the available
@@ -623,6 +635,73 @@ mod tests {
             std::fs::read_to_string(&full).unwrap(),
             "resumed multilevel run must match the uninterrupted one"
         );
+    }
+
+    #[test]
+    fn board_map_validate_and_chip_faults() {
+        let dir = std::env::temp_dir().join("snnmap_cli_board");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let placement = dir.join("p.json");
+        let pcn_s = pcn.to_str().unwrap();
+        let placement_s = placement.to_str().unwrap();
+        let board = "2x2/4x4@4096,65536";
+
+        run(&sv(&["gen", "--random", "40,3", "--seed", "4", "--out", pcn_s])).unwrap();
+        // The 8x8 mesh is derived from the board spec.
+        let out =
+            run(&sv(&["map", pcn_s, "--out", placement_s, "--board", board])).unwrap();
+        assert!(out.contains("placed 40 clusters on 8x8"), "{out}");
+        assert!(out.contains("chips"), "{out}");
+
+        // The board-aware validator accepts the result...
+        let out =
+            run(&sv(&["validate", pcn_s, placement_s, "--board", board])).unwrap();
+        assert!(out.contains("placement valid"), "{out}");
+
+        // ...and rejects it once the chip under it dies.
+        let err = run(&sv(&[
+            "validate", pcn_s, placement_s, "--board", board, "--faults", "chip:0",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("dead chip"), "{err}");
+
+        // Mapping with the dead chip masked avoids it and validates clean.
+        let out = run(&sv(&[
+            "map", pcn_s, "--out", placement_s, "--board", board, "--faults", "chip:0",
+        ]))
+        .unwrap();
+        assert!(out.contains("avoiding 16 dead core(s)"), "{out}");
+        let out = run(&sv(&[
+            "validate", pcn_s, placement_s, "--board", board, "--faults", "chip:0",
+        ]))
+        .unwrap();
+        assert!(out.contains("placement valid"), "{out}");
+
+        // Guards: disagreeing --mesh, chip faults without a board,
+        // baseline methods, and flat capacity flags next to a board.
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", placement_s, "--board", board, "--mesh", "9x9",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&["map", pcn_s, "--out", placement_s, "--faults", "chip:0"]))
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&[
+            "map", pcn_s, "--out", placement_s, "--board", board, "--method", "random",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&[
+            "validate", pcn_s, placement_s, "--board", board, "--npc", "16",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&sv(&["map", pcn_s, "--out", placement_s, "--board", "bogus"]))
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

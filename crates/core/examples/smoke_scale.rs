@@ -12,7 +12,7 @@ fn main() {
         let t = Instant::now();
         let g = b.layer_graph(0);
         let pcn = g
-            .partition_analytic(CoreConstraints::new(4096, u64::MAX), PartitionPolicy::table3())
+            .partition_analytic(CoreConstraints::new(4096, u64::MAX).unwrap(), PartitionPolicy::table3())
             .unwrap();
         println!(
             "{:<16} clusters {:>8} (paper {:>8})  conns {:>9} (paper {:>9})  neurons {:>12}  syn {:>15}  [{:?}]",

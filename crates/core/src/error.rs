@@ -35,6 +35,17 @@ pub enum CoreError {
         /// Total cores including dead ones.
         total: usize,
     },
+    /// A cluster fits on no remaining core of the board: every healthy
+    /// unoccupied core's capacity vector is exceeded by the cluster's
+    /// neuron or synapse demand.
+    InsufficientCapacity {
+        /// The cluster that fits nowhere.
+        cluster: u32,
+        /// Its neuron demand.
+        neurons: u32,
+        /// Its synapse demand.
+        synapses: u64,
+    },
     /// The force-directed sweep fraction λ was outside `(0, 1]`.
     InvalidLambda {
         /// The rejected value.
@@ -85,6 +96,13 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "{clusters} clusters cannot fit on {healthy} healthy of {total} cores"
+                )
+            }
+            CoreError::InsufficientCapacity { cluster, neurons, synapses } => {
+                write!(
+                    f,
+                    "cluster {cluster} ({neurons} neurons, {synapses} synapses) \
+                     fits no remaining core on the board"
                 )
             }
             CoreError::InvalidLambda { lambda } => {

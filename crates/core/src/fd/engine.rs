@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use snnmap_hw::{Coord, FaultMap, HwError, Mesh, Placement};
+use snnmap_hw::{Board, Coord, FaultMap, HwError, Mesh, Placement};
 use snnmap_model::Pcn;
 use snnmap_trace::{
     CheckpointEvent, FdConfigEvent, FdDoneEvent, FdSweepEvent, NoopSink, ParEvent, ResumeEvent,
@@ -286,6 +286,14 @@ pub struct FdRunOpts<'h> {
     /// everything outside the region stays exactly where it is (used by
     /// incremental fault repair). Length must equal the mesh size.
     pub region: Option<Vec<bool>>,
+    /// Enforce a board's per-core capacities: a swap that would land a
+    /// cluster on a core whose [`snnmap_hw::CoreConstraints`] cannot
+    /// admit it carries zero tension, exactly like a dead-core pair — so
+    /// every intermediate placement of the run stays capacity-feasible.
+    /// The filter is a pure function of occupancy and the static capacity
+    /// tables, which preserves the engine's bit-determinism across thread
+    /// counts. The board's mesh must equal the placement's.
+    pub board: Option<&'h Board>,
 }
 
 impl fmt::Debug for FdRunOpts<'_> {
@@ -296,6 +304,7 @@ impl fmt::Debug for FdRunOpts<'_> {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("on_checkpoint", &self.on_checkpoint.is_some())
             .field("region", &self.region.as_ref().map(Vec::len))
+            .field("board", &self.board.is_some())
             .finish()
     }
 }
@@ -413,7 +422,7 @@ pub fn force_directed(
     placement: &mut Placement,
     config: &FdConfig,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, None, &mut FdRunOpts::default(), &mut NoopSink)
+    force_directed_impl(pcn, placement, config, None, None, &mut FdRunOpts::default(), &mut NoopSink)
 }
 
 /// The fully-general Force-Directed entry point: optional fault mask,
@@ -464,7 +473,7 @@ pub fn force_directed_budgeted<S: TraceSink + ?Sized>(
     opts: &mut FdRunOpts<'_>,
     sink: &mut S,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, faults, opts, sink)
+    force_directed_impl(pcn, placement, config, faults, None, opts, sink)
 }
 
 /// [`force_directed`] with trace instrumentation: emits an `fd_config`
@@ -489,7 +498,7 @@ pub fn force_directed_traced<S: TraceSink + ?Sized>(
     config: &FdConfig,
     sink: &mut S,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, None, &mut FdRunOpts::default(), sink)
+    force_directed_impl(pcn, placement, config, None, None, &mut FdRunOpts::default(), sink)
 }
 
 /// [`force_directed_masked`] with trace instrumentation; see
@@ -505,7 +514,7 @@ pub fn force_directed_masked_traced<S: TraceSink + ?Sized>(
     faults: &FaultMap,
     sink: &mut S,
 ) -> Result<FdStats, CoreError> {
-    force_directed_impl(pcn, placement, config, Some(faults), &mut FdRunOpts::default(), sink)
+    force_directed_impl(pcn, placement, config, Some(faults), None, &mut FdRunOpts::default(), sink)
 }
 
 /// Fault-aware [`force_directed`]: swaps into or out of dead cores are
@@ -529,6 +538,7 @@ pub fn force_directed_masked(
         placement,
         config,
         Some(faults),
+        None,
         &mut FdRunOpts::default(),
         &mut NoopSink,
     )
@@ -665,6 +675,7 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
     placement: &mut Placement,
     config: &FdConfig,
     faults: Option<&FaultMap>,
+    mapper_board: Option<&Board>,
     opts: &mut FdRunOpts<'_>,
     sink: &mut S,
 ) -> Result<FdStats, CoreError> {
@@ -676,10 +687,18 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
             message: "checkpoint_every must be positive".to_owned(),
         });
     }
-    let FdRunOpts { budget, resume, checkpoint_every, on_checkpoint, region } = opts;
+    let FdRunOpts { budget, resume, checkpoint_every, on_checkpoint, region, board } = opts;
+    let board = mapper_board.or(*board);
     let threads = par::resolve_threads(config.threads);
-    let mut engine =
-        Engine::new(pcn, placement, config.potential, config.tension_mode, faults, threads)?;
+    let mut engine = Engine::new(
+        pcn,
+        placement,
+        config.potential,
+        config.tension_mode,
+        faults,
+        board,
+        threads,
+    )?;
     engine.set_region(region.as_deref())?;
     let start = Instant::now();
 
@@ -1040,15 +1059,26 @@ struct Engine<'a> {
     /// whole mesh is active). Pairs with an inactive endpoint carry zero
     /// tension, exactly like dead-core pairs.
     active: Vec<bool>,
+    /// `cap_n[p]`/`cap_s[p]`: neuron/synapse capacity of position `p`
+    /// when a board is enforced (both empty on boardless runs). A pair
+    /// whose swap would overload either endpoint carries zero tension.
+    cap_n: Vec<u32>,
+    cap_s: Vec<u64>,
+    /// `need_n[c]`/`need_s[c]`: cluster `c`'s neuron/synapse demand,
+    /// cached flat for the capacity filter (empty on boardless runs).
+    need_n: Vec<u32>,
+    need_s: Vec<u64>,
 }
 
 impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         pcn: &'a Pcn,
         placement: &'a mut Placement,
         potential: Potential,
         tension_mode: TensionMode,
         faults: Option<&FaultMap>,
+        board: Option<&Board>,
         threads: usize,
     ) -> Result<Self, CoreError> {
         let mesh = placement.mesh();
@@ -1057,6 +1087,16 @@ impl<'a> Engine<'a> {
                 pcn: pcn.num_clusters(),
                 placement: placement.len(),
             });
+        }
+        if let Some(b) = board {
+            if b.mesh() != mesh {
+                return Err(CoreError::InvalidRunOpts {
+                    message: format!(
+                        "board covers {} but placement targets {mesh}",
+                        b.mesh()
+                    ),
+                });
+            }
         }
         let dead: Vec<bool> = match faults {
             Some(fm) => {
@@ -1072,6 +1112,17 @@ impl<'a> Engine<'a> {
             }
             None => Vec::new(),
         };
+        let (cap_n, cap_s) = match board {
+            Some(b) => b.capacity_tables(),
+            None => (Vec::new(), Vec::new()),
+        };
+        let (need_n, need_s): (Vec<u32>, Vec<u64>) = match board {
+            Some(_) => (
+                (0..placement.len()).map(|c| pcn.neurons_in(c)).collect(),
+                (0..placement.len()).map(|c| pcn.synapses_in(c)).collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
         let n = placement.len() as usize;
         let mut pos = vec![0u32; n];
         let mut occ = vec![EMPTY; mesh.len()];
@@ -1085,6 +1136,18 @@ impl<'a> Engine<'a> {
             let p = mesh.index_of(coord);
             if !dead.is_empty() && dead[p] {
                 return Err(CoreError::Hw(HwError::FaultyCore { coord }));
+            }
+            // Descent preserves feasibility, so it must hold at entry.
+            if !cap_n.is_empty()
+                && (need_n[c as usize] > cap_n[p] || need_s[c as usize] > cap_s[p])
+            {
+                return Err(CoreError::InvalidRunOpts {
+                    message: format!(
+                        "cluster {c} at {coord} needs {} neurons and {} synapses \
+                         but the core admits only {} and {}",
+                        need_n[c as usize], need_s[c as usize], cap_n[p], cap_s[p]
+                    ),
+                });
             }
             pos[c as usize] = p as u32;
             occ[p] = c;
@@ -1129,6 +1192,10 @@ impl<'a> Engine<'a> {
             occ,
             dead,
             active: Vec::new(),
+            cap_n,
+            cap_s,
+            need_n,
+            need_s,
         };
         // A cluster's force depends only on occupancy, never on other
         // forces, so the initial build is an independent per-index fill.
@@ -1416,6 +1483,25 @@ impl<'a> Engine<'a> {
         }
         let cu = self.occ[p];
         let cv = self.occ[q];
+        // Capacity filter (board runs only): freeze any pair whose swap
+        // would land an occupant on a core that cannot admit it. Like the
+        // dead/region masks above, this is a pure function of occupancy
+        // and static tables, so cached clean-pair tensions stay valid and
+        // the run is bit-identical for every thread count.
+        if !self.cap_n.is_empty() {
+            if cu != EMPTY
+                && (self.need_n[cu as usize] > self.cap_n[q]
+                    || self.need_s[cu as usize] > self.cap_s[q])
+            {
+                return 0.0;
+            }
+            if cv != EMPTY
+                && (self.need_n[cv as usize] > self.cap_n[p]
+                    || self.need_s[cv as usize] > self.cap_s[p])
+            {
+                return 0.0;
+            }
+        }
         if cu == EMPTY {
             if cv == EMPTY {
                 0.0
@@ -1686,7 +1772,7 @@ mod tests {
         assert!(stats.converged);
         let mut scratch = p.clone();
         let engine =
-            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None, 1)
+            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None, None, 1)
                 .unwrap();
         for pos in 0..mesh.len() {
             for d in [DOWN, RIGHT] {
@@ -1735,7 +1821,7 @@ mod tests {
         let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
         let mut scratch = p.clone();
         let engine =
-            Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact, None, 1).unwrap();
+            Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact, None, None, 1).unwrap();
         assert!((engine.system_energy_serial() - stats.final_energy).abs() < 1e-6);
     }
 
@@ -1840,7 +1926,7 @@ mod tests {
         force_directed(&pcn, &mut p, &FdConfig::default()).unwrap();
         let mut scratch = p.clone();
         let engine =
-            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None, 1)
+            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None, None, 1)
                 .unwrap();
         for pos in 0..mesh.len() {
             for d in [DOWN, RIGHT] {

@@ -4,7 +4,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use snnmap_curves::{masked_traversal, Gilbert, Hilbert, SpaceFillingCurve};
-use snnmap_hw::{Coord, FaultMap, Mesh, Placement};
+use snnmap_hw::{Board, Coord, FaultMap, Mesh, Placement};
 use snnmap_model::Pcn;
 
 use crate::{par, toposort, CoreError};
@@ -262,6 +262,92 @@ pub(crate) fn hsc_sequence_impl(
     check_capacity(order.len() as u32, mesh, faults)?;
     let traversal = hilbert_traversal_par(mesh, faults, threads);
     place_along(order, &traversal, mesh, faults)
+}
+
+/// Capacity-aware HSC initial placement onto a multi-chip [`Board`]:
+/// clusters walk the Hilbert/Gilbert traversal in topological order and
+/// each lands on the first not-yet-used core (from a monotone cursor)
+/// whose [`snnmap_hw::CoreConstraints`] admit it; cores too small for a
+/// cluster are skipped and remain available for later, smaller clusters
+/// (one wrap-around pass over the skipped prefix). On a uniform board
+/// whose cores admit every cluster — the common case when the PCN was
+/// partitioned under the same constraints — nothing is ever skipped and
+/// the result is byte-identical to [`hsc_placement`].
+///
+/// The traversal build is threaded exactly like
+/// [`hsc_placement_threaded`] (bit-identical for every thread count);
+/// the greedy fit itself is a cheap serial pass.
+///
+/// # Errors
+///
+/// [`CoreError::InsufficientCapacity`] when some cluster fits on no
+/// remaining healthy core; otherwise as [`hsc_placement_masked`].
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_core::hsc_placement_board;
+/// use snnmap_hw::presets;
+/// use snnmap_model::generators::random_pcn;
+///
+/// // 2x2 chips of 8x8 cores; random_pcn's small clusters fit anywhere.
+/// let board = snnmap_hw::Board::parse("2x2/8x8")?;
+/// let pcn = random_pcn(200, 4.0, 3)?;
+/// let p = hsc_placement_board(&pcn, &board, None, 1)?;
+/// assert!(p.is_complete());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn hsc_placement_board(
+    pcn: &Pcn,
+    board: &Board,
+    faults: Option<&FaultMap>,
+    threads: usize,
+) -> Result<Placement, CoreError> {
+    let order = toposort(pcn);
+    hsc_board_sequence_impl(pcn, &order, board, faults, par::resolve_threads(threads))
+}
+
+/// The greedy-fit half of [`hsc_placement_board`], taking an
+/// already-toposorted order.
+pub(crate) fn hsc_board_sequence_impl(
+    pcn: &Pcn,
+    order: &[u32],
+    board: &Board,
+    faults: Option<&FaultMap>,
+    threads: usize,
+) -> Result<Placement, CoreError> {
+    let mesh = board.mesh();
+    check_capacity(order.len() as u32, mesh, faults)?;
+    let pow2_square =
+        mesh.rows() == mesh.cols() && (mesh.rows() as u32).is_power_of_two();
+    let traversal: Vec<Coord> = if pow2_square && threads > 1 {
+        hilbert_traversal_par(mesh, faults, threads)
+    } else {
+        let curve: &dyn SpaceFillingCurve =
+            if pow2_square { &Hilbert } else { &Gilbert };
+        match faults {
+            Some(fm) => masked_traversal(curve, mesh, |c| !fm.is_dead(c))?,
+            None => curve.traversal(mesh)?,
+        }
+    };
+    let mut p = fresh_placement(mesh, order.len() as u32, faults)?;
+    let mut used = vec![false; traversal.len()];
+    let mut cursor = 0usize;
+    for &c in order {
+        let neurons = pcn.neurons_in(c);
+        let synapses = pcn.synapses_in(c);
+        let fits = |i: usize| !used[i] && board.admits(traversal[i], neurons, synapses);
+        let slot = (cursor..traversal.len())
+            .find(|&i| fits(i))
+            .or_else(|| (0..cursor).find(|&i| fits(i)))
+            .ok_or(CoreError::InsufficientCapacity { cluster: c, neurons, synapses })?;
+        used[slot] = true;
+        p.place(c, traversal[slot])?;
+        if slot >= cursor {
+            cursor = slot + 1;
+        }
+    }
+    Ok(p)
 }
 
 /// The baseline: clusters shuffled uniformly over the cores (§5.1.3,

@@ -61,11 +61,14 @@ pub use fd::{
     FdConfig, FdResume, FdRunOpts, FdStats, Potential, RunBudget, StopReason, TensionMode,
 };
 pub use hsc::{
-    hsc_placement, hsc_placement_masked, hsc_placement_masked_threaded,
+    hsc_placement, hsc_placement_board, hsc_placement_masked, hsc_placement_masked_threaded,
     hsc_placement_threaded, random_placement, random_placement_masked, sequence_placement,
     sequence_placement_masked,
 };
 pub use mapper::{InitialPlacement, MapOutcome, Mapper, MapperBuilder, RepairReport};
 pub use multilevel::MultilevelConfig;
 pub use toposort::toposort;
-pub use validate::{repair, validate, RepairMove, RepairOutcome, ValidationReport, Violation};
+pub use validate::{
+    repair, repair_board, validate, validate_board, DegradedPlacement, RepairMove,
+    RepairOutcome, ValidationReport, Violation,
+};

@@ -4,16 +4,16 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use snnmap_curves::{Serpentine, SpaceFillingCurve, Spiral, ZigZag};
-use snnmap_hw::{Coord, FaultDelta, FaultMap, HwError, Mesh, Placement};
+use snnmap_hw::{Board, Coord, FaultDelta, FaultMap, HwError, Mesh, Placement};
 use snnmap_model::Pcn;
 use snnmap_trace::{
     time_phase, NoopSink, PhaseEvent, RepairEvent, RunEvent, TraceEvent, TraceSink,
 };
 
 use crate::fd::force_directed_impl;
-use crate::hsc::hsc_sequence_impl;
+use crate::hsc::{hsc_board_sequence_impl, hsc_sequence_impl};
 use crate::multilevel::MultilevelConfig;
-use crate::validate::{repair, RepairMove};
+use crate::validate::{repair, repair_board, DegradedPlacement, RepairMove};
 use crate::{
     par, random_placement, random_placement_masked, sequence_placement,
     sequence_placement_masked, toposort, CoreError, FdCheckpoint, FdConfig, FdResume, FdRunOpts,
@@ -70,6 +70,11 @@ pub struct RepairReport {
     pub region_cores: u64,
     /// Statistics of the budgeted, region-masked FD pass, when it ran.
     pub fd_stats: Option<FdStats>,
+    /// The typed degraded-mode outcome, present only on board-aware
+    /// repairs where the surviving capacity cannot absorb the load: the
+    /// listed clusters stay unplaced and the FD pass is skipped. `None`
+    /// means the repaired placement is complete.
+    pub degraded: Option<DegradedPlacement>,
 }
 
 /// The paper's complete mapping approach: initial placement followed by
@@ -103,6 +108,7 @@ pub struct Mapper {
     init: InitialPlacement,
     fd: Option<FdConfig>,
     faults: Option<FaultMap>,
+    board: Option<Board>,
     threads: usize,
     multilevel: Option<MultilevelConfig>,
 }
@@ -126,6 +132,11 @@ impl Mapper {
     /// The configured hardware fault map, if any.
     pub fn fault_map(&self) -> Option<&FaultMap> {
         self.faults.as_ref()
+    }
+
+    /// The configured multi-chip board, if any.
+    pub fn board(&self) -> Option<&Board> {
+        self.board.as_ref()
     }
 
     /// The configured worker-thread count (`0` = auto; see
@@ -244,6 +255,33 @@ impl Mapper {
             }));
         }
 
+        if let Some(board) = &self.board {
+            if self.multilevel.is_some() {
+                return Err(CoreError::InvalidRunOpts {
+                    message: "the multilevel pipeline does not support \
+                              board-constrained mapping yet"
+                        .into(),
+                });
+            }
+            if self.init != InitialPlacement::Hilbert {
+                return Err(CoreError::InvalidRunOpts {
+                    message: format!(
+                        "board-constrained mapping places with the Hilbert/HSC \
+                         init; {:?} is not supported with it",
+                        self.init
+                    ),
+                });
+            }
+            if board.mesh() != mesh {
+                return Err(CoreError::InvalidRunOpts {
+                    message: format!(
+                        "board covers {} but the map targets {mesh}",
+                        board.mesh()
+                    ),
+                });
+            }
+        }
+
         if let Some(ml) = &self.multilevel {
             if self.init != InitialPlacement::Hilbert {
                 return Err(CoreError::InvalidRunOpts {
@@ -270,8 +308,11 @@ impl Mapper {
         let mut placement = match (self.init, fm) {
             (InitialPlacement::Hilbert, _) => {
                 let order = time_phase(sink, "toposort", || toposort(pcn));
-                time_phase(sink, "hsc_init", || {
-                    hsc_sequence_impl(&order, mesh, fm, threads_resolved)
+                time_phase(sink, "hsc_init", || match &self.board {
+                    Some(b) => {
+                        hsc_board_sequence_impl(pcn, &order, b, fm, threads_resolved)
+                    }
+                    None => hsc_sequence_impl(&order, mesh, fm, threads_resolved),
                 })?
             }
             (InitialPlacement::ZigZag, _) => self.curve_init(pcn, mesh, &ZigZag, sink)?,
@@ -293,7 +334,15 @@ impl Mapper {
         let t1 = Instant::now();
         let fd_alloc0 = sink.enabled().then(snnmap_trace::alloc_snapshot);
         let fd_stats = match &self.fd {
-            Some(cfg) => Some(force_directed_impl(pcn, &mut placement, cfg, fm, opts, sink)?),
+            Some(cfg) => Some(force_directed_impl(
+                pcn,
+                &mut placement,
+                cfg,
+                fm,
+                self.board.as_ref(),
+                opts,
+                sink,
+            )?),
             None => None,
         };
         let fd_elapsed = t1.elapsed();
@@ -397,8 +446,15 @@ impl Mapper {
         placement.set_coords(&checkpoint.coords)?;
         opts.resume = Some(FdResume::from_checkpoint(checkpoint));
         let t1 = Instant::now();
-        let stats =
-            force_directed_impl(pcn, &mut placement, cfg, self.faults.as_ref(), opts, sink)?;
+        let stats = force_directed_impl(
+            pcn,
+            &mut placement,
+            cfg,
+            self.faults.as_ref(),
+            self.board.as_ref(),
+            opts,
+            sink,
+        )?;
         let fd_elapsed = t1.elapsed();
         Ok(MapOutcome { placement, fd_stats: Some(stats), init_elapsed: Duration::ZERO, fd_elapsed })
     }
@@ -463,11 +519,15 @@ impl Mapper {
                 moved: 0,
                 region_cores: 0,
                 fd_stats: None,
+                degraded: None,
             });
         }
         let n = pcn.num_clusters();
         let before: Vec<Option<Coord>> = (0..n).map(|c| placement.coord_of(c)).collect();
-        let outcome = repair(pcn, placement, Some(current), None)?;
+        let (outcome, degraded) = match &self.board {
+            Some(board) => repair_board(pcn, placement, Some(current), board)?,
+            None => (repair(pcn, placement, Some(current), None)?, None),
+        };
 
         let mesh = placement.mesh();
         let mut seeds: Vec<Coord> = Vec::new();
@@ -488,11 +548,21 @@ impl Mapper {
         }
         let region_cores = region.iter().filter(|&&active| active).count() as u64;
 
+        // A degraded placement is incomplete, so the FD pass cannot run;
+        // the evacuation itself already placed everything that fits.
         let fd_stats = match self.fd.as_ref() {
-            Some(cfg) if region_cores > 0 => {
+            Some(cfg) if region_cores > 0 && degraded.is_none() => {
                 let mut opts =
                     FdRunOpts { budget, region: Some(region), ..FdRunOpts::default() };
-                Some(force_directed_impl(pcn, placement, cfg, Some(current), &mut opts, sink)?)
+                Some(force_directed_impl(
+                    pcn,
+                    placement,
+                    cfg,
+                    Some(current),
+                    self.board.as_ref(),
+                    &mut opts,
+                    sink,
+                )?)
             }
             _ => None,
         };
@@ -508,7 +578,7 @@ impl Mapper {
                 energy_after: fd_stats.as_ref().map_or(0.0, |s| s.final_energy),
             }));
         }
-        Ok(RepairReport { delta, evicted: outcome.moved, moved, region_cores, fd_stats })
+        Ok(RepairReport { delta, evicted: outcome.moved, moved, region_cores, fd_stats, degraded })
     }
 
     fn curve_init<S: TraceSink + ?Sized>(
@@ -548,6 +618,7 @@ pub struct MapperBuilder {
     fd_enabled: bool,
     fd: FdConfig,
     faults: Option<FaultMap>,
+    board: Option<Board>,
     threads: usize,
     multilevel: Option<MultilevelConfig>,
 }
@@ -559,6 +630,7 @@ impl Default for MapperBuilder {
             fd_enabled: true,
             fd: FdConfig::default(),
             faults: None,
+            board: None,
             threads: 0,
             multilevel: None,
         }
@@ -615,6 +687,18 @@ impl MapperBuilder {
         self
     }
 
+    /// Installs a multi-chip [`Board`]: the HSC init places each cluster
+    /// on a core whose capacity vector admits it, and every FD swap that
+    /// would overload a core is rejected — the whole pipeline preserves
+    /// capacity feasibility. Requires the Hilbert initial placement and
+    /// is not yet supported together with the multilevel pipeline; the
+    /// mesh passed to [`Mapper::map`] must equal the board's
+    /// (default: none, uncapacitated homogeneous mesh).
+    pub fn board(mut self, board: Board) -> Self {
+        self.board = Some(board);
+        self
+    }
+
     /// Sets the worker-thread count for both the Hilbert traversal and
     /// the FD engine (default `0` = auto: `SNNMAP_THREADS`, else the
     /// machine's available parallelism).
@@ -644,6 +728,7 @@ impl MapperBuilder {
             init: self.init,
             fd: self.fd_enabled.then_some(fd),
             faults: self.faults,
+            board: self.board,
             threads: self.threads,
             multilevel: self.multilevel,
         }

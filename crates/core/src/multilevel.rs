@@ -165,6 +165,7 @@ pub(crate) fn multilevel_map_impl<S: TraceSink + ?Sized>(
                 &mut placement,
                 cfg,
                 faults_at(m),
+                None,
                 opts,
                 sink,
             )?);
@@ -176,7 +177,7 @@ pub(crate) fn multilevel_map_impl<S: TraceSink + ?Sized>(
                 ..FdRunOpts::default()
             };
             force_directed_impl(
-                graphs[gi], &mut placement, cfg, faults_at(m), &mut level_opts, sink,
+                graphs[gi], &mut placement, cfg, faults_at(m), None, &mut level_opts, sink,
             )?;
         } else {
             // Intermediate rung: budgeted FD over the dirty halo only.
@@ -192,7 +193,7 @@ pub(crate) fn multilevel_map_impl<S: TraceSink + ?Sized>(
                     ..FdRunOpts::default()
                 };
                 force_directed_impl(
-                    graphs[gi], &mut placement, cfg, faults_at(m), &mut level_opts, sink,
+                    graphs[gi], &mut placement, cfg, faults_at(m), None, &mut level_opts, sink,
                 )?;
             }
         }

@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use snnmap_hw::{Coord, CoreConstraints, FaultMap, HwError, Placement};
+use snnmap_hw::{Board, ChipId, Coord, CoreConstraints, FaultMap, HwError, Placement};
 use snnmap_model::Pcn;
 
 use crate::CoreError;
@@ -43,6 +43,17 @@ pub enum Violation {
         /// Its synapse count.
         synapses: u64,
     },
+    /// The cluster sits on a core of a chip the fault map marks entirely
+    /// dead (whole-chip loss — reported instead of the per-core
+    /// [`Violation::OnDeadCore`] so callers can tell chip loss apart).
+    OnDeadChip {
+        /// The stranded cluster.
+        cluster: u32,
+        /// The dead core it occupies.
+        coord: Coord,
+        /// The dead chip that core belongs to.
+        chip: ChipId,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -57,6 +68,9 @@ impl fmt::Display for Violation {
                 "cluster {cluster} at {coord} exceeds core capacity \
                  ({neurons} neurons, {synapses} synapses)"
             ),
+            Violation::OnDeadChip { cluster, coord, chip } => {
+                write!(f, "cluster {cluster} occupies core {coord} of dead chip {chip}")
+            }
         }
     }
 }
@@ -133,6 +147,61 @@ pub fn validate(
     Ok(ValidationReport { violations })
 }
 
+/// Checks `placement` against a multi-chip [`Board`]: completeness, the
+/// per-core capacity vectors ([`Board::constraints_at`]), dead cores and
+/// chip liveness. A cluster stranded on a core of an *entirely* dead chip
+/// is reported as [`Violation::OnDeadChip`]; a dead core on an otherwise
+/// live chip stays [`Violation::OnDeadCore`].
+///
+/// # Errors
+///
+/// As [`validate`], plus [`CoreError::InvalidRunOpts`] when the board
+/// covers a different mesh than the placement.
+pub fn validate_board(
+    pcn: &Pcn,
+    placement: &Placement,
+    faults: Option<&FaultMap>,
+    board: &Board,
+) -> Result<ValidationReport, CoreError> {
+    check_compatible(pcn, placement, faults)?;
+    if board.mesh() != placement.mesh() {
+        return Err(CoreError::InvalidRunOpts {
+            message: format!(
+                "board covers {} but placement targets {}",
+                board.mesh(),
+                placement.mesh()
+            ),
+        });
+    }
+    let dead_chips = match faults {
+        Some(fm) => fm.dead_chips(board),
+        None => Vec::new(),
+    };
+    let mut violations = Vec::new();
+    for c in 0..placement.len() {
+        let Some(coord) = placement.coord_of(c) else {
+            violations.push(Violation::Unplaced { cluster: c });
+            continue;
+        };
+        if let Some(fm) = faults {
+            if fm.is_dead(coord) {
+                let chip = board.chip_of(coord);
+                if dead_chips.binary_search(&chip).is_ok() {
+                    violations.push(Violation::OnDeadChip { cluster: c, coord, chip });
+                } else {
+                    violations.push(Violation::OnDeadCore { cluster: c, coord });
+                }
+            }
+        }
+        let neurons = pcn.neurons_in(c);
+        let synapses = pcn.synapses_in(c);
+        if !board.admits(coord, neurons, synapses) {
+            violations.push(Violation::CapacityExceeded { cluster: c, coord, neurons, synapses });
+        }
+    }
+    Ok(ValidationReport { violations })
+}
+
 /// One relocation performed by [`repair`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RepairMove {
@@ -181,7 +250,10 @@ pub fn repair(
     let mut outcome = RepairOutcome::default();
     for v in report.violations() {
         match *v {
-            Violation::OnDeadCore { cluster, coord } => {
+            // [`validate`] never reports OnDeadChip (that takes a board),
+            // but treat it like any dead core if a caller feeds one in.
+            Violation::OnDeadCore { cluster, coord }
+            | Violation::OnDeadChip { cluster, coord, .. } => {
                 let to = relocate(&mut staged, faults, cluster, coord)?;
                 outcome.moved.push(RepairMove { cluster, from: Some(coord), to });
             }
@@ -198,6 +270,172 @@ pub fn repair(
     }
     *placement = staged;
     Ok(outcome)
+}
+
+/// The typed degraded-mode outcome of [`repair_board`]: the board
+/// genuinely cannot absorb the surviving load, so the listed clusters
+/// were left unplaced rather than failing the whole repair. The demand
+/// and spare totals quantify the capacity shortfall: what the unplaced
+/// clusters need versus what the free healthy cores can still hold.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegradedPlacement {
+    /// Clusters left unplaced, in ascending cluster order.
+    pub unplaced: Vec<u32>,
+    /// Total neuron demand of the unplaced clusters.
+    pub demand_neurons: u64,
+    /// Total synapse demand of the unplaced clusters.
+    pub demand_synapses: u64,
+    /// Total neuron capacity of the remaining free healthy cores.
+    pub spare_neurons: u64,
+    /// Total synapse capacity of the remaining free healthy cores.
+    pub spare_synapses: u64,
+}
+
+impl fmt::Display for DegradedPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cluster(s) unplaced: demand {} neurons / {} synapses, \
+             spare {} neurons / {} synapses",
+            self.unplaced.len(),
+            self.demand_neurons,
+            self.demand_synapses,
+            self.spare_neurons,
+            self.spare_synapses
+        )
+    }
+}
+
+/// Capacity-aware [`repair`] against a multi-chip [`Board`]: clusters
+/// stranded on dead cores or chips (or overloading a core) relocate to
+/// the nearest free healthy core **that admits them** (Manhattan
+/// distance, then row-major index — fully deterministic), and unplaced
+/// clusters are placed next to their heaviest-traffic neighbour the same
+/// way.
+///
+/// Unlike [`repair`], running out of room is not an error: a cluster no
+/// remaining core can admit is left (or becomes) unplaced and recorded
+/// in the returned [`DegradedPlacement`], so whole-chip loss on a board
+/// without enough spare capacity degrades gracefully instead of killing
+/// the caller. The staged moves are still transactional — a typed error
+/// leaves `placement` untouched — and the degraded outcome commits the
+/// placeable subset.
+///
+/// # Errors
+///
+/// As [`validate_board`].
+pub fn repair_board(
+    pcn: &Pcn,
+    placement: &mut Placement,
+    faults: Option<&FaultMap>,
+    board: &Board,
+) -> Result<(RepairOutcome, Option<DegradedPlacement>), CoreError> {
+    let report = validate_board(pcn, placement, faults, board)?;
+    let mut staged = placement.clone();
+    let mut outcome = RepairOutcome::default();
+    let mut unplaced: Vec<u32> = Vec::new();
+    // A cluster can carry several violations at once (e.g. dead core and
+    // capacity overrun); one relocation fixes them all, so handle each
+    // cluster exactly once.
+    let mut handled = vec![false; placement.len() as usize];
+    for v in report.violations() {
+        let cluster = match *v {
+            Violation::Unplaced { cluster }
+            | Violation::OnDeadCore { cluster, .. }
+            | Violation::OnDeadChip { cluster, .. }
+            | Violation::CapacityExceeded { cluster, .. } => cluster,
+        };
+        if std::mem::replace(&mut handled[cluster as usize], true) {
+            continue;
+        }
+        match *v {
+            Violation::OnDeadCore { cluster, coord }
+            | Violation::OnDeadChip { cluster, coord, .. }
+            | Violation::CapacityExceeded { cluster, coord, .. } => {
+                let neurons = pcn.neurons_in(cluster);
+                let synapses = pcn.synapses_in(cluster);
+                match nearest_free_admitting(&staged, faults, board, coord, neurons, synapses)
+                {
+                    Some(to) => {
+                        staged.unplace(cluster)?;
+                        staged.place(cluster, to)?;
+                        outcome.moved.push(RepairMove { cluster, from: Some(coord), to });
+                    }
+                    None => {
+                        staged.unplace(cluster)?;
+                        unplaced.push(cluster);
+                        outcome.unrepaired.push(*v);
+                    }
+                }
+            }
+            Violation::Unplaced { cluster } => {
+                let anchor = anchor_for(pcn, &staged, cluster);
+                let neurons = pcn.neurons_in(cluster);
+                let synapses = pcn.synapses_in(cluster);
+                match nearest_free_admitting(&staged, faults, board, anchor, neurons, synapses)
+                {
+                    Some(to) => {
+                        staged.place(cluster, to)?;
+                        outcome.moved.push(RepairMove { cluster, from: None, to });
+                    }
+                    None => {
+                        unplaced.push(cluster);
+                        outcome.unrepaired.push(*v);
+                    }
+                }
+            }
+        }
+    }
+    let degraded = if unplaced.is_empty() {
+        None
+    } else {
+        unplaced.sort_unstable();
+        let (demand_neurons, demand_synapses) = unplaced.iter().fold((0u64, 0u64), |(n, s), &c| {
+            (n + u64::from(pcn.neurons_in(c)), s + pcn.synapses_in(c))
+        });
+        let (spare_neurons, spare_synapses) = board
+            .mesh()
+            .iter()
+            .filter(|&c| {
+                staged.cluster_at(c).is_none()
+                    && !staged.is_masked(c)
+                    && faults.map_or(true, |fm| !fm.is_dead(c))
+            })
+            .fold((0u64, 0u64), |(n, s), c| {
+                let con = board.constraints_at(c);
+                (n + u64::from(con.neurons_per_core), s + con.synapses_per_core)
+            });
+        Some(DegradedPlacement {
+            unplaced,
+            demand_neurons,
+            demand_synapses,
+            spare_neurons,
+            spare_synapses,
+        })
+    };
+    *placement = staged;
+    Ok((outcome, degraded))
+}
+
+/// The free healthy core nearest to `anchor` whose capacity vector
+/// admits the cluster (Manhattan distance, then row-major index).
+fn nearest_free_admitting(
+    placement: &Placement,
+    faults: Option<&FaultMap>,
+    board: &Board,
+    anchor: Coord,
+    neurons: u32,
+    synapses: u64,
+) -> Option<Coord> {
+    let mesh = placement.mesh();
+    mesh.iter()
+        .filter(|&c| {
+            placement.cluster_at(c).is_none()
+                && !placement.is_masked(c)
+                && faults.map_or(true, |fm| !fm.is_dead(c))
+                && board.admits(c, neurons, synapses)
+        })
+        .min_by_key(|&c| (c.manhattan(anchor), mesh.index_of(c)))
 }
 
 fn check_compatible(
@@ -356,7 +594,7 @@ mod tests {
         let pcn = pcn_with(2, 100, 10);
         let mesh = Mesh::new(2, 2).unwrap();
         let mut p = crate::hsc_placement(&pcn, mesh).unwrap();
-        let tight = CoreConstraints::new(50, 1_000);
+        let tight = CoreConstraints::new(50, 1_000).unwrap();
         let report = validate(&pcn, &p, None, Some(&tight)).unwrap();
         assert_eq!(report.violations().len(), 2);
         let outcome = repair(&pcn, &mut p, None, Some(&tight)).unwrap();

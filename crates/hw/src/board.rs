@@ -1,0 +1,534 @@
+//! Multi-chip board topology: a mesh of cores tiled into chips.
+//!
+//! Real systems from Table 1 of the paper are boards of chips — SpiNNaker
+//! has 18 cores per chip and a million chips, TrueNorth 4096 cores per
+//! chip across 64 chips. A [`Board`] overlays that structure onto the
+//! flat [`Mesh`] the mapper already understands: the mesh is partitioned
+//! into a `grid_rows × grid_cols` grid of chips, each chip a
+//! `chip_rows × chip_cols` block of cores. Links whose endpoints lie on
+//! different chips are *inter-chip* links — slower and more expensive
+//! than the on-chip mesh, which the NoC router penalizes and the FD
+//! engine's cost metrics can observe through [`Board::is_interchip`].
+//!
+//! Each core carries its own [`CoreConstraints`] capacity vector
+//! (uniform by default, per-core overridable), which the placement
+//! pipeline enforces: HSC init skips cores a cluster does not fit on and
+//! the FD candidate filter rejects moves that would exceed a budget.
+//!
+//! Determinism: a `Board` is plain data — chip ids, core iteration
+//! order, and capacity lookups are pure functions of the topology, so
+//! every consumer inherits the repo-wide bit-determinism guarantee.
+
+use std::fmt;
+
+use crate::{Coord, CoreConstraints, HwError, Mesh};
+
+/// Identifier of a chip on a board: its row-major index in the chip grid.
+pub type ChipId = u32;
+
+/// A multi-chip board: a [`Mesh`] tiled into a grid of chips with
+/// per-core capacity constraints.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::{Board, Coord, CoreConstraints};
+///
+/// // A 2x2 grid of 4x4-core chips: an 8x8 mesh of 4 chips.
+/// let board = Board::uniform(2, 2, 4, 4, CoreConstraints::new(64, 1024)?)?;
+/// assert_eq!(board.num_chips(), 4);
+/// assert_eq!(board.mesh().len(), 64);
+/// assert_eq!(board.chip_of(Coord::new(5, 2)), 2);
+/// assert!(board.is_interchip(Coord::new(3, 0), Coord::new(4, 0)));
+/// assert!(!board.is_interchip(Coord::new(2, 0), Coord::new(3, 0)));
+/// # Ok::<(), snnmap_hw::HwError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Board {
+    mesh: Mesh,
+    grid_rows: u16,
+    grid_cols: u16,
+    chip_rows: u16,
+    chip_cols: u16,
+    /// Capacity of every core without an override.
+    uniform: CoreConstraints,
+    /// Per-core overrides in row-major mesh order; empty means every core
+    /// uses `uniform` (the common case — kept empty so million-core
+    /// boards cost no per-core storage).
+    overrides: Vec<CoreConstraints>,
+}
+
+impl Board {
+    /// Creates a board of `grid_rows × grid_cols` chips, each a
+    /// `chip_rows × chip_cols` block of cores, every core carrying the
+    /// same capacity `constraints`.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidBoard`] when any dimension is zero or the
+    /// implied mesh side exceeds `u16::MAX`.
+    pub fn uniform(
+        grid_rows: u16,
+        grid_cols: u16,
+        chip_rows: u16,
+        chip_cols: u16,
+        constraints: CoreConstraints,
+    ) -> Result<Self, HwError> {
+        if grid_rows == 0 || grid_cols == 0 {
+            return Err(HwError::InvalidBoard {
+                message: format!("chip grid must be nonzero, got {grid_rows}x{grid_cols}"),
+            });
+        }
+        if chip_rows == 0 || chip_cols == 0 {
+            return Err(HwError::InvalidBoard {
+                message: format!("chip core block must be nonzero, got {chip_rows}x{chip_cols}"),
+            });
+        }
+        let rows = grid_rows as u32 * chip_rows as u32;
+        let cols = grid_cols as u32 * chip_cols as u32;
+        if rows > u16::MAX as u32 || cols > u16::MAX as u32 {
+            return Err(HwError::InvalidBoard {
+                message: format!(
+                    "board mesh {rows}x{cols} exceeds the u16 mesh side limit \
+                     ({grid_rows}x{grid_cols} chips of {chip_rows}x{chip_cols} cores)"
+                ),
+            });
+        }
+        let mesh = Mesh::new(rows as u16, cols as u16).map_err(|e| HwError::InvalidBoard {
+            message: format!("board mesh rejected: {e}"),
+        })?;
+        Ok(Self {
+            mesh,
+            grid_rows,
+            grid_cols,
+            chip_rows,
+            chip_cols,
+            uniform: constraints,
+            overrides: Vec::new(),
+        })
+    }
+
+    /// Parses a board spec string. Four forms are accepted:
+    ///
+    /// * `NAME` — a Table 1 platform preset at full published system
+    ///   scale, e.g. `truenorth` (64 chips of 64×64 cores),
+    /// * `NAME:GxH` — a preset chip scaled to an explicit `G × H` chip
+    ///   grid, e.g. `loihi:2x2`,
+    /// * `GxH/RxC` — a custom grid of `G × H` chips of `R × C` cores
+    ///   with the default (Table 2) per-core constraints,
+    /// * `GxH/RxC@NPC,SPC` — the same with explicit neurons/synapses
+    ///   per-core limits, e.g. `2x2/16x16@256,65536`.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidBoard`] for unknown presets or malformed specs,
+    /// [`HwError::ZeroCapacity`] for zero capacity limits.
+    pub fn parse(spec: &str) -> Result<Self, HwError> {
+        let bad = |message: String| HwError::InvalidBoard { message };
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err(bad("empty board spec".into()));
+        }
+        if let Some((dims, caps)) = spec.split_once('@') {
+            let (grid, chip) = split_grid_chip(dims)?;
+            let (npc, spc) = caps
+                .split_once(',')
+                .ok_or_else(|| bad(format!("expected `@NPC,SPC`, got `@{caps}`")))?;
+            let npc: u32 =
+                npc.trim().parse().map_err(|_| bad(format!("bad neurons/core `{npc}`")))?;
+            let spc: u64 =
+                spc.trim().parse().map_err(|_| bad(format!("bad synapses/core `{spc}`")))?;
+            let con = CoreConstraints::new(npc, spc)?;
+            return Board::uniform(grid.0, grid.1, chip.0, chip.1, con);
+        }
+        if spec.contains('/') {
+            let (grid, chip) = split_grid_chip(spec)?;
+            return Board::uniform(grid.0, grid.1, chip.0, chip.1, CoreConstraints::default());
+        }
+        if let Some((name, grid)) = spec.split_once(':') {
+            let preset = crate::presets::find(name)
+                .ok_or_else(|| bad(format!("unknown platform preset `{name}`")))?;
+            let (g, h) = parse_dims(grid)?;
+            return preset.board(g, h);
+        }
+        let preset = crate::presets::find(spec)
+            .ok_or_else(|| bad(format!("unknown platform preset `{spec}`")))?;
+        let (g, h) = near_square_grid(preset.chips_per_system)?;
+        preset.board(g, h)
+    }
+
+    /// The underlying core mesh.
+    #[inline]
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Chip grid rows.
+    #[inline]
+    pub fn grid_rows(&self) -> u16 {
+        self.grid_rows
+    }
+
+    /// Chip grid columns.
+    #[inline]
+    pub fn grid_cols(&self) -> u16 {
+        self.grid_cols
+    }
+
+    /// Core rows per chip.
+    #[inline]
+    pub fn chip_rows(&self) -> u16 {
+        self.chip_rows
+    }
+
+    /// Core columns per chip.
+    #[inline]
+    pub fn chip_cols(&self) -> u16 {
+        self.chip_cols
+    }
+
+    /// Number of chips on the board.
+    #[inline]
+    pub fn num_chips(&self) -> u32 {
+        self.grid_rows as u32 * self.grid_cols as u32
+    }
+
+    /// Cores per chip.
+    #[inline]
+    pub fn cores_per_chip(&self) -> usize {
+        self.chip_rows as usize * self.chip_cols as usize
+    }
+
+    /// The chip a core belongs to (row-major chip-grid index).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `c` is outside the mesh.
+    #[inline]
+    pub fn chip_of(&self, c: Coord) -> ChipId {
+        debug_assert!(self.mesh.contains(c), "coordinate {c} outside {}", self.mesh);
+        let cx = (c.x / self.chip_rows) as u32;
+        let cy = (c.y / self.chip_cols) as u32;
+        cx * self.grid_cols as u32 + cy
+    }
+
+    /// The chip of the core at row-major mesh index `idx`
+    /// (see [`Mesh::coord_of_index`]).
+    #[inline]
+    pub fn chip_of_index(&self, idx: usize) -> ChipId {
+        self.chip_of(self.mesh.coord_of_index(idx))
+    }
+
+    /// The top-left core of a chip.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidBoard`] when `chip` is outside the grid.
+    pub fn chip_origin(&self, chip: ChipId) -> Result<Coord, HwError> {
+        if chip >= self.num_chips() {
+            return Err(HwError::InvalidBoard {
+                message: format!("chip {chip} outside {}-chip board", self.num_chips()),
+            });
+        }
+        let cx = (chip / self.grid_cols as u32) as u16;
+        let cy = (chip % self.grid_cols as u32) as u16;
+        Ok(Coord::new(cx * self.chip_rows, cy * self.chip_cols))
+    }
+
+    /// Iterates the cores of a chip in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidBoard`] when `chip` is outside the grid.
+    pub fn cores_of(&self, chip: ChipId) -> Result<impl Iterator<Item = Coord> + '_, HwError> {
+        let origin = self.chip_origin(chip)?;
+        let (cr, cc) = (self.chip_rows, self.chip_cols);
+        Ok((0..cr).flat_map(move |dx| {
+            (0..cc).map(move |dy| Coord::new(origin.x + dx, origin.y + dy))
+        }))
+    }
+
+    /// The capacity constraints of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `c` is outside the mesh.
+    #[inline]
+    pub fn constraints_at(&self, c: Coord) -> CoreConstraints {
+        if self.overrides.is_empty() {
+            self.uniform
+        } else {
+            self.overrides[self.mesh.index_of(c)]
+        }
+    }
+
+    /// Overrides the capacity of one core (making the board
+    /// heterogeneous).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::OutOfBounds`] when `c` is outside the mesh.
+    pub fn set_constraints(&mut self, c: Coord, con: CoreConstraints) -> Result<(), HwError> {
+        if !self.mesh.contains(c) {
+            return Err(HwError::OutOfBounds { coord: c });
+        }
+        if self.overrides.is_empty() {
+            self.overrides = vec![self.uniform; self.mesh.len()];
+        }
+        self.overrides[self.mesh.index_of(c)] = con;
+        Ok(())
+    }
+
+    /// Whether a cluster of `neurons` neurons and `synapses` synapses
+    /// fits on the core at `c`.
+    #[inline]
+    pub fn admits(&self, c: Coord, neurons: u32, synapses: u64) -> bool {
+        self.constraints_at(c).admits(neurons, synapses)
+    }
+
+    /// Whether the link (or route segment) between two cores crosses a
+    /// chip boundary. Order-insensitive; the cores need not be adjacent.
+    #[inline]
+    pub fn is_interchip(&self, a: Coord, b: Coord) -> bool {
+        self.chip_of(a) != self.chip_of(b)
+    }
+
+    /// Total neuron and synapse capacity of one chip.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidBoard`] when `chip` is outside the grid.
+    pub fn chip_capacity(&self, chip: ChipId) -> Result<(u64, u64), HwError> {
+        if self.overrides.is_empty() {
+            self.chip_origin(chip)?;
+            let cores = self.cores_per_chip() as u64;
+            return Ok((
+                cores * self.uniform.neurons_per_core as u64,
+                cores.saturating_mul(self.uniform.synapses_per_core),
+            ));
+        }
+        let mut neurons = 0u64;
+        let mut synapses = 0u64;
+        for c in self.cores_of(chip)? {
+            let con = self.constraints_at(c);
+            neurons += con.neurons_per_core as u64;
+            synapses = synapses.saturating_add(con.synapses_per_core);
+        }
+        Ok((neurons, synapses))
+    }
+
+    /// Per-core capacity tables in row-major mesh order:
+    /// `(neuron_limits, synapse_limits)`. The FD engine's hot path indexes
+    /// these flat tables instead of calling [`Board::constraints_at`] per
+    /// candidate.
+    #[must_use]
+    pub fn capacity_tables(&self) -> (Vec<u32>, Vec<u64>) {
+        let n = self.mesh.len();
+        if self.overrides.is_empty() {
+            (vec![self.uniform.neurons_per_core; n], vec![self.uniform.synapses_per_core; n])
+        } else {
+            (
+                self.overrides.iter().map(|c| c.neurons_per_core).collect(),
+                self.overrides.iter().map(|c| c.synapses_per_core).collect(),
+            )
+        }
+    }
+
+    /// Row-major chip-id table: `table[mesh.index_of(c)] == chip_of(c)`.
+    #[must_use]
+    pub fn chip_table(&self) -> Vec<ChipId> {
+        (0..self.mesh.len()).map(|i| self.chip_of_index(i)).collect()
+    }
+
+    /// The capacity every core carries unless individually overridden.
+    #[inline]
+    pub fn uniform_constraints(&self) -> CoreConstraints {
+        self.uniform
+    }
+
+    /// Cores whose capacity differs from the uniform default, in
+    /// row-major mesh order (empty on homogeneous boards).
+    pub fn overridden_cores(&self) -> impl Iterator<Item = (Coord, CoreConstraints)> + '_ {
+        self.overrides
+            .iter()
+            .enumerate()
+            .filter(move |(_, con)| **con != self.uniform)
+            .map(move |(i, con)| (self.mesh.coord_of_index(i), *con))
+    }
+}
+
+impl fmt::Display for Board {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} chips of {}x{} cores ({})",
+            self.grid_rows, self.grid_cols, self.chip_rows, self.chip_cols, self.mesh
+        )
+    }
+}
+
+/// Parses `GxH` into `(G, H)`.
+fn parse_dims(s: &str) -> Result<(u16, u16), HwError> {
+    let bad = || HwError::InvalidBoard { message: format!("expected `GxH`, got `{s}`") };
+    let (a, b) = s.split_once(['x', 'X']).ok_or_else(bad)?;
+    let a: u16 = a.trim().parse().map_err(|_| bad())?;
+    let b: u16 = b.trim().parse().map_err(|_| bad())?;
+    Ok((a, b))
+}
+
+/// Chip-grid dims and core-block dims, as parsed from `GxH/RxC`.
+type GridChipDims = ((u16, u16), (u16, u16));
+
+/// Parses `GxH/RxC` into chip-grid and core-block dims.
+fn split_grid_chip(s: &str) -> Result<GridChipDims, HwError> {
+    let (grid, chip) = s.split_once('/').ok_or_else(|| HwError::InvalidBoard {
+        message: format!("expected `GxH/RxC`, got `{s}`"),
+    })?;
+    Ok((parse_dims(grid)?, parse_dims(chip)?))
+}
+
+/// The smallest near-square grid holding at least `n` items:
+/// `rows = ceil(sqrt(n))`, `cols = ceil(n / rows)`.
+pub(crate) fn near_square_grid(n: u64) -> Result<(u16, u16), HwError> {
+    if n == 0 {
+        return Err(HwError::InvalidBoard { message: "cannot grid zero items".into() });
+    }
+    let mut rows = ((n as f64).sqrt().floor() as u64).max(1);
+    while rows.checked_mul(rows).is_some_and(|sq| sq < n) {
+        rows += 1;
+    }
+    let cols = n.div_ceil(rows);
+    let rows = u16::try_from(rows)
+        .map_err(|_| HwError::InvalidBoard { message: format!("grid for {n} items overflows") })?;
+    let cols = u16::try_from(cols)
+        .map_err(|_| HwError::InvalidBoard { message: format!("grid for {n} items overflows") })?;
+    Ok((rows, cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn con(n: u32, s: u64) -> CoreConstraints {
+        CoreConstraints::new(n, s).unwrap()
+    }
+
+    fn board2x2() -> Board {
+        Board::uniform(2, 2, 4, 4, con(64, 1024)).unwrap()
+    }
+
+    #[test]
+    fn uniform_board_dimensions() {
+        let b = board2x2();
+        assert_eq!(b.mesh(), Mesh::new(8, 8).unwrap());
+        assert_eq!(b.num_chips(), 4);
+        assert_eq!(b.cores_per_chip(), 16);
+        assert_eq!(b.to_string(), "2x2 chips of 4x4 cores (8x8 mesh)");
+    }
+
+    #[test]
+    fn chip_ids_are_row_major_over_the_grid() {
+        let b = board2x2();
+        assert_eq!(b.chip_of(Coord::new(0, 0)), 0);
+        assert_eq!(b.chip_of(Coord::new(0, 4)), 1);
+        assert_eq!(b.chip_of(Coord::new(4, 0)), 2);
+        assert_eq!(b.chip_of(Coord::new(7, 7)), 3);
+        assert_eq!(b.chip_origin(2).unwrap(), Coord::new(4, 0));
+        assert!(b.chip_origin(4).is_err());
+        // Every core of chip k maps back to chip k.
+        for chip in 0..b.num_chips() {
+            let cores: Vec<Coord> = b.cores_of(chip).unwrap().collect();
+            assert_eq!(cores.len(), b.cores_per_chip());
+            assert!(cores.iter().all(|&c| b.chip_of(c) == chip));
+        }
+    }
+
+    #[test]
+    fn interchip_detection() {
+        let b = board2x2();
+        assert!(b.is_interchip(Coord::new(3, 0), Coord::new(4, 0)));
+        assert!(b.is_interchip(Coord::new(0, 3), Coord::new(0, 4)));
+        assert!(!b.is_interchip(Coord::new(0, 0), Coord::new(3, 3)));
+        assert!(b.is_interchip(Coord::new(0, 0), Coord::new(7, 7)));
+    }
+
+    #[test]
+    fn capacity_overrides() {
+        let mut b = board2x2();
+        assert!(b.admits(Coord::new(1, 1), 64, 1024));
+        assert!(!b.admits(Coord::new(1, 1), 65, 0));
+        b.set_constraints(Coord::new(1, 1), con(8, 8)).unwrap();
+        assert!(!b.admits(Coord::new(1, 1), 64, 1024));
+        assert!(b.admits(Coord::new(1, 2), 64, 1024));
+        assert!(b.set_constraints(Coord::new(9, 9), con(1, 1)).is_err());
+        let (cap_n, cap_s) = b.capacity_tables();
+        assert_eq!(cap_n[Mesh::new(8, 8).unwrap().index_of(Coord::new(1, 1))], 8);
+        assert_eq!(cap_s[0], 1024);
+        // Chip 0 lost 56 neurons of capacity to the override.
+        assert_eq!(b.chip_capacity(0).unwrap().0, 15 * 64 + 8);
+        assert_eq!(b.chip_capacity(3).unwrap(), (16 * 64, 16 * 1024));
+    }
+
+    #[test]
+    fn chip_table_matches_chip_of() {
+        let b = Board::uniform(2, 3, 3, 2, con(4, 4)).unwrap();
+        let table = b.chip_table();
+        for (i, &chip) in table.iter().enumerate() {
+            assert_eq!(chip, b.chip_of(b.mesh().coord_of_index(i)));
+        }
+        assert_eq!(table.iter().copied().max(), Some(b.num_chips() - 1));
+    }
+
+    #[test]
+    fn degenerate_boards_are_rejected() {
+        assert!(matches!(
+            Board::uniform(0, 2, 4, 4, con(1, 1)),
+            Err(HwError::InvalidBoard { .. })
+        ));
+        assert!(matches!(
+            Board::uniform(2, 2, 0, 4, con(1, 1)),
+            Err(HwError::InvalidBoard { .. })
+        ));
+        // 300 * 300 > u16::MAX mesh side.
+        assert!(matches!(
+            Board::uniform(300, 1, 300, 1, con(1, 1)),
+            Err(HwError::InvalidBoard { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_custom_specs() {
+        let b = Board::parse("2x2/4x4@64,1024").unwrap();
+        assert_eq!(b, board2x2());
+        let d = Board::parse("3x1/2x5").unwrap();
+        assert_eq!(d.mesh(), Mesh::new(6, 5).unwrap());
+        assert_eq!(d.constraints_at(Coord::new(0, 0)), CoreConstraints::default());
+        for bad in ["", "2x2", "2x2/4x4@64", "2x2/0x4", "ax2/4x4", "2x2/4x4@0,5"] {
+            assert!(Board::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn parse_presets() {
+        // TrueNorth chips are 4096 cores -> 64x64 blocks.
+        let tn = Board::parse("truenorth:2x2").unwrap();
+        assert_eq!(tn.mesh(), Mesh::new(128, 128).unwrap());
+        assert_eq!(tn.constraints_at(Coord::new(0, 0)).neurons_per_core, 256);
+        // Bare preset = full published system: 64 TrueNorth chips -> 8x8 grid.
+        let full = Board::parse("TrueNorth").unwrap();
+        assert_eq!(full.num_chips(), 64);
+        assert_eq!(full.mesh(), Mesh::new(512, 512).unwrap());
+        assert!(Board::parse("nocortex:2x2").is_err());
+        assert!(Board::parse("nocortex").is_err());
+    }
+
+    #[test]
+    fn near_square_grids() {
+        assert_eq!(near_square_grid(1).unwrap(), (1, 1));
+        assert_eq!(near_square_grid(4).unwrap(), (2, 2));
+        assert_eq!(near_square_grid(18).unwrap(), (5, 4));
+        assert_eq!(near_square_grid(768).unwrap(), (28, 28));
+        assert!(near_square_grid(0).is_err());
+        assert!(near_square_grid(u64::MAX).is_err());
+    }
+}

@@ -4,6 +4,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::HwError;
+
 /// Per-core capacity limits, `CON_npc` and `CON_spc` in §3.1 of the paper.
 ///
 /// `CON_npc` is the maximum number of neurons a core can simulate and
@@ -16,9 +18,10 @@ use serde::{Deserialize, Serialize};
 /// ```
 /// use snnmap_hw::CoreConstraints;
 ///
-/// let con = CoreConstraints::new(4096, 64 * 1024);
+/// let con = CoreConstraints::new(4096, 64 * 1024)?;
 /// assert!(con.admits(4096, 65536));
 /// assert!(!con.admits(4097, 10));
+/// # Ok::<(), snnmap_hw::HwError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CoreConstraints {
@@ -31,16 +34,16 @@ pub struct CoreConstraints {
 impl CoreConstraints {
     /// Creates a constraint set.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either limit is zero: a core that can hold nothing makes
-    /// every SNN unmappable and is always a configuration bug.
-    pub fn new(neurons_per_core: u32, synapses_per_core: u64) -> Self {
-        assert!(
-            neurons_per_core > 0 && synapses_per_core > 0,
-            "per-core capacities must be nonzero"
-        );
-        Self { neurons_per_core, synapses_per_core }
+    /// Returns [`HwError::ZeroCapacity`] if either limit is zero: a core
+    /// that can hold nothing makes every SNN unmappable and is always a
+    /// configuration bug.
+    pub fn new(neurons_per_core: u32, synapses_per_core: u64) -> Result<Self, HwError> {
+        if neurons_per_core == 0 || synapses_per_core == 0 {
+            return Err(HwError::ZeroCapacity { neurons_per_core, synapses_per_core });
+        }
+        Ok(Self { neurons_per_core, synapses_per_core })
     }
 
     /// Whether a cluster with `neurons` neurons and `synapses` stored
@@ -55,7 +58,7 @@ impl Default for CoreConstraints {
     /// The paper's target hardware (Table 2): 4096 neurons and 64 K synapses
     /// per core.
     fn default() -> Self {
-        Self::new(4096, 64 * 1024)
+        Self { neurons_per_core: 4096, synapses_per_core: 64 * 1024 }
     }
 }
 
@@ -106,20 +109,25 @@ pub struct CostModel {
 impl CostModel {
     /// Creates a cost model from the four constants.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any constant is negative or non-finite.
-    pub fn new(en_r: f64, en_w: f64, l_r: f64, l_w: f64) -> Self {
+    /// Returns [`HwError::InvalidCostModel`] if any constant is negative
+    /// or non-finite.
+    pub fn new(en_r: f64, en_w: f64, l_r: f64, l_w: f64) -> Result<Self, HwError> {
         for (name, v) in [("EN_r", en_r), ("EN_w", en_w), ("L_r", l_r), ("L_w", l_w)] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and nonnegative, got {v}");
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(HwError::InvalidCostModel {
+                    message: format!("{name} must be finite and nonnegative, got {v}"),
+                });
+            }
         }
-        Self { en_r, en_w, l_r, l_w }
+        Ok(Self { en_r, en_w, l_r, l_w })
     }
 
     /// The paper's target hardware constants (Table 2):
     /// `EN_r = 1`, `EN_w = 0.1`, `L_r = 1`, `L_w = 0.01`.
     pub fn paper_target() -> Self {
-        Self::new(1.0, 0.1, 1.0, 0.01)
+        Self { en_r: 1.0, en_w: 0.1, l_r: 1.0, l_w: 0.01 }
     }
 
     /// Energy of one spike travelling `hops` mesh hops:
@@ -159,7 +167,7 @@ mod tests {
 
     #[test]
     fn constraints_admit_boundary() {
-        let con = CoreConstraints::new(10, 100);
+        let con = CoreConstraints::new(10, 100).unwrap();
         assert!(con.admits(10, 100));
         assert!(con.admits(0, 0));
         assert!(!con.admits(11, 100));
@@ -167,9 +175,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "nonzero")]
     fn constraints_reject_zero() {
-        let _ = CoreConstraints::new(0, 100);
+        assert!(matches!(
+            CoreConstraints::new(0, 100),
+            Err(HwError::ZeroCapacity { neurons_per_core: 0, synapses_per_core: 100 })
+        ));
+        assert!(matches!(
+            CoreConstraints::new(100, 0),
+            Err(HwError::ZeroCapacity { neurons_per_core: 100, synapses_per_core: 0 })
+        ));
     }
 
     #[test]
@@ -192,14 +206,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "finite")]
-    fn cost_model_rejects_nan() {
-        let _ = CostModel::new(f64::NAN, 0.1, 1.0, 0.01);
+    fn cost_model_rejects_bad_constants() {
+        for (en_r, en_w) in [(f64::NAN, 0.1), (f64::INFINITY, 0.1), (1.0, -0.1)] {
+            assert!(matches!(
+                CostModel::new(en_r, en_w, 1.0, 0.01),
+                Err(HwError::InvalidCostModel { .. })
+            ));
+        }
+        assert!(CostModel::new(0.0, 0.0, 0.0, 0.0).is_ok());
     }
 
     #[test]
     fn displays() {
-        assert_eq!(CoreConstraints::new(4, 5).to_string(), "4 neurons/core, 5 synapses/core");
+        let con = CoreConstraints::new(4, 5).unwrap();
+        assert_eq!(con.to_string(), "4 neurons/core, 5 synapses/core");
         assert!(CostModel::paper_target().to_string().contains("EN_r=1"));
     }
 }

@@ -75,6 +75,25 @@ pub enum HwError {
         /// What was wrong.
         message: String,
     },
+    /// A per-core capacity limit was zero: a core that can hold nothing
+    /// makes every SNN unmappable and is always a configuration bug.
+    ZeroCapacity {
+        /// Requested `CON_npc`.
+        neurons_per_core: u32,
+        /// Requested `CON_spc`.
+        synapses_per_core: u64,
+    },
+    /// A cost-model constant was negative or non-finite.
+    InvalidCostModel {
+        /// What was wrong.
+        message: String,
+    },
+    /// A board topology or board spec string was malformed (zero chip
+    /// grid, mesh overflow, unknown preset, …).
+    InvalidBoard {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for HwError {
@@ -109,6 +128,19 @@ impl fmt::Display for HwError {
             HwError::InvalidFaultSpec { message } => {
                 write!(f, "invalid fault specification: {message}")
             }
+            HwError::ZeroCapacity { neurons_per_core, synapses_per_core } => {
+                write!(
+                    f,
+                    "per-core capacities must be nonzero, got {neurons_per_core} \
+                     neurons/core and {synapses_per_core} synapses/core"
+                )
+            }
+            HwError::InvalidCostModel { message } => {
+                write!(f, "invalid cost model: {message}")
+            }
+            HwError::InvalidBoard { message } => {
+                write!(f, "invalid board: {message}")
+            }
         }
     }
 }
@@ -133,6 +165,9 @@ mod tests {
             HwError::FaultyCore { coord: Coord::new(2, 2) },
             HwError::NotAdjacent { a: Coord::new(0, 0), b: Coord::new(2, 2) },
             HwError::InvalidFaultSpec { message: "rate out of range".into() },
+            HwError::ZeroCapacity { neurons_per_core: 0, synapses_per_core: 64 },
+            HwError::InvalidCostModel { message: "EN_r must be finite, got NaN".into() },
+            HwError::InvalidBoard { message: "chip grid must be nonzero".into() },
         ];
         for e in errs {
             let msg = e.to_string();

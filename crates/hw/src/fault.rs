@@ -20,6 +20,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::board::{Board, ChipId};
 use crate::{Coord, HwError, Mesh};
 
 /// A canonical undirected mesh link: the two endpoints in sorted order.
@@ -183,6 +184,69 @@ impl FaultMap {
     /// Iterates healthy cores in row-major mesh order.
     pub fn healthy_iter(&self) -> impl Iterator<Item = Coord> + '_ {
         self.mesh.iter().filter(|&c| !self.dead[self.mesh.index_of(c)])
+    }
+
+    /// Marks every core of one chip dead — whole-chip loss (a failed
+    /// power domain, an unseated module, a chip-level ECC fault).
+    /// Idempotent per core; returns how many cores *newly* died, so a
+    /// second kill of the same chip returns 0.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidFaultSpec`] when the board describes a different
+    /// mesh than this fault map, or the chip id is outside the board.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snnmap_hw::{Board, CoreConstraints, FaultMap};
+    ///
+    /// let board = Board::uniform(2, 2, 4, 4, CoreConstraints::new(64, 1024)?)?;
+    /// let mut faults = FaultMap::new(board.mesh());
+    /// assert_eq!(faults.kill_chip(&board, 3)?, 16);
+    /// assert_eq!(faults.kill_chip(&board, 3)?, 0);
+    /// assert!(faults.is_chip_dead(&board, 3));
+    /// assert_eq!(faults.dead_chips(&board), vec![3]);
+    /// # Ok::<(), snnmap_hw::HwError>(())
+    /// ```
+    pub fn kill_chip(&mut self, board: &Board, chip: ChipId) -> Result<u32, HwError> {
+        if board.mesh() != self.mesh {
+            return Err(HwError::InvalidFaultSpec {
+                message: format!(
+                    "board covers {} but fault map describes {}",
+                    board.mesh(),
+                    self.mesh
+                ),
+            });
+        }
+        if chip >= board.num_chips() {
+            return Err(HwError::InvalidFaultSpec {
+                message: format!("chip {chip} outside {}-chip board", board.num_chips()),
+            });
+        }
+        let before = self.n_dead;
+        for c in board.cores_of(chip).expect("chip id checked above") {
+            self.kill_core(c)?;
+        }
+        Ok(self.n_dead - before)
+    }
+
+    /// Whether *every* core of a chip is dead. Out-of-board chips read as
+    /// dead: they are equally unusable.
+    pub fn is_chip_dead(&self, board: &Board, chip: ChipId) -> bool {
+        if board.mesh() != self.mesh || chip >= board.num_chips() {
+            return true;
+        }
+        board.cores_of(chip).map_or(true, |mut cores| cores.all(|c| self.is_dead(c)))
+    }
+
+    /// The chips whose cores are all dead, in ascending chip-id order
+    /// (deterministic). Empty when the board mesh does not match.
+    pub fn dead_chips(&self, board: &Board) -> Vec<ChipId> {
+        if board.mesh() != self.mesh {
+            return Vec::new();
+        }
+        (0..board.num_chips()).filter(|&chip| self.is_chip_dead(board, chip)).collect()
     }
 
     /// The faults present in `self` but not in `earlier`: what broke since
@@ -569,6 +633,38 @@ mod tests {
         let a = FaultMap::new(mesh4());
         let b = FaultMap::new(Mesh::new(3, 3).unwrap());
         assert!(matches!(a.diff(&b), Err(HwError::InvalidFaultSpec { .. })));
+    }
+
+    #[test]
+    fn kill_chip_kills_exactly_one_block() {
+        let board = Board::uniform(2, 2, 2, 2, crate::CoreConstraints::default()).unwrap();
+        let mut m = FaultMap::new(board.mesh());
+        assert_eq!(m.kill_chip(&board, 1).unwrap(), 4);
+        assert_eq!(m.num_dead_cores(), 4);
+        assert!(m.is_chip_dead(&board, 1));
+        assert!(!m.is_chip_dead(&board, 0));
+        assert_eq!(m.dead_chips(&board), vec![1]);
+        // Chip 1 of a 2x2 grid of 2x2 chips is the top-right 2x2 block.
+        for c in board.mesh().iter() {
+            assert_eq!(m.is_dead(c), c.x < 2 && c.y >= 2, "core {c}");
+        }
+        // Idempotent; overlapping single-core damage still counts once.
+        assert_eq!(m.kill_chip(&board, 1).unwrap(), 0);
+        m.kill_core(Coord::new(2, 0)).unwrap();
+        assert_eq!(m.kill_chip(&board, 2).unwrap(), 3);
+        assert_eq!(m.dead_chips(&board), vec![1, 2]);
+    }
+
+    #[test]
+    fn kill_chip_rejects_bad_specs() {
+        let board = Board::uniform(2, 2, 2, 2, crate::CoreConstraints::default()).unwrap();
+        let mut m = FaultMap::new(board.mesh());
+        assert!(matches!(m.kill_chip(&board, 4), Err(HwError::InvalidFaultSpec { .. })));
+        let mut other = FaultMap::new(Mesh::new(3, 3).unwrap());
+        assert!(matches!(other.kill_chip(&board, 0), Err(HwError::InvalidFaultSpec { .. })));
+        // Mismatched meshes read as dead / report nothing rather than lying.
+        assert!(other.is_chip_dead(&board, 0));
+        assert!(other.dead_chips(&board).is_empty());
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! * [`CostModel`] — the interconnect energy/latency constants
 //!   `EN_r`, `EN_w`, `L_r`, `L_w` (Table 2),
 //! * [`Placement`] — an injective map from cluster indices to cores,
-//! * [`FaultMap`] / [`FaultInjector`] — defective cores and mesh links,
-//!   plus seeded deterministic fault generation,
+//! * [`FaultMap`] / [`FaultInjector`] — defective cores, mesh links, and
+//!   whole chips, plus seeded deterministic fault generation,
+//! * [`Board`] — a multi-chip topology: the mesh tiled into chips with
+//!   per-core capacity vectors and expensive inter-chip links,
 //! * [`presets`] — the platforms of Table 1 and the paper's target hardware.
 //!
 //! # Examples
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod board;
 mod constraints;
 mod error;
 mod fault;
@@ -42,6 +45,7 @@ mod mesh;
 mod placement;
 pub mod presets;
 
+pub use board::{Board, ChipId};
 pub use constraints::{CoreConstraints, CostModel};
 pub use error::HwError;
 pub use fault::{FaultDelta, FaultInjector, FaultMap, FaultPattern, Link};

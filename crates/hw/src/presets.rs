@@ -5,7 +5,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CoreConstraints, CostModel};
+use crate::board::near_square_grid;
+use crate::{Board, CoreConstraints, CostModel, HwError};
 
 /// The capacity profile of a published neuromorphic platform, one row of
 /// Table 1.
@@ -56,8 +57,65 @@ impl PlatformSpec {
     }
 
     /// Per-core constraints for partitioning against this platform.
+    ///
+    /// Constructed as a literal: every Table 1 row has nonzero limits, so
+    /// this cannot fail for the built-in presets.
     pub fn core_constraints(&self) -> CoreConstraints {
-        CoreConstraints::new(self.neurons_per_core, self.synapses_per_core)
+        CoreConstraints {
+            neurons_per_core: self.neurons_per_core,
+            synapses_per_core: self.synapses_per_core,
+        }
+    }
+
+    /// The core block modelling one chip of this platform: the smallest
+    /// near-square `R × C` grid with `R · C ≥ cores_per_chip` (Table 1
+    /// reports a count, not a layout; e.g. SpiNNaker's 18 cores become a
+    /// 5 × 4 block).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidBoard`] when `cores_per_chip` is zero.
+    pub fn chip_dims(&self) -> Result<(u16, u16), HwError> {
+        near_square_grid(self.cores_per_chip as u64)
+    }
+
+    /// Builds a [`Board`] of `grid_rows × grid_cols` chips of this
+    /// platform, each chip a [`PlatformSpec::chip_dims`] core block with
+    /// this platform's per-core constraints.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidBoard`] for a degenerate grid or a mesh that
+    /// overflows the `u16` side limit; [`HwError::ZeroCapacity`] if the
+    /// spec carries zero per-core limits.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use snnmap_hw::presets;
+    ///
+    /// // 2x2 Loihi chips: each chip is 1024 cores = a 32x32 block.
+    /// let board = presets::loihi().board(2, 2)?;
+    /// assert_eq!(board.mesh().len(), 4 * 1024);
+    /// assert_eq!(board.num_chips(), 4);
+    /// # Ok::<(), snnmap_hw::HwError>(())
+    /// ```
+    pub fn board(&self, grid_rows: u16, grid_cols: u16) -> Result<Board, HwError> {
+        let (cr, cc) = self.chip_dims()?;
+        let con = CoreConstraints::new(self.neurons_per_core, self.synapses_per_core)?;
+        Board::uniform(grid_rows, grid_cols, cr, cc, con)
+    }
+
+    /// The board of the largest published system of this platform
+    /// (`chips_per_system` chips in a near-square grid).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::InvalidBoard`] when the full system overflows the
+    /// `u16` mesh side limit.
+    pub fn system_board(&self) -> Result<Board, HwError> {
+        let (g, h) = near_square_grid(self.chips_per_system)?;
+        self.board(g, h)
     }
 }
 
@@ -146,11 +204,26 @@ pub fn all_platforms() -> Vec<PlatformSpec> {
     vec![dynaps(), brainscales(), loihi(), spinnaker(), truenorth()]
 }
 
+/// Looks a platform up by name, case-insensitively.
+///
+/// # Examples
+///
+/// ```
+/// use snnmap_hw::presets;
+///
+/// assert_eq!(presets::find("TrueNorth"), Some(presets::truenorth()));
+/// assert_eq!(presets::find("truenorth"), Some(presets::truenorth()));
+/// assert_eq!(presets::find("hal9000"), None);
+/// ```
+pub fn find(name: &str) -> Option<PlatformSpec> {
+    all_platforms().into_iter().find(|p| p.name.eq_ignore_ascii_case(name.trim()))
+}
+
 /// The abstract target hardware the paper evaluates on (Table 2):
 /// `CON_npc = 4096`, `CON_spc = 64 K`, `EN_r = 1`, `EN_w = 0.1`,
 /// `L_r = 1`, `L_w = 0.01`.
 pub fn paper_target() -> (CoreConstraints, CostModel) {
-    (CoreConstraints::new(4096, 64 * 1024), CostModel::paper_target())
+    (CoreConstraints::default(), CostModel::paper_target())
 }
 
 #[cfg(test)]
@@ -198,5 +271,43 @@ mod tests {
         let c = loihi().core_constraints();
         assert_eq!(c.neurons_per_core, 128);
         assert_eq!(c.synapses_per_core, 500_000);
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(find("LOIHI"), Some(loihi()));
+        assert_eq!(find(" spinnaker "), Some(spinnaker()));
+        assert_eq!(find("loihi2"), None);
+    }
+
+    #[test]
+    fn chip_dims_cover_cores_per_chip() {
+        for p in all_platforms() {
+            let (r, c) = p.chip_dims().unwrap();
+            let cores = r as u64 * c as u64;
+            assert!(cores >= p.cores_per_chip as u64, "{}: {r}x{c}", p.name);
+            // Never more than one extra row's worth of over-provisioning.
+            assert!(cores - (p.cores_per_chip as u64) < r as u64, "{}: {r}x{c}", p.name);
+        }
+        assert_eq!(spinnaker().chip_dims().unwrap(), (5, 4));
+        assert_eq!(truenorth().chip_dims().unwrap(), (64, 64));
+        assert_eq!(dynaps().chip_dims().unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn preset_boards_carry_table1_capacities() {
+        let b = truenorth().board(2, 3).unwrap();
+        assert_eq!(b.num_chips(), 6);
+        assert_eq!(b.mesh().len(), 6 * 4096);
+        let con = b.constraints_at(crate::Coord::new(0, 0));
+        assert_eq!(con.neurons_per_core, 256);
+        assert_eq!(con.synapses_per_core, 262_144);
+        // DYNAPs' full published system is 4 one-core chips.
+        let full = dynaps().system_board().unwrap();
+        assert_eq!(full.num_chips(), 4);
+        assert_eq!(full.mesh().len(), 4);
+        // SpiNNaker's million-chip system overflows no u16 but is huge.
+        let spin = spinnaker().system_board().unwrap();
+        assert_eq!(spin.num_chips(), 1_000_000);
     }
 }

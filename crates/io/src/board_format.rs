@@ -1,0 +1,184 @@
+//! Board-topology JSON serialization.
+//!
+//! The rendered document is fully deterministic: the chip grid, the
+//! uniform per-core capacity, and any per-core overrides sorted in
+//! row-major mesh order, so equal boards always render to byte-identical
+//! JSON.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use snnmap_hw::{Board, Coord, CoreConstraints};
+
+use crate::limits::MAX_MESH_CORES;
+use crate::IoError;
+
+/// The JSON document shape for a board topology.
+#[derive(Debug, Serialize, Deserialize)]
+struct BoardDoc {
+    format: String,
+    /// Chip-grid dimensions.
+    grid_rows: u16,
+    grid_cols: u16,
+    /// Per-chip core-block dimensions.
+    chip_rows: u16,
+    chip_cols: u16,
+    /// Uniform per-core capacity.
+    neurons_per_core: u32,
+    synapses_per_core: u64,
+    /// Heterogeneous per-core overrides, row-major.
+    overrides: Vec<OverrideDoc>,
+}
+
+/// One per-core capacity override.
+#[derive(Debug, Serialize, Deserialize)]
+struct OverrideDoc {
+    x: u16,
+    y: u16,
+    neurons: u32,
+    synapses: u64,
+}
+
+/// Renders a board as pretty-printed JSON (byte-identical for equal
+/// boards).
+pub fn render_board(board: &Board) -> String {
+    let uniform = board.uniform_constraints();
+    let doc = BoardDoc {
+        format: "snnmap-board-v1".to_string(),
+        grid_rows: board.grid_rows(),
+        grid_cols: board.grid_cols(),
+        chip_rows: board.chip_rows(),
+        chip_cols: board.chip_cols(),
+        neurons_per_core: uniform.neurons_per_core,
+        synapses_per_core: uniform.synapses_per_core,
+        overrides: board
+            .overridden_cores()
+            .map(|(c, con)| OverrideDoc {
+                x: c.x,
+                y: c.y,
+                neurons: con.neurons_per_core,
+                synapses: con.synapses_per_core,
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("board doc always serializes")
+}
+
+/// Parses a board from JSON.
+///
+/// # Errors
+///
+/// [`IoError::Json`] for malformed JSON; [`IoError::Invalid`] for a wrong
+/// format tag, zero or bomb-sized dimensions (see
+/// [`crate::MAX_MESH_CORES`]), zero capacity limits, or out-of-mesh
+/// override coordinates.
+pub fn parse_board(text: &str) -> Result<Board, IoError> {
+    crate::dupkey::reject_duplicate_keys(text)?;
+    let doc: BoardDoc = serde_json::from_str(text)?;
+    if doc.format != "snnmap-board-v1" {
+        return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });
+    }
+    let area = doc.grid_rows as usize
+        * doc.grid_cols as usize
+        * doc.chip_rows as usize
+        * doc.chip_cols as usize;
+    if area > MAX_MESH_CORES {
+        return Err(IoError::Invalid {
+            message: format!(
+                "board of {}x{} chips of {}x{} cores ({area} cores) exceeds the \
+                 supported maximum of {MAX_MESH_CORES}",
+                doc.grid_rows, doc.grid_cols, doc.chip_rows, doc.chip_cols
+            ),
+        });
+    }
+    let uniform = CoreConstraints::new(doc.neurons_per_core, doc.synapses_per_core)
+        .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    let mut board =
+        Board::uniform(doc.grid_rows, doc.grid_cols, doc.chip_rows, doc.chip_cols, uniform)
+            .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    for o in doc.overrides {
+        let con = CoreConstraints::new(o.neurons, o.synapses)
+            .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+        board
+            .set_constraints(Coord::new(o.x, o.y), con)
+            .map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    }
+    Ok(board)
+}
+
+/// Reads a board from a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] plus all [`parse_board`] errors.
+pub fn read_board(path: &Path) -> Result<Board, IoError> {
+    parse_board(&fs::read_to_string(path)?)
+}
+
+/// Writes a board to a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] for filesystem failures.
+pub fn write_board(path: &Path, board: &Board) -> Result<(), IoError> {
+    Ok(fs::write(path, render_board(board))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Board {
+        let mut b =
+            Board::uniform(2, 3, 4, 4, CoreConstraints::new(256, 65536).unwrap()).unwrap();
+        b.set_constraints(Coord::new(1, 2), CoreConstraints::new(64, 1024).unwrap()).unwrap();
+        b.set_constraints(Coord::new(7, 11), CoreConstraints::new(512, 2048).unwrap()).unwrap();
+        b
+    }
+
+    #[test]
+    fn roundtrip_preserves_topology_and_overrides() {
+        let b = sample();
+        let back = parse_board(&render_board(&b)).unwrap();
+        assert_eq!(b, back);
+        assert_eq!(back.constraints_at(Coord::new(1, 2)).neurons_per_core, 64);
+        assert_eq!(back.constraints_at(Coord::new(0, 0)).neurons_per_core, 256);
+    }
+
+    #[test]
+    fn rendering_is_byte_deterministic() {
+        assert_eq!(render_board(&sample()), render_board(&sample()));
+    }
+
+    #[test]
+    fn preset_boards_roundtrip() {
+        let b = Board::parse("2x2/16x16@256,65536").unwrap();
+        assert_eq!(parse_board(&render_board(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(matches!(parse_board("not json"), Err(IoError::Json(_))));
+        let wrong_tag = r#"{"format":"nope","grid_rows":1,"grid_cols":1,"chip_rows":2,"chip_cols":2,"neurons_per_core":1,"synapses_per_core":1,"overrides":[]}"#;
+        assert!(matches!(parse_board(wrong_tag), Err(IoError::Invalid { .. })));
+        let zero_cap = r#"{"format":"snnmap-board-v1","grid_rows":1,"grid_cols":1,"chip_rows":2,"chip_cols":2,"neurons_per_core":0,"synapses_per_core":1,"overrides":[]}"#;
+        assert!(matches!(parse_board(zero_cap), Err(IoError::Invalid { .. })));
+        let bomb = r#"{"format":"snnmap-board-v1","grid_rows":4096,"grid_cols":4096,"chip_rows":64,"chip_cols":64,"neurons_per_core":1,"synapses_per_core":1,"overrides":[]}"#;
+        assert!(matches!(parse_board(bomb), Err(IoError::Invalid { .. })));
+        let bad_override = r#"{"format":"snnmap-board-v1","grid_rows":1,"grid_cols":1,"chip_rows":2,"chip_cols":2,"neurons_per_core":4,"synapses_per_core":4,"overrides":[{"x":9,"y":9,"neurons":1,"synapses":1}]}"#;
+        assert!(matches!(parse_board(bad_override), Err(IoError::Invalid { .. })));
+        let dup = r#"{"format":"snnmap-board-v1","format":"snnmap-board-v1","grid_rows":1,"grid_cols":1,"chip_rows":2,"chip_cols":2,"neurons_per_core":4,"synapses_per_core":4,"overrides":[]}"#;
+        assert!(matches!(parse_board(dup), Err(IoError::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("snnmap_io_board_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("board.json");
+        let b = sample();
+        write_board(&path, &b).unwrap();
+        assert_eq!(read_board(&path).unwrap(), b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Degraded-placement JSON serialization.
+//!
+//! A [`DegradedPlacement`] is the typed result a board-aware repair
+//! returns when the surviving capacity cannot absorb a dead chip's load
+//! (see `snnmap_core::repair_board`). Operators and CI consume it as
+//! JSON; the rendering is fully deterministic — unplaced clusters are
+//! sorted ascending by the producer — so equal outcomes are
+//! byte-identical on disk.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use snnmap_core::DegradedPlacement;
+
+use crate::limits::MAX_CLUSTERS;
+use crate::IoError;
+
+/// The JSON document shape for a degraded-placement report.
+#[derive(Debug, Serialize, Deserialize)]
+struct DegradedDoc {
+    format: String,
+    /// Clusters left unplaced, ascending.
+    unplaced: Vec<u32>,
+    /// Total neuron demand of the unplaced clusters.
+    demand_neurons: u64,
+    /// Total synapse demand of the unplaced clusters.
+    demand_synapses: u64,
+    /// Total neuron capacity of free healthy cores.
+    spare_neurons: u64,
+    /// Total synapse capacity of free healthy cores.
+    spare_synapses: u64,
+}
+
+/// Renders a degraded-placement report as pretty-printed JSON
+/// (byte-identical for equal reports).
+pub fn render_degraded(degraded: &DegradedPlacement) -> String {
+    let doc = DegradedDoc {
+        format: "snnmap-degraded-v1".to_string(),
+        unplaced: degraded.unplaced.clone(),
+        demand_neurons: degraded.demand_neurons,
+        demand_synapses: degraded.demand_synapses,
+        spare_neurons: degraded.spare_neurons,
+        spare_synapses: degraded.spare_synapses,
+    };
+    serde_json::to_string_pretty(&doc).expect("degraded doc always serializes")
+}
+
+/// Parses a degraded-placement report from JSON.
+///
+/// # Errors
+///
+/// [`IoError::Json`] for malformed JSON; [`IoError::Invalid`] for a
+/// wrong format tag, an unsorted or duplicated cluster list, or a
+/// bomb-sized one (see [`crate::MAX_CLUSTERS`]).
+pub fn parse_degraded(text: &str) -> Result<DegradedPlacement, IoError> {
+    crate::dupkey::reject_duplicate_keys(text)?;
+    let doc: DegradedDoc = serde_json::from_str(text)?;
+    if doc.format != "snnmap-degraded-v1" {
+        return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });
+    }
+    if doc.unplaced.len() > MAX_CLUSTERS {
+        return Err(IoError::Invalid {
+            message: format!(
+                "{} unplaced clusters exceeds the supported maximum of {MAX_CLUSTERS}",
+                doc.unplaced.len()
+            ),
+        });
+    }
+    if doc.unplaced.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(IoError::Invalid {
+            message: "unplaced cluster list must be strictly ascending".to_string(),
+        });
+    }
+    Ok(DegradedPlacement {
+        unplaced: doc.unplaced,
+        demand_neurons: doc.demand_neurons,
+        demand_synapses: doc.demand_synapses,
+        spare_neurons: doc.spare_neurons,
+        spare_synapses: doc.spare_synapses,
+    })
+}
+
+/// Reads a degraded-placement report from a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] plus all [`parse_degraded`] errors.
+pub fn read_degraded(path: &Path) -> Result<DegradedPlacement, IoError> {
+    parse_degraded(&fs::read_to_string(path)?)
+}
+
+/// Writes a degraded-placement report to a JSON file.
+///
+/// # Errors
+///
+/// [`IoError::Io`] for filesystem failures.
+pub fn write_degraded(path: &Path, degraded: &DegradedPlacement) -> Result<(), IoError> {
+    Ok(fs::write(path, render_degraded(degraded))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DegradedPlacement {
+        DegradedPlacement {
+            unplaced: vec![3, 7, 42],
+            demand_neurons: 900,
+            demand_synapses: 120_000,
+            spare_neurons: 256,
+            spare_synapses: 4096,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = sample();
+        assert_eq!(parse_degraded(&render_degraded(&d)).unwrap(), d);
+        let empty = DegradedPlacement::default();
+        assert_eq!(parse_degraded(&render_degraded(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn rendering_is_byte_deterministic() {
+        assert_eq!(render_degraded(&sample()), render_degraded(&sample()));
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(matches!(parse_degraded("not json"), Err(IoError::Json(_))));
+        let wrong_tag = r#"{"format":"nope","unplaced":[],"demand_neurons":0,"demand_synapses":0,"spare_neurons":0,"spare_synapses":0}"#;
+        assert!(matches!(parse_degraded(wrong_tag), Err(IoError::Invalid { .. })));
+        let unsorted = r#"{"format":"snnmap-degraded-v1","unplaced":[5,2],"demand_neurons":0,"demand_synapses":0,"spare_neurons":0,"spare_synapses":0}"#;
+        assert!(matches!(parse_degraded(unsorted), Err(IoError::Invalid { .. })));
+        let dup = r#"{"format":"snnmap-degraded-v1","unplaced":[2,2],"demand_neurons":0,"demand_synapses":0,"spare_neurons":0,"spare_synapses":0}"#;
+        assert!(matches!(parse_degraded(dup), Err(IoError::Invalid { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("snnmap_io_degraded_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("degraded.json");
+        let d = sample();
+        write_degraded(&path, &d).unwrap();
+        assert_eq!(read_degraded(&path).unwrap(), d);
+    }
+}

@@ -29,7 +29,7 @@ enum Frame {
 /// tokens but does not otherwise validate the document (the real parser
 /// runs next and reports malformed JSON as [`IoError::Json`]). On text
 /// that is not valid JSON the scanner simply finds no duplicates.
-pub(crate) fn reject_duplicate_keys(text: &str) -> Result<(), IoError> {
+pub fn reject_duplicate_keys(text: &str) -> Result<(), IoError> {
     let mut stack: Vec<Frame> = Vec::new();
     let mut chars = text.char_indices();
     while let Some((start, c)) = chars.next() {

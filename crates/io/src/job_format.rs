@@ -14,10 +14,11 @@
 //! a typed error before any mapping work is queued.
 
 use serde::{Deserialize, Serialize};
-use snnmap_hw::Mesh;
+use snnmap_hw::{Board, Mesh};
 use snnmap_model::Pcn;
 use snnmap_trace::sha256_hex;
 
+use crate::board_format::render_board;
 use crate::limits::checked_mesh;
 use crate::pcn_format::{parse_pcn, render_pcn};
 use crate::{CheckpointMeta, IoError};
@@ -58,6 +59,11 @@ pub struct JobSpec {
     /// Spool-checkpoint cadence in sweeps (0 disables periodic
     /// checkpoints; budgeted stops still flush one).
     pub checkpoint_every: u64,
+    /// Optional multi-chip board (the `snnmap map --board` semantics):
+    /// the mesh is the board's, the initial placement and FD refinement
+    /// respect per-core capacities, and the job becomes a target for
+    /// `POST /faults/chip` injection.
+    pub board: Option<Board>,
 }
 
 /// The JSON document shape for a job request.
@@ -73,6 +79,25 @@ struct JobDoc {
     threads: Option<u64>,
     max_sweeps: Option<u64>,
     checkpoint_every: Option<u64>,
+    board: Option<String>,
+}
+
+/// The canonical topology-spec string for a board (`GxH/RxC@NPC,SPC` —
+/// the `Board::parse` vocabulary). Per-core overrides are not
+/// representable in a job document, so only the uniform capacity is
+/// rendered; every board [`parse_job`] itself produces round-trips
+/// exactly.
+fn board_spec(board: &Board) -> String {
+    let uniform = board.uniform_constraints();
+    format!(
+        "{}x{}/{}x{}@{},{}",
+        board.grid_rows(),
+        board.grid_cols(),
+        board.chip_rows(),
+        board.chip_cols(),
+        uniform.neurons_per_core,
+        uniform.synapses_per_core
+    )
 }
 
 impl JobSpec {
@@ -81,10 +106,16 @@ impl JobSpec {
     /// spooled checkpoint can be cross-checked on recovery exactly like
     /// `snnmap resume` cross-checks a CLI checkpoint.
     pub fn provenance(&self) -> CheckpointMeta {
-        let config = format!(
+        let mut config = format!(
             "init={} potential={} lambda={} seed={} faults=none",
             self.init, self.potential, self.lambda, self.seed
         );
+        // Board-constrained runs digest the full board topology (the
+        // `snnmap map --board` formula); boardless configs keep their
+        // historical digest value.
+        if let Some(board) = &self.board {
+            config.push_str(&format!(" board={}", sha256_hex(render_board(board).as_bytes())));
+        }
         CheckpointMeta {
             config_digest: sha256_hex(config.as_bytes()),
             pcn_digest: sha256_hex(render_pcn(&self.pcn).as_bytes()),
@@ -107,6 +138,7 @@ pub fn render_job(spec: &JobSpec) -> String {
         threads: Some(spec.threads as u64),
         max_sweeps: spec.max_sweeps,
         checkpoint_every: Some(spec.checkpoint_every),
+        board: spec.board.as_ref().map(board_spec),
     };
     serde_json::to_string_pretty(&doc).expect("job doc always serializes")
 }
@@ -119,7 +151,9 @@ pub fn render_job(spec: &JobSpec) -> String {
 /// for malformed JSON, [`IoError::Parse`] for a malformed embedded PCN,
 /// and [`IoError::Invalid`] for a wrong format tag, an unknown
 /// init/potential name, λ outside `(0, 1]`, a mesh that fails the
-/// [`crate::MAX_MESH_CORES`] bound, or a mesh too small for the PCN.
+/// [`crate::MAX_MESH_CORES`] bound, a mesh too small for the PCN, a
+/// malformed `board` topology spec, or a `mesh` that disagrees with the
+/// board's.
 pub fn parse_job(text: &str) -> Result<JobSpec, IoError> {
     crate::dupkey::reject_duplicate_keys(text)?;
     let doc: JobDoc = serde_json::from_str(text)?;
@@ -127,8 +161,14 @@ pub fn parse_job(text: &str) -> Result<JobSpec, IoError> {
         return Err(IoError::Invalid { message: format!("unknown format tag `{}`", doc.format) });
     }
     let pcn = parse_pcn(&doc.pcn)?;
-    let mesh = match doc.mesh.as_deref() {
-        Some(spec) => {
+    let board = match doc.board.as_deref() {
+        Some(spec) => Some(
+            Board::parse(spec).map_err(|e| IoError::Invalid { message: e.to_string() })?,
+        ),
+        None => None,
+    };
+    let mesh = match (doc.mesh.as_deref(), &board) {
+        (Some(spec), _) => {
             let (r, c) = spec.split_once(['x', 'X']).ok_or_else(|| IoError::Invalid {
                 message: format!("mesh must be `<rows>x<cols>`, got `{spec}`"),
             })?;
@@ -138,9 +178,24 @@ pub fn parse_job(text: &str) -> Result<JobSpec, IoError> {
             let cols: u16 = c.parse().map_err(|_| IoError::Invalid {
                 message: format!("bad mesh cols `{c}`"),
             })?;
-            checked_mesh(rows, cols)?
+            let mesh = checked_mesh(rows, cols)?;
+            if let Some(board) = &board {
+                if mesh != board.mesh() {
+                    return Err(IoError::Invalid {
+                        message: format!(
+                            "mesh {mesh} disagrees with the board's {} mesh; \
+                             omit `mesh` to derive it from `board`",
+                            board.mesh()
+                        ),
+                    });
+                }
+            }
+            mesh
         }
-        None => Mesh::square_for(u64::from(pcn.num_clusters()))
+        // Boards go through the same dimension cap as explicit meshes —
+        // `Board::parse` bounds each side at u16 but not the product.
+        (None, Some(board)) => checked_mesh(board.mesh().rows(), board.mesh().cols())?,
+        (None, None) => Mesh::square_for(u64::from(pcn.num_clusters()))
             .map_err(|e| IoError::Invalid { message: e.to_string() })?,
     };
     if (mesh.len() as u64) < u64::from(pcn.num_clusters()) {
@@ -183,6 +238,7 @@ pub fn parse_job(text: &str) -> Result<JobSpec, IoError> {
         threads,
         max_sweeps: doc.max_sweeps,
         checkpoint_every: doc.checkpoint_every.unwrap_or(4),
+        board,
     })
 }
 
@@ -243,6 +299,40 @@ mod tests {
         // `snnmap map --checkpoint-out` digests its parsed input.
         let canonical = render_pcn(&parse_pcn(PCN).unwrap());
         assert_eq!(meta.pcn_digest, sha256_hex(canonical.as_bytes()));
+    }
+
+    #[test]
+    fn board_jobs_parse_render_and_digest_the_topology() {
+        // The mesh derives from the board when omitted.
+        let spec = parse_job(&minimal(", \"board\": \"1x2/2x2@64,1024\"")).unwrap();
+        let board = spec.board.clone().expect("board parsed");
+        assert_eq!(spec.mesh, board.mesh());
+        assert_eq!((spec.mesh.rows(), spec.mesh.cols()), (2, 4));
+        // Round trip through render_job preserves the board exactly.
+        let back = parse_job(&render_job(&spec)).unwrap();
+        assert_eq!(back.board, spec.board);
+        assert_eq!(back.provenance(), spec.provenance());
+        // An explicit matching mesh is accepted; a disagreeing one is not.
+        assert!(parse_job(&minimal(
+            ", \"board\": \"1x2/2x2@64,1024\", \"mesh\": \"2x4\""
+        ))
+        .is_ok());
+        let err = parse_job(&minimal(
+            ", \"board\": \"1x2/2x2@64,1024\", \"mesh\": \"3x3\""
+        ))
+        .unwrap_err();
+        assert!(matches!(err, IoError::Invalid { .. }), "{err:?}");
+        // The board changes the provenance digest; boardless digests keep
+        // their historical formula (see `provenance_matches_the_cli_formula`).
+        let boardless = parse_job(&minimal("")).unwrap();
+        assert_ne!(spec.provenance().config_digest, boardless.provenance().config_digest);
+        assert_eq!(spec.provenance().pcn_digest, boardless.provenance().pcn_digest);
+        // Named presets work too.
+        let preset = parse_job(&minimal(", \"board\": \"dynaps:2x2\"")).unwrap();
+        assert!(preset.board.is_some());
+        // A malformed spec is a typed error.
+        let err = parse_job(&minimal(", \"board\": \"bogus/spec\"")).unwrap_err();
+        assert!(matches!(err, IoError::Invalid { .. }), "{err:?}");
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //! * **Fault-map JSON** ([`read_faults`] / [`write_faults`]) — dead cores
 //!   and faulty mesh links; deterministic rendering makes equal fault
 //!   maps byte-identical on disk.
+//! * **Board JSON** ([`read_board`] / [`write_board`]) — a multi-chip
+//!   board topology: the chip grid, per-chip core block, uniform
+//!   per-core capacity and any heterogeneous overrides.
+//! * **Degraded-placement JSON** ([`read_degraded`] /
+//!   [`write_degraded`]) — the typed capacity-shortfall report a
+//!   board-aware repair emits when a placement cannot be completed.
 //! * **Checkpoint JSON** ([`read_checkpoint`] / [`write_checkpoint`]) —
 //!   a Force-Directed run frozen at a sweep boundary, with `f64` values
 //!   stored as bit patterns so kill-and-resume is bit-identical to an
@@ -68,7 +74,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod board_format;
 mod checkpoint_format;
+mod degraded_format;
 mod dupkey;
 mod error;
 mod fault_format;
@@ -79,9 +87,14 @@ mod pcnb_format;
 mod placement_format;
 mod trace_format;
 
+pub use board_format::{parse_board, read_board, render_board, write_board};
 pub use checkpoint_format::{
     parse_checkpoint, read_checkpoint, render_checkpoint, write_checkpoint, CheckpointMeta,
 };
+pub use degraded_format::{
+    parse_degraded, read_degraded, render_degraded, write_degraded,
+};
+pub use dupkey::reject_duplicate_keys;
 pub use error::IoError;
 pub use fault_format::{parse_faults, read_faults, render_faults, write_faults};
 pub use job_format::{parse_job, render_job, JobSpec, JOB_INITS, JOB_POTENTIALS};

@@ -2,8 +2,11 @@
 //! round trip bit-exactly.
 
 use proptest::prelude::*;
+use snnmap_core::DegradedPlacement;
 use snnmap_hw::{Coord, Mesh, Placement};
-use snnmap_io::{parse_pcn, parse_placement, render_pcn, render_placement};
+use snnmap_io::{
+    parse_degraded, parse_pcn, parse_placement, render_degraded, render_pcn, render_placement,
+};
 use snnmap_model::PcnBuilder;
 
 proptest! {
@@ -68,5 +71,31 @@ proptest! {
         if n > 0 && picks[0] {
             prop_assert_eq!(back.coord_of(0), Some(Coord::new(0, 0)));
         }
+    }
+
+    /// Degraded-mode reports (the typed capacity-shortfall outcome of a
+    /// board repair) round-trip bit-exactly and render byte-identically
+    /// — the sha256 a CI job takes over the document is reproducible.
+    #[test]
+    fn degraded_roundtrip(
+        raw in prop::collection::vec(0u32..100_000, 0..64),
+        demand_neurons in 0u64..1_000_000,
+        demand_synapses in 0u64..1_000_000,
+        spare_neurons in 0u64..1_000_000,
+        spare_synapses in 0u64..1_000_000,
+    ) {
+        let mut unplaced = raw;
+        unplaced.sort_unstable();
+        unplaced.dedup();
+        let d = DegradedPlacement {
+            unplaced,
+            demand_neurons,
+            demand_synapses,
+            spare_neurons,
+            spare_synapses,
+        };
+        let doc = render_degraded(&d);
+        prop_assert_eq!(&doc, &render_degraded(&d), "rendering is not byte-deterministic");
+        prop_assert_eq!(parse_degraded(&doc).unwrap(), d);
     }
 }

@@ -50,8 +50,8 @@ proptest! {
     /// linearly with the cost constants.
     #[test]
     fn energy_linearity((pcn, p) in arbitrary_pcn_and_placement(12, 5)) {
-        let cm1 = CostModel::new(1.0, 0.1, 1.0, 0.01);
-        let cm2 = CostModel::new(2.0, 0.2, 1.0, 0.01);
+        let cm1 = CostModel::new(1.0, 0.1, 1.0, 0.01).unwrap();
+        let cm2 = CostModel::new(2.0, 0.2, 1.0, 0.01).unwrap();
         let e1 = energy(&pcn, &p, cm1).unwrap();
         let e2 = energy(&pcn, &p, cm2).unwrap();
         prop_assert!((e2 - 2.0 * e1).abs() < 1e-9 * e1.max(1.0));

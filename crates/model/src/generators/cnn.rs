@@ -164,7 +164,7 @@ mod tests {
     fn cnn_65k_pcn_shape() {
         let g = CnnSpec::cnn_65k().layer_graph(0);
         let pcn = g
-            .partition_analytic(CoreConstraints::new(4096, u64::MAX), PartitionPolicy::table3())
+            .partition_analytic(CoreConstraints::new(4096, u64::MAX).unwrap(), PartitionPolicy::table3())
             .unwrap();
         // 16 clusters like DNN_65K; banded connectivity gives fewer
         // connections than the dense 48.

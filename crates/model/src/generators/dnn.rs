@@ -154,7 +154,7 @@ mod tests {
     fn dnn_65k_pcn_matches_table3() {
         let g = DnnSpec::dnn_65k().layer_graph(0);
         let pcn = g
-            .partition_analytic(CoreConstraints::new(4096, u64::MAX), PartitionPolicy::table3())
+            .partition_analytic(CoreConstraints::new(4096, u64::MAX).unwrap(), PartitionPolicy::table3())
             .unwrap();
         assert_eq!(pcn.num_clusters(), 16);
         assert_eq!(pcn.num_connections(), 48);

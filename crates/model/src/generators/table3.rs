@@ -64,7 +64,7 @@ impl Table3Benchmark {
     /// paper's 4096-neuron core limit, with the synapse limit left
     /// unenforced (see [`PartitionPolicy`] for why).
     pub fn partition_constraints() -> CoreConstraints {
-        CoreConstraints::new(4096, u64::MAX)
+        CoreConstraints { neurons_per_core: 4096, synapses_per_core: u64::MAX }
     }
 
     /// Whether this is one of the very large benchmarks (≥ 65 536

@@ -120,7 +120,7 @@ impl Default for PartitionPolicy {
 /// assert_eq!(g.num_synapses(), 256);
 ///
 /// let pcn = g.partition_analytic(
-///     CoreConstraints::new(4, 1 << 30),
+///     CoreConstraints::new(4, 1 << 30).unwrap(),
 ///     PartitionPolicy::table3(),
 /// )?;
 /// assert_eq!(pcn.num_clusters(), 8);
@@ -679,10 +679,10 @@ mod tests {
         g.connect(b, c, ConnPattern::Full, 2.0).unwrap();
         let snn = g.materialize(1 << 20).unwrap();
         for con in [
-            CoreConstraints::new(4, u64::MAX),
-            CoreConstraints::new(7, u64::MAX),
-            CoreConstraints::new(100, 40),
-            CoreConstraints::new(5, 60),
+            CoreConstraints::new(4, u64::MAX).unwrap(),
+            CoreConstraints::new(7, u64::MAX).unwrap(),
+            CoreConstraints::new(100, 40).unwrap(),
+            CoreConstraints::new(5, 60).unwrap(),
         ] {
             let explicit = partition(&snn, con).unwrap();
             let analytic = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
@@ -706,7 +706,7 @@ mod tests {
         let b = g.add_layer(48);
         g.connect(a, b, ConnPattern::Window { fan_in: 9 }, 1.0).unwrap();
         let snn = g.materialize(1 << 20).unwrap();
-        let con = CoreConstraints::new(16, u64::MAX);
+        let con = CoreConstraints::new(16, u64::MAX).unwrap();
         let explicit = partition(&snn, con).unwrap();
         let analytic = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
         assert_eq!(explicit.num_clusters(), analytic.num_clusters());
@@ -739,7 +739,7 @@ mod tests {
         for j in 96..156 {
             assert_eq!(snn.fan_in(j), 12);
         }
-        let con = CoreConstraints::new(16, u64::MAX);
+        let con = CoreConstraints::new(16, u64::MAX).unwrap();
         let explicit = partition(&snn, con).unwrap();
         let analytic = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
         assert_eq!(explicit.num_clusters(), analytic.num_clusters());
@@ -764,7 +764,7 @@ mod tests {
             let a = g.add_layer(1024);
             let b = g.add_layer(1024);
             g.connect(a, b, pattern, 1.0).unwrap();
-            g.partition_analytic(CoreConstraints::new(64, u64::MAX), PartitionPolicy::table3())
+            g.partition_analytic(CoreConstraints::new(64, u64::MAX).unwrap(), PartitionPolicy::table3())
                 .unwrap()
                 .num_connections()
         };
@@ -802,7 +802,7 @@ mod tests {
         let a = g.add_layer(10);
         let b = g.add_layer(10);
         g.connect(a, b, ConnPattern::Full, 1.0).unwrap();
-        let con = CoreConstraints::new(8, u64::MAX);
+        let con = CoreConstraints::new(8, u64::MAX).unwrap();
         let pcn = g.partition_analytic(con, PartitionPolicy::table3()).unwrap();
         // ceil(10/8) per layer: clusters of 8, 2, 8, 2.
         assert_eq!(pcn.num_clusters(), 4);
@@ -828,7 +828,7 @@ mod tests {
         g.connect(a, c, ConnPattern::Window { fan_in: 1 }, 0.5).unwrap();
         assert_eq!(g.num_synapses(), 32 * 32 * 2 + 32);
         let pcn = g
-            .partition_analytic(CoreConstraints::new(16, u64::MAX), PartitionPolicy::table3())
+            .partition_analytic(CoreConstraints::new(16, u64::MAX).unwrap(), PartitionPolicy::table3())
             .unwrap();
         // Skip edges connect matching halves: cluster 0 -> cluster 4,
         // cluster 1 -> cluster 5. The continuous band integral may bleed

@@ -29,7 +29,7 @@
 //!
 //! // A 3-layer DNN, materialized and partitioned with Algorithm 1.
 //! let snn = DnnSpec::new(&[100, 200, 50])?.build(7)?;
-//! let con = CoreConstraints::new(64, 1 << 40);
+//! let con = CoreConstraints::new(64, 1 << 40).unwrap();
 //! let pcn = partition(&snn, con)?;
 //! assert!(pcn.num_clusters() >= 350 / 64);
 //! # Ok::<(), Box<dyn std::error::Error>>(())

@@ -40,7 +40,7 @@ use crate::{ModelError, Pcn, PcnBuilder, SnnNetwork};
 /// }
 /// let snn = b.build()?;
 /// // Two neurons per core: six neurons -> three clusters in a chain.
-/// let pcn = partition(&snn, CoreConstraints::new(2, 1024))?;
+/// let pcn = partition(&snn, CoreConstraints::new(2, 1024).unwrap())?;
 /// assert_eq!(pcn.num_clusters(), 3);
 /// assert_eq!(pcn.num_connections(), 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn neuron_constraint_only() {
         let snn = layered_snn(&[4, 4]);
-        let pcn = partition(&snn, CoreConstraints::new(3, u64::MAX)).unwrap();
+        let pcn = partition(&snn, CoreConstraints::new(3, u64::MAX).unwrap()).unwrap();
         // 8 neurons, 3 per cluster -> clusters of 3, 3, 2.
         assert_eq!(pcn.num_clusters(), 3);
         assert_eq!(pcn.neurons_in(0), 3);
@@ -113,7 +113,7 @@ mod tests {
         // Each layer-2 neuron has fan-in 4; limit 8 synapses -> two such
         // neurons per cluster.
         let snn = layered_snn(&[4, 4]);
-        let pcn = partition(&snn, CoreConstraints::new(100, 8)).unwrap();
+        let pcn = partition(&snn, CoreConstraints::new(100, 8).unwrap()).unwrap();
         // Neurons 0..4 have fan-in 0, then fan-in-4 neurons two per cluster:
         // cluster 0 = {0,1,2,3,4,5}(syn 8), cluster 1 = {6,7}(syn 8).
         assert_eq!(pcn.num_clusters(), 2);
@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn clusters_are_contiguous_ranges() {
         let snn = layered_snn(&[5, 7, 3]);
-        let pcn = partition(&snn, CoreConstraints::new(4, u64::MAX)).unwrap();
+        let pcn = partition(&snn, CoreConstraints::new(4, u64::MAX).unwrap()).unwrap();
         // Contiguity is implied by first-fit; verify via cluster sizes
         // summing to the neuron count in order.
         let total: u64 = (0..pcn.num_clusters()).map(|c| pcn.neurons_in(c) as u64).sum();
@@ -138,7 +138,7 @@ mod tests {
         // synapse traffic.
         let snn = layered_snn(&[4, 4, 4]);
         for npc in [1u32, 2, 3, 5, 12] {
-            let pcn = partition(&snn, CoreConstraints::new(npc, u64::MAX)).unwrap();
+            let pcn = partition(&snn, CoreConstraints::new(npc, u64::MAX).unwrap()).unwrap();
             let total = pcn.total_traffic() + pcn.intra_traffic();
             assert!(
                 (total - snn.total_traffic()).abs() < 1e-9,
@@ -157,7 +157,7 @@ mod tests {
             b.synapse(i, 10, 1.0).unwrap();
         }
         let snn = b.build().unwrap();
-        let pcn = partition(&snn, CoreConstraints::new(100, 4)).unwrap();
+        let pcn = partition(&snn, CoreConstraints::new(100, 4).unwrap()).unwrap();
         let last = pcn.num_clusters() - 1;
         assert_eq!(pcn.neurons_in(last), 1);
         assert!(pcn.synapses_in(last) > 4, "over-budget singleton is kept");
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn whole_network_in_one_cluster_has_no_connections() {
         let snn = layered_snn(&[4, 4]);
-        let pcn = partition(&snn, CoreConstraints::new(4096, u64::MAX)).unwrap();
+        let pcn = partition(&snn, CoreConstraints::new(4096, u64::MAX).unwrap()).unwrap();
         assert_eq!(pcn.num_clusters(), 1);
         assert_eq!(pcn.num_connections(), 0);
         assert_eq!(pcn.intra_traffic(), snn.total_traffic());
@@ -178,7 +178,7 @@ mod tests {
         // 4 neurons per core gives 16 clusters and 3*4*4 = 48 connections,
         // exactly the DNN_65K row's PCN shape.
         let snn = layered_snn(&[16, 16, 16, 16]);
-        let pcn = partition(&snn, CoreConstraints::new(4, u64::MAX)).unwrap();
+        let pcn = partition(&snn, CoreConstraints::new(4, u64::MAX).unwrap()).unwrap();
         assert_eq!(pcn.num_clusters(), 16);
         assert_eq!(pcn.num_connections(), 48);
     }

@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn partition_with_assignment_matches_partition() {
         let snn = two_cliques();
-        let con = CoreConstraints::new(3, u64::MAX);
+        let con = CoreConstraints::new(3, u64::MAX).unwrap();
         let (pcn_a, assignment) = partition_with_assignment(&snn, con).unwrap();
         let pcn_b = partition(&snn, con).unwrap();
         assert_eq!(pcn_a.num_clusters(), pcn_b.num_clusters());
@@ -324,7 +324,7 @@ mod tests {
         // Capacity 4 per cluster, but shift the boundary: assign 0..3 to
         // cluster 0, 3..6 to cluster 1, 6..8 to cluster 2 (bad split).
         let mut assignment = vec![0, 0, 0, 1, 1, 1, 2, 2];
-        let con = CoreConstraints::new(4, u64::MAX);
+        let con = CoreConstraints::new(4, u64::MAX).unwrap();
         let before = cut_weight(&snn, &assignment);
         let stats = refine_partition(&snn, &mut assignment, con, 10);
         assert_eq!(stats.initial_cut, before);
@@ -344,7 +344,7 @@ mod tests {
     #[test]
     fn refinement_respects_capacity() {
         let snn = two_cliques();
-        let con = CoreConstraints::new(4, u64::MAX);
+        let con = CoreConstraints::new(4, u64::MAX).unwrap();
         let (_, mut assignment) = partition_with_assignment(&snn, con).unwrap();
         refine_partition(&snn, &mut assignment, con, 10);
         let mut counts = std::collections::HashMap::new();
@@ -360,7 +360,7 @@ mod tests {
     fn refinement_never_increases_cut() {
         for seed in 0..5 {
             let snn = crate::generators::random_snn(200, 6.0, 30, seed).unwrap();
-            let con = CoreConstraints::new(16, u64::MAX);
+            let con = CoreConstraints::new(16, u64::MAX).unwrap();
             let (_, mut assignment) = partition_with_assignment(&snn, con).unwrap();
             let before = cut_weight(&snn, &assignment);
             let stats = refine_partition(&snn, &mut assignment, con, 5);
@@ -392,6 +392,6 @@ mod tests {
     fn refine_rejects_infeasible_start() {
         let snn = two_cliques();
         let mut assignment = vec![0; 8];
-        refine_partition(&snn, &mut assignment, CoreConstraints::new(4, u64::MAX), 1);
+        refine_partition(&snn, &mut assignment, CoreConstraints::new(4, u64::MAX).unwrap(), 1);
     }
 }

@@ -46,7 +46,7 @@ proptest! {
         npc in 3u32..40,
         spc_k in 1u64..100,
     ) {
-        let con = CoreConstraints::new(npc, spc_k * 16);
+        let con = CoreConstraints::new(npc, spc_k * 16).unwrap();
         let snn = g.materialize(1 << 22).unwrap();
         let explicit = partition(&snn, con).unwrap();
         let analytic = g.partition_analytic(con, PartitionPolicy::strict()).unwrap();
@@ -76,7 +76,7 @@ proptest! {
     /// per-layer cluster counts are the per-layer first-fit counts.
     #[test]
     fn table3_policy_layer_alignment(g in arbitrary_layer_graph(), npc in 3u32..40) {
-        let con = CoreConstraints::new(npc, u64::MAX);
+        let con = CoreConstraints::new(npc, u64::MAX).unwrap();
         let pcn = g.partition_analytic(con, PartitionPolicy::table3()).unwrap();
         let expected: u64 = (0..g.num_layers())
             .map(|l| g.layer_size(l).div_ceil(npc as u64))

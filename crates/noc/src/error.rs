@@ -34,6 +34,13 @@ pub enum NocError {
         /// The fault map's mesh.
         faults: Mesh,
     },
+    /// A board topology covers a different mesh than the simulator's.
+    BoardMismatch {
+        /// The simulator's mesh.
+        sim: Mesh,
+        /// The mesh the board covers.
+        board: Mesh,
+    },
 }
 
 impl fmt::Display for NocError {
@@ -50,6 +57,9 @@ impl fmt::Display for NocError {
             }
             NocError::MeshMismatch { sim, faults } => {
                 write!(f, "simulator mesh {sim} does not match fault-map mesh {faults}")
+            }
+            NocError::BoardMismatch { sim, board } => {
+                write!(f, "simulator mesh {sim} does not match board mesh {board}")
             }
         }
     }

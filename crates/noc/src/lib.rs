@@ -16,6 +16,10 @@
 //!   traffic and packets detour around faulty links/cores on shortest
 //!   healthy paths, the extra hops surfacing in
 //!   [`NocStats::detour_hops`],
+//! * [`NocSim::with_board`] — multi-chip awareness: routing treats
+//!   inter-chip links as the expensive resource (crossings minimized
+//!   before hops) and counts boundary crossings in
+//!   [`NocStats::interchip_traversals`],
 //! * [`PcnTraffic`] — Bernoulli per-flow injection derived from a PCN's
 //!   connection weights and a placement,
 //! * [`NocStats`] — delivered counts, latency distribution, per-router

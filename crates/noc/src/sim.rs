@@ -1,10 +1,11 @@
 //! The cycle-driven mesh simulator.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use snnmap_hw::{Coord, FaultMap, Mesh};
+use snnmap_hw::{Board, ChipId, Coord, FaultMap, Mesh};
 use snnmap_trace::{NocEvent, TraceEvent, TraceSink};
 
 use crate::{NocError, NocStats};
@@ -107,6 +108,9 @@ pub struct NocSim {
     /// [`NH_UNREACHABLE`] when no healthy path exists. `None` on
     /// fault-free networks (minimal routing needs no table).
     next_hop: Option<Vec<u8>>,
+    /// `chip[r]`: the chip owning router `r` (empty on boardless
+    /// networks). Used to count inter-chip link traversals.
+    chip: Vec<ChipId>,
 }
 
 impl NocSim {
@@ -126,6 +130,7 @@ impl NocSim {
             incoming: vec![0; n * NUM_PORTS],
             dead: Vec::new(),
             next_hop: None,
+            chip: Vec::new(),
         }
     }
 
@@ -153,6 +158,44 @@ impl NocSim {
         let mut sim = Self::new(mesh, config);
         sim.dead = mesh.iter().map(|c| faults.is_dead(c)).collect();
         sim.next_hop = Some(build_next_hop(mesh, faults));
+        Ok(sim)
+    }
+
+    /// Creates an idle network over a multi-chip board, optionally
+    /// degraded by a fault map. Inter-chip links are the expensive
+    /// resource, so routing minimizes boundary crossings *first* and hop
+    /// count second: on a healthy board every route still takes its
+    /// Manhattan minimum of hops (a monotone path cannot avoid the
+    /// boundaries between its endpoints' chips), but detours forced by
+    /// faults stay inside the packet's chip row/column wherever a
+    /// same-length alternative exists. Crossings are counted in
+    /// [`NocStats::interchip_traversals`]. Dead cores refuse traffic as
+    /// in [`NocSim::with_faults`].
+    ///
+    /// # Errors
+    ///
+    /// [`NocError::BoardMismatch`] when the board covers a different mesh,
+    /// [`NocError::MeshMismatch`] when the fault map does.
+    pub fn with_board(
+        mesh: Mesh,
+        config: NocConfig,
+        faults: Option<&FaultMap>,
+        board: &Board,
+    ) -> Result<Self, NocError> {
+        if board.mesh() != mesh {
+            return Err(NocError::BoardMismatch { sim: mesh, board: board.mesh() });
+        }
+        if let Some(fm) = faults {
+            if fm.mesh() != mesh {
+                return Err(NocError::MeshMismatch { sim: mesh, faults: fm.mesh() });
+            }
+        }
+        let mut sim = Self::new(mesh, config);
+        if let Some(fm) = faults {
+            sim.dead = mesh.iter().map(|c| fm.is_dead(c)).collect();
+        }
+        sim.next_hop = Some(build_next_hop_board(mesh, faults, board));
+        sim.chip = board.chip_table();
         Ok(sim)
     }
 
@@ -367,6 +410,9 @@ impl NocSim {
             let mut pkt = self.routers[r].inputs[p].pop_front().expect("staged head exists");
             pkt.hops += 1;
             self.stats.traversals[r] += 1;
+            if !self.chip.is_empty() && self.chip[r] != self.chip[to] {
+                self.stats.interchip_traversals += 1;
+            }
             self.routers[to].inputs[in_port].push_back(pkt);
         }
 
@@ -450,6 +496,84 @@ fn build_next_hop(mesh: Mesh, faults: &FaultMap) -> Vec<u8> {
                     && faults.link_ok(here, nc)
                     && dist[q] != u32::MAX
                     && dist[q] + 1 == dist[r]
+                {
+                    table[dst_idx * n + r] = out as u8;
+                    break;
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Builds the chip-aware next-hop table: a deterministic Dijkstra per
+/// destination over the healthy subgraph with lexicographic
+/// `(inter-chip crossings, hops)` path cost — a crossing is weighted at
+/// `n` (more than any possible hop count), so routes cross chip
+/// boundaries only when no cheaper path exists. Direction choice per
+/// router follows the same XY-preferred order as [`build_next_hop`]
+/// among cost-optimal successors, and every entry strictly decreases the
+/// weighted distance, so routes are loop-free by construction.
+fn build_next_hop_board(mesh: Mesh, faults: Option<&FaultMap>, board: &Board) -> Vec<u8> {
+    let n = mesh.len();
+    let chips = board.chip_table();
+    // Any simple path has < n hops, so weighting a crossing at n makes
+    // one crossing dearer than any number of intra-chip hops.
+    let edge = |a: usize, b: usize| -> u64 {
+        if chips[a] == chips[b] {
+            1
+        } else {
+            n as u64 + 1
+        }
+    };
+    let healthy = |c: Coord| faults.map_or(true, |fm| !fm.is_dead(c));
+    let link_ok = |a: Coord, b: Coord| faults.map_or(true, |fm| fm.link_ok(a, b));
+    let mut table = vec![NH_UNREACHABLE; n * n];
+    let mut dist = vec![u64::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for dst_idx in 0..n {
+        let dst = mesh.coord_of_index(dst_idx);
+        if !healthy(dst) {
+            continue;
+        }
+        dist.iter_mut().for_each(|d| *d = u64::MAX);
+        dist[dst_idx] = 0;
+        heap.clear();
+        heap.push(Reverse((0, dst_idx)));
+        while let Some(Reverse((d, r))) = heap.pop() {
+            if d > dist[r] {
+                continue;
+            }
+            let here = mesh.coord_of_index(r);
+            for out in 0..4 {
+                let Some(nc) = neighbor_coord(mesh, here, out) else { continue };
+                let q = mesh.index_of(nc);
+                if !healthy(nc) || !link_ok(here, nc) {
+                    continue;
+                }
+                let nd = d + edge(r, q);
+                if nd < dist[q] {
+                    dist[q] = nd;
+                    heap.push(Reverse((nd, q)));
+                }
+            }
+        }
+        for r in 0..n {
+            if r == dst_idx {
+                table[dst_idx * n + r] = OUT_EJECT as u8;
+                continue;
+            }
+            if dist[r] == u64::MAX {
+                continue;
+            }
+            let here = mesh.coord_of_index(r);
+            for out in preferred_dirs(here, dst) {
+                let Some(nc) = neighbor_coord(mesh, here, out) else { continue };
+                let q = mesh.index_of(nc);
+                if healthy(nc)
+                    && link_ok(here, nc)
+                    && dist[q] != u64::MAX
+                    && dist[q] + edge(r, q) == dist[r]
                 {
                     table[dst_idx * n + r] = out as u8;
                     break;
@@ -809,6 +933,111 @@ mod tests {
         let a = run();
         assert_eq!(a, run());
         assert_eq!(a.delivered + a.rejected, a.injected + a.rejected);
+    }
+
+    #[test]
+    fn board_routing_counts_interchip_crossings() {
+        let board = Board::parse("2x2/2x2").unwrap();
+        let mesh = board.mesh();
+        let mut s = NocSim::with_board(mesh, NocConfig::default(), None, &board).unwrap();
+        s.inject(Coord::new(0, 0), Coord::new(3, 3)).unwrap();
+        assert!(s.drain(100));
+        assert_eq!(s.stats().delivered, 1);
+        assert_eq!(s.stats().detour_hops, 0, "fault-free board routes stay minimal");
+        // Any minimal route from chip (0,0) to chip (1,1) crosses exactly
+        // one row and one column boundary.
+        assert_eq!(s.stats().interchip_traversals, 2);
+        // Intra-chip traffic never crosses.
+        let mut s = NocSim::with_board(mesh, NocConfig::default(), None, &board).unwrap();
+        s.inject(Coord::new(0, 0), Coord::new(1, 1)).unwrap();
+        assert!(s.drain(100));
+        assert_eq!(s.stats().interchip_traversals, 0);
+    }
+
+    #[test]
+    fn board_routing_detours_within_the_chip_row() {
+        // The direct link crosses the column boundary and is severed;
+        // both 3-hop detours exist, but only the northern one (through
+        // the packet's own chip row) keeps a single crossing — the
+        // southern detour would cross three boundaries. Plain XY-first
+        // fault routing picks south; board-aware routing must pick north.
+        let board = Board::parse("2x2/2x2").unwrap();
+        let mesh = board.mesh();
+        let mut fm = FaultMap::new(mesh);
+        fm.fail_link(Coord::new(1, 1), Coord::new(1, 2)).unwrap();
+        let mut s =
+            NocSim::with_board(mesh, NocConfig::default(), Some(&fm), &board).unwrap();
+        s.inject(Coord::new(1, 1), Coord::new(1, 2)).unwrap();
+        assert!(s.drain(100));
+        assert_eq!(s.stats().delivered, 1);
+        assert_eq!(s.stats().detour_hops, 2);
+        assert_eq!(s.stats().interchip_traversals, 1);
+        assert_eq!(s.stats().traversals[mesh.index_of(Coord::new(0, 1))], 1);
+        assert_eq!(s.stats().traversals[mesh.index_of(Coord::new(2, 1))], 0);
+    }
+
+    #[test]
+    fn dead_chip_refuses_traffic_and_is_routed_around() {
+        let board = Board::parse("2x2/2x2").unwrap();
+        let mesh = board.mesh();
+        let mut fm = FaultMap::new(mesh);
+        fm.kill_chip(&board, 1).unwrap(); // rows 0-1, cols 2-3
+        let mut s =
+            NocSim::with_board(mesh, NocConfig::default(), Some(&fm), &board).unwrap();
+        assert_eq!(
+            s.inject(Coord::new(0, 0), Coord::new(0, 3)),
+            Err(NocError::DeadCore { coord: Coord::new(0, 3) })
+        );
+        // Traffic between survivors flows around the dead chip at the
+        // minimal two crossings.
+        assert!(s.inject(Coord::new(0, 0), Coord::new(2, 3)).unwrap());
+        assert!(s.drain(100));
+        assert_eq!(s.stats().delivered, 1);
+        assert_eq!(s.stats().detour_hops, 0);
+        assert_eq!(s.stats().interchip_traversals, 2);
+    }
+
+    #[test]
+    fn with_board_rejects_mismatched_meshes() {
+        let board = Board::parse("2x2/2x2").unwrap();
+        let other = Mesh::new(2, 2).unwrap();
+        assert!(matches!(
+            NocSim::with_board(other, NocConfig::default(), None, &board),
+            Err(NocError::BoardMismatch { .. })
+        ));
+        let fm = FaultMap::new(other);
+        assert!(matches!(
+            NocSim::with_board(board.mesh(), NocConfig::default(), Some(&fm), &board),
+            Err(NocError::MeshMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn board_aware_run_is_deterministic() {
+        let board = Board::parse("2x3/2x2").unwrap();
+        let mesh = board.mesh();
+        let mut fm = FaultMap::new(mesh);
+        fm.kill_core(Coord::new(1, 2)).unwrap();
+        fm.fail_link(Coord::new(2, 0), Coord::new(2, 1)).unwrap();
+        let run = || {
+            let mut s =
+                NocSim::with_board(mesh, NocConfig::default(), Some(&fm), &board).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let mut sent = 0;
+            while sent < 120 {
+                let src = Coord::new(rng.gen_range(0..4), rng.gen_range(0..6));
+                let dst = Coord::new(rng.gen_range(0..4), rng.gen_range(0..6));
+                if s.inject(src, dst).is_ok() {
+                    sent += 1;
+                }
+                s.step();
+            }
+            assert!(s.drain(10_000));
+            s.stats().clone()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.interchip_traversals > 0);
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct NocStats {
     /// Per-router traversal counts, row-major — the simulated counterpart
     /// of the paper's `Con(x, y)` congestion map.
     pub traversals: Vec<u64>,
+    /// Link traversals that crossed a chip boundary — the expensive
+    /// inter-chip hops of a board-aware simulation
+    /// ([`NocSim::with_board`](crate::NocSim::with_board)). Always 0 on
+    /// boardless networks.
+    pub interchip_traversals: u64,
 }
 
 impl NocStats {
@@ -36,6 +41,7 @@ impl NocStats {
             max_latency: 0,
             detour_hops: 0,
             traversals: vec![0; mesh.len()],
+            interchip_traversals: 0,
         }
     }
 

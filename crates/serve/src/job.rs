@@ -3,6 +3,8 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use snnmap_core::DegradedPlacement;
+use snnmap_hw::FaultMap;
 use snnmap_io::JobSpec;
 use snnmap_trace::Progress;
 
@@ -62,6 +64,14 @@ pub(crate) struct JobInner {
     pub placement_json: Option<String>,
     /// sha256 of `placement_json` (the offline-equivalence digest).
     pub placement_sha256: Option<String>,
+    /// Faults applied so far via `POST /faults/chip` (board jobs only).
+    pub faults: Option<FaultMap>,
+    /// Chips killed via `POST /faults/chip`, in injection order.
+    pub dead_chips: Vec<u32>,
+    /// The typed capacity-shortfall report of the latest chip repair,
+    /// when the surviving capacity could not absorb the load. The job
+    /// stays `done` — degradation is data, never daemon death.
+    pub degraded: Option<DegradedPlacement>,
 }
 
 /// One job: immutable spec + shared progress + lifecycle state.
@@ -76,6 +86,16 @@ pub(crate) struct Job {
     /// Raised only by a client `DELETE` — distinguishes a cancelled job
     /// from one interrupted by a daemon drain.
     pub client_cancelled: AtomicBool,
+    /// Chip faults injected while the job was queued or running, waiting
+    /// for its worker to apply them (board jobs only). An injection into
+    /// a running job also raises `cancel`, so the FD engine stops at the
+    /// next sweep boundary and the worker repairs the best-so-far
+    /// placement instead of refining a layout that is already wrong.
+    pending_chips: Mutex<Vec<u32>>,
+    /// Serializes chip repairs on a finished job: concurrent
+    /// `POST /faults/chip` requests each read, repair, and write the
+    /// placement, so overlapping repairs would lose updates.
+    repair_gate: Mutex<()>,
     inner: Mutex<JobInner>,
 }
 
@@ -87,12 +107,17 @@ impl Job {
             progress: Arc::new(Progress::new()),
             cancel: Arc::new(AtomicBool::new(false)),
             client_cancelled: AtomicBool::new(false),
+            pending_chips: Mutex::new(Vec::new()),
+            repair_gate: Mutex::new(()),
             inner: Mutex::new(JobInner {
                 state,
                 error: None,
                 stop: None,
                 placement_json: None,
                 placement_sha256: None,
+                faults: None,
+                dead_chips: Vec::new(),
+                degraded: None,
             }),
         }
     }
@@ -119,6 +144,45 @@ impl Job {
     /// Whether a client asked for cancellation.
     pub fn client_cancelled(&self) -> bool {
         self.client_cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Records a chip fault for the worker to apply; `false` if that
+    /// chip is already pending (the duplicate is a client error).
+    pub fn push_pending_chip(&self, chip: u32) -> bool {
+        let mut pending = lock_pending(&self.pending_chips);
+        if pending.contains(&chip) {
+            return false;
+        }
+        pending.push(chip);
+        true
+    }
+
+    /// Takes the next pending chip fault, preserving injection order.
+    pub fn pop_pending_chip(&self) -> Option<u32> {
+        let mut pending = lock_pending(&self.pending_chips);
+        if pending.is_empty() { None } else { Some(pending.remove(0)) }
+    }
+
+    /// How many chip faults are waiting for the worker.
+    pub fn pending_chip_count(&self) -> usize {
+        lock_pending(&self.pending_chips).len()
+    }
+
+    /// Takes the repair gate for the duration of one chip repair.
+    pub fn repair_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        match self.repair_gate.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Poison recovery for the pending-chips list, mirroring
+/// [`Job::with_inner`].
+fn lock_pending(m: &Mutex<Vec<u32>>) -> std::sync::MutexGuard<'_, Vec<u32>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
     }
 }
 

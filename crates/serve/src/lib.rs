@@ -12,6 +12,7 @@
 //! | `GET /jobs/{id}` | Status + live sweep/swap/energy progress |
 //! | `GET /jobs/{id}/placement` | The finished placement document |
 //! | `DELETE /jobs/{id}` | Cooperative cancel (FD sweep boundary) |
+//! | `POST /faults/chip` | Kill a chip of a board job's hardware, with online repair |
 //! | `GET /healthz` | Liveness |
 //! | `GET /metrics` | Prometheus operational metrics |
 //!
@@ -39,6 +40,13 @@
 //!   deadline (slow-loris → `408`, never a wedged worker), and corrupt
 //!   job directories are quarantined at startup instead of crashing the
 //!   daemon.
+//! * **Graceful degradation** — jobs submitted with a `board` map onto
+//!   a capacity-constrained multi-chip topology; `POST /faults/chip`
+//!   kills a whole chip under a finished *or still-running* job, and the
+//!   board-aware incremental repair evacuates only the dead chip's
+//!   clusters into surviving spare capacity. When that capacity runs
+//!   out, the job reports a typed degraded placement in its status JSON
+//!   instead of failing — and the daemon never dies.
 //! * **Multi-daemon failover** — N daemons can share one spool: each
 //!   running job holds a heartbeated `LEASE` file, and a daemon
 //!   that dies mid-job has its work adopted by a peer once the lease

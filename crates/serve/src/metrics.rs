@@ -79,6 +79,12 @@ pub(crate) fn render(shared: &Shared) -> String {
         shared.quarantined_total.load(SeqCst) as f64,
     );
     prom.header(
+        "serve_chip_faults_total",
+        "counter",
+        "Whole-chip losses applied via POST /faults/chip.",
+    );
+    prom.sample("serve_chip_faults_total", &[], shared.chip_faults_total.load(SeqCst) as f64);
+    prom.header(
         "serve_chaos_injected_total",
         "counter",
         "Faults injected by the chaos schedule (0 unless SNNMAP_CHAOS is armed).",

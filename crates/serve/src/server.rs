@@ -27,10 +27,14 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use snnmap_core::{
-    par, FdCheckpoint, FdRunOpts, InitialPlacement, Mapper, Potential, RunBudget, StopReason,
+    par, DegradedPlacement, FdCheckpoint, FdRunOpts, InitialPlacement, Mapper, Potential,
+    RunBudget, StopReason,
 };
-use snnmap_hw::CostModel;
-use snnmap_io::{parse_job, read_checkpoint, render_placement, write_checkpoint, IoError, JobSpec};
+use snnmap_hw::{CostModel, FaultMap};
+use snnmap_io::{
+    parse_job, parse_placement, read_checkpoint, reject_duplicate_keys, render_placement,
+    write_checkpoint, IoError, JobSpec,
+};
 use snnmap_trace::{sha256_hex, ProgressSink};
 
 use crate::http::{self, Request};
@@ -141,6 +145,8 @@ pub(crate) struct Shared {
     pub(crate) timeouts_total: AtomicU64,
     /// Corrupt job dirs moved to `quarantine/` (at startup).
     pub(crate) quarantined_total: AtomicU64,
+    /// Chip faults applied via `POST /faults/chip`.
+    pub(crate) chip_faults_total: AtomicU64,
     next_id: AtomicU64,
 }
 
@@ -294,6 +300,7 @@ impl Server {
                 takeovers_total: AtomicU64::new(0),
                 timeouts_total: AtomicU64::new(0),
                 quarantined_total: AtomicU64::new(quarantined),
+                chip_faults_total: AtomicU64::new(0),
                 next_id: AtomicU64::new(next_id),
             }),
             listener,
@@ -480,18 +487,12 @@ fn execute_job(shared: &Shared, job: &Job) {
     let _ = shared.spool.write_state(job.id, "running", None);
 
     let spec = &job.spec;
-    let (Some(init), Some(potential)) = (job_init(spec), job_potential(spec)) else {
+    let Some(mapper) = job_mapper(spec) else {
         // parse_job validated the vocabulary, so this is unreachable;
         // fail the job rather than panic the worker if it ever isn't.
         fail_job(shared, job, "unknown init or potential in spooled spec");
         return;
     };
-    let mapper = Mapper::builder()
-        .initial_placement(init)
-        .potential(potential)
-        .lambda(spec.lambda)
-        .threads(spec.threads)
-        .build();
 
     let meta = spec.provenance();
     let cp_path = shared.spool.checkpoint_path(job.id);
@@ -548,15 +549,45 @@ fn execute_job(shared: &Shared, job: &Job) {
                         i.stop = Some(StopReason::Cancelled.as_str().to_string());
                     });
                     let _ = shared.spool.write_state(job.id, "cancelled", None);
-                } else {
+                    return;
+                }
+                if job.pending_chip_count() == 0 {
                     // Drain interrupt: the engine flushed a checkpoint;
                     // the spooled state stays `running`, so a restart
                     // resumes this job exactly where it stopped.
                     job.set_state(JobState::Queued);
+                    return;
                 }
-                return;
+                // Chip-fault interrupt: refinement stopped because part
+                // of the board just died under it. The best-so-far
+                // placement is complete and becomes the `done` result,
+                // repaired below before it is published.
             }
-            let text = render_placement(&outcome.placement);
+            // Chip faults injected while the job was queued or running
+            // are repaired into the placement *before* it is published,
+            // so a client that sees `done` also sees the repair's dead
+            // chips and digest in the same status snapshot.
+            let mut placement = outcome.placement;
+            let mut applied: Option<FaultMap> = None;
+            let mut applied_chips: Vec<u32> = Vec::new();
+            let mut degraded: Option<DegradedPlacement> = None;
+            while let Some(chip) = job.pop_pending_chip() {
+                let previous =
+                    applied.clone().unwrap_or_else(|| FaultMap::new(placement.mesh()));
+                match repair_chip(&mapper, spec, &mut placement, &previous, chip) {
+                    Ok((current, report)) => {
+                        applied = Some(current);
+                        applied_chips.push(chip);
+                        degraded = report.degraded;
+                        shared.chip_faults_total.fetch_add(1, SeqCst);
+                    }
+                    Err(message) => {
+                        fail_job(shared, job, &format!("applying chip fault {chip}: {message}"));
+                        return;
+                    }
+                }
+            }
+            let text = render_placement(&placement);
             let digest = sha256_hex(text.as_bytes());
             if let Err(e) = shared.spool.write_placement(job.id, &text) {
                 fail_job(shared, job, &format!("writing placement to spool: {e}"));
@@ -569,9 +600,24 @@ fn execute_job(shared: &Shared, job: &Job) {
                 i.stop = stop_label;
                 i.placement_json = Some(text);
                 i.placement_sha256 = Some(digest);
+                if applied.is_some() {
+                    i.faults = applied;
+                    i.dead_chips.extend(applied_chips);
+                    i.degraded = degraded;
+                }
             });
             // The checkpoint has served its purpose.
             let _ = std::fs::remove_file(&cp_path);
+            // A fault that landed between the pre-publish drain above and
+            // the state flip is picked up here (or by the handler's own
+            // post-push drain — pop atomicity makes either side apply it
+            // exactly once).
+            while let Some(chip) = job.pop_pending_chip() {
+                if let Err(message) = apply_chip_fault(shared, job, chip) {
+                    fail_job(shared, job, &format!("applying chip fault {chip}: {message}"));
+                    return;
+                }
+            }
         }
         // Mapper errors — including a worker panic inside the FD engine,
         // surfaced as `CoreError::WorkerPanicked` — fail this job only.
@@ -716,6 +762,99 @@ fn job_potential(spec: &JobSpec) -> Option<Potential> {
     })
 }
 
+/// Builds the mapper a job's spec describes (board-aware when the spec
+/// carries one); `None` for an unknown init or potential name.
+fn job_mapper(spec: &JobSpec) -> Option<Mapper> {
+    let mut builder = Mapper::builder()
+        .initial_placement(job_init(spec)?)
+        .potential(job_potential(spec)?)
+        .lambda(spec.lambda)
+        .threads(spec.threads);
+    if let Some(board) = &spec.board {
+        builder = builder.board(board.clone());
+    }
+    Some(builder.build())
+}
+
+/// Halo radius (in hops) around evacuated clusters the chip-repair FD
+/// pass may touch.
+const REPAIR_RADIUS: u16 = 2;
+
+/// Fixed sweep budget for the region-masked repair FD pass — fixed so a
+/// repair is deterministic across daemons, replays, and thread counts.
+const REPAIR_SWEEPS: u64 = 16;
+
+/// Kills one chip on top of `previous` and runs the board-aware
+/// incremental repair on `placement` (evacuation plus a fixed-budget,
+/// capacity-respecting local FD pass). Returns the new fault map and the
+/// repair report.
+fn repair_chip(
+    mapper: &Mapper,
+    spec: &JobSpec,
+    placement: &mut snnmap_hw::Placement,
+    previous: &FaultMap,
+    chip: u32,
+) -> Result<(FaultMap, snnmap_core::RepairReport), String> {
+    let board = spec.board.as_ref().ok_or("job has no board")?;
+    let mut current = previous.clone();
+    current.kill_chip(board, chip).map_err(|e| e.to_string())?;
+    let budget = RunBudget { max_sweeps: Some(REPAIR_SWEEPS), ..RunBudget::default() };
+    let report = mapper
+        .repair_incremental(&spec.pcn, placement, previous, &current, REPAIR_RADIUS, budget)
+        .map_err(|e| e.to_string())?;
+    Ok((current, report))
+}
+
+/// Outcome summary of one applied chip fault, for the response body.
+struct ChipRepair {
+    moved: u64,
+    region_cores: u64,
+    degraded: Option<DegradedPlacement>,
+    placement_sha256: String,
+}
+
+/// Applies one whole-chip loss to a finished job: kills the chip in the
+/// job's accumulated fault map, runs the board-aware incremental repair
+/// (evacuation + capacity-respecting local FD), and persists the
+/// repaired placement to the spool.
+///
+/// The job stays `done` whatever the capacity situation — when the
+/// survivors cannot absorb the load, the repair commits the placeable
+/// subset and the typed [`DegradedPlacement`] lands in the status JSON.
+/// A second loss of the same chip reports zero new dead cores and
+/// performs no moves (repair is idempotent).
+fn apply_chip_fault(shared: &Shared, job: &Job, chip: u32) -> Result<ChipRepair, String> {
+    let _gate = job.repair_lock();
+    let Some(board) = job.spec.board.clone() else {
+        return Err("job has no board".to_string());
+    };
+    let mapper = job_mapper(&job.spec).ok_or("unknown init or potential in spooled spec")?;
+    let (text, previous) = job.with_inner(|i| (i.placement_json.clone(), i.faults.clone()));
+    let text = text.ok_or("job has no placement")?;
+    let mut placement = parse_placement(&text).map_err(|e| e.to_string())?;
+    let previous = previous.unwrap_or_else(|| FaultMap::new(board.mesh()));
+    let (current, report) = repair_chip(&mapper, &job.spec, &mut placement, &previous, chip)?;
+    let text = render_placement(&placement);
+    let digest = sha256_hex(text.as_bytes());
+    shared.spool.write_placement(job.id, &text).map_err(|e| e.to_string())?;
+    job.with_inner(|i| {
+        i.placement_json = Some(text);
+        i.placement_sha256 = Some(digest.clone());
+        i.faults = Some(current);
+        if !i.dead_chips.contains(&chip) {
+            i.dead_chips.push(chip);
+        }
+        i.degraded = report.degraded.clone();
+    });
+    shared.chip_faults_total.fetch_add(1, SeqCst);
+    Ok(ChipRepair {
+        moved: report.moved,
+        region_cores: report.region_cores,
+        degraded: report.degraded,
+        placement_sha256: digest,
+    })
+}
+
 /// Handles one connection: one request, one response, close — all of it
 /// inside the configured I/O deadline, so no client behavior (slow
 /// loris, stalled body, mid-body disconnect) can wedge this thread.
@@ -741,6 +880,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 fn route(shared: &Shared, req: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/jobs") => post_job(shared, req, stream),
+        ("POST", "/faults/chip") => post_chip_fault(shared, req, stream),
         ("GET", "/healthz") => {
             let body = serde_json::json!({ "status": "ok" });
             respond_json(stream, 200, "OK", &body)
@@ -836,25 +976,175 @@ fn post_job(shared: &Shared, req: &Request, stream: &mut TcpStream) -> std::io::
     respond_json(stream, 201, "Created", &body)
 }
 
+/// The `POST /faults/chip` body.
+#[derive(serde::Deserialize)]
+struct ChipFaultDoc {
+    /// The target job.
+    id: u64,
+    /// The chip to kill (row-major chip index on the job's board).
+    chip: u32,
+}
+
+/// `POST /faults/chip` — injects a whole-chip loss into a board job.
+///
+/// A `done` job is repaired synchronously (`200` with the repair
+/// summary). A `queued` or `running` job records the fault as pending
+/// (`202`); injection into a running job additionally raises the
+/// engine's cancel flag, so refinement stops at the next sweep boundary
+/// and the worker repairs the best-so-far placement online. Jobs without
+/// a board, terminal-failed/cancelled jobs, and repeat kills of the same
+/// chip conflict (`409`).
+fn post_chip_fault(shared: &Shared, req: &Request, stream: &mut TcpStream) -> std::io::Result<()> {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return http::respond_error(stream, 400, "Bad Request", "body is not UTF-8");
+    };
+    // Hardened like every network-facing parser in this workspace.
+    if let Err(e) = reject_duplicate_keys(body) {
+        return http::respond_error(stream, 400, "Bad Request", &e.to_string());
+    }
+    let doc: ChipFaultDoc = match serde_json::from_str(body) {
+        Ok(doc) => doc,
+        Err(e) => return http::respond_error(stream, 400, "Bad Request", &e.to_string()),
+    };
+    let Some(job) = lock(&shared.jobs).get(&doc.id).cloned() else {
+        return no_such_job(stream, doc.id);
+    };
+    let Some(board) = &job.spec.board else {
+        return http::respond_error(
+            stream,
+            409,
+            "Conflict",
+            &format!("job {} has no board; submit it with a `board` to inject chip faults", doc.id),
+        );
+    };
+    if doc.chip >= board.num_chips() {
+        return http::respond_error(
+            stream,
+            400,
+            "Bad Request",
+            &format!("chip {} outside the job's {}-chip board", doc.chip, board.num_chips()),
+        );
+    }
+    let already = job.with_inner(|i| i.dead_chips.contains(&doc.chip));
+    if already {
+        return http::respond_error(
+            stream,
+            409,
+            "Conflict",
+            &format!("chip {} of job {} is already dead", doc.chip, doc.id),
+        );
+    }
+    match job.state() {
+        JobState::Done => match apply_chip_fault(shared, &job, doc.chip) {
+            Ok(repair) => {
+                let body = serde_json::json!({
+                    "id": doc.id,
+                    "chip": doc.chip,
+                    "state": "done",
+                    "moved": repair.moved,
+                    "region_cores": repair.region_cores,
+                    "degraded": repair.degraded.as_ref().map(degraded_value),
+                    "placement_sha256": repair.placement_sha256,
+                });
+                respond_json(stream, 200, "OK", &body)
+            }
+            Err(message) => http::respond_error(
+                stream,
+                500,
+                "Internal Server Error",
+                &format!("repairing job {} after losing chip {}: {message}", doc.id, doc.chip),
+            ),
+        },
+        state @ (JobState::Queued | JobState::Running) => {
+            if !job.push_pending_chip(doc.chip) {
+                return http::respond_error(
+                    stream,
+                    409,
+                    "Conflict",
+                    &format!("chip {} of job {} is already scheduled to die", doc.chip, doc.id),
+                );
+            }
+            // Stop refining a layout whose board just lost a chip; the
+            // worker finishes with the best-so-far placement and repairs
+            // it. (Raised for queued jobs too: their run stops at the
+            // first sweep boundary and goes straight to repair — the
+            // hardware is already degraded, so long refinement of the
+            // pre-fault layout would be wasted work.)
+            job.cancel.store(true, SeqCst);
+            // The worker may have finished between the state read and the
+            // push; drain here so the fault is never stranded.
+            if job.state() == JobState::Done {
+                while let Some(chip) = job.pop_pending_chip() {
+                    if let Err(message) = apply_chip_fault(shared, &job, chip) {
+                        return http::respond_error(
+                            stream,
+                            500,
+                            "Internal Server Error",
+                            &format!(
+                                "repairing job {} after losing chip {chip}: {message}",
+                                doc.id
+                            ),
+                        );
+                    }
+                }
+            }
+            let body = serde_json::json!({
+                "id": doc.id,
+                "chip": doc.chip,
+                "state": state.as_str(),
+                "pending": true,
+            });
+            respond_json(stream, 202, "Accepted", &body)
+        }
+        state => http::respond_error(
+            stream,
+            409,
+            "Conflict",
+            &format!("job {} is {state}; chip faults apply to queued, running, or done jobs", doc.id),
+        ),
+    }
+}
+
+/// Renders a [`DegradedPlacement`] for status/repair JSON bodies.
+fn degraded_value(d: &DegradedPlacement) -> serde_json::Value {
+    serde_json::json!({
+        "unplaced": d.unplaced,
+        "demand_neurons": d.demand_neurons,
+        "demand_synapses": d.demand_synapses,
+        "spare_neurons": d.spare_neurons,
+        "spare_synapses": d.spare_synapses,
+    })
+}
+
 fn get_job(shared: &Shared, id: u64, stream: &mut TcpStream) -> std::io::Result<()> {
     let Some(job) = lock(&shared.jobs).get(&id).cloned() else {
         return no_such_job(stream, id);
     };
     let snap = job.progress.snapshot();
-    let (state, error, stop, sha) = job.with_inner(|i| {
-        (i.state, i.error.clone(), i.stop.clone(), i.placement_sha256.clone())
+    let (state, error, stop, sha, dead_chips, degraded) = job.with_inner(|i| {
+        (
+            i.state,
+            i.error.clone(),
+            i.stop.clone(),
+            i.placement_sha256.clone(),
+            i.dead_chips.clone(),
+            i.degraded.clone(),
+        )
     });
     let body = serde_json::json!({
         "id": job.id,
         "state": state.as_str(),
         "clusters": job.spec.pcn.num_clusters(),
         "mesh": format!("{}x{}", job.spec.mesh.rows(), job.spec.mesh.cols()),
+        "board": opt_value(job.spec.board.as_ref().map(|b| b.to_string())),
         "sweeps": snap.sweeps,
         "swaps": snap.swaps,
         "energy": opt_value(snap.energy),
         "stop": opt_value(stop),
         "error": opt_value(error),
         "placement_sha256": opt_value(sha),
+        "dead_chips": dead_chips,
+        "degraded": degraded.as_ref().map(degraded_value),
     });
     respond_json(stream, 200, "OK", &body)
 }
@@ -1054,6 +1344,180 @@ mod tests {
         let report = handle.join().unwrap();
         assert_eq!(report.jobs_total, 1);
         assert_eq!(report.queued_left, 0);
+    }
+
+    #[test]
+    fn chip_fault_on_a_done_board_job_repairs_in_place() {
+        let server = Server::bind(&temp_config("chipfault")).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || server.run(&flag));
+
+        const BOARD: &str = "2x2/4x4@4096,65536";
+        let pcn = random_pcn(40, 3.0, 7).unwrap();
+        let body = serde_json::json!({
+            "format": "snnmap-job-v1",
+            "pcn": render_pcn(&pcn),
+            "board": BOARD,
+            "max_sweeps": 8,
+        });
+        let (status, body) = request(addr, "POST", "/jobs", &serde_json::to_string(&body).unwrap());
+        assert_eq!(status, 201, "{body}");
+        let id = json_u64(&body, "id");
+        let (state, status_body) = wait_terminal(addr, id);
+        assert_eq!(state, "done", "{status_body}");
+        assert!(
+            json_field(&status_body, "board").as_str().unwrap_or_default().contains("2x2 chips"),
+            "{status_body}"
+        );
+
+        // Kill chip 3; the repair summary comes back synchronously.
+        let fault = format!("{{\"id\": {id}, \"chip\": 3}}");
+        let (status, body) = request(addr, "POST", "/faults/chip", &fault);
+        assert_eq!(status, 200, "{body}");
+        assert!(json_field(&body, "degraded").is_null(), "{body}");
+        let sha = json_field(&body, "placement_sha256").as_str().unwrap().to_string();
+
+        // The repaired placement is capacity-valid on the faulted board.
+        let (status, placement_text) = request(addr, "GET", &format!("/jobs/{id}/placement"), "");
+        assert_eq!(status, 200);
+        assert_eq!(sha256_hex(placement_text.as_bytes()), sha);
+        let placement = snnmap_io::parse_placement(&placement_text).unwrap();
+        let board = snnmap_hw::Board::parse(BOARD).unwrap();
+        let mut faults = FaultMap::new(board.mesh());
+        faults.kill_chip(&board, 3).unwrap();
+        let report =
+            snnmap_core::validate_board(&pcn, &placement, Some(&faults), &board).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations());
+
+        // Status reflects the loss; sha matches the repaired document.
+        let (status, status_body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        assert_eq!(serde_json::to_string(&json_field(&status_body, "dead_chips")).unwrap(), "[3]", "{status_body}");
+        assert_eq!(json_field(&status_body, "placement_sha256").as_str(), Some(sha.as_str()));
+
+        // Guard rails: repeat kill conflicts, out-of-range chip and
+        // duplicate keys are bad requests, unknown jobs are 404, and a
+        // boardless job refuses injection.
+        let (status, body) = request(addr, "POST", "/faults/chip", &fault);
+        assert_eq!(status, 409, "{body}");
+        let (status, _) =
+            request(addr, "POST", "/faults/chip", &format!("{{\"id\": {id}, \"chip\": 99}}"));
+        assert_eq!(status, 400);
+        let dup = format!("{{\"id\": {id}, \"id\": {id}, \"chip\": 2}}");
+        let (status, body) = request(addr, "POST", "/faults/chip", &dup);
+        assert_eq!(status, 400);
+        assert!(body.contains("duplicate JSON key"), "{body}");
+        let (status, _) = request(addr, "POST", "/faults/chip", "{\"id\": 999, \"chip\": 0}");
+        assert_eq!(status, 404);
+        let (status, body) = request(addr, "POST", "/jobs", &job_body(12, 1, 4));
+        assert_eq!(status, 201, "{body}");
+        let plain = json_u64(&body, "id");
+        wait_terminal(addr, plain);
+        let (status, body) =
+            request(addr, "POST", "/faults/chip", &format!("{{\"id\": {plain}, \"chip\": 0}}"));
+        assert_eq!(status, 409);
+        assert!(body.contains("no board"), "{body}");
+
+        let (status, metrics_page) = request(addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(metrics_page.contains("snnmap_serve_chip_faults_total 1"), "{metrics_page}");
+
+        shutdown.store(true, SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn chip_fault_beyond_capacity_degrades_without_killing_the_daemon() {
+        let server = Server::bind(&temp_config("degraded")).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || server.run(&flag));
+
+        // Four 1-neuron clusters exactly fill a 1x4 mesh of 1-neuron
+        // cores; losing chip 1 (two cores) leaves zero spare capacity.
+        let pcn_text = "pcn v1\nclusters 4\ncluster 0 1 0\ncluster 1 1 0\n\
+                        cluster 2 1 0\ncluster 3 1 0\nedge 0 1 1.0\nedge 2 3 1.0\n";
+        let body = serde_json::json!({
+            "format": "snnmap-job-v1",
+            "pcn": pcn_text,
+            "board": "1x2/1x2@1,64",
+            "max_sweeps": 4,
+        });
+        let (status, body) = request(addr, "POST", "/jobs", &serde_json::to_string(&body).unwrap());
+        assert_eq!(status, 201, "{body}");
+        let id = json_u64(&body, "id");
+        let (state, _) = wait_terminal(addr, id);
+        assert_eq!(state, "done");
+
+        let (status, body) =
+            request(addr, "POST", "/faults/chip", &format!("{{\"id\": {id}, \"chip\": 1}}"));
+        assert_eq!(status, 200, "{body}");
+        let degraded = json_field(&body, "degraded");
+        let unplaced = degraded
+            .as_object()
+            .and_then(|o| o.get("unplaced"))
+            .and_then(|u| u.as_array())
+            .expect("degraded report with unplaced list");
+        assert_eq!(unplaced.len(), 2, "{body}");
+
+        // The job is still done, the degraded report is in the status,
+        // and the daemon is alive and well.
+        let (status, status_body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200);
+        assert_eq!(json_field(&status_body, "state").as_str(), Some("done"));
+        assert!(!json_field(&status_body, "degraded").is_null(), "{status_body}");
+        let (status, _) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+
+        shutdown.store(true, SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn chip_fault_interrupts_a_running_board_job() {
+        let server = Server::bind(&temp_config("chiplive")).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || server.run(&flag));
+
+        const BOARD: &str = "2x2/16x16@4096,65536";
+        let pcn = random_pcn(400, 3.0, 11).unwrap();
+        let body = serde_json::json!({
+            "format": "snnmap-job-v1",
+            "pcn": render_pcn(&pcn),
+            "board": BOARD,
+            "max_sweeps": 100_000,
+        });
+        let (status, body) = request(addr, "POST", "/jobs", &serde_json::to_string(&body).unwrap());
+        assert_eq!(status, 201, "{body}");
+        let id = json_u64(&body, "id");
+
+        // Inject the loss while the job is queued or running; either way
+        // it is accepted as pending and applied by the worker.
+        let (status, body) =
+            request(addr, "POST", "/faults/chip", &format!("{{\"id\": {id}, \"chip\": 2}}"));
+        assert!(status == 202 || status == 200, "{status}: {body}");
+
+        let (state, status_body) = wait_terminal(addr, id);
+        assert_eq!(state, "done", "{status_body}");
+        assert_eq!(serde_json::to_string(&json_field(&status_body, "dead_chips")).unwrap(), "[2]", "{status_body}");
+
+        let (status, placement_text) = request(addr, "GET", &format!("/jobs/{id}/placement"), "");
+        assert_eq!(status, 200);
+        let placement = snnmap_io::parse_placement(&placement_text).unwrap();
+        let board = snnmap_hw::Board::parse(BOARD).unwrap();
+        let mut faults = FaultMap::new(board.mesh());
+        faults.kill_chip(&board, 2).unwrap();
+        let report =
+            snnmap_core::validate_board(&pcn, &placement, Some(&faults), &board).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations());
+
+        shutdown.store(true, SeqCst);
+        handle.join().unwrap();
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t = Instant::now();
     let pcn = graph.partition_analytic(
-        CoreConstraints::new(4096, u64::MAX),
+        CoreConstraints::new(4096, u64::MAX).unwrap(),
         PartitionPolicy::table3(),
     )?;
     println!(

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Map both versions of the application and compare.
-    let con = CoreConstraints::new(256, 64 * 1024);
+    let con = CoreConstraints::new(256, 64 * 1024).unwrap();
     let cost = CostModel::paper_target();
     for (name, snn) in [("uniform-ish weights", &topology), ("measured densities", &measured.network)]
     {

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pcn = RealisticModel::LeNetImageNet
         .layer_graph(3)
         .partition_analytic(
-            CoreConstraints::new(4096, u64::MAX),
+            CoreConstraints::new(4096, u64::MAX).unwrap(),
             snnmap::model::PartitionPolicy::table3(),
         )?;
     let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;

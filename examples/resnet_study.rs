@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = RealisticModel::ResNet.layer_graph(0);
     println!("building {graph}");
     let pcn = graph.partition_analytic(
-        CoreConstraints::new(4096, u64::MAX),
+        CoreConstraints::new(4096, u64::MAX).unwrap(),
         PartitionPolicy::table3(),
     )?;
     let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;

@@ -31,7 +31,7 @@
 //! // A small synthetic DNN on a toy core with 64 neurons per core.
 //! let (_, cost) = snnmap::hw::presets::paper_target();
 //! let snn = DnnSpec::new(&[64, 128, 64])?.build(42)?;
-//! let pcn = partition(&snn, CoreConstraints::new(64, 1 << 20))?;
+//! let pcn = partition(&snn, CoreConstraints::new(64, 1 << 20).unwrap())?;
 //! let mesh = Mesh::square_for(pcn.num_clusters() as u64)?;
 //!
 //! let mapper = Mapper::builder().potential(Potential::L2Squared).build();

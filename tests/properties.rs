@@ -41,7 +41,7 @@ proptest! {
         l1 in 1u32..40, l2 in 1u32..40, l3 in 1u32..40, npc in 1u32..64
     ) {
         let snn = DnnSpec::new(&[l1 as u64, l2 as u64, l3 as u64]).unwrap().build(0).unwrap();
-        let pcn = partition(&snn, CoreConstraints::new(npc, u64::MAX)).unwrap();
+        let pcn = partition(&snn, CoreConstraints::new(npc, u64::MAX).unwrap()).unwrap();
         prop_assert_eq!(pcn.total_neurons(), (l1 + l2 + l3) as u64);
         for c in 0..pcn.num_clusters() {
             prop_assert!(pcn.neurons_in(c) <= npc);
