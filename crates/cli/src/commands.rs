@@ -9,7 +9,7 @@ use snnmap_baselines::{
 };
 use snnmap_core::{
     CheckpointWriter, CoreError, FdCheckpoint, FdRunOpts, InitialPlacement, MapOutcome, Mapper,
-    MultilevelConfig, Potential, StopReason,
+    MultilevelConfig, Objective, Potential, StopReason,
 };
 use snnmap_hw::{
     Board, ChipId, CoreConstraints, CostModel, FaultInjector, FaultMap, FaultPattern, Mesh,
@@ -23,6 +23,7 @@ use snnmap_io::{
 use snnmap_serve::{signal, ServeConfig, Server};
 use snnmap_trace::{sha256_hex, JsonlSink, NoopSink, TraceSink};
 use snnmap_metrics::{evaluate_with, hop_histogram, EvalOptions};
+use snnmap_noc::{NocConfig, NocReweighter, NocSim, PcnTraffic};
 use snnmap_model::generators::{random_pcn, table3_suite};
 use snnmap_model::Pcn;
 
@@ -220,6 +221,61 @@ fn load_faults(
     Ok(Some(fm))
 }
 
+/// Simulated cycles per NoC run (sim-in-the-loop reweighting and the
+/// `eval` NoC columns): long enough that per-router Bernoulli noise
+/// stays small, short enough to be a rounding error next to FD itself.
+const NOC_EVAL_CYCLES: u64 = 256;
+
+/// Injection scale for the seeded NoC runs: the hottest PCN connection
+/// injects with probability 1/4 per cycle, so [`PcnTraffic`]'s `min(1, ·)`
+/// clamp never engages and traversal counts stay proportional to edge
+/// weights.
+fn noc_scale(pcn: &Pcn) -> f64 {
+    let mut wmax = 0.0f64;
+    for c in 0..pcn.num_clusters() {
+        for (_, w) in pcn.out_edges(c) {
+            wmax = wmax.max(w as f64);
+        }
+    }
+    if wmax > 0.0 {
+        0.25 / wmax
+    } else {
+        0.0
+    }
+}
+
+/// Parses the `--objective` / `--lambda-congestion` / `--lambda-latency`
+/// flag family into an [`Objective`], rejecting λ knobs the chosen
+/// objective ignores (a silently dropped weight would be worse than an
+/// error).
+fn parse_objective(o: &Opts) -> Result<Objective, CliError> {
+    let label = o.flag("objective").unwrap_or("energy");
+    if label == "energy" {
+        for flag in ["lambda-congestion", "lambda-latency"] {
+            if o.flag(flag).is_some() {
+                return Err(CliError::usage(format!(
+                    "`--{flag}` has no effect with `--objective energy`"
+                )));
+            }
+        }
+    }
+    if label == "congestion" && o.flag("lambda-latency").is_some() {
+        return Err(CliError::usage(
+            "`--lambda-latency` has no effect with `--objective congestion`; \
+             use `--objective composite`",
+        ));
+    }
+    let lambda_c: f64 = o.parsed_or("lambda-congestion", 1.0)?;
+    let lambda_t: f64 = o.parsed_or("lambda-latency", 0.0)?;
+    let objective = Objective::from_parts(label, lambda_c, lambda_t).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown objective `{label}` (energy, congestion, or composite)"
+        ))
+    })?;
+    objective.validate().map_err(|e| CliError::usage(e.to_string()))?;
+    Ok(objective)
+}
+
 /// Provenance digests for a proposed-method run: the PCN and every
 /// configuration knob that shapes the FD trajectory (budgets and thread
 /// counts are deliberately excluded — the trajectory is invariant to
@@ -234,6 +290,8 @@ fn proposed_digests(
     faults: Option<&FaultMap>,
     multilevel: bool,
     board: Option<&Board>,
+    objective: Objective,
+    reweight_every: Option<u64>,
 ) -> CheckpointMeta {
     let faults_digest = match faults {
         Some(fm) => sha256_hex(render_faults(fm).as_bytes()),
@@ -247,9 +305,22 @@ fn proposed_digests(
         Some(b) => format!(" board={}", sha256_hex(render_board(b).as_bytes())),
         None => String::new(),
     };
+    // Same append-only discipline for the objective family: the default
+    // (pure energy, no reweighting) contributes nothing, so historical
+    // checkpoints keep verifying.
+    let objective_part = if objective.is_energy() && reweight_every.is_none() {
+        String::new()
+    } else {
+        let (_, lc, lt) = objective.weights();
+        let rw = match reweight_every {
+            Some(k) => format!(" reweight={k}"),
+            None => String::new(),
+        };
+        format!(" objective={} lc={lc} lt={lt}{rw}", objective.label())
+    };
     let config = format!(
         "init={init} potential={potential} lambda={lambda} seed={seed} \
-         faults={faults_digest} multilevel={ml}{board_digest}"
+         faults={faults_digest} multilevel={ml}{board_digest}{objective_part}"
     );
     CheckpointMeta {
         config_digest: sha256_hex(config.as_bytes()),
@@ -283,6 +354,11 @@ where
 /// the run: stop budgets and checkpointing.
 const RESILIENCE_FLAGS: [&str; 4] =
     ["deadline-ms", "max-sweeps", "checkpoint-every", "checkpoint-out"];
+
+/// The objective family of `map --method proposed` (and, minus
+/// `--sim-in-loop`, of `resume`).
+const OBJECTIVE_FLAGS: [&str; 4] =
+    ["objective", "lambda-congestion", "lambda-latency", "sim-in-loop"];
 
 /// Assembles [`FdRunOpts`] from the resilience flags. The returned
 /// writer closure (if any) must stay alive while `opts` is used, so the
@@ -357,6 +433,10 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             "faults-out",
             "threads",
             "multilevel",
+            "objective",
+            "lambda-congestion",
+            "lambda-latency",
+            "sim-in-loop",
             "trace-out",
             "trace-timing",
             "deadline-ms",
@@ -451,6 +531,13 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 )));
             }
         }
+        for flag in OBJECTIVE_FLAGS {
+            if o.flag(flag).is_some() {
+                return Err(CliError::usage(format!(
+                    "`--{flag}` is only supported with `--method proposed`, not `{method}`"
+                )));
+            }
+        }
     }
     let (placement, detail) = match method {
         "proposed" => {
@@ -475,6 +562,13 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
             if !(lambda > 0.0 && lambda <= 1.0) {
                 return Err(CliError::usage("lambda must be in (0, 1]"));
             }
+            let objective = parse_objective(&o)?;
+            let sim_in_loop: u64 = o.parsed_or("sim-in-loop", 0)?;
+            if sim_in_loop > 0 && objective.is_energy() {
+                return Err(CliError::usage(
+                    "`--sim-in-loop` requires `--objective congestion` or `composite`",
+                ));
+            }
             // Absent = auto (SNNMAP_THREADS, else available parallelism);
             // the placement is bit-identical for every thread count.
             let threads = parse_threads_flag(&o)?;
@@ -483,6 +577,12 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 .potential(potential)
                 .lambda(lambda)
                 .threads(threads);
+            if !objective.is_energy() {
+                builder = builder.objective(objective);
+            }
+            if sim_in_loop > 0 {
+                builder = builder.reweight_every(sim_in_loop);
+            }
             if multilevel {
                 builder = builder.multilevel(MultilevelConfig::default());
             }
@@ -506,8 +606,15 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                 faults.as_ref(),
                 multilevel,
                 board.as_ref(),
+                objective,
+                (sim_in_loop > 0).then_some(sim_in_loop),
             );
             let mut writer = resilience.writer(&meta);
+            // Sim-in-the-loop: a seeded NocSim replays the PCN's traffic
+            // over the evolving placement every `sim_in_loop` sweeps and
+            // hands per-router heat back to the congestion term.
+            let mut sim_hook = (sim_in_loop > 0)
+                .then(|| NocReweighter::new(&pcn, noc_scale(&pcn), NOC_EVAL_CYCLES, seed));
             let mut run_opts = FdRunOpts::default();
             resilience.apply(
                 &mut run_opts,
@@ -515,6 +622,9 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                     .as_mut()
                     .map(|w| w as &mut dyn FnMut(&FdCheckpoint) -> Result<(), String>),
             );
+            if let Some(hook) = sim_hook.as_mut() {
+                run_opts.reweighter = Some(hook);
+            }
             // Ctrl-C / SIGTERM stops the FD engine at the next sweep
             // boundary instead of killing the process mid-write; the
             // engine flushes a checkpoint first when one is configured.
@@ -529,7 +639,14 @@ pub fn map(args: &[String]) -> Result<String, CliError> {
                     resilience.checkpoint_out.as_deref(),
                 ));
             }
-            let detail = fd_detail(&outcome, resilience.checkpoint_out.as_deref());
+            let mut detail = fd_detail(&outcome, resilience.checkpoint_out.as_deref());
+            if !objective.is_energy() {
+                let (_, lc, lt) = objective.weights();
+                let _ = write!(detail, "\nobjective: {} (lc={lc}, lt={lt})", objective.label());
+                if sim_in_loop > 0 {
+                    let _ = write!(detail, ", NoC reweight every {sim_in_loop} sweep(s)");
+                }
+            }
             (outcome.placement, detail)
         }
         baseline => {
@@ -719,6 +836,9 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
             "threads",
             "faults",
             "multilevel",
+            "objective",
+            "lambda-congestion",
+            "lambda-latency",
             "trace-out",
             "trace-timing",
             "deadline-ms",
@@ -766,6 +886,10 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
         }
     };
 
+    // Sim-in-the-loop runs are never checkpointed (the heat-derived
+    // weight field is not part of FdCheckpoint), so resume only needs the
+    // static objective knobs to reproduce the original digest.
+    let objective = parse_objective(&o)?;
     let meta = proposed_digests(
         &pcn,
         init_name,
@@ -774,6 +898,8 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
         seed,
         faults.as_ref(),
         multilevel,
+        None,
+        objective,
         None,
     );
     if meta.pcn_digest != on_disk.pcn_digest {
@@ -786,7 +912,9 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::usage(
             "checkpoint was taken under a different configuration (digest \
              mismatch); pass the original --init/--potential/--lambda/--seed/\
-             --faults/--multilevel values",
+             --faults/--multilevel/--objective/--lambda-congestion/\
+             --lambda-latency values (`--sim-in-loop` runs are never \
+             checkpointed)",
         ));
     }
 
@@ -805,6 +933,9 @@ pub fn resume(args: &[String]) -> Result<String, CliError> {
     };
 
     let mut builder = Mapper::builder().potential(potential).lambda(lambda).threads(threads);
+    if !objective.is_energy() {
+        builder = builder.objective(objective);
+    }
     if let Some(fm) = faults.clone() {
         builder = builder.fault_map(fm);
     }
@@ -899,23 +1030,133 @@ fn load_pair(o: &Opts) -> Result<(Pcn, Placement), CliError> {
     Ok((pcn, placement))
 }
 
-/// `snnmap eval`: compute the §3.3 metrics of a placement.
+/// One `eval` NoC simulation: seeded traffic replay over the placement,
+/// summarized into the columns the human and Prometheus outputs share.
+struct NocEval {
+    cycles: u64,
+    max_latency: u64,
+    avg_latency: f64,
+    detour_hops: u64,
+    hottest: (usize, usize),
+    hottest_traversals: u64,
+    /// Simulated `M_ac` / `M_mc` in analytic congestion-map units
+    /// ([`snnmap_noc::NocStats::congestion_map`]); zero when the PCN has
+    /// no traffic to drive the adapter.
+    sim_avg_congestion: f64,
+    sim_max_congestion: f64,
+}
+
+/// Replays the PCN's spike traffic over `placement` for `cycles` cycles
+/// on a seeded, fault-free simulator using the random-minimal routing
+/// whose expectation matches the analytic congestion model.
+fn simulate_noc(pcn: &Pcn, placement: &Placement, cycles: u64, seed: u64) -> NocEval {
+    let scale = noc_scale(pcn);
+    let mesh = placement.mesh();
+    let mut traffic = PcnTraffic::new(pcn, placement, scale, seed);
+    let config = NocConfig {
+        routing: snnmap_noc::Routing::RandomMinimal,
+        seed,
+        ..NocConfig::default()
+    };
+    let mut sim = NocSim::new(mesh, config);
+    traffic.run(&mut sim, cycles);
+    let stats = sim.stats();
+    let (arg, &hot) = stats
+        .traversals
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &t)| (t, std::cmp::Reverse(i)))
+        .unwrap_or((0, &0));
+    let cols = mesh.cols() as usize;
+    let (sim_avg, sim_max) = if scale > 0.0 && cycles > 0 {
+        let adapted = stats.congestion_map(scale, cycles);
+        let avg = adapted.iter().sum::<f64>() / adapted.len().max(1) as f64;
+        (avg, adapted.iter().copied().fold(0.0, f64::max))
+    } else {
+        (0.0, 0.0)
+    };
+    NocEval {
+        cycles,
+        max_latency: stats.max_latency,
+        avg_latency: stats.average_latency(),
+        detour_hops: stats.detour_hops,
+        hottest: (arg / cols, arg % cols),
+        hottest_traversals: hot,
+        sim_avg_congestion: sim_avg,
+        sim_max_congestion: sim_max,
+    }
+}
+
+/// The NoC gauge page appended to `eval --format prometheus` (the
+/// analytic gauges come from [`MetricsReport::to_prometheus`]; the
+/// simulated ones live here because `snnmap-metrics` cannot depend on
+/// the simulator).
+fn noc_prometheus(noc: &NocEval) -> String {
+    let mut prom = snnmap_metrics::PromText::new();
+    for (name, help, value) in [
+        ("noc_cycles", "Simulated NoC cycles behind the noc_* gauges.", noc.cycles as f64),
+        (
+            "noc_max_latency",
+            "Largest simulated spike latency, in cycles (one per router traversal).",
+            noc.max_latency as f64,
+        ),
+        ("noc_avg_latency", "Mean simulated spike latency, in cycles.", noc.avg_latency),
+        (
+            "noc_detour_hops",
+            "Simulated hops beyond the fault-free Manhattan minimum.",
+            noc.detour_hops as f64,
+        ),
+        (
+            "noc_hottest_traversals",
+            "Traversal count of the hottest simulated router.",
+            noc.hottest_traversals as f64,
+        ),
+        ("noc_hottest_row", "Row of the hottest simulated router.", noc.hottest.0 as f64),
+        ("noc_hottest_col", "Column of the hottest simulated router.", noc.hottest.1 as f64),
+        (
+            "noc_sim_avg_congestion",
+            "Simulated M_ac in analytic congestion-map units.",
+            noc.sim_avg_congestion,
+        ),
+        (
+            "noc_sim_max_congestion",
+            "Simulated M_mc in analytic congestion-map units.",
+            noc.sim_max_congestion,
+        ),
+    ] {
+        prom.header(name, "gauge", help);
+        prom.sample(name, &[], value);
+    }
+    prom.finish()
+}
+
+/// `snnmap eval`: compute the §3.3 metrics of a placement, plus
+/// simulated NoC columns from a seeded traffic replay (`--noc-cycles 0`
+/// keeps evaluation purely analytic).
 pub fn eval(args: &[String]) -> Result<String, CliError> {
-    let o = Opts::parse(args, &["sample", "seed", "format"])?;
+    let o = Opts::parse(args, &["sample", "seed", "format", "noc-cycles"])?;
     let (pcn, placement) = load_pair(&o)?;
     let sample: u64 = o.parsed_or("sample", 200_000)?;
     let seed: u64 = o.parsed_or("seed", 42)?;
+    let noc_cycles: u64 = o.parsed_or("noc-cycles", NOC_EVAL_CYCLES)?;
     let report = evaluate_with(
         &pcn,
         &placement,
         CostModel::paper_target(),
         EvalOptions { congestion_sample: Some((sample, seed)) },
     )?;
+    let noc = (noc_cycles > 0).then(|| simulate_noc(&pcn, &placement, noc_cycles, seed));
     match o.flag("format").unwrap_or("text") {
         "text" => {}
         // The same encoder the serve daemon's /metrics endpoint uses, so
         // offline evaluation drops straight into a Prometheus scrape.
-        "prometheus" => return Ok(report.to_prometheus()),
+        "prometheus" => {
+            let mut page = report.to_prometheus();
+            if let Some(n) = &noc {
+                page.push_str(&noc_prometheus(n));
+            }
+            return Ok(page);
+        }
         other => {
             return Err(CliError::usage(format!(
                 "`--format` takes `text` or `prometheus`, got `{other}`"
@@ -933,6 +1174,29 @@ pub fn eval(args: &[String]) -> Result<String, CliError> {
             out,
             "congestion coverage:     {:.1}% of traffic sampled",
             report.congestion_coverage * 100.0
+        );
+    }
+    if report.max_congestion_is_lower_bound {
+        let _ = writeln!(
+            out,
+            "                         (sampled: M_mc above is a lower bound)"
+        );
+    }
+    if let Some(n) = &noc {
+        let _ = writeln!(
+            out,
+            "NoC sim ({} cycles):     max latency {} cycles, avg {:.2}, detours {} hop(s)",
+            n.cycles, n.max_latency, n.avg_latency, n.detour_hops
+        );
+        let _ = writeln!(
+            out,
+            "NoC hottest router:      ({}, {}) with {} traversals \
+             (sim M_ac {:.4e}, M_mc {:.4e})",
+            n.hottest.0,
+            n.hottest.1,
+            n.hottest_traversals,
+            n.sim_avg_congestion,
+            n.sim_max_congestion
         );
     }
     // Traffic-by-hop-distance distribution, as cumulative percentiles.

@@ -53,6 +53,8 @@ commands:
         [--init hilbert|zigzag|circle|serpentine|random]
         [--potential l1|l1sq|l2sq|energy] [--lambda F]
         [--budget-secs N] [--seed N] [--threads N] [--multilevel on|off]
+        [--objective energy|congestion|composite]
+        [--lambda-congestion F] [--lambda-latency F] [--sim-in-loop N]
         [--faults <rate|file.json|chip:<id,...>>] [--faults-out <file.json>]
         [--trace-out <run.jsonl>] [--trace-timing on|off]
         [--deadline-ms N] [--max-sweeps N]
@@ -60,11 +62,12 @@ commands:
   resume <file.pcn> --checkpoint <cp.json> --out <placement.json>
         [--init ...] [--potential ...] [--lambda F] [--seed N]
         [--threads N] [--faults <rate|file.json>] [--multilevel on|off]
+        [--objective ...] [--lambda-congestion F] [--lambda-latency F]
         [--deadline-ms N] [--max-sweeps N]
         [--checkpoint-every N] [--checkpoint-out <cp.json>]
         [--trace-out <run.jsonl>] [--trace-timing on|off]
   eval  <file.pcn> <placement.json> [--sample N]
-        [--format text|prometheus]
+        [--noc-cycles N] [--format text|prometheus]
   viz   <file.pcn> <placement.json> [--width N]
   validate <file.pcn> <placement.json>
         [--faults <rate|file.json|chip:<id,...>>] [--seed N]
@@ -93,6 +96,20 @@ neuron/synapse capacity: the HSC init skips cores a cluster does not
 fit on and FD refinement never swaps a cluster onto a core it would
 overload. `validate --board` checks capacity and chip-liveness
 invariants; with a fault map it also rejects clusters on dead chips.
+
+`--objective` picks what FD refinement descends: `energy` (default, the
+paper's eq. 25 potential — bit-identical to older releases), pure
+`congestion` (Algorithm 4 expected per-router traffic, weight
+`--lambda-congestion`), or `composite`
+(energy + lc*congestion + lt*latency-tail, the tail term charging
+squared Manhattan distance via `--lambda-latency`). On a `--board` run
+the non-energy terms weight chip-boundary crossings higher.
+`--sim-in-loop N` additionally replays the PCN's spike traffic on the
+seeded NoC simulator every N sweeps and re-weights hot routers in the
+congestion term; it requires a non-energy objective, is incompatible
+with checkpointing, and stays byte-identical across thread counts.
+`eval`'s NoC columns (`--noc-cycles`, default 256, 0 disables) come
+from the same seeded simulator.
 
 `--threads N` pins the FD worker-thread count (N >= 1); omit the flag
 for auto-detection (SNNMAP_THREADS if set and valid, else the available
@@ -199,6 +216,15 @@ mod tests {
 
         let out = run(&sv(&["eval", pcn_s, placement_s])).unwrap();
         assert!(out.contains("energy"), "{out}");
+        assert!(out.contains("NoC sim (256 cycles)"), "{out}");
+        assert!(out.contains("NoC hottest router"), "{out}");
+
+        // The NoC replay is seeded: same seed, same columns; and
+        // `--noc-cycles 0` drops them for purely analytic evaluation.
+        let again = run(&sv(&["eval", pcn_s, placement_s])).unwrap();
+        assert_eq!(out, again, "eval must be deterministic per seed");
+        let plain = run(&sv(&["eval", pcn_s, placement_s, "--noc-cycles", "0"])).unwrap();
+        assert!(!plain.contains("NoC"), "{plain}");
 
         let out = run(&sv(&["viz", pcn_s, placement_s])).unwrap();
         assert!(out.contains("congestion"), "{out}");
@@ -220,11 +246,80 @@ mod tests {
             .unwrap();
         assert!(page.starts_with("# HELP snnmap_energy"), "{page}");
         assert!(page.contains("\nsnnmap_max_congestion "), "{page}");
+        assert!(page.contains("\nsnnmap_max_congestion_is_lower_bound "), "{page}");
+        for gauge in [
+            "snnmap_noc_cycles 256",
+            "snnmap_noc_max_latency ",
+            "snnmap_noc_detour_hops 0",
+            "snnmap_noc_hottest_traversals ",
+            "snnmap_noc_sim_max_congestion ",
+        ] {
+            assert!(page.contains(gauge), "missing {gauge} in:\n{page}");
+        }
+        // NoC gauges disappear with the simulation disabled.
+        let plain =
+            run(&sv(&["eval", pcn_s, placement_s, "--noc-cycles", "0", "--format", "prometheus"]))
+                .unwrap();
+        assert!(!plain.contains("snnmap_noc_"), "{plain}");
 
         let err = run(&sv(&["eval", pcn_s, placement_s, "--format", "xml"])).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         let err = run(&sv(&["serve", "--queue-capacity", "0"])).unwrap_err();
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn map_objective_flags_select_composite_refinement() {
+        let dir = std::env::temp_dir().join("snnmap_cli_objective");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcn = dir.join("app.pcn");
+        let pcn_s = pcn.to_str().unwrap();
+        run(&sv(&["gen", "--random", "36,3", "--seed", "9", "--out", pcn_s])).unwrap();
+
+        let energy = dir.join("energy.json");
+        let composite = dir.join("composite.json");
+        run(&sv(&["map", pcn_s, "--out", energy.to_str().unwrap(), "--mesh", "6x6"])).unwrap();
+        let out = run(&sv(&[
+            "map", pcn_s, "--out", composite.to_str().unwrap(), "--mesh", "6x6",
+            "--objective", "composite", "--lambda-congestion", "2.0",
+            "--lambda-latency", "0.1", "--sim-in-loop", "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("objective: composite (lc=2, lt=0.1)"), "{out}");
+        assert!(out.contains("NoC reweight every 4 sweep(s)"), "{out}");
+
+        // Guard rails: λ knobs the objective ignores, sim-in-loop without
+        // a congestion term, unknown labels, and baseline methods.
+        for bad in [
+            vec!["map", pcn_s, "--out", "/dev/null", "--lambda-congestion", "1.0"],
+            vec!["map", pcn_s, "--out", "/dev/null", "--sim-in-loop", "4"],
+            vec!["map", pcn_s, "--out", "/dev/null", "--objective", "speed"],
+            vec![
+                "map", pcn_s, "--out", "/dev/null", "--objective", "congestion",
+                "--lambda-latency", "0.5",
+            ],
+            vec![
+                "map", pcn_s, "--out", "/dev/null", "--method", "random",
+                "--objective", "congestion",
+            ],
+        ] {
+            let err = run(&sv(&bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+        }
+
+        // Composite refinement is deterministic: repeat runs agree.
+        let repeat = dir.join("composite2.json");
+        run(&sv(&[
+            "map", pcn_s, "--out", repeat.to_str().unwrap(), "--mesh", "6x6",
+            "--objective", "composite", "--lambda-congestion", "2.0",
+            "--lambda-latency", "0.1", "--sim-in-loop", "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&composite).unwrap(),
+            std::fs::read_to_string(&repeat).unwrap(),
+            "composite + sim-in-loop runs must be reproducible"
+        );
     }
 
     #[test]

@@ -39,11 +39,12 @@ use std::time::{Duration, Instant};
 use snnmap_hw::{Board, Coord, FaultMap, HwError, Mesh, Placement};
 use snnmap_model::Pcn;
 use snnmap_trace::{
-    CheckpointEvent, FdConfigEvent, FdDoneEvent, FdSweepEvent, NoopSink, ParEvent, ResumeEvent,
-    TraceEvent, TraceSink,
+    CheckpointEvent, FdConfigEvent, FdDoneEvent, FdSweepEvent, NoopSink, ObjectiveEvent, ParEvent,
+    ResumeEvent, ReweightEvent, TraceEvent, TraceSink,
 };
 
 use crate::fd::potential::{with_kernel, CoordF, PotKernel};
+use crate::objective::{Objective, ObjectiveState, ReweightOutcome, SweepReweighter};
 use crate::{par, CoreError, Potential};
 
 /// How the tension of a connected adjacent pair is computed.
@@ -110,6 +111,20 @@ pub struct FdConfig {
     /// [`crate::par::resolve_threads`]). The refined placement and the
     /// returned [`FdStats`] are bit-identical for every value.
     pub threads: usize,
+    /// What the descent minimizes. The default, [`Objective::Energy`],
+    /// adds zero state and zero floating-point work to the tension path
+    /// — historical placements and digests are reproduced exactly. With
+    /// a congestion/composite objective, [`FdStats`] energies still
+    /// report *pure* energy (so runs stay comparable), while the queue
+    /// and convergence follow the composite tension.
+    pub objective: Objective,
+    /// Sim-in-the-loop cadence: every `k` sweeps the engine asks the
+    /// [`FdRunOpts::reweighter`] hook (or, absent a hook, its own
+    /// congestion map) for router heat and folds it into the congestion
+    /// term's weight field, then rescores everything. Requires a
+    /// non-energy objective; incompatible with checkpointing/resume
+    /// (the weight field is not part of [`FdCheckpoint`]).
+    pub reweight_every: Option<u64>,
 }
 
 impl Default for FdConfig {
@@ -121,6 +136,8 @@ impl Default for FdConfig {
             time_budget: None,
             tension_mode: TensionMode::Exact,
             threads: 0,
+            objective: Objective::Energy,
+            reweight_every: None,
         }
     }
 }
@@ -294,6 +311,13 @@ pub struct FdRunOpts<'h> {
     /// tables, which preserves the engine's bit-determinism across thread
     /// counts. The board's mesh must equal the placement's.
     pub board: Option<&'h Board>,
+    /// Sim-in-the-loop heat source, consulted every
+    /// [`FdConfig::reweight_every`] sweeps. `None` with a reweight
+    /// cadence set falls back to the engine's own incremental congestion
+    /// map (`source: "self"`). The hook runs serially at the sweep
+    /// boundary, so a deterministic implementation (e.g. a seeded
+    /// `NocSim`) keeps the run byte-identical across thread counts.
+    pub reweighter: Option<&'h mut dyn SweepReweighter>,
 }
 
 impl fmt::Debug for FdRunOpts<'_> {
@@ -305,6 +329,7 @@ impl fmt::Debug for FdRunOpts<'_> {
             .field("on_checkpoint", &self.on_checkpoint.is_some())
             .field("region", &self.region.as_ref().map(Vec::len))
             .field("board", &self.board.is_some())
+            .field("reweighter", &self.reweighter.is_some())
             .finish()
     }
 }
@@ -687,7 +712,31 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
             message: "checkpoint_every must be positive".to_owned(),
         });
     }
-    let FdRunOpts { budget, resume, checkpoint_every, on_checkpoint, region, board } = opts;
+    config.objective.validate()?;
+    if config.reweight_every == Some(0) {
+        return Err(CoreError::InvalidRunOpts {
+            message: "reweight_every must be positive".to_owned(),
+        });
+    }
+    if config.reweight_every.is_some() {
+        if config.objective.is_energy() {
+            return Err(CoreError::InvalidRunOpts {
+                message: "sim-in-the-loop reweighting requires a congestion or composite \
+                          objective"
+                    .to_owned(),
+            });
+        }
+        // The heat-derived weight field is not part of FdCheckpoint, so a
+        // resumed run could not reproduce the interrupted one.
+        if opts.resume.is_some() || opts.on_checkpoint.is_some() {
+            return Err(CoreError::InvalidRunOpts {
+                message: "sim-in-the-loop reweighting is incompatible with checkpoint/resume"
+                    .to_owned(),
+            });
+        }
+    }
+    let FdRunOpts { budget, resume, checkpoint_every, on_checkpoint, region, board, reweighter } =
+        opts;
     let board = mapper_board.or(*board);
     let threads = par::resolve_threads(config.threads);
     let mut engine = Engine::new(
@@ -695,6 +744,7 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
         placement,
         config.potential,
         config.tension_mode,
+        config.objective,
         faults,
         board,
         threads,
@@ -725,9 +775,13 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
         },
     };
     // Naive tension can oscillate (it may accept energy-increasing
-    // swaps), so cap its iterations unless the caller already did.
+    // swaps), so cap its iterations unless the caller already did. A
+    // reweighting run is capped for the same reason: each reweight
+    // changes the potential landscape, so the monotone-descent finiteness
+    // argument only holds between reweights.
     let max_iterations = match (config.tension_mode, config.max_iterations) {
         (TensionMode::PaperNaive, None) => Some(1_000),
+        (_, None) if config.reweight_every.is_some() => Some(1_000),
         (_, cap) => cap,
     };
     let par_before = sink.enabled().then(par::counters);
@@ -735,6 +789,7 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
         sink.record(&TraceEvent::FdConfig(FdConfigEvent {
             potential: format!("{:?}", config.potential),
             tension: format!("{:?}", config.tension_mode),
+            objective: config.objective.label().to_owned(),
             lambda: config.lambda,
             max_iterations,
             time_budget_ms: config
@@ -926,6 +981,18 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
                 swap_ns,
                 rescore_ns,
             }));
+            // Per-term composite breakdown (satellite of the objective
+            // subsystem): absent on the pure-energy path, where the
+            // sweep event already tells the whole story.
+            if let Some((cong, lat)) = engine.objective_terms() {
+                sink.record(&TraceEvent::Objective(ObjectiveEvent {
+                    sweep: iterations,
+                    energy,
+                    congestion: cong,
+                    latency: lat,
+                    composite: engine.energy_weight() * energy + cong + lat,
+                }));
+            }
         }
 
         if checkpoint_every.is_some_and(|n| iterations % n == 0) && on_checkpoint.is_some() {
@@ -943,6 +1010,73 @@ pub(crate) fn force_directed_impl<S: TraceSink + ?Sized>(
                 energy,
                 sink,
             )?;
+        }
+
+        // Sim-in-the-loop boundary: every `reweight_every` sweeps, ask
+        // the installed hook (or, hookless, the engine's own congestion
+        // map) for router heat and fold it into the objective's cost
+        // field. Runs serially between sweeps, so determinism only needs
+        // the hook itself to be deterministic — thread count never
+        // enters. Skipped once the queue drains: convergence is declared
+        // against the field that produced the final sweep.
+        if config.reweight_every.is_some_and(|n| iterations % n == 0) && !queue.is_empty() {
+            let outcome = match reweighter.as_deref_mut() {
+                Some(hook) => {
+                    let out = hook.reweight(iterations, &engine.cluster_coords(), engine.mesh);
+                    if out.heat.len() != engine.rows * engine.cols {
+                        return Err(CoreError::InvalidRunOpts {
+                            message: format!(
+                                "reweighter returned {} router heats for a {}x{} mesh",
+                                out.heat.len(),
+                                engine.rows,
+                                engine.cols
+                            ),
+                        });
+                    }
+                    out
+                }
+                None => ReweightOutcome { heat: engine.self_heat(), source: "self".to_owned() },
+            };
+            if let Some((max_heat, arg)) = engine.apply_reweight(&outcome.heat) {
+                // The cost field changed under every cached tension —
+                // rebuild the score table and queue from scratch with the
+                // same deterministic parallel passes a cold start uses.
+                init_scores(&engine, threads, &mut tune_score, &mut score, &scan_keys).map_err(
+                    |p| {
+                        worker_panicked(
+                            &engine,
+                            on_checkpoint,
+                            iterations,
+                            swaps,
+                            initial_energy,
+                            p,
+                            sink,
+                        )
+                    },
+                )?;
+                queue = collect_queue(threads, &mut tune_collect, &score, &scan_keys).map_err(
+                    |p| {
+                        worker_panicked(
+                            &engine,
+                            on_checkpoint,
+                            iterations,
+                            swaps,
+                            initial_energy,
+                            p,
+                            sink,
+                        )
+                    },
+                )?;
+                if sink.enabled() {
+                    sink.record(&TraceEvent::Reweight(ReweightEvent {
+                        sweep: iterations,
+                        source: outcome.source,
+                        max_heat,
+                        hottest_row: (arg / engine.cols) as u64,
+                        hottest_col: (arg % engine.cols) as u64,
+                    }));
+                }
+            }
         }
     }
 
@@ -1068,6 +1202,10 @@ struct Engine<'a> {
     /// cached flat for the capacity filter (empty on boardless runs).
     need_n: Vec<u32>,
     need_s: Vec<u64>,
+    /// Non-energy objective state (λ weights, delta-maintained congestion
+    /// map, heat field). `None` for [`Objective::Energy`], keeping the
+    /// historical hot path untouched down to the last FP operation.
+    obj: Option<ObjectiveState>,
 }
 
 impl<'a> Engine<'a> {
@@ -1077,6 +1215,7 @@ impl<'a> Engine<'a> {
         placement: &'a mut Placement,
         potential: Potential,
         tension_mode: TensionMode,
+        objective: Objective,
         faults: Option<&FaultMap>,
         board: Option<&Board>,
         threads: usize,
@@ -1171,6 +1310,20 @@ impl<'a> Engine<'a> {
             cx[c] = mesh_x[p] as CoordF;
             cy[c] = mesh_y[p] as CoordF;
         }
+        let obj = if objective.is_energy() {
+            None
+        } else {
+            let cluster_xy: Vec<(u16, u16)> =
+                pos.iter().map(|&p| (mesh_x[p as usize], mesh_y[p as usize])).collect();
+            Some(ObjectiveState::new(
+                objective,
+                pcn,
+                &cluster_xy,
+                mesh.rows(),
+                mesh.cols(),
+                board.map(|b| (b.chip_rows(), b.chip_cols())),
+            ))
+        };
         let mut engine = Self {
             pcn,
             placement,
@@ -1196,6 +1349,7 @@ impl<'a> Engine<'a> {
             cap_s,
             need_n,
             need_s,
+            obj,
         };
         // A cluster's force depends only on occupancy, never on other
         // forces, so the initial build is an independent per-index fill.
@@ -1502,12 +1656,11 @@ impl<'a> Engine<'a> {
                 return 0.0;
             }
         }
-        if cu == EMPTY {
+        let base = if cu == EMPTY {
             if cv == EMPTY {
-                0.0
-            } else {
-                self.hot[cv as usize].force[opposite(d)]
+                return 0.0;
             }
+            self.hot[cv as usize].force[opposite(d)]
         } else if cv == EMPTY {
             self.hot[cu as usize].force[d]
         } else {
@@ -1527,6 +1680,28 @@ impl<'a> Engine<'a> {
                     naive - 2.0 * mutual * self.unit_step
                 }
                 TensionMode::PaperNaive => naive,
+            }
+        };
+        // Composite objectives add the exact decrease of the λ-weighted
+        // congestion / latency-tail terms. Like `base`, this is a pure
+        // function of the pair's and its graph neighbours' positions, so
+        // the stamp discipline that keeps cached energy tensions valid
+        // covers the composite value too. `None` (pure energy) leaves the
+        // expression tree untouched — bit-identical to pre-objective runs.
+        match &self.obj {
+            None => base,
+            Some(st) => {
+                st.energy_w * base
+                    + st.swap_gain(
+                        self.pcn,
+                        &self.pos,
+                        &self.mesh_x,
+                        &self.mesh_y,
+                        (self.mesh_x[p], self.mesh_y[p]),
+                        (self.mesh_x[q], self.mesh_y[q]),
+                        cu,
+                        cv,
+                    )
             }
         }
     }
@@ -1580,6 +1755,25 @@ impl<'a> Engine<'a> {
                 self.patch_and_rebuild(k, cv, (qx, qy), (px, py), cu, epoch, pos_stamp)
             });
             self.hot[cv as usize].force = f;
+        }
+
+        // Fold the move into the incremental congestion map (integer
+        // deltas — exact, order-invariant). Positions are already
+        // updated, which is what `apply_swap` documents; take/put-back
+        // sidesteps the simultaneous &mut self.obj / &self.pos borrow.
+        if self.obj.is_some() {
+            let mut st = self.obj.take().expect("checked is_some");
+            st.apply_swap(
+                self.pcn,
+                &self.pos,
+                &self.mesh_x,
+                &self.mesh_y,
+                (self.mesh_x[p], self.mesh_y[p]),
+                (self.mesh_x[q], self.mesh_y[q]),
+                cu,
+                cv,
+            );
+            self.obj = Some(st);
         }
     }
 
@@ -1664,6 +1858,35 @@ impl<'a> Engine<'a> {
             pos_stamp[self.pos[k as usize] as usize] = epoch;
         }
         f
+    }
+
+    /// λ-weighted `(congestion, latency-tail)` totals of the current
+    /// occupancy, or `None` on the pure-energy path. Serial O(edges) —
+    /// only called when tracing is enabled.
+    fn objective_terms(&self) -> Option<(f64, f64)> {
+        self.obj.as_ref().map(|st| st.totals(self.pcn, &self.pos, &self.mesh_x, &self.mesh_y))
+    }
+
+    /// The energy term's weight in the composite (1.0 on the pure-energy
+    /// path, where the question never arises but the trace still wants
+    /// an answer).
+    fn energy_weight(&self) -> f64 {
+        self.obj.as_ref().map_or(1.0, |st| st.energy_w)
+    }
+
+    /// Router heat from the engine's own delta-maintained congestion map
+    /// — the reweight source when no external simulator hook is
+    /// installed.
+    fn self_heat(&self) -> Vec<u64> {
+        self.obj.as_ref().map(|st| st.cong.heat()).unwrap_or_default()
+    }
+
+    /// Installs a router heat field on the objective (no-op result on
+    /// all-zero heat or the pure-energy path). Returns `(max_heat,
+    /// argmax router index)` when the cost field actually changed —
+    /// every cached tension is stale after that.
+    fn apply_reweight(&mut self, heat: &[u64]) -> Option<(u64, usize)> {
+        self.obj.as_mut().and_then(|st| st.apply_reweight(heat))
     }
 
     /// Commits the engine's occupancy back into the caller's placement
@@ -1772,8 +1995,17 @@ mod tests {
         assert!(stats.converged);
         let mut scratch = p.clone();
         let engine =
-            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None, None, 1)
-                .unwrap();
+            Engine::new(
+            &pcn,
+            &mut scratch,
+            Potential::default(),
+            TensionMode::Exact,
+            Objective::Energy,
+            None,
+            None,
+            1,
+        )
+        .unwrap();
         for pos in 0..mesh.len() {
             for d in [DOWN, RIGHT] {
                 if let Some(key) = engine.pair_key(pos, d) {
@@ -1821,7 +2053,17 @@ mod tests {
         let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
         let mut scratch = p.clone();
         let engine =
-            Engine::new(&pcn, &mut scratch, cfg.potential, TensionMode::Exact, None, None, 1).unwrap();
+            Engine::new(
+            &pcn,
+            &mut scratch,
+            cfg.potential,
+            TensionMode::Exact,
+            Objective::Energy,
+            None,
+            None,
+            1,
+        )
+        .unwrap();
         assert!((engine.system_energy_serial() - stats.final_energy).abs() < 1e-6);
     }
 
@@ -1926,8 +2168,17 @@ mod tests {
         force_directed(&pcn, &mut p, &FdConfig::default()).unwrap();
         let mut scratch = p.clone();
         let engine =
-            Engine::new(&pcn, &mut scratch, Potential::default(), TensionMode::Exact, None, None, 1)
-                .unwrap();
+            Engine::new(
+            &pcn,
+            &mut scratch,
+            Potential::default(),
+            TensionMode::Exact,
+            Objective::Energy,
+            None,
+            None,
+            1,
+        )
+        .unwrap();
         for pos in 0..mesh.len() {
             for d in [DOWN, RIGHT] {
                 if let Some(key) = engine.pair_key(pos, d) {

@@ -49,6 +49,7 @@ mod fd;
 mod hsc;
 mod mapper;
 mod multilevel;
+mod objective;
 pub mod par;
 mod toposort;
 mod validate;
@@ -67,6 +68,10 @@ pub use hsc::{
 };
 pub use mapper::{InitialPlacement, MapOutcome, Mapper, MapperBuilder, RepairReport};
 pub use multilevel::MultilevelConfig;
+pub use objective::{
+    IncrementalCongestion, Objective, ReweightOutcome, SweepReweighter, CONGESTION_SCALE,
+    INTERCHIP_WEIGHT, REWEIGHT_GAIN,
+};
 pub use toposort::toposort;
 pub use validate::{
     repair, repair_board, validate, validate_board, DegradedPlacement, RepairMove,

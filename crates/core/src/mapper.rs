@@ -17,7 +17,7 @@ use crate::validate::{repair, repair_board, DegradedPlacement, RepairMove};
 use crate::{
     par, random_placement, random_placement_masked, sequence_placement,
     sequence_placement_masked, toposort, CoreError, FdCheckpoint, FdConfig, FdResume, FdRunOpts,
-    FdStats, Potential, RunBudget,
+    FdStats, Objective, Potential, RunBudget,
 };
 
 /// How the initial placement is produced (step 1 of Figure 3; the
@@ -671,6 +671,35 @@ impl MapperBuilder {
     /// guaranteed).
     pub fn max_iterations(mut self, cap: u64) -> Self {
         self.fd.max_iterations = Some(cap);
+        self
+    }
+
+    /// Sets the refinement objective (default: [`Objective::Energy`],
+    /// the paper's pure eq. 25 descent — bit-identical to builds that
+    /// predate the objective subsystem).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective's λ weights are invalid (negative,
+    /// non-finite, or a congestion objective with `lambda_c == 0`).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        objective.validate().expect("invalid objective");
+        self.fd.objective = objective;
+        self
+    }
+
+    /// Enables sim-in-the-loop reweighting: every `every` sweeps the
+    /// run's [`SweepReweighter`] hook (or, hookless, the engine's own
+    /// congestion map) re-weights hot routers in the congestion term.
+    /// Requires a non-energy objective at `map` time and is incompatible
+    /// with checkpoint/resume (default: disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn reweight_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "reweight_every must be positive");
+        self.fd.reweight_every = Some(every);
         self
     }
 

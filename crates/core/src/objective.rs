@@ -1,0 +1,704 @@
+//! The pluggable refinement objective family.
+//!
+//! Classic FD descends the *energy* potential alone (eq. 25/26). Real
+//! deployments also care about worst-router congestion (`M_mc`, eq. 14)
+//! and latency tails, so refinement accepts a composite objective
+//!
+//! ```text
+//! J = w_e · energy + λc · congestion + λt · latency-tail
+//! ```
+//!
+//! where the congestion term charges every connection the
+//! Algorithm 4 expected per-router traffic of its bounding rectangle
+//! (optionally re-weighted by a router *heat* field fed back from
+//! `NocSim` runs — "sim in the loop"), and the latency-tail term charges
+//! the *squared* Manhattan distance so long edges dominate.
+//!
+//! Three invariants keep the subsystem compatible with the deterministic
+//! multi-core engine:
+//!
+//! 1. **Energy is untouched.** [`Objective::Energy`] adds zero state and
+//!    zero floating-point operations to the tension path, so default runs
+//!    reproduce historical placement digests bit-for-bit.
+//! 2. **Tensions stay cacheable.** Every term is a pure function of the
+//!    two endpoint positions and static per-run weight fields. A swap
+//!    already invalidates the cached tensions of both moved clusters and
+//!    all their graph neighbours (the force-patching dependency set),
+//!    which is exactly the set whose composite tension can change.
+//! 3. **Delta maintenance is exact.** [`IncrementalCongestion`] keeps the
+//!    per-router congestion map in fixed-point integers so that applying
+//!    a move and later undoing it cancels exactly and any sequence of
+//!    moves bit-equals a from-scratch rebuild, independent of order or
+//!    thread count.
+
+use snnmap_hw::Mesh;
+use snnmap_metrics::expectation_grid;
+use snnmap_model::Pcn;
+
+use crate::error::CoreError;
+
+/// Fixed-point scale of [`IncrementalCongestion`]: map cells store
+/// `round(contribution · 2^20)` as `i64`. 2^20 keeps sub-ulp rounding
+/// noise far below any λc of practical size while leaving 43 bits of
+/// headroom for accumulated traffic.
+pub const CONGESTION_SCALE: f64 = (1u64 << 20) as f64;
+
+/// Gain of the sim-in-the-loop reweight: the hottest router's congestion
+/// cost is multiplied by `1 + REWEIGHT_GAIN`, cold routers stay at 1.
+/// Chosen empirically on the Table 3 workloads (see
+/// `results/BENCH_pareto.json`): large enough that hot-spot avoidance
+/// beats the uniform-cost tie with plain energy descent, small enough
+/// that energy regression stays bounded.
+pub const REWEIGHT_GAIN: f64 = 4.0;
+
+/// Extra cost multiplier per chip-boundary crossing in the board-aware
+/// variant: an edge crossing `k` chip boundaries has its congestion and
+/// latency-tail terms scaled by `1 + k · INTERCHIP_WEIGHT`.
+pub const INTERCHIP_WEIGHT: f64 = 4.0;
+
+/// What force-directed refinement descends.
+///
+/// The default, [`Objective::Energy`], is the paper's pure energy
+/// potential and leaves the engine's hot path byte-identical to the
+/// pre-objective implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Objective {
+    /// Pure energy descent (eq. 25/26) — the historical behaviour.
+    #[default]
+    Energy,
+    /// Pure congestion descent: minimize the summed Algorithm 4
+    /// per-router expected traffic, weighted by `lambda_c`.
+    Congestion {
+        /// Weight λc of the congestion term (> 0, finite).
+        lambda_c: f64,
+    },
+    /// The full composite `energy + λc·congestion + λt·latency-tail`.
+    Composite {
+        /// Weight λc of the congestion term (≥ 0, finite).
+        lambda_c: f64,
+        /// Weight λt of the squared-Manhattan latency-tail term
+        /// (≥ 0, finite).
+        lambda_t: f64,
+    },
+}
+
+impl Objective {
+    /// Stable label used in traces, digests, and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Objective::Energy => "energy",
+            Objective::Congestion { .. } => "congestion",
+            Objective::Composite { .. } => "composite",
+        }
+    }
+
+    /// `(energy weight, λc, λt)` of the composite.
+    pub fn weights(&self) -> (f64, f64, f64) {
+        match *self {
+            Objective::Energy => (1.0, 0.0, 0.0),
+            Objective::Congestion { lambda_c } => (0.0, lambda_c, 0.0),
+            Objective::Composite { lambda_c, lambda_t } => (1.0, lambda_c, lambda_t),
+        }
+    }
+
+    /// Whether this is the zero-overhead energy objective.
+    pub fn is_energy(&self) -> bool {
+        matches!(self, Objective::Energy)
+    }
+
+    /// Builds an objective from a CLI-style label plus λ knobs. Returns
+    /// `None` for an unknown label; λ values are validated separately by
+    /// [`validate`](Self::validate).
+    pub fn from_parts(label: &str, lambda_c: f64, lambda_t: f64) -> Option<Objective> {
+        match label {
+            "energy" => Some(Objective::Energy),
+            "congestion" => Some(Objective::Congestion { lambda_c }),
+            "composite" => Some(Objective::Composite { lambda_c, lambda_t }),
+            _ => None,
+        }
+    }
+
+    /// Checks the λ weights are finite and meaningful.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidRunOpts`] when a weight is non-finite or
+    /// negative, or when a pure congestion objective has `λc = 0` (the
+    /// tension field would be identically zero and FD would no-op while
+    /// claiming convergence).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let (_, lc, lt) = self.weights();
+        for (name, v) in [("lambda_c", lc), ("lambda_t", lt)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CoreError::InvalidRunOpts {
+                    message: format!("objective {name} must be finite and >= 0, got {v}"),
+                });
+            }
+        }
+        if matches!(self, Objective::Congestion { .. }) && lc == 0.0 {
+            return Err(CoreError::InvalidRunOpts {
+                message: "congestion objective requires lambda_c > 0".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Caller hook fired between FD sweep batches in sim-in-the-loop mode:
+/// given the current placement, produce per-router *heat* that the
+/// engine folds into the congestion term's weight field.
+///
+/// Implementations must be deterministic for a given `(sweep, coords)`
+/// input — the engine calls the hook serially at a sweep boundary, so a
+/// seeded `NocSim` run keeps the whole refinement byte-identical across
+/// thread counts.
+pub trait SweepReweighter {
+    /// Computes router heat for the placement `coords` (indexed by
+    /// cluster) on `mesh` after `sweep` completed sweeps. The returned
+    /// heat vector must be row-major with exactly `mesh.len()` entries.
+    fn reweight(&mut self, sweep: u64, coords: &[snnmap_hw::Coord], mesh: Mesh) -> ReweightOutcome;
+}
+
+/// Result of one [`SweepReweighter`] invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReweightOutcome {
+    /// Per-router heat, row-major, `mesh.len()` entries. All-zero heat
+    /// leaves the current weight field unchanged.
+    pub heat: Vec<u64>,
+    /// Provenance label for the trace (`noc-sim`, `self`, …).
+    pub source: String,
+}
+
+/// Delta-maintained fixed-point congestion map with
+/// [`CongestionAccumulator`](snnmap_metrics::CongestionAccumulator)
+/// semantics.
+///
+/// Each directed connection spreads `weight · expectation_grid` over its
+/// source→target bounding rectangle — the exact orientation rules of
+/// `CongestionAccumulator::add_edge` (the grid is *not* symmetric under
+/// endpoint reversal, so direction matters). Cells store
+/// `round(w · v · 2^20)` as `i64`: integer addition is associative and
+/// `remove_edge` cancels `add_edge` exactly, so any interleaving of
+/// moves bit-equals a from-scratch [`build`](Self::build).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalCongestion {
+    rows: usize,
+    cols: usize,
+    map: Vec<i64>,
+}
+
+impl IncrementalCongestion {
+    /// An all-zero map for a `rows × cols` mesh.
+    pub fn new(rows: u16, cols: u16) -> Self {
+        let (rows, cols) = (rows as usize, cols as usize);
+        Self { rows, cols, map: vec![0; rows * cols] }
+    }
+
+    /// Builds the map of a whole placement from scratch: `coords[c]` is
+    /// cluster `c`'s `(x, y)` position. Every directed PCN connection is
+    /// added once.
+    pub fn build(pcn: &Pcn, coords: &[(u16, u16)], rows: u16, cols: u16) -> Self {
+        let mut m = Self::new(rows, cols);
+        for c in 0..pcn.num_clusters() {
+            let s = coords[c as usize];
+            for (t, w) in pcn.out_edges(c) {
+                m.add_edge(s, coords[t as usize], f64::from(w));
+            }
+        }
+        m
+    }
+
+    /// Adds one directed edge's spread contribution.
+    pub fn add_edge(&mut self, s: (u16, u16), t: (u16, u16), weight: f64) {
+        self.apply(s, t, weight, 1);
+    }
+
+    /// Removes one directed edge's spread contribution (exact inverse of
+    /// [`add_edge`](Self::add_edge) with the same arguments).
+    pub fn remove_edge(&mut self, s: (u16, u16), t: (u16, u16), weight: f64) {
+        self.apply(s, t, weight, -1);
+    }
+
+    fn apply(&mut self, s: (u16, u16), t: (u16, u16), weight: f64, sign: i64) {
+        let dx = s.0.abs_diff(t.0) as usize;
+        let dy = s.1.abs_diff(t.1) as usize;
+        let grid = expectation_grid(dx, dy);
+        let gcols = dy + 1;
+        let x0 = s.0.min(t.0) as usize;
+        let y0 = s.1.min(t.1) as usize;
+        // Mirror CongestionAccumulator::spread: the normalized grid walks
+        // (0,0) -> (dx,dy); map back to the quadrant the edge occupies.
+        let flip_x = t.0 < s.0;
+        let flip_y = t.1 < s.1;
+        for i in 0..=dx {
+            let x = if flip_x { x0 + dx - i } else { x0 + i };
+            for j in 0..=dy {
+                let v = grid[i * gcols + j];
+                if v == 0.0 {
+                    continue;
+                }
+                let y = if flip_y { y0 + dy - j } else { y0 + j };
+                // The quantization is a pure function of (w, v): add and
+                // remove of the same edge cancel exactly.
+                let q = (weight * v * CONGESTION_SCALE).round() as i64;
+                self.map[x * self.cols + y] += sign * q;
+            }
+        }
+    }
+
+    /// The raw fixed-point map, row-major (`2^20` units of expected
+    /// traffic per cell).
+    pub fn map(&self) -> &[i64] {
+        &self.map
+    }
+
+    /// The map as floating-point expected traffic, comparable to
+    /// [`CongestionAccumulator::map`](snnmap_metrics::CongestionAccumulator::map)
+    /// up to per-cell quantization (±½ ulp of `2^-20` per contribution).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.map.iter().map(|&v| v as f64 / CONGESTION_SCALE).collect()
+    }
+
+    /// The map as router *heat* for self-reweighting: negative cells
+    /// (possible only through rounding jitter) clamp to zero.
+    pub fn heat(&self) -> Vec<u64> {
+        self.map.iter().map(|&v| v.max(0) as u64).collect()
+    }
+}
+
+/// Engine-side state of a non-energy objective: λ weights, the
+/// delta-maintained congestion map, the (optional) router heat field,
+/// and the board geometry for inter-chip weighting.
+#[derive(Debug, Clone)]
+pub(crate) struct ObjectiveState {
+    pub(crate) energy_w: f64,
+    lambda_c: f64,
+    lambda_t: f64,
+    pub(crate) cong: IncrementalCongestion,
+    /// Per-router congestion cost multiplier; `None` = uniform 1.0 (the
+    /// O(1) Manhattan fast path applies).
+    weight: Option<Vec<f64>>,
+    /// Chip tile dimensions for the board-aware variant; `(0, 0)` when
+    /// boardless (multiplier 1).
+    chip_rows: u16,
+    chip_cols: u16,
+}
+
+impl ObjectiveState {
+    /// Builds the state for `objective` over the placement `coords`
+    /// (cluster-indexed positions on a `rows × cols` mesh). `chip` is
+    /// the board's chip tile size when mapping multi-chip hardware.
+    pub(crate) fn new(
+        objective: Objective,
+        pcn: &Pcn,
+        coords: &[(u16, u16)],
+        rows: u16,
+        cols: u16,
+        chip: Option<(u16, u16)>,
+    ) -> Self {
+        let (energy_w, lambda_c, lambda_t) = objective.weights();
+        let (chip_rows, chip_cols) = chip.unwrap_or((0, 0));
+        Self {
+            energy_w,
+            lambda_c,
+            lambda_t,
+            cong: IncrementalCongestion::build(pcn, coords, rows, cols),
+            weight: None,
+            chip_rows,
+            chip_cols,
+        }
+    }
+
+    /// `1 + INTERCHIP_WEIGHT · chip-boundary crossings` of the edge
+    /// `s → t` (1.0 when boardless).
+    fn boardmul(&self, s: (u16, u16), t: (u16, u16)) -> f64 {
+        if self.chip_rows == 0 {
+            return 1.0;
+        }
+        let crossings = (s.0 / self.chip_rows).abs_diff(t.0 / self.chip_rows)
+            + (s.1 / self.chip_cols).abs_diff(t.1 / self.chip_cols);
+        1.0 + INTERCHIP_WEIGHT * f64::from(crossings)
+    }
+
+    /// Heat-weighted expected-traversal mass of the edge's rectangle:
+    /// `Σ_r weight[r] · Expe(r)`. With a uniform weight field this is
+    /// exactly the expected router count, `manhattan + 1`, computed in
+    /// O(1).
+    fn rect_cost(&self, s: (u16, u16), t: (u16, u16)) -> f64 {
+        let dx = s.0.abs_diff(t.0) as usize;
+        let dy = s.1.abs_diff(t.1) as usize;
+        let Some(wf) = &self.weight else {
+            return (dx + dy + 1) as f64;
+        };
+        let grid = expectation_grid(dx, dy);
+        let gcols = dy + 1;
+        let x0 = s.0.min(t.0) as usize;
+        let y0 = s.1.min(t.1) as usize;
+        let flip_x = t.0 < s.0;
+        let flip_y = t.1 < s.1;
+        let mut acc = 0.0;
+        for i in 0..=dx {
+            let x = if flip_x { x0 + dx - i } else { x0 + i };
+            for j in 0..=dy {
+                let v = grid[i * gcols + j];
+                if v == 0.0 {
+                    continue;
+                }
+                let y = if flip_y { y0 + dy - j } else { y0 + j };
+                acc += wf[x * self.cong.cols + y] * v;
+            }
+        }
+        acc
+    }
+
+    /// λ-weighted non-energy cost of one directed edge `s → t` carrying
+    /// `w` traffic.
+    fn edge_cost(&self, s: (u16, u16), t: (u16, u16), w: f64) -> f64 {
+        let m = self.boardmul(s, t);
+        let mut cost = 0.0;
+        if self.lambda_c != 0.0 {
+            cost += self.lambda_c * w * m * self.rect_cost(s, t);
+        }
+        if self.lambda_t != 0.0 {
+            let d = (s.0.abs_diff(t.0) + s.1.abs_diff(t.1)) as f64;
+            cost += self.lambda_t * w * m * d * d;
+        }
+        cost
+    }
+
+    /// Decrease of the non-energy terms if the clusters at positions
+    /// `a` and `b` swap (`cu` at `a`, `cv` at `b`; either may be
+    /// `u32::MAX` for an empty core). `pos` must reflect the *pre-swap*
+    /// assignment for clusters other than `cu`/`cv` — which is the same
+    /// pre- and post-swap, so both call sites may use the live table.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn swap_gain(
+        &self,
+        pcn: &Pcn,
+        pos: &[u32],
+        mesh_x: &[u16],
+        mesh_y: &[u16],
+        a: (u16, u16),
+        b: (u16, u16),
+        cu: u32,
+        cv: u32,
+    ) -> f64 {
+        let mut gain = 0.0;
+        visit_swap_edges(pcn, pos, mesh_x, mesh_y, a, b, cu, cv, |bs, bt, afs, aft, w| {
+            gain += self.edge_cost(bs, bt, w) - self.edge_cost(afs, aft, w);
+        });
+        gain
+    }
+
+    /// Folds an applied swap into the incremental congestion map. Call
+    /// *after* the engine's position tables are updated; `a`/`b` are the
+    /// pre-swap coordinates of `cu`/`cv` (neighbour positions are
+    /// untouched by a swap, so the live table serves for them).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn apply_swap(
+        &mut self,
+        pcn: &Pcn,
+        pos: &[u32],
+        mesh_x: &[u16],
+        mesh_y: &[u16],
+        a: (u16, u16),
+        b: (u16, u16),
+        cu: u32,
+        cv: u32,
+    ) {
+        let cong = &mut self.cong;
+        visit_swap_edges(pcn, pos, mesh_x, mesh_y, a, b, cu, cv, |bs, bt, afs, aft, w| {
+            cong.remove_edge(bs, bt, w);
+            cong.add_edge(afs, aft, w);
+        });
+    }
+
+    /// Serial from-scratch `(congestion term, latency-tail term)` totals
+    /// of the whole placement, λ-weighted — the per-sweep trace
+    /// breakdown. O(edges), only run when tracing is enabled.
+    pub(crate) fn totals(
+        &self,
+        pcn: &Pcn,
+        pos: &[u32],
+        mesh_x: &[u16],
+        mesh_y: &[u16],
+    ) -> (f64, f64) {
+        let coord = |c: u32| {
+            let p = pos[c as usize] as usize;
+            (mesh_x[p], mesh_y[p])
+        };
+        let (mut cong, mut lat) = (0.0, 0.0);
+        for c in 0..pcn.num_clusters() {
+            let s = coord(c);
+            for (t, w) in pcn.out_edges(c) {
+                let t = coord(t);
+                let wm = f64::from(w) * self.boardmul(s, t);
+                if self.lambda_c != 0.0 {
+                    cong += self.lambda_c * wm * self.rect_cost(s, t);
+                }
+                if self.lambda_t != 0.0 {
+                    let d = (s.0.abs_diff(t.0) + s.1.abs_diff(t.1)) as f64;
+                    lat += self.lambda_t * wm * d * d;
+                }
+            }
+        }
+        (cong, lat)
+    }
+
+    /// Installs a router heat field: cost multiplier
+    /// `1 + REWEIGHT_GAIN · heat[r] / max(heat)` per router. All-zero
+    /// heat keeps the current field. Returns `(max_heat, argmax index)`
+    /// when the field changed.
+    pub(crate) fn apply_reweight(&mut self, heat: &[u64]) -> Option<(u64, usize)> {
+        let (mut max, mut arg) = (0u64, 0usize);
+        for (i, &h) in heat.iter().enumerate() {
+            if h > max {
+                max = h;
+                arg = i;
+            }
+        }
+        if max == 0 {
+            return None;
+        }
+        self.weight =
+            Some(heat.iter().map(|&h| 1.0 + REWEIGHT_GAIN * (h as f64 / max as f64)).collect());
+        Some((max, arg))
+    }
+}
+
+/// Enumerates every directed PCN edge whose cost can change when the
+/// clusters `cu` (at `a`) and `cv` (at `b`) swap, calling
+/// `f(before_src, before_dst, after_src, after_dst, weight)` exactly
+/// once per edge. Edges between `cu` and `cv` move both endpoints;
+/// self-loops are visited once (in the out pass).
+#[allow(clippy::too_many_arguments)]
+fn visit_swap_edges(
+    pcn: &Pcn,
+    pos: &[u32],
+    mesh_x: &[u16],
+    mesh_y: &[u16],
+    a: (u16, u16),
+    b: (u16, u16),
+    cu: u32,
+    cv: u32,
+    mut f: impl FnMut((u16, u16), (u16, u16), (u16, u16), (u16, u16), f64),
+) {
+    const EMPTY: u32 = u32::MAX;
+    let coord = |k: u32| {
+        let p = pos[k as usize] as usize;
+        (mesh_x[p], mesh_y[p])
+    };
+    // Position of endpoint `k` before / after the swap.
+    let end = |k: u32, before: bool| -> (u16, u16) {
+        if k == cu {
+            if before { a } else { b }
+        } else if k == cv {
+            if before { b } else { a }
+        } else {
+            coord(k)
+        }
+    };
+    if cu != EMPTY {
+        for (k, w) in pcn.out_edges(cu) {
+            f(end(cu, true), end(k, true), end(cu, false), end(k, false), f64::from(w));
+        }
+        for (k, w) in pcn.in_edges(cu) {
+            if k == cu {
+                continue; // self-loop already visited in the out pass
+            }
+            f(end(k, true), end(cu, true), end(k, false), end(cu, false), f64::from(w));
+        }
+    }
+    if cv != EMPTY {
+        for (k, w) in pcn.out_edges(cv) {
+            if k == cu {
+                continue; // cu↔cv edges handled in the cu pass
+            }
+            f(end(cv, true), end(k, true), end(cv, false), end(k, false), f64::from(w));
+        }
+        for (k, w) in pcn.in_edges(cv) {
+            if k == cv || k == cu {
+                continue;
+            }
+            f(end(k, true), end(cv, true), end(k, false), end(cv, false), f64::from(w));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snnmap_model::PcnBuilder;
+
+    fn chain_pcn(n: u32) -> Pcn {
+        let mut b = PcnBuilder::new();
+        for _ in 0..n {
+            b.add_cluster(1, 1);
+        }
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, 1.0 + i as f32 * 0.5).unwrap();
+        }
+        // A back edge and a mutual pair exercise direction handling.
+        b.add_edge(n - 1, 0, 2.0).unwrap();
+        if n > 2 {
+            b.add_edge(1, 0, 0.75).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn objective_labels_weights_and_validation() {
+        assert_eq!(Objective::default(), Objective::Energy);
+        assert!(Objective::Energy.is_energy());
+        assert_eq!(Objective::Energy.weights(), (1.0, 0.0, 0.0));
+        let c = Objective::Congestion { lambda_c: 0.5 };
+        assert_eq!(c.label(), "congestion");
+        assert_eq!(c.weights(), (0.0, 0.5, 0.0));
+        let x = Objective::Composite { lambda_c: 0.5, lambda_t: 0.1 };
+        assert_eq!(x.weights(), (1.0, 0.5, 0.1));
+        assert!(x.validate().is_ok());
+        assert!(Objective::Congestion { lambda_c: 0.0 }.validate().is_err());
+        assert!(Objective::Composite { lambda_c: -1.0, lambda_t: 0.0 }.validate().is_err());
+        assert!(Objective::Composite { lambda_c: f64::NAN, lambda_t: 0.0 }.validate().is_err());
+        assert_eq!(
+            Objective::from_parts("composite", 1.0, 0.0),
+            Some(Objective::Composite { lambda_c: 1.0, lambda_t: 0.0 })
+        );
+        assert_eq!(Objective::from_parts("energy", 0.0, 0.0), Some(Objective::Energy));
+        assert_eq!(Objective::from_parts("nope", 0.0, 0.0), None);
+    }
+
+    #[test]
+    fn incremental_map_tracks_moves_exactly() {
+        let pcn = chain_pcn(6);
+        let mut coords: Vec<(u16, u16)> =
+            (0..6).map(|i| (i as u16 / 3, i as u16 % 3)).collect();
+        let mut inc = IncrementalCongestion::build(&pcn, &coords, 4, 4);
+        // Move cluster 2 from its core to an empty one by re-adding its
+        // incident edges, then verify bit-equality with a rebuild.
+        let from = coords[2];
+        let to = (3u16, 3u16);
+        for (t, w) in pcn.out_edges(2) {
+            inc.remove_edge(from, coords[t as usize], f64::from(w));
+            let dst = if t == 2 { to } else { coords[t as usize] };
+            inc.add_edge(to, dst, f64::from(w));
+        }
+        for (s, w) in pcn.in_edges(2) {
+            if s == 2 {
+                continue;
+            }
+            inc.remove_edge(coords[s as usize], from, f64::from(w));
+            inc.add_edge(coords[s as usize], to, f64::from(w));
+        }
+        coords[2] = to;
+        let rebuilt = IncrementalCongestion::build(&pcn, &coords, 4, 4);
+        assert_eq!(inc.map(), rebuilt.map());
+    }
+
+    #[test]
+    fn incremental_map_matches_the_accumulator_within_quantization() {
+        use snnmap_hw::{Coord, Mesh, Placement};
+        let pcn = chain_pcn(6);
+        let coords: Vec<(u16, u16)> = (0..6).map(|i| (i as u16 % 4, i as u16 / 4)).collect();
+        let inc = IncrementalCongestion::build(&pcn, &coords, 4, 4);
+        let mesh = Mesh::new(4, 4).unwrap();
+        let hw_coords: Vec<Coord> = coords.iter().map(|&(x, y)| Coord::new(x, y)).collect();
+        let placement = Placement::from_coords(mesh, &hw_coords).unwrap();
+        let acc = snnmap_metrics::congestion_map(&pcn, &placement).unwrap();
+        let tol = pcn.num_connections() as f64 / CONGESTION_SCALE;
+        for (got, want) in inc.to_f64().iter().zip(acc.map()) {
+            assert!((got - want).abs() <= tol, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn swap_gain_agrees_with_recomputing_totals() {
+        let pcn = chain_pcn(6);
+        // Positions 0..6 on a 3x3 mesh; clusters 1 and 4 will swap.
+        let mut coords: Vec<(u16, u16)> =
+            (0..6u16).map(|i| (i / 3, i % 3)).collect();
+        let mesh_x: Vec<u16> = (0..9u16).map(|p| p / 3).collect();
+        let mesh_y: Vec<u16> = (0..9u16).map(|p| p % 3).collect();
+        let pos: Vec<u32> = (0..6u32).collect(); // cluster c at position c
+        let st = ObjectiveState::new(
+            Objective::Composite { lambda_c: 0.7, lambda_t: 0.3 },
+            &pcn,
+            &coords,
+            3,
+            3,
+            None,
+        );
+        let (c0, l0) = st.totals(&pcn, &pos, &mesh_x, &mesh_y);
+        let a = coords[1];
+        let b = coords[4];
+        let gain = st.swap_gain(&pcn, &pos, &mesh_x, &mesh_y, a, b, 1, 4);
+        // Apply the swap and recompute from scratch.
+        coords.swap(1, 4);
+        let st2 = ObjectiveState::new(
+            Objective::Composite { lambda_c: 0.7, lambda_t: 0.3 },
+            &pcn,
+            &coords,
+            3,
+            3,
+            None,
+        );
+        let mut pos2 = pos.clone();
+        pos2.swap(1, 4);
+        let (c1, l1) = st2.totals(&pcn, &pos2, &mesh_x, &mesh_y);
+        assert!(
+            (gain - ((c0 + l0) - (c1 + l1))).abs() < 1e-9,
+            "gain {gain} vs totals delta {}",
+            (c0 + l0) - (c1 + l1)
+        );
+    }
+
+    #[test]
+    fn board_multiplier_weights_interchip_edges_higher() {
+        let pcn = chain_pcn(2);
+        let coords = [(0u16, 0u16), (0, 3)];
+        let flat = ObjectiveState::new(
+            Objective::Congestion { lambda_c: 1.0 },
+            &pcn,
+            &coords,
+            4,
+            4,
+            None,
+        );
+        let board = ObjectiveState::new(
+            Objective::Congestion { lambda_c: 1.0 },
+            &pcn,
+            &coords,
+            4,
+            4,
+            Some((2, 2)),
+        );
+        // (0,0) -> (0,3) crosses one chip column boundary.
+        let f = flat.edge_cost((0, 0), (0, 3), 1.0);
+        let b = board.edge_cost((0, 0), (0, 3), 1.0);
+        assert!((b - f * (1.0 + INTERCHIP_WEIGHT)).abs() < 1e-12, "{b} vs {f}");
+        // An intra-chip edge costs the same either way.
+        assert_eq!(flat.edge_cost((0, 0), (1, 1), 1.0), board.edge_cost((0, 0), (1, 1), 1.0));
+    }
+
+    #[test]
+    fn reweight_installs_a_normalized_weight_field() {
+        let pcn = chain_pcn(2);
+        let coords = [(0u16, 0u16), (1, 1)];
+        let mut st = ObjectiveState::new(
+            Objective::Congestion { lambda_c: 1.0 },
+            &pcn,
+            &coords,
+            2,
+            2,
+            None,
+        );
+        let uniform = st.rect_cost((0, 0), (1, 1));
+        assert_eq!(uniform, 3.0); // manhattan + 1 fast path
+        assert!(st.apply_reweight(&[0, 0, 0, 0]).is_none());
+        let (max, arg) = st.apply_reweight(&[0, 8, 0, 4]).unwrap();
+        assert_eq!((max, arg), (8, 1));
+        // Router (0,1) now costs 1 + GAIN, (1,1) costs 1 + GAIN/2.
+        let weighted = st.rect_cost((0, 0), (1, 1));
+        assert!(weighted > uniform, "{weighted} vs {uniform}");
+    }
+}

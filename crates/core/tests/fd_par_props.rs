@@ -15,11 +15,13 @@
 
 use proptest::prelude::*;
 use snnmap_core::{
-    force_directed, force_directed_masked, hsc_placement_masked_threaded,
-    hsc_placement_threaded, FdConfig, FdStats, Potential,
+    force_directed, force_directed_masked, force_directed_traced,
+    hsc_placement_masked_threaded, hsc_placement_threaded, FdConfig, FdStats,
+    IncrementalCongestion, Objective, Potential,
 };
 use snnmap_hw::{CostModel, FaultInjector, FaultMap, FaultPattern, Mesh};
 use snnmap_model::generators::random_pcn;
+use snnmap_trace::JsonlSink;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -144,6 +146,179 @@ proptest! {
                     prop_assert_eq!(&p, rp, "masked placement diverged at threads={}", threads);
                     assert_stats_bits_equal(&stats, rs, &format!("masked threads={threads}"))?;
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The delta-maintained congestion map must bit-equal a from-scratch
+    /// rebuild after *any* sequence of swap moves — the invariant that
+    /// lets the engine pay O(edges-touched) instead of O(network) per
+    /// swap. The fixed-point cells make "bit-equal" meaningful: no
+    /// tolerance, `i64` equality.
+    #[test]
+    fn incremental_congestion_bit_equals_a_rebuild_after_random_swaps(
+        clusters in 4u32..=48,
+        moves in proptest::collection::vec((0u32..48, 0u32..48), 1..40),
+        seed in 0u64..1000,
+    ) {
+        let pcn = random_pcn(clusters, 4.0, seed).unwrap();
+        let (rows, cols) = (8u16, 8u16);
+        let mut coords: Vec<(u16, u16)> =
+            (0..clusters).map(|c| ((c as u16) / cols, (c as u16) % cols)).collect();
+        let mut inc = IncrementalCongestion::build(&pcn, &coords, rows, cols);
+        // The full directed edge list, enumerated once (the same edges
+        // `build` folds in).
+        let edges: Vec<(u32, u32, f64)> = (0..clusters)
+            .flat_map(|s| pcn.out_edges(s).map(move |(t, w)| (s, t, f64::from(w))))
+            .collect();
+        for &(i, j) in &moves {
+            let (a, b) = (i % clusters, j % clusters);
+            if a == b {
+                continue;
+            }
+            // A swap move, maintained as deltas: peel every edge that
+            // touches a moved endpoint, move, re-add at the new coords.
+            for &(s, t, w) in &edges {
+                if s == a || s == b || t == a || t == b {
+                    inc.remove_edge(coords[s as usize], coords[t as usize], w);
+                }
+            }
+            coords.swap(a as usize, b as usize);
+            for &(s, t, w) in &edges {
+                if s == a || s == b || t == a || t == b {
+                    inc.add_edge(coords[s as usize], coords[t as usize], w);
+                }
+            }
+        }
+        let rebuilt = IncrementalCongestion::build(&pcn, &coords, rows, cols);
+        prop_assert_eq!(inc.map(), rebuilt.map(), "delta map diverged from rebuild");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Composite refinement keeps both halves of the objective contract:
+    /// the per-sweep objective breakdown (and the final placement/stats)
+    /// is byte-identical across thread counts, and the composite total
+    /// never rises sweep over sweep — Exact tension applies only swaps
+    /// whose recomputed composite delta is positive.
+    #[test]
+    fn composite_fd_is_thread_invariant_and_descends_monotonically(
+        fill_pct in 50u32..=95,
+        lc_idx in 0usize..4,
+        lt_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mesh = Mesh::new(12, 12).unwrap();
+        let clusters = (144 * fill_pct / 100).max(8);
+        let pcn = random_pcn(clusters, 4.0, seed).unwrap();
+        let objective = Objective::Composite {
+            lambda_c: [0.5, 1.0, 2.0, 4.0][lc_idx],
+            lambda_t: [0.0, 0.1, 0.5][lt_idx],
+        };
+        let init = hsc_placement_threaded(&pcn, mesh, 1).unwrap();
+        let mut reference = None;
+        for threads in THREADS {
+            let cfg = FdConfig {
+                objective,
+                max_iterations: Some(10),
+                threads,
+                ..FdConfig::default()
+            };
+            let mut p = init.clone();
+            let mut sink = JsonlSink::new(Vec::new()).with_timing(false);
+            let stats = force_directed_traced(&pcn, &mut p, &cfg, &mut sink).unwrap();
+            let trace = String::from_utf8(sink.finish().unwrap()).unwrap();
+            // The raw JSON tokens of the per-sweep composite totals:
+            // compared as *bytes* across threads, parsed for descent.
+            let series: Vec<String> = trace
+                .lines()
+                .filter(|l| l.contains("\"event\":\"objective\""))
+                .map(|l| {
+                    l.split("\"composite\":")
+                        .nth(1)
+                        .expect("objective event carries a composite field")
+                        .split([',', '}'])
+                        .next()
+                        .unwrap()
+                        .to_string()
+                })
+                .collect();
+            prop_assert_eq!(
+                series.len() as u64,
+                stats.iterations,
+                "one objective event per sweep (threads={})",
+                threads
+            );
+            let mut prev = f64::INFINITY;
+            for (i, tok) in series.iter().enumerate() {
+                let v: f64 = tok.parse().expect("composite is a finite number");
+                // Tiny slack for re-summation noise: the composite is
+                // re-accumulated from blocks each sweep, while descent
+                // is guaranteed on the exact per-swap deltas.
+                prop_assert!(
+                    v <= prev + prev.abs().max(1.0) * 1e-9,
+                    "sweep {}: composite rose {} -> {} (threads={})",
+                    i + 1,
+                    prev,
+                    v,
+                    threads
+                );
+                prev = v;
+            }
+            match &reference {
+                None => reference = Some((p, stats, series)),
+                Some((rp, rs, rseries)) => {
+                    prop_assert_eq!(&p, rp, "placement diverged at threads={}", threads);
+                    assert_stats_bits_equal(&stats, rs, &format!("composite threads={threads}"))?;
+                    prop_assert_eq!(
+                        &series,
+                        rseries,
+                        "objective breakdown bytes diverged at threads={}",
+                        threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Sim-in-the-loop self-reweighting (no external hook): the engine folds
+/// its own congestion heat into the weight field every 3 sweeps. The
+/// reweight boundary is serial by design, so the thread count must still
+/// change nothing — placement and stats bits included.
+#[test]
+fn hookless_reweighting_is_thread_count_invariant() {
+    let pcn = random_pcn(180, 4.0, 13).unwrap();
+    let mesh = Mesh::new(16, 16).unwrap();
+    let init = hsc_placement_threaded(&pcn, mesh, 1).unwrap();
+    let mut reference = None;
+    for threads in THREADS {
+        let cfg = FdConfig {
+            objective: Objective::Congestion { lambda_c: 2.0 },
+            reweight_every: Some(3),
+            max_iterations: Some(12),
+            threads,
+            ..FdConfig::default()
+        };
+        let mut p = init.clone();
+        let stats = force_directed(&pcn, &mut p, &cfg).unwrap();
+        match &reference {
+            None => reference = Some((p, stats)),
+            Some((rp, rs)) => {
+                assert_eq!(&p, rp, "placement diverged at threads={threads}");
+                assert_eq!(stats.iterations, rs.iterations, "threads={threads}");
+                assert_eq!(stats.swaps, rs.swaps, "threads={threads}");
+                assert_eq!(
+                    stats.final_energy.to_bits(),
+                    rs.final_energy.to_bits(),
+                    "energy bits diverged at threads={threads}"
+                );
             }
         }
     }

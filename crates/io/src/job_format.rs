@@ -14,6 +14,7 @@
 //! a typed error before any mapping work is queued.
 
 use serde::{Deserialize, Serialize};
+use snnmap_core::Objective;
 use snnmap_hw::{Board, Mesh};
 use snnmap_model::Pcn;
 use snnmap_trace::sha256_hex;
@@ -64,6 +65,15 @@ pub struct JobSpec {
     /// respect per-core capacities, and the job becomes a target for
     /// `POST /faults/chip` injection.
     pub board: Option<Board>,
+    /// Refinement objective (the `snnmap map --objective` family).
+    /// Defaults to pure energy, which keeps historical digests intact.
+    pub objective: Objective,
+    /// Sim-in-the-loop cadence in sweeps (the `snnmap map
+    /// --sim-in-loop` semantics): every `k` sweeps a seeded NoC replay
+    /// re-weights congested routers. Incompatible with spool
+    /// checkpointing, so `checkpoint_every` defaults to 0 (and an
+    /// explicit positive cadence is rejected) when this is set.
+    pub sim_in_loop: Option<u64>,
 }
 
 /// The JSON document shape for a job request.
@@ -80,6 +90,10 @@ struct JobDoc {
     max_sweeps: Option<u64>,
     checkpoint_every: Option<u64>,
     board: Option<String>,
+    objective: Option<String>,
+    lambda_congestion: Option<f64>,
+    lambda_latency: Option<f64>,
+    sim_in_loop: Option<u64>,
 }
 
 /// The canonical topology-spec string for a board (`GxH/RxC@NPC,SPC` —
@@ -116,6 +130,20 @@ impl JobSpec {
         if let Some(board) = &self.board {
             config.push_str(&format!(" board={}", sha256_hex(render_board(board).as_bytes())));
         }
+        // Same append-only discipline for the objective family: the
+        // default (pure energy, no reweighting) contributes nothing, so
+        // pre-objective checkpoints keep verifying.
+        if !(self.objective.is_energy() && self.sim_in_loop.is_none()) {
+            let (_, lc, lt) = self.objective.weights();
+            let rw = match self.sim_in_loop {
+                Some(k) => format!(" reweight={k}"),
+                None => String::new(),
+            };
+            config.push_str(&format!(
+                " objective={} lc={lc} lt={lt}{rw}",
+                self.objective.label()
+            ));
+        }
         CheckpointMeta {
             config_digest: sha256_hex(config.as_bytes()),
             pcn_digest: sha256_hex(render_pcn(&self.pcn).as_bytes()),
@@ -127,6 +155,9 @@ impl JobSpec {
 /// embedded via [`render_pcn`], so `parse_job(render_job(s))` round
 /// trips).
 pub fn render_job(spec: &JobSpec) -> String {
+    // λ knobs the objective ignores are omitted rather than rendered,
+    // because `parse_job` (like the CLI) rejects them as dead weight.
+    let (_, lc, lt) = spec.objective.weights();
     let doc = JobDoc {
         format: FORMAT.to_string(),
         pcn: render_pcn(&spec.pcn),
@@ -139,6 +170,10 @@ pub fn render_job(spec: &JobSpec) -> String {
         max_sweeps: spec.max_sweeps,
         checkpoint_every: Some(spec.checkpoint_every),
         board: spec.board.as_ref().map(board_spec),
+        objective: Some(spec.objective.label().to_string()),
+        lambda_congestion: (!spec.objective.is_energy()).then_some(lc),
+        lambda_latency: (spec.objective.label() == "composite").then_some(lt),
+        sim_in_loop: spec.sim_in_loop,
     };
     serde_json::to_string_pretty(&doc).expect("job doc always serializes")
 }
@@ -228,6 +263,59 @@ pub fn parse_job(text: &str) -> Result<JobSpec, IoError> {
     if let Some(0) = doc.max_sweeps {
         return Err(IoError::Invalid { message: "max_sweeps must be positive".into() });
     }
+    let label = doc.objective.as_deref().unwrap_or("energy");
+    if label == "energy" {
+        for (name, set) in [
+            ("lambda_congestion", doc.lambda_congestion.is_some()),
+            ("lambda_latency", doc.lambda_latency.is_some()),
+        ] {
+            if set {
+                return Err(IoError::Invalid {
+                    message: format!("`{name}` has no effect with objective `energy`"),
+                });
+            }
+        }
+    }
+    if label == "congestion" && doc.lambda_latency.is_some() {
+        return Err(IoError::Invalid {
+            message: "`lambda_latency` has no effect with objective `congestion`; \
+                      use objective `composite`"
+                .into(),
+        });
+    }
+    let objective = Objective::from_parts(
+        label,
+        doc.lambda_congestion.unwrap_or(1.0),
+        doc.lambda_latency.unwrap_or(0.0),
+    )
+    .ok_or_else(|| IoError::Invalid {
+        message: format!("unknown objective `{label}` (energy, congestion, or composite)"),
+    })?;
+    objective.validate().map_err(|e| IoError::Invalid { message: e.to_string() })?;
+    if let Some(0) = doc.sim_in_loop {
+        return Err(IoError::Invalid { message: "sim_in_loop must be positive".into() });
+    }
+    if doc.sim_in_loop.is_some() && objective.is_energy() {
+        return Err(IoError::Invalid {
+            message: "sim_in_loop needs a congestion-aware objective \
+                      (objective `congestion` or `composite`)"
+                .into(),
+        });
+    }
+    // The heat-derived weight field is not part of a checkpoint, so
+    // sim-in-the-loop jobs are never spool-checkpointed.
+    let checkpoint_every = match (doc.checkpoint_every, doc.sim_in_loop) {
+        (Some(n), Some(_)) if n > 0 => {
+            return Err(IoError::Invalid {
+                message: "sim_in_loop jobs cannot be spool-checkpointed; \
+                          omit checkpoint_every or set it to 0"
+                    .into(),
+            })
+        }
+        (Some(n), _) => n,
+        (None, Some(_)) => 0,
+        (None, None) => 4,
+    };
     Ok(JobSpec {
         pcn,
         mesh,
@@ -237,8 +325,10 @@ pub fn parse_job(text: &str) -> Result<JobSpec, IoError> {
         seed: doc.seed.unwrap_or(42),
         threads,
         max_sweeps: doc.max_sweeps,
-        checkpoint_every: doc.checkpoint_every.unwrap_or(4),
+        checkpoint_every,
         board,
+        objective,
+        sim_in_loop: doc.sim_in_loop,
     })
 }
 
@@ -266,6 +356,8 @@ mod tests {
         assert_eq!(spec.threads, 0);
         assert_eq!(spec.max_sweeps, None);
         assert_eq!(spec.checkpoint_every, 4);
+        assert!(spec.objective.is_energy());
+        assert_eq!(spec.sim_in_loop, None);
     }
 
     #[test]
@@ -333,6 +425,71 @@ mod tests {
         // A malformed spec is a typed error.
         let err = parse_job(&minimal(", \"board\": \"bogus/spec\"")).unwrap_err();
         assert!(matches!(err, IoError::Invalid { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn objective_jobs_roundtrip_and_extend_the_digest_append_only() {
+        let spec = parse_job(&minimal(
+            ", \"objective\": \"composite\", \"lambda_congestion\": 2.0, \
+             \"lambda_latency\": 0.5, \"sim_in_loop\": 4",
+        ))
+        .unwrap();
+        assert_eq!(spec.objective.label(), "composite");
+        assert_eq!(spec.objective.weights(), (1.0, 2.0, 0.5));
+        assert_eq!(spec.sim_in_loop, Some(4));
+        // sim_in_loop jobs default to no spool checkpoints.
+        assert_eq!(spec.checkpoint_every, 0);
+        let back = parse_job(&render_job(&spec)).unwrap();
+        assert_eq!(back.objective, spec.objective);
+        assert_eq!(back.sim_in_loop, spec.sim_in_loop);
+        assert_eq!(back.provenance(), spec.provenance());
+        // The digest extends the boardless formula append-only, exactly
+        // like the CLI's `--objective` family.
+        let config = "init=hilbert potential=l2sq lambda=0.3 seed=42 faults=none \
+                      objective=composite lc=2 lt=0.5 reweight=4";
+        assert_eq!(spec.provenance().config_digest, sha256_hex(config.as_bytes()));
+        // A pure-congestion job digests without the reweight suffix.
+        let cong = parse_job(&minimal(", \"objective\": \"congestion\"")).unwrap();
+        assert_eq!(cong.objective.label(), "congestion");
+        let config = "init=hilbert potential=l2sq lambda=0.3 seed=42 faults=none \
+                      objective=congestion lc=1 lt=0";
+        assert_eq!(cong.provenance().config_digest, sha256_hex(config.as_bytes()));
+        // ...and still spool-checkpoints on the default cadence.
+        assert_eq!(cong.checkpoint_every, 4);
+    }
+
+    #[test]
+    fn rejects_inconsistent_objective_requests() {
+        // λ knobs the objective ignores are dead weight, not silence.
+        assert!(parse_job(&minimal(", \"lambda_congestion\": 1.0")).is_err());
+        assert!(parse_job(&minimal(", \"lambda_latency\": 1.0")).is_err());
+        assert!(parse_job(&minimal(
+            ", \"objective\": \"congestion\", \"lambda_latency\": 1.0"
+        ))
+        .is_err());
+        // Unknown labels and out-of-range weights.
+        assert!(parse_job(&minimal(", \"objective\": \"bandwidth\"")).is_err());
+        assert!(parse_job(&minimal(
+            ", \"objective\": \"composite\", \"lambda_congestion\": -1.0"
+        ))
+        .is_err());
+        // Reweighting needs a congestion-aware objective and a positive
+        // cadence, and cannot coexist with spool checkpoints.
+        assert!(parse_job(&minimal(", \"sim_in_loop\": 4")).is_err());
+        assert!(parse_job(&minimal(
+            ", \"objective\": \"congestion\", \"sim_in_loop\": 0"
+        ))
+        .is_err());
+        assert!(parse_job(&minimal(
+            ", \"objective\": \"congestion\", \"sim_in_loop\": 4, \"checkpoint_every\": 2"
+        ))
+        .is_err());
+        // An explicit 0 cadence is the documented escape hatch.
+        let spec = parse_job(&minimal(
+            ", \"objective\": \"congestion\", \"sim_in_loop\": 4, \"checkpoint_every\": 0"
+        ))
+        .unwrap();
+        assert_eq!(spec.checkpoint_every, 0);
     }
 
     #[test]

@@ -31,14 +31,15 @@ impl TraceSummary {
 /// The expected JSON shape of a schema field, derived from its name.
 fn check_type(event: &str, field: &str, v: &Value, line: usize) -> Result<(), IoError> {
     let ok = match field {
-        "event" | "tool" | "mesh" | "name" | "potential" | "tension" | "scope" | "stop" => {
-            v.as_str().is_some()
-        }
+        "event" | "tool" | "mesh" | "name" | "potential" | "tension" | "scope" | "stop"
+        | "objective" | "source" => v.as_str().is_some(),
         "converged" | "masked" => matches!(v, Value::Bool(_)),
         // Nullable numerics: caps/budgets that may be unset, and floats
         // that were non-finite at render time.
         "lambda" | "max_iterations" | "time_budget_ms" | "energy" | "initial_energy"
-        | "final_energy" => matches!(v, Value::Number(_) | Value::Null),
+        | "final_energy" | "congestion" | "latency" | "composite" => {
+            matches!(v, Value::Number(_) | Value::Null)
+        }
         _ => matches!(v, Value::Number(_)),
     };
     if ok {
@@ -70,7 +71,7 @@ fn check_type(event: &str, field: &str, v: &Value, line: usize) -> Result<(), Io
 /// ```
 /// use snnmap_io::validate_trace;
 ///
-/// let text = "{\"schema\":3,\"event\":\"run\",\"tool\":\"map\",\"clusters\":2,\
+/// let text = "{\"schema\":4,\"event\":\"run\",\"tool\":\"map\",\"clusters\":2,\
 ///             \"connections\":1,\"mesh\":\"2x2\",\"threads_requested\":0,\
 ///             \"threads_resolved\":1}\n\
 ///             {\"event\":\"phase\",\"name\":\"toposort\"}\n";

@@ -20,6 +20,11 @@ pub struct CongestionStats {
     /// evaluation; < 1.0 when edge sampling was used — averages are
     /// rescaled to be unbiased, the maximum is a lower bound).
     pub coverage: f64,
+    /// Sampling honesty flag: `true` exactly when `coverage < 1.0`, i.e.
+    /// [`max`](Self::max) only bounds `M_mc` from below because unevaluated
+    /// edges could load the hottest router further. Exact evaluation and
+    /// the degenerate (no traffic) case report `false`.
+    pub max_is_lower_bound: bool,
 }
 
 /// Accumulates per-router expected traffic over the edges of a placement.
@@ -130,7 +135,12 @@ impl CongestionAccumulator {
     #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn stats(&self) -> CongestionStats {
         if !(self.total_traffic > 0.0) || !(self.evaluated_traffic > 0.0) {
-            return CongestionStats { average: 0.0, max: 0.0, coverage: 1.0 };
+            return CongestionStats {
+                average: 0.0,
+                max: 0.0,
+                coverage: 1.0,
+                max_is_lower_bound: false,
+            };
         }
         let coverage = self.evaluated_traffic / self.total_traffic;
         let sum: f64 = self.map.iter().sum();
@@ -139,6 +149,7 @@ impl CongestionAccumulator {
             average: sum / coverage / self.mesh.len() as f64,
             max,
             coverage,
+            max_is_lower_bound: coverage < 1.0,
         }
     }
 }
@@ -277,6 +288,8 @@ mod tests {
         let exact = congestion_map(&pcn, &p).unwrap().stats();
         let sampled = congestion_map_sampled(&pcn, &p, 32, 11).unwrap().stats();
         assert!(sampled.coverage < 1.0);
+        assert!(sampled.max_is_lower_bound);
+        assert!(!exact.max_is_lower_bound);
         assert!(
             (sampled.average - exact.average).abs() < 0.5 * exact.average,
             "sampled {} vs exact {}",
@@ -302,6 +315,7 @@ mod tests {
         assert_eq!(s.average, 0.0);
         assert_eq!(s.max, 0.0);
         assert_eq!(s.coverage, 1.0);
+        assert!(!s.max_is_lower_bound);
     }
 
     #[test]
@@ -313,7 +327,10 @@ mod tests {
         acc.skip_edge(5.0);
         acc.skip_edge(2.5);
         let s = acc.stats();
-        assert_eq!(s, CongestionStats { average: 0.0, max: 0.0, coverage: 1.0 });
+        assert_eq!(
+            s,
+            CongestionStats { average: 0.0, max: 0.0, coverage: 1.0, max_is_lower_bound: false }
+        );
     }
 
     #[test]
@@ -335,7 +352,10 @@ mod tests {
             assert!(matches!(err, HwError::OutOfBounds { coord } if coord == bad), "{err}");
         }
         assert!(acc.map().iter().all(|&v| v == 0.0));
-        assert_eq!(acc.stats(), CongestionStats { average: 0.0, max: 0.0, coverage: 1.0 });
+        assert_eq!(
+            acc.stats(),
+            CongestionStats { average: 0.0, max: 0.0, coverage: 1.0, max_is_lower_bound: false }
+        );
         // The accumulator still works after a rejected edge.
         acc.add_edge(Coord::new(0, 0), Coord::new(2, 2), 1.0).unwrap();
         assert!(acc.stats().max > 0.0);

@@ -59,9 +59,15 @@ pub fn expe(p: Coord, s: Coord, t: Coord) -> f64 {
 
 /// The full expectation grid of a normalized rectangle: entry
 /// `[i·(dy+1) + j]` is the probability the staircase from `(0,0)` to
-/// `(dx,dy)` visits `(i,j)`. Shared by [`expe`] and the congestion
-/// accumulator.
-pub(crate) fn expectation_grid(dx: usize, dy: usize) -> Vec<f64> {
+/// `(dx,dy)` visits `(i,j)`. Shared by [`expe`], the congestion
+/// accumulator, and the incremental congestion objective in
+/// `snnmap-core`.
+///
+/// Note the grid is *not* symmetric under endpoint reversal: the walk
+/// runs straight once it hits the target row/column, so swapping source
+/// and target redistributes the boundary mass. Callers maintaining
+/// per-edge contributions must therefore respect edge direction.
+pub fn expectation_grid(dx: usize, dy: usize) -> Vec<f64> {
     let cols = dy + 1;
     let mut e = vec![0.0f64; (dx + 1) * cols];
     e[0] = 1.0;

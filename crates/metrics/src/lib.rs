@@ -45,7 +45,7 @@ mod report;
 
 pub use congestion::{congestion_map, CongestionAccumulator, CongestionStats};
 pub use energy::energy;
-pub use expe::expe;
+pub use expe::{expe, expectation_grid};
 pub use histogram::hop_histogram;
 pub use latency::{average_latency, max_latency};
 pub use prometheus::{PromText, PROM_PREFIX};

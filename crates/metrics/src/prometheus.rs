@@ -108,6 +108,11 @@ impl crate::MetricsReport {
                 "Fraction of edge traffic evaluated for the congestion metrics.",
                 self.congestion_coverage,
             ),
+            (
+                "max_congestion_is_lower_bound",
+                "1 when max_congestion only bounds M_mc from below (edge-sampled congestion).",
+                f64::from(u8::from(self.max_congestion_is_lower_bound)),
+            ),
         ] {
             prom.header(name, "gauge", help);
             prom.sample(name, &[], value);

@@ -21,6 +21,7 @@ use crate::{average_latency, energy, max_latency};
 ///     avg_congestion: 2.0,
 ///     max_congestion: 8.0,
 ///     congestion_coverage: 1.0,
+///     max_congestion_is_lower_bound: false,
 /// };
 /// let better = MetricsReport { energy: 50.0, ..base };
 /// let rel = better.normalized_to(&base);
@@ -42,6 +43,11 @@ pub struct MetricsReport {
     /// Fraction of edge traffic evaluated for the congestion metrics
     /// (1.0 = exact; see [`EvalOptions::congestion_sample`]).
     pub congestion_coverage: f64,
+    /// `true` when [`max_congestion`](Self::max_congestion) is only a
+    /// lower bound on `M_mc` because congestion was edge-sampled
+    /// (`congestion_coverage < 1.0`); see
+    /// [`CongestionStats::max_is_lower_bound`](crate::CongestionStats).
+    pub max_congestion_is_lower_bound: bool,
 }
 
 impl MetricsReport {
@@ -57,6 +63,8 @@ impl MetricsReport {
             avg_congestion: div(self.avg_congestion, baseline.avg_congestion),
             max_congestion: div(self.max_congestion, baseline.max_congestion),
             congestion_coverage: self.congestion_coverage.min(baseline.congestion_coverage),
+            max_congestion_is_lower_bound: self.max_congestion_is_lower_bound
+                || baseline.max_congestion_is_lower_bound,
         }
     }
 }
@@ -114,6 +122,7 @@ pub fn evaluate_with(
         avg_congestion: c.average,
         max_congestion: c.max,
         congestion_coverage: c.coverage,
+        max_congestion_is_lower_bound: c.max_is_lower_bound,
     })
 }
 
@@ -174,6 +183,7 @@ mod tests {
         )
         .unwrap();
         assert!(r.congestion_coverage <= 1.0);
+        assert_eq!(r.max_congestion_is_lower_bound, r.congestion_coverage < 1.0);
     }
 
     #[test]

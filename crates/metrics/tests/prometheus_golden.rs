@@ -16,6 +16,7 @@ fn report_page_matches_the_golden_file() {
         avg_congestion: 0.125,
         max_congestion: 8.5,
         congestion_coverage: 1.0,
+        max_congestion_is_lower_bound: false,
     };
     let golden = include_str!("golden/report.prom");
     assert_eq!(report.to_prometheus(), golden);

@@ -22,6 +22,8 @@
 //!   [`NocStats::interchip_traversals`],
 //! * [`PcnTraffic`] — Bernoulli per-flow injection derived from a PCN's
 //!   connection weights and a placement,
+//! * [`NocReweighter`] — sim-in-the-loop hook feeding simulated router
+//!   heat back into `snnmap-core`'s composite FD objective,
 //! * [`NocStats`] — delivered counts, latency distribution, per-router
 //!   traversal map,
 //! * [`NocError`] — typed injection/configuration failures.
@@ -55,11 +57,13 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod error;
+mod reweight;
 mod sim;
 mod stats;
 mod traffic;
 
 pub use error::NocError;
+pub use reweight::NocReweighter;
 pub use sim::{NocConfig, NocSim, Routing};
 pub use stats::NocStats;
 pub use traffic::PcnTraffic;

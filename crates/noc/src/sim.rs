@@ -421,12 +421,29 @@ impl NocSim {
 
     /// Steps until the network is empty or `max_cycles` pass; returns
     /// whether everything was delivered.
+    ///
+    /// A saturated [`Routing::RandomMinimal`] network can deadlock — a
+    /// cycle of full input queues whose heads each want the next full
+    /// queue — and no amount of further cycles resolves it. Once no
+    /// packet moves or delivers for a full mesh-diameter window the
+    /// drain bails out early instead of burning the rest of the bound.
     pub fn drain(&mut self, max_cycles: u64) -> bool {
+        let stall_window = u64::from(self.mesh.rows()) + u64::from(self.mesh.cols()) + 1;
+        let mut stalled = 0u64;
         for _ in 0..max_cycles {
             if self.in_flight == 0 {
                 return true;
             }
+            let delivered_before = self.stats.delivered;
             self.step();
+            if self.stats.delivered > delivered_before || !self.moves.is_empty() {
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= stall_window {
+                    return false;
+                }
+            }
         }
         self.in_flight == 0
     }

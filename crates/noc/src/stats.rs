@@ -68,6 +68,30 @@ impl NocStats {
     pub fn max_traversals(&self) -> u64 {
         self.traversals.iter().copied().max().unwrap_or(0)
     }
+
+    /// Converts the traversal counts into the analytic congestion map's
+    /// units: per-router traversals divided by `scale · cycles`, the
+    /// expected traversal mass one unit of PCN edge weight contributes
+    /// over a [`PcnTraffic`](crate::PcnTraffic) run of `cycles` cycles
+    /// at injection scale `scale`.
+    ///
+    /// With [`Routing::RandomMinimal`](crate::Routing) (whose uniform
+    /// staircase matches Algorithm 4's expectation model), unclamped
+    /// injection probabilities and no faults, this converges on
+    /// `snnmap_metrics::congestion_map` as `cycles` grows — the sampled
+    /// estimate carries `O(1/√(scale · cycles))` Bernoulli noise per
+    /// router. XY routing concentrates traffic on the corner path
+    /// instead, so its adapted map bounds only the *total* mass, not the
+    /// per-router values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale · cycles` is zero or non-finite.
+    pub fn congestion_map(&self, scale: f64, cycles: u64) -> Vec<f64> {
+        let norm = scale * cycles as f64;
+        assert!(norm.is_finite() && norm > 0.0, "scale * cycles must be positive");
+        self.traversals.iter().map(|&t| t as f64 / norm).collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,104 @@
+//! Cross-validation of the simulated congestion map against the
+//! analytic one (Algorithm 4).
+//!
+//! [`NocStats::congestion_map`] rescales per-router traversal counts
+//! into the analytic map's units. Under [`Routing::RandomMinimal`] — the
+//! uniform staircase whose per-router visit probability *is* the
+//! paper's `Expe` expectation — on fault-free hardware with unclamped
+//! injection probabilities, the adapted map is an unbiased Monte-Carlo
+//! estimate of `snnmap_metrics::congestion_map`. The tolerance below is
+//! the Bernoulli sampling noise: each router's count is a sum of
+//! independent indicator variables with variance at most its mean, so
+//! the adapted value carries a standard deviation of about
+//! `sqrt(Con(r) / (scale · cycles))`; the assertions allow 5 of those
+//! (plus a small absolute floor for near-zero cells).
+
+use snnmap_hw::{Coord, Mesh, Placement};
+use snnmap_metrics::congestion_map;
+use snnmap_model::{Pcn, PcnBuilder};
+use snnmap_noc::{NocConfig, NocSim, PcnTraffic, Routing};
+
+const SCALE: f64 = 0.02;
+const CYCLES: u64 = 10_000;
+
+fn crossing_pcn() -> Pcn {
+    let mut b = PcnBuilder::new();
+    for _ in 0..16 {
+        b.add_cluster(1, 1);
+    }
+    // Long diagonal and crossing flows so interior routers see
+    // overlapping rectangles — the regime where XY and the expectation
+    // model disagree and RandomMinimal is required.
+    for &(s, t, w) in &[
+        (0u32, 15u32, 3.0),
+        (3, 12, 2.0),
+        (5, 10, 1.5),
+        (1, 14, 1.0),
+        (2, 7, 2.5),
+        (8, 13, 1.0),
+        (4, 11, 1.5),
+        (6, 9, 2.0),
+        (15, 0, 1.0),
+    ] {
+        b.add_edge(s, t, w).unwrap();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn adapted_traversals_match_the_analytic_map_within_sampling_noise() {
+    let pcn = crossing_pcn();
+    let mesh = Mesh::new(4, 4).unwrap();
+    let coords: Vec<Coord> = mesh.iter().collect();
+    let placement = Placement::from_coords(mesh, &coords).unwrap();
+
+    let exact = congestion_map(&pcn, &placement).unwrap();
+    let exact = exact.map();
+
+    let mut traffic = PcnTraffic::new(&pcn, &placement, SCALE, 11);
+    let config = NocConfig { routing: Routing::RandomMinimal, seed: 5, ..NocConfig::default() };
+    let mut sim = NocSim::new(mesh, config);
+    traffic.run(&mut sim, CYCLES);
+    let stats = sim.stats();
+    // Backpressure losses would bias the estimate low; the injection
+    // rates are chosen so the network never pushes back.
+    assert_eq!(stats.rejected, 0, "test traffic must not saturate the network");
+
+    let adapted = stats.congestion_map(SCALE, CYCLES);
+    assert_eq!(adapted.len(), exact.len());
+
+    let norm = SCALE * CYCLES as f64;
+    for (r, (&a, &e)) in adapted.iter().zip(exact).enumerate() {
+        let tol = 5.0 * (e.max(0.05) / norm).sqrt() + 0.02;
+        assert!(
+            (a - e).abs() <= tol,
+            "router {r}: adapted {a:.3} vs exact {e:.3} (tol {tol:.3})"
+        );
+    }
+
+    // Aggregates inherit the bound: total mass and the hottest router.
+    let total_a: f64 = adapted.iter().sum();
+    let total_e: f64 = exact.iter().sum();
+    assert!(
+        (total_a - total_e).abs() <= 0.05 * total_e,
+        "total mass: adapted {total_a:.3} vs exact {total_e:.3}"
+    );
+    let max_a = adapted.iter().copied().fold(0.0, f64::max);
+    let max_e = exact.iter().copied().fold(0.0, f64::max);
+    assert!(
+        (max_a - max_e).abs() <= 0.2 * max_e,
+        "hottest router: adapted {max_a:.3} vs exact {max_e:.3}"
+    );
+}
+
+#[test]
+fn adapter_rejects_zero_normalization() {
+    let stats = {
+        let mesh = Mesh::new(2, 2).unwrap();
+        let mut sim = NocSim::new(mesh, NocConfig::default());
+        sim.inject(Coord::new(0, 0), Coord::new(1, 1)).unwrap();
+        sim.drain(100);
+        sim.stats().clone()
+    };
+    assert!(std::panic::catch_unwind(|| stats.congestion_map(0.0, 100)).is_err());
+}

@@ -35,6 +35,7 @@ use snnmap_io::{
     parse_job, parse_placement, read_checkpoint, reject_duplicate_keys, render_placement,
     write_checkpoint, IoError, JobSpec,
 };
+use snnmap_noc::NocReweighter;
 use snnmap_trace::{sha256_hex, ProgressSink};
 
 use crate::http::{self, Request};
@@ -498,8 +499,10 @@ fn execute_job(shared: &Shared, job: &Job) {
     let cp_path = shared.spool.checkpoint_path(job.id);
     // The engine resumes only from a checkpoint proven to belong to this
     // exact job (same PCN, same configuration) — the `snnmap resume`
-    // provenance check, applied automatically.
-    let resume_from = if cp_path.is_file() {
+    // provenance check, applied automatically. Sim-in-the-loop jobs are
+    // never checkpointed (the heat-derived weight field is not part of
+    // a checkpoint), so they always start from scratch.
+    let resume_from = if spec.sim_in_loop.is_none() && cp_path.is_file() {
         match read_checkpoint(&cp_path) {
             Ok((cp, on_disk)) if on_disk == meta && cp.mesh == spec.mesh => Some(cp),
             _ => None,
@@ -521,6 +524,14 @@ fn execute_job(shared: &Shared, job: &Job) {
         })
         .map_err(|e| e.to_string())
     };
+    // Sim-in-the-loop: a seeded NoC replays the PCN's traffic over the
+    // evolving placement every `sim_in_loop` sweeps and re-weights the
+    // hot routers — the CLI's `--sim-in-loop` hook. An edgeless PCN has
+    // no traffic; the engine then falls back to its own heat estimate.
+    let mut sim_hook = spec.sim_in_loop.and_then(|_| {
+        let scale = noc_scale(&spec.pcn);
+        (scale > 0.0).then(|| NocReweighter::new(&spec.pcn, scale, SIM_CYCLES, spec.seed))
+    });
     let mut run_opts = FdRunOpts {
         budget: RunBudget {
             deadline: None,
@@ -530,8 +541,16 @@ fn execute_job(shared: &Shared, job: &Job) {
         checkpoint_every: (spec.checkpoint_every > 0).then_some(spec.checkpoint_every),
         ..FdRunOpts::default()
     };
-    run_opts.on_checkpoint =
-        Some(&mut writer as &mut dyn FnMut(&FdCheckpoint) -> Result<(), String>);
+    if spec.sim_in_loop.is_none() {
+        // The engine refuses a checkpoint writer alongside reweighting;
+        // `parse_job` already pinned `checkpoint_every` to 0 for these
+        // jobs, so no periodic flush is lost by skipping the writer.
+        run_opts.on_checkpoint =
+            Some(&mut writer as &mut dyn FnMut(&FdCheckpoint) -> Result<(), String>);
+    }
+    if let Some(hook) = sim_hook.as_mut() {
+        run_opts.reweighter = Some(hook);
+    }
 
     let mut sink = ProgressSink::new(Arc::clone(&job.progress));
     let result = match &resume_from {
@@ -741,6 +760,29 @@ fn heartbeat_pass(shared: &Shared) {
     }
 }
 
+/// Simulated cycles per sim-in-the-loop NoC run — the `snnmap map
+/// --sim-in-loop` constant, so a job produces the same placement as the
+/// CLI invocation it mirrors.
+const SIM_CYCLES: u64 = 256;
+
+/// Injection scale for the seeded NoC replays (the CLI's formula): the
+/// hottest PCN connection injects with probability 1/4 per cycle, so
+/// traversal counts stay proportional to edge weights. 0.0 for an
+/// edgeless PCN, which has no traffic to replay.
+fn noc_scale(pcn: &snnmap_model::Pcn) -> f64 {
+    let mut wmax = 0.0f64;
+    for c in 0..pcn.num_clusters() {
+        for (_, w) in pcn.out_edges(c) {
+            wmax = wmax.max(w as f64);
+        }
+    }
+    if wmax > 0.0 {
+        0.25 / wmax
+    } else {
+        0.0
+    }
+}
+
 fn job_init(spec: &JobSpec) -> Option<InitialPlacement> {
     Some(match spec.init.as_str() {
         "hilbert" => InitialPlacement::Hilbert,
@@ -772,6 +814,12 @@ fn job_mapper(spec: &JobSpec) -> Option<Mapper> {
         .threads(spec.threads);
     if let Some(board) = &spec.board {
         builder = builder.board(board.clone());
+    }
+    if !spec.objective.is_energy() {
+        builder = builder.objective(spec.objective);
+    }
+    if let Some(every) = spec.sim_in_loop {
+        builder = builder.reweight_every(every);
     }
     Some(builder.build())
 }
@@ -1137,6 +1185,8 @@ fn get_job(shared: &Shared, id: u64, stream: &mut TcpStream) -> std::io::Result<
         "clusters": job.spec.pcn.num_clusters(),
         "mesh": format!("{}x{}", job.spec.mesh.rows(), job.spec.mesh.cols()),
         "board": opt_value(job.spec.board.as_ref().map(|b| b.to_string())),
+        "objective": job.spec.objective.label(),
+        "sim_in_loop": opt_value(job.spec.sim_in_loop),
         "sweeps": snap.sweeps,
         "swaps": snap.swaps,
         "energy": opt_value(snap.energy),
@@ -1344,6 +1394,70 @@ mod tests {
         let report = handle.join().unwrap();
         assert_eq!(report.jobs_total, 1);
         assert_eq!(report.queued_left, 0);
+    }
+
+    #[test]
+    fn objective_jobs_run_sim_in_loop_and_match_the_offline_mapper() {
+        let server = Server::bind(&temp_config("objective")).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || server.run(&flag));
+
+        let pcn = random_pcn(36, 3.0, 9).unwrap();
+        let body = serde_json::json!({
+            "format": "snnmap-job-v1",
+            "pcn": render_pcn(&pcn),
+            "max_sweeps": 8,
+            "objective": "composite",
+            "lambda_congestion": 1.5,
+            "sim_in_loop": 2,
+        });
+        let (status, body) =
+            request(addr, "POST", "/jobs", &serde_json::to_string(&body).unwrap());
+        assert_eq!(status, 201, "{body}");
+        let id = json_u64(&body, "id");
+        let (state, status_body) = wait_terminal(addr, id);
+        assert_eq!(state, "done", "{status_body}");
+        assert_eq!(json_field(&status_body, "objective").as_str(), Some("composite"));
+        assert_eq!(json_u64(&status_body, "sim_in_loop"), 2, "{status_body}");
+
+        // Byte-for-byte what the CLI-shaped offline pipeline produces
+        // with the same objective, cadence, and seeded NoC hook.
+        let (status, placement) = request(addr, "GET", &format!("/jobs/{id}/placement"), "");
+        assert_eq!(status, 200);
+        let mesh = snnmap_hw::Mesh::square_for(36).unwrap();
+        let mut hook = NocReweighter::new(&pcn, noc_scale(&pcn), SIM_CYCLES, 42);
+        let mut opts = FdRunOpts {
+            budget: RunBudget { max_sweeps: Some(8), ..RunBudget::default() },
+            ..FdRunOpts::default()
+        };
+        opts.reweighter = Some(&mut hook);
+        let offline = Mapper::builder()
+            .initial_placement(InitialPlacement::Hilbert)
+            .potential(Potential::L2Squared)
+            .lambda(0.3)
+            .objective(snnmap_core::Objective::Composite { lambda_c: 1.5, lambda_t: 0.0 })
+            .reweight_every(2)
+            .build()
+            .map_budgeted(&pcn, mesh, &mut opts)
+            .unwrap();
+        assert_eq!(placement, render_placement(&offline.placement));
+
+        // Checkpoint-incompatible knob combinations die at submission.
+        let bad = serde_json::json!({
+            "format": "snnmap-job-v1",
+            "pcn": render_pcn(&pcn),
+            "objective": "congestion",
+            "sim_in_loop": 2,
+            "checkpoint_every": 4,
+        });
+        let (status, body) =
+            request(addr, "POST", "/jobs", &serde_json::to_string(&bad).unwrap());
+        assert_eq!(status, 400, "{body}");
+
+        shutdown.store(true, SeqCst);
+        handle.join().unwrap();
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub struct FdConfigEvent {
     pub potential: String,
     /// Tension evaluation mode (`Debug` rendering of `TensionMode`).
     pub tension: String,
+    /// Objective label (`energy`, `congestion`, `composite`).
+    pub objective: String,
     /// Queue fraction λ.
     pub lambda: f64,
     /// Iteration cap, if any.
@@ -162,6 +164,42 @@ pub struct NocEvent {
     pub detour_hops: u64,
 }
 
+/// Per-term potential breakdown of one FD sweep under a non-energy
+/// objective (composite descent telemetry). Emitted only when the sink is
+/// enabled and the objective has congestion/latency terms; the values are
+/// recomputed from scratch serially, so the line is thread-count
+/// invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveEvent {
+    /// 1-based sweep number the breakdown follows.
+    pub sweep: u64,
+    /// Pure energy term `M_ec`-style potential.
+    pub energy: f64,
+    /// Weighted congestion term (λc · Σ per-router cost).
+    pub congestion: f64,
+    /// Weighted latency-tail term (λt · Σ per-edge squared distance).
+    pub latency: f64,
+    /// The composite total the descent is driving down.
+    pub composite: f64,
+}
+
+/// A sim-in-the-loop reweight fired between sweep batches: router heat
+/// (from a `NocSim` run or the objective's own congestion map) was folded
+/// back into the congestion weight field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReweightEvent {
+    /// 1-based sweep number after which the reweight applied.
+    pub sweep: u64,
+    /// Heat source label (`noc-sim`, `self`).
+    pub source: String,
+    /// Hottest router's heat value (weights normalize against this).
+    pub max_heat: u64,
+    /// Hottest router's mesh row (first on ties).
+    pub hottest_row: u64,
+    /// Hottest router's mesh column (first on ties).
+    pub hottest_col: u64,
+}
+
 /// Thread-pool utilization delta from `snnmap_core::par` counters.
 ///
 /// `parallel_calls` and `workers_spawned` are **timing fields**: the
@@ -209,6 +247,10 @@ pub enum TraceEvent {
     Repair(RepairEvent),
     /// NoC simulation counters.
     Noc(NocEvent),
+    /// Per-term objective breakdown of one sweep.
+    Objective(ObjectiveEvent),
+    /// Sim-in-the-loop reweight applied.
+    Reweight(ReweightEvent),
     /// Thread-pool utilization delta.
     Par(ParEvent),
 }
@@ -226,6 +268,8 @@ impl TraceEvent {
             TraceEvent::Resume(_) => "resume",
             TraceEvent::Repair(_) => "repair",
             TraceEvent::Noc(_) => "noc",
+            TraceEvent::Objective(_) => "objective",
+            TraceEvent::Reweight(_) => "reweight",
             TraceEvent::Par(_) => "par",
         }
     }
@@ -282,6 +326,7 @@ impl TraceEvent {
                 w.field_str("event", self.name());
                 w.field_str("potential", &e.potential);
                 w.field_str("tension", &e.tension);
+                w.field_str("objective", &e.objective);
                 w.field_f64("lambda", e.lambda);
                 w.field_opt_u64("max_iterations", e.max_iterations);
                 w.field_opt_u64("time_budget_ms", e.time_budget_ms);
@@ -343,6 +388,22 @@ impl TraceEvent {
                 w.field_u64("total_latency", e.total_latency);
                 w.field_u64("max_latency", e.max_latency);
                 w.field_u64("detour_hops", e.detour_hops);
+            }
+            TraceEvent::Objective(e) => {
+                w.field_str("event", self.name());
+                w.field_u64("sweep", e.sweep);
+                w.field_f64("energy", e.energy);
+                w.field_f64("congestion", e.congestion);
+                w.field_f64("latency", e.latency);
+                w.field_f64("composite", e.composite);
+            }
+            TraceEvent::Reweight(e) => {
+                w.field_str("event", self.name());
+                w.field_u64("sweep", e.sweep);
+                w.field_str("source", &e.source);
+                w.field_u64("max_heat", e.max_heat);
+                w.field_u64("hottest_row", e.hottest_row);
+                w.field_u64("hottest_col", e.hottest_col);
             }
             TraceEvent::Par(e) => {
                 w.field_str("event", self.name());
@@ -535,6 +596,7 @@ mod tests {
         let e = TraceEvent::FdConfig(FdConfigEvent {
             potential: "L2Squared".into(),
             tension: "Exact".into(),
+            objective: "energy".into(),
             lambda: f64::NAN,
             max_iterations: None,
             time_budget_ms: Some(1500),

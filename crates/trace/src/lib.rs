@@ -51,8 +51,8 @@ mod progress;
 pub use alloc::{snapshot as alloc_snapshot, AllocSnapshot, CountingAlloc};
 pub use digest::{sha256_hex, Sha256};
 pub use event::{
-    CheckpointEvent, FdConfigEvent, FdDoneEvent, FdSweepEvent, NocEvent, ParEvent, PhaseEvent,
-    RepairEvent, ResumeEvent, RunEvent, TraceEvent,
+    CheckpointEvent, FdConfigEvent, FdDoneEvent, FdSweepEvent, NocEvent, ObjectiveEvent, ParEvent,
+    PhaseEvent, RepairEvent, ResumeEvent, ReweightEvent, RunEvent, TraceEvent,
 };
 pub use jsonl::JsonlSink;
 pub use memory::MemorySink;
@@ -138,7 +138,12 @@ pub mod schema {
     /// the runtime granularity tuner makes fan-out decisions
     /// run-dependent, so only workload-stable fields stay in the
     /// deterministic set.
-    pub const VERSION: u64 = 3;
+    ///
+    /// v4 added the objective family: `fd_config` gained `objective`,
+    /// and the `objective` (per-sweep per-term potential breakdown) and
+    /// `reweight` (sim-in-the-loop weight update) events joined the
+    /// vocabulary. Both are deterministic — no timing-only fields.
+    pub const VERSION: u64 = 4;
 
     /// Phase-name vocabulary used by the shipped pipeline. Custom phases
     /// are permitted (the field is free-form), but these are the names
@@ -180,6 +185,7 @@ pub mod schema {
                 "event",
                 "potential",
                 "tension",
+                "objective",
                 "lambda",
                 "max_iterations",
                 "time_budget_ms",
@@ -226,6 +232,16 @@ pub mod schema {
                 "max_latency",
                 "detour_hops",
             ],
+            &[],
+        ),
+        (
+            "objective",
+            &["event", "sweep", "energy", "congestion", "latency", "composite"],
+            &[],
+        ),
+        (
+            "reweight",
+            &["event", "sweep", "source", "max_heat", "hottest_row", "hottest_col"],
             &[],
         ),
         (
@@ -284,6 +300,8 @@ mod tests {
             "resume",
             "repair",
             "noc",
+            "objective",
+            "reweight",
             "par",
         ] {
             let (required, _) = schema::fields(name).expect(name);
@@ -315,6 +333,7 @@ mod tests {
             TraceEvent::FdConfig(FdConfigEvent {
                 potential: "p".into(),
                 tension: "t".into(),
+                objective: "energy".into(),
                 lambda: 0.3,
                 max_iterations: None,
                 time_budget_ms: None,
@@ -360,6 +379,20 @@ mod tests {
                 total_latency: 1,
                 max_latency: 1,
                 detour_hops: 0,
+            }),
+            TraceEvent::Objective(ObjectiveEvent {
+                sweep: 1,
+                energy: 1.0,
+                congestion: 0.5,
+                latency: 0.25,
+                composite: 1.75,
+            }),
+            TraceEvent::Reweight(ReweightEvent {
+                sweep: 8,
+                source: "noc-sim".into(),
+                max_heat: 12,
+                hottest_row: 3,
+                hottest_col: 4,
             }),
             TraceEvent::Par(ParEvent {
                 scope: "total".into(),
